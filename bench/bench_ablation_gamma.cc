@@ -1,0 +1,42 @@
+// Ablation A — the discount-factor policy gamma of Eq (4).
+//
+// The paper defines gamma = 1 - tau/theta with tau "the mean time to error
+// detection". This bench compares the conventions:
+//   paper-linear      tau = Table-1 Itauh (censored)   -> matches Figs 9-12
+//   literal-linear    tau = literal int tau h(tau)     -> Y far above the
+//                     published curves, which is how we know the paper used
+//                     its own Table-1 reward inside gamma
+//   constant 0.9      a fixed discount
+//   conditional-mean  tau = E[tau | detected]
+// The optimum location is driven mostly by the S1/S2 trade-off, but the
+// gamma policy shifts both the level of Y and the optimum.
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/gamma.hh"
+
+int main() {
+  using namespace gop;
+
+  bench::print_header("Ablation A — gamma policy (Table 3 parameters)",
+                      "how the Eq-4 discount convention shifts Y(phi) and the optimum");
+
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const std::vector<double> phis = core::linspace(0.0, params.theta, 11);
+  std::vector<bench::Series> series;
+
+  for (core::GammaPolicy policy :
+       {core::GammaPolicy::kPaperLinear, core::GammaPolicy::kLiteralLinear,
+        core::GammaPolicy::kConstant, core::GammaPolicy::kConditionalMean}) {
+    core::AnalyzerOptions options;
+    options.gamma_policy = policy;
+    options.constant_gamma = 0.9;
+    core::PerformabilityAnalyzer analyzer(params, options);
+    series.push_back(
+        bench::Series{core::gamma_policy_name(policy), core::sweep_phi(analyzer, phis)});
+  }
+
+  bench::print_series_table(series);
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+/// Shared helpers for the figure/table benchmark binaries: each bench prints
+/// the paper's series as a console table (and optionally CSV), and reports
+/// the grid optimum the way the paper quotes it (on the figure's own phi
+/// grid).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "util/table.hh"
+
+namespace gop::bench {
+
+struct Series {
+  std::string label;
+  std::vector<core::PerformabilityResult> points;
+
+  /// phi of the maximal Y over the sweep grid (how the paper quotes optima).
+  double grid_optimal_phi() const {
+    double best_phi = 0.0;
+    double best_y = -1.0;
+    for (const auto& p : points) {
+      if (p.y > best_y) {
+        best_y = p.y;
+        best_phi = p.phi;
+      }
+    }
+    return best_phi;
+  }
+
+  double max_y() const {
+    double best = -1.0;
+    for (const auto& p : points) best = std::max(best, p.y);
+    return best;
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& subtitle) {
+  std::printf("=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+/// Prints phi in the first column and one Y column per series; appends the
+/// per-series grid optimum and maximum below the table.
+inline void print_series_table(const std::vector<Series>& series) {
+  if (series.empty()) return;
+  std::vector<std::string> headers{"phi [h]"};
+  for (const Series& s : series) headers.push_back("Y (" + s.label + ")");
+  TextTable table(std::move(headers));
+  for (size_t i = 0; i < series.front().points.size(); ++i) {
+    table.begin_row().add_double(series.front().points[i].phi, 6);
+    for (const Series& s : series) table.add_double(s.points[i].y, 5);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("  %-28s grid-optimal phi = %6.0f   max Y = %.4f\n", s.label.c_str(),
+                s.grid_optimal_phi(), s.max_y());
+  }
+  std::printf("\n");
+}
+
+}  // namespace gop::bench

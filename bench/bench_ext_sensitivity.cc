@@ -1,0 +1,50 @@
+// Extension study (not in the paper): systematic sensitivity of Y.
+//
+// The paper probes sensitivity one curve at a time (Figures 9-12). Here a
+// tornado table varies every Table 3 parameter by +/-20% at the published
+// optimum phi = 7000 and ranks them by swing, plus finite-difference
+// derivatives dY/dparam. Expected from the paper's narrative: mu_new and
+// coverage dominate, mu_old and lambda barely matter.
+
+#include <cstdio>
+
+#include "core/sensitivity.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace gop;
+
+  std::printf("=== Extension — tornado sensitivity of Y at phi = 7000 (Table 3, +/-20%%) ===\n\n");
+
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const double phi = 7000.0;
+  const auto entries = core::tornado_y(params, phi, 0.20);
+
+  TextTable table({"parameter", "low", "high", "Y(low)", "Y(high)", "swing"});
+  for (const core::TornadoEntry& entry : entries) {
+    table.begin_row()
+        .add(core::parameter_name(entry.parameter))
+        .add_double(entry.low_value, 5)
+        .add_double(entry.high_value, 5)
+        .add_double(entry.y_low, 5)
+        .add_double(entry.y_high, 5)
+        .add_double(entry.swing(), 4);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nbase Y(%.0f) = %.5f\n\n", phi, entries.front().y_base);
+
+  std::printf("finite-difference derivatives at the base point:\n");
+  TextTable derivatives({"parameter", "value", "dY/dparam", "elasticity (dY/Y)/(dp/p)"});
+  for (core::GsuParameterId id : core::all_parameters()) {
+    const double value = core::get_parameter(params, id);
+    const double derivative = core::y_parameter_derivative(params, phi, id);
+    derivatives.begin_row()
+        .add(core::parameter_name(id))
+        .add_double(value, 5)
+        .add_double(derivative, 4)
+        .add_double(derivative * value / entries.front().y_base, 4);
+  }
+  std::fputs(derivatives.to_string().c_str(), stdout);
+  return 0;
+}

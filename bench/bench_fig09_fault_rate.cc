@@ -1,0 +1,29 @@
+// Figure 9: effect of the fault-manifestation rate of the upgraded software
+// on the optimal guarded-operation duration (theta = 10000).
+//
+// Paper result: mu_new = 1e-4 peaks at phi = 7000; mu_new = 0.5e-4 peaks at
+// phi = 5000; both curves stay well above 1 across (0, theta].
+
+#include "bench_common.hh"
+#include "util/strings.hh"
+
+int main() {
+  using namespace gop;
+
+  bench::print_header("Figure 9 — effect of fault-manifestation rate (theta = 10000)",
+                      "paper optima: phi* = 7000 (mu_new = 1e-4), phi* = 5000 (mu_new = 5e-5)");
+
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  std::vector<bench::Series> series;
+
+  for (double mu_new : {1e-4, 0.5e-4}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.mu_new = mu_new;
+    core::PerformabilityAnalyzer analyzer(params);
+    series.push_back(
+        bench::Series{str_format("mu_new = %g", mu_new), core::sweep_phi(analyzer, phis)});
+  }
+
+  bench::print_series_table(series);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 10: effect of the safeguard performance overhead on the optimal
+// guarded-operation duration (theta = 10000, mu_new = 1e-4).
+//
+// Paper result: alpha = beta = 6000 gives (rho1, rho2) ~ (0.98, 0.95) and
+// phi* = 7000; alpha = beta = 2500 gives (rho1, rho2) ~ (0.95, 0.90) and
+// phi* = 6000 — higher overhead pulls the cutoff earlier.
+
+#include "bench_common.hh"
+#include "util/strings.hh"
+
+int main() {
+  using namespace gop;
+
+  bench::print_header(
+      "Figure 10 — effect of performance overhead (theta = 10000)",
+      "paper optima: phi* = 7000 at (rho1,rho2)=(0.98,0.95); phi* = 6000 at (0.95,0.90)");
+
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  std::vector<bench::Series> series;
+
+  for (double rate : {6000.0, 2500.0}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = rate;
+    params.beta = rate;
+    core::PerformabilityAnalyzer analyzer(params);
+    std::printf("alpha = beta = %-6g ->  rho1 = %.4f, rho2 = %.4f\n", rate, analyzer.rho1(),
+                analyzer.rho2());
+    series.push_back(bench::Series{
+        str_format("rho1=%.3f rho2=%.3f", analyzer.rho1(), analyzer.rho2()),
+        core::sweep_phi(analyzer, phis)});
+  }
+  std::printf("\n");
+
+  bench::print_series_table(series);
+  return 0;
+}

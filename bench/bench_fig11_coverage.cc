@@ -1,0 +1,33 @@
+// Figure 11: effect of the acceptance-test coverage on the optimal
+// guarded-operation duration (theta = 10000, alpha = beta = 2500).
+//
+// Paper result: the optimum stays at phi* = 6000 for c in {0.95, 0.75, 0.50}
+// (optimality insensitive to coverage), while the attainable maximum of Y
+// drops from ~1.45 to ~1.15 (the index itself is sensitive).
+
+#include "bench_common.hh"
+#include "util/strings.hh"
+
+int main() {
+  using namespace gop;
+
+  bench::print_header(
+      "Figure 11 — effect of AT coverage (theta = 10000, alpha = beta = 2500)",
+      "paper: phi* stays at 6000 for c in {0.95, 0.75, 0.50}; max Y falls ~1.45 -> ~1.15");
+
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  std::vector<bench::Series> series;
+
+  for (double coverage : {0.95, 0.75, 0.50}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = 2500.0;
+    params.beta = 2500.0;
+    params.coverage = coverage;
+    core::PerformabilityAnalyzer analyzer(params);
+    series.push_back(
+        bench::Series{str_format("c = %.2f", coverage), core::sweep_phi(analyzer, phis)});
+  }
+
+  bench::print_series_table(series);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 12: effect of the fault-manifestation rate with a shorter mission
+// period theta = 5000 (all other parameters as in Table 3).
+//
+// Paper result: the optima move to phi* = 2500 (mu_new = 1e-4) and
+// phi* = 2000 (mu_new = 0.5e-4), and Y decays faster past the peak than in
+// the theta = 10000 study.
+
+#include "bench_common.hh"
+#include "util/strings.hh"
+
+int main() {
+  using namespace gop;
+
+  bench::print_header("Figure 12 — effect of fault-manifestation rate (theta = 5000)",
+                      "paper optima: phi* = 2500 (mu_new = 1e-4), phi* = 2000 (mu_new = 5e-5)");
+
+  const std::vector<double> phis = core::linspace(0.0, 5000.0, 11);
+  std::vector<bench::Series> series;
+
+  for (double mu_new : {1e-4, 0.5e-4}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.theta = 5000.0;
+    params.mu_new = mu_new;
+    core::PerformabilityAnalyzer analyzer(params);
+    series.push_back(
+        bench::Series{str_format("mu_new = %g", mu_new), core::sweep_phi(analyzer, phis)});
+  }
+
+  bench::print_series_table(series);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Protocol-level validation: the executable MDCD simulator (src/mdcd) vs the
+// SAN reward models that abstract it. This is the strongest fidelity check
+// the reproduction has — the SANs were reconstructed from the paper's prose,
+// and here their predictions are compared against the protocol itself.
+//
+// Runs on the mission-compressed Table 3 (all dimensionless ratios
+// preserved; see GsuParameters::scaled_mission).
+
+#include <cstdio>
+
+#include "core/performability.hh"
+#include "mdcd/protocol.hh"
+#include "sim/stats.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace gop;
+
+  std::printf("=== MDCD protocol simulator vs SAN reward models ===\n\n");
+
+  const core::GsuParameters params = core::GsuParameters::scaled_mission(100.0);
+  core::PerformabilityAnalyzer analyzer(params);
+
+  // --- overheads: emergent busy fractions vs RMGp steady state ---------------
+  {
+    mdcd::ProtocolOptions options;
+    options.horizon = 0.3 * params.theta;
+    sim::Rng rng(424242);
+    sim::OnlineStats overhead1, overhead2, at_rate, ckpt_rate;
+    for (int i = 0; i < 120; ++i) {
+      const mdcd::RunStats stats = mdcd::run_guarded_operation(params, rng, options);
+      if (!stats.in_a1()) continue;  // pure guarded-operation windows only
+      overhead1.add(1.0 - stats.rho(mdcd::ProcessId::kP1New));
+      overhead2.add(1.0 - stats.rho(mdcd::ProcessId::kP2));
+      at_rate.add(static_cast<double>(stats.at_count) / stats.observed_time);
+      ckpt_rate.add(static_cast<double>(stats.checkpoint_count) / stats.observed_time);
+    }
+
+    TextTable table({"measure", "protocol (95% CI)", "RMGp"});
+    table.begin_row()
+        .add("1 - rho1")
+        .add(str_format("%.5f +/- %.5f", overhead1.mean(), overhead1.ci_half_width()))
+        .add_double(1.0 - analyzer.rho1(), 5);
+    table.begin_row()
+        .add("1 - rho2")
+        .add(str_format("%.5f +/- %.5f", overhead2.mean(), overhead2.ci_half_width()))
+        .add_double(1.0 - analyzer.rho2(), 5);
+    std::fputs(table.to_string().c_str(), stdout);
+    std::printf("protocol activity rates: %.1f ATs/h, %.1f checkpoints/h (%zu G-OP windows)\n\n",
+                at_rate.mean(), ckpt_rate.mean(), overhead1.count());
+  }
+
+  // --- verdict probabilities at phi vs RMGd instant rewards ------------------
+  {
+    const double phi = 0.6 * params.theta;
+    const core::ConstituentMeasures m = analyzer.constituents(phi);
+    mdcd::ProtocolOptions options;
+    options.horizon = phi;
+    sim::Rng rng(90125);
+    const size_t runs = 2000;
+    size_t a1 = 0, a3 = 0, a4 = 0, detected_failed = 0;
+    for (size_t i = 0; i < runs; ++i) {
+      const mdcd::RunStats stats = mdcd::run_guarded_operation(params, rng, options);
+      a1 += stats.in_a1() ? 1 : 0;
+      a3 += stats.in_a3() ? 1 : 0;
+      a4 += stats.in_a4() ? 1 : 0;
+      detected_failed += (stats.detected && stats.failed) ? 1 : 0;
+    }
+    const double n = static_cast<double>(runs);
+    TextTable table({"verdict class at phi", "protocol", "RMGd"});
+    table.begin_row().add("A'1  (no verdict)").add_double(a1 / n, 5).add_double(m.p_a1_phi, 5);
+    table.begin_row().add("A'3  (detected, alive)").add_double(a3 / n, 5).add_double(m.i_h, 5);
+    table.begin_row()
+        .add("detected then failed")
+        .add_double(detected_failed / n, 5)
+        .add_double(m.i_hf, 5);
+    table.begin_row()
+        .add("A'4  (failed undetected)")
+        .add_double(a4 / n, 5)
+        .add_double(1.0 - m.p_a1_phi - m.i_h - m.i_hf, 5);
+    std::fputs(table.to_string().c_str(), stdout);
+    std::printf("(phi = %.0f h on the compressed mission, %zu runs)\n\n", phi, runs);
+  }
+
+  // --- the scenario-2 residue -------------------------------------------------
+  {
+    core::GsuParameters perfect = params;
+    perfect.coverage = 1.0;
+    perfect.mu_old = 1e-12;
+    mdcd::ProtocolOptions options;
+    options.horizon = perfect.theta;
+    sim::Rng rng(5150);
+    const size_t runs = 2000;
+    size_t a4 = 0, resolved = 0;
+    for (size_t i = 0; i < runs; ++i) {
+      const mdcd::RunStats stats = mdcd::run_guarded_operation(perfect, rng, options);
+      a4 += stats.in_a4() ? 1 : 0;
+      resolved += (stats.detected || stats.failed) ? 1 : 0;
+    }
+    std::printf(
+        "scenario-2 residue at c = 1: %zu/%zu runs (%.2f%%) failed undetected via the\n"
+        "paper's §5.1 scenario 2 — a message sent before contamination passes its AT\n"
+        "and wrongly re-establishes confidence. The event-level protocol exhibits the\n"
+        "race the SAN folds into coverage; its size (~0.1%% of upgrades at these rates)\n"
+        "bounds the fidelity cost of that abstraction.\n",
+        a4, runs, 100.0 * static_cast<double>(a4) / static_cast<double>(runs));
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Solver performance comparison (google-benchmark): the engines behind the
+// constituent-measure solutions. Shows why the library defaults to the dense
+// matrix exponential for the paper's stiff horizons and keeps uniformization
+// for the non-stiff regime, and what a Monte Carlo estimate costs relative
+// to the numerical solution.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mc_validator.hh"
+#include "core/performability.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "san/simulator.hh"
+#include "san/state_space.hh"
+
+namespace {
+
+using namespace gop;
+
+const core::GsuParameters& table3() {
+  static const core::GsuParameters params = core::GsuParameters::table3();
+  return params;
+}
+
+void BM_StateSpaceGeneration_RMGd(benchmark::State& state) {
+  const core::RmGd gd = core::build_rm_gd(table3());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::generate_state_space(gd.model).state_count());
+  }
+}
+BENCHMARK(BM_StateSpaceGeneration_RMGd);
+
+void BM_Transient_MatrixExponential(benchmark::State& state) {
+  const core::RmNd nd = core::build_rm_nd(table3(), table3().mu_new);
+  const san::GeneratedChain chain = san::generate_state_space(nd.model);
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kMatrixExponential;
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::transient_distribution(chain.ctmc(), t, options));
+  }
+}
+BENCHMARK(BM_Transient_MatrixExponential)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_Transient_Uniformization(benchmark::State& state) {
+  const core::RmNd nd = core::build_rm_nd(table3(), table3().mu_new);
+  const san::GeneratedChain chain = san::generate_state_space(nd.model);
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kUniformization;
+  // Lambda ~ 2.4e3/h here, so t = 1 h is already ~2.4e3 DTMC steps; the
+  // paper's t = 1e4 h would be 2.4e7 steps — the stiff regime the matrix
+  // exponential exists for (excluded: it would dominate the whole suite).
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::transient_distribution(chain.ctmc(), t, options));
+  }
+}
+BENCHMARK(BM_Transient_Uniformization)->Arg(1)->Arg(100);
+
+void BM_SteadyState(benchmark::State& state) {
+  const core::RmGp gp = core::build_rm_gp(table3());
+  const san::GeneratedChain chain = san::generate_state_space(gp.model);
+  markov::SteadyStateOptions options;
+  options.method = static_cast<markov::SteadyStateMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::steady_state_distribution(chain.ctmc(), options));
+  }
+}
+BENCHMARK(BM_SteadyState)
+    ->Arg(static_cast<int>(markov::SteadyStateMethod::kGth))
+    ->Arg(static_cast<int>(markov::SteadyStateMethod::kPower))
+    ->Arg(static_cast<int>(markov::SteadyStateMethod::kGaussSeidel));
+
+void BM_EvaluateY(benchmark::State& state) {
+  core::PerformabilityAnalyzer analyzer(table3());
+  double phi = 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.evaluate(phi).y);
+    phi = phi < 9000.0 ? phi + 1000.0 : 1000.0;  // defeat any memoization
+  }
+}
+BENCHMARK(BM_EvaluateY);
+
+void BM_AnalyzerConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PerformabilityAnalyzer analyzer(table3());
+    benchmark::DoNotOptimize(analyzer.rho1());
+  }
+}
+BENCHMARK(BM_AnalyzerConstruction);
+
+void BM_MonteCarlo_SingleMissionPath(benchmark::State& state) {
+  core::McValidator validator(core::GsuParameters::scaled_mission(100.0));
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.sample_wphi(rng, 50.0, 1.9, 0.6));
+  }
+}
+BENCHMARK(BM_MonteCarlo_SingleMissionPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 2: the steady-state overhead measures 1-rho1 and 1-rho2 solved in
+// the reward model RMGp, for the two (alpha, beta) settings the paper's §6
+// uses, plus a wider sweep showing how the overheads scale with the costs of
+// the safeguard activities.
+//
+// Paper anchor points: alpha=beta=6000 -> (rho1, rho2) ~ (0.98, 0.95);
+// alpha=beta=2500 -> (0.95, 0.90).
+
+#include <cstdio>
+
+#include "core/performability.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace gop;
+
+  std::printf("=== Table 2 — overhead measures in RMGp (steady state) ===\n\n");
+  std::printf("1-rho1: predicate MARK(P1nExt)==1, rate 1\n");
+  std::printf(
+      "1-rho2: predicate (MARK(P1nInt)==1 && MARK(P2DB)==0) || (MARK(P2Ext)==1 && "
+      "MARK(P2DB)==1), rate 1\n\n");
+
+  TextTable table({"alpha=beta", "1-rho1", "1-rho2", "rho1", "rho2", "paper (rho1,rho2)"});
+  for (double rate : {12000.0, 6000.0, 4000.0, 2500.0, 1500.0, 1000.0}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = rate;
+    params.beta = rate;
+    core::PerformabilityAnalyzer analyzer(params);
+    std::string anchor = "-";
+    if (rate == 6000.0) anchor = "(0.98, 0.95)";
+    if (rate == 2500.0) anchor = "(0.95, 0.90)";
+    table.begin_row()
+        .add_double(rate, 6)
+        .add_double(1.0 - analyzer.rho1(), 4)
+        .add_double(1.0 - analyzer.rho2(), 4)
+        .add_double(analyzer.rho1(), 4)
+        .add_double(analyzer.rho2(), 4)
+        .add(anchor);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Custom SAN walk-through: the modelling framework is general, not tied to
+// the paper's GSU models. This example builds a small fault-tolerant
+// queueing system — an M/M/1/K queue whose server breaks down and gets
+// repaired — as a stochastic activity network, then:
+//
+//   1. generates its tangible reachability graph,
+//   2. solves steady-state, transient and accumulated reward measures,
+//   3. cross-checks one measure against discrete-event simulation,
+//   4. emits Graphviz renderings of the SAN and its reachability graph.
+//
+//   ./build/examples/custom_san
+
+#include <cstdio>
+
+#include "san/dot_export.hh"
+#include "san/expr.hh"
+#include "san/simulator.hh"
+#include "san/state_space.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace gop;
+  using namespace gop::san;
+
+  // --- model: M/M/1/K queue with server breakdowns ---------------------------
+  const int32_t capacity = 4;
+  const double arrival_rate = 3.0;   // jobs/h
+  const double service_rate = 4.0;   // jobs/h while the server is up
+  const double failure_rate = 0.05;  // server breakdowns/h
+  const double repair_rate = 0.5;    // repairs/h
+
+  SanModel model("mm1k_breakdown");
+  const PlaceRef queue = model.add_place("queue", 0);
+  const PlaceRef up = model.add_place("up", 1);
+
+  model.add_timed_activity(
+      "arrive", [queue, capacity](const Marking& m) { return m[queue.index] < capacity; },
+      constant_rate(arrival_rate), add_mark(queue, 1));
+  model.add_timed_activity("serve", all_of({has_tokens(queue), has_tokens(up)}),
+                           constant_rate(service_rate), add_mark(queue, -1));
+  model.add_timed_activity("break", has_tokens(up), constant_rate(failure_rate),
+                           set_mark(up, 0));
+  model.add_timed_activity("repair", mark_eq(up, 0), constant_rate(repair_rate),
+                           set_mark(up, 1));
+
+  // --- state space -------------------------------------------------------------
+  const GeneratedChain chain = generate_state_space(model);
+  std::printf("reachability: %zu tangible states, %zu transitions\n\n", chain.state_count(),
+              chain.ctmc().transitions().size());
+
+  // --- reward structures ---------------------------------------------------------
+  RewardStructure queue_length("queue length");
+  queue_length.add(always(), [queue](const Marking& m) {
+    return static_cast<double>(m[queue.index]);
+  });
+
+  RewardStructure server_down("server down");
+  server_down.add(mark_eq(up, 0), 1.0);
+
+  RewardStructure rejected("rejected arrivals");  // impulse on blocked arrivals?
+  // Arrivals are disabled when full, so count lost work as time-at-capacity:
+  rejected.add(mark_eq(queue, capacity), arrival_rate);
+
+  TextTable table({"measure", "value"});
+  table.begin_row().add("steady-state mean queue length").add_double(
+      chain.steady_state_reward(queue_length), 5);
+  table.begin_row().add("steady-state P(server down)").add_double(
+      chain.steady_state_reward(server_down), 5);
+  table.begin_row().add("steady-state loss rate (jobs/h)").add_double(
+      chain.steady_state_reward(rejected), 5);
+  table.begin_row().add("mean queue length at t = 0.5 h").add_double(
+      chain.instant_reward(queue_length, 0.5), 5);
+  table.begin_row().add("expected job-hours queued in [0, 8 h]").add_double(
+      chain.accumulated_reward(queue_length, 8.0), 5);
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // --- cross-check against simulation ---------------------------------------------
+  SanSimulator simulator(model);
+  sim::ReplicationOptions replications;
+  replications.seed = 2026;
+  replications.min_replications = 2000;
+  replications.max_replications = 2000;
+  const auto estimate = simulator.estimate_accumulated_reward(queue_length, 8.0, replications);
+  std::printf("\nsimulation cross-check (accumulated queue length, [0, 8 h]):\n");
+  std::printf("  numerical : %.5f\n  simulated : %.5f +/- %.5f (95%% CI, %zu reps)\n",
+              chain.accumulated_reward(queue_length, 8.0), estimate.mean(),
+              estimate.half_width(), estimate.replications());
+
+  // --- Graphviz artifacts ----------------------------------------------------------
+  std::printf("\nGraphviz (render with `dot -Tsvg`):\n");
+  std::printf("--- model (first lines) ---\n");
+  const std::string model_dot = model_to_dot(model);
+  std::fwrite(model_dot.data(), 1, std::min<size_t>(model_dot.size(), 400), stdout);
+  std::printf("...\n--- reachability has %zu chars; head: ---\n",
+              reachability_to_dot(chain).size());
+  const std::string reach_dot = reachability_to_dot(chain);
+  std::fwrite(reach_dot.data(), 1, std::min<size_t>(reach_dot.size(), 400), stdout);
+  std::printf("...\n");
+  return 0;
+}

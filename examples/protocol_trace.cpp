@@ -1,0 +1,63 @@
+// Protocol trace: watch the MDCD protocol run, event by event. Simulates one
+// guarded-operation interval with a fault injected early (high mu_new) and
+// prints the timeline — message sends elided, safeguard activity and the
+// verdict shown. A compact way to *see* the mechanism the paper describes
+// in §2 and Figure 2.
+//
+//   ./build/examples/protocol_trace [--seed=4] [--horizon=2] [--mu_new=2]
+
+#include <cstdio>
+
+#include "mdcd/protocol.hh"
+#include "util/cli.hh"
+
+int main(int argc, char** argv) {
+  using namespace gop;
+
+  CliFlags flags("protocol_trace", "event-by-event MDCD protocol timeline");
+  flags.add_int("seed", 4, "RNG seed")
+      .add_double("horizon", 2.0, "guarded-operation hours to simulate")
+      .add_double("mu_new", 2.0, "fault rate of the upgraded version (1/h)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  core::GsuParameters params = core::GsuParameters::table3();
+  params.mu_new = flags.get_double("mu_new");  // high: a verdict within hours
+
+  const char* process_names[] = {"P1new", "P1old", "P2   "};
+  size_t sends = 0;
+  size_t shown = 0;
+
+  mdcd::ProtocolOptions options;
+  options.horizon = flags.get_double("horizon");
+  options.trace = [&](double time, mdcd::TraceEvent event, mdcd::ProcessId process) {
+    if (event == mdcd::TraceEvent::kSend) {
+      ++sends;  // ~2400/h — summarize instead of printing each
+      return;
+    }
+    if (shown < 60 || event == mdcd::TraceEvent::kFault ||
+        event == mdcd::TraceEvent::kDetection || event == mdcd::TraceEvent::kFailure) {
+      std::printf("%10.6f h  %-6s  %s\n", time, process_names[static_cast<size_t>(process)],
+                  mdcd::trace_event_name(event));
+      ++shown;
+    }
+  };
+
+  sim::Rng rng(static_cast<uint64_t>(flags.get_int("seed")));
+  std::printf("%-12s  %-6s  %s\n", "time", "proc", "event");
+  std::printf("------------  ------  -----------\n");
+  const mdcd::RunStats stats = mdcd::run_guarded_operation(params, rng, options);
+
+  std::printf("\nsummary: %zu messages sent, %zu ATs, %zu checkpoints\n", sends, stats.at_count,
+              stats.checkpoint_count);
+  std::printf("verdict: %s%s at t = %.6f h\n",
+              stats.detected ? "detected (safe recovery)" : "",
+              stats.in_a4()      ? "FAILED undetected"
+              : stats.in_a1()    ? "no error by the horizon"
+              : stats.failed     ? " — then failed post-recovery"
+                                 : "",
+              stats.detected ? stats.detection_time
+                             : (stats.failed ? stats.failure_time : options.horizon));
+  std::printf("busy fractions: P1new %.4f, P2 %.4f\n",
+              1.0 - stats.rho(mdcd::ProcessId::kP1New), 1.0 - stats.rho(mdcd::ProcessId::kP2));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/approximation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::core {
+
+double approximate_rho1(const GsuParameters& params) {
+  params.validate();
+  return 1.0 - params.lambda * params.p_ext / params.alpha;
+}
+
+double approximate_rho2(const GsuParameters& params) {
+  params.validate();
+  // Renewal cycle of P2's dirty bit:
+  //   clean period ~ Exp(lambda (1-p_ext))   (next internal msg from P1new)
+  //   checkpoint   ~ 1/beta
+  //   dirty period ~ Exp(2 lambda p_ext)     (first clearing AT completion)
+  // P2's own AT work per cycle: it performs the clearing AT in about half
+  // the cycles (its externals race P1new's), i.e. ~0.5/alpha expected work.
+  const double clean = 1.0 / (params.lambda * (1.0 - params.p_ext));
+  const double checkpoint = 1.0 / params.beta;
+  const double dirty = 1.0 / (2.0 * params.lambda * params.p_ext);
+  const double p2_at_work = 0.5 / params.alpha;
+  const double cycle = clean + checkpoint + dirty;
+  return 1.0 - (checkpoint + p2_at_work) / cycle;
+}
+
+ApproximateResult approximate_y(const GsuParameters& params, double phi, double rho1,
+                                double rho2) {
+  params.validate();
+  GOP_REQUIRE(phi >= 0.0 && phi <= params.theta, "phi must lie in [0, theta]");
+  GOP_REQUIRE(rho1 > 0.0 && rho1 <= 1.0 && rho2 > 0.0 && rho2 <= 1.0,
+              "rho values must be in (0, 1]");
+
+  const double theta = params.theta;
+  const double rho_sum = rho1 + rho2;
+
+  // Verdicts arrive at the message scale, so on the mission scale a G-OP
+  // fault resolves immediately: survival is exponential in the total
+  // manifestation rate, and detections capture the AT-covered share.
+  const double mu_gop = params.mu_new + params.mu_old;
+  const double p_a1 = std::exp(-mu_gop * phi);
+  const double detected_share = params.coverage * params.mu_new / mu_gop;
+  const double i_h = detected_share * (1.0 - p_a1);
+  const double i_tau_h = (1.0 - p_a1) / mu_gop;  // censored Table-1 variant
+  const double i_f = 1.0 - std::exp(-2.0 * params.mu_old * (theta - phi));
+
+  const auto nd_survival = [&](double mu_1, double t) {
+    return std::exp(-(mu_1 + params.mu_old) * t);
+  };
+
+  ApproximateResult r;
+  r.phi = phi;
+  r.e_w0 = 2.0 * theta * nd_survival(params.mu_new, theta);
+
+  const double p_s1 = p_a1 * nd_survival(params.mu_new, theta - phi);
+  const double y_s1 = (rho_sum * phi + 2.0 * (theta - phi)) * p_s1;
+
+  r.gamma = std::clamp(1.0 - i_tau_h / theta, 0.0, 1.0);
+  const double minuend = 2.0 * theta * i_h - (2.0 - rho_sum) * i_tau_h;
+  const double subtrahend = 2.0 * theta * i_h * i_f;  // Ihf ~ 0 at this order
+  const double y_s2 = r.gamma * (minuend - subtrahend);
+
+  r.e_wphi = y_s1 + y_s2;
+  const double denominator = 2.0 * theta - r.e_wphi;
+  GOP_REQUIRE(denominator > 0.0, "approximation left its supported regime");
+  r.y = (2.0 * theta - r.e_w0) / denominator;
+  return r;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file approximation.hh
+/// Closed-form approximation of the performability index — no SAN, no state
+/// space, just the dominant-term structure of the models:
+///
+///  - messages are orders of magnitude faster than faults, so a fault
+///    manifestation reaches its verdict (detection w.p. c, failure w.p. 1-c)
+///    essentially immediately on the mission time scale;
+///  - hence P(X'_phi in A'1) ~ exp(-mu_gop phi) with
+///    mu_gop = mu_new + mu_old (P1new and P2 manifesting during G-OP);
+///  - Ih ~ c (1 - exp(-mu_gop phi)),  Itauh ~ (1 - exp(-mu_gop phi))/mu_gop
+///    (the censored Table-1 variant), Ihf ~ 0;
+///  - normal-mode survival ~ exp(-(mu_1 + mu_old) t).
+///
+/// Assembled through the same Eq 1/8/15/16/21 pipeline as the exact solver.
+/// Useful as a sanity oracle (the exact solution must stay within a couple
+/// of percent at Table-3-like time-scale separation) and as a zero-cost
+/// preview for interactive parameter exploration.
+
+#include "core/params.hh"
+
+namespace gop::core {
+
+struct ApproximateResult {
+  double phi = 0.0;
+  double y = 1.0;
+  double e_w0 = 0.0;
+  double e_wphi = 0.0;
+  double gamma = 1.0;
+};
+
+/// Approximates Y(phi). `rho1`/`rho2` are the steady-state forward-progress
+/// fractions; pass the RMGp solutions, or their own closed-form
+/// approximations from approximate_rho1/approximate_rho2.
+ApproximateResult approximate_y(const GsuParameters& params, double phi, double rho1,
+                                double rho2);
+
+/// rho1 ~ 1 - (lambda p_ext / alpha): P1new spends lambda*p_ext AT sessions
+/// of mean 1/alpha per hour.
+double approximate_rho1(const GsuParameters& params);
+
+/// rho2 from the renewal cycle of P2's dirty bit: set by P1new's internal
+/// messages (rate lambda (1-p_ext)), cleared by successful ATs of either
+/// process (rate ~ 2 lambda p_ext); overhead = checkpoint work + AT work per
+/// cycle. A cruder estimate than RMGp, good to ~20% relative.
+double approximate_rho2(const GsuParameters& params);
+
+}  // namespace gop::core

@@ -1,0 +1,41 @@
+#include "core/gamma.hh"
+
+#include <algorithm>
+
+namespace gop::core {
+
+double evaluate_gamma(GammaPolicy policy, const GammaInputs& inputs, double constant_gamma) {
+  GOP_REQUIRE(inputs.theta > 0.0, "gamma: theta must be positive");
+  switch (policy) {
+    case GammaPolicy::kPaperLinear:
+      return std::clamp(1.0 - inputs.i_tau_h / inputs.theta, 0.0, 1.0);
+    case GammaPolicy::kLiteralLinear:
+      return std::clamp(1.0 - inputs.i_tau_h_literal / inputs.theta, 0.0, 1.0);
+    case GammaPolicy::kConstant:
+      GOP_REQUIRE(constant_gamma >= 0.0 && constant_gamma <= 1.0,
+                  "constant gamma must be in [0,1]");
+      return constant_gamma;
+    case GammaPolicy::kConditionalMean: {
+      if (inputs.p_detected <= 0.0) return 1.0;  // no detection mass: no discount applies
+      const double conditional_mean = inputs.i_tau_h_literal / inputs.p_detected;
+      return std::clamp(1.0 - conditional_mean / inputs.theta, 0.0, 1.0);
+    }
+  }
+  throw InternalError("unreachable gamma policy");
+}
+
+const char* gamma_policy_name(GammaPolicy policy) {
+  switch (policy) {
+    case GammaPolicy::kPaperLinear:
+      return "paper-linear";
+    case GammaPolicy::kLiteralLinear:
+      return "literal-linear";
+    case GammaPolicy::kConstant:
+      return "constant";
+    case GammaPolicy::kConditionalMean:
+      return "conditional-mean";
+  }
+  return "unknown";
+}
+
+}  // namespace gop::core

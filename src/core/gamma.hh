@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file gamma.hh
+/// Policies for the discount factor gamma of Eq (4) — the extra mission-worth
+/// reduction attached to an unsuccessful-but-safe upgrade. The paper (§6)
+/// uses gamma = 1 - tau/theta with tau "the mean time to error detection";
+/// reproducing the published curves requires reading tau as the Table-1
+/// accumulated reward Itauh (the censored variant). The alternatives exist
+/// for the ablation bench and for users who want a different convention.
+
+#include "util/error.hh"
+
+namespace gop::core {
+
+enum class GammaPolicy {
+  /// The paper's choice: gamma = 1 - Itauh/theta with the Table-1 Itauh
+  /// (clamped to [0, 1]).
+  kPaperLinear,
+  /// Same linear rule but with the *literal* \int tau h(tau) dtau
+  /// (unconditional mean detection time). Shown by the ablation to produce
+  /// much larger Y than the published figures — evidence the paper used the
+  /// Table-1 convention.
+  kLiteralLinear,
+  /// A fixed discount, ignoring the detection time.
+  kConstant,
+  /// gamma = 1 - E[tau | detected]/theta: discounts by the mean detection
+  /// time conditioned on detection, clamped to [0, 1].
+  kConditionalMean,
+};
+
+struct GammaInputs {
+  double i_tau_h = 0.0;          ///< Table-1 accumulated reward over [0, phi]
+  double i_tau_h_literal = 0.0;  ///< literal E[tau 1(detected by phi)]
+  double i_h = 0.0;              ///< P(detected & alive at phi)
+  double p_detected = 0.0;       ///< P(detected by phi) = Ih + Ihf
+  double theta = 1.0;
+};
+
+/// Evaluates the policy; `constant_gamma` is used only by kConstant.
+double evaluate_gamma(GammaPolicy policy, const GammaInputs& inputs, double constant_gamma);
+
+/// Human-readable policy name for bench output.
+const char* gamma_policy_name(GammaPolicy policy);
+
+}  // namespace gop::core

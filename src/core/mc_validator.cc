@@ -1,0 +1,110 @@
+#include "core/mc_validator.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace gop::core {
+
+namespace {
+
+/// Per-state mask of a 0/1 place being set, over a generated chain.
+std::vector<bool> place_mask(const san::GeneratedChain& chain, san::PlaceRef place) {
+  std::vector<bool> mask(chain.state_count(), false);
+  for (size_t s = 0; s < chain.state_count(); ++s) mask[s] = chain.states()[s][place.index] == 1;
+  return mask;
+}
+
+}  // namespace
+
+McValidator::McValidator(const GsuParameters& params, McOptions options)
+    : params_(params),
+      options_(options),
+      gd_(build_rm_gd(params_)),
+      nd_new_(build_rm_nd(params_, params_.mu_new)),
+      nd_old_(build_rm_nd(params_, params_.mu_old)),
+      gd_chain_(san::generate_state_space(gd_.model)),
+      nd_new_chain_(san::generate_state_space(nd_new_.model)),
+      nd_old_chain_(san::generate_state_space(nd_old_.model)),
+      gd_detected_(place_mask(gd_chain_, gd_.detected)),
+      gd_failure_(place_mask(gd_chain_, gd_.failure)),
+      nd_new_failure_(place_mask(nd_new_chain_, nd_new_.failure)),
+      nd_old_failure_(place_mask(nd_old_chain_, nd_old_.failure)) {
+  params_.validate();
+}
+
+double McValidator::sample_w0(sim::Rng& rng) const {
+  const auto outcome = markov::simulate_ctmc(
+      nd_new_chain_.ctmc(), rng, params_.theta,
+      [this](size_t s) { return nd_new_failure_[s]; });
+  return outcome.stopped ? 0.0 : 2.0 * params_.theta;
+}
+
+double McValidator::sample_wphi(sim::Rng& rng, double phi, double rho_sum, double gamma) const {
+  GOP_REQUIRE(phi >= 0.0 && phi <= params_.theta, "phi must lie in [0, theta]");
+  const double theta = params_.theta;
+
+  // Guarded operation until the first of: error detection, failure, phi.
+  // (The trajectory runs on RMGd's tangible chain — message self-loops never
+  // appear as events, so a mission path costs a handful of draws.)
+  const auto gop = markov::simulate_ctmc(
+      gd_chain_.ctmc(), rng, phi,
+      [this](size_t s) { return gd_detected_[s] || gd_failure_[s]; });
+
+  if (gop.stopped && gd_failure_[gop.state]) {
+    return 0.0;  // undetected erroneous external message during G-OP
+  }
+
+  if (gop.stopped) {
+    // S2: detection at tau = gop.time; the recovered system (P1old + P2)
+    // services the mission through theta - tau under the normal mode.
+    const double tau = gop.time;
+    const auto rest = markov::simulate_ctmc(
+        nd_old_chain_.ctmc(), rng, theta - tau,
+        [this](size_t s) { return nd_old_failure_[s]; });
+    if (rest.stopped) return 0.0;
+    const double discount =
+        options_.per_path_gamma ? std::clamp(1.0 - tau / theta, 0.0, 1.0) : gamma;
+    return discount * (rho_sum * tau + 2.0 * (theta - tau));
+  }
+
+  // S1: guarded operation concluded without error; the upgraded system
+  // (P1new + P2) continues through theta - phi under the normal mode.
+  const auto rest = markov::simulate_ctmc(
+      nd_new_chain_.ctmc(), rng, theta - phi,
+      [this](size_t s) { return nd_new_failure_[s]; });
+  if (rest.stopped) return 0.0;
+  return rho_sum * phi + 2.0 * (theta - phi);
+}
+
+McPerformability McValidator::estimate(double phi, double rho1, double rho2,
+                                       double gamma) const {
+  const double rho_sum = rho1 + rho2;
+
+  sim::ReplicationOptions rep = options_.replications;
+  const auto w0 = sim::run_replications([&](sim::Rng& rng) { return sample_w0(rng); }, rep);
+  rep.seed += 1;
+  const auto wphi = sim::run_replications(
+      [&](sim::Rng& rng) { return sample_wphi(rng, phi, rho_sum, gamma); }, rep);
+
+  McPerformability result;
+  result.phi = phi;
+  result.e_w0 = McEstimate{w0.mean(), w0.half_width(), w0.replications()};
+  result.e_wphi = McEstimate{wphi.mean(), wphi.half_width(), wphi.replications()};
+
+  const double e_wi = 2.0 * params_.theta;
+  const double denom = e_wi - result.e_wphi.mean;
+  GOP_CHECK_NUMERIC(denom > 0.0, "Monte Carlo E[Wphi] reached E[WI]");
+  result.y = (e_wi - result.e_w0.mean) / denom;
+
+  // Conservative interval: push both CIs to their extremes.
+  const double num_lo = e_wi - (result.e_w0.mean + result.e_w0.half_width);
+  const double num_hi = e_wi - (result.e_w0.mean - result.e_w0.half_width);
+  const double den_lo = e_wi - (result.e_wphi.mean - result.e_wphi.half_width);
+  const double den_hi = e_wi - (result.e_wphi.mean + result.e_wphi.half_width);
+  result.y_low = num_lo / std::max(den_lo, 1e-300);
+  result.y_high = num_hi / std::max(den_hi, 1e-300);
+  return result;
+}
+
+}  // namespace gop::core

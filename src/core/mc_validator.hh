@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file mc_validator.hh
+/// Monte Carlo evaluation of the *untranslated* performability formulation
+/// (§3.2, Eqs 3 and 4): sample paths of the mission over [0, theta] are
+/// simulated directly — guarded operation until min(tau, phi), then the
+/// appropriate normal-mode configuration until theta — and the mission worth
+/// of each path is accumulated per Eq (4).
+///
+/// Agreement with the PerformabilityAnalyzer's reward-model solution is
+/// evidence the successive model translation of §4 was implemented
+/// correctly, and the residual difference quantifies the paper's deliberate
+/// approximations (steady-state rho, the Eq 19 dropped term, the Table-1
+/// Itauh semantics). This is the library's "baseline comparator".
+
+#include "core/params.hh"
+#include "core/rm_gd.hh"
+#include "core/rm_nd.hh"
+#include "markov/ctmc_sim.hh"
+#include "san/state_space.hh"
+#include "sim/replication.hh"
+
+namespace gop::core {
+
+struct McOptions {
+  sim::ReplicationOptions replications{.seed = 20020623,  // DSN 2002 ;-)
+                                       .min_replications = 1000,
+                                       .max_replications = 200'000};
+  /// When true, each S2 path is discounted by its own gamma = 1 - tau/theta
+  /// instead of the scalar gamma the translated solution uses. Quantifies
+  /// the difference between E[gamma(tau) W] and gamma-bar E[W] (ablation).
+  bool per_path_gamma = false;
+};
+
+struct McEstimate {
+  double mean = 0.0;
+  double half_width = 0.0;  // 95% CI
+  size_t replications = 0;
+};
+
+struct McPerformability {
+  double phi = 0.0;
+  McEstimate e_w0;
+  McEstimate e_wphi;
+  double y = 0.0;
+  /// Conservative interval for Y from the component CIs.
+  double y_low = 0.0;
+  double y_high = 0.0;
+};
+
+class McValidator {
+ public:
+  explicit McValidator(const GsuParameters& params, McOptions options = {});
+
+  McValidator(const McValidator&) = delete;
+  McValidator& operator=(const McValidator&) = delete;
+
+  /// One sample of W0 (Eq 3): 2 theta if the unprotected upgraded system
+  /// survives theta, else 0.
+  double sample_w0(sim::Rng& rng) const;
+
+  /// One sample of Wphi (Eq 4). `rho_sum` = rho1 + rho2 and `gamma` come
+  /// from the caller (typically the analyzer); gamma is ignored when
+  /// per_path_gamma is set.
+  double sample_wphi(sim::Rng& rng, double phi, double rho_sum, double gamma) const;
+
+  /// Full Monte Carlo estimate of Y(phi).
+  McPerformability estimate(double phi, double rho1, double rho2, double gamma) const;
+
+ private:
+  GsuParameters params_;
+  McOptions options_;
+
+  RmGd gd_;
+  RmNd nd_new_;
+  RmNd nd_old_;
+  // Mission paths are sampled on the tangible chains (self-loop-free), so a
+  // 10,000-hour trajectory costs a handful of exponential draws rather than
+  // millions of message events.
+  san::GeneratedChain gd_chain_;
+  san::GeneratedChain nd_new_chain_;
+  san::GeneratedChain nd_old_chain_;
+  std::vector<bool> gd_detected_;
+  std::vector<bool> gd_failure_;
+  std::vector<bool> nd_new_failure_;
+  std::vector<bool> nd_old_failure_;
+};
+
+}  // namespace gop::core

@@ -1,0 +1,38 @@
+#include "core/params.hh"
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::core {
+
+GsuParameters GsuParameters::table3() {
+  return GsuParameters{};  // defaults are exactly Table 3
+}
+
+GsuParameters GsuParameters::scaled_mission(double compression) {
+  GOP_REQUIRE(compression >= 1.0, "compression must be >= 1");
+  GsuParameters params = table3();
+  params.theta /= compression;
+  params.mu_new *= compression;
+  params.mu_old *= compression;
+  return params;
+}
+
+void GsuParameters::validate() const {
+  GOP_REQUIRE(theta > 0.0, "theta must be positive");
+  GOP_REQUIRE(lambda > 0.0, "lambda must be positive");
+  GOP_REQUIRE(mu_new > 0.0, "mu_new must be positive");
+  GOP_REQUIRE(mu_old > 0.0, "mu_old must be positive");
+  GOP_REQUIRE(coverage >= 0.0 && coverage <= 1.0, "coverage must be in [0,1]");
+  GOP_REQUIRE(p_ext > 0.0 && p_ext <= 1.0, "p_ext must be in (0,1]");
+  GOP_REQUIRE(alpha > 0.0, "alpha must be positive");
+  GOP_REQUIRE(beta > 0.0, "beta must be positive");
+}
+
+std::string GsuParameters::to_string() const {
+  return str_format(
+      "theta=%g lambda=%g mu_new=%g mu_old=%g c=%g p_ext=%g alpha=%g beta=%g", theta, lambda,
+      mu_new, mu_old, coverage, p_ext, alpha, beta);
+}
+
+}  // namespace gop::core

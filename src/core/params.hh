@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file params.hh
+/// The guarded-software-upgrading (GSU) system parameters of the paper's §6
+/// (Table 3). All rates are per hour; all durations are in hours.
+
+#include <string>
+
+namespace gop::core {
+
+struct GsuParameters {
+  /// Mission period: time from the start of guarded operation to the next
+  /// scheduled onboard upgrade (theta).
+  double theta = 10000.0;
+
+  /// Message-sending rate of a process (lambda). 1200/h = one message every
+  /// three seconds.
+  double lambda = 1200.0;
+
+  /// Fault-manifestation rate of the newly upgraded software version
+  /// (mu_new).
+  double mu_new = 1e-4;
+
+  /// Fault-manifestation rate of an old, well-exercised software version
+  /// (mu_old).
+  double mu_old = 1e-8;
+
+  /// Acceptance-test coverage: probability that an erroneous external
+  /// message is detected by the AT (c).
+  double coverage = 0.95;
+
+  /// Probability that a message a process sends is external (p_ext).
+  double p_ext = 0.1;
+
+  /// Acceptance-test completion rate (alpha). 6000/h = 600 ms per AT.
+  double alpha = 6000.0;
+
+  /// Checkpoint-establishment completion rate (beta). 6000/h = 600 ms per
+  /// checkpoint.
+  double beta = 6000.0;
+
+  /// The paper's Table 3 baseline assignment.
+  static GsuParameters table3();
+
+  /// A mission-compressed variant of Table 3 for Monte Carlo validation:
+  /// theta shrinks by `compression` while the fault rates grow by it, so the
+  /// dependability ratios (mu_new*theta, mu_old*theta) and the performance
+  /// ratios (lambda*p_ext/alpha, hence rho1/rho2) are all preserved — only
+  /// the message/fault time-scale separation lambda/mu drops by
+  /// compression^2, which stays large (>= 1e3) up to the default. Simulated
+  /// mission paths cost `compression` times fewer events, making
+  /// path-by-path validation of the untranslated formulation affordable.
+  static GsuParameters scaled_mission(double compression = 100.0);
+
+  /// Throws gop::InvalidArgument when any parameter is out of range.
+  void validate() const;
+
+  /// One-line summary for benchmark headers.
+  std::string to_string() const;
+};
+
+}  // namespace gop::core

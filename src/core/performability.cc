@@ -1,0 +1,109 @@
+#include "core/performability.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::core {
+
+PerformabilityAnalyzer::PerformabilityAnalyzer(const GsuParameters& params,
+                                               AnalyzerOptions options)
+    : params_(params),
+      options_(std::move(options)),
+      gd_(build_rm_gd(params_)),
+      gp_(build_rm_gp(params_)),
+      nd_new_(build_rm_nd(params_, params_.mu_new)),
+      nd_old_(build_rm_nd(params_, params_.mu_old)),
+      gd_chain_(san::generate_state_space(gd_.model)),
+      gp_chain_(san::generate_state_space(gp_.model)),
+      nd_new_chain_(san::generate_state_space(nd_new_.model)),
+      nd_old_chain_(san::generate_state_space(nd_old_.model)) {
+  params_.validate();
+
+  rho1_ = options_.override_rho1.value_or(
+      1.0 - gp_chain_.steady_state_reward(gp_.reward_overhead_p1n(), options_.steady_state));
+  rho2_ = options_.override_rho2.value_or(
+      1.0 - gp_chain_.steady_state_reward(gp_.reward_overhead_p2(), options_.steady_state));
+  GOP_CHECK_NUMERIC(rho1_ >= 0.0 && rho1_ <= 1.0, "rho1 outside [0,1]");
+  GOP_CHECK_NUMERIC(rho2_ >= 0.0 && rho2_ <= 1.0, "rho2 outside [0,1]");
+
+  p_nd_theta_ =
+      nd_new_chain_.instant_reward(nd_new_.reward_no_failure(), params_.theta, options_.transient);
+}
+
+ConstituentMeasures PerformabilityAnalyzer::constituents(double phi) const {
+  GOP_REQUIRE(phi >= 0.0 && phi <= params_.theta,
+              str_format("phi = %g must lie in [0, theta = %g]", phi, params_.theta));
+
+  ConstituentMeasures m;
+  m.rho1 = rho1_;
+  m.rho2 = rho2_;
+  m.p_nd_theta = p_nd_theta_;
+
+  // RMGd measures (Table 1).
+  m.p_a1_phi = gd_chain_.instant_reward(gd_.reward_p_a1(), phi, options_.transient);
+  m.i_h = gd_chain_.instant_reward(gd_.reward_ih(), phi, options_.transient);
+  m.i_hf = gd_chain_.instant_reward(gd_.reward_ihf(), phi, options_.transient);
+  m.i_tau_h = gd_chain_.accumulated_reward(gd_.reward_itauh(), phi, options_.accumulated);
+
+  // Literal E[tau 1(detected by phi)] by parts on the detection-time CDF:
+  // phi * P(detected at phi) - \int_0^phi P(detected at t) dt.
+  const double p_detected =
+      gd_chain_.instant_reward(gd_.reward_detected(), phi, options_.transient);
+  const double detected_area =
+      gd_chain_.accumulated_reward(gd_.reward_detected(), phi, options_.accumulated);
+  m.i_tau_h_literal = phi * p_detected - detected_area;
+
+  // RMNd measures (§5.2.3). The V_[phi,theta] ~ V_[0,theta-phi] time shift of
+  // §4.1 turns both into instant-of-time rewards at theta - phi.
+  const double rest = params_.theta - phi;
+  m.p_nd_rest =
+      nd_new_chain_.instant_reward(nd_new_.reward_no_failure(), rest, options_.transient);
+  m.i_f =
+      1.0 - nd_old_chain_.instant_reward(nd_old_.reward_no_failure(), rest, options_.transient);
+
+  return m;
+}
+
+PerformabilityResult PerformabilityAnalyzer::evaluate(double phi) const {
+  PerformabilityResult r;
+  r.phi = phi;
+  r.measures = constituents(phi);
+  const ConstituentMeasures& m = r.measures;
+
+  const double theta = params_.theta;
+  const double rho_sum = m.rho1 + m.rho2;
+
+  r.e_wi = 2.0 * theta;                 // Eq 2
+  r.e_w0 = 2.0 * theta * m.p_nd_theta;  // Eq 5/14
+
+  // Y^S1 (Eq 8 with the Eq 14 product form). At phi = 0 the product collapses
+  // to P(X''_theta in A''1) and Y^S1 coincides with E[W0].
+  const double p_s1 = phi > 0.0 ? m.p_a1_phi * m.p_nd_rest : m.p_nd_theta;
+  r.y_s1 = (rho_sum * phi + 2.0 * (theta - phi)) * p_s1;
+
+  // Y^S2 (Eq 15 with the Eq 16 minuend and Eq 21 subtrahend).
+  r.gamma = evaluate_gamma(
+      options_.gamma_policy,
+      GammaInputs{m.i_tau_h, m.i_tau_h_literal, m.i_h, m.i_h + m.i_hf, theta},
+      options_.constant_gamma);
+  const double minuend = 2.0 * theta * m.i_h - (2.0 - rho_sum) * m.i_tau_h;
+  double subtrahend = 2.0 * theta * (m.i_hf + m.i_h * m.i_f);
+  if (options_.include_neglected_term) {
+    // Upper bound on the Eq 19 dropped term (see AnalyzerOptions).
+    r.neglected_term = (2.0 - rho_sum) * (phi * m.i_hf + m.i_tau_h * m.i_f);
+    subtrahend += r.neglected_term;
+  }
+  r.y_s2 = r.gamma * (minuend - subtrahend);
+
+  r.e_wphi = r.y_s1 + r.y_s2;  // Eq 6
+
+  const double denominator = r.e_wi - r.e_wphi;
+  GOP_CHECK_NUMERIC(denominator > 0.0,
+                    "E[WI] - E[Wphi] is not positive; the model left its supported regime");
+  r.y = (r.e_wi - r.e_w0) / denominator;  // Eq 1
+  return r;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file performability.hh
+/// The paper's primary contribution, as a library: the successive
+/// model-translation pipeline that evaluates the performability index
+///
+///   Y(phi) = (E[WI] - E[W0]) / (E[WI] - E[Wphi]),   E[WI] = 2 theta   (Eq 1)
+///
+/// by aggregating constituent reward-model solutions of the three SAN models
+/// RMGd, RMGp and RMNd (Figure 3):
+///
+///   E[W0]  = 2 theta P(X''_theta in A''1)                            (Eq 5/14)
+///   Y^S1   = ((rho1+rho2) phi + 2(theta-phi))
+///            * P(X'_phi in A'1) P(X''_{theta-phi} in A''1)           (Eq 8/14)
+///   Y^S2   = gamma ( 2 theta Ih - (2-(rho1+rho2)) Itauh
+///                    - 2 theta (Ihf + Ih If) )                       (Eq 15/16/21)
+///   E[Wphi] = Y^S1 + Y^S2                                            (Eq 6)
+///
+/// The analyzer builds the three SANs once per parameter set (they do not
+/// depend on phi), generates their state spaces, computes the steady-state
+/// overheads rho1/rho2, and then evaluates Y(phi) with a handful of transient
+/// and accumulated reward solutions per phi.
+
+#include <optional>
+
+#include "core/gamma.hh"
+#include "core/params.hh"
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "markov/accumulated.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "san/state_space.hh"
+
+namespace gop::core {
+
+/// The constituent reward variables of Figure 3 at a given phi.
+struct ConstituentMeasures {
+  double p_a1_phi = 0.0;       ///< P(X'_phi in A'1)            [RMGd, instant at phi]
+  double i_h = 0.0;            ///< \int_0^phi h                [RMGd, instant at phi]
+  double i_tau_h = 0.0;        ///< \int_0^phi tau h            [RMGd, accumulated over [0,phi]]
+  double i_hf = 0.0;           ///< \int_0^phi\int_tau^phi h f  [RMGd, instant at phi]
+  /// The *literal* \int_0^phi tau h(tau) dtau = E[tau 1(detected by phi)],
+  /// via integration by parts on the detection-time CDF. The paper's Table 1
+  /// specifies the censored variant `i_tau_h` instead (which is what makes
+  /// the published curves come out); both are exposed so the difference can
+  /// be studied (gamma-policy ablation).
+  double i_tau_h_literal = 0.0;
+  double rho1 = 1.0;           ///< forward-progress fraction of P1new [RMGp, steady state]
+  double rho2 = 1.0;           ///< forward-progress fraction of P2    [RMGp, steady state]
+  double p_nd_theta = 0.0;     ///< P(X''_theta in A''1), mu_new       [RMNd]
+  double p_nd_rest = 0.0;      ///< P(X''_{theta-phi} in A''1), mu_new [RMNd]
+  double i_f = 0.0;            ///< \int_phi^theta f, mu_old           [RMNd]
+};
+
+struct PerformabilityResult {
+  double phi = 0.0;
+  ConstituentMeasures measures;
+
+  double e_wi = 0.0;    ///< E[WI] = 2 theta
+  double e_w0 = 0.0;    ///< E[W0]
+  double e_wphi = 0.0;  ///< E[Wphi] = Y^S1 + Y^S2
+  double y_s1 = 0.0;
+  double y_s2 = 0.0;
+  double gamma = 1.0;
+  /// Upper bound on Eq 19's neglected subtrahend (0 unless the option to
+  /// restore it is enabled; see AnalyzerOptions::include_neglected_term).
+  double neglected_term = 0.0;
+  double y = 1.0;  ///< the performability index
+};
+
+struct AnalyzerOptions {
+  GammaPolicy gamma_policy = GammaPolicy::kPaperLinear;
+  double constant_gamma = 0.9;
+
+  /// Restores (an upper bound on) the subtrahend the paper drops in Eq 19:
+  /// (2-(rho1+rho2)) \int\int tau h f, bounded by
+  /// (2-(rho1+rho2)) (phi Ihf + Itauh If). Used by the ablation bench.
+  bool include_neglected_term = false;
+
+  /// Overrides for the RMGp-derived overheads (the paper's Figures 10/11
+  /// label curves by (rho1, rho2) directly).
+  std::optional<double> override_rho1;
+  std::optional<double> override_rho2;
+
+  markov::TransientOptions transient;
+  markov::AccumulatedOptions accumulated;
+  markov::SteadyStateOptions steady_state;
+};
+
+class PerformabilityAnalyzer {
+ public:
+  explicit PerformabilityAnalyzer(const GsuParameters& params, AnalyzerOptions options = {});
+
+  // The generated chains hold pointers into the model members, so the
+  // analyzer is neither copyable nor movable.
+  PerformabilityAnalyzer(const PerformabilityAnalyzer&) = delete;
+  PerformabilityAnalyzer& operator=(const PerformabilityAnalyzer&) = delete;
+
+  const GsuParameters& parameters() const { return params_; }
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Steady-state forward-progress fractions (after overrides).
+  double rho1() const { return rho1_; }
+  double rho2() const { return rho2_; }
+
+  /// Solves all constituent measures at phi (0 <= phi <= theta).
+  ConstituentMeasures constituents(double phi) const;
+
+  /// Evaluates the performability index and its intermediate quantities.
+  PerformabilityResult evaluate(double phi) const;
+
+  /// Underlying models and chains, for diagnostics, benches and tests.
+  const RmGd& rm_gd() const { return gd_; }
+  const RmGp& rm_gp() const { return gp_; }
+  const RmNd& rm_nd_new() const { return nd_new_; }
+  const RmNd& rm_nd_old() const { return nd_old_; }
+  const san::GeneratedChain& gd_chain() const { return gd_chain_; }
+  const san::GeneratedChain& gp_chain() const { return gp_chain_; }
+  const san::GeneratedChain& nd_new_chain() const { return nd_new_chain_; }
+  const san::GeneratedChain& nd_old_chain() const { return nd_old_chain_; }
+
+ private:
+  GsuParameters params_;
+  AnalyzerOptions options_;
+
+  RmGd gd_;
+  RmGp gp_;
+  RmNd nd_new_;
+  RmNd nd_old_;
+
+  san::GeneratedChain gd_chain_;
+  san::GeneratedChain gp_chain_;
+  san::GeneratedChain nd_new_chain_;
+  san::GeneratedChain nd_old_chain_;
+
+  double rho1_ = 1.0;
+  double rho2_ = 1.0;
+  double p_nd_theta_ = 0.0;  // P(X''_theta in A''1) with mu_new, cached
+};
+
+}  // namespace gop::core

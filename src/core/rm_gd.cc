@@ -1,0 +1,231 @@
+#include "core/rm_gd.hh"
+
+#include "san/expr.hh"
+
+namespace gop::core {
+
+using namespace gop::san;
+
+RmGd build_rm_gd(const GsuParameters& params, const RmGdOptions& options) {
+  params.validate();
+
+  RmGd rm{SanModel("RMGd"), {}, {}, {}, {}, {}, {}};
+  SanModel& m = rm.model;
+
+  rm.p1n_ctn = m.add_place("P1Nctn");
+  rm.p1o_ctn = m.add_place("P1Octn");
+  rm.p2_ctn = m.add_place("P2ctn");
+  rm.dirty_bit = m.add_place("dirty_bit");
+  rm.detected = m.add_place("detected");
+  rm.failure = m.add_place("failure");
+
+  // AT-pending places: an external message from a potentially contaminated
+  // sender awaits its (instantaneous) acceptance test. These markings are
+  // vanishing; the AT activities below eliminate them.
+  const PlaceRef p1n_at = m.add_place("P1Nat");
+  const PlaceRef p2_at = m.add_place("P2at");
+
+  const Predicate in_gop =
+      all_of({mark_eq(rm.detected, 0), mark_eq(rm.failure, 0)});
+  const Predicate in_normal =
+      all_of({mark_eq(rm.detected, 1), mark_eq(rm.failure, 0)});
+
+  // Recovery cleanup: the MDCD rollback/roll-forward brings the system into
+  // a consistent global state; per the paper's §4.1 the surviving processes
+  // are "as clean as at time zero".
+  const Effect recover = sequence({set_mark(rm.detected, 1), set_mark(rm.dirty_bit, 0),
+                                   set_mark(rm.p1n_ctn, 0), set_mark(rm.p1o_ctn, 0),
+                                   set_mark(rm.p2_ctn, 0)});
+
+  // --- fault manifestation --------------------------------------------------
+
+  // P1new runs only during G-OP (it is retired on recovery).
+  m.add_timed_activity("P1Nfm",
+                       all_of({in_gop, mark_eq(rm.p1n_ctn, 0)}),
+                       constant_rate(params.mu_new), set_mark(rm.p1n_ctn, 1));
+
+  // P2 runs in both modes.
+  m.add_timed_activity("P2fm",
+                       all_of({mark_eq(rm.failure, 0), mark_eq(rm.p2_ctn, 0)}),
+                       constant_rate(params.mu_old), set_mark(rm.p2_ctn, 1));
+
+  // P1old is in mission operation only after recovery. (During G-OP its
+  // outbound messages are suppressed and recovery restores a clean state, so
+  // pre-recovery contamination of the shadow has no observable effect; see
+  // DESIGN.md.)
+  m.add_timed_activity("P1Ofm",
+                       all_of({in_normal, mark_eq(rm.p1o_ctn, 0)}),
+                       constant_rate(params.mu_old), set_mark(rm.p1o_ctn, 1));
+
+  // Installs an acceptance test on `pending`: the paper's instantaneous
+  // form, or a timed activity at rate alpha for the ablation variant
+  // (RmGdOptions::instantaneous_at == false).
+  const auto add_at = [&](const std::string& name, PlaceRef pending,
+                          std::vector<Case> cases) {
+    if (options.instantaneous_at) {
+      InstantaneousActivity at;
+      at.name = name;
+      at.enabled = has_tokens(pending);
+      at.cases = std::move(cases);
+      m.add_instantaneous_activity(std::move(at));
+    } else {
+      TimedActivity at;
+      at.name = name;
+      at.enabled = has_tokens(pending);
+      at.rate = constant_rate(params.alpha);
+      at.cases = std::move(cases);
+      m.add_timed_activity(std::move(at));
+    }
+  };
+
+  // --- P1new message passing (G-OP mode) -------------------------------------
+
+  {
+    TimedActivity activity;
+    activity.name = "P1Nmsg";
+    // In the timed-AT variant the sender is blocked while its message is
+    // under validation.
+    activity.enabled = options.instantaneous_at
+                           ? in_gop
+                           : all_of({in_gop, mark_eq(p1n_at, 0)});
+    activity.rate = constant_rate(params.lambda);
+    // External: P1new is always considered potentially contaminated during
+    // G-OP, so every external message undergoes the AT (vanishing marking).
+    activity.cases.push_back(Case{constant_prob(params.p_ext), set_mark(p1n_at, 1)});
+    // Internal (to P2): marks P2 potentially contaminated and propagates any
+    // actual contamination.
+    activity.cases.push_back(
+        Case{constant_prob(1.0 - params.p_ext),
+             sequence({set_mark(rm.dirty_bit, 1),
+                       when(mark_eq(rm.p1n_ctn, 1), set_mark(rm.p2_ctn, 1))})});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  // AT on P1new's external message. Correct messages pass and reset
+  // dirty_bit (the paper's P1Nok_ext gate); erroneous messages are detected
+  // with probability c, otherwise the system fails.
+  {
+    const Predicate erroneous = mark_eq(rm.p1n_ctn, 1);
+    std::vector<Case> cases;
+    cases.push_back(Case{
+        [erroneous](const Marking& mk) { return erroneous(mk) ? 0.0 : 1.0; },
+        sequence({set_mark(p1n_at, 0), set_mark(rm.dirty_bit, 0)})});
+    cases.push_back(Case{
+        [erroneous, c = params.coverage](const Marking& mk) { return erroneous(mk) ? c : 0.0; },
+        sequence({set_mark(p1n_at, 0), recover})});
+    cases.push_back(Case{
+        [erroneous, c = params.coverage](const Marking& mk) {
+          return erroneous(mk) ? 1.0 - c : 0.0;
+        },
+        sequence({set_mark(p1n_at, 0), set_mark(rm.failure, 1)})});
+    add_at("P1N_AT", p1n_at, std::move(cases));
+  }
+
+  // --- P2 message passing (G-OP mode) ----------------------------------------
+
+  {
+    TimedActivity activity;
+    activity.name = "P2msg";
+    activity.enabled = options.instantaneous_at
+                           ? in_gop
+                           : all_of({in_gop, mark_eq(p2_at, 0)});
+    activity.rate = constant_rate(params.lambda);
+    const Predicate dirty = mark_eq(rm.dirty_bit, 1);
+    // External while considered potentially contaminated: AT (vanishing).
+    activity.cases.push_back(Case{
+        [dirty, p = params.p_ext](const Marking& mk) { return dirty(mk) ? p : 0.0; },
+        set_mark(p2_at, 1)});
+    // External while considered clean: no AT; a dormant contamination is an
+    // undetected erroneous external message, i.e. system failure.
+    activity.cases.push_back(Case{
+        [dirty, p = params.p_ext](const Marking& mk) { return dirty(mk) ? 0.0 : p; },
+        when(mark_eq(rm.p2_ctn, 1), set_mark(rm.failure, 1))});
+    // Internal (to P1new / P1old): propagates actual contamination to the
+    // shadow pair. P1new is potentially contaminated by definition, and the
+    // shared dirty_bit already reflects P2's considered state, so no
+    // considered-state change.
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.p1n_ctn, 1))});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  // AT on P2's external message (same policy as P1new's AT; the pass case is
+  // the paper's P2ok_ext gate resetting dirty_bit).
+  {
+    const Predicate erroneous = mark_eq(rm.p2_ctn, 1);
+    std::vector<Case> cases;
+    cases.push_back(Case{
+        [erroneous](const Marking& mk) { return erroneous(mk) ? 0.0 : 1.0; },
+        sequence({set_mark(p2_at, 0), set_mark(rm.dirty_bit, 0)})});
+    cases.push_back(Case{
+        [erroneous, c = params.coverage](const Marking& mk) { return erroneous(mk) ? c : 0.0; },
+        sequence({set_mark(p2_at, 0), recover})});
+    cases.push_back(Case{
+        [erroneous, c = params.coverage](const Marking& mk) {
+          return erroneous(mk) ? 1.0 - c : 0.0;
+        },
+        sequence({set_mark(p2_at, 0), set_mark(rm.failure, 1)})});
+    add_at("P2_AT", p2_at, std::move(cases));
+  }
+
+  // --- normal mode after recovery (P1old + P2, no safeguards) ----------------
+
+  {
+    TimedActivity activity;
+    activity.name = "P1Omsg";
+    activity.enabled = in_normal;
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext),
+                                  when(mark_eq(rm.p1o_ctn, 1), set_mark(rm.failure, 1))});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext),
+                                  when(mark_eq(rm.p1o_ctn, 1), set_mark(rm.p2_ctn, 1))});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  {
+    TimedActivity activity;
+    activity.name = "P2msgN";
+    activity.enabled = in_normal;
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.failure, 1))});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.p1o_ctn, 1))});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  return rm;
+}
+
+san::RewardStructure RmGd::reward_ih() const {
+  RewardStructure reward("Ih");
+  reward.add(all_of({mark_eq(detected, 1), mark_eq(failure, 0)}), 1.0);
+  return reward;
+}
+
+san::RewardStructure RmGd::reward_itauh() const {
+  RewardStructure reward("Itauh");
+  reward.add(mark_eq(detected, 0), 1.0);
+  reward.add(all_of({mark_eq(detected, 0), mark_eq(failure, 1)}), -1.0);
+  return reward;
+}
+
+san::RewardStructure RmGd::reward_ihf() const {
+  RewardStructure reward("Ihf");
+  reward.add(all_of({mark_eq(detected, 1), mark_eq(failure, 1)}), 1.0);
+  return reward;
+}
+
+san::RewardStructure RmGd::reward_p_a1() const {
+  RewardStructure reward("P_A1");
+  reward.add(all_of({mark_eq(detected, 0), mark_eq(failure, 0)}), 1.0);
+  return reward;
+}
+
+san::RewardStructure RmGd::reward_detected() const {
+  RewardStructure reward("detected");
+  reward.add(mark_eq(detected, 1), 1.0);
+  return reward;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file rm_gd.hh
+/// RMGd — the SAN reward model of system behaviour during the pre-designated
+/// guarded-operation interval [0, phi] (the paper's Figure 6), supporting the
+/// dependability constituent measures of Table 1.
+///
+/// The model covers the stochastic process X' of §4.1: the system starts in
+/// the G-OP mode (P1new active under MDCD escort, P1old shadowing with its
+/// outbound messages suppressed, P2 active); a successfully detected error
+/// switches it to the normal mode with P1old and P2 in mission operation
+/// (place `detected`); an undetected erroneous external message — or a
+/// post-recovery error — is a system failure (place `failure`, absorbing).
+///
+/// Structure reconstructed from the paper's §2/§5.1 protocol description:
+///  - fault manifestation contaminates a process (P1Nctn / P2ctn / P1Octn);
+///  - internal messages from a potentially contaminated sender mark the
+///    receiver potentially contaminated (`dirty_bit`) and propagate actual
+///    contamination;
+///  - external messages from potentially contaminated senders undergo an
+///    instantaneous acceptance test with coverage c: erroneous messages are
+///    detected (-> recovery) or missed (-> failure); correct messages pass
+///    and reset `dirty_bit` (the paper's P1Nok_ext / P2ok_ext output gates);
+///  - external messages from senders considered clean skip the AT, so a
+///    dormant contamination fails the system directly;
+///  - successful recovery is modelled as restoring clean process states
+///    (the paper's §4.1 "as clean as at time zero" argument).
+
+#include "core/params.hh"
+#include "san/model.hh"
+#include "san/reward.hh"
+
+namespace gop::core {
+
+/// The built model plus the place handles the reward structures predicate
+/// over (named exactly as in the paper's Figure 6).
+struct RmGd {
+  san::SanModel model;
+
+  san::PlaceRef p1n_ctn;    // P1Nctn: P1new actually contaminated
+  san::PlaceRef p1o_ctn;    // P1Octn: P1old actually contaminated
+  san::PlaceRef p2_ctn;     // P2ctn: P2 actually contaminated
+  san::PlaceRef dirty_bit;  // dirty_bit: P2/P1old considered potentially contaminated
+  san::PlaceRef detected;   // detected: an error was detected (recovery done)
+  san::PlaceRef failure;    // failure: system failed (absorbing)
+
+  /// Table 1 reward structures.
+  /// \int_0^phi h(tau) dtau: instant-of-time at phi,
+  ///   MARK(detected)==1 && MARK(failure)==0 -> 1.
+  san::RewardStructure reward_ih() const;
+
+  /// \int_0^phi tau h(tau) dtau: accumulated over [0, phi],
+  ///   MARK(detected)==0 -> 1;  MARK(detected)==0 && MARK(failure)==1 -> -1.
+  san::RewardStructure reward_itauh() const;
+
+  /// \int_0^phi \int_tau^phi h(tau) f(x) dx dtau: instant-of-time at phi,
+  ///   MARK(detected)==1 && MARK(failure)==1 -> 1.
+  san::RewardStructure reward_ihf() const;
+
+  /// P(X'_phi in A'_1): instant-of-time at phi,
+  ///   MARK(detected)==0 && MARK(failure)==0 -> 1.
+  san::RewardStructure reward_p_a1() const;
+
+  /// P(error detected by t): instant-of-time, MARK(detected)==1 -> 1. The
+  /// `detected` place is a one-way flag, so this is a CDF in t; it backs the
+  /// *literal* \int tau h(tau) dtau via
+  ///   phi * P(detected at phi) - \int_0^phi P(detected at t) dt
+  /// (integration by parts), which the analyzer exposes alongside the
+  /// Table-1 convention.
+  san::RewardStructure reward_detected() const;
+};
+
+struct RmGdOptions {
+  /// The paper (§5.1) models acceptance tests as *instantaneous* activities,
+  /// arguing the AT duration (~1/alpha) is orders of magnitude below the
+  /// mean time to error occurrence. Setting this false rebuilds the model
+  /// with *timed* ATs at rate alpha (the sender blocked while its message is
+  /// under validation), which quantifies that simplification — see
+  /// bench_ablation_instant_at. Note the timed variant lets a fault manifest
+  /// between message emission and validation, a second-order semantic skew
+  /// on the order of mu/alpha.
+  bool instantaneous_at = true;
+};
+
+/// Builds RMGd for the given parameters.
+RmGd build_rm_gd(const GsuParameters& params, const RmGdOptions& options = {});
+
+}  // namespace gop::core

@@ -1,0 +1,124 @@
+#include "core/rm_gp.hh"
+
+#include "san/expr.hh"
+#include "san/phase_type.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+
+using namespace gop::san;
+
+RmGp build_rm_gp(const GsuParameters& params, const RmGpOptions& options) {
+  params.validate();
+  GOP_REQUIRE(options.duration_stages >= 1, "duration_stages must be >= 1");
+
+  RmGp rm{SanModel("RMGp"), {}, {}, {}, {}, {}, {}};
+  SanModel& m = rm.model;
+
+  rm.p1n_ext = m.add_place("P1nExt");
+  rm.p1n_int = m.add_place("P1nInt");
+  rm.p2_ext = m.add_place("P2Ext");
+  rm.p2_int = m.add_place("P2Int");
+  rm.p2_db = m.add_place("P2DB");
+  rm.p1o_db = m.add_place("P1oDB");
+
+  // A successful AT re-establishes confidence in the passive pair's states
+  // (RMGd's shared dirty_bit reset).
+  const Effect confidence_reset = sequence({set_mark(rm.p2_db, 0), set_mark(rm.p1o_db, 0)});
+
+  // Installs a safeguard "work" activity: exponential at `rate` for the
+  // paper's model, Erlang-k with the same mean for the duration-shape
+  // ablation (RmGpOptions::duration_stages).
+  const auto add_work = [&](const std::string& name, Predicate enabled, double rate,
+                            Effect effect) {
+    if (options.duration_stages == 1) {
+      m.add_timed_activity(name, std::move(enabled), constant_rate(rate), std::move(effect));
+    } else {
+      add_erlang_activity(m, name, std::move(enabled), rate, options.duration_stages,
+                          std::move(effect));
+    }
+  };
+
+  // --- P1new ------------------------------------------------------------------
+
+  // Message generation while P1new is free.
+  {
+    TimedActivity activity;
+    activity.name = "P1nSend";
+    activity.enabled = all_of({mark_eq(rm.p1n_ext, 0), mark_eq(rm.p1n_int, 0)});
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext), set_mark(rm.p1n_ext, 1)});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext), set_mark(rm.p1n_int, 1)});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  // AT of P1new's external message (P1new is always potentially
+  // contaminated during G-OP, so this is unconditional).
+  add_work("P1nAT", mark_eq(rm.p1n_ext, 1), params.alpha,
+           sequence({set_mark(rm.p1n_ext, 0), confidence_reset}));
+
+  // P2 handles the internal message from P1new: checkpoint when its dirty
+  // bit is clear (and P2 is not mid-AT), skip otherwise.
+  add_work("P2_CKPT",
+           all_of({mark_eq(rm.p1n_int, 1), mark_eq(rm.p2_db, 0), mark_eq(rm.p2_ext, 0)}),
+           params.beta, sequence({set_mark(rm.p1n_int, 0), set_mark(rm.p2_db, 1)}));
+  m.add_instantaneous_activity("P2SkipCKPT",
+                               all_of({mark_eq(rm.p1n_int, 1), mark_eq(rm.p2_db, 1)}),
+                               set_mark(rm.p1n_int, 0));
+
+  // --- P2 ---------------------------------------------------------------------
+
+  // Message generation while P2 is free (not in AT, not waiting on P1old's
+  // checkpoint, not checkpointing itself).
+  {
+    TimedActivity activity;
+    activity.name = "P2Send";
+    activity.enabled = all_of({mark_eq(rm.p2_ext, 0), mark_eq(rm.p2_int, 0),
+                               negate(all_of({mark_eq(rm.p1n_int, 1), mark_eq(rm.p2_db, 0)}))});
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext), set_mark(rm.p2_ext, 1)});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext), set_mark(rm.p2_int, 1)});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  // AT of P2's external message, performed only while P2 is considered
+  // potentially contaminated.
+  add_work("P2AT", all_of({mark_eq(rm.p2_ext, 1), mark_eq(rm.p2_db, 1)}), params.alpha,
+           sequence({set_mark(rm.p2_ext, 0), confidence_reset}));
+  m.add_instantaneous_activity("P2SkipAT",
+                               all_of({mark_eq(rm.p2_ext, 1), mark_eq(rm.p2_db, 0)}),
+                               set_mark(rm.p2_ext, 0));
+
+  // --- P1old ------------------------------------------------------------------
+
+  // P1old checkpoints when it receives an internal message from a potentially
+  // contaminated P2 and its own dirty bit is clear; otherwise the message is
+  // consumed without cost. (P1old's outbound messages are suppressed during
+  // G-OP, so no send/AT activities for it.)
+  add_work("P1o_CKPT",
+           all_of({mark_eq(rm.p2_int, 1), mark_eq(rm.p1o_db, 0), mark_eq(rm.p2_db, 1)}),
+           params.beta, sequence({set_mark(rm.p2_int, 0), set_mark(rm.p1o_db, 1)}));
+  m.add_instantaneous_activity(
+      "P1oSkipCKPT",
+      all_of({mark_eq(rm.p2_int, 1),
+              any_of({mark_eq(rm.p1o_db, 1), mark_eq(rm.p2_db, 0)})}),
+      set_mark(rm.p2_int, 0));
+
+  return rm;
+}
+
+san::RewardStructure RmGp::reward_overhead_p1n() const {
+  RewardStructure reward("1-rho1");
+  reward.add(mark_eq(p1n_ext, 1), 1.0);
+  return reward;
+}
+
+san::RewardStructure RmGp::reward_overhead_p2() const {
+  RewardStructure reward("1-rho2");
+  reward.add(any_of({all_of({mark_eq(p1n_int, 1), mark_eq(p2_db, 0)}),
+                     all_of({mark_eq(p2_ext, 1), mark_eq(p2_db, 1)})}),
+             1.0);
+  return reward;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file rm_gp.hh
+/// RMGp — the SAN reward model of the performance overhead of guarded
+/// operation (the paper's Figure 7): checkpoint establishments and AT-based
+/// validations driven by message passing and the dynamically adjusted
+/// confidence (dirty bits), under ideal environment assumptions (no faults).
+///
+/// Supports the steady-state overhead measures of Table 2:
+///   1 - rho_1 = P(MARK(P1nExt)==1)
+///   1 - rho_2 = P((MARK(P1nInt)==1 && MARK(P2DB)==0) ||
+///               (MARK(P2Ext)==1 && MARK(P2DB)==1))
+///
+/// Model logic (from the §2/§5.1 protocol description):
+///  - P1new is always potentially contaminated during G-OP, so each of its
+///    external messages undergoes an AT (duration Exp(alpha), place P1nExt);
+///    P1new never checkpoints (its state is never freshly "made" potentially
+///    contaminated by a receipt).
+///  - An internal message from P1new makes P2 potentially contaminated: when
+///    P2's dirty bit is clear, P2 establishes a checkpoint (Exp(beta), the
+///    sojourn with P1nInt==1 && P2DB==0) and sets the bit; otherwise the
+///    checkpoint is skipped instantaneously (P2SkipCKPT).
+///  - P2's external messages undergo an AT only while its dirty bit is set
+///    (P2Ext==1 && P2DB==1); a clean P2 sends without validation (P2SkipAT).
+///  - A successful AT re-establishes confidence: it clears both dirty bits
+///    (the shared dirty_bit reset of RMGd's P1Nok_ext / P2ok_ext gates).
+///  - P2's internal messages drive P1old's checkpointing symmetrically
+///    (P1o_CKPT / P1oSkipCKPT with P1oDB), which does not count toward
+///    rho_1/rho_2 but does block P2 while in progress.
+
+#include "core/params.hh"
+#include "san/model.hh"
+#include "san/reward.hh"
+
+namespace gop::core {
+
+struct RmGp {
+  san::SanModel model;
+
+  san::PlaceRef p1n_ext;  // P1nExt: P1new's external message under AT
+  san::PlaceRef p1n_int;  // P1nInt: internal message from P1new being handled by P2
+  san::PlaceRef p2_ext;   // P2Ext: P2's external message (AT while dirty)
+  san::PlaceRef p2_int;   // P2Int: internal message from P2 being handled by P1old
+  san::PlaceRef p2_db;    // P2DB: P2's dirty bit
+  san::PlaceRef p1o_db;   // P1oDB: P1old's dirty bit
+
+  /// Table 2: 1 - rho_1, predicate MARK(P1nExt)==1, rate 1; steady state.
+  san::RewardStructure reward_overhead_p1n() const;
+
+  /// Table 2: 1 - rho_2, predicate (P1nInt==1 && P2DB==0) ||
+  /// (P2Ext==1 && P2DB==1), rate 1; steady state.
+  san::RewardStructure reward_overhead_p2() const;
+};
+
+struct RmGpOptions {
+  /// Number of Erlang stages for the AT and checkpoint durations. 1 is the
+  /// paper's exponential model; k > 1 keeps the means (1/alpha, 1/beta) but
+  /// shrinks the squared coefficient of variation to 1/k, approaching the
+  /// deterministic durations real validation code has. Used by the
+  /// duration-shape ablation to test how sensitive rho1/rho2 (and hence Y)
+  /// are to the exponential assumption.
+  int32_t duration_stages = 1;
+};
+
+RmGp build_rm_gp(const GsuParameters& params, const RmGpOptions& options = {});
+
+}  // namespace gop::core

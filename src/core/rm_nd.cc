@@ -1,0 +1,63 @@
+#include "core/rm_nd.hh"
+
+#include "san/expr.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+
+using namespace gop::san;
+
+RmNd build_rm_nd(const GsuParameters& params, double mu_1) {
+  params.validate();
+  GOP_REQUIRE(mu_1 > 0.0, "mu_1 must be positive");
+
+  RmNd rm{SanModel("RMNd"), {}, {}, {}};
+  SanModel& m = rm.model;
+
+  rm.p1_ctn = m.add_place("P1ctn");
+  rm.p2_ctn = m.add_place("P2ctn");
+  rm.failure = m.add_place("failure");
+
+  const Predicate alive = mark_eq(rm.failure, 0);
+
+  m.add_timed_activity("P1fm", all_of({alive, mark_eq(rm.p1_ctn, 0)}), constant_rate(mu_1),
+                       set_mark(rm.p1_ctn, 1));
+  m.add_timed_activity("P2fm", all_of({alive, mark_eq(rm.p2_ctn, 0)}),
+                       constant_rate(params.mu_old), set_mark(rm.p2_ctn, 1));
+
+  // Message passing: an external message from a contaminated process is an
+  // undetected erroneous external message (no AT under the normal mode) and
+  // fails the system; an internal one propagates the contamination.
+  {
+    TimedActivity activity;
+    activity.name = "P1msg";
+    activity.enabled = alive;
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext),
+                                  when(mark_eq(rm.p1_ctn, 1), set_mark(rm.failure, 1))});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext),
+                                  when(mark_eq(rm.p1_ctn, 1), set_mark(rm.p2_ctn, 1))});
+    m.add_timed_activity(std::move(activity));
+  }
+  {
+    TimedActivity activity;
+    activity.name = "P2msg";
+    activity.enabled = alive;
+    activity.rate = constant_rate(params.lambda);
+    activity.cases.push_back(Case{constant_prob(params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.failure, 1))});
+    activity.cases.push_back(Case{constant_prob(1.0 - params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.p1_ctn, 1))});
+    m.add_timed_activity(std::move(activity));
+  }
+
+  return rm;
+}
+
+san::RewardStructure RmNd::reward_no_failure() const {
+  RewardStructure reward("no_failure");
+  reward.add(mark_eq(failure, 0), 1.0);
+  return reward;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file rm_nd.hh
+/// RMNd — the SAN reward model of system behaviour under the normal mode
+/// (the paper's Figure 8): two active processes, no safeguard activities, an
+/// erroneous external message fails the system outright.
+///
+/// It represents the stochastic process X'' of §4.1 and serves three
+/// constituent measures (§5.2.3), all with the single predicate-rate pair
+/// MARK(failure)==0 -> 1:
+///  - P(X''_theta in A''_1)        with mu_1 = mu_new  (E[W0], Eq 5/14);
+///  - P(X''_{theta-phi} in A''_1)  with mu_1 = mu_new  (Y^S1, Eq 8/14);
+///  - \int_phi^theta f dx = 1 - (instant reward at theta-phi)
+///                                 with mu_1 = mu_old  (Y^S2, Eq 21).
+
+#include "core/params.hh"
+#include "san/model.hh"
+#include "san/reward.hh"
+
+namespace gop::core {
+
+struct RmNd {
+  san::SanModel model;
+
+  san::PlaceRef p1_ctn;   // P1Nctn (or P1Octn for the recovered system)
+  san::PlaceRef p2_ctn;   // P2ctn
+  san::PlaceRef failure;  // failure (absorbing)
+
+  /// MARK(failure)==0 -> 1 (the §5.2.3 reward structure).
+  san::RewardStructure reward_no_failure() const;
+};
+
+/// Builds RMNd with fault-manifestation rate `mu_1` for the first software
+/// component (mu_new for the upgraded system, mu_old for the recovered one);
+/// the second component always manifests at params.mu_old.
+RmNd build_rm_nd(const GsuParameters& params, double mu_1);
+
+}  // namespace gop::core

@@ -1,0 +1,152 @@
+#include "core/sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::core {
+
+const char* parameter_name(GsuParameterId id) {
+  switch (id) {
+    case GsuParameterId::kTheta:
+      return "theta";
+    case GsuParameterId::kLambda:
+      return "lambda";
+    case GsuParameterId::kMuNew:
+      return "mu_new";
+    case GsuParameterId::kMuOld:
+      return "mu_old";
+    case GsuParameterId::kCoverage:
+      return "coverage";
+    case GsuParameterId::kPExt:
+      return "p_ext";
+    case GsuParameterId::kAlpha:
+      return "alpha";
+    case GsuParameterId::kBeta:
+      return "beta";
+  }
+  return "unknown";
+}
+
+double get_parameter(const GsuParameters& params, GsuParameterId id) {
+  switch (id) {
+    case GsuParameterId::kTheta:
+      return params.theta;
+    case GsuParameterId::kLambda:
+      return params.lambda;
+    case GsuParameterId::kMuNew:
+      return params.mu_new;
+    case GsuParameterId::kMuOld:
+      return params.mu_old;
+    case GsuParameterId::kCoverage:
+      return params.coverage;
+    case GsuParameterId::kPExt:
+      return params.p_ext;
+    case GsuParameterId::kAlpha:
+      return params.alpha;
+    case GsuParameterId::kBeta:
+      return params.beta;
+  }
+  throw InternalError("unreachable parameter id");
+}
+
+void set_parameter(GsuParameters& params, GsuParameterId id, double value) {
+  switch (id) {
+    case GsuParameterId::kTheta:
+      params.theta = value;
+      return;
+    case GsuParameterId::kLambda:
+      params.lambda = value;
+      return;
+    case GsuParameterId::kMuNew:
+      params.mu_new = value;
+      return;
+    case GsuParameterId::kMuOld:
+      params.mu_old = value;
+      return;
+    case GsuParameterId::kCoverage:
+      params.coverage = value;
+      return;
+    case GsuParameterId::kPExt:
+      params.p_ext = value;
+      return;
+    case GsuParameterId::kAlpha:
+      params.alpha = value;
+      return;
+    case GsuParameterId::kBeta:
+      params.beta = value;
+      return;
+  }
+  throw InternalError("unreachable parameter id");
+}
+
+std::vector<GsuParameterId> all_parameters() {
+  return {GsuParameterId::kTheta,    GsuParameterId::kLambda, GsuParameterId::kMuNew,
+          GsuParameterId::kMuOld,    GsuParameterId::kCoverage, GsuParameterId::kPExt,
+          GsuParameterId::kAlpha,    GsuParameterId::kBeta};
+}
+
+namespace {
+
+double clamp_parameter(GsuParameterId id, double value) {
+  if (id == GsuParameterId::kCoverage) return std::clamp(value, 0.0, 1.0);
+  if (id == GsuParameterId::kPExt) return std::clamp(value, 1e-9, 1.0);
+  return value;
+}
+
+double evaluate_y(const GsuParameters& params, double phi, const AnalyzerOptions& options) {
+  const PerformabilityAnalyzer analyzer(params, options);
+  return analyzer.evaluate(std::min(phi, params.theta)).y;
+}
+
+}  // namespace
+
+double y_parameter_derivative(const GsuParameters& params, double phi, GsuParameterId id,
+                              double rel_step, const AnalyzerOptions& options) {
+  GOP_REQUIRE(rel_step > 0.0, "rel_step must be positive");
+  const double base = get_parameter(params, id);
+  GOP_REQUIRE(base != 0.0, "finite difference around zero parameter value is unsupported");
+  const double h = std::abs(base) * rel_step;
+
+  GsuParameters up = params;
+  set_parameter(up, id, clamp_parameter(id, base + h));
+  GsuParameters down = params;
+  set_parameter(down, id, clamp_parameter(id, base - h));
+
+  const double actual_step = get_parameter(up, id) - get_parameter(down, id);
+  GOP_REQUIRE(actual_step > 0.0, "parameter clamping collapsed the finite-difference step");
+  return (evaluate_y(up, phi, options) - evaluate_y(down, phi, options)) / actual_step;
+}
+
+double TornadoEntry::swing() const { return std::abs(y_high - y_low); }
+
+std::vector<TornadoEntry> tornado_y(const GsuParameters& params, double phi,
+                                    double rel_variation, const AnalyzerOptions& options) {
+  GOP_REQUIRE(rel_variation > 0.0 && rel_variation < 1.0, "rel_variation must be in (0,1)");
+  const double y_base = evaluate_y(params, phi, options);
+
+  std::vector<TornadoEntry> entries;
+  for (GsuParameterId id : all_parameters()) {
+    const double base = get_parameter(params, id);
+    TornadoEntry entry;
+    entry.parameter = id;
+    entry.y_base = y_base;
+    entry.low_value = clamp_parameter(id, base * (1.0 - rel_variation));
+    entry.high_value = clamp_parameter(id, base * (1.0 + rel_variation));
+
+    GsuParameters low = params;
+    set_parameter(low, id, entry.low_value);
+    GsuParameters high = params;
+    set_parameter(high, id, entry.high_value);
+
+    entry.y_low = evaluate_y(low, phi, options);
+    entry.y_high = evaluate_y(high, phi, options);
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TornadoEntry& a, const TornadoEntry& b) { return a.swing() > b.swing(); });
+  return entries;
+}
+
+}  // namespace gop::core

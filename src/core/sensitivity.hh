@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file sensitivity.hh
+/// Sensitivity of the performability index to the GSU parameters: finite-
+/// difference derivatives of Y(phi) and tornado tables (one-factor-at-a-time
+/// variation), answering the §6-style questions — "which parameter moves the
+/// optimum, and which merely scales Y?" — systematically instead of curve by
+/// curve.
+
+#include <string>
+#include <vector>
+
+#include "core/performability.hh"
+
+namespace gop::core {
+
+/// The scalar fields of GsuParameters, addressable for sweeps.
+enum class GsuParameterId {
+  kTheta,
+  kLambda,
+  kMuNew,
+  kMuOld,
+  kCoverage,
+  kPExt,
+  kAlpha,
+  kBeta,
+};
+
+const char* parameter_name(GsuParameterId id);
+double get_parameter(const GsuParameters& params, GsuParameterId id);
+void set_parameter(GsuParameters& params, GsuParameterId id, double value);
+
+/// All eight parameter ids.
+std::vector<GsuParameterId> all_parameters();
+
+/// dY/dparam at fixed phi, by central finite difference with relative step
+/// `rel_step`. Builds two analyzers per call.
+double y_parameter_derivative(const GsuParameters& params, double phi, GsuParameterId id,
+                              double rel_step = 1e-3, const AnalyzerOptions& options = {});
+
+struct TornadoEntry {
+  GsuParameterId parameter;
+  double low_value = 0.0;   ///< parameter at -variation
+  double high_value = 0.0;  ///< parameter at +variation
+  double y_low = 0.0;       ///< Y(phi) at low_value
+  double y_high = 0.0;      ///< Y(phi) at high_value
+  double y_base = 0.0;
+
+  /// |y_high - y_low|: the bar length in a tornado chart.
+  double swing() const;
+};
+
+/// One-factor-at-a-time variation of every parameter by +/- rel_variation
+/// (coverage is clamped to [0, 1]; phi is clamped to the varied theta when
+/// theta shrinks below it). Sorted by descending swing.
+std::vector<TornadoEntry> tornado_y(const GsuParameters& params, double phi,
+                                    double rel_variation = 0.2,
+                                    const AnalyzerOptions& options = {});
+
+}  // namespace gop::core

@@ -1,0 +1,83 @@
+#include "core/sweep.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::core {
+
+std::vector<double> linspace(double lo, double hi, size_t n) {
+  GOP_REQUIRE(n >= 2, "linspace needs at least two points");
+  GOP_REQUIRE(lo <= hi, "linspace needs lo <= hi");
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  out.back() = hi;  // exact endpoint despite roundoff
+  return out;
+}
+
+std::vector<PerformabilityResult> sweep_phi(const PerformabilityAnalyzer& analyzer,
+                                            const std::vector<double>& phis) {
+  std::vector<PerformabilityResult> results;
+  results.reserve(phis.size());
+  for (double phi : phis) results.push_back(analyzer.evaluate(phi));
+  return results;
+}
+
+OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
+                            const OptimizeOptions& options) {
+  GOP_REQUIRE(options.grid_points >= 3, "need at least three grid points");
+  const double theta = analyzer.parameters().theta;
+
+  // Coarse scan.
+  const std::vector<double> grid = linspace(0.0, theta, options.grid_points);
+  size_t best = 0;
+  double best_y = -1.0;
+  std::vector<double> ys(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    ys[i] = analyzer.evaluate(grid[i]).y;
+    if (ys[i] > best_y) {
+      best_y = ys[i];
+      best = i;
+    }
+  }
+
+  // Golden-section refinement inside the bracket around the best grid point.
+  double lo = grid[best > 0 ? best - 1 : 0];
+  double hi = grid[best + 1 < grid.size() ? best + 1 : grid.size() - 1];
+  const double inv_golden = (std::sqrt(5.0) - 1.0) / 2.0;
+
+  double x1 = hi - inv_golden * (hi - lo);
+  double x2 = lo + inv_golden * (hi - lo);
+  double y1 = analyzer.evaluate(x1).y;
+  double y2 = analyzer.evaluate(x2).y;
+  while (hi - lo > options.phi_tolerance) {
+    if (y1 < y2) {
+      lo = x1;
+      x1 = x2;
+      y1 = y2;
+      x2 = lo + inv_golden * (hi - lo);
+      y2 = analyzer.evaluate(x2).y;
+    } else {
+      hi = x2;
+      x2 = x1;
+      y2 = y1;
+      x1 = hi - inv_golden * (hi - lo);
+      y1 = analyzer.evaluate(x1).y;
+    }
+  }
+
+  OptimalPhi result;
+  result.phi = (lo + hi) / 2.0;
+  result.y = analyzer.evaluate(result.phi).y;
+  // The refinement only ever improves on the grid optimum; keep the better.
+  if (best_y > result.y) {
+    result.phi = grid[best];
+    result.y = best_y;
+  }
+  result.beneficial = result.y > 1.0;
+  return result;
+}
+
+}  // namespace gop::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file sweep.hh
+/// phi-sweeps and optimal-duration search over the performability index —
+/// the engineering question the paper's §6 answers ("which phi maximizes
+/// Y?").
+
+#include <vector>
+
+#include "core/performability.hh"
+
+namespace gop::core {
+
+/// Evenly spaced values from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, size_t n);
+
+/// Evaluates Y at every phi in `phis` (each must be in [0, theta]).
+std::vector<PerformabilityResult> sweep_phi(const PerformabilityAnalyzer& analyzer,
+                                            const std::vector<double>& phis);
+
+struct OptimalPhi {
+  double phi = 0.0;
+  double y = 0.0;
+  /// True when Y(phi*) > 1, i.e. guarded operation is worthwhile at all
+  /// (the paper's c = 0.10 study is the counterexample).
+  bool beneficial = false;
+};
+
+struct OptimizeOptions {
+  /// Coarse grid resolution for the initial scan over [0, theta].
+  size_t grid_points = 41;
+  /// Absolute phi tolerance of the golden-section refinement.
+  double phi_tolerance = 1.0;
+};
+
+/// Maximizes Y over [0, theta]: coarse grid scan, then golden-section
+/// refinement around the best bracket. Y(phi) is smooth and, in the paper's
+/// regimes, unimodal over the bracket the scan selects.
+OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
+                            const OptimizeOptions& options = {});
+
+}  // namespace gop::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file gop.hh
+/// Umbrella header: pulls in the whole public API of the GOP library. For
+/// faster builds include only the headers you need; see README.md for the
+/// module map.
+
+// util — contracts, tables, CLI
+#include "util/cli.hh"        // IWYU pragma: export
+#include "util/error.hh"      // IWYU pragma: export
+#include "util/strings.hh"    // IWYU pragma: export
+#include "util/table.hh"      // IWYU pragma: export
+
+// linalg — matrices and direct solvers
+#include "linalg/csr_matrix.hh"    // IWYU pragma: export
+#include "linalg/dense_matrix.hh"  // IWYU pragma: export
+#include "linalg/gth.hh"           // IWYU pragma: export
+#include "linalg/lu.hh"            // IWYU pragma: export
+#include "linalg/vector_ops.hh"    // IWYU pragma: export
+
+// markov — CTMC reward solvers
+#include "markov/absorbing.hh"      // IWYU pragma: export
+#include "markov/accumulated.hh"    // IWYU pragma: export
+#include "markov/ctmc.hh"           // IWYU pragma: export
+#include "markov/ctmc_sim.hh"       // IWYU pragma: export
+#include "markov/dtmc.hh"           // IWYU pragma: export
+#include "markov/first_passage.hh"  // IWYU pragma: export
+#include "markov/fox_glynn.hh"      // IWYU pragma: export
+#include "markov/krylov.hh"         // IWYU pragma: export
+#include "markov/lumping.hh"        // IWYU pragma: export
+#include "markov/matrix_exp.hh"     // IWYU pragma: export
+#include "markov/importance.hh"     // IWYU pragma: export
+#include "markov/sensitivity.hh"    // IWYU pragma: export
+#include "markov/steady_state.hh"   // IWYU pragma: export
+#include "markov/transient.hh"      // IWYU pragma: export
+#include "markov/uniformization.hh" // IWYU pragma: export
+
+// sim — randomness, statistics, replication
+#include "sim/event_queue.hh"  // IWYU pragma: export
+#include "sim/replication.hh"  // IWYU pragma: export
+#include "sim/rng.hh"          // IWYU pragma: export
+#include "sim/stats.hh"        // IWYU pragma: export
+
+// san — stochastic activity networks
+#include "san/batch_means.hh"      // IWYU pragma: export
+#include "san/compose.hh"          // IWYU pragma: export
+#include "san/dot_export.hh"       // IWYU pragma: export
+#include "san/expr.hh"             // IWYU pragma: export
+#include "san/lint.hh"             // IWYU pragma: export
+#include "san/marking.hh"          // IWYU pragma: export
+#include "san/model.hh"            // IWYU pragma: export
+#include "san/phase_type.hh"       // IWYU pragma: export
+#include "san/reward.hh"           // IWYU pragma: export
+#include "san/reward_variable.hh"  // IWYU pragma: export
+#include "san/simulator.hh"        // IWYU pragma: export
+#include "san/state_space.hh"      // IWYU pragma: export
+
+// core — the paper's GSU performability analysis
+#include "core/approximation.hh"   // IWYU pragma: export
+#include "core/gamma.hh"           // IWYU pragma: export
+#include "core/mc_validator.hh"    // IWYU pragma: export
+#include "core/params.hh"          // IWYU pragma: export
+#include "core/performability.hh"  // IWYU pragma: export
+#include "core/rm_gd.hh"           // IWYU pragma: export
+#include "core/rm_gp.hh"           // IWYU pragma: export
+#include "core/rm_nd.hh"           // IWYU pragma: export
+#include "core/sensitivity.hh"     // IWYU pragma: export
+#include "core/sweep.hh"           // IWYU pragma: export

@@ -1,0 +1,137 @@
+#include "linalg/csr_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::linalg {
+
+CooBuilder::CooBuilder(size_t rows, size_t cols) : rows_(rows), cols_(cols) {}
+
+void CooBuilder::add(size_t row, size_t col, double value) {
+  GOP_REQUIRE(row < rows_ && col < cols_, "CooBuilder::add out of range");
+  if (value == 0.0) return;
+  entries_.push_back(Triplet{row, col, value});
+}
+
+CsrMatrix CooBuilder::build() const {
+  std::vector<Triplet> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  std::vector<size_t> row_ptr(rows_ + 1, 0);
+  std::vector<size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
+
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row && sorted[j].col == sorted[i].col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      ++row_ptr[sorted[i].row + 1];
+      col_idx.push_back(sorted[i].col);
+      values.push_back(sum);
+    }
+    i = j;
+  }
+  for (size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<size_t> row_ptr,
+                     std::vector<size_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  GOP_REQUIRE(row_ptr_.size() == rows_ + 1, "row_ptr must have rows()+1 entries");
+  GOP_REQUIRE(col_idx_.size() == values_.size(), "col_idx/values length mismatch");
+  GOP_REQUIRE(row_ptr_.back() == values_.size(), "row_ptr.back() must equal nnz");
+  for (size_t c : col_idx_) GOP_REQUIRE(c < cols_, "column index out of range");
+}
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense, double drop_tol) {
+  CooBuilder builder(dense.rows(), dense.cols());
+  for (size_t r = 0; r < dense.rows(); ++r)
+    for (size_t c = 0; c < dense.cols(); ++c)
+      if (std::abs(dense(r, c)) > drop_tol) builder.add(r, c, dense(r, c));
+  return builder.build();
+}
+
+std::vector<double> CsrMatrix::left_multiply(const std::vector<double>& x) const {
+  GOP_REQUIRE(x.size() == rows_, "left_multiply: vector length must equal rows()");
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) y[col_idx_[k]] += xr * values_[k];
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::right_multiply(const std::vector<double>& x) const {
+  GOP_REQUIRE(x.size() == cols_, "right_multiply: vector length must equal cols()");
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double CsrMatrix::at(size_t row, size_t col) const {
+  GOP_REQUIRE(row < rows_ && col < cols_, "CsrMatrix::at out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+double CsrMatrix::row_sum(size_t row) const {
+  GOP_REQUIRE(row < rows_, "row_sum out of range");
+  double sum = 0.0;
+  for (size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) sum += values_[k];
+  return sum;
+}
+
+double CsrMatrix::norm_inf() const {
+  double best = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sum += std::abs(values_[k]);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) out(r, col_idx_[k]) += values_[k];
+  return out;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CooBuilder builder(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) builder.add(col_idx_[k], r, values_[k]);
+  return builder.build();
+}
+
+CsrMatrix CsrMatrix::scaled(double s) const {
+  CsrMatrix out = *this;
+  for (double& v : out.values_) v *= s;
+  return out;
+}
+
+}  // namespace gop::linalg

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file csr_matrix.hh
+/// Compressed-sparse-row matrix plus a coordinate-format builder. This is the
+/// storage format for CTMC generator matrices produced by the SAN
+/// reachability generator; uniformization and the iterative steady-state
+/// solvers operate on it directly.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.hh"
+
+namespace gop::linalg {
+
+/// One (row, col, value) entry during matrix assembly.
+struct Triplet {
+  size_t row;
+  size_t col;
+  double value;
+};
+
+class CsrMatrix;
+
+/// Accumulating coordinate-format builder: duplicate (row, col) entries are
+/// summed when the CSR matrix is built, which is exactly what a transition
+/// collector wants (two activities can connect the same pair of markings).
+class CooBuilder {
+ public:
+  CooBuilder(size_t rows, size_t cols);
+
+  void add(size_t row, size_t col, double value);
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  CsrMatrix build() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from explicit CSR arrays. row_ptr.size() == rows + 1.
+  CsrMatrix(size_t rows, size_t cols, std::vector<size_t> row_ptr, std::vector<size_t> col_idx,
+            std::vector<double> values);
+
+  static CsrMatrix from_dense(const DenseMatrix& dense, double drop_tol = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// y = x^T * A. Used by uniformization (probability row vectors).
+  std::vector<double> left_multiply(const std::vector<double>& x) const;
+
+  /// y = A * x.
+  std::vector<double> right_multiply(const std::vector<double>& x) const;
+
+  /// Entry lookup (binary search within the row; 0.0 when absent).
+  double at(size_t row, size_t col) const;
+
+  /// Sum of entries of `row`.
+  double row_sum(size_t row) const;
+
+  /// Maximum absolute row sum.
+  double norm_inf() const;
+
+  DenseMatrix to_dense() const;
+
+  /// A^T in CSR form.
+  CsrMatrix transpose() const;
+
+  /// Returns a copy scaled by `s`.
+  CsrMatrix scaled(double s) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_ptr_{0};
+  std::vector<size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace gop::linalg

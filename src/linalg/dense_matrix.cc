@@ -1,0 +1,137 @@
+#include "linalg/dense_matrix.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::linalg {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  GOP_REQUIRE(!rows.empty(), "from_rows needs at least one row");
+  const size_t cols = rows.front().size();
+  DenseMatrix m(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GOP_REQUIRE(rows[r].size() == cols, "all rows must have the same length");
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::identity(size_t n) {
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+DenseMatrix DenseMatrix::operator+(const DenseMatrix& other) const {
+  DenseMatrix out = *this;
+  out += other;
+  return out;
+}
+
+DenseMatrix DenseMatrix::operator-(const DenseMatrix& other) const {
+  GOP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "dimension mismatch in operator-");
+  DenseMatrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+DenseMatrix& DenseMatrix::operator+=(const DenseMatrix& other) {
+  GOP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "dimension mismatch in operator+=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& other) const {
+  GOP_REQUIRE(cols_ == other.rows_, "dimension mismatch in operator*");
+  DenseMatrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous for both operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+DenseMatrix DenseMatrix::operator*(double scalar) const {
+  DenseMatrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+std::vector<double> DenseMatrix::left_multiply(const std::vector<double>& x) const {
+  GOP_REQUIRE(x.size() == rows_, "left_multiply: vector length must equal rows()");
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) y[c] += xr * row[c];
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::right_multiply(const std::vector<double>& x) const {
+  GOP_REQUIRE(x.size() == cols_, "right_multiply: vector length must equal cols()");
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double DenseMatrix::norm_inf() const {
+  double best = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += std::abs((*this)(r, c));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double DenseMatrix::norm_max() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::string DenseMatrix::to_string(int precision) const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << '[';
+    for (size_t c = 0; c < cols_; ++c) {
+      os << format_compact((*this)(r, c), precision);
+      if (c + 1 != cols_) os << ", ";
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace gop::linalg

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file dense_matrix.hh
+/// Row-major dense matrix used by the matrix-exponential and direct solvers.
+/// The reproduced models have at most a few hundred tangible states, so a
+/// dense representation is both the fastest and the most robust choice for
+/// the stiff transient problems in this paper (see DESIGN.md).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gop::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer-like data; every row must have
+  /// the same length.
+  static DenseMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// The n x n identity.
+  static DenseMatrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous row-major storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  DenseMatrix transpose() const;
+
+  DenseMatrix operator+(const DenseMatrix& other) const;
+  DenseMatrix operator-(const DenseMatrix& other) const;
+  DenseMatrix operator*(const DenseMatrix& other) const;
+  DenseMatrix& operator+=(const DenseMatrix& other);
+  DenseMatrix& operator*=(double scalar);
+  DenseMatrix operator*(double scalar) const;
+
+  /// y = x^T * A (row vector times matrix). x.size() must equal rows().
+  std::vector<double> left_multiply(const std::vector<double>& x) const;
+
+  /// y = A * x. x.size() must equal cols().
+  std::vector<double> right_multiply(const std::vector<double>& x) const;
+
+  /// Maximum absolute row sum (induced infinity norm).
+  double norm_inf() const;
+
+  /// Maximum absolute entry.
+  double norm_max() const;
+
+  /// Human-readable rendering for debugging.
+  std::string to_string(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gop::linalg

@@ -1,0 +1,71 @@
+#include "linalg/gth.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::linalg {
+
+std::vector<double> gth_stationary_ctmc(const DenseMatrix& q) {
+  GOP_REQUIRE(q.square(), "GTH requires a square generator");
+  const size_t n = q.rows();
+  GOP_REQUIRE(n >= 1, "GTH requires a non-empty generator");
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c)
+      GOP_REQUIRE(r == c || q(r, c) >= 0.0, "generator off-diagonals must be non-negative");
+
+  if (n == 1) return {1.0};
+
+  // GTH elimination works only with the off-diagonal entries; the "departure"
+  // rate of a partially eliminated state is recomputed as a sum (never a
+  // difference), which is what makes the algorithm subtraction-free and
+  // numerically exact to relative roundoff.
+  DenseMatrix a = q;
+  std::vector<double> departures(n, 0.0);
+
+  // Fold away states n-1, n-2, ..., 1.
+  for (size_t k = n; k-- > 1;) {
+    double departure = 0.0;
+    for (size_t c = 0; c < k; ++c) departure += a(k, c);
+    if (departure <= 0.0) {
+      throw ModelError(
+          "GTH: eliminated state has no transitions to remaining states; the chain is not "
+          "irreducible");
+    }
+    departures[k] = departure;
+    for (size_t r = 0; r < k; ++r) {
+      const double w = a(r, k) / departure;
+      if (w == 0.0) continue;
+      for (size_t c = 0; c < k; ++c) {
+        if (c == r) continue;
+        a(r, c) += w * a(k, c);
+      }
+    }
+  }
+
+  // Back substitution: pi_k = (sum_{r<k} pi_r * a(r,k)) / departure_k, with
+  // a(r,k) the *accumulated* transition weight into k at its elimination step
+  // (rows r < k were only ever updated in columns < k, so a(r,k) still holds
+  // exactly that value).
+  std::vector<double> pi(n, 0.0);
+  pi[0] = 1.0;
+  for (size_t k = 1; k < n; ++k) {
+    double acc = 0.0;
+    for (size_t r = 0; r < k; ++r) acc += pi[r] * a(r, k);
+    pi[k] = acc / departures[k];
+  }
+  double total = 0.0;
+  for (double v : pi) total += v;
+  GOP_CHECK_NUMERIC(total > 0.0 && std::isfinite(total), "GTH normalization failed");
+  for (double& v : pi) v /= total;
+  return pi;
+}
+
+std::vector<double> gth_stationary_dtmc(const DenseMatrix& p) {
+  GOP_REQUIRE(p.square(), "GTH requires a square matrix");
+  DenseMatrix q = p;
+  for (size_t i = 0; i < p.rows(); ++i) q(i, i) -= 1.0;
+  return gth_stationary_ctmc(q);
+}
+
+}  // namespace gop::linalg

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file gth.hh
+/// Grassmann–Taksar–Heyman (GTH) elimination for the stationary distribution
+/// of an irreducible CTMC or DTMC. GTH is subtraction-free, which makes it
+/// numerically exact to relative roundoff even for stiff generators — the
+/// right default for the paper's RMGp steady-state measures (rates spanning
+/// 1e-8 .. 6e3 per hour).
+
+#include <vector>
+
+#include "linalg/dense_matrix.hh"
+
+namespace gop::linalg {
+
+/// Stationary distribution pi with pi Q = 0, sum(pi) = 1, for an irreducible
+/// generator matrix Q (off-diagonals >= 0, row sums 0). Throws
+/// gop::ModelError when the chain is found to be reducible (a state with no
+/// remaining transitions during elimination).
+std::vector<double> gth_stationary_ctmc(const DenseMatrix& q);
+
+/// Stationary distribution for an irreducible stochastic matrix P
+/// (pi P = pi). Implemented via gth_stationary_ctmc on Q = P - I.
+std::vector<double> gth_stationary_dtmc(const DenseMatrix& p);
+
+}  // namespace gop::linalg

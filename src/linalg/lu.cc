@@ -1,0 +1,105 @@
+#include "linalg/lu.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::linalg {
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  GOP_REQUIRE(lu_.square(), "LU factorization requires a square matrix");
+  const size_t n = lu_.rows();
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below row k.
+    size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    GOP_CHECK_NUMERIC(best > 0.0, "LU pivot is exactly zero: matrix is singular");
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const double pivot_value = lu_(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / pivot_value;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  const size_t n = size();
+  GOP_REQUIRE(b.size() == n, "LU solve: rhs length mismatch");
+  std::vector<double> x(n);
+  // Forward substitution with permutation: L y = P b.
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution: U x = y.
+  for (size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::solve(const DenseMatrix& b) const {
+  GOP_REQUIRE(b.rows() == size(), "LU solve: rhs row count mismatch");
+  DenseMatrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const std::vector<double> sol = solve(col);
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+std::vector<double> LuFactorization::solve_transposed(const std::vector<double>& b) const {
+  const size_t n = size();
+  GOP_REQUIRE(b.size() == n, "LU solve_transposed: rhs length mismatch");
+  // A^T x = b with PA = LU means U^T L^T P x = b: forward-solve U^T z = b,
+  // back-solve L^T w = z, then x = P^T w.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  std::vector<double> w(n);
+  for (size_t i = n; i-- > 0;) {
+    double acc = z[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu_(j, i) * w[j];
+    w[i] = acc;  // L has unit diagonal
+  }
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> lu_solve(const DenseMatrix& a, const std::vector<double>& b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace gop::linalg

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file lu.hh
+/// LU factorization with partial pivoting. Used for direct linear solves in
+/// the Padé matrix exponential and for absorbing-chain analysis (fundamental
+/// matrix systems).
+
+#include <vector>
+
+#include "linalg/dense_matrix.hh"
+
+namespace gop::linalg {
+
+/// Factorization PA = LU of a square matrix.
+class LuFactorization {
+ public:
+  /// Factorizes `a`. Throws gop::NumericalError when a pivot underflows
+  /// (matrix numerically singular).
+  explicit LuFactorization(DenseMatrix a);
+
+  size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-by-column.
+  DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// Solves x^T A = b^T (i.e. A^T x = b).
+  std::vector<double> solve_transposed(const std::vector<double>& b) const;
+
+  /// det(A), from the pivots (may overflow for large ill-scaled systems; only
+  /// used by tests).
+  double determinant() const;
+
+ private:
+  DenseMatrix lu_;           // combined L (unit diagonal, below) and U (on/above)
+  std::vector<size_t> perm_; // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+/// Convenience: one-shot solve of A x = b.
+std::vector<double> lu_solve(const DenseMatrix& a, const std::vector<double>& b);
+
+}  // namespace gop::linalg

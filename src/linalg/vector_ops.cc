@@ -1,0 +1,65 @@
+#include "linalg/vector_ops.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::linalg {
+
+void axpy(double a, const std::vector<double>& x, std::vector<double>& y) {
+  GOP_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  GOP_REQUIRE(x.size() == y.size(), "dot: length mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double sum(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double norm_inf(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double norm_1(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y) {
+  GOP_REQUIRE(x.size() == y.size(), "max_abs_diff: length mismatch");
+  double best = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) best = std::max(best, std::abs(x[i] - y[i]));
+  return best;
+}
+
+void scale(std::vector<double>& x, double a) {
+  for (double& v : x) v *= a;
+}
+
+void normalize_probability(std::vector<double>& x) {
+  const double total = sum(x);
+  GOP_REQUIRE(total > 0.0, "normalize_probability: sum must be positive");
+  scale(x, 1.0 / total);
+}
+
+bool is_probability_vector(const std::vector<double>& x, double tol) {
+  double total = 0.0;
+  for (double v : x) {
+    if (v < -tol || v > 1.0 + tol) return false;
+    total += v;
+  }
+  return std::abs(total - 1.0) <= tol;
+}
+
+}  // namespace gop::linalg

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file vector_ops.hh
+/// Free-function kernels on std::vector<double> used by the solvers.
+
+#include <vector>
+
+namespace gop::linalg {
+
+/// y += a * x
+void axpy(double a, const std::vector<double>& x, std::vector<double>& y);
+
+double dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Sum of entries.
+double sum(const std::vector<double>& x);
+
+/// max |x_i|
+double norm_inf(const std::vector<double>& x);
+
+/// sum |x_i|
+double norm_1(const std::vector<double>& x);
+
+/// max |x_i - y_i|
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y);
+
+void scale(std::vector<double>& x, double a);
+
+/// Scales so entries sum to 1. Requires a strictly positive sum.
+void normalize_probability(std::vector<double>& x);
+
+/// True when every entry is within `tol` of being in [0,1] and the entries
+/// sum to 1 within `tol`. Used by tests and internal sanity checks.
+bool is_probability_vector(const std::vector<double>& x, double tol = 1e-9);
+
+}  // namespace gop::linalg

@@ -1,0 +1,95 @@
+#include "markov/absorbing.hh"
+
+#include "linalg/lu.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+AbsorbingAnalysis analyze_absorbing(const Ctmc& chain) {
+  AbsorbingAnalysis analysis;
+  const size_t n = chain.state_count();
+
+  std::vector<size_t> position(n, SIZE_MAX);  // index within transient_states
+  for (size_t s = 0; s < n; ++s) {
+    if (chain.is_absorbing(s)) {
+      analysis.absorbing_states.push_back(s);
+    } else {
+      position[s] = analysis.transient_states.size();
+      analysis.transient_states.push_back(s);
+    }
+  }
+  GOP_REQUIRE(!analysis.absorbing_states.empty(),
+              "analyze_absorbing requires at least one absorbing state");
+
+  const size_t m = analysis.transient_states.size();
+  if (m == 0) {
+    // Initial distribution already sits on absorbing states.
+    for (size_t a : analysis.absorbing_states) {
+      analysis.absorption_probability.push_back(chain.initial_distribution()[a]);
+    }
+    return analysis;
+  }
+
+  // Transient generator block Q_TT.
+  linalg::DenseMatrix q_tt(m, m, 0.0);
+  for (size_t j = 0; j < m; ++j) q_tt(j, j) = -chain.exit_rates()[analysis.transient_states[j]];
+  for (const Transition& tr : chain.transitions()) {
+    if (tr.from == tr.to) continue;
+    const size_t pf = position[tr.from];
+    const size_t pt = position[tr.to];
+    if (pf != SIZE_MAX && pt != SIZE_MAX) q_tt(pf, pt) += tr.rate;
+  }
+
+  // Expected occupancy before absorption: x^T Q_TT = -pi0_T, i.e.
+  // Q_TT^T x = -pi0_T.
+  std::vector<double> rhs(m, 0.0);
+  for (size_t j = 0; j < m; ++j) rhs[j] = -chain.initial_distribution()[analysis.transient_states[j]];
+  const linalg::LuFactorization lu(q_tt.transpose());
+  analysis.expected_time_in_state = lu.solve(rhs);
+
+  analysis.mean_time_to_absorption = 0.0;
+  for (double v : analysis.expected_time_in_state) {
+    GOP_CHECK_NUMERIC(v > -1e-9, "negative expected occupancy: chain may not absorb surely");
+    analysis.mean_time_to_absorption += v;
+  }
+
+  // Phase-type moments: per-state means m1 solve (-Q_TT) m1 = 1, second
+  // moments m2 solve (-Q_TT) m2 = 2 m1; the chain-level moments follow by
+  // weighting with the initial transient mass.
+  {
+    linalg::DenseMatrix negated = q_tt;
+    negated *= -1.0;
+    const linalg::LuFactorization lu_neg(std::move(negated));
+    const std::vector<double> m1 = lu_neg.solve(std::vector<double>(m, 1.0));
+    std::vector<double> twice_m1 = m1;
+    for (double& v : twice_m1) v *= 2.0;
+    const std::vector<double> m2 = lu_neg.solve(twice_m1);
+    analysis.second_moment_time_to_absorption = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      analysis.second_moment_time_to_absorption +=
+          chain.initial_distribution()[analysis.transient_states[j]] * m2[j];
+    }
+  }
+
+  // Absorption probabilities: flow into each absorbing state plus any initial
+  // mass already there.
+  std::vector<size_t> absorbing_position(n, SIZE_MAX);
+  for (size_t i = 0; i < analysis.absorbing_states.size(); ++i) {
+    absorbing_position[analysis.absorbing_states[i]] = i;
+  }
+  analysis.absorption_probability.assign(analysis.absorbing_states.size(), 0.0);
+  for (size_t i = 0; i < analysis.absorbing_states.size(); ++i) {
+    analysis.absorption_probability[i] = chain.initial_distribution()[analysis.absorbing_states[i]];
+  }
+  for (const Transition& tr : chain.transitions()) {
+    if (tr.from == tr.to) continue;
+    const size_t pf = position[tr.from];
+    const size_t pa = absorbing_position[tr.to];
+    if (pf != SIZE_MAX && pa != SIZE_MAX) {
+      analysis.absorption_probability[pa] += analysis.expected_time_in_state[pf] * tr.rate;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file absorbing.hh
+/// Absorbing-chain analysis: absorption probabilities, expected time to
+/// absorption and expected total time per transient state, via direct solves
+/// against the transient submatrix (the "fundamental matrix" systems).
+/// RMGd and RMNd are absorbing chains, so this supports both sanity checks
+/// and the long-horizon limits of the paper's dependability measures.
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+struct AbsorbingAnalysis {
+  /// Indices of transient (non-absorbing) and absorbing states in the chain.
+  std::vector<size_t> transient_states;
+  std::vector<size_t> absorbing_states;
+
+  /// absorption_probability[i] is the probability, starting from the chain's
+  /// initial distribution, of eventually being absorbed in
+  /// absorbing_states[i]. Sums to 1 when absorption is certain.
+  std::vector<double> absorption_probability;
+
+  /// expected_time_in_state[j] is the expected total time spent in
+  /// transient_states[j] before absorption.
+  std::vector<double> expected_time_in_state;
+
+  /// Expected time to absorption from the initial distribution.
+  double mean_time_to_absorption = 0.0;
+
+  /// E[T^2] of the absorption time (phase-type second moment), from the
+  /// initial distribution.
+  double second_moment_time_to_absorption = 0.0;
+
+  /// Var[T] of the absorption time.
+  double variance_time_to_absorption() const {
+    return second_moment_time_to_absorption - mean_time_to_absorption * mean_time_to_absorption;
+  }
+};
+
+/// Analyzes an absorbing CTMC. Requires at least one absorbing state and
+/// that absorption is certain from every initial state with positive mass
+/// (violations surface as gop::NumericalError from the singular solve).
+AbsorbingAnalysis analyze_absorbing(const Ctmc& chain);
+
+}  // namespace gop::markov

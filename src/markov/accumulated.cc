@@ -1,0 +1,81 @@
+#include "markov/accumulated.hh"
+
+#include "linalg/vector_ops.hh"
+#include "markov/matrix_exp.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+namespace {
+
+AccumulatedMethod resolve(const Ctmc& chain, double t, const AccumulatedOptions& options) {
+  if (options.method != AccumulatedMethod::kAuto) return options.method;
+  const double lambda_t = chain.max_exit_rate() * t;
+  if (chain.state_count() <= options.auto_dense_max_states) {
+    return AccumulatedMethod::kAugmentedExponential;
+  }
+  (void)lambda_t;
+  return AccumulatedMethod::kUniformization;
+}
+
+std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double t) {
+  const size_t n = chain.state_count();
+  const linalg::DenseMatrix q = chain.generator_dense();
+
+  // A = [[Q, I], [0, 0]];  exp(A t) top-right block is \int_0^t e^{Qs} ds.
+  linalg::DenseMatrix augmented(2 * n, 2 * n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) augmented(r, c) = q(r, c);
+    augmented(r, n + r) = 1.0;
+  }
+  const linalg::DenseMatrix expm = matrix_exponential(augmented, t);
+
+  const std::vector<double>& pi0 = chain.initial_distribution();
+  std::vector<double> occupancy(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    if (pi0[r] == 0.0) continue;
+    for (size_t c = 0; c < n; ++c) occupancy[c] += pi0[r] * expm(r, n + c);
+  }
+  return occupancy;
+}
+
+}  // namespace
+
+std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
+                                          const AccumulatedOptions& options) {
+  GOP_REQUIRE(t >= 0.0, "time must be non-negative");
+  if (t == 0.0) return std::vector<double>(chain.state_count(), 0.0);
+
+  switch (resolve(chain, t, options)) {
+    case AccumulatedMethod::kAugmentedExponential:
+      return occupancy_by_augmented_exponential(chain, t);
+    case AccumulatedMethod::kUniformization:
+      return uniformized_accumulated_occupancy(chain, t, options.uniformization);
+    case AccumulatedMethod::kAuto:
+      break;
+  }
+  throw InternalError("unreachable accumulated method");
+}
+
+double accumulated_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,
+                          const AccumulatedOptions& options) {
+  GOP_REQUIRE(state_reward.size() == chain.state_count(), "reward vector length mismatch");
+  const std::vector<double> occupancy = accumulated_occupancy(chain, t, options);
+  return linalg::dot(occupancy, state_reward);
+}
+
+double accumulated_impulse_reward(const Ctmc& chain,
+                                  const std::function<double(const Transition&)>& impulse,
+                                  double t, const AccumulatedOptions& options) {
+  GOP_REQUIRE(static_cast<bool>(impulse), "impulse function must be callable");
+  const std::vector<double> occupancy = accumulated_occupancy(chain, t, options);
+  double total = 0.0;
+  for (const Transition& tr : chain.transitions()) {
+    const double weight = impulse(tr);
+    if (weight == 0.0) continue;
+    total += weight * tr.rate * occupancy[tr.from];
+  }
+  return total;
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file accumulated.hh
+/// Expected accumulated (interval-of-time) rewards over [0, t], mirroring the
+/// paper's "expected accumulated interval-of-time reward for [0, phi]" solver
+/// (Table 1, measure \int_0^phi tau h(tau) dtau).
+///
+/// Default engine: the augmented-generator exponential
+///   exp([[Q, I], [0, 0]] t) = [[e^{Qt}, \int_0^t e^{Qs} ds], [0, I]]
+/// which inherits the stiffness-robustness of the Padé method. A
+/// uniformization-based path is available for cross-checking.
+
+#include <functional>
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "markov/uniformization.hh"
+
+namespace gop::markov {
+
+enum class AccumulatedMethod {
+  kAuto,
+  kAugmentedExponential,
+  kUniformization,
+};
+
+struct AccumulatedOptions {
+  AccumulatedMethod method = AccumulatedMethod::kAuto;
+  UniformizationOptions uniformization;
+  double auto_stiffness_cutoff = 1e5;
+  size_t auto_dense_max_states = 2048;
+};
+
+/// Expected total time spent in each state during [0, t]:
+/// L_s(t) = \int_0^t pi_s(u) du. Sums to t.
+std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
+                                          const AccumulatedOptions& options = {});
+
+/// Expected accumulated rate reward: sum_s L_s(t) * reward[s].
+double accumulated_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,
+                          const AccumulatedOptions& options = {});
+
+/// Expected accumulated impulse reward over [0, t]: each transition fires at
+/// rate `rate` while the chain occupies `from`, earning `impulse(transition)`
+/// per completion, so the expectation is
+///   sum_transitions impulse(tr) * tr.rate * L_{tr.from}(t).
+/// Self-loop transitions contribute (they complete without changing state).
+double accumulated_impulse_reward(const Ctmc& chain,
+                                  const std::function<double(const Transition&)>& impulse,
+                                  double t, const AccumulatedOptions& options = {});
+
+}  // namespace gop::markov

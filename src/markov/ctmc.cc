@@ -1,0 +1,47 @@
+#include "markov/ctmc.hh"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+Ctmc::Ctmc(size_t state_count, std::vector<Transition> transitions, std::vector<double> initial)
+    : state_count_(state_count), transitions_(std::move(transitions)), initial_(std::move(initial)) {
+  GOP_REQUIRE(state_count_ > 0, "a CTMC needs at least one state");
+  GOP_REQUIRE(initial_.size() == state_count_, "initial distribution length mismatch");
+  GOP_REQUIRE(linalg::is_probability_vector(initial_, 1e-9),
+              "initial distribution must be a probability vector");
+
+  linalg::CooBuilder builder(state_count_, state_count_);
+  for (const Transition& t : transitions_) {
+    GOP_REQUIRE(t.from < state_count_ && t.to < state_count_, "transition endpoint out of range");
+    GOP_REQUIRE(t.rate > 0.0 && std::isfinite(t.rate), "transition rates must be positive finite");
+    if (t.from != t.to) builder.add(t.from, t.to, t.rate);
+  }
+  rates_ = builder.build();
+
+  exit_rates_.assign(state_count_, 0.0);
+  for (size_t s = 0; s < state_count_; ++s) {
+    exit_rates_[s] = rates_.row_sum(s);
+    max_exit_rate_ = std::max(max_exit_rate_, exit_rates_[s]);
+  }
+}
+
+bool Ctmc::is_absorbing(size_t state) const {
+  GOP_REQUIRE(state < state_count_, "state index out of range");
+  return exit_rates_[state] == 0.0;
+}
+
+linalg::DenseMatrix Ctmc::generator_dense() const {
+  linalg::DenseMatrix q = rates_.to_dense();
+  for (size_t s = 0; s < state_count_; ++s) q(s, s) -= exit_rates_[s];
+  return q;
+}
+
+Ctmc Ctmc::with_initial(std::vector<double> initial) const {
+  return Ctmc(state_count_, transitions_, std::move(initial));
+}
+
+}  // namespace gop::markov

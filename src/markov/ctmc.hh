@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file ctmc.hh
+/// Continuous-time Markov chain with labelled transitions. This is the base
+/// model type every solver in gop::markov consumes; the SAN reachability
+/// generator produces it.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hh"
+#include "linalg/dense_matrix.hh"
+
+namespace gop::markov {
+
+/// One labelled transition. `label` identifies the SAN activity (or any other
+/// event source) that produced the transition; it exists so impulse rewards
+/// can be attached to activity completions. Self-loops (from == to) are legal
+/// and contribute to impulse rewards but not to the rate matrix.
+struct Transition {
+  size_t from = 0;
+  size_t to = 0;
+  double rate = 0.0;
+  int label = -1;
+};
+
+class Ctmc {
+ public:
+  /// Builds a CTMC over `state_count` states. `initial` must be a probability
+  /// vector of that length; transition rates must be positive and finite.
+  Ctmc(size_t state_count, std::vector<Transition> transitions, std::vector<double> initial);
+
+  size_t state_count() const { return state_count_; }
+
+  /// All transitions as given (self-loops included).
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Off-diagonal rate matrix R (self-loops excluded, parallel transitions
+  /// summed). The generator is Q = R - diag(exit_rates()).
+  const linalg::CsrMatrix& rate_matrix() const { return rates_; }
+
+  /// Exit rate of each state (sum of off-diagonal outgoing rates).
+  const std::vector<double>& exit_rates() const { return exit_rates_; }
+
+  double max_exit_rate() const { return max_exit_rate_; }
+
+  const std::vector<double>& initial_distribution() const { return initial_; }
+
+  /// True when the state has no outgoing (non-self-loop) transitions.
+  bool is_absorbing(size_t state) const;
+
+  /// Dense generator Q (for the direct solvers; fine at this library's model
+  /// sizes).
+  linalg::DenseMatrix generator_dense() const;
+
+  /// Returns a copy of this chain with a different initial distribution.
+  Ctmc with_initial(std::vector<double> initial) const;
+
+ private:
+  size_t state_count_;
+  std::vector<Transition> transitions_;
+  linalg::CsrMatrix rates_;
+  std::vector<double> exit_rates_;
+  std::vector<double> initial_;
+  double max_exit_rate_ = 0.0;
+};
+
+}  // namespace gop::markov

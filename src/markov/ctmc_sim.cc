@@ -1,0 +1,79 @@
+#include "markov/ctmc_sim.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::markov {
+
+CtmcPathOutcome simulate_ctmc(const Ctmc& chain, sim::Rng& rng, double t_end,
+                              const std::function<bool(size_t)>& stop,
+                              const StateSojournObserver& on_sojourn) {
+  GOP_REQUIRE(t_end >= 0.0 && std::isfinite(t_end), "t_end must be non-negative and finite");
+
+  // Sample the initial state.
+  size_t state = rng.categorical(chain.initial_distribution());
+  double now = 0.0;
+  if (stop && stop(state)) return CtmcPathOutcome{state, now, true};
+
+  const linalg::CsrMatrix& rates = chain.rate_matrix();
+  while (now < t_end) {
+    const double exit = chain.exit_rates()[state];
+    if (exit == 0.0) {
+      if (on_sojourn) on_sojourn(state, now, t_end);
+      return CtmcPathOutcome{state, t_end, false};
+    }
+    const double leave = now + rng.exponential(exit);
+    if (leave >= t_end) {
+      if (on_sojourn) on_sojourn(state, now, t_end);
+      return CtmcPathOutcome{state, t_end, false};
+    }
+    if (on_sojourn) on_sojourn(state, now, leave);
+    now = leave;
+
+    // Pick the destination proportionally to the outgoing rates.
+    const size_t begin = rates.row_ptr()[state];
+    const size_t end = rates.row_ptr()[state + 1];
+    double u = rng.uniform() * exit;
+    size_t next = rates.col_idx()[end - 1];
+    for (size_t k = begin; k < end; ++k) {
+      u -= rates.values()[k];
+      if (u < 0.0) {
+        next = rates.col_idx()[k];
+        break;
+      }
+    }
+    state = next;
+    if (stop && stop(state)) return CtmcPathOutcome{state, now, true};
+  }
+  return CtmcPathOutcome{state, t_end, false};
+}
+
+sim::ReplicationResult mc_instant_reward(const Ctmc& chain, const std::vector<double>& reward,
+                                         double t, const sim::ReplicationOptions& options) {
+  GOP_REQUIRE(reward.size() == chain.state_count(), "reward vector length mismatch");
+  return sim::run_replications(
+      [&](sim::Rng& rng) {
+        const CtmcPathOutcome outcome = simulate_ctmc(chain, rng, t);
+        return reward[outcome.state];
+      },
+      options);
+}
+
+sim::ReplicationResult mc_accumulated_reward(const Ctmc& chain,
+                                             const std::vector<double>& reward, double t,
+                                             const sim::ReplicationOptions& options) {
+  GOP_REQUIRE(reward.size() == chain.state_count(), "reward vector length mismatch");
+  return sim::run_replications(
+      [&](sim::Rng& rng) {
+        double total = 0.0;
+        simulate_ctmc(chain, rng, t, nullptr,
+                      [&](size_t state, double enter, double leave) {
+                        total += reward[state] * (leave - enter);
+                      });
+        return total;
+      },
+      options);
+}
+
+}  // namespace gop::markov

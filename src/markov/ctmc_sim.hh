@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file ctmc_sim.hh
+/// Trajectory simulation directly on a CTMC (typically one produced by SAN
+/// reachability generation). Unlike simulating the SAN itself, the chain has
+/// no self-loop events, so a trajectory costs one exponential draw per
+/// *state change* — for the GSU models that is a handful of events per
+/// 10,000-hour mission instead of tens of millions of message completions.
+
+#include <functional>
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "sim/replication.hh"
+#include "sim/rng.hh"
+
+namespace gop::markov {
+
+/// Observes maximal sojourns: state, entry time, exit time.
+using StateSojournObserver = std::function<void(size_t state, double enter, double leave)>;
+
+struct CtmcPathOutcome {
+  size_t state = 0;
+  double time = 0.0;
+  bool stopped = false;  ///< stop predicate hit before t_end
+};
+
+/// Simulates one trajectory from the chain's initial distribution until
+/// `t_end` or until `stop(state)` first holds (checked on entry to every
+/// state, including the initial one). Observers may be null.
+CtmcPathOutcome simulate_ctmc(const Ctmc& chain, sim::Rng& rng, double t_end,
+                              const std::function<bool(size_t)>& stop = nullptr,
+                              const StateSojournObserver& on_sojourn = nullptr);
+
+/// Monte Carlo estimate of the instant-of-time reward at t.
+sim::ReplicationResult mc_instant_reward(const Ctmc& chain, const std::vector<double>& reward,
+                                         double t, const sim::ReplicationOptions& options = {});
+
+/// Monte Carlo estimate of the rate reward accumulated over [0, t].
+sim::ReplicationResult mc_accumulated_reward(const Ctmc& chain,
+                                             const std::vector<double>& reward, double t,
+                                             const sim::ReplicationOptions& options = {});
+
+}  // namespace gop::markov

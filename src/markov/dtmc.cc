@@ -1,0 +1,77 @@
+#include "markov/dtmc.hh"
+
+#include <cmath>
+
+#include "linalg/gth.hh"
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+Dtmc::Dtmc(linalg::CsrMatrix p, std::vector<double> initial)
+    : p_(std::move(p)), initial_(std::move(initial)) {
+  GOP_REQUIRE(p_.rows() == p_.cols(), "transition matrix must be square");
+  GOP_REQUIRE(initial_.size() == p_.rows(), "initial distribution length mismatch");
+  GOP_REQUIRE(linalg::is_probability_vector(initial_, 1e-9),
+              "initial distribution must be a probability vector");
+  for (size_t r = 0; r < p_.rows(); ++r) {
+    const double sum = p_.row_sum(r);
+    GOP_REQUIRE(std::abs(sum - 1.0) <= 1e-9,
+                str_format("row %zu of the transition matrix sums to %.12g, expected 1", r, sum));
+  }
+  for (double v : p_.values()) GOP_REQUIRE(v >= 0.0, "transition probabilities must be >= 0");
+}
+
+Dtmc Dtmc::embedded_jump_chain(const Ctmc& chain) {
+  linalg::CooBuilder builder(chain.state_count(), chain.state_count());
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    const double exit = chain.exit_rates()[s];
+    if (exit == 0.0) {
+      builder.add(s, s, 1.0);  // absorbing: stay forever
+      continue;
+    }
+    const auto& rates = chain.rate_matrix();
+    for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+      builder.add(s, rates.col_idx()[k], rates.values()[k] / exit);
+    }
+  }
+  return Dtmc(builder.build(), chain.initial_distribution());
+}
+
+Dtmc Dtmc::uniformized(const Ctmc& chain, double rate_slack) {
+  GOP_REQUIRE(rate_slack >= 1.0, "rate_slack must be >= 1");
+  const double lambda =
+      chain.max_exit_rate() > 0.0 ? chain.max_exit_rate() * rate_slack : 1.0;
+  linalg::CooBuilder builder(chain.state_count(), chain.state_count());
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    builder.add(s, s, 1.0 - chain.exit_rates()[s] / lambda);
+    const auto& rates = chain.rate_matrix();
+    for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+      builder.add(s, rates.col_idx()[k], rates.values()[k] / lambda);
+    }
+  }
+  return Dtmc(builder.build(), chain.initial_distribution());
+}
+
+std::vector<double> Dtmc::distribution_after(size_t steps) const {
+  std::vector<double> v = initial_;
+  for (size_t i = 0; i < steps; ++i) v = p_.left_multiply(v);
+  return v;
+}
+
+std::vector<double> Dtmc::step(const std::vector<double>& v) const {
+  GOP_REQUIRE(v.size() == state_count(), "distribution length mismatch");
+  return p_.left_multiply(v);
+}
+
+std::vector<double> Dtmc::stationary_distribution() const {
+  return linalg::gth_stationary_dtmc(p_.to_dense());
+}
+
+double Dtmc::expected_reward_after(const std::vector<double>& state_reward, size_t steps) const {
+  GOP_REQUIRE(state_reward.size() == state_count(), "reward vector length mismatch");
+  return linalg::dot(distribution_after(steps), state_reward);
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file dtmc.hh
+/// Discrete-time Markov chains: the embedded jump chain and the uniformized
+/// chain of a CTMC, step-wise transient solution, and stationary analysis.
+/// Useful on their own (per-event analyses such as "which activity completes
+/// first") and as building blocks for the iterative CTMC solvers.
+
+#include <vector>
+
+#include "linalg/csr_matrix.hh"
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+class Dtmc {
+ public:
+  /// `p` must be row-stochastic (each row sums to 1 within 1e-9); `initial`
+  /// a probability vector.
+  Dtmc(linalg::CsrMatrix p, std::vector<double> initial);
+
+  /// The embedded jump chain of a CTMC: P(s -> s') = rate(s -> s') / exit(s).
+  /// Absorbing CTMC states become self-loop states (probability 1).
+  static Dtmc embedded_jump_chain(const Ctmc& chain);
+
+  /// The uniformized chain P = I + Q/Lambda with Lambda = max exit rate
+  /// times `rate_slack` (>= 1).
+  static Dtmc uniformized(const Ctmc& chain, double rate_slack = 1.02);
+
+  size_t state_count() const { return p_.rows(); }
+  const linalg::CsrMatrix& transition_matrix() const { return p_; }
+  const std::vector<double>& initial_distribution() const { return initial_; }
+
+  /// Distribution after exactly `steps` transitions.
+  std::vector<double> distribution_after(size_t steps) const;
+
+  /// One step from an arbitrary distribution: v P.
+  std::vector<double> step(const std::vector<double>& v) const;
+
+  /// Stationary distribution (GTH on P - I); requires irreducibility.
+  std::vector<double> stationary_distribution() const;
+
+  /// Expected reward of the state occupied after `steps` transitions.
+  double expected_reward_after(const std::vector<double>& state_reward, size_t steps) const;
+
+ private:
+  linalg::CsrMatrix p_;
+  std::vector<double> initial_;
+};
+
+}  // namespace gop::markov

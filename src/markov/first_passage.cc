@@ -1,0 +1,112 @@
+#include "markov/first_passage.hh"
+
+#include <cmath>
+
+#include "markov/absorbing.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+void validate_target(const Ctmc& chain, const std::vector<bool>& target) {
+  GOP_REQUIRE(target.size() == chain.state_count(), "target mask length mismatch");
+  bool any = false;
+  for (bool b : target) any |= b;
+  GOP_REQUIRE(any, "target set must not be empty");
+}
+
+}  // namespace
+
+Ctmc make_target_absorbing(const Ctmc& chain, const std::vector<bool>& target) {
+  validate_target(chain, target);
+  std::vector<Transition> kept;
+  kept.reserve(chain.transitions().size());
+  for (const Transition& tr : chain.transitions()) {
+    if (!target[tr.from]) kept.push_back(tr);
+  }
+  return Ctmc(chain.state_count(), std::move(kept), chain.initial_distribution());
+}
+
+double first_passage_cdf(const Ctmc& chain, const std::vector<bool>& target, double t,
+                         const TransientOptions& options) {
+  validate_target(chain, target);
+  const Ctmc modified = make_target_absorbing(chain, target);
+  const std::vector<double> pi = transient_distribution(modified, t, options);
+  double mass = 0.0;
+  for (size_t s = 0; s < pi.size(); ++s) {
+    if (target[s]) mass += pi[s];
+  }
+  return mass;
+}
+
+FirstPassageSummary first_passage_summary(const Ctmc& chain, const std::vector<bool>& target) {
+  validate_target(chain, target);
+  const Ctmc modified = make_target_absorbing(chain, target);
+
+  // Every state of the modified chain must lead to absorption; a recurrent
+  // non-absorbing component shows up as a singular (or negative-occupancy)
+  // fundamental system in analyze_absorbing.
+  AbsorbingAnalysis analysis;
+  try {
+    analysis = analyze_absorbing(modified);
+  } catch (const NumericalError& e) {
+    throw ModelError(std::string("first_passage_summary: the chain does not absorb almost "
+                                 "surely once the target is made absorbing (") +
+                     e.what() + ")");
+  }
+
+  FirstPassageSummary summary;
+  summary.mean_time_to_absorption = analysis.mean_time_to_absorption;
+  summary.std_time_to_absorption =
+      std::sqrt(std::max(0.0, analysis.variance_time_to_absorption()));
+  for (size_t i = 0; i < analysis.absorbing_states.size(); ++i) {
+    if (target[analysis.absorbing_states[i]]) {
+      summary.hit_probability += analysis.absorption_probability[i];
+    }
+  }
+  return summary;
+}
+
+double first_passage_quantile(const Ctmc& chain, const std::vector<bool>& target, double p,
+                              double rel_tol, const TransientOptions& options) {
+  GOP_REQUIRE(p > 0.0 && p < 1.0, "quantile level must be in (0,1)");
+  GOP_REQUIRE(rel_tol > 0.0, "rel_tol must be positive");
+  validate_target(chain, target);
+
+  if (first_passage_cdf(chain, target, 0.0, options) >= p) return 0.0;
+
+  // Exponential bracketing from the natural time scale of the chain.
+  double hi = 1.0 / std::max(chain.max_exit_rate(), 1e-12);
+  double lo = 0.0;
+  int doublings = 0;
+  while (first_passage_cdf(chain, target, hi, options) < p) {
+    lo = hi;
+    hi *= 2.0;
+    GOP_REQUIRE(++doublings < 128,
+                str_format("quantile level %.3g appears to exceed the eventual hit probability",
+                           p));
+  }
+
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (first_passage_cdf(chain, target, mid, options) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<bool> target_mask(size_t state_count, const std::vector<size_t>& states) {
+  std::vector<bool> mask(state_count, false);
+  for (size_t s : states) {
+    GOP_REQUIRE(s < state_count, "target state index out of range");
+    mask[s] = true;
+  }
+  return mask;
+}
+
+}  // namespace gop::markov

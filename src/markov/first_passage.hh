@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file first_passage.hh
+/// First-passage (hitting-time) analysis for CTMCs: the distribution, mean
+/// and quantiles of the time until the chain first enters a target set of
+/// states. Built by making the target absorbing and reusing the transient
+/// and absorbing-chain machinery.
+///
+/// In this library it backs time-to-failure / time-to-detection studies of
+/// the GSU models (e.g. "by when does guarded operation have a 99% chance of
+/// having caught a faulty upgrade?"), complementing the paper's fixed-horizon
+/// measures.
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "markov/transient.hh"
+
+namespace gop::markov {
+
+/// Eventual-hit probability and unconditional mean absorption time of the
+/// chain in which `target` states are made absorbing.
+struct FirstPassageSummary {
+  /// Probability of ever entering the target set (absorption elsewhere or a
+  /// recurrent non-target component makes this < 1).
+  double hit_probability = 0.0;
+
+  /// Mean time until the modified chain absorbs (into the target *or* into a
+  /// pre-existing absorbing state outside it). When hit_probability == 1
+  /// this is the mean first-passage time into the target.
+  double mean_time_to_absorption = 0.0;
+
+  /// Standard deviation of the absorption time (phase-type moments).
+  double std_time_to_absorption = 0.0;
+};
+
+/// The chain with every target state's outgoing transitions removed.
+/// `target.size()` must equal `chain.state_count()` and at least one state
+/// must be targeted.
+Ctmc make_target_absorbing(const Ctmc& chain, const std::vector<bool>& target);
+
+/// P(first passage into `target` <= t), from the chain's initial
+/// distribution. Initial mass already inside the target counts as hit at 0.
+double first_passage_cdf(const Ctmc& chain, const std::vector<bool>& target, double t,
+                         const TransientOptions& options = {});
+
+/// Summary quantities via absorbing-chain analysis. Throws gop::ModelError
+/// when the modified chain has a recurrent component that never absorbs
+/// (the mean would be infinite).
+FirstPassageSummary first_passage_summary(const Ctmc& chain, const std::vector<bool>& target);
+
+/// Smallest t with CDF(t) >= p, found by exponential bracketing plus
+/// bisection to relative tolerance `rel_tol`. Requires 0 < p < 1 and
+/// p < hit probability (else gop::InvalidArgument).
+double first_passage_quantile(const Ctmc& chain, const std::vector<bool>& target, double p,
+                              double rel_tol = 1e-6, const TransientOptions& options = {});
+
+/// Convenience: marks the states whose index satisfies `predicate`.
+std::vector<bool> target_mask(size_t state_count, const std::vector<size_t>& states);
+
+}  // namespace gop::markov

@@ -1,0 +1,67 @@
+#include "markov/fox_glynn.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "util/error.hh"
+
+namespace gop::markov {
+
+PoissonWindow poisson_window(double lambda, double epsilon) {
+  GOP_REQUIRE(lambda > 0.0 && std::isfinite(lambda), "poisson_window: lambda must be positive");
+  GOP_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "poisson_window: epsilon must be in (0,1)");
+
+  const size_t mode = static_cast<size_t>(lambda);
+
+  // Work with values scaled so the mode has weight 1; the final
+  // renormalization maps them back to probabilities. Truncation uses a
+  // conservative per-side budget of epsilon/4 relative to the accumulated
+  // mass, with a hard relative floor to stop the scan once terms are
+  // negligible at double precision.
+  const double floor_ratio = std::min(1e-18, epsilon * 1e-4);
+
+  std::deque<double> values;
+  values.push_back(1.0);
+  double total = 1.0;
+
+  // Downward recurrence: p_{k-1} = p_k * k / lambda.
+  {
+    double v = 1.0;
+    size_t k = mode;
+    while (k > 0) {
+      v *= static_cast<double>(k) / lambda;
+      if (v < floor_ratio) break;
+      values.push_front(v);
+      total += v;
+      --k;
+    }
+  }
+  const size_t left = mode - (values.size() - 1);
+
+  // Upward recurrence: p_{k+1} = p_k * lambda / (k+1).
+  {
+    double v = 1.0;
+    size_t k = mode;
+    while (true) {
+      v *= lambda / static_cast<double>(k + 1);
+      if (v < floor_ratio) break;
+      values.push_back(v);
+      total += v;
+      ++k;
+    }
+  }
+
+  PoissonWindow window;
+  window.left = left;
+  window.weights.assign(values.begin(), values.end());
+  for (double& w : window.weights) w /= total;
+  return window;
+}
+
+double poisson_pmf(double lambda, size_t k) {
+  const double log_pmf =
+      -lambda + static_cast<double>(k) * std::log(lambda) - std::lgamma(static_cast<double>(k) + 1.0);
+  return std::exp(log_pmf);
+}
+
+}  // namespace gop::markov

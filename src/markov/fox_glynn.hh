@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file fox_glynn.hh
+/// Truncated, normalized Poisson probabilities for uniformization, in the
+/// spirit of Fox & Glynn (1988): weights are computed outward from the mode
+/// with scaled recurrences (no factorials, no overflow) and renormalized so
+/// the truncated window sums to exactly one.
+
+#include <cstddef>
+#include <vector>
+
+namespace gop::markov {
+
+struct PoissonWindow {
+  /// First index of the window: weights[i] approximates Poisson(lambda)
+  /// probability of (left + i).
+  size_t left = 0;
+  std::vector<double> weights;
+
+  size_t right() const { return left + weights.size() - 1; }
+};
+
+/// Computes the truncation window for Poisson(lambda) with total truncated
+/// tail mass below `epsilon`. lambda must be positive and finite; for very
+/// large lambda the window has O(sqrt(lambda)) entries.
+PoissonWindow poisson_window(double lambda, double epsilon = 1e-12);
+
+/// Reference Poisson pmf via lgamma, used by tests to validate the window.
+double poisson_pmf(double lambda, size_t k);
+
+}  // namespace gop::markov

@@ -1,0 +1,100 @@
+#include "markov/importance.hh"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+namespace {
+
+/// Per-state outgoing transitions with true and biased rates, precomputed
+/// once per estimator call.
+struct BiasedChain {
+  struct Edge {
+    size_t to;
+    double true_rate;
+    double biased_rate;
+  };
+
+  std::vector<std::vector<Edge>> edges;  // per state
+  std::vector<double> true_exit;
+  std::vector<double> biased_exit;
+
+  BiasedChain(const Ctmc& chain, const std::function<bool(const Transition&)>& is_rare,
+              double bias_factor) {
+    const size_t n = chain.state_count();
+    edges.resize(n);
+    true_exit.assign(n, 0.0);
+    biased_exit.assign(n, 0.0);
+    for (const Transition& tr : chain.transitions()) {
+      if (tr.from == tr.to) continue;  // self-loops are invisible to the path law
+      const double biased = is_rare(tr) ? tr.rate * bias_factor : tr.rate;
+      edges[tr.from].push_back(Edge{tr.to, tr.rate, biased});
+      true_exit[tr.from] += tr.rate;
+      biased_exit[tr.from] += biased;
+    }
+  }
+};
+
+}  // namespace
+
+BiasedPathOutcome simulate_biased(const Ctmc& chain, sim::Rng& rng, double t_end,
+                                  const std::function<bool(const Transition&)>& is_rare,
+                                  const ImportanceOptions& options) {
+  GOP_REQUIRE(t_end >= 0.0 && std::isfinite(t_end), "t_end must be non-negative and finite");
+  GOP_REQUIRE(static_cast<bool>(is_rare), "is_rare must be callable");
+  GOP_REQUIRE(options.bias_factor > 0.0, "bias_factor must be positive");
+
+  const BiasedChain biased(chain, is_rare, options.bias_factor);
+
+  BiasedPathOutcome outcome;
+  outcome.state = rng.categorical(chain.initial_distribution());
+  double now = 0.0;
+
+  while (true) {
+    const double exit = biased.biased_exit[outcome.state];
+    const double true_exit = biased.true_exit[outcome.state];
+    if (exit == 0.0) return outcome;  // absorbing under both laws
+
+    const double dwell = rng.exponential(exit);
+    if (now + dwell >= t_end) {
+      // Survive the final segment without a jump.
+      outcome.likelihood *= std::exp(-(true_exit - exit) * (t_end - now));
+      return outcome;
+    }
+    outcome.likelihood *= std::exp(-(true_exit - exit) * dwell);
+    now += dwell;
+
+    // Pick an edge proportionally to the biased rates.
+    const auto& out_edges = biased.edges[outcome.state];
+    double u = rng.uniform() * exit;
+    const BiasedChain::Edge* chosen = &out_edges.back();
+    for (const auto& edge : out_edges) {
+      u -= edge.biased_rate;
+      if (u < 0.0) {
+        chosen = &edge;
+        break;
+      }
+    }
+    outcome.likelihood *= chosen->true_rate / chosen->biased_rate;
+    outcome.state = chosen->to;
+  }
+}
+
+sim::ReplicationResult is_instant_reward(const Ctmc& chain, const std::vector<double>& reward,
+                                         double t,
+                                         const std::function<bool(const Transition&)>& is_rare,
+                                         const ImportanceOptions& is_options,
+                                         const sim::ReplicationOptions& options) {
+  GOP_REQUIRE(reward.size() == chain.state_count(), "reward vector length mismatch");
+  return sim::run_replications(
+      [&](sim::Rng& rng) {
+        const BiasedPathOutcome outcome = simulate_biased(chain, rng, t, is_rare, is_options);
+        return outcome.likelihood * reward[outcome.state];
+      },
+      options);
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file importance.hh
+/// Importance sampling for rare-event CTMC estimation. The GSU models mix
+/// message-scale rates (~1e3/h) with fault-scale rates (~1e-4/h), so crude
+/// Monte Carlo sees almost no fault paths within a mission. Rate biasing
+/// multiplies the rates of designated "rare" transitions during simulation
+/// and corrects with the exact path likelihood ratio
+///
+///   L = prod_jumps (true rate / biased rate)
+///       * exp( -(true exit - biased exit) integrated over sojourns )
+///
+/// which keeps every estimator unbiased while concentrating samples on the
+/// interesting paths.
+
+#include <functional>
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "sim/replication.hh"
+#include "sim/rng.hh"
+
+namespace gop::markov {
+
+struct ImportanceOptions {
+  /// Multiplier applied to the rates of transitions selected by `is_rare`.
+  double bias_factor = 100.0;
+};
+
+/// One biased trajectory: simulates the chain with biased rates until t_end,
+/// returns the terminal state and the accumulated likelihood ratio.
+struct BiasedPathOutcome {
+  size_t state = 0;
+  double likelihood = 1.0;
+};
+
+BiasedPathOutcome simulate_biased(const Ctmc& chain, sim::Rng& rng, double t_end,
+                                  const std::function<bool(const Transition&)>& is_rare,
+                                  const ImportanceOptions& options = {});
+
+/// Importance-sampled estimate of the instant-of-time reward at t. The
+/// returned statistics are over the weighted samples; the mean is unbiased
+/// for E[reward(X_t)].
+sim::ReplicationResult is_instant_reward(const Ctmc& chain, const std::vector<double>& reward,
+                                         double t,
+                                         const std::function<bool(const Transition&)>& is_rare,
+                                         const ImportanceOptions& is_options = {},
+                                         const sim::ReplicationOptions& options = {});
+
+}  // namespace gop::markov

@@ -1,0 +1,133 @@
+#include "markov/krylov.hh"
+
+#include <cmath>
+
+#include "linalg/dense_matrix.hh"
+#include "linalg/vector_ops.hh"
+#include "markov/matrix_exp.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+double norm2(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+struct ArnoldiResult {
+  std::vector<std::vector<double>> basis;  // orthonormal vectors v_1..v_k
+  linalg::DenseMatrix h;                   // (k+1) x k Hessenberg entries
+  size_t dimension = 0;                    // k actually built
+  bool happy_breakdown = false;            // invariant subspace found
+};
+
+/// Arnoldi with modified Gram-Schmidt (plus one reorthogonalization pass).
+ArnoldiResult arnoldi(const linalg::CsrMatrix& a, const std::vector<double>& v0, size_t m) {
+  ArnoldiResult result;
+  result.h = linalg::DenseMatrix(m + 1, m, 0.0);
+  result.basis.push_back(v0);
+
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<double> w = a.right_multiply(result.basis[j]);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i <= j; ++i) {
+        const double coefficient = linalg::dot(w, result.basis[i]);
+        if (coefficient == 0.0) continue;
+        linalg::axpy(-coefficient, result.basis[i], w);
+        result.h(i, j) += coefficient;
+      }
+    }
+    const double next_norm = norm2(w);
+    result.h(j + 1, j) = next_norm;
+    result.dimension = j + 1;
+    if (next_norm <= 1e-14) {
+      result.happy_breakdown = true;
+      break;
+    }
+    linalg::scale(w, 1.0 / next_norm);
+    result.basis.push_back(std::move(w));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
+                                const std::vector<double>& v, const KrylovOptions& options) {
+  GOP_REQUIRE(a.rows() == a.cols(), "krylov_expv requires a square matrix");
+  GOP_REQUIRE(v.size() == a.rows(), "vector length mismatch");
+  GOP_REQUIRE(std::isfinite(t) && t >= 0.0, "t must be non-negative and finite");
+  GOP_REQUIRE(options.basis_dimension >= 2, "basis dimension must be at least 2");
+
+  const size_t n = a.rows();
+  std::vector<double> w = v;
+  if (t == 0.0) return w;
+
+  const size_t m = std::min(options.basis_dimension, n);
+  double remaining = t;
+  double tau = t;
+  size_t substeps = 0;
+
+  while (remaining > 0.0) {
+    GOP_CHECK_NUMERIC(++substeps <= options.max_substeps,
+                      str_format("krylov_expv exceeded %zu sub-steps; the problem is too stiff "
+                                 "for the configured tolerance",
+                                 options.max_substeps));
+
+    const double beta = norm2(w);
+    if (beta == 0.0) return w;  // exp(tA) 0 = 0
+
+    std::vector<double> v1 = w;
+    linalg::scale(v1, 1.0 / beta);
+    const ArnoldiResult krylov = arnoldi(a, v1, m);
+    const size_t k = krylov.dimension;
+
+    tau = std::min(tau, remaining);
+    while (true) {
+      // Dense exponential of the k x k Hessenberg block.
+      linalg::DenseMatrix hk(k, k, 0.0);
+      for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < k; ++c) hk(r, c) = krylov.h(r, c);
+      const linalg::DenseMatrix f = matrix_exponential(hk, tau);
+
+      // Leading local-error term (Saad): beta * h_{k+1,k} * |e_k^T F e_1|.
+      const double residual =
+          krylov.happy_breakdown ? 0.0 : krylov.h(k, k - 1) * std::abs(f(k - 1, 0));
+      const double error_estimate = beta * residual * tau;
+
+      if (error_estimate <= options.tolerance * std::max(beta, 1.0) || tau <= remaining * 1e-12) {
+        // Accept: w = beta * V_k (F e_1).
+        std::vector<double> combination(n, 0.0);
+        for (size_t i = 0; i < k; ++i) {
+          linalg::axpy(beta * f(i, 0), krylov.basis[i], combination);
+        }
+        w = std::move(combination);
+        remaining -= tau;
+        tau *= 1.3;  // optimistic growth, halved again on the next rejection
+        break;
+      }
+      tau *= 0.5;
+    }
+  }
+  return w;
+}
+
+std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
+                                                  const KrylovOptions& options) {
+  // pi(t)^T = pi(0)^T exp(Q t)  <=>  pi(t) = exp(Q^T t) pi(0).
+  linalg::CooBuilder builder(chain.state_count(), chain.state_count());
+  const linalg::CsrMatrix& rates = chain.rate_matrix();
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    if (chain.exit_rates()[s] != 0.0) builder.add(s, s, -chain.exit_rates()[s]);
+    for (size_t kk = rates.row_ptr()[s]; kk < rates.row_ptr()[s + 1]; ++kk) {
+      builder.add(rates.col_idx()[kk], s, rates.values()[kk]);  // transposed
+    }
+  }
+  return krylov_expv(builder.build(), t, chain.initial_distribution(), options);
+}
+
+}  // namespace gop::markov

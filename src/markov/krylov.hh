@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file krylov.hh
+/// Krylov-subspace approximation of the action of the matrix exponential,
+/// w = exp(t A) v, after Sidje's EXPOKIT: an Arnoldi basis of modest
+/// dimension projects A onto a small Hessenberg matrix whose dense
+/// exponential is cheap; adaptive sub-stepping controls the error. This is
+/// the transient engine for chains too large for dense n^3 work but too
+/// stiff for plain uniformization.
+
+#include <vector>
+
+#include "linalg/csr_matrix.hh"
+#include "markov/ctmc.hh"
+#include "markov/transient.hh"
+
+namespace gop::markov {
+
+struct KrylovOptions {
+  /// Arnoldi basis dimension (clamped to the problem size).
+  size_t basis_dimension = 30;
+  /// Target local error per sub-step, relative to ||v||.
+  double tolerance = 1e-12;
+  /// Safety cap on sub-steps.
+  size_t max_substeps = 100'000;
+};
+
+/// Computes w = exp(t A) v for a square sparse A.
+std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
+                                const std::vector<double>& v, const KrylovOptions& options = {});
+
+/// Transient CTMC distribution via Krylov: pi(t)^T = pi(0)^T exp(Q t), i.e.
+/// krylov_expv on Q^T.
+std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
+                                                  const KrylovOptions& options = {});
+
+}  // namespace gop::markov

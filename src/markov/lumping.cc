@@ -1,0 +1,139 @@
+#include "markov/lumping.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+/// Per-state outgoing rate into each block (own block excluded).
+std::vector<std::map<size_t, double>> block_rates(const Ctmc& chain,
+                                                  const Partition& partition) {
+  std::vector<std::map<size_t, double>> rates(chain.state_count());
+  const linalg::CsrMatrix& matrix = chain.rate_matrix();
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    for (size_t k = matrix.row_ptr()[s]; k < matrix.row_ptr()[s + 1]; ++k) {
+      const size_t target_block = partition[matrix.col_idx()[k]];
+      if (target_block == partition[s]) continue;
+      rates[s][target_block] += matrix.values()[k];
+    }
+  }
+  return rates;
+}
+
+void validate_partition(const Ctmc& chain, const Partition& partition) {
+  GOP_REQUIRE(partition.size() == chain.state_count(), "partition length mismatch");
+  GOP_REQUIRE(block_count(partition) >= 1, "partition must have at least one block");
+}
+
+}  // namespace
+
+size_t block_count(const Partition& partition) {
+  GOP_REQUIRE(!partition.empty(), "empty partition");
+  const size_t blocks = *std::max_element(partition.begin(), partition.end()) + 1;
+  std::vector<bool> seen(blocks, false);
+  for (size_t b : partition) seen[b] = true;
+  for (size_t b = 0; b < blocks; ++b) {
+    GOP_REQUIRE(seen[b], str_format("partition blocks are not contiguous: block %zu unused", b));
+  }
+  return blocks;
+}
+
+LumpingCheck check_lumpable(const Ctmc& chain, const Partition& partition, double tol) {
+  validate_partition(chain, partition);
+  const size_t blocks = block_count(partition);
+  const auto rates = block_rates(chain, partition);
+
+  // First member of each block is its reference.
+  std::vector<size_t> reference(blocks, SIZE_MAX);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    const size_t b = partition[s];
+    if (reference[b] == SIZE_MAX) {
+      reference[b] = s;
+      continue;
+    }
+    // Compare s's block-rate map with the reference's.
+    const auto& mine = rates[s];
+    const auto& ref = rates[reference[b]];
+    for (size_t target = 0; target < blocks; ++target) {
+      if (target == b) continue;
+      const auto get = [&](const std::map<size_t, double>& m) {
+        const auto it = m.find(target);
+        return it == m.end() ? 0.0 : it->second;
+      };
+      if (std::abs(get(mine) - get(ref)) > tol) {
+        return LumpingCheck{false, reference[b], s, target};
+      }
+    }
+  }
+  return LumpingCheck{true, 0, 0, 0};
+}
+
+Ctmc lump(const Ctmc& chain, const Partition& partition, double tol) {
+  const LumpingCheck check = check_lumpable(chain, partition, tol);
+  if (!check.lumpable) {
+    throw ModelError(str_format(
+        "partition is not ordinarily lumpable: states %zu and %zu disagree on the rate into "
+        "block %zu",
+        check.witness_state_a, check.witness_state_b, check.witness_block));
+  }
+  const size_t blocks = block_count(partition);
+  const auto rates = block_rates(chain, partition);
+
+  std::vector<Transition> transitions;
+  std::vector<bool> done(blocks, false);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    const size_t b = partition[s];
+    if (done[b]) continue;
+    done[b] = true;
+    for (const auto& [target, rate] : rates[s]) {
+      if (rate > 0.0) transitions.push_back(Transition{b, target, rate, -1});
+    }
+  }
+
+  std::vector<double> initial(blocks, 0.0);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    initial[partition[s]] += chain.initial_distribution()[s];
+  }
+  return Ctmc(blocks, std::move(transitions), std::move(initial));
+}
+
+Partition coarsest_lumpable_partition(const Ctmc& chain, const Partition& seed, double tol) {
+  validate_partition(chain, seed);
+  GOP_REQUIRE(tol > 0.0, "tol must be positive");
+
+  Partition current = seed;
+  size_t blocks = block_count(current);
+
+  // Iterative signature refinement: split blocks whose members see
+  // different (quantized) rate vectors into the other blocks. Quantization
+  // by `tol` makes signatures hashable; exact-symmetry use cases have exact
+  // rate ties so the quantization is benign.
+  while (true) {
+    const auto rates = block_rates(chain, current);
+    using Signature = std::pair<size_t, std::vector<std::pair<size_t, long long>>>;
+    std::map<Signature, size_t> block_of_signature;
+    Partition refined(chain.state_count());
+    for (size_t s = 0; s < chain.state_count(); ++s) {
+      Signature signature;
+      signature.first = current[s];
+      for (const auto& [target, rate] : rates[s]) {
+        signature.second.emplace_back(target, std::llround(rate / tol));
+      }
+      const auto [it, inserted] =
+          block_of_signature.try_emplace(std::move(signature), block_of_signature.size());
+      refined[s] = it->second;
+    }
+    const size_t refined_blocks = block_of_signature.size();
+    if (refined_blocks == blocks) return current;
+    current = std::move(refined);
+    blocks = refined_blocks;
+  }
+}
+
+}  // namespace gop::markov

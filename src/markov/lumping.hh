@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file lumping.hh
+/// Ordinary lumpability of CTMCs: given a partition of the state space, the
+/// chain is (ordinarily) lumpable iff for every block B' the total rate from
+/// state s into B' is constant across all s in the same block B. Lumpable
+/// partitions yield an exact *quotient* chain over the blocks, the classic
+/// tool for exploiting symmetry — e.g. the replicas of san::replicate() are
+/// exchangeable, so states that differ only by a permutation of replicas
+/// lump together.
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+/// A partition: partition[s] is the block index of state s; block indices
+/// must form a contiguous range 0..k-1.
+using Partition = std::vector<size_t>;
+
+struct LumpingCheck {
+  bool lumpable = false;
+  /// When not lumpable: a witnessing (state, state, block) triple — two
+  /// states of one block whose rates into `block` differ.
+  size_t witness_state_a = 0;
+  size_t witness_state_b = 0;
+  size_t witness_block = 0;
+};
+
+/// Verifies ordinary lumpability of `partition` within tolerance `tol` on
+/// the per-block rate sums.
+LumpingCheck check_lumpable(const Ctmc& chain, const Partition& partition, double tol = 1e-9);
+
+/// Builds the quotient chain. Requires a lumpable partition (checked;
+/// throws gop::ModelError otherwise). The quotient's initial distribution is
+/// the block-summed initial distribution; transition labels are dropped
+/// (different labels may merge).
+Ctmc lump(const Ctmc& chain, const Partition& partition, double tol = 1e-9);
+
+/// The coarsest ordinarily-lumpable refinement that separates the initial
+/// blocks of `seed` (classic partition-refinement / splitter algorithm).
+/// The seed must distinguish whatever the quotient is supposed to preserve —
+/// typically the distinct values of a reward structure (a single-block seed
+/// is already lumpable and stays a single block: the condition only
+/// constrains rates *between* blocks).
+Partition coarsest_lumpable_partition(const Ctmc& chain, const Partition& seed,
+                                      double tol = 1e-9);
+
+/// Number of blocks of a partition (validates contiguity).
+size_t block_count(const Partition& partition);
+
+}  // namespace gop::markov

@@ -1,0 +1,69 @@
+#include "markov/matrix_exp.hh"
+
+#include <cmath>
+
+#include "linalg/lu.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+using linalg::DenseMatrix;
+
+namespace {
+
+// Padé [13/13] numerator coefficients (Higham, "The scaling and squaring
+// method for the matrix exponential revisited", 2005).
+constexpr double kPade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0, 1187353796428800.0,
+    129060195264000.0,   10559470521600.0,    670442572800.0,     33522128640.0,
+    1323241920.0,        40840800.0,          960960.0,           16380.0,
+    182.0,               1.0};
+
+// theta_13: largest norm for which the order-13 approximant meets double
+// precision without scaling.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+DenseMatrix matrix_exponential(const DenseMatrix& a) {
+  GOP_REQUIRE(a.square(), "matrix_exponential requires a square matrix");
+  const size_t n = a.rows();
+
+  const double norm = a.norm_inf();
+  GOP_REQUIRE(std::isfinite(norm), "matrix_exponential: matrix has non-finite entries");
+
+  int squarings = 0;
+  if (norm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+  }
+  DenseMatrix scaled = a * std::pow(2.0, -squarings);
+
+  // Evaluate the [13/13] Padé approximant r(A) = (V - U)^{-1} (V + U) with
+  //   U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+  //   V =    A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+  const DenseMatrix identity = DenseMatrix::identity(n);
+  const DenseMatrix a2 = scaled * scaled;
+  const DenseMatrix a4 = a2 * a2;
+  const DenseMatrix a6 = a2 * a4;
+
+  DenseMatrix inner_u = a6 * kPade13[13] + a4 * kPade13[11] + a2 * kPade13[9];
+  DenseMatrix u =
+      scaled * (a6 * inner_u + a6 * kPade13[7] + a4 * kPade13[5] + a2 * kPade13[3] +
+                identity * kPade13[1]);
+
+  DenseMatrix inner_v = a6 * kPade13[12] + a4 * kPade13[10] + a2 * kPade13[8];
+  DenseMatrix v =
+      a6 * inner_v + a6 * kPade13[6] + a4 * kPade13[4] + a2 * kPade13[2] + identity * kPade13[0];
+
+  DenseMatrix result = linalg::LuFactorization(v - u).solve(v + u);
+
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+DenseMatrix matrix_exponential(const DenseMatrix& a, double t) {
+  GOP_REQUIRE(std::isfinite(t), "matrix_exponential: t must be finite");
+  return matrix_exponential(a * t);
+}
+
+}  // namespace gop::markov

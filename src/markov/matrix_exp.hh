@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file matrix_exp.hh
+/// Dense matrix exponential via Padé [13/13] approximation with scaling and
+/// squaring (Higham 2005). This is the default transient engine for the
+/// paper's models: their generators are stiff (||Q||t up to ~2.5e7) which
+/// rules out plain uniformization, while their state spaces are small enough
+/// that an O(n^3 log ||Q||t) dense method is instantaneous.
+
+#include "linalg/dense_matrix.hh"
+
+namespace gop::markov {
+
+/// exp(A) for a square matrix.
+linalg::DenseMatrix matrix_exponential(const linalg::DenseMatrix& a);
+
+/// exp(A t).
+linalg::DenseMatrix matrix_exponential(const linalg::DenseMatrix& a, double t);
+
+}  // namespace gop::markov

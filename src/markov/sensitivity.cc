@@ -1,0 +1,48 @@
+#include "markov/sensitivity.hh"
+
+#include <cmath>
+
+#include "linalg/lu.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+std::vector<double> steady_state_sensitivity(const Ctmc& chain, const std::vector<double>& pi,
+                                             const linalg::DenseMatrix& dq) {
+  const size_t n = chain.state_count();
+  GOP_REQUIRE(pi.size() == n, "pi length mismatch");
+  GOP_REQUIRE(dq.rows() == n && dq.cols() == n, "dQ dimension mismatch");
+
+  // Right-hand side: b = -pi dQ.
+  std::vector<double> b = dq.left_multiply(pi);
+  for (double& v : b) v = -v;
+
+  // Solve x Q = b with sum(x) = 0: replace the last column of Q by ones
+  // (normalization) and the last entry of b by 0. The resulting square
+  // system M^T x = b' is nonsingular for an irreducible chain.
+  linalg::DenseMatrix m = chain.generator_dense();
+  for (size_t r = 0; r < n; ++r) m(r, n - 1) = 1.0;
+  b[n - 1] = 0.0;
+
+  // x M = b  <=>  M^T x = b.
+  return linalg::LuFactorization(m.transpose()).solve(b);
+}
+
+double steady_state_reward_sensitivity(const Ctmc& chain, const std::vector<double>& pi,
+                                       const linalg::DenseMatrix& dq,
+                                       const std::vector<double>& state_reward) {
+  GOP_REQUIRE(state_reward.size() == chain.state_count(), "reward vector length mismatch");
+  const std::vector<double> dpi = steady_state_sensitivity(chain, pi, dq);
+  double total = 0.0;
+  for (size_t s = 0; s < dpi.size(); ++s) total += dpi[s] * state_reward[s];
+  return total;
+}
+
+double finite_difference(const std::function<double(double)>& f, double x, double rel_step) {
+  GOP_REQUIRE(static_cast<bool>(f), "function must be callable");
+  GOP_REQUIRE(rel_step > 0.0, "rel_step must be positive");
+  const double h = x != 0.0 ? std::abs(x) * rel_step : rel_step;
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+}  // namespace gop::markov

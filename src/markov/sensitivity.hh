@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file sensitivity.hh
+/// Sensitivity of steady-state measures to generator perturbations. For an
+/// irreducible CTMC with stationary pi (pi Q = 0, sum pi = 1) and a
+/// parametrized generator Q(theta), the derivative dpi/dtheta solves the
+/// singular-but-consistent system
+///
+///     (dpi) Q = -pi (dQ/dtheta),   sum(dpi) = 0.
+///
+/// We solve it directly by replacing one column of Q with the normalization
+/// condition — the same device used by direct stationary solvers. This backs
+/// "which rate moves rho the most?" style design questions without
+/// finite-difference noise; a finite-difference helper is provided for
+/// cross-checking and for measures without analytic derivatives.
+
+#include <functional>
+#include <vector>
+
+#include "linalg/dense_matrix.hh"
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+/// dpi/dtheta given the stationary distribution `pi` of `chain` and the
+/// generator derivative `dq` (a dense n x n matrix whose rows sum to 0).
+std::vector<double> steady_state_sensitivity(const Ctmc& chain, const std::vector<double>& pi,
+                                             const linalg::DenseMatrix& dq);
+
+/// Derivative of the steady-state reward r^T pi.
+double steady_state_reward_sensitivity(const Ctmc& chain, const std::vector<double>& pi,
+                                       const linalg::DenseMatrix& dq,
+                                       const std::vector<double>& state_reward);
+
+/// Central finite difference of an arbitrary scalar function, with relative
+/// step `rel_step` (absolute step for base value 0).
+double finite_difference(const std::function<double(double)>& f, double x,
+                         double rel_step = 1e-5);
+
+}  // namespace gop::markov

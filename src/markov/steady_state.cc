@@ -1,0 +1,99 @@
+#include "markov/steady_state.hh"
+
+#include <cmath>
+
+#include "linalg/gth.hh"
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+std::vector<double> power_iteration(const Ctmc& chain, const SteadyStateOptions& options) {
+  const size_t n = chain.state_count();
+  const double lambda = chain.max_exit_rate() * 1.02;
+  GOP_REQUIRE(lambda > 0.0, "power iteration needs a chain with at least one transition");
+
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // v P with P = I + Q/Lambda.
+    std::vector<double> next = chain.rate_matrix().left_multiply(v);
+    const std::vector<double>& exit = chain.exit_rates();
+    for (size_t s = 0; s < n; ++s) next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
+    const double diff = linalg::max_abs_diff(next, v);
+    v = std::move(next);
+    if (diff < options.tolerance) {
+      linalg::normalize_probability(v);
+      return v;
+    }
+  }
+  throw NumericalError(str_format("power iteration did not converge in %zu iterations",
+                                  options.max_iterations));
+}
+
+std::vector<double> gauss_seidel(const Ctmc& chain, const SteadyStateOptions& options) {
+  // Solve pi Q = 0 as Q^T x = 0 with Gauss-Seidel sweeps on
+  //   x_i = (sum_{j != i} Q^T_{ij} x_j) / (-Q^T_{ii}),
+  // renormalizing each sweep.
+  const size_t n = chain.state_count();
+  const linalg::CsrMatrix qt = chain.rate_matrix().transpose();
+  const std::vector<double>& exit = chain.exit_rates();
+  for (size_t s = 0; s < n; ++s) {
+    GOP_REQUIRE(exit[s] > 0.0,
+                "Gauss-Seidel steady state requires every state to have an exit transition "
+                "(irreducible chain)");
+  }
+
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (size_t k = qt.row_ptr()[i]; k < qt.row_ptr()[i + 1]; ++k) {
+        const size_t j = qt.col_idx()[k];
+        if (j == i) continue;
+        acc += qt.values()[k] * x[j];
+      }
+      const double updated = acc / exit[i];
+      max_change = std::max(max_change, std::abs(updated - x[i]));
+      x[i] = updated;
+    }
+    linalg::normalize_probability(x);
+    if (max_change < options.tolerance) return x;
+  }
+  throw NumericalError(str_format("Gauss-Seidel did not converge in %zu iterations",
+                                  options.max_iterations));
+}
+
+}  // namespace
+
+std::vector<double> steady_state_distribution(const Ctmc& chain,
+                                              const SteadyStateOptions& options) {
+  SteadyStateMethod method = options.method;
+  if (method == SteadyStateMethod::kAuto) {
+    method = chain.state_count() <= options.auto_gth_max_states ? SteadyStateMethod::kGth
+                                                                : SteadyStateMethod::kPower;
+  }
+  switch (method) {
+    case SteadyStateMethod::kGth:
+      return linalg::gth_stationary_ctmc(chain.generator_dense());
+    case SteadyStateMethod::kPower:
+      return power_iteration(chain, options);
+    case SteadyStateMethod::kGaussSeidel:
+      return gauss_seidel(chain, options);
+    case SteadyStateMethod::kAuto:
+      break;
+  }
+  throw InternalError("unreachable steady-state method");
+}
+
+double steady_state_reward(const Ctmc& chain, const std::vector<double>& state_reward,
+                           const SteadyStateOptions& options) {
+  GOP_REQUIRE(state_reward.size() == chain.state_count(), "reward vector length mismatch");
+  const std::vector<double> pi = steady_state_distribution(chain, options);
+  return linalg::dot(pi, state_reward);
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file steady_state.hh
+/// Stationary-distribution solvers for irreducible CTMCs, mirroring the
+/// paper's "expected instant-of-time reward at steady state" solver
+/// (Table 2: 1-rho_1, 1-rho_2 in RMGp).
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+enum class SteadyStateMethod {
+  /// GTH for small chains (exact, subtraction-free), power iteration on the
+  /// uniformized DTMC otherwise.
+  kAuto,
+  kGth,
+  kPower,
+  kGaussSeidel,
+};
+
+struct SteadyStateOptions {
+  SteadyStateMethod method = SteadyStateMethod::kAuto;
+  double tolerance = 1e-13;
+  size_t max_iterations = 2'000'000;
+  size_t auto_gth_max_states = 2048;
+};
+
+/// Stationary distribution pi with pi Q = 0, sum(pi) = 1. The chain must be
+/// irreducible; GTH raises gop::ModelError when it provably is not, the
+/// iterative methods raise gop::NumericalError on non-convergence.
+std::vector<double> steady_state_distribution(const Ctmc& chain,
+                                              const SteadyStateOptions& options = {});
+
+/// Expected steady-state rate reward: sum_s pi_s * reward[s].
+double steady_state_reward(const Ctmc& chain, const std::vector<double>& state_reward,
+                           const SteadyStateOptions& options = {});
+
+}  // namespace gop::markov

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file transient.hh
+/// Front door for transient (instant-of-time) CTMC reward solutions: picks
+/// between the dense matrix exponential and uniformization, mirroring the
+/// "expected instant-of-time reward at t" solver the paper uses (§5.2).
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "markov/uniformization.hh"
+
+namespace gop::markov {
+
+enum class TransientMethod {
+  /// Matrix exponential when the problem is stiff or the chain is small,
+  /// uniformization otherwise.
+  kAuto,
+  kMatrixExponential,
+  kUniformization,
+};
+
+struct TransientOptions {
+  TransientMethod method = TransientMethod::kAuto;
+  UniformizationOptions uniformization;
+  /// kAuto picks uniformization only when Lambda*t is below this and the
+  /// chain is large enough that a dense n^3 solve would dominate.
+  double auto_stiffness_cutoff = 1e5;
+  size_t auto_dense_max_states = 4096;
+};
+
+/// State distribution at time t.
+std::vector<double> transient_distribution(const Ctmc& chain, double t,
+                                           const TransientOptions& options = {});
+
+/// Expected instant-of-time rate reward at t: sum_s pi_s(t) * reward[s].
+double transient_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,
+                        const TransientOptions& options = {});
+
+/// Distributions at several time points (`times` sorted non-decreasing).
+/// With the matrix-exponential engine the solution advances incrementally,
+/// pi(t_{i+1}) = pi(t_i) exp(Q (t_{i+1} - t_i)), and the step exponentials
+/// are cached per distinct gap — a uniform phi-grid sweep costs one
+/// exponential instead of one per point.
+std::vector<std::vector<double>> transient_distribution_series(
+    const Ctmc& chain, const std::vector<double>& times, const TransientOptions& options = {});
+
+}  // namespace gop::markov

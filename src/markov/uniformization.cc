@@ -1,0 +1,125 @@
+#include "markov/uniformization.hh"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hh"
+#include "markov/fox_glynn.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+/// One DTMC step of the uniformized chain: v_next = v P with
+/// P = I + Q/Lambda, computed as v + (v R - v .* exit)/Lambda.
+std::vector<double> uniformized_step(const Ctmc& chain, double lambda,
+                                     const std::vector<double>& v) {
+  std::vector<double> next = chain.rate_matrix().left_multiply(v);
+  const std::vector<double>& exit = chain.exit_rates();
+  for (size_t s = 0; s < v.size(); ++s) {
+    next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
+  }
+  return next;
+}
+
+double effective_lambda(const Ctmc& chain, const UniformizationOptions& options) {
+  // A chain whose states are all absorbing has pi(t) = pi(0); pick a dummy
+  // positive rate so the window machinery still works.
+  const double base = chain.max_exit_rate();
+  return base > 0.0 ? base * options.rate_slack : 1.0;
+}
+
+}  // namespace
+
+std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
+                                                       const UniformizationOptions& options) {
+  GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
+  if (t == 0.0) return chain.initial_distribution();
+
+  const double lambda = effective_lambda(chain, options);
+  const double lambda_t = lambda * t;
+  GOP_CHECK_NUMERIC(lambda_t <= options.max_lambda_t,
+                    str_format("uniformization refused: Lambda*t = %.3g exceeds the configured "
+                               "maximum %.3g; use the matrix-exponential solver for stiff "
+                               "problems",
+                               lambda_t, options.max_lambda_t));
+
+  const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+
+  std::vector<double> v = chain.initial_distribution();
+  std::vector<double> result(chain.state_count(), 0.0);
+  double used_mass = 0.0;
+
+  for (size_t k = 0; k <= window.right(); ++k) {
+    if (k >= window.left) {
+      const double w = window.weights[k - window.left];
+      linalg::axpy(w, v, result);
+      used_mass += w;
+    }
+    if (k == window.right()) break;
+
+    std::vector<double> next = uniformized_step(chain, lambda, v);
+    // Steady-state detection: once the DTMC iterate stops moving, all further
+    // terms equal the current vector; fold the remaining Poisson mass in.
+    if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
+        options.steady_state_tol) {
+      linalg::axpy(1.0 - used_mass, next, result);
+      used_mass = 1.0;
+      break;
+    }
+    v = std::move(next);
+  }
+
+  if (used_mass < 1.0) {
+    // Truncated mass (at most epsilon): assign it to the last iterate so the
+    // result stays a probability vector.
+    linalg::axpy(1.0 - used_mass, v, result);
+  }
+  return result;
+}
+
+std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
+                                                      const UniformizationOptions& options) {
+  GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
+  std::vector<double> occupancy(chain.state_count(), 0.0);
+  if (t == 0.0) return occupancy;
+
+  const double lambda = effective_lambda(chain, options);
+  const double lambda_t = lambda * t;
+  GOP_CHECK_NUMERIC(lambda_t <= options.max_lambda_t,
+                    str_format("uniformization refused: Lambda*t = %.3g exceeds the configured "
+                               "maximum %.3g; use the matrix-exponential solver for stiff "
+                               "problems",
+                               lambda_t, options.max_lambda_t));
+
+  const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+
+  // \int_0^t pi(s) ds = (1/Lambda) * sum_k  P(N > k) * pi0 P^k, with
+  // N ~ Poisson(Lambda t); sum_k P(N > k) = E[N] = Lambda t, which bounds the
+  // tail we fold in at steady-state detection.
+  std::vector<double> v = chain.initial_distribution();
+  double cdf = 0.0;
+  double tail_sum = 0.0;  // running sum of P(N > k) over processed k
+
+  for (size_t k = 0; k <= window.right(); ++k) {
+    if (k >= window.left) cdf += window.weights[k - window.left];
+    const double tail = std::max(0.0, 1.0 - cdf);
+    linalg::axpy(tail / lambda, v, occupancy);
+    tail_sum += tail;
+    if (k == window.right()) break;
+
+    std::vector<double> next = uniformized_step(chain, lambda, v);
+    if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
+        options.steady_state_tol) {
+      const double remaining = std::max(0.0, lambda_t - tail_sum);
+      linalg::axpy(remaining / lambda, next, occupancy);
+      tail_sum = lambda_t;
+      break;
+    }
+    v = std::move(next);
+  }
+  return occupancy;
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file uniformization.hh
+/// Transient CTMC solution by uniformization (Jensen's method) with Fox–Glynn
+/// Poisson weights and steady-state detection. Suitable when Lambda*t is
+/// moderate; the transient dispatcher (transient.hh) falls back to the dense
+/// matrix exponential for the stiff regimes of the paper's models.
+
+#include <vector>
+
+#include "markov/ctmc.hh"
+
+namespace gop::markov {
+
+struct UniformizationOptions {
+  /// Per-call truncation error budget for the Poisson window.
+  double epsilon = 1e-12;
+  /// Steady-state detection threshold on ||v_{k+1} - v_k||_1; once reached
+  /// the remaining Poisson mass multiplies the converged vector.
+  double steady_state_tol = 1e-14;
+  /// Refuse (throw gop::NumericalError) when Lambda*t exceeds this, because
+  /// run time is linear in Lambda*t. Callers wanting stiff problems should
+  /// use the matrix exponential instead.
+  double max_lambda_t = 2e6;
+  /// Uniformization rate safety factor over the maximal exit rate.
+  double rate_slack = 1.02;
+};
+
+/// Distribution at time t starting from the chain's initial distribution.
+std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
+                                                       const UniformizationOptions& options = {});
+
+/// Expected accumulated state occupancy L(t) = \int_0^t pi(s) ds, by the
+/// standard uniformization integral formula.
+std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
+                                                      const UniformizationOptions& options = {});
+
+}  // namespace gop::markov

@@ -1,0 +1,329 @@
+#include "mdcd/protocol.hh"
+
+#include <algorithm>
+
+#include "sim/event_queue.hh"
+#include "util/error.hh"
+
+namespace gop::mdcd {
+
+const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kSend:
+      return "send";
+    case TraceEvent::kAtStart:
+      return "AT-start";
+    case TraceEvent::kAtPass:
+      return "AT-pass";
+    case TraceEvent::kCheckpointStart:
+      return "ckpt-start";
+    case TraceEvent::kCheckpointDone:
+      return "ckpt-done";
+    case TraceEvent::kFault:
+      return "fault";
+    case TraceEvent::kDetection:
+      return "DETECTION";
+    case TraceEvent::kFailure:
+      return "FAILURE";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr size_t kProcessCount = 3;
+
+size_t index_of(ProcessId p) { return static_cast<size_t>(p); }
+
+enum class EventKind : uint8_t { kSend, kFault, kWorkDone };
+
+struct Event {
+  EventKind kind;
+  size_t process;
+  uint64_t sequence;  // validity stamp against Process::*_seq
+};
+
+enum class Work : uint8_t { kNone, kAcceptanceTest, kCheckpoint };
+
+struct Process {
+  bool in_mission = false;  // sends messages that matter (P1old's outbound is
+                            // suppressed during G-OP, so it is out of mission)
+  bool contaminated = false;
+  bool dirty = false;          // considered potentially contaminated
+  bool always_dirty = false;   // P1new during G-OP
+  bool needs_checkpoint = false;
+
+  Work work = Work::kNone;
+  bool pending_message_erroneous = false;  // the message under AT
+  double work_started = 0.0;
+
+  uint64_t send_seq = 0;
+  uint64_t work_seq = 0;
+
+  bool considered_dirty() const { return dirty || always_dirty; }
+  bool free_for_send() const { return work == Work::kNone && !needs_checkpoint; }
+};
+
+class Simulation {
+ public:
+  Simulation(const core::GsuParameters& params, sim::Rng& rng, const ProtocolOptions& options)
+      : params_(params), rng_(rng), options_(options) {
+    params_.validate();
+    GOP_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
+  }
+
+  RunStats run() {
+    setup_guarded_operation();
+
+    while (!queue_.empty() && !finished_) {
+      const auto event = queue_.pop();
+      now_ = event.time;
+      if (now_ > options_.horizon) break;
+      dispatch(event.payload);
+    }
+
+    const double first_verdict =
+        stats_.detected ? stats_.detection_time
+                        : (stats_.failed ? stats_.failure_time : options_.horizon);
+    stats_.observed_time = std::min(first_verdict, options_.horizon);
+    // Truncate work still in progress at the observation boundary.
+    for (size_t p = 0; p < kProcessCount; ++p) {
+      if (processes_[p].work != Work::kNone) {
+        stats_.busy_time[p] += std::max(0.0, stats_.observed_time - processes_[p].work_started);
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  void setup_guarded_operation() {
+    Process& p1n = processes_[index_of(ProcessId::kP1New)];
+    Process& p1o = processes_[index_of(ProcessId::kP1Old)];
+    Process& p2 = processes_[index_of(ProcessId::kP2)];
+    p1n.in_mission = true;
+    p1n.always_dirty = true;
+    p1o.in_mission = false;
+    p2.in_mission = true;
+
+    schedule_send(index_of(ProcessId::kP1New));
+    schedule_send(index_of(ProcessId::kP2));
+    // Fault manifestations: the upgraded component and P2. (P1old's shadow
+    // contamination is unobservable pre-recovery — recovery restores a clean
+    // state — so its fault clock starts at recovery; see DESIGN.md.)
+    schedule_fault(index_of(ProcessId::kP1New), params_.mu_new);
+    schedule_fault(index_of(ProcessId::kP2), params_.mu_old);
+  }
+
+  void dispatch(const Event& event) {
+    switch (event.kind) {
+      case EventKind::kSend:
+        handle_send(event);
+        return;
+      case EventKind::kFault:
+        handle_fault(event);
+        return;
+      case EventKind::kWorkDone:
+        handle_work_done(event);
+        return;
+    }
+  }
+
+  void trace(TraceEvent event, size_t p) {
+    if (options_.trace) options_.trace(now_, event, static_cast<ProcessId>(p));
+  }
+
+  void schedule_send(size_t p) {
+    queue_.schedule(now_ + rng_.exponential(params_.lambda),
+                    Event{EventKind::kSend, p, ++processes_[p].send_seq});
+  }
+
+  void schedule_fault(size_t p, double rate) {
+    queue_.schedule(now_ + rng_.exponential(rate), Event{EventKind::kFault, p, 0});
+  }
+
+  void begin_work(size_t p, Work work, double completion_rate, bool message_erroneous = false) {
+    Process& process = processes_[p];
+    process.work = work;
+    process.work_started = now_;
+    process.pending_message_erroneous = message_erroneous;
+    queue_.schedule(now_ + rng_.exponential(completion_rate),
+                    Event{EventKind::kWorkDone, p, ++process.work_seq});
+  }
+
+  void finish_work(size_t p) {
+    Process& process = processes_[p];
+    stats_.busy_time[p] += now_ - process.work_started;
+    process.work = Work::kNone;
+    // Deferred checkpoint, then a fresh send clock once really free.
+    if (process.needs_checkpoint && safeguards_on_) {
+      process.needs_checkpoint = false;
+      ++stats_.checkpoint_count;
+      trace(TraceEvent::kCheckpointStart, p);
+      begin_work(p, Work::kCheckpoint, params_.beta);
+      return;
+    }
+    process.needs_checkpoint = false;
+    schedule_send(p);
+  }
+
+  void handle_send(const Event& event) {
+    Process& sender = processes_[event.process];
+    if (event.sequence != sender.send_seq) return;  // stale clock
+    if (!sender.free_for_send()) return;            // superseded by work
+
+    // P1old generates messages during G-OP too, but they are suppressed and
+    // cost nothing; only mission processes' sends are modelled.
+    if (!sender.in_mission) {
+      schedule_send(event.process);
+      return;
+    }
+    ++stats_.messages_sent;
+    trace(TraceEvent::kSend, event.process);
+    const bool erroneous = sender.contaminated;
+
+    if (rng_.bernoulli(params_.p_ext)) {
+      send_external(event.process, erroneous);
+    } else {
+      send_internal(event.process, erroneous);
+    }
+    if (!finished_ && processes_[event.process].free_for_send()) {
+      schedule_send(event.process);
+    }
+  }
+
+  void send_external(size_t p, bool erroneous) {
+    Process& sender = processes_[p];
+    if (safeguards_on_ && sender.considered_dirty()) {
+      ++stats_.at_count;
+      trace(TraceEvent::kAtStart, p);
+      begin_work(p, Work::kAcceptanceTest, params_.alpha, erroneous);
+      return;
+    }
+    // No validation: an erroneous external message fails the system.
+    if (erroneous) fail(p);
+  }
+
+  void send_internal(size_t p, bool erroneous) {
+    // Delivery targets mirror the interaction structure of §2: the shadow
+    // pair receives P2's messages; P1new's (or P1old's, post-recovery)
+    // reach P2.
+    if (p == index_of(ProcessId::kP2)) {
+      deliver(p, index_of(ProcessId::kP1New), erroneous);
+      deliver(p, index_of(ProcessId::kP1Old), erroneous);
+    } else {
+      deliver(p, index_of(ProcessId::kP2), erroneous);
+    }
+  }
+
+  void deliver(size_t from, size_t to, bool erroneous) {
+    Process& sender = processes_[from];
+    Process& receiver = processes_[to];
+    if (erroneous) receiver.contaminated = true;
+
+    // MDCD checkpoint rule: receiving a message from a considered-dirty
+    // sender makes an otherwise-clean receiver dirty — checkpoint first.
+    if (safeguards_on_ && sender.considered_dirty() && !receiver.considered_dirty()) {
+      if (receiver.work == Work::kNone) {
+        ++stats_.checkpoint_count;
+        trace(TraceEvent::kCheckpointStart, to);
+        begin_work(to, Work::kCheckpoint, params_.beta);
+      } else {
+        receiver.needs_checkpoint = true;
+      }
+    }
+  }
+
+  void handle_fault(const Event& event) {
+    Process& process = processes_[event.process];
+    if (finished_) return;
+    process.contaminated = true;
+    trace(TraceEvent::kFault, event.process);
+  }
+
+  void handle_work_done(const Event& event) {
+    Process& process = processes_[event.process];
+    if (event.sequence != process.work_seq || process.work == Work::kNone) return;
+
+    if (process.work == Work::kCheckpoint) {
+      process.dirty = true;  // the checkpointed state now reflects dirty input
+      trace(TraceEvent::kCheckpointDone, event.process);
+      finish_work(event.process);
+      return;
+    }
+
+    // Acceptance test verdict.
+    const bool erroneous = process.pending_message_erroneous;
+    if (!erroneous) {
+      // Passed: confidence re-established in the passive pair (the shared
+      // dirty_bit reset of RMGd's ok_ext gates).
+      trace(TraceEvent::kAtPass, event.process);
+      processes_[index_of(ProcessId::kP1Old)].dirty = false;
+      processes_[index_of(ProcessId::kP2)].dirty = false;
+      finish_work(event.process);
+      return;
+    }
+    if (rng_.bernoulli(params_.coverage)) {
+      stats_.busy_time[event.process] += now_ - process.work_started;
+      process.work = Work::kNone;
+      recover(event.process);
+    } else {
+      stats_.busy_time[event.process] += now_ - process.work_started;
+      process.work = Work::kNone;
+      fail(event.process);
+    }
+  }
+
+  void fail(size_t culprit) {
+    trace(TraceEvent::kFailure, culprit);
+    stats_.failed = true;
+    stats_.failure_time = now_;
+    finished_ = true;
+  }
+
+  void recover(size_t detector) {
+    trace(TraceEvent::kDetection, detector);
+    stats_.detected = true;
+    stats_.detection_time = now_;
+    if (!options_.continue_after_recovery) {
+      finished_ = true;
+      return;
+    }
+    // Rollback/roll-forward to a consistent clean global state; P1old takes
+    // over, safeguards end.
+    safeguards_on_ = false;
+    for (Process& process : processes_) {
+      process.contaminated = false;
+      process.dirty = false;
+      process.always_dirty = false;
+      process.needs_checkpoint = false;
+    }
+    Process& p1n = processes_[index_of(ProcessId::kP1New)];
+    Process& p1o = processes_[index_of(ProcessId::kP1Old)];
+    p1n.in_mission = false;  // retired
+    p1o.in_mission = true;
+    schedule_send(index_of(ProcessId::kP1Old));
+    schedule_fault(index_of(ProcessId::kP1Old), params_.mu_old);
+    // Only a failure can end the run from here: the normal mode has no ATs,
+    // so no second detection exists — mirroring RMGd's post-recovery states.
+  }
+
+  const core::GsuParameters params_;
+  sim::Rng& rng_;
+  const ProtocolOptions options_;
+
+  Process processes_[kProcessCount];
+  sim::EventQueue<Event> queue_;
+  double now_ = 0.0;
+  bool safeguards_on_ = true;
+  bool finished_ = false;
+  RunStats stats_;
+};
+
+}  // namespace
+
+RunStats run_guarded_operation(const core::GsuParameters& params, sim::Rng& rng,
+                               const ProtocolOptions& options) {
+  return Simulation(params, rng, options).run();
+}
+
+}  // namespace gop::mdcd

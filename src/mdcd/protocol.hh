@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file protocol.hh
+/// An executable, event-level model of the MDCD (message-driven
+/// confidence-driven) protocol of the paper's §2 — the system the SAN reward
+/// models abstract. Three processes (P1new, P1old, P2) exchange messages at
+/// rate lambda; the protocol decides, message by message, when to establish
+/// checkpoints and when to run acceptance tests, exactly per the MDCD rules:
+///
+///  - a process state is *considered potentially contaminated* ("dirty")
+///    when it reflects a not-yet-validated message from a dirty sender;
+///    P1new is dirty by definition during guarded operation;
+///  - a process establishes a checkpoint iff an incoming message would make
+///    its otherwise-clean state dirty;
+///  - external messages are validated by an acceptance test (coverage c)
+///    iff the sender is dirty; a passed AT re-establishes confidence
+///    (clears the dirty bits of P1old/P2); a detected error triggers
+///    rollback recovery (P1old takes over, normal mode); a missed error or
+///    an unvalidated erroneous external message is a system failure;
+///  - P1old's outbound messages are suppressed during guarded operation;
+///  - after recovery or successful G-OP completion the system runs in the
+///    normal mode with no safeguards.
+///
+/// The simulator reports per-process busy fractions (the empirical
+/// counterparts of RMGp's 1-rho1/1-rho2), safeguard-activity counts, and
+/// the mission verdict — so the SAN reconstructions can be validated against
+/// the protocol itself (bench_mdcd_vs_models).
+
+#include <cstdint>
+#include <functional>
+
+#include "core/params.hh"
+#include "sim/rng.hh"
+
+namespace gop::mdcd {
+
+enum class ProcessId : uint8_t { kP1New = 0, kP1Old = 1, kP2 = 2 };
+
+struct RunStats {
+  /// An erroneous external message was caught by an AT (error recovery ran).
+  bool detected = false;
+  /// The system failed: an erroneous external message escaped — either
+  /// before any detection (missed/absent AT) or after recovery.
+  bool failed = false;
+  double detection_time = 0.0;  ///< valid when detected
+  double failure_time = 0.0;    ///< valid when failed
+
+  /// The four RMGd verdict classes at the horizon: A'1 (no verdict), A'3
+  /// (detected, alive), {detected, failed}, A'4 (failed undetected).
+  bool in_a1() const { return !detected && !failed; }
+  bool in_a3() const { return detected && !failed; }
+  bool in_a4() const { return !detected && failed; }
+
+  /// Busy time (AT + checkpoint work) per process over the guarded-operation
+  /// interval [0, min(first verdict, horizon)], and that interval's length.
+  double busy_time[3] = {0.0, 0.0, 0.0};
+  double observed_time = 0.0;
+
+  size_t at_count = 0;
+  size_t checkpoint_count = 0;
+  size_t messages_sent = 0;
+
+  /// Empirical forward-progress fraction of a process (1 - busy share).
+  double rho(ProcessId process) const {
+    if (observed_time <= 0.0) return 1.0;
+    return 1.0 - busy_time[static_cast<size_t>(process)] / observed_time;
+  }
+};
+
+/// Protocol-event kinds surfaced to the trace observer.
+enum class TraceEvent : uint8_t {
+  kSend,             ///< a mission process emitted a message
+  kAtStart,          ///< acceptance test begins on an external message
+  kAtPass,           ///< AT passed; confidence re-established
+  kCheckpointStart,  ///< checkpoint establishment begins
+  kCheckpointDone,   ///< checkpoint established; process now dirty
+  kFault,            ///< a fault manifested (process contaminated)
+  kDetection,        ///< AT caught an erroneous message; recovery runs
+  kFailure,          ///< an erroneous external message escaped
+};
+
+const char* trace_event_name(TraceEvent event);
+
+/// Observer for protocol traces (may be null). Called in event order.
+using TraceObserver = std::function<void(double time, TraceEvent event, ProcessId process)>;
+
+struct ProtocolOptions {
+  /// Simulate guarded operation over [0, horizon] (the paper's phi).
+  double horizon = 10000.0;
+  /// Continue after a detection in the normal mode until `horizon`
+  /// (matching RMGd's X'), or stop at the verdict.
+  bool continue_after_recovery = true;
+  /// Optional event trace (timeline debugging, demos).
+  TraceObserver trace;
+};
+
+/// Runs one guarded-operation interval under the protocol. Deterministic
+/// given the RNG state.
+RunStats run_guarded_operation(const core::GsuParameters& params, sim::Rng& rng,
+                               const ProtocolOptions& options = {});
+
+}  // namespace gop::mdcd

@@ -1,0 +1,54 @@
+#include "san/batch_means.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+BatchMeansResult estimate_steady_state_reward(const SanSimulator& simulator,
+                                              const RewardStructure& reward,
+                                              const BatchMeansOptions& options) {
+  GOP_REQUIRE(options.warmup_time >= 0.0, "warmup_time must be non-negative");
+  GOP_REQUIRE(options.batch_duration > 0.0, "batch_duration must be positive");
+  GOP_REQUIRE(options.batch_count >= 2, "need at least two batches");
+
+  const double horizon =
+      options.warmup_time + options.batch_duration * static_cast<double>(options.batch_count);
+
+  // Accumulate reward-time per batch from the sojourn stream. A sojourn can
+  // straddle batch boundaries (and the warmup boundary), so it is split
+  // proportionally.
+  std::vector<double> batch_reward(options.batch_count, 0.0);
+  const auto on_sojourn = [&](const Marking& marking, double enter, double leave) {
+    const double rate = reward.rate_at(marking);
+    if (rate == 0.0) return;
+    double from = std::max(enter, options.warmup_time);
+    const double to = leave;
+    while (from < to) {
+      const double offset = from - options.warmup_time;
+      const size_t batch = std::min(
+          static_cast<size_t>(offset / options.batch_duration), options.batch_count - 1);
+      const double batch_end =
+          options.warmup_time + options.batch_duration * static_cast<double>(batch + 1);
+      const double segment_end = std::min(to, batch_end);
+      batch_reward[batch] += rate * (segment_end - from);
+      from = segment_end;
+    }
+  };
+
+  sim::Rng rng(options.seed);
+  simulator.simulate(rng, horizon, on_sojourn);
+
+  sim::OnlineStats stats;
+  for (double total : batch_reward) stats.add(total / options.batch_duration);
+
+  BatchMeansResult result;
+  result.mean = stats.mean();
+  result.half_width = stats.ci_half_width();
+  result.batches = stats.count();
+  return result;
+}
+
+}  // namespace gop::san

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file batch_means.hh
+/// Steady-state simulation with the batch-means method: one long trajectory,
+/// a warm-up period discarded, the remainder split into fixed-duration
+/// batches whose means are treated as (approximately independent) samples.
+/// Complements the replication-based estimators of SanSimulator for
+/// steady-state measures, where independent replications waste the warm-up
+/// on every run.
+
+#include "san/reward.hh"
+#include "san/simulator.hh"
+#include "sim/stats.hh"
+
+namespace gop::san {
+
+struct BatchMeansOptions {
+  uint64_t seed = 7;
+  /// Simulated time discarded before batching starts.
+  double warmup_time = 10.0;
+  /// Length of each batch in simulated time.
+  double batch_duration = 50.0;
+  size_t batch_count = 32;
+};
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;  // 95% CI over batch means
+  size_t batches = 0;
+};
+
+/// Estimates the steady-state rate reward (time-average of the reward rate)
+/// of the simulator's model. The model should be ergodic; with an absorbing
+/// model the estimate converges to the reward of the absorbing states.
+BatchMeansResult estimate_steady_state_reward(const SanSimulator& simulator,
+                                              const RewardStructure& reward,
+                                              const BatchMeansOptions& options = {});
+
+}  // namespace gop::san

@@ -1,0 +1,162 @@
+#include "san/compose.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+namespace {
+
+/// Wraps a component model's marking-reading/writing functions so they see
+/// their own layout while the composed model runs. `map[i]` is the composed
+/// index of component place i.
+struct MarkingView {
+  std::vector<size_t> map;
+
+  Marking extract(const Marking& composed) const {
+    Marking local(map.size());
+    for (size_t i = 0; i < map.size(); ++i) local[i] = composed[map[i]];
+    return local;
+  }
+
+  void write_back(const Marking& local, Marking& composed) const {
+    for (size_t i = 0; i < map.size(); ++i) composed[map[i]] = local[i];
+  }
+};
+
+Predicate wrap_predicate(const MarkingView& view, Predicate inner) {
+  return [view, inner = std::move(inner)](const Marking& composed) {
+    return inner(view.extract(composed));
+  };
+}
+
+RateFn wrap_rate(const MarkingView& view, RateFn inner) {
+  return [view, inner = std::move(inner)](const Marking& composed) {
+    return inner(view.extract(composed));
+  };
+}
+
+Effect wrap_effect(const MarkingView& view, Effect inner) {
+  return [view, inner = std::move(inner)](Marking& composed) {
+    Marking local = view.extract(composed);
+    inner(local);
+    view.write_back(local, composed);
+  };
+}
+
+Case wrap_case(const MarkingView& view, const Case& inner) {
+  return Case{wrap_rate(view, inner.probability), wrap_effect(view, inner.effect)};
+}
+
+/// Copies all activities of `component` into `target`, rebasing their
+/// marking access through `view` and prefixing names.
+void copy_activities(SanModel& target, const SanModel& component, const MarkingView& view,
+                     const std::string& prefix) {
+  for (const TimedActivity& activity : component.timed_activities()) {
+    TimedActivity copy;
+    copy.name = prefix + activity.name;
+    copy.enabled = wrap_predicate(view, activity.enabled);
+    copy.rate = wrap_rate(view, activity.rate);
+    for (const Case& c : activity.cases) copy.cases.push_back(wrap_case(view, c));
+    target.add_timed_activity(std::move(copy));
+  }
+  for (const InstantaneousActivity& activity : component.instantaneous_activities()) {
+    InstantaneousActivity copy;
+    copy.name = prefix + activity.name;
+    copy.enabled = wrap_predicate(view, activity.enabled);
+    copy.priority = activity.priority;
+    for (const Case& c : activity.cases) copy.cases.push_back(wrap_case(view, c));
+    target.add_instantaneous_activity(std::move(copy));
+  }
+}
+
+}  // namespace
+
+JoinedModel join(const SanModel& left, const SanModel& right, const JoinSpec& spec) {
+  // Resolve the fusion pairs up front.
+  std::vector<size_t> right_fused_to_left(right.place_count(), SIZE_MAX);
+  std::vector<bool> left_is_shared(left.place_count(), false);
+  for (const auto& [left_name, right_name] : spec.shared) {
+    const PlaceRef lp = left.place(left_name);
+    const PlaceRef rp = right.place(right_name);
+    GOP_REQUIRE(right_fused_to_left[rp.index] == SIZE_MAX,
+                "place '" + right_name + "' fused more than once");
+    GOP_REQUIRE(!left_is_shared[lp.index], "place '" + left_name + "' fused more than once");
+    GOP_REQUIRE(left.initial_marking()[lp.index] == right.initial_marking()[rp.index],
+                "initial tokens of fused places '" + left_name + "'/'" + right_name +
+                    "' disagree");
+    right_fused_to_left[rp.index] = lp.index;
+    left_is_shared[lp.index] = true;
+  }
+
+  JoinedModel joined{SanModel(spec.name), {}, {}};
+
+  // Left places become the composed prefix (optionally renamed).
+  joined.left_place_map.resize(left.place_count());
+  for (size_t i = 0; i < left.place_count(); ++i) {
+    const PlaceRef composed = joined.model.add_place(
+        spec.left_prefix + left.place_name(PlaceRef{i}), left.initial_marking()[i]);
+    joined.left_place_map[i] = composed.index;
+  }
+
+  // Right places: fused ones map onto the left indices, the rest are added
+  // with the right prefix.
+  joined.right_place_map.resize(right.place_count());
+  for (size_t i = 0; i < right.place_count(); ++i) {
+    if (right_fused_to_left[i] != SIZE_MAX) {
+      joined.right_place_map[i] = joined.left_place_map[right_fused_to_left[i]];
+      continue;
+    }
+    const PlaceRef composed = joined.model.add_place(
+        spec.right_prefix + right.place_name(PlaceRef{i}), right.initial_marking()[i]);
+    joined.right_place_map[i] = composed.index;
+  }
+
+  copy_activities(joined.model, left, MarkingView{joined.left_place_map}, spec.left_prefix);
+  copy_activities(joined.model, right, MarkingView{joined.right_place_map}, spec.right_prefix);
+  return joined;
+}
+
+ReplicatedModel replicate(const SanModel& prototype, size_t count,
+                          const std::vector<std::string>& shared_places,
+                          const std::string& name) {
+  GOP_REQUIRE(count >= 1, "replicate needs at least one replica");
+
+  std::vector<bool> is_shared(prototype.place_count(), false);
+  for (const std::string& place_name : shared_places) {
+    is_shared[prototype.place(place_name).index] = true;
+  }
+
+  ReplicatedModel replicated{SanModel(name), {}};
+
+  // Shared places once, with the prototype's names.
+  std::vector<size_t> shared_index(prototype.place_count(), SIZE_MAX);
+  for (size_t i = 0; i < prototype.place_count(); ++i) {
+    if (!is_shared[i]) continue;
+    shared_index[i] = replicated.model
+                          .add_place(prototype.place_name(PlaceRef{i}),
+                                     prototype.initial_marking()[i])
+                          .index;
+  }
+
+  for (size_t r = 0; r < count; ++r) {
+    const std::string prefix = "r" + std::to_string(r) + "_";
+    std::vector<size_t> map(prototype.place_count());
+    for (size_t i = 0; i < prototype.place_count(); ++i) {
+      if (is_shared[i]) {
+        map[i] = shared_index[i];
+      } else {
+        map[i] = replicated.model
+                     .add_place(prefix + prototype.place_name(PlaceRef{i}),
+                                prototype.initial_marking()[i])
+                     .index;
+      }
+    }
+    copy_activities(replicated.model, prototype, MarkingView{map}, prefix);
+    replicated.place_maps.push_back(std::move(map));
+  }
+  return replicated;
+}
+
+}  // namespace gop::san

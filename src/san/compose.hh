@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file compose.hh
+/// Composed SAN models in the spirit of UltraSAN's composition operators:
+///
+///  - join(a, b, spec): one model containing both SANs, with selected place
+///    pairs fused into shared places (the standard way to couple submodels
+///    through common state variables);
+///  - replicate(model, count, shared): `count` anonymous replicas of a SAN
+///    whose `shared` places are fused across all replicas (e.g. a common
+///    repair facility), every other place duplicated per replica.
+///
+/// Activities of the component models are carried over unchanged in
+/// semantics: their predicates, rates and effects are wrapped so they keep
+/// seeing their own model's marking layout while operating on the composed
+/// marking. Place and activity names are prefixed to stay unique.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/model.hh"
+
+namespace gop::san {
+
+struct JoinSpec {
+  /// Name of the composed model.
+  std::string name = "joined";
+  /// Pairs of place names (left model, right model) to fuse. The fused place
+  /// keeps the left name. Initial token counts must agree.
+  std::vector<std::pair<std::string, std::string>> shared;
+  /// Prefixes applied to non-shared place names and all activity names to
+  /// keep them unique ("" keeps the left model's names bare).
+  std::string left_prefix;
+  std::string right_prefix = "r_";
+};
+
+struct JoinedModel {
+  SanModel model;
+  /// Maps a component model's place index to the composed model's index.
+  std::vector<size_t> left_place_map;
+  std::vector<size_t> right_place_map;
+
+  PlaceRef left_place(PlaceRef place) const { return PlaceRef{left_place_map.at(place.index)}; }
+  PlaceRef right_place(PlaceRef place) const { return PlaceRef{right_place_map.at(place.index)}; }
+};
+
+/// Joins two SANs over shared places. Throws gop::InvalidArgument on unknown
+/// place names, duplicate fusions or mismatched initial markings.
+JoinedModel join(const SanModel& left, const SanModel& right, const JoinSpec& spec);
+
+struct ReplicatedModel {
+  SanModel model;
+  /// place_maps[r][i] is the composed index of replica r's place i.
+  std::vector<std::vector<size_t>> place_maps;
+
+  PlaceRef replica_place(size_t replica, PlaceRef place) const {
+    return PlaceRef{place_maps.at(replica).at(place.index)};
+  }
+};
+
+/// Replicates `prototype` `count` times, fusing the places named in
+/// `shared_places` across all replicas.
+ReplicatedModel replicate(const SanModel& prototype, size_t count,
+                          const std::vector<std::string>& shared_places,
+                          const std::string& name = "replicated");
+
+}  // namespace gop::san

@@ -1,0 +1,85 @@
+#include "san/dot_export.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace gop::san {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+std::string marking_label(const SanModel& model, const Marking& marking) {
+  std::vector<std::string> parts;
+  for (size_t p = 0; p < marking.size(); ++p) {
+    if (marking[p] == 0) continue;
+    if (marking[p] == 1) {
+      parts.push_back(model.place_name(PlaceRef{p}));
+    } else {
+      parts.push_back(model.place_name(PlaceRef{p}) + "=" + str_format("%d", marking[p]));
+    }
+  }
+  if (parts.empty()) return "(empty)";
+  return join(parts, "\\n");
+}
+
+}  // namespace
+
+std::string model_to_dot(const SanModel& model) {
+  std::ostringstream os;
+  os << "digraph \"" << model.name() << "\" {\n  rankdir=LR;\n";
+  os << "  node [fontname=\"Helvetica\"];\n";
+  for (size_t p = 0; p < model.place_count(); ++p) {
+    const std::string name = model.place_name(PlaceRef{p});
+    const int32_t tokens = model.initial_marking()[p];
+    os << "  place_" << sanitize(name) << " [shape=circle, label=\"" << name;
+    if (tokens > 0) os << "\\n(" << tokens << ")";
+    os << "\"];\n";
+  }
+  for (const TimedActivity& activity : model.timed_activities()) {
+    os << "  timed_" << sanitize(activity.name)
+       << " [shape=box, style=filled, fillcolor=gray70, height=0.6, width=0.15, label=\""
+       << activity.name << "\"];\n";
+  }
+  for (const InstantaneousActivity& activity : model.instantaneous_activities()) {
+    os << "  inst_" << sanitize(activity.name)
+       << " [shape=box, height=0.6, width=0.05, label=\"" << activity.name << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string reachability_to_dot(const GeneratedChain& chain, size_t max_states) {
+  std::ostringstream os;
+  os << "digraph \"" << chain.model().name() << "_reachability\" {\n";
+  os << "  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n";
+  const size_t shown = std::min(chain.state_count(), max_states);
+  for (size_t s = 0; s < shown; ++s) {
+    os << "  s" << s << " [label=\"s" << s << "\\n"
+       << marking_label(chain.model(), chain.states()[s]) << "\"";
+    if (chain.ctmc().is_absorbing(s)) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const markov::Transition& tr : chain.ctmc().transitions()) {
+    if (tr.from >= shown || tr.to >= shown) continue;
+    std::string label;
+    if (tr.label >= 0) {
+      label = chain.model().activity_name(ActivityRef{static_cast<size_t>(tr.label)});
+    }
+    os << "  s" << tr.from << " -> s" << tr.to << " [label=\"" << label << " @ "
+       << format_compact(tr.rate, 4) << "\"];\n";
+  }
+  if (shown < chain.state_count()) {
+    os << "  truncated [shape=plaintext, label=\"(" << chain.state_count() - shown
+       << " more states not shown)\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gop::san

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file dot_export.hh
+/// Graphviz renderings of a SAN's structure and of a generated reachability
+/// graph, for documentation and model debugging.
+
+#include <string>
+
+#include "san/model.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+
+/// The SAN itself: places as circles (with initial tokens), timed activities
+/// as thick bars, instantaneous activities as thin bars. Arc structure is not
+/// recoverable from the functional specification, so activities are free-
+/// standing nodes annotated with their names.
+std::string model_to_dot(const SanModel& model);
+
+/// The tangible reachability graph: nodes are markings (labelled with the
+/// non-zero places), edges are transitions labelled "activity @ rate".
+std::string reachability_to_dot(const GeneratedChain& chain, size_t max_states = 512);
+
+}  // namespace gop::san

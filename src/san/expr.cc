@@ -1,0 +1,99 @@
+#include "san/expr.hh"
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+Predicate mark_eq(PlaceRef place, int32_t value) {
+  return [place, value](const Marking& m) { return m[place.index] == value; };
+}
+
+Predicate mark_ge(PlaceRef place, int32_t value) {
+  return [place, value](const Marking& m) { return m[place.index] >= value; };
+}
+
+Predicate has_tokens(PlaceRef place) {
+  return [place](const Marking& m) { return m[place.index] > 0; };
+}
+
+Predicate always() {
+  return [](const Marking&) { return true; };
+}
+
+Predicate all_of(std::vector<Predicate> predicates) {
+  GOP_REQUIRE(!predicates.empty(), "all_of needs at least one predicate");
+  return [predicates = std::move(predicates)](const Marking& m) {
+    for (const Predicate& p : predicates) {
+      if (!p(m)) return false;
+    }
+    return true;
+  };
+}
+
+Predicate any_of(std::vector<Predicate> predicates) {
+  GOP_REQUIRE(!predicates.empty(), "any_of needs at least one predicate");
+  return [predicates = std::move(predicates)](const Marking& m) {
+    for (const Predicate& p : predicates) {
+      if (p(m)) return true;
+    }
+    return false;
+  };
+}
+
+Predicate negate(Predicate predicate) {
+  GOP_REQUIRE(static_cast<bool>(predicate), "negate needs a predicate");
+  return [predicate = std::move(predicate)](const Marking& m) { return !predicate(m); };
+}
+
+RateFn constant_rate(double rate) {
+  GOP_REQUIRE(rate > 0.0, "constant_rate must be positive");
+  return [rate](const Marking&) { return rate; };
+}
+
+ProbFn constant_prob(double probability) {
+  GOP_REQUIRE(probability >= 0.0 && probability <= 1.0, "probability must be in [0,1]");
+  return [probability](const Marking&) { return probability; };
+}
+
+ProbFn complement_prob(ProbFn probability) {
+  GOP_REQUIRE(static_cast<bool>(probability), "complement_prob needs a probability");
+  return [probability = std::move(probability)](const Marking& m) { return 1.0 - probability(m); };
+}
+
+RateFn rate_per_token(PlaceRef place, double rate) {
+  GOP_REQUIRE(rate > 0.0, "rate_per_token must be positive");
+  return [place, rate](const Marking& m) { return rate * static_cast<double>(m[place.index]); };
+}
+
+Effect set_mark(PlaceRef place, int32_t value) {
+  GOP_REQUIRE(value >= 0, "marking values are non-negative");
+  return [place, value](Marking& m) { m[place.index] = value; };
+}
+
+Effect add_mark(PlaceRef place, int32_t delta) {
+  return [place, delta](Marking& m) {
+    const int32_t updated = m[place.index] + delta;
+    GOP_ENSURE(updated >= 0, "effect drove a place marking negative");
+    m[place.index] = updated;
+  };
+}
+
+Effect no_effect() {
+  return [](Marking&) {};
+}
+
+Effect sequence(std::vector<Effect> effects) {
+  return [effects = std::move(effects)](Marking& m) {
+    for (const Effect& e : effects) e(m);
+  };
+}
+
+Effect when(Predicate predicate, Effect effect) {
+  GOP_REQUIRE(static_cast<bool>(predicate) && static_cast<bool>(effect),
+              "when() needs a predicate and an effect");
+  return [predicate = std::move(predicate), effect = std::move(effect)](Marking& m) {
+    if (predicate(m)) effect(m);
+  };
+}
+
+}  // namespace gop::san

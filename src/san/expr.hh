@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file expr.hh
+/// Small combinators for building marking predicates, rates, probabilities
+/// and effects without lambda boilerplate. They mirror UltraSAN's
+/// MARK(place)-style expressions, e.g.
+///
+///   mark_eq(detected, 1) && mark_eq(failure, 0)
+///
+/// becomes
+///
+///   all_of({mark_eq(detected, 1), mark_eq(failure, 0)})
+
+#include <initializer_list>
+#include <vector>
+
+#include "san/model.hh"
+
+namespace gop::san {
+
+// --- predicates -----------------------------------------------------------
+
+/// MARK(place) == value
+Predicate mark_eq(PlaceRef place, int32_t value);
+/// MARK(place) >= value
+Predicate mark_ge(PlaceRef place, int32_t value);
+/// MARK(place) > 0
+Predicate has_tokens(PlaceRef place);
+/// Always true.
+Predicate always();
+
+Predicate all_of(std::vector<Predicate> predicates);
+Predicate any_of(std::vector<Predicate> predicates);
+Predicate negate(Predicate predicate);
+
+// --- rates and probabilities ----------------------------------------------
+
+/// Marking-independent rate/probability.
+RateFn constant_rate(double rate);
+ProbFn constant_prob(double probability);
+
+/// 1 - p(m), for two-case activities.
+ProbFn complement_prob(ProbFn probability);
+
+/// rate * MARK(place)  (infinite-server style marking dependence).
+RateFn rate_per_token(PlaceRef place, double rate_per_token);
+
+// --- effects ----------------------------------------------------------------
+
+/// MARK(place) = value
+Effect set_mark(PlaceRef place, int32_t value);
+/// MARK(place) += delta (clamped at zero from below; a SAN marking is
+/// non-negative by construction and the clamp surfaces modeling errors via
+/// GOP_ENSURE instead of wrapping).
+Effect add_mark(PlaceRef place, int32_t delta);
+/// No marking change.
+Effect no_effect();
+/// Applies the effects in order.
+Effect sequence(std::vector<Effect> effects);
+/// Applies `effect` only when `predicate` holds in the marking *before* any
+/// of the enclosing sequence's effects ran — evaluate guards against the
+/// marking as the effect receives it.
+Effect when(Predicate predicate, Effect effect);
+
+}  // namespace gop::san

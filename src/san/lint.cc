@@ -1,0 +1,127 @@
+#include "san/lint.hh"
+
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+std::vector<size_t> strongly_connected_components(const markov::Ctmc& chain,
+                                                  size_t* component_count) {
+  const size_t n = chain.state_count();
+  const linalg::CsrMatrix& rates = chain.rate_matrix();
+
+  // Iterative Tarjan (explicit stack to survive deep graphs).
+  std::vector<size_t> index(n, SIZE_MAX);
+  std::vector<size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> component(n, SIZE_MAX);
+  std::vector<size_t> stack;
+  size_t next_index = 0;
+  size_t components = 0;
+
+  struct Frame {
+    size_t state;
+    size_t edge;  // next outgoing edge offset to visit
+  };
+
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != SIZE_MAX) continue;
+    std::vector<Frame> call_stack{{root, rates.row_ptr()[root]}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const size_t s = frame.state;
+      if (frame.edge < rates.row_ptr()[s + 1]) {
+        const size_t target = rates.col_idx()[frame.edge++];
+        if (index[target] == SIZE_MAX) {
+          index[target] = lowlink[target] = next_index++;
+          stack.push_back(target);
+          on_stack[target] = true;
+          call_stack.push_back(Frame{target, rates.row_ptr()[target]});
+        } else if (on_stack[target]) {
+          lowlink[s] = std::min(lowlink[s], index[target]);
+        }
+        continue;
+      }
+      // Done with s: pop a component if s is a root.
+      if (lowlink[s] == index[s]) {
+        while (true) {
+          const size_t member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          component[member] = components;
+          if (member == s) break;
+        }
+        ++components;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink[call_stack.back().state] =
+            std::min(lowlink[call_stack.back().state], lowlink[s]);
+      }
+    }
+  }
+
+  if (component_count != nullptr) *component_count = components;
+  return component;
+}
+
+ModelDiagnostics diagnose(const GeneratedChain& chain) {
+  ModelDiagnostics diagnostics;
+
+  // Dead timed activities: enabled in no reachable tangible marking.
+  const SanModel& model = chain.model();
+  for (const TimedActivity& activity : model.timed_activities()) {
+    bool enabled_somewhere = false;
+    for (const Marking& marking : chain.states()) {
+      if (activity.enabled(marking)) {
+        enabled_somewhere = true;
+        break;
+      }
+    }
+    if (!enabled_somewhere) diagnostics.dead_timed_activities.push_back(activity.name);
+  }
+
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    if (chain.ctmc().is_absorbing(s)) diagnostics.absorbing_states.push_back(s);
+  }
+
+  size_t component_count = 0;
+  const std::vector<size_t> component =
+      strongly_connected_components(chain.ctmc(), &component_count);
+  diagnostics.irreducible = component_count == 1;
+
+  // Bottom components: no transition leaves them.
+  std::vector<bool> has_exit(component_count, false);
+  const linalg::CsrMatrix& rates = chain.ctmc().rate_matrix();
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+      if (component[rates.col_idx()[k]] != component[s]) has_exit[component[s]] = true;
+    }
+  }
+  for (bool exits : has_exit) {
+    if (!exits) ++diagnostics.recurrent_class_count;
+  }
+  return diagnostics;
+}
+
+std::string ModelDiagnostics::summary() const {
+  std::ostringstream os;
+  if (!dead_timed_activities.empty()) {
+    os << "dead timed activities:";
+    for (const std::string& name : dead_timed_activities) os << ' ' << name;
+    os << '\n';
+  }
+  if (!absorbing_states.empty()) {
+    os << absorbing_states.size() << " absorbing state(s)\n";
+  }
+  os << (irreducible ? "chain is irreducible\n" : "chain is NOT irreducible\n");
+  os << recurrent_class_count << " recurrent class(es)\n";
+  return os.str();
+}
+
+}  // namespace gop::san

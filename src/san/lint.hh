@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file lint.hh
+/// Structural diagnostics on a generated reachability graph: dead
+/// activities, absorbing states, and communication structure (irreducibility
+/// / recurrent classes). Model bugs in SAN specifications usually show up
+/// here first — an activity whose guard can never hold, a "recoverable"
+/// model that secretly deadlocks, a chain fed to a steady-state solver that
+/// is not irreducible.
+
+#include <string>
+#include <vector>
+
+#include "san/state_space.hh"
+
+namespace gop::san {
+
+struct ModelDiagnostics {
+  /// Timed activities whose enabling predicate holds in no reachable
+  /// tangible marking (they can never fire).
+  std::vector<std::string> dead_timed_activities;
+
+  /// Indices of absorbing tangible states.
+  std::vector<size_t> absorbing_states;
+
+  /// True when the tangible chain is one strongly connected component (the
+  /// precondition of every steady-state solver).
+  bool irreducible = false;
+
+  /// Number of bottom (recurrent) strongly connected components. 1 with no
+  /// transient states means irreducible; several bottom components mean the
+  /// long-run behaviour depends on the starting state.
+  size_t recurrent_class_count = 0;
+
+  /// Human-readable one-line-per-finding report ("clean" when empty).
+  std::string summary() const;
+};
+
+/// Runs all diagnostics on a generated chain.
+ModelDiagnostics diagnose(const GeneratedChain& chain);
+
+/// Strongly connected components of the tangible transition graph, in
+/// reverse topological order (Tarjan). Exposed for tests and custom checks;
+/// component ids are assigned 0..k-1, `result[s]` is the component of state s.
+std::vector<size_t> strongly_connected_components(const markov::Ctmc& chain,
+                                                  size_t* component_count);
+
+}  // namespace gop::san

@@ -1,0 +1,31 @@
+#include "san/marking.hh"
+
+#include <sstream>
+
+namespace gop::san {
+
+std::string Marking::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << tokens_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+size_t MarkingHash::operator()(const Marking& m) const {
+  // FNV-1a over the token array.
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t token : m.tokens()) {
+    auto u = static_cast<uint32_t>(token);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (u >> (8 * byte)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace gop::san

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file marking.hh
+/// A marking assigns a token count to every place of a SAN. Markings are the
+/// states of the reachability graph; they hash and compare by value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gop::san {
+
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(size_t place_count, int32_t fill = 0) : tokens_(place_count, fill) {}
+  explicit Marking(std::vector<int32_t> tokens) : tokens_(std::move(tokens)) {}
+
+  size_t size() const { return tokens_.size(); }
+
+  int32_t operator[](size_t place) const { return tokens_[place]; }
+  int32_t& operator[](size_t place) { return tokens_[place]; }
+
+  const std::vector<int32_t>& tokens() const { return tokens_; }
+
+  bool operator==(const Marking& other) const = default;
+
+  /// "(1,0,2)" — mostly for diagnostics and the Graphviz export.
+  std::string to_string() const;
+
+ private:
+  std::vector<int32_t> tokens_;
+};
+
+struct MarkingHash {
+  size_t operator()(const Marking& m) const;
+};
+
+}  // namespace gop::san

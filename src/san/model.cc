@@ -1,0 +1,105 @@
+#include "san/model.hh"
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+SanModel::SanModel(std::string name) : name_(std::move(name)) {}
+
+PlaceRef SanModel::add_place(std::string name, int32_t initial_tokens) {
+  GOP_REQUIRE(!name.empty(), "place name must not be empty");
+  GOP_REQUIRE(initial_tokens >= 0, "initial token count must be non-negative");
+  for (const std::string& existing : place_names_) {
+    GOP_REQUIRE(existing != name, "duplicate place name: " + name);
+  }
+  place_names_.push_back(std::move(name));
+  initial_tokens_.push_back(initial_tokens);
+  return PlaceRef{place_names_.size() - 1};
+}
+
+const std::string& SanModel::place_name(PlaceRef place) const {
+  GOP_REQUIRE(place.index < place_names_.size(), "place index out of range");
+  return place_names_[place.index];
+}
+
+PlaceRef SanModel::place(const std::string& name) const {
+  for (size_t i = 0; i < place_names_.size(); ++i) {
+    if (place_names_[i] == name) return PlaceRef{i};
+  }
+  throw InvalidArgument("no place named '" + name + "' in model '" + name_ + "'");
+}
+
+Marking SanModel::initial_marking() const { return Marking(initial_tokens_); }
+
+ActivityRef SanModel::add_timed_activity(TimedActivity activity) {
+  GOP_REQUIRE(!activity.name.empty(), "activity name must not be empty");
+  GOP_REQUIRE(static_cast<bool>(activity.enabled), "activity needs an enabling predicate");
+  GOP_REQUIRE(static_cast<bool>(activity.rate), "timed activity needs a rate function");
+  GOP_REQUIRE(!activity.cases.empty(), "activity needs at least one case");
+  for (const Case& c : activity.cases) {
+    GOP_REQUIRE(static_cast<bool>(c.probability) && static_cast<bool>(c.effect),
+                "every case needs a probability and an effect");
+  }
+  timed_.push_back(std::move(activity));
+  registry_.push_back(RegistryEntry{true, timed_.size() - 1});
+  timed_refs_.push_back(registry_.size() - 1);
+  return ActivityRef{registry_.size() - 1};
+}
+
+ActivityRef SanModel::add_timed_activity(std::string name, Predicate enabled, RateFn rate,
+                                         Effect effect) {
+  TimedActivity activity;
+  activity.name = std::move(name);
+  activity.enabled = std::move(enabled);
+  activity.rate = std::move(rate);
+  activity.cases.push_back(Case{[](const Marking&) { return 1.0; }, std::move(effect)});
+  return add_timed_activity(std::move(activity));
+}
+
+ActivityRef SanModel::add_instantaneous_activity(InstantaneousActivity activity) {
+  GOP_REQUIRE(!activity.name.empty(), "activity name must not be empty");
+  GOP_REQUIRE(static_cast<bool>(activity.enabled), "activity needs an enabling predicate");
+  GOP_REQUIRE(!activity.cases.empty(), "activity needs at least one case");
+  for (const Case& c : activity.cases) {
+    GOP_REQUIRE(static_cast<bool>(c.probability) && static_cast<bool>(c.effect),
+                "every case needs a probability and an effect");
+  }
+  instant_.push_back(std::move(activity));
+  registry_.push_back(RegistryEntry{false, instant_.size() - 1});
+  instant_refs_.push_back(registry_.size() - 1);
+  return ActivityRef{registry_.size() - 1};
+}
+
+ActivityRef SanModel::add_instantaneous_activity(std::string name, Predicate enabled,
+                                                 Effect effect, int priority) {
+  InstantaneousActivity activity;
+  activity.name = std::move(name);
+  activity.enabled = std::move(enabled);
+  activity.priority = priority;
+  activity.cases.push_back(Case{[](const Marking&) { return 1.0; }, std::move(effect)});
+  return add_instantaneous_activity(std::move(activity));
+}
+
+const SanModel::RegistryEntry& SanModel::entry(ActivityRef activity) const {
+  GOP_REQUIRE(activity.index < registry_.size(), "activity index out of range");
+  return registry_[activity.index];
+}
+
+bool SanModel::is_timed(ActivityRef activity) const { return entry(activity).timed; }
+
+const std::string& SanModel::activity_name(ActivityRef activity) const {
+  const RegistryEntry& e = entry(activity);
+  return e.timed ? timed_[e.kind_index].name : instant_[e.kind_index].name;
+}
+
+ActivityRef SanModel::timed_ref(size_t timed_index) const {
+  GOP_REQUIRE(timed_index < timed_refs_.size(), "timed activity index out of range");
+  return ActivityRef{timed_refs_[timed_index]};
+}
+
+ActivityRef SanModel::instantaneous_ref(size_t instant_index) const {
+  GOP_REQUIRE(instant_index < instant_refs_.size(), "instantaneous activity index out of range");
+  return ActivityRef{instant_refs_[instant_index]};
+}
+
+}  // namespace gop::san

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file model.hh
+/// Stochastic activity network (SAN) model container, after Meyer, Movaghar
+/// and Sanders ("Stochastic activity networks: structure, behavior, and
+/// application", 1985), with the marking-dependent specification style of
+/// UltraSAN:
+///
+///  - places hold token counts (the marking);
+///  - timed activities fire after an exponential delay whose rate may depend
+///    on the marking, guarded by an arbitrary marking predicate (this
+///    subsumes input gates);
+///  - instantaneous activities fire in zero time with priority ordering;
+///  - each activity has one or more probabilistic *cases*; a case's effect
+///    function rewrites the marking (this subsumes output gates and arcs).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "san/marking.hh"
+
+namespace gop::san {
+
+/// Strongly typed index of a place within its model.
+struct PlaceRef {
+  size_t index = 0;
+};
+
+/// Strongly typed index of an activity (timed and instantaneous activities
+/// are numbered in one sequence; see SanModel::activity_name).
+struct ActivityRef {
+  size_t index = 0;
+};
+
+using Predicate = std::function<bool(const Marking&)>;
+using RateFn = std::function<double(const Marking&)>;
+using ProbFn = std::function<double(const Marking&)>;
+using Effect = std::function<void(Marking&)>;
+
+/// One probabilistic case of an activity: selected with probability
+/// `probability(marking)` on completion, then `effect` rewrites the marking.
+struct Case {
+  ProbFn probability;
+  Effect effect;
+};
+
+struct TimedActivity {
+  std::string name;
+  Predicate enabled;
+  RateFn rate;
+  std::vector<Case> cases;
+};
+
+struct InstantaneousActivity {
+  std::string name;
+  Predicate enabled;
+  /// Higher priority fires first when several instantaneous activities are
+  /// enabled; equal-priority enabled activities are selected uniformly.
+  int priority = 0;
+  std::vector<Case> cases;
+};
+
+class SanModel {
+ public:
+  explicit SanModel(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a place with its initial token count; returns its reference.
+  PlaceRef add_place(std::string name, int32_t initial_tokens = 0);
+
+  size_t place_count() const { return place_names_.size(); }
+  const std::string& place_name(PlaceRef place) const;
+
+  /// Looks a place up by name; throws gop::InvalidArgument when absent.
+  PlaceRef place(const std::string& name) const;
+
+  Marking initial_marking() const;
+
+  /// Adds a timed activity; `rate` must be positive wherever `enabled` holds.
+  /// Case probabilities must sum to 1 in every enabling marking (validated
+  /// during state-space generation and simulation). Returns the activity's
+  /// reference, usable as a transition label for impulse rewards.
+  ActivityRef add_timed_activity(TimedActivity activity);
+
+  /// Single-case convenience overload.
+  ActivityRef add_timed_activity(std::string name, Predicate enabled, RateFn rate, Effect effect);
+
+  ActivityRef add_instantaneous_activity(InstantaneousActivity activity);
+  ActivityRef add_instantaneous_activity(std::string name, Predicate enabled, Effect effect,
+                                         int priority = 0);
+
+  const std::vector<TimedActivity>& timed_activities() const { return timed_; }
+  const std::vector<InstantaneousActivity>& instantaneous_activities() const { return instant_; }
+
+  /// Total number of activities. ActivityRef indices are assigned in the
+  /// order add_*_activity was called, regardless of kind.
+  size_t activity_count() const { return registry_.size(); }
+  bool is_timed(ActivityRef activity) const;
+  const std::string& activity_name(ActivityRef activity) const;
+
+  /// ActivityRef of the i-th timed / instantaneous activity (the index into
+  /// timed_activities() / instantaneous_activities()).
+  ActivityRef timed_ref(size_t timed_index) const;
+  ActivityRef instantaneous_ref(size_t instant_index) const;
+
+ private:
+  struct RegistryEntry {
+    bool timed;
+    size_t kind_index;  // index into timed_ or instant_
+  };
+
+  const RegistryEntry& entry(ActivityRef activity) const;
+
+  std::string name_;
+  std::vector<std::string> place_names_;
+  std::vector<int32_t> initial_tokens_;
+  std::vector<TimedActivity> timed_;
+  std::vector<InstantaneousActivity> instant_;
+  std::vector<RegistryEntry> registry_;
+  std::vector<size_t> timed_refs_;    // timed index -> registry index
+  std::vector<size_t> instant_refs_;  // instantaneous index -> registry index
+};
+
+}  // namespace gop::san

@@ -1,0 +1,34 @@
+#include "san/phase_type.hh"
+
+#include "san/expr.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+
+ErlangActivity add_erlang_activity(SanModel& model, const std::string& name, Predicate enabled,
+                                   double rate, int32_t stages, Effect effect) {
+  GOP_REQUIRE(rate > 0.0, "Erlang activity rate must be positive");
+  GOP_REQUIRE(stages >= 1, "Erlang activity needs at least one stage");
+  GOP_REQUIRE(static_cast<bool>(enabled) && static_cast<bool>(effect),
+              "Erlang activity needs an enabling predicate and an effect");
+
+  ErlangActivity erlang;
+  erlang.stage = model.add_place(name + "_stage", 0);
+  const double stage_rate = rate * static_cast<double>(stages);
+
+  // Intermediate stages advance the counter ...
+  for (int32_t s = 0; s + 1 < stages; ++s) {
+    erlang.stage_activities.push_back(model.add_timed_activity(
+        name + "_s" + std::to_string(s), all_of({enabled, mark_eq(erlang.stage, s)}),
+        constant_rate(stage_rate), set_mark(erlang.stage, s + 1)));
+  }
+  // ... and the final stage resets it and applies the completion effect.
+  erlang.stage_activities.push_back(model.add_timed_activity(
+      name + "_s" + std::to_string(stages - 1),
+      all_of({std::move(enabled), mark_eq(erlang.stage, stages - 1)}),
+      constant_rate(stage_rate),
+      sequence({set_mark(erlang.stage, 0), std::move(effect)})));
+  return erlang;
+}
+
+}  // namespace gop::san

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file phase_type.hh
+/// Non-exponential activity durations by stage expansion. SAN timed
+/// activities are exponential; an Erlang-k duration (squared coefficient of
+/// variation 1/k, approaching a deterministic delay as k grows) is obtained
+/// by chaining k exponential stages through a hidden bookkeeping place. The
+/// helper wires the stages so callers keep the one-activity mental model:
+/// one enabling predicate, one completion effect.
+///
+/// Interruption policy: if the enabling predicate turns false mid-way, the
+/// stage counter *holds* and work resumes where it stopped when the
+/// predicate turns true again (preemptive-resume). The enabling predicate
+/// must not read the hidden stage place.
+
+#include <string>
+#include <vector>
+
+#include "san/model.hh"
+
+namespace gop::san {
+
+struct ErlangActivity {
+  /// Hidden place counting completed stages (0 .. stages-1).
+  PlaceRef stage;
+  /// The k stage-advance activities (label carriers for impulse rewards;
+  /// the *last* one applies the completion effect).
+  std::vector<ActivityRef> stage_activities;
+};
+
+/// Adds an Erlang-`stages` activity with mean duration 1/rate: each stage
+/// completes at rate `stages * rate`. On completion of the final stage the
+/// counter resets and `effect` is applied. Returns the bookkeeping handles.
+ErlangActivity add_erlang_activity(SanModel& model, const std::string& name, Predicate enabled,
+                                   double rate, int32_t stages, Effect effect);
+
+}  // namespace gop::san

@@ -1,0 +1,39 @@
+#include "san/reward.hh"
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+RewardStructure& RewardStructure::add(Predicate predicate, double rate) {
+  return add(std::move(predicate), [rate](const Marking&) { return rate; });
+}
+
+RewardStructure& RewardStructure::add(Predicate predicate, RateFn rate) {
+  GOP_REQUIRE(static_cast<bool>(predicate), "reward predicate must be callable");
+  GOP_REQUIRE(static_cast<bool>(rate), "reward rate must be callable");
+  rates_.push_back(PredicateRate{std::move(predicate), std::move(rate)});
+  return *this;
+}
+
+RewardStructure& RewardStructure::add_impulse(ActivityRef activity, double reward) {
+  impulses_.push_back(Impulse{activity.index, reward});
+  return *this;
+}
+
+double RewardStructure::rate_at(const Marking& marking) const {
+  double total = 0.0;
+  for (const PredicateRate& pr : rates_) {
+    if (pr.predicate(marking)) total += pr.rate(marking);
+  }
+  return total;
+}
+
+double RewardStructure::impulse_of(ActivityRef activity) const {
+  double total = 0.0;
+  for (const Impulse& imp : impulses_) {
+    if (imp.activity_index == activity.index) total += imp.reward;
+  }
+  return total;
+}
+
+}  // namespace gop::san

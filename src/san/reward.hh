@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file reward.hh
+/// UltraSAN-style reward structures: a list of predicate-rate pairs evaluated
+/// on tangible markings (rate rewards) plus optional per-activity impulse
+/// rewards. The paper's Tables 1 and 2 are expressed directly in this form.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "san/model.hh"
+
+namespace gop::san {
+
+/// A predicate-rate pair. When several predicates hold in a marking their
+/// rates add, exactly as in UltraSAN's reward variable specification.
+struct PredicateRate {
+  Predicate predicate;
+  RateFn rate;
+};
+
+class RewardStructure {
+ public:
+  RewardStructure() = default;
+  explicit RewardStructure(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `rate` for markings satisfying `predicate`.
+  RewardStructure& add(Predicate predicate, double rate);
+
+  /// Marking-dependent rate variant.
+  RewardStructure& add(Predicate predicate, RateFn rate);
+
+  /// Adds an impulse reward earned on every completion of `activity`.
+  RewardStructure& add_impulse(ActivityRef activity, double reward);
+
+  /// Total rate reward of a marking (sum over matching pairs).
+  double rate_at(const Marking& marking) const;
+
+  /// Impulse reward of an activity completion (0 when none registered).
+  double impulse_of(ActivityRef activity) const;
+
+  bool has_impulses() const { return !impulses_.empty(); }
+  const std::vector<PredicateRate>& rate_rewards() const { return rates_; }
+
+ private:
+  struct Impulse {
+    size_t activity_index;
+    double reward;
+  };
+
+  std::string name_;
+  std::vector<PredicateRate> rates_;
+  std::vector<Impulse> impulses_;
+};
+
+}  // namespace gop::san

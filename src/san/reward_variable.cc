@@ -1,0 +1,77 @@
+#include "san/reward_variable.hh"
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+const char* reward_variable_kind_name(RewardVariableKind kind) {
+  switch (kind) {
+    case RewardVariableKind::kInstantOfTime:
+      return "instant-of-time";
+    case RewardVariableKind::kAccumulated:
+      return "accumulated";
+    case RewardVariableKind::kTimeAveraged:
+      return "time-averaged";
+    case RewardVariableKind::kSteadyState:
+      return "steady-state";
+  }
+  return "unknown";
+}
+
+RewardVariable::RewardVariable(std::string name, RewardStructure structure,
+                               RewardVariableKind kind, double time)
+    : name_(std::move(name)), structure_(std::move(structure)), kind_(kind), time_(time) {
+  GOP_REQUIRE(!name_.empty(), "reward variable needs a name");
+  if (kind_ != RewardVariableKind::kSteadyState) {
+    GOP_REQUIRE(time_ >= 0.0, "reward variable needs a non-negative time");
+  }
+  if (kind_ == RewardVariableKind::kTimeAveraged) {
+    GOP_REQUIRE(time_ > 0.0, "time-averaged reward needs a positive horizon");
+  }
+}
+
+double RewardVariable::solve(const GeneratedChain& chain) const {
+  switch (kind_) {
+    case RewardVariableKind::kInstantOfTime:
+      return chain.instant_reward(structure_, time_);
+    case RewardVariableKind::kAccumulated:
+      return chain.accumulated_reward(structure_, time_);
+    case RewardVariableKind::kTimeAveraged:
+      return chain.accumulated_reward(structure_, time_) / time_;
+    case RewardVariableKind::kSteadyState:
+      return chain.steady_state_reward(structure_);
+  }
+  throw InternalError("unreachable reward variable kind");
+}
+
+sim::ReplicationResult RewardVariable::estimate(const SanSimulator& simulator,
+                                                const sim::ReplicationOptions& options) const {
+  switch (kind_) {
+    case RewardVariableKind::kInstantOfTime:
+      return simulator.estimate_instant_reward(structure_, time_, options);
+    case RewardVariableKind::kAccumulated:
+      return simulator.estimate_accumulated_reward(structure_, time_, options);
+    case RewardVariableKind::kTimeAveraged:
+    case RewardVariableKind::kSteadyState: {
+      GOP_REQUIRE(time_ > 0.0,
+                  "simulation estimate of a time-averaged/steady-state variable needs a "
+                  "positive horizon");
+      return sim::run_replications(
+          [&](sim::Rng& rng) {
+            return simulator.sample_accumulated_reward(rng, structure_, time_) / time_;
+          },
+          options);
+    }
+  }
+  throw InternalError("unreachable reward variable kind");
+}
+
+std::vector<double> solve_all(const GeneratedChain& chain,
+                              const std::vector<RewardVariable>& variables) {
+  std::vector<double> results;
+  results.reserve(variables.size());
+  for (const RewardVariable& variable : variables) results.push_back(variable.solve(chain));
+  return results;
+}
+
+}  // namespace gop::san

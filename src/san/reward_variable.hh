@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file reward_variable.hh
+/// UltraSAN-style *reward variables*: a reward structure plus the solution
+/// type it should be evaluated with (expected instant-of-time at t, expected
+/// accumulated over [0, t], time-averaged over [0, t], or steady state).
+/// A reward variable can be solved numerically against a generated chain or
+/// estimated by simulation — the same duality the paper's §7 advocates for
+/// hybrid evaluations.
+
+#include <string>
+#include <vector>
+
+#include "san/reward.hh"
+#include "san/simulator.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+
+enum class RewardVariableKind {
+  /// E[reward rate at time t].
+  kInstantOfTime,
+  /// E[reward accumulated over [0, t]] (rate and impulse parts).
+  kAccumulated,
+  /// E[reward accumulated over [0, t]] / t.
+  kTimeAveraged,
+  /// Steady-state expected reward (t ignored).
+  kSteadyState,
+};
+
+const char* reward_variable_kind_name(RewardVariableKind kind);
+
+class RewardVariable {
+ public:
+  RewardVariable(std::string name, RewardStructure structure, RewardVariableKind kind,
+                 double time = 0.0);
+
+  const std::string& name() const { return name_; }
+  RewardVariableKind kind() const { return kind_; }
+  double time() const { return time_; }
+  const RewardStructure& structure() const { return structure_; }
+
+  /// Numerical solution against a generated chain.
+  double solve(const GeneratedChain& chain) const;
+
+  /// Monte Carlo estimate by simulating the SAN (kSteadyState is estimated
+  /// as the time average over [0, time], so `time` must be set meaningfully
+  /// for it too).
+  sim::ReplicationResult estimate(const SanSimulator& simulator,
+                                  const sim::ReplicationOptions& options = {}) const;
+
+ private:
+  std::string name_;
+  RewardStructure structure_;
+  RewardVariableKind kind_;
+  double time_;
+};
+
+/// Solves a batch of variables against one chain (the common "study" shape:
+/// many measures, one model).
+std::vector<double> solve_all(const GeneratedChain& chain,
+                              const std::vector<RewardVariable>& variables);
+
+}  // namespace gop::san

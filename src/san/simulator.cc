@@ -1,0 +1,145 @@
+#include "san/simulator.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::san {
+
+SanSimulator::SanSimulator(const SanModel& model, SimulatorOptions options)
+    : model_(&model), options_(options) {}
+
+void SanSimulator::settle(Marking& marking, sim::Rng& rng, double now,
+                          const CompletionObserver& on_completion) const {
+  for (size_t depth = 0;; ++depth) {
+    GOP_REQUIRE(depth <= options_.max_vanishing_depth,
+                "vanishing-marking chain exceeded max_vanishing_depth during simulation at "
+                "marking " +
+                    marking.to_string());
+
+    // Highest-priority enabled instantaneous activities.
+    std::vector<size_t> enabled;
+    int best_priority = 0;
+    for (size_t i = 0; i < model_->instantaneous_activities().size(); ++i) {
+      const InstantaneousActivity& activity = model_->instantaneous_activities()[i];
+      if (!activity.enabled(marking)) continue;
+      if (enabled.empty() || activity.priority > best_priority) {
+        enabled.clear();
+        best_priority = activity.priority;
+      }
+      if (activity.priority == best_priority) enabled.push_back(i);
+    }
+    if (enabled.empty()) return;
+
+    const size_t chosen = enabled[rng.uniform_index(enabled.size())];
+    const InstantaneousActivity& activity = model_->instantaneous_activities()[chosen];
+
+    std::vector<double> weights(activity.cases.size());
+    for (size_t c = 0; c < activity.cases.size(); ++c) {
+      weights[c] = activity.cases[c].probability(marking);
+      GOP_REQUIRE(weights[c] >= -1e-12, "negative case probability in activity " + activity.name);
+      weights[c] = std::max(0.0, weights[c]);
+    }
+    const size_t case_index = rng.categorical(weights);
+    activity.cases[case_index].effect(marking);
+    if (on_completion) on_completion(model_->instantaneous_ref(chosen), now);
+  }
+}
+
+Marking SanSimulator::simulate(sim::Rng& rng, double t_end, const SojournObserver& on_sojourn,
+                               const CompletionObserver& on_completion) const {
+  return simulate_until(rng, t_end, nullptr, on_sojourn, on_completion).marking;
+}
+
+SanSimulator::StopOutcome SanSimulator::simulate_until(sim::Rng& rng, double t_end,
+                                                       const Predicate& stop,
+                                                       const SojournObserver& on_sojourn,
+                                                       const CompletionObserver& on_completion) const {
+  GOP_REQUIRE(t_end >= 0.0 && std::isfinite(t_end), "t_end must be non-negative and finite");
+
+  Marking marking = model_->initial_marking();
+  double now = 0.0;
+  settle(marking, rng, now, on_completion);
+  if (stop && stop(marking)) return StopOutcome{std::move(marking), now, true};
+
+  while (now < t_end) {
+    // Enabled timed activities and their rates in the current marking.
+    std::vector<size_t> enabled;
+    std::vector<double> rates;
+    double total_rate = 0.0;
+    for (size_t i = 0; i < model_->timed_activities().size(); ++i) {
+      const TimedActivity& activity = model_->timed_activities()[i];
+      if (!activity.enabled(marking)) continue;
+      const double rate = activity.rate(marking);
+      GOP_REQUIRE(rate > 0.0 && std::isfinite(rate),
+                  "timed activity '" + activity.name + "' has a non-positive rate while enabled");
+      enabled.push_back(i);
+      rates.push_back(rate);
+      total_rate += rate;
+    }
+
+    if (enabled.empty()) {
+      // Absorbed: remain in this marking until the horizon.
+      if (on_sojourn) on_sojourn(marking, now, t_end);
+      return StopOutcome{std::move(marking), t_end, false};
+    }
+
+    const double dwell = rng.exponential(total_rate);
+    const double leave = now + dwell;
+    if (leave >= t_end) {
+      if (on_sojourn) on_sojourn(marking, now, t_end);
+      return StopOutcome{std::move(marking), t_end, false};
+    }
+    if (on_sojourn) on_sojourn(marking, now, leave);
+    now = leave;
+
+    const size_t which = rng.categorical(rates);
+    const size_t activity_index = enabled[which];
+    const TimedActivity& activity = model_->timed_activities()[activity_index];
+
+    std::vector<double> weights(activity.cases.size());
+    for (size_t c = 0; c < activity.cases.size(); ++c) {
+      weights[c] = std::max(0.0, activity.cases[c].probability(marking));
+    }
+    const size_t case_index = rng.categorical(weights);
+    activity.cases[case_index].effect(marking);
+    if (on_completion) on_completion(model_->timed_ref(activity_index), now);
+
+    settle(marking, rng, now, on_completion);
+    if (stop && stop(marking)) return StopOutcome{std::move(marking), now, true};
+  }
+  return StopOutcome{std::move(marking), t_end, false};
+}
+
+double SanSimulator::sample_instant_reward(sim::Rng& rng, const RewardStructure& reward,
+                                           double t) const {
+  const Marking final_marking = simulate(rng, t);
+  return reward.rate_at(final_marking);
+}
+
+double SanSimulator::sample_accumulated_reward(sim::Rng& rng, const RewardStructure& reward,
+                                               double t) const {
+  double total = 0.0;
+  const SojournObserver on_sojourn = [&](const Marking& marking, double enter, double leave) {
+    total += reward.rate_at(marking) * (leave - enter);
+  };
+  const CompletionObserver on_completion = [&](ActivityRef activity, double) {
+    total += reward.impulse_of(activity);
+  };
+  simulate(rng, t, on_sojourn, reward.has_impulses() ? on_completion : CompletionObserver{});
+  return total;
+}
+
+sim::ReplicationResult SanSimulator::estimate_instant_reward(
+    const RewardStructure& reward, double t, const sim::ReplicationOptions& options) const {
+  return sim::run_replications(
+      [&](sim::Rng& rng) { return sample_instant_reward(rng, reward, t); }, options);
+}
+
+sim::ReplicationResult SanSimulator::estimate_accumulated_reward(
+    const RewardStructure& reward, double t, const sim::ReplicationOptions& options) const {
+  return sim::run_replications(
+      [&](sim::Rng& rng) { return sample_accumulated_reward(rng, reward, t); }, options);
+}
+
+}  // namespace gop::san

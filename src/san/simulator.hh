@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file simulator.hh
+/// Discrete-event simulation of a SAN: samples trajectories of the marking
+/// process directly from the model (no state-space generation), and builds
+/// Monte Carlo estimators of the same reward measures the numerical solvers
+/// compute. Used to validate the solvers and as the "testbed-simulation-
+/// based" alternative solution technique the paper's §7 discusses.
+
+#include <functional>
+
+#include "san/model.hh"
+#include "san/reward.hh"
+#include "sim/replication.hh"
+#include "sim/rng.hh"
+
+namespace gop::san {
+
+/// Called for every maximal sojourn in a tangible marking.
+using SojournObserver = std::function<void(const Marking& marking, double enter, double leave)>;
+
+/// Called for every activity completion (timed and instantaneous).
+using CompletionObserver = std::function<void(ActivityRef activity, double time)>;
+
+struct SimulatorOptions {
+  /// Guard against loops among instantaneous activities.
+  size_t max_vanishing_depth = 128;
+};
+
+class SanSimulator {
+ public:
+  /// The simulator keeps a reference to `model`, which must outlive it.
+  explicit SanSimulator(const SanModel& model, SimulatorOptions options = {});
+  SanSimulator(SanModel&&, SimulatorOptions = {}) = delete;  // no temporaries
+
+  const SanModel& model() const { return *model_; }
+
+  /// Simulates one trajectory over [0, t_end]; returns the marking at t_end.
+  /// Observers may be null.
+  Marking simulate(sim::Rng& rng, double t_end, const SojournObserver& on_sojourn = nullptr,
+                   const CompletionObserver& on_completion = nullptr) const;
+
+  /// Outcome of an early-stopping run: the marking and time at which `stop`
+  /// first held (stopped == true) or the marking at t_end (stopped == false).
+  struct StopOutcome {
+    Marking marking;
+    double time = 0.0;
+    bool stopped = false;
+  };
+
+  /// Like simulate(), but ends as soon as a tangible marking satisfies
+  /// `stop`. The stop check runs on every tangible marking, including the
+  /// initial one.
+  StopOutcome simulate_until(sim::Rng& rng, double t_end, const Predicate& stop,
+                             const SojournObserver& on_sojourn = nullptr,
+                             const CompletionObserver& on_completion = nullptr) const;
+
+  /// One-trajectory estimate of the instant-of-time rate reward at t.
+  double sample_instant_reward(sim::Rng& rng, const RewardStructure& reward, double t) const;
+
+  /// One-trajectory estimate of the reward accumulated over [0, t] (rate and
+  /// impulse parts).
+  double sample_accumulated_reward(sim::Rng& rng, const RewardStructure& reward, double t) const;
+
+  /// Replicated Monte Carlo estimators of the solver measures.
+  sim::ReplicationResult estimate_instant_reward(const RewardStructure& reward, double t,
+                                                 const sim::ReplicationOptions& options = {}) const;
+  sim::ReplicationResult estimate_accumulated_reward(
+      const RewardStructure& reward, double t,
+      const sim::ReplicationOptions& options = {}) const;
+
+ private:
+  /// Fires instantaneous activities until the marking is tangible.
+  void settle(Marking& marking, sim::Rng& rng, double now,
+              const CompletionObserver& on_completion) const;
+
+  const SanModel* model_;
+  SimulatorOptions options_;
+};
+
+}  // namespace gop::san

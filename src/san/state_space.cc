@@ -1,0 +1,237 @@
+#include "san/state_space.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::san {
+
+namespace {
+
+/// A tangible marking reached from some source marking with a probability
+/// (product of case probabilities along instantaneous firings).
+struct ResolvedTarget {
+  Marking marking;
+  double probability;
+};
+
+class Explorer {
+ public:
+  Explorer(const SanModel& model, const GenerationOptions& options)
+      : model_(model), options_(options) {}
+
+  GeneratedChain run() {
+    const std::vector<ResolvedTarget> roots = resolve(model_.initial_marking(), 0);
+
+    std::vector<double> initial_weights;
+    for (const ResolvedTarget& root : roots) {
+      const size_t s = intern(root.marking);
+      if (initial_weights.size() <= s) initial_weights.resize(s + 1, 0.0);
+      initial_weights[s] += root.probability;
+    }
+
+    while (!frontier_.empty()) {
+      const size_t state = frontier_.front();
+      frontier_.pop_front();
+      expand(state);
+    }
+
+    initial_weights.resize(states_.size(), 0.0);
+    linalg::normalize_probability(initial_weights);
+    markov::Ctmc ctmc(states_.size(), std::move(transitions_), std::move(initial_weights));
+    return GeneratedChain(model_, std::move(states_), std::move(ctmc));
+  }
+
+ private:
+  size_t intern(const Marking& marking) {
+    auto [it, inserted] = index_.try_emplace(marking, states_.size());
+    if (inserted) {
+      GOP_REQUIRE(states_.size() < options_.max_states,
+                  str_format("state-space explosion: more than %zu tangible states",
+                             options_.max_states));
+      states_.push_back(marking);
+      frontier_.push_back(it->second);
+    }
+    return it->second;
+  }
+
+  /// The instantaneous activities enabled in `marking` at the highest
+  /// priority level (empty when the marking is tangible).
+  std::vector<size_t> enabled_instantaneous(const Marking& marking) const {
+    std::vector<size_t> enabled;
+    int best_priority = 0;
+    for (size_t i = 0; i < model_.instantaneous_activities().size(); ++i) {
+      const InstantaneousActivity& activity = model_.instantaneous_activities()[i];
+      if (!activity.enabled(marking)) continue;
+      if (enabled.empty() || activity.priority > best_priority) {
+        enabled.clear();
+        best_priority = activity.priority;
+      }
+      if (activity.priority == best_priority) enabled.push_back(i);
+    }
+    return enabled;
+  }
+
+  void validate_case_probabilities(const std::string& activity_name, const Marking& marking,
+                                   const std::vector<Case>& cases) const {
+    double total = 0.0;
+    for (const Case& c : cases) {
+      const double p = c.probability(marking);
+      GOP_REQUIRE(p >= -options_.probability_tolerance && p <= 1.0 + options_.probability_tolerance,
+                  "case probability of activity '" + activity_name + "' outside [0,1] in marking " +
+                      marking.to_string());
+      total += p;
+    }
+    GOP_REQUIRE(std::abs(total - 1.0) <= options_.probability_tolerance,
+                "case probabilities of activity '" + activity_name + "' sum to " +
+                    format_compact(total, 12) + " (expected 1) in marking " + marking.to_string());
+  }
+
+  /// Resolves a marking to its tangible successors by firing instantaneous
+  /// activities (highest priority first; uniform choice among equal
+  /// priorities; probabilistic cases).
+  std::vector<ResolvedTarget> resolve(const Marking& marking, size_t depth) const {
+    GOP_REQUIRE(depth <= options_.max_vanishing_depth,
+                "vanishing-marking chain exceeded max_vanishing_depth (loop among instantaneous "
+                "activities?) at marking " +
+                    marking.to_string());
+
+    const std::vector<size_t> enabled = enabled_instantaneous(marking);
+    if (enabled.empty()) return {ResolvedTarget{marking, 1.0}};
+
+    const double selection_probability = 1.0 / static_cast<double>(enabled.size());
+    std::vector<ResolvedTarget> targets;
+    for (size_t activity_index : enabled) {
+      const InstantaneousActivity& activity = model_.instantaneous_activities()[activity_index];
+      validate_case_probabilities(activity.name, marking, activity.cases);
+      for (const Case& c : activity.cases) {
+        const double p = c.probability(marking);
+        if (p <= options_.probability_tolerance) continue;
+        Marking next = marking;
+        c.effect(next);
+        for (ResolvedTarget& t : resolve(next, depth + 1)) {
+          t.probability *= selection_probability * p;
+          targets.push_back(std::move(t));
+        }
+      }
+    }
+    return targets;
+  }
+
+  void expand(size_t state) {
+    // NOTE: take a copy, states_ may reallocate while we intern successors.
+    const Marking marking = states_[state];
+    for (size_t i = 0; i < model_.timed_activities().size(); ++i) {
+      const TimedActivity& activity = model_.timed_activities()[i];
+      if (!activity.enabled(marking)) continue;
+      const double rate = activity.rate(marking);
+      GOP_REQUIRE(rate > 0.0 && std::isfinite(rate),
+                  "timed activity '" + activity.name +
+                      "' has a non-positive rate while enabled in marking " + marking.to_string());
+      validate_case_probabilities(activity.name, marking, activity.cases);
+
+      const int label = static_cast<int>(model_.timed_ref(i).index);
+      for (const Case& c : activity.cases) {
+        const double p = c.probability(marking);
+        if (p <= options_.probability_tolerance) continue;
+        Marking next = marking;
+        c.effect(next);
+        for (const ResolvedTarget& target : resolve(next, 0)) {
+          const size_t successor = intern(target.marking);
+          const double transition_rate = rate * p * target.probability;
+          if (transition_rate <= 0.0) continue;
+          transitions_.push_back(markov::Transition{state, successor, transition_rate, label});
+        }
+      }
+    }
+  }
+
+  const SanModel& model_;
+  const GenerationOptions& options_;
+  std::vector<Marking> states_;
+  std::unordered_map<Marking, size_t, MarkingHash> index_;
+  std::deque<size_t> frontier_;
+  std::vector<markov::Transition> transitions_;
+};
+
+}  // namespace
+
+GeneratedChain::GeneratedChain(const SanModel& model, std::vector<Marking> states,
+                               markov::Ctmc ctmc)
+    : model_(&model), states_(std::move(states)), ctmc_(std::move(ctmc)) {
+  for (size_t i = 0; i < states_.size(); ++i) index_.emplace(states_[i], i);
+}
+
+size_t GeneratedChain::state_index(const Marking& marking) const {
+  auto it = index_.find(marking);
+  GOP_REQUIRE(it != index_.end(),
+              "marking " + marking.to_string() + " is not a reachable tangible state");
+  return it->second;
+}
+
+std::vector<double> GeneratedChain::rate_reward_vector(const RewardStructure& reward) const {
+  std::vector<double> vec(states_.size(), 0.0);
+  for (size_t s = 0; s < states_.size(); ++s) vec[s] = reward.rate_at(states_[s]);
+  return vec;
+}
+
+void GeneratedChain::require_timed_impulses(const RewardStructure& reward) const {
+  if (!reward.has_impulses()) return;
+  for (size_t i = 0; i < model_->instantaneous_activities().size(); ++i) {
+    GOP_REQUIRE(reward.impulse_of(model_->instantaneous_ref(i)) == 0.0,
+                "impulse rewards on instantaneous activities are not supported (activity '" +
+                    model_->instantaneous_activities()[i].name + "')");
+  }
+}
+
+double GeneratedChain::instant_reward(const RewardStructure& reward, double t,
+                                      const markov::TransientOptions& options) const {
+  return markov::transient_reward(ctmc_, rate_reward_vector(reward), t, options);
+}
+
+double GeneratedChain::accumulated_reward(const RewardStructure& reward, double t,
+                                          const markov::AccumulatedOptions& options) const {
+  require_timed_impulses(reward);
+  const std::vector<double> occupancy = markov::accumulated_occupancy(ctmc_, t, options);
+  double total = linalg::dot(occupancy, rate_reward_vector(reward));
+  if (reward.has_impulses()) total += impulse_flux(reward, occupancy);
+  return total;
+}
+
+double GeneratedChain::steady_state_reward(const RewardStructure& reward,
+                                           const markov::SteadyStateOptions& options) const {
+  require_timed_impulses(reward);
+  const std::vector<double> pi = markov::steady_state_distribution(ctmc_, options);
+  double total = linalg::dot(pi, rate_reward_vector(reward));
+  if (reward.has_impulses()) total += impulse_flux(reward, pi);
+  return total;
+}
+
+double GeneratedChain::transient_probability(const Predicate& predicate, double t,
+                                             const markov::TransientOptions& options) const {
+  GOP_REQUIRE(static_cast<bool>(predicate), "predicate must be callable");
+  std::vector<double> indicator(states_.size(), 0.0);
+  for (size_t s = 0; s < states_.size(); ++s) indicator[s] = predicate(states_[s]) ? 1.0 : 0.0;
+  return markov::transient_reward(ctmc_, indicator, t, options);
+}
+
+double GeneratedChain::impulse_flux(const RewardStructure& reward,
+                                    const std::vector<double>& state_weights) const {
+  double total = 0.0;
+  for (const markov::Transition& tr : ctmc_.transitions()) {
+    if (tr.label < 0) continue;
+    const double impulse = reward.impulse_of(ActivityRef{static_cast<size_t>(tr.label)});
+    if (impulse == 0.0) continue;
+    total += impulse * tr.rate * state_weights[tr.from];
+  }
+  return total;
+}
+
+GeneratedChain generate_state_space(const SanModel& model, const GenerationOptions& options) {
+  return Explorer(model, options).run();
+}
+
+}  // namespace gop::san

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file state_space.hh
+/// Reachability-graph generation: explores the tangible markings of a SAN,
+/// eliminating vanishing markings (those enabling instantaneous activities)
+/// on the fly, and produces a labelled CTMC ready for the gop::markov
+/// solvers. The GeneratedChain also offers the three solver entry points the
+/// paper's reward tables use: expected instant-of-time, accumulated
+/// interval-of-time, and steady-state reward.
+
+#include <unordered_map>
+#include <vector>
+
+#include "markov/accumulated.hh"
+#include "markov/ctmc.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "san/model.hh"
+#include "san/reward.hh"
+
+namespace gop::san {
+
+struct GenerationOptions {
+  /// Hard cap on tangible states (explosion guard).
+  size_t max_states = 1'000'000;
+  /// Maximum chain length of instantaneous firings from one marking; a loop
+  /// among vanishing markings exceeds this and raises gop::ModelError.
+  size_t max_vanishing_depth = 128;
+  /// Case probabilities must sum to 1 within this tolerance; branches below
+  /// it are pruned.
+  double probability_tolerance = 1e-9;
+};
+
+class GeneratedChain {
+ public:
+  GeneratedChain(const SanModel& model, std::vector<Marking> states, markov::Ctmc ctmc);
+
+  const SanModel& model() const { return *model_; }
+  const std::vector<Marking>& states() const { return states_; }
+  size_t state_count() const { return states_.size(); }
+  const markov::Ctmc& ctmc() const { return ctmc_; }
+
+  /// Index of a tangible marking; throws gop::InvalidArgument when the
+  /// marking is not reachable (or vanishing).
+  size_t state_index(const Marking& marking) const;
+
+  /// Rate reward of each tangible state under `reward`.
+  std::vector<double> rate_reward_vector(const RewardStructure& reward) const;
+
+  /// Expected instant-of-time reward at time t (rate rewards only, as in
+  /// UltraSAN).
+  double instant_reward(const RewardStructure& reward, double t,
+                        const markov::TransientOptions& options = {}) const;
+
+  /// Expected reward accumulated over [0, t]: rate part plus expected impulse
+  /// completions. Impulse rewards are supported on timed activities only
+  /// (an impulse on an instantaneous activity raises gop::InvalidArgument).
+  double accumulated_reward(const RewardStructure& reward, double t,
+                            const markov::AccumulatedOptions& options = {}) const;
+
+  /// Expected steady-state reward: rate part plus steady-state impulse flux
+  /// (impulses per unit time). Requires an irreducible chain.
+  double steady_state_reward(const RewardStructure& reward,
+                             const markov::SteadyStateOptions& options = {}) const;
+
+  /// Probability of being in a marking satisfying `predicate` at time t.
+  double transient_probability(const Predicate& predicate, double t,
+                               const markov::TransientOptions& options = {}) const;
+
+ private:
+  double impulse_flux(const RewardStructure& reward,
+                      const std::vector<double>& state_weights) const;
+  void require_timed_impulses(const RewardStructure& reward) const;
+
+  const SanModel* model_;
+  std::vector<Marking> states_;
+  markov::Ctmc ctmc_;
+  std::unordered_map<Marking, size_t, MarkingHash> index_;
+};
+
+/// Explores the reachability graph from the model's initial marking. The
+/// returned chain keeps a reference to `model`, which must outlive it.
+GeneratedChain generate_state_space(const SanModel& model, const GenerationOptions& options = {});
+GeneratedChain generate_state_space(SanModel&&, const GenerationOptions& = {}) = delete;
+
+}  // namespace gop::san

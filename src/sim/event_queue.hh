@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file event_queue.hh
+/// Binary-heap future-event list for discrete-event simulation. Header-only:
+/// a thin, typed wrapper over std::priority_queue with stable tie-breaking by
+/// insertion order so simulations are reproducible across platforms.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace gop::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    uint64_t sequence;  // insertion order, breaks time ties deterministically
+    Payload payload;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  void schedule(double time, Payload payload) {
+    GOP_REQUIRE(time >= 0.0, "event time must be non-negative");
+    heap_.push(Event{time, next_sequence_++, std::move(payload)});
+  }
+
+  /// Time of the earliest event; queue must be non-empty.
+  double next_time() const {
+    GOP_REQUIRE(!heap_.empty(), "next_time on an empty event queue");
+    return heap_.top().time;
+  }
+
+  /// Removes and returns the earliest event.
+  Event pop() {
+    GOP_REQUIRE(!heap_.empty(), "pop on an empty event queue");
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+  void clear() {
+    heap_ = {};
+    next_sequence_ = 0;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace gop::sim

@@ -1,0 +1,44 @@
+#include "sim/replication.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::sim {
+
+ReplicationResult run_replications(const std::function<double(Rng&)>& replication,
+                                   const ReplicationOptions& options) {
+  GOP_REQUIRE(static_cast<bool>(replication), "replication functional must be callable");
+  GOP_REQUIRE(options.min_replications >= 2, "need at least two replications");
+  GOP_REQUIRE(options.max_replications >= options.min_replications,
+              "max_replications must be >= min_replications");
+
+  Rng master(options.seed);
+  ReplicationResult result;
+
+  auto target_met = [&]() {
+    if (options.target_half_width_abs <= 0.0 && options.target_half_width_rel <= 0.0) {
+      return false;
+    }
+    const double hw = result.stats.ci_half_width(options.confidence);
+    if (options.target_half_width_abs > 0.0 && hw <= options.target_half_width_abs) return true;
+    if (options.target_half_width_rel > 0.0 &&
+        hw <= options.target_half_width_rel * std::abs(result.stats.mean())) {
+      return true;
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < options.max_replications; ++i) {
+    Rng stream = master.fork();
+    result.stats.add(replication(stream));
+    if (result.stats.count() >= options.min_replications && target_met()) {
+      result.target_met = true;
+      break;
+    }
+  }
+  if (!result.target_met) result.target_met = target_met();
+  return result;
+}
+
+}  // namespace gop::sim

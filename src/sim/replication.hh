@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file replication.hh
+/// Replication runner for Monte Carlo experiments: runs a per-replication
+/// functional with an independent RNG stream each time, either for a fixed
+/// replication count or until a target confidence-interval half-width is met.
+
+#include <functional>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace gop::sim {
+
+struct ReplicationOptions {
+  uint64_t seed = 42;
+  /// Minimum / maximum number of replications.
+  size_t min_replications = 100;
+  size_t max_replications = 100'000;
+  /// Stop early once the 95% CI half-width falls below
+  /// `target_half_width_abs` or below `target_half_width_rel * |mean|`.
+  /// Set to 0 to disable the corresponding criterion.
+  double target_half_width_abs = 0.0;
+  double target_half_width_rel = 0.0;
+  double confidence = 0.95;
+};
+
+struct ReplicationResult {
+  OnlineStats stats;
+  bool target_met = false;
+
+  double mean() const { return stats.mean(); }
+  double half_width(double confidence = 0.95) const { return stats.ci_half_width(confidence); }
+  size_t replications() const { return stats.count(); }
+};
+
+/// Runs `replication(rng)` repeatedly, each call with a freshly forked RNG.
+ReplicationResult run_replications(const std::function<double(Rng&)>& replication,
+                                   const ReplicationOptions& options = {});
+
+}  // namespace gop::sim

@@ -1,0 +1,88 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace gop::sim {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 makes it practically
+  // impossible, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  GOP_REQUIRE(lo < hi, "uniform(lo, hi) requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::exponential(double rate) {
+  GOP_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // -log(1 - U) avoids log(0) since uniform() < 1.
+  return -std::log1p(-uniform()) / rate;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    GOP_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  GOP_REQUIRE(total > 0.0, "categorical weights must not all be zero");
+  double u = uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: u consumed by roundoff
+}
+
+uint64_t Rng::uniform_index(uint64_t n) {
+  GOP_REQUIRE(n > 0, "uniform_index needs n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  while (true) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace gop::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file rng.hh
+/// xoshiro256** pseudo-random generator (Blackman & Vigna) with SplitMix64
+/// seeding, plus the sampling primitives the discrete-event simulators need.
+/// Deterministic given a seed, cheap to fork into independent streams.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gop::sim {
+
+class Rng {
+ public:
+  /// Seeds via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential variate with the given rate (mean 1/rate). rate > 0.
+  double exponential(double rate);
+
+  /// True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index sampled from unnormalized non-negative weights; at least one
+  /// weight must be positive.
+  size_t categorical(const std::vector<double>& weights);
+
+  /// Uniform integer in [0, n).
+  uint64_t uniform_index(uint64_t n);
+
+  /// A generator seeded independently from this one's stream; use it to give
+  /// each replication its own stream.
+  Rng fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace gop::sim

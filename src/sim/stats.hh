@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file stats.hh
+/// Online statistics (Welford) and normal-approximation confidence intervals
+/// for Monte Carlo estimators.
+
+#include <cstddef>
+
+namespace gop::sim {
+
+/// Numerically stable running mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Standard error of the mean.
+  double std_error() const;
+
+  /// Half-width of the (normal-approximation) confidence interval at the
+  /// given confidence level (default 95%).
+  double ci_half_width(double confidence = 0.95) const;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided standard-normal quantile z with P(|Z| <= z) = confidence.
+/// Uses the Acklam rational approximation of the inverse normal CDF.
+double normal_two_sided_quantile(double confidence);
+
+}  // namespace gop::sim

@@ -1,0 +1,132 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop {
+
+CliFlags::CliFlags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+CliFlags& CliFlags::add_double(const std::string& name, double def, const std::string& help) {
+  const std::string text = format_compact(def, 12);
+  flags_[name] = Flag{Kind::kDouble, text, text, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_int(const std::string& name, long long def, const std::string& help) {
+  const std::string text = str_format("%lld", def);
+  flags_[name] = Flag{Kind::kInt, text, text, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_string(const std::string& name, const std::string& def,
+                               const std::string& help) {
+  flags_[name] = Flag{Kind::kString, def, def, help};
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_bool(const std::string& name, bool def, const std::string& help) {
+  const std::string text = def ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, help};
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    GOP_REQUIRE(starts_with(arg, "--"), "unexpected positional argument: " + arg);
+    arg.erase(0, 2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    GOP_REQUIRE(it != flags_.end(), "unknown flag --" + name + " (try --help)");
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        GOP_REQUIRE(i + 1 < argc, "flag --" + name + " requires a value");
+        value = argv[++i];
+      }
+    }
+    // Validate by kind.
+    switch (flag.kind) {
+      case Kind::kDouble: {
+        char* end = nullptr;
+        (void)std::strtod(value.c_str(), &end);
+        GOP_REQUIRE(end && *end == '\0' && !value.empty(),
+                    "flag --" + name + " expects a number, got '" + value + "'");
+        break;
+      }
+      case Kind::kInt: {
+        char* end = nullptr;
+        (void)std::strtoll(value.c_str(), &end, 10);
+        GOP_REQUIRE(end && *end == '\0' && !value.empty(),
+                    "flag --" + name + " expects an integer, got '" + value + "'");
+        break;
+      }
+      case Kind::kBool:
+        GOP_REQUIRE(value == "true" || value == "false",
+                    "flag --" + name + " expects true/false, got '" + value + "'");
+        break;
+      case Kind::kString:
+        break;
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  GOP_REQUIRE(it != flags_.end(), "flag --" + name + " was never registered");
+  GOP_REQUIRE(it->second.kind == kind, "flag --" + name + " accessed with the wrong type");
+  return it->second;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.def << ")\n      " << f.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gop

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file cli.hh
+/// Minimal command-line flag parser for the examples and benchmark binaries.
+///
+/// Supported syntax: `--name=value`, `--name value`, and bare `--name` for
+/// boolean flags. `--help` prints registered flags and exits.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gop {
+
+class CliFlags {
+ public:
+  /// `description` appears at the top of --help output.
+  CliFlags(std::string program, std::string description);
+
+  /// Registers a flag with a default value; returns *this for chaining.
+  CliFlags& add_double(const std::string& name, double def, const std::string& help);
+  CliFlags& add_int(const std::string& name, long long def, const std::string& help);
+  CliFlags& add_string(const std::string& name, const std::string& def, const std::string& help);
+  CliFlags& add_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv. Throws gop::InvalidArgument on unknown flags or malformed
+  /// values. If --help is present, prints usage to stdout and returns false
+  /// (callers should exit 0).
+  bool parse(int argc, const char* const* argv);
+
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kDouble, kInt, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual representation
+    std::string def;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace gop

@@ -1,0 +1,30 @@
+#include "util/error.hh"
+
+#include <sstream>
+
+namespace gop::detail {
+
+namespace {
+std::string compose(const char* kind, const char* cond, const char* file, int line,
+                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [condition `" << cond << "` failed at " << file << ':' << line
+     << ']';
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* cond, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(compose("invalid argument", cond, file, line, msg));
+}
+
+void throw_internal_error(const char* cond, const char* file, int line, const std::string& msg) {
+  throw InternalError(compose("internal error", cond, file, line, msg));
+}
+
+void throw_numerical_error(const char* cond, const char* file, int line, const std::string& msg) {
+  throw NumericalError(compose("numerical error", cond, file, line, msg));
+}
+
+}  // namespace gop::detail

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file error.hh
+/// Contract-checking macros and exception types used across the library.
+///
+/// Conventions (following the C++ Core Guidelines I.5/I.6/E.x):
+///  - GOP_REQUIRE  — precondition on caller-supplied arguments; throws
+///                   gop::InvalidArgument.
+///  - GOP_ENSURE   — internal invariant / postcondition; throws
+///                   gop::InternalError (a bug in this library, not the caller).
+///  - GOP_CHECK_NUMERIC — numerical-quality condition (convergence, tolerance);
+///                   throws gop::NumericalError.
+
+#include <stdexcept>
+#include <string>
+
+namespace gop {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numerical procedure fails to meet its accuracy contract
+/// (non-convergence, singular system, overflow of a stable recurrence, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a model is structurally unusable for the requested analysis
+/// (vanishing-marking loop, absorbing chain passed to a steady-state solver
+/// that requires irreducibility, ...).
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* cond, const char* file, int line,
+                                         const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* cond, const char* file, int line,
+                                       const std::string& msg);
+[[noreturn]] void throw_numerical_error(const char* cond, const char* file, int line,
+                                        const std::string& msg);
+}  // namespace detail
+
+}  // namespace gop
+
+#define GOP_REQUIRE(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::gop::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                           \
+  } while (false)
+
+#define GOP_ENSURE(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::gop::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)
+
+#define GOP_CHECK_NUMERIC(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::gop::detail::throw_numerical_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)

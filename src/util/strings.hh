@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file strings.hh
+/// Small string/format helpers (libstdc++ 12 has no std::format yet).
+
+#include <string>
+#include <vector>
+
+namespace gop {
+
+/// printf-style formatting into a std::string.
+/// Example: str_format("phi=%.0f Y=%.4f", phi, y)
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `precision` significant digits, trimming trailing
+/// zeros ("1.5", "0.0001", "12000").
+std::string format_compact(double value, int precision = 6);
+
+/// Joins elements with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace gop

@@ -1,0 +1,93 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GOP_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+TextTable& TextTable::begin_row() {
+  if (!rows_.empty()) {
+    GOP_REQUIRE(rows_.back().size() == headers_.size(),
+                "previous row is incomplete; fill all columns before begin_row()");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  GOP_REQUIRE(!rows_.empty(), "call begin_row() before add()");
+  GOP_REQUIRE(rows_.back().size() < headers_.size(), "row already has all columns");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add_double(double v, int precision) {
+  return add(format_compact(v, precision));
+}
+
+TextTable& TextTable::add_int(long long v) { return add(str_format("%lld", v)); }
+
+std::string TextTable::to_string(int indent) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 != headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << pad;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 != headers_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string() << '\n'; }
+
+}  // namespace gop

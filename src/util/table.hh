@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hh
+/// Console table and CSV rendering used by the benchmark harness and the
+/// examples to print paper-style tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gop {
+
+/// An append-only table of strings with aligned console rendering and CSV
+/// export. Cells are stored as text; use the typed add_* helpers to format
+/// numbers consistently.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_* calls fill it left to right.
+  TextTable& begin_row();
+
+  TextTable& add(std::string cell);
+  TextTable& add_double(double v, int precision = 6);
+  TextTable& add_int(long long v);
+
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return headers_.size(); }
+
+  /// Renders with padded columns, a header separator and `indent` leading
+  /// spaces per line.
+  std::string to_string(int indent = 0) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  std::string to_csv() const;
+
+  /// Convenience: prints to_string() to `os` followed by a newline.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gop

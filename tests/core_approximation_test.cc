@@ -1,0 +1,82 @@
+// Tests for the closed-form approximation: it must track the exact
+// reward-model solution closely at Table-3-like time-scale separation, and
+// its rho estimates must match the RMGp solutions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximation.hh"
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+namespace {
+
+TEST(Approximation, Rho1MatchesRmGp) {
+  const GsuParameters params = GsuParameters::table3();
+  const PerformabilityAnalyzer analyzer(params);
+  EXPECT_NEAR(approximate_rho1(params), analyzer.rho1(), 2e-3);
+}
+
+TEST(Approximation, Rho2MatchesRmGpWithinAFewPercent) {
+  const GsuParameters params = GsuParameters::table3();
+  const PerformabilityAnalyzer analyzer(params);
+  EXPECT_NEAR(approximate_rho2(params), analyzer.rho2(), 0.02);
+}
+
+TEST(Approximation, YTracksExactSolutionAcrossTheSweep) {
+  const GsuParameters params = GsuParameters::table3();
+  const PerformabilityAnalyzer analyzer(params);
+  for (double phi : linspace(0.0, params.theta, 11)) {
+    const double exact = analyzer.evaluate(phi).y;
+    const double approx =
+        approximate_y(params, phi, analyzer.rho1(), analyzer.rho2()).y;
+    EXPECT_NEAR(approx, exact, 0.02 * exact) << "phi=" << phi;
+  }
+}
+
+TEST(Approximation, ReproducesTheOptimumLocation) {
+  const GsuParameters params = GsuParameters::table3();
+  const PerformabilityAnalyzer analyzer(params);
+  double best_exact = 0.0, best_exact_y = -1.0;
+  double best_approx = 0.0, best_approx_y = -1.0;
+  for (double phi : linspace(0.0, params.theta, 11)) {
+    const double exact = analyzer.evaluate(phi).y;
+    if (exact > best_exact_y) {
+      best_exact_y = exact;
+      best_exact = phi;
+    }
+    const double approx = approximate_y(params, phi, analyzer.rho1(), analyzer.rho2()).y;
+    if (approx > best_approx_y) {
+      best_approx_y = approx;
+      best_approx = phi;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_exact, best_approx);  // 7000 on the paper's grid
+}
+
+TEST(Approximation, YAtZeroIsOne) {
+  const GsuParameters params = GsuParameters::table3();
+  const ApproximateResult r = approximate_y(params, 0.0, 0.98, 0.95);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Approximation, EW0MatchesExponentialSurvival) {
+  const GsuParameters params = GsuParameters::table3();
+  const ApproximateResult r = approximate_y(params, 5000.0, 0.98, 0.95);
+  EXPECT_NEAR(r.e_w0,
+              2.0 * params.theta * std::exp(-(params.mu_new + params.mu_old) * params.theta),
+              1e-9);
+}
+
+TEST(Approximation, Validation) {
+  const GsuParameters params = GsuParameters::table3();
+  EXPECT_THROW(approximate_y(params, -1.0, 0.98, 0.95), InvalidArgument);
+  EXPECT_THROW(approximate_y(params, 1e9, 0.98, 0.95), InvalidArgument);
+  EXPECT_THROW(approximate_y(params, 1.0, 0.0, 0.95), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::core

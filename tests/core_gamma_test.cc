@@ -1,0 +1,74 @@
+// Unit tests for the Eq-4 discount-factor policies.
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.hh"
+
+namespace gop::core {
+namespace {
+
+GammaInputs inputs(double i_tau_h, double i_tau_h_literal, double i_h, double p_detected,
+                   double theta) {
+  return GammaInputs{i_tau_h, i_tau_h_literal, i_h, p_detected, theta};
+}
+
+TEST(Gamma, PaperLinearUsesCensoredTau) {
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kPaperLinear, inputs(2500.0, 900.0, 0.4, 0.41, 10000.0), 0.9),
+      0.75);
+}
+
+TEST(Gamma, PaperLinearClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kPaperLinear, inputs(20000.0, 0.0, 0.1, 0.1, 10000.0), 0.9),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kPaperLinear, inputs(-5.0, 0.0, 0.1, 0.1, 10000.0), 0.9),
+      1.0);
+}
+
+TEST(Gamma, LiteralLinearUsesLiteralTau) {
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kLiteralLinear, inputs(2500.0, 1000.0, 0.4, 0.41, 10000.0),
+                     0.9),
+      0.9);
+}
+
+TEST(Gamma, ConstantIgnoresInputs) {
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kConstant, inputs(9999.0, 9999.0, 0.9, 0.9, 10000.0), 0.42),
+      0.42);
+  EXPECT_THROW(
+      evaluate_gamma(GammaPolicy::kConstant, inputs(0, 0, 0, 0, 1.0), 1.5),
+      InvalidArgument);
+}
+
+TEST(Gamma, ConditionalMeanDividesByDetectionMass) {
+  // literal tau 1000 over detection mass 0.5 -> conditional mean 2000 ->
+  // gamma = 1 - 2000/10000.
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kConditionalMean, inputs(0.0, 1000.0, 0.5, 0.5, 10000.0),
+                     0.9),
+      0.8);
+}
+
+TEST(Gamma, ConditionalMeanWithNoDetectionsIsOne) {
+  EXPECT_DOUBLE_EQ(
+      evaluate_gamma(GammaPolicy::kConditionalMean, inputs(0.0, 0.0, 0.0, 0.0, 10000.0), 0.9),
+      1.0);
+}
+
+TEST(Gamma, InvalidThetaThrows) {
+  EXPECT_THROW(evaluate_gamma(GammaPolicy::kPaperLinear, inputs(0, 0, 0, 0, 0.0), 0.9),
+               InvalidArgument);
+}
+
+TEST(Gamma, PolicyNames) {
+  EXPECT_STREQ(gamma_policy_name(GammaPolicy::kPaperLinear), "paper-linear");
+  EXPECT_STREQ(gamma_policy_name(GammaPolicy::kLiteralLinear), "literal-linear");
+  EXPECT_STREQ(gamma_policy_name(GammaPolicy::kConstant), "constant");
+  EXPECT_STREQ(gamma_policy_name(GammaPolicy::kConditionalMean), "conditional-mean");
+}
+
+}  // namespace
+}  // namespace gop::core

@@ -1,0 +1,135 @@
+// Cross-cutting integration tests of the core pipeline: reward variables vs
+// the analyzer, approximation across the parameter grid, lumping applied to
+// the GSU models, Krylov on the paper's chains, and the tools-level
+// consistency between independent solution paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximation.hh"
+#include "core/performability.hh"
+#include "markov/krylov.hh"
+#include "markov/lumping.hh"
+#include "markov/transient.hh"
+#include "san/lint.hh"
+#include "san/reward_variable.hh"
+
+namespace gop::core {
+namespace {
+
+const PerformabilityAnalyzer& analyzer() {
+  static const PerformabilityAnalyzer instance(GsuParameters::table3());
+  return instance;
+}
+
+TEST(CoreIntegration, RewardVariableApiMatchesAnalyzerMeasures) {
+  // The Table-1 measures expressed through the generic RewardVariable API
+  // must equal the analyzer's constituents.
+  const double phi = 6000.0;
+  const ConstituentMeasures m = analyzer().constituents(phi);
+  const RmGd& gd = analyzer().rm_gd();
+
+  const san::RewardVariable ih("Ih", gd.reward_ih(),
+                               san::RewardVariableKind::kInstantOfTime, phi);
+  const san::RewardVariable itauh("Itauh", gd.reward_itauh(),
+                                  san::RewardVariableKind::kAccumulated, phi);
+  EXPECT_NEAR(ih.solve(analyzer().gd_chain()), m.i_h, 1e-12);
+  EXPECT_NEAR(itauh.solve(analyzer().gd_chain()), m.i_tau_h, 1e-9);
+}
+
+TEST(CoreIntegration, LintReportsTheExpectedStructure) {
+  // RMGd: absorbing failure states, reducible; RMGp: irreducible, no dead
+  // activities; RMNd: absorbing.
+  const san::ModelDiagnostics gd = san::diagnose(analyzer().gd_chain());
+  EXPECT_FALSE(gd.irreducible);
+  EXPECT_FALSE(gd.absorbing_states.empty());
+  EXPECT_TRUE(gd.dead_timed_activities.empty());
+
+  const san::ModelDiagnostics gp = san::diagnose(analyzer().gp_chain());
+  EXPECT_TRUE(gp.irreducible);
+  EXPECT_TRUE(gp.absorbing_states.empty());
+  EXPECT_EQ(gp.recurrent_class_count, 1u);
+}
+
+TEST(CoreIntegration, RmNdChainLumpsByContaminationCount) {
+  // RMNd's pre-failure states with one contaminated process are symmetric
+  // only if the two processes have equal fault rates — build such a variant
+  // and verify the coarsest lumpable partition merges them.
+  GsuParameters params = GsuParameters::table3();
+  params.mu_new = params.mu_old;  // symmetric processes
+  const RmNd nd = build_rm_nd(params, params.mu_old);
+  const san::GeneratedChain chain = san::generate_state_space(nd.model);
+
+  // Seed: distinguish failure from alive.
+  markov::Partition seed(chain.state_count(), 0);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    if (chain.states()[s][nd.failure.index] == 1) seed[s] = 1;
+  }
+  const markov::Partition coarsest =
+      markov::coarsest_lumpable_partition(chain.ctmc(), seed);
+  EXPECT_LT(markov::block_count(coarsest), chain.state_count());
+  EXPECT_TRUE(markov::check_lumpable(chain.ctmc(), coarsest).lumpable);
+}
+
+TEST(CoreIntegration, KrylovAgreesOnRmGpModerateHorizon) {
+  // RMGp at t = 0.05 h: Lambda*t ~ 300 — comfortably within Krylov's range.
+  const markov::Ctmc& chain = analyzer().gp_chain().ctmc();
+  const double t = 0.05;
+  markov::TransientOptions dense;
+  dense.method = markov::TransientMethod::kMatrixExponential;
+  const std::vector<double> expected = markov::transient_distribution(chain, t, dense);
+  const std::vector<double> actual = markov::krylov_transient_distribution(chain, t);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    EXPECT_NEAR(actual[s], expected[s], 1e-8);
+  }
+}
+
+struct ApproxCase {
+  const char* label;
+  GsuParameters params;
+  double tolerance;
+};
+
+class ApproximationGrid : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ApproximationGrid, TracksExactYWithinTolerance) {
+  const ApproxCase& c = GetParam();
+  const PerformabilityAnalyzer exact(c.params);
+  for (double frac : {0.0, 0.3, 0.6, 0.9}) {
+    const double phi = frac * c.params.theta;
+    const double y_exact = exact.evaluate(phi).y;
+    const double y_approx = approximate_y(c.params, phi, exact.rho1(), exact.rho2()).y;
+    EXPECT_NEAR(y_approx, y_exact, c.tolerance * y_exact)
+        << c.label << " phi=" << phi;
+  }
+}
+
+std::vector<ApproxCase> approx_grid() {
+  std::vector<ApproxCase> cases;
+  const auto add = [&](const char* label, double tol, auto mutate) {
+    GsuParameters p = GsuParameters::table3();
+    mutate(p);
+    cases.push_back(ApproxCase{label, p, tol});
+  };
+  add("table3", 0.02, [](GsuParameters&) {});
+  add("low_coverage", 0.02, [](GsuParameters& p) { p.coverage = 0.3; });
+  add("high_fault", 0.03, [](GsuParameters& p) { p.mu_new = 5e-4; });
+  add("short_theta", 0.02, [](GsuParameters& p) { p.theta = 3000.0; });
+  add("flaky_old", 0.05, [](GsuParameters& p) { p.mu_old = 1e-6; });
+  // Weak separation (lambda only 100x mu*theta scale): the dominant-term
+  // argument degrades gracefully, not catastrophically.
+  add("weak_separation", 0.10, [](GsuParameters& p) {
+    p.lambda = 10.0;
+    p.alpha = p.beta = 50.0;
+  });
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ApproximationGrid, ::testing::ValuesIn(approx_grid()),
+                         [](const ::testing::TestParamInfo<ApproxCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace gop::core

@@ -1,0 +1,144 @@
+// Tests for the Monte Carlo validator of the untranslated formulation, and
+// its agreement with the translated reward-model solution.
+//
+// The comparisons run on GsuParameters::scaled_mission(): Table 3 with theta
+// compressed and the fault rates scaled up so every dimensionless quantity
+// the analysis depends on is preserved, but a simulated mission path costs
+// ~100x fewer events (see params.hh). Structural sample tests use Table 3
+// itself with phi = 0 paths, which are cheap.
+
+#include <gtest/gtest.h>
+
+#include "core/mc_validator.hh"
+#include "core/performability.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+namespace {
+
+GsuParameters scaled() { return GsuParameters::scaled_mission(100.0); }
+
+McOptions quick_options(size_t replications) {
+  McOptions options;
+  options.replications.min_replications = replications;
+  options.replications.max_replications = replications;
+  return options;
+}
+
+TEST(McValidator, W0SamplesAreBinaryWorth) {
+  const GsuParameters params = scaled();
+  const McValidator validator(params);
+  sim::Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const double w = validator.sample_w0(rng);
+    EXPECT_TRUE(w == 0.0 || w == 2.0 * params.theta) << w;
+  }
+}
+
+TEST(McValidator, W0MeanMatchesSurvivalProbability) {
+  const GsuParameters params = scaled();
+  const PerformabilityAnalyzer analyzer(params);
+  const double expected = 2.0 * params.theta * analyzer.constituents(0.0).p_nd_theta;
+
+  const McValidator validator(params, quick_options(4000));
+  const McPerformability estimate =
+      validator.estimate(0.0, analyzer.rho1(), analyzer.rho2(), 1.0);
+  EXPECT_NEAR(estimate.e_w0.mean, expected, 3.0 * estimate.e_w0.half_width);
+}
+
+TEST(McValidator, ScaledMissionPreservesTheAnalysis) {
+  // The point of scaled_mission(): the translated solution is (nearly)
+  // invariant under the compression, so validating there validates here.
+  const PerformabilityAnalyzer full(GsuParameters::table3());
+  const PerformabilityAnalyzer compressed(scaled());
+  EXPECT_NEAR(full.rho1(), compressed.rho1(), 1e-12);
+  EXPECT_NEAR(full.rho2(), compressed.rho2(), 1e-12);
+  // Y at corresponding phi (same fraction of theta): equal up to the
+  // time-scale-separation residue.
+  const double y_full = full.evaluate(0.7 * full.parameters().theta).y;
+  const double y_compressed = compressed.evaluate(0.7 * compressed.parameters().theta).y;
+  EXPECT_NEAR(y_full, y_compressed, 0.01 * y_full);
+}
+
+TEST(McValidator, WphiSamplesAreBounded) {
+  const GsuParameters params = scaled();
+  const McValidator validator(params);
+  sim::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double w = validator.sample_wphi(rng, 0.5 * params.theta, 1.9, 0.6);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 2.0 * params.theta + 1e-9);
+  }
+}
+
+TEST(McValidator, AgreesWithTranslatedSolutionAtModeratePhi) {
+  const GsuParameters params = scaled();
+  const PerformabilityAnalyzer analyzer(params);
+  const McValidator validator(params, quick_options(6000));
+
+  const double phi = 0.5 * params.theta;
+  const PerformabilityResult translated = analyzer.evaluate(phi);
+  const McPerformability mc =
+      validator.estimate(phi, analyzer.rho1(), analyzer.rho2(), translated.gamma);
+
+  // The translation carries deliberate approximations, so compare loosely:
+  // Y within a few percent and E[Wphi] within combined tolerance.
+  EXPECT_NEAR(mc.y, translated.y, 0.08 * translated.y);
+  EXPECT_NEAR(mc.e_wphi.mean, translated.e_wphi,
+              4.0 * mc.e_wphi.half_width + 0.02 * translated.e_wphi);
+}
+
+TEST(McValidator, YIntervalBracketsEstimate) {
+  const GsuParameters params = scaled();
+  const PerformabilityAnalyzer analyzer(params);
+  const McValidator validator(params, quick_options(2000));
+  const McPerformability mc =
+      validator.estimate(0.4 * params.theta, analyzer.rho1(), analyzer.rho2(), 0.7);
+  EXPECT_LE(mc.y_low, mc.y);
+  EXPECT_GE(mc.y_high, mc.y);
+}
+
+TEST(McValidator, PerPathGammaDiffersFromScalar) {
+  const GsuParameters params = scaled();
+  const PerformabilityAnalyzer analyzer(params);
+  const double phi = 0.7 * params.theta;
+  const PerformabilityResult r = analyzer.evaluate(phi);
+
+  McOptions scalar = quick_options(4000);
+  McOptions per_path = quick_options(4000);
+  per_path.per_path_gamma = true;
+  const McValidator scalar_validator(params, scalar);
+  const McValidator per_path_validator(params, per_path);
+
+  const McPerformability a =
+      scalar_validator.estimate(phi, analyzer.rho1(), analyzer.rho2(), r.gamma);
+  const McPerformability b =
+      per_path_validator.estimate(phi, analyzer.rho1(), analyzer.rho2(), r.gamma);
+  // Same seeds, different discounting: estimates must differ.
+  EXPECT_NE(a.e_wphi.mean, b.e_wphi.mean);
+}
+
+TEST(McValidator, DeterministicGivenSeeds) {
+  const GsuParameters params = scaled();
+  const McValidator a(params, quick_options(500));
+  const McValidator b(params, quick_options(500));
+  const McPerformability ra = a.estimate(0.3 * params.theta, 0.98, 0.95, 0.8);
+  const McPerformability rb = b.estimate(0.3 * params.theta, 0.98, 0.95, 0.8);
+  EXPECT_DOUBLE_EQ(ra.e_wphi.mean, rb.e_wphi.mean);
+  EXPECT_DOUBLE_EQ(ra.y, rb.y);
+}
+
+TEST(McValidator, PhiOutOfRangeThrows) {
+  const McValidator validator(scaled());
+  sim::Rng rng(1);
+  EXPECT_THROW(validator.sample_wphi(rng, -1.0, 1.9, 0.5), InvalidArgument);
+  EXPECT_THROW(validator.sample_wphi(rng, 1e9, 1.9, 0.5), InvalidArgument);
+}
+
+TEST(McValidator, ScaledCompressionValidation) {
+  EXPECT_THROW(GsuParameters::scaled_mission(0.5), InvalidArgument);
+  EXPECT_NO_THROW(GsuParameters::scaled_mission(1.0));
+}
+
+}  // namespace
+}  // namespace gop::core

@@ -1,0 +1,101 @@
+// Tests for the ablation variants of the SAN reward models: timed acceptance
+// tests in RMGd and Erlang safeguard durations in RMGp.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "san/expr.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+namespace {
+
+using san::generate_state_space;
+using san::GeneratedChain;
+
+TEST(RmGdTimedAt, LargerStateSpaceNoVanishingAtMarkings) {
+  const GsuParameters params = GsuParameters::table3();
+  const RmGd instant = build_rm_gd(params);
+  const RmGdOptions timed_options{.instantaneous_at = false};
+  const RmGd timed = build_rm_gd(params, timed_options);
+
+  const GeneratedChain instant_chain = generate_state_space(instant.model);
+  const GeneratedChain timed_chain = generate_state_space(timed.model);
+  // AT-pending markings become tangible in the timed variant.
+  EXPECT_GT(timed_chain.state_count(), instant_chain.state_count());
+  // The timed model has no instantaneous AT activities left.
+  EXPECT_EQ(timed.model.instantaneous_activities().size(), 0u);
+  EXPECT_EQ(instant.model.instantaneous_activities().size(), 2u);
+}
+
+TEST(RmGdTimedAt, MeasuresAgreeAtPaperRates) {
+  const GsuParameters params = GsuParameters::table3();
+  const RmGd instant = build_rm_gd(params);
+  const RmGdOptions timed_options{.instantaneous_at = false};
+  const RmGd timed = build_rm_gd(params, timed_options);
+
+  const GeneratedChain instant_chain = generate_state_space(instant.model);
+  const GeneratedChain timed_chain = generate_state_space(timed.model);
+  for (double phi : {2000.0, 7000.0}) {
+    EXPECT_NEAR(instant_chain.instant_reward(instant.reward_p_a1(), phi),
+                timed_chain.instant_reward(timed.reward_p_a1(), phi), 1e-6);
+    EXPECT_NEAR(instant_chain.instant_reward(instant.reward_ih(), phi),
+                timed_chain.instant_reward(timed.reward_ih(), phi), 1e-6);
+    EXPECT_NEAR(instant_chain.accumulated_reward(instant.reward_itauh(), phi),
+                timed_chain.accumulated_reward(timed.reward_itauh(), phi), 1e-2);
+  }
+}
+
+TEST(RmGdTimedAt, InstantMeasuresStillPartitionUnity) {
+  const RmGdOptions timed_options{.instantaneous_at = false};
+  const RmGd gd = build_rm_gd(GsuParameters::table3(), timed_options);
+  const GeneratedChain chain = generate_state_space(gd.model);
+  // The four Table-1 predicates partition the *verdict* classification even
+  // with AT-pending states (those carry detected==0 && failure==0).
+  san::RewardStructure a4;
+  a4.add(san::all_of({san::mark_eq(gd.detected, 0), san::mark_eq(gd.failure, 1)}), 1.0);
+  for (double phi : {1000.0, 9000.0}) {
+    const double total = chain.instant_reward(gd.reward_p_a1(), phi) +
+                         chain.instant_reward(gd.reward_ih(), phi) +
+                         chain.instant_reward(gd.reward_ihf(), phi) +
+                         chain.instant_reward(a4, phi);
+    // The 68-state timed variant is stiffer, so allow a few more ulps of
+    // exponential-squaring roundoff than the instantaneous model's 1e-9.
+    EXPECT_NEAR(total, 1.0, 1e-7);
+  }
+}
+
+TEST(RmGpErlang, OverheadsInsensitiveToDurationShape) {
+  const GsuParameters params = GsuParameters::table3();
+  const RmGp exponential = build_rm_gp(params);
+  const RmGpOptions erlang_options{.duration_stages = 4};
+  const RmGp erlang = build_rm_gp(params, erlang_options);
+
+  const GeneratedChain exp_chain = generate_state_space(exponential.model);
+  const GeneratedChain erl_chain = generate_state_space(erlang.model);
+  EXPECT_GT(erl_chain.state_count(), exp_chain.state_count());
+
+  EXPECT_NEAR(exp_chain.steady_state_reward(exponential.reward_overhead_p1n()),
+              erl_chain.steady_state_reward(erlang.reward_overhead_p1n()), 1e-4);
+  EXPECT_NEAR(exp_chain.steady_state_reward(exponential.reward_overhead_p2()),
+              erl_chain.steady_state_reward(erlang.reward_overhead_p2()), 1e-3);
+}
+
+TEST(RmGpErlang, StillIrreducible) {
+  const RmGpOptions erlang_options{.duration_stages = 3};
+  const RmGp gp = build_rm_gp(GsuParameters::table3(), erlang_options);
+  const GeneratedChain chain = generate_state_space(gp.model);
+  EXPECT_NO_THROW(chain.steady_state_reward(gp.reward_overhead_p2()));
+}
+
+TEST(ModelVariants, OptionValidation) {
+  const RmGpOptions bad{.duration_stages = 0};
+  EXPECT_THROW(build_rm_gp(GsuParameters::table3(), bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::core

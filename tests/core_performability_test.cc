@@ -1,0 +1,250 @@
+// Tests for the performability analyzer: boundary identities, monotonicity,
+// the paper's §6 anchor results, and the phi-sweep / optimizer utilities.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+
+namespace gop::core {
+namespace {
+
+/// Shared analyzer for the Table-3 parameters (construction does real work,
+/// so reuse it across tests in this suite).
+const PerformabilityAnalyzer& table3_analyzer() {
+  static const PerformabilityAnalyzer analyzer(GsuParameters::table3());
+  return analyzer;
+}
+
+TEST(Performability, YAtZeroPhiIsExactlyOne) {
+  // With no guarded operation E[Wphi] degenerates to E[W0], so Y(0) = 1 by
+  // construction — a built-in consistency check of the translation.
+  const PerformabilityResult r = table3_analyzer().evaluate(0.0);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.e_w0, r.e_wphi, 1e-9);
+  EXPECT_DOUBLE_EQ(r.y_s2, 0.0);
+}
+
+TEST(Performability, IdealWorthIsTwoTheta) {
+  const PerformabilityResult r = table3_analyzer().evaluate(5000.0);
+  EXPECT_DOUBLE_EQ(r.e_wi, 2.0 * table3_analyzer().parameters().theta);
+}
+
+TEST(Performability, EW0MatchesUnprotectedSurvival) {
+  const ConstituentMeasures m = table3_analyzer().constituents(0.0);
+  const PerformabilityResult r = table3_analyzer().evaluate(0.0);
+  EXPECT_NEAR(r.e_w0, 2.0 * 10000.0 * m.p_nd_theta, 1e-9);
+}
+
+TEST(Performability, PaperAnchorOptimumAt7000) {
+  // Figure 9, solid curve: grid optimum at phi = 7000 on the paper's
+  // 1000-hour grid.
+  const auto results = sweep_phi(table3_analyzer(), linspace(0.0, 10000.0, 11));
+  double best_phi = 0.0, best_y = -1.0;
+  for (const auto& r : results) {
+    if (r.y > best_y) {
+      best_y = r.y;
+      best_phi = r.phi;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_phi, 7000.0);
+  // The paper's curve peaks near 1.47; our reconstruction peaks near 1.54.
+  EXPECT_GT(best_y, 1.4);
+  EXPECT_LT(best_y, 1.7);
+}
+
+TEST(Performability, PaperAnchorLowerFaultRateShiftsOptimumEarlier) {
+  GsuParameters params = GsuParameters::table3();
+  params.mu_new = 0.5e-4;
+  const PerformabilityAnalyzer analyzer(params);
+  const auto results = sweep_phi(analyzer, linspace(0.0, 10000.0, 11));
+  double best_phi = 0.0, best_y = -1.0;
+  for (const auto& r : results) {
+    if (r.y > best_y) {
+      best_y = r.y;
+      best_phi = r.phi;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_phi, 5000.0);  // paper: 5000
+}
+
+TEST(Performability, PaperAnchorHigherOverheadShiftsOptimumEarlier) {
+  GsuParameters params = GsuParameters::table3();
+  params.alpha = 2500.0;
+  params.beta = 2500.0;
+  const PerformabilityAnalyzer analyzer(params);
+  EXPECT_NEAR(analyzer.rho1(), 0.95, 0.01);
+  EXPECT_NEAR(analyzer.rho2(), 0.90, 0.015);
+  const auto results = sweep_phi(analyzer, linspace(0.0, 10000.0, 11));
+  double best_phi = 0.0, best_y = -1.0;
+  for (const auto& r : results) {
+    if (r.y > best_y) {
+      best_y = r.y;
+      best_phi = r.phi;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_phi, 6000.0);  // paper: 6000
+}
+
+TEST(Performability, PaperAnchorShortThetaShiftsOptimumEarlier) {
+  GsuParameters params = GsuParameters::table3();
+  params.theta = 5000.0;
+  const PerformabilityAnalyzer analyzer(params);
+  const auto results = sweep_phi(analyzer, linspace(0.0, 5000.0, 11));
+  double best_phi = 0.0, best_y = -1.0;
+  for (const auto& r : results) {
+    if (r.y > best_y) {
+      best_y = r.y;
+      best_phi = r.phi;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_phi, 2500.0);  // paper: 2500
+}
+
+TEST(Performability, PaperAnchorVeryLowCoverageNotWorthwhile) {
+  GsuParameters params = GsuParameters::table3();
+  params.alpha = 2500.0;
+  params.beta = 2500.0;
+  params.coverage = 0.10;
+  const PerformabilityAnalyzer analyzer(params);
+  // Y <= ~1 everywhere and decreasing beyond small phi (paper §6 text).
+  const auto results = sweep_phi(analyzer, linspace(0.0, 10000.0, 11));
+  for (const auto& r : results) EXPECT_LT(r.y, 1.005);
+  EXPECT_LT(results.back().y, results[3].y);
+}
+
+TEST(Performability, CoverageSensitivityOfMaxY) {
+  // Figure 11: max Y increases with coverage.
+  double previous_max = 0.0;
+  for (double coverage : {0.50, 0.75, 0.95}) {
+    GsuParameters params = GsuParameters::table3();
+    params.alpha = 2500.0;
+    params.beta = 2500.0;
+    params.coverage = coverage;
+    const PerformabilityAnalyzer analyzer(params);
+    double best_y = -1.0;
+    for (const auto& r : sweep_phi(analyzer, linspace(0.0, 10000.0, 11))) {
+      best_y = std::max(best_y, r.y);
+    }
+    EXPECT_GT(best_y, previous_max);
+    previous_max = best_y;
+  }
+}
+
+TEST(Performability, ConstituentsAreProbabilitiesWherePromised) {
+  for (double phi : {0.0, 1.0, 500.0, 5000.0, 10000.0}) {
+    const ConstituentMeasures m = table3_analyzer().constituents(phi);
+    for (double p : {m.p_a1_phi, m.i_h, m.i_hf, m.p_nd_theta, m.p_nd_rest, m.i_f}) {
+      EXPECT_GE(p, -1e-12) << "phi=" << phi;
+      EXPECT_LE(p, 1.0 + 1e-12) << "phi=" << phi;
+    }
+    EXPECT_GE(m.i_tau_h, -1e-9);
+    EXPECT_LE(m.i_tau_h, phi + 1e-6);
+    EXPECT_GE(m.i_tau_h_literal, -1e-6);
+    EXPECT_LE(m.i_tau_h_literal, phi + 1e-6);
+  }
+}
+
+TEST(Performability, LiteralTauIsSmallerThanCensoredTau) {
+  // E[tau 1(detect by phi)] <= E[min(first event, phi)] for these models.
+  const ConstituentMeasures m = table3_analyzer().constituents(7000.0);
+  EXPECT_LT(m.i_tau_h_literal, m.i_tau_h);
+  // And the conditional mean is below phi.
+  EXPECT_LT(m.i_tau_h_literal / (m.i_h + m.i_hf), 7000.0);
+}
+
+TEST(Performability, GammaInUnitInterval) {
+  for (double phi : {0.0, 2000.0, 10000.0}) {
+    const PerformabilityResult r = table3_analyzer().evaluate(phi);
+    EXPECT_GE(r.gamma, 0.0);
+    EXPECT_LE(r.gamma, 1.0);
+  }
+}
+
+TEST(Performability, RhoOverridesAreHonored) {
+  AnalyzerOptions options;
+  options.override_rho1 = 0.9;
+  options.override_rho2 = 0.8;
+  const PerformabilityAnalyzer analyzer(GsuParameters::table3(), options);
+  EXPECT_DOUBLE_EQ(analyzer.rho1(), 0.9);
+  EXPECT_DOUBLE_EQ(analyzer.rho2(), 0.8);
+}
+
+TEST(Performability, HigherOverheadLowersY) {
+  AnalyzerOptions cheap, expensive;
+  cheap.override_rho1 = 0.99;
+  cheap.override_rho2 = 0.99;
+  expensive.override_rho1 = 0.80;
+  expensive.override_rho2 = 0.80;
+  const PerformabilityAnalyzer a(GsuParameters::table3(), cheap);
+  const PerformabilityAnalyzer b(GsuParameters::table3(), expensive);
+  EXPECT_GT(a.evaluate(6000.0).y, b.evaluate(6000.0).y);
+}
+
+TEST(Performability, PhiOutsideRangeThrows) {
+  EXPECT_THROW(table3_analyzer().evaluate(-1.0), InvalidArgument);
+  EXPECT_THROW(table3_analyzer().evaluate(10001.0), InvalidArgument);
+}
+
+TEST(Performability, NeglectedTermIsTiny) {
+  AnalyzerOptions options;
+  options.include_neglected_term = true;
+  const PerformabilityAnalyzer analyzer(GsuParameters::table3(), options);
+  const PerformabilityResult r = analyzer.evaluate(7000.0);
+  // Bound in mission-worth hours; compare with E[WI] = 2e4.
+  EXPECT_LT(r.neglected_term, 1.0);
+  EXPECT_GT(r.neglected_term, 0.0);
+  const double y_paper = table3_analyzer().evaluate(7000.0).y;
+  EXPECT_NEAR(r.y, y_paper, 1e-4);
+}
+
+// --- sweep / optimizer -------------------------------------------------------------
+
+TEST(Sweep, LinspaceEndpointsExact) {
+  const std::vector<double> v = linspace(0.0, 10000.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 10000.0);
+  EXPECT_DOUBLE_EQ(v[3], 3000.0);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), InvalidArgument);
+  EXPECT_THROW(linspace(2.0, 1.0, 3), InvalidArgument);
+}
+
+TEST(Sweep, SweepPreservesOrder) {
+  const auto results = sweep_phi(table3_analyzer(), {0.0, 5000.0, 10000.0});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].phi, 0.0);
+  EXPECT_DOUBLE_EQ(results[1].phi, 5000.0);
+  EXPECT_DOUBLE_EQ(results[2].phi, 10000.0);
+}
+
+TEST(Sweep, OptimizerRefinesBeyondGrid) {
+  OptimizeOptions options;
+  options.grid_points = 11;
+  options.phi_tolerance = 5.0;
+  const OptimalPhi best = find_optimal_phi(table3_analyzer(), options);
+  EXPECT_TRUE(best.beneficial);
+  // Refined optimum lies between the 6000 and 7000 grid points and beats the
+  // best grid value.
+  EXPECT_GT(best.phi, 6000.0);
+  EXPECT_LT(best.phi, 8000.0);
+  EXPECT_GE(best.y, table3_analyzer().evaluate(7000.0).y - 1e-9);
+}
+
+TEST(Sweep, OptimizerReportsNonBeneficialRegime) {
+  GsuParameters params = GsuParameters::table3();
+  params.alpha = 2500.0;
+  params.beta = 2500.0;
+  params.coverage = 0.05;
+  const PerformabilityAnalyzer analyzer(params);
+  OptimizeOptions options;
+  options.grid_points = 11;
+  options.phi_tolerance = 50.0;
+  const OptimalPhi best = find_optimal_phi(analyzer, options);
+  EXPECT_FALSE(best.beneficial);
+}
+
+}  // namespace
+}  // namespace gop::core

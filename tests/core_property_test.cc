@@ -1,0 +1,151 @@
+// Property-based tests: invariants of the translation pipeline swept across
+// the parameter space with parameterized gtest suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "san/expr.hh"
+
+namespace gop::core {
+namespace {
+
+struct ParamCase {
+  const char* label;
+  GsuParameters params;
+};
+
+std::vector<ParamCase> parameter_grid() {
+  std::vector<ParamCase> cases;
+  const auto add = [&](const char* label, auto mutate) {
+    GsuParameters p = GsuParameters::table3();
+    mutate(p);
+    cases.push_back(ParamCase{label, p});
+  };
+  add("table3", [](GsuParameters&) {});
+  add("low_fault_rate", [](GsuParameters& p) { p.mu_new = 0.5e-4; });
+  add("high_fault_rate", [](GsuParameters& p) { p.mu_new = 5e-4; });
+  add("slow_safeguards", [](GsuParameters& p) { p.alpha = p.beta = 2500.0; });
+  add("very_slow_safeguards", [](GsuParameters& p) { p.alpha = p.beta = 600.0; });
+  add("low_coverage", [](GsuParameters& p) { p.coverage = 0.3; });
+  add("high_coverage", [](GsuParameters& p) { p.coverage = 0.999; });
+  add("short_theta", [](GsuParameters& p) { p.theta = 5000.0; });
+  add("long_theta", [](GsuParameters& p) { p.theta = 20000.0; });
+  add("chatty_processes", [](GsuParameters& p) { p.lambda = 3600.0; });
+  add("mostly_external", [](GsuParameters& p) { p.p_ext = 0.5; });
+  add("flaky_old_version", [](GsuParameters& p) { p.mu_old = 1e-6; });
+  return cases;
+}
+
+class AnalyzerProperties : public ::testing::TestWithParam<ParamCase> {
+ protected:
+  static void TearDownTestSuite() { cache_.reset(); }
+
+  const PerformabilityAnalyzer& analyzer() {
+    const ParamCase& c = GetParam();
+    if (!cache_ || cached_label_ != c.label) {
+      cache_ = std::make_unique<PerformabilityAnalyzer>(c.params);
+      cached_label_ = c.label;
+    }
+    return *cache_;
+  }
+
+ private:
+  static std::unique_ptr<PerformabilityAnalyzer> cache_;
+  static std::string cached_label_;
+};
+
+std::unique_ptr<PerformabilityAnalyzer> AnalyzerProperties::cache_;
+std::string AnalyzerProperties::cached_label_;
+
+TEST_P(AnalyzerProperties, RhosAreValidFractions) {
+  EXPECT_GT(analyzer().rho1(), 0.0);
+  EXPECT_LE(analyzer().rho1(), 1.0);
+  EXPECT_GT(analyzer().rho2(), 0.0);
+  EXPECT_LE(analyzer().rho2(), 1.0);
+}
+
+TEST_P(AnalyzerProperties, YAtZeroIsOne) {
+  EXPECT_NEAR(analyzer().evaluate(0.0).y, 1.0, 1e-10);
+}
+
+TEST_P(AnalyzerProperties, InstantMeasuresPartitionUnity) {
+  const RmGd& gd = analyzer().rm_gd();
+  san::RewardStructure a4;
+  a4.add(san::all_of({san::mark_eq(gd.detected, 0), san::mark_eq(gd.failure, 1)}), 1.0);
+  const double theta = analyzer().parameters().theta;
+  for (double phi : {0.25 * theta, 0.75 * theta}) {
+    const ConstituentMeasures m = analyzer().constituents(phi);
+    const double a4_mass = analyzer().gd_chain().instant_reward(a4, phi);
+    EXPECT_NEAR(m.p_a1_phi + m.i_h + m.i_hf + a4_mass, 1.0, 1e-8);
+  }
+}
+
+TEST_P(AnalyzerProperties, MissionWorthBounds) {
+  const double theta = analyzer().parameters().theta;
+  for (double frac : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const PerformabilityResult r = analyzer().evaluate(frac * theta);
+    EXPECT_GE(r.e_wphi, -1e-9);
+    EXPECT_LE(r.e_wphi, r.e_wi + 1e-9);
+    EXPECT_GE(r.e_w0, -1e-9);
+    EXPECT_LE(r.e_w0, r.e_wi + 1e-9);
+    EXPECT_GT(r.y, 0.0);
+    EXPECT_TRUE(std::isfinite(r.y));
+  }
+}
+
+TEST_P(AnalyzerProperties, GammaWithinUnitInterval) {
+  const double theta = analyzer().parameters().theta;
+  for (double frac : {0.1, 0.6, 1.0}) {
+    const PerformabilityResult r = analyzer().evaluate(frac * theta);
+    EXPECT_GE(r.gamma, 0.0);
+    EXPECT_LE(r.gamma, 1.0);
+  }
+}
+
+TEST_P(AnalyzerProperties, SurvivalMeasuresMonotoneInPhi) {
+  // P(X'_phi in A'_1) is non-increasing in phi; Ih (CDF-like) and the
+  // censored Itauh are non-decreasing.
+  const double theta = analyzer().parameters().theta;
+  ConstituentMeasures previous = analyzer().constituents(0.0);
+  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+    const ConstituentMeasures m = analyzer().constituents(frac * theta);
+    EXPECT_LE(m.p_a1_phi, previous.p_a1_phi + 1e-10);
+    EXPECT_GE(m.i_h + m.i_hf, previous.i_h + previous.i_hf - 1e-10);
+    EXPECT_GE(m.i_tau_h, previous.i_tau_h - 1e-10);
+    previous = m;
+  }
+}
+
+TEST_P(AnalyzerProperties, RestOfMissionSurvivalDecreasingInRest) {
+  // p_nd_rest is evaluated at theta - phi, so it increases with phi.
+  const double theta = analyzer().parameters().theta;
+  double previous = analyzer().constituents(0.0).p_nd_rest;
+  for (double frac : {0.5, 1.0}) {
+    const double current = analyzer().constituents(frac * theta).p_nd_rest;
+    EXPECT_GE(current, previous - 1e-12);
+    previous = current;
+  }
+}
+
+TEST_P(AnalyzerProperties, IfDecreasesWithPhi) {
+  const double theta = analyzer().parameters().theta;
+  double previous = analyzer().constituents(0.0).i_f;
+  for (double frac : {0.5, 1.0}) {
+    const double current = analyzer().constituents(frac * theta).i_f;
+    EXPECT_LE(current, previous + 1e-12);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterGrid, AnalyzerProperties,
+                         ::testing::ValuesIn(parameter_grid()),
+                         [](const ::testing::TestParamInfo<ParamCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace gop::core

@@ -1,0 +1,95 @@
+// Tests for the GSU parameter-sensitivity utilities (tornado, derivatives).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sensitivity.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+namespace {
+
+TEST(ParameterAccess, RoundTripAllParameters) {
+  GsuParameters params = GsuParameters::table3();
+  for (GsuParameterId id : all_parameters()) {
+    const double original = get_parameter(params, id);
+    set_parameter(params, id, original * 1.5);
+    EXPECT_DOUBLE_EQ(get_parameter(params, id), original * 1.5) << parameter_name(id);
+    set_parameter(params, id, original);
+  }
+}
+
+TEST(ParameterAccess, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (GsuParameterId id : all_parameters()) names.emplace_back(parameter_name(id));
+  for (size_t i = 0; i < names.size(); ++i)
+    for (size_t j = i + 1; j < names.size(); ++j) EXPECT_NE(names[i], names[j]);
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Tornado, CoversAllParametersSortedBySwing) {
+  const auto entries = tornado_y(GsuParameters::table3(), 7000.0, 0.2);
+  ASSERT_EQ(entries.size(), 8u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].swing(), entries[i].swing());
+  }
+}
+
+TEST(Tornado, FaultRateAndCoverageDominate) {
+  // The paper's Figures 9 and 11 say mu_new and c drive Y; mu_old and
+  // lambda are second-order. The tornado must agree.
+  const auto entries = tornado_y(GsuParameters::table3(), 7000.0, 0.2);
+  double swing_mu_new = 0.0, swing_coverage = 0.0, swing_mu_old = 0.0, swing_lambda = 0.0;
+  for (const TornadoEntry& e : entries) {
+    if (e.parameter == GsuParameterId::kMuNew) swing_mu_new = e.swing();
+    if (e.parameter == GsuParameterId::kCoverage) swing_coverage = e.swing();
+    if (e.parameter == GsuParameterId::kMuOld) swing_mu_old = e.swing();
+    if (e.parameter == GsuParameterId::kLambda) swing_lambda = e.swing();
+  }
+  EXPECT_GT(swing_mu_new, swing_mu_old * 10.0);
+  EXPECT_GT(swing_coverage, swing_mu_old * 10.0);
+  EXPECT_GT(swing_mu_new, swing_lambda);
+}
+
+TEST(Tornado, CoverageClampedToOne) {
+  GsuParameters params = GsuParameters::table3();
+  params.coverage = 0.95;
+  const auto entries = tornado_y(params, 5000.0, 0.2);
+  for (const TornadoEntry& e : entries) {
+    if (e.parameter == GsuParameterId::kCoverage) {
+      EXPECT_DOUBLE_EQ(e.high_value, 1.0);  // 0.95 * 1.2 clamped
+      EXPECT_NEAR(e.low_value, 0.76, 1e-12);
+    }
+  }
+}
+
+TEST(Tornado, InvalidVariationThrows) {
+  EXPECT_THROW(tornado_y(GsuParameters::table3(), 5000.0, 0.0), InvalidArgument);
+  EXPECT_THROW(tornado_y(GsuParameters::table3(), 5000.0, 1.0), InvalidArgument);
+}
+
+TEST(Derivative, SignsMatchPaperNarrative) {
+  const GsuParameters params = GsuParameters::table3();
+  const double phi = 5000.0;
+  // Better coverage -> more benefit.
+  EXPECT_GT(y_parameter_derivative(params, phi, GsuParameterId::kCoverage), 0.0);
+  // Faster safeguards (higher alpha) -> less overhead -> more benefit.
+  EXPECT_GT(y_parameter_derivative(params, phi, GsuParameterId::kAlpha), 0.0);
+}
+
+TEST(Derivative, ConsistentWithTornadoSecant) {
+  const GsuParameters params = GsuParameters::table3();
+  const double phi = 6000.0;
+  const double derivative =
+      y_parameter_derivative(params, phi, GsuParameterId::kMuNew, 1e-3);
+  const auto entries = tornado_y(params, phi, 0.01);
+  for (const TornadoEntry& e : entries) {
+    if (e.parameter != GsuParameterId::kMuNew) continue;
+    const double secant = (e.y_high - e.y_low) / (e.high_value - e.low_value);
+    EXPECT_NEAR(derivative, secant, 0.05 * std::abs(secant));
+  }
+}
+
+}  // namespace
+}  // namespace gop::core

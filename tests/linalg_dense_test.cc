@@ -1,0 +1,123 @@
+// Unit tests for gop::linalg::DenseMatrix.
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.hh"
+#include "util/error.hh"
+
+namespace gop::linalg {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndFill) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(DenseMatrix, FromRows) {
+  const DenseMatrix m = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_TRUE(m.square());
+}
+
+TEST(DenseMatrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(DenseMatrix::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(DenseMatrix, Identity) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, Transpose) {
+  const DenseMatrix m = DenseMatrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const DenseMatrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(DenseMatrix, AddSubtract) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  const DenseMatrix b = DenseMatrix::from_rows({{10, 20}, {30, 40}});
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 44);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 9);
+}
+
+TEST(DenseMatrix, DimensionMismatchThrows) {
+  const DenseMatrix a(2, 2);
+  const DenseMatrix b(3, 3);
+  EXPECT_THROW(a + b, InvalidArgument);
+  EXPECT_THROW(a - b, InvalidArgument);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(DenseMatrix, MatrixProduct) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  const DenseMatrix b = DenseMatrix::from_rows({{5, 6}, {7, 8}});
+  const DenseMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(DenseMatrix, ProductWithIdentityIsNoop) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, -2}, {0.5, 4}});
+  const DenseMatrix c = a * DenseMatrix::identity(2);
+  EXPECT_DOUBLE_EQ(c(0, 1), -2);
+  EXPECT_DOUBLE_EQ(c(1, 0), 0.5);
+}
+
+TEST(DenseMatrix, RectangularProduct) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2, 3}});       // 1x3
+  const DenseMatrix b = DenseMatrix::from_rows({{1}, {2}, {3}});   // 3x1
+  const DenseMatrix c = a * b;                                     // 1x1
+  EXPECT_DOUBLE_EQ(c(0, 0), 14);
+}
+
+TEST(DenseMatrix, ScalarScaling) {
+  DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+  const DenseMatrix b = a * 0.5;
+  EXPECT_DOUBLE_EQ(b(1, 1), 4);
+}
+
+TEST(DenseMatrix, LeftMultiply) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  const std::vector<double> y = a.left_multiply({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(y[0], 31);
+  EXPECT_DOUBLE_EQ(y[1], 42);
+}
+
+TEST(DenseMatrix, RightMultiply) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  const std::vector<double> y = a.right_multiply({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(y[0], 21);
+  EXPECT_DOUBLE_EQ(y[1], 43);
+}
+
+TEST(DenseMatrix, MultiplyLengthMismatchThrows) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW(a.left_multiply({1.0}), InvalidArgument);
+  EXPECT_THROW(a.right_multiply({1.0}), InvalidArgument);
+}
+
+TEST(DenseMatrix, NormInf) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, -2}, {-3, 4}});
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7);
+  EXPECT_DOUBLE_EQ(a.norm_max(), 4);
+}
+
+TEST(DenseMatrix, ToString) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1.25, 0}});
+  EXPECT_NE(a.to_string().find("1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gop::linalg

@@ -1,0 +1,177 @@
+// Unit tests for the direct solvers: LU factorization and GTH elimination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gth.hh"
+#include "linalg/lu.hh"
+#include "util/error.hh"
+
+namespace gop::linalg {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  const DenseMatrix a = DenseMatrix::from_rows({{2, 1}, {1, 3}});
+  const std::vector<double> x = lu_solve(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveRequiresPivoting) {
+  // Leading zero forces a row swap.
+  const DenseMatrix a = DenseMatrix::from_rows({{0, 1}, {1, 0}});
+  const std::vector<double> x = lu_solve(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ResidualIsTiny) {
+  const DenseMatrix a =
+      DenseMatrix::from_rows({{4, -2, 1}, {-2, 4, -2}, {1, -2, 4}});
+  const std::vector<double> b{1, 2, 3};
+  const std::vector<double> x = lu_solve(a, b);
+  const std::vector<double> ax = a.right_multiply(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW(LuFactorization{a}, NumericalError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(LuFactorization{DenseMatrix(2, 3)}, InvalidArgument);
+}
+
+TEST(Lu, RhsLengthMismatchThrows) {
+  const LuFactorization lu(DenseMatrix::identity(2));
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const DenseMatrix a = DenseMatrix::from_rows({{2, 0}, {0, 4}});
+  const DenseMatrix x = LuFactorization(a).solve(DenseMatrix::identity(2));
+  EXPECT_NEAR(x(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(x(1, 1), 0.25, 1e-12);
+}
+
+TEST(Lu, TransposedSolve) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  const std::vector<double> b{5, 6};
+  const std::vector<double> x = LuFactorization(a).solve_transposed(b);
+  // Check A^T x = b.
+  const std::vector<double> atx = a.transpose().right_multiply(x);
+  EXPECT_NEAR(atx[0], b[0], 1e-12);
+  EXPECT_NEAR(atx[1], b[1], 1e-12);
+}
+
+TEST(Lu, TransposedSolveWithPivoting) {
+  const DenseMatrix a = DenseMatrix::from_rows({{0, 1, 2}, {3, 0, 1}, {1, 1, 0}});
+  const std::vector<double> b{1, -2, 0.5};
+  const std::vector<double> x = LuFactorization(a).solve_transposed(b);
+  const std::vector<double> atx = a.transpose().right_multiply(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(atx[i], b[i], 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  const DenseMatrix a = DenseMatrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_NEAR(LuFactorization(a).determinant(), -2.0, 1e-12);
+  EXPECT_NEAR(LuFactorization(DenseMatrix::identity(5)).determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, IllConditionedStillAccurate) {
+  // Scales differing by 1e12 — partial pivoting should cope.
+  const DenseMatrix a = DenseMatrix::from_rows({{1e-12, 1}, {1, 1}});
+  const std::vector<double> x = lu_solve(a, {1, 2});
+  const std::vector<double> ax = a.right_multiply(x);
+  EXPECT_NEAR(ax[0], 1.0, 1e-9);
+  EXPECT_NEAR(ax[1], 2.0, 1e-9);
+}
+
+// --- GTH ---------------------------------------------------------------------
+
+TEST(Gth, TwoStateChain) {
+  // Rates 0 -> 1 at a, 1 -> 0 at b: pi = (b, a) / (a + b).
+  const double a = 3.0, b = 5.0;
+  const DenseMatrix q = DenseMatrix::from_rows({{-a, a}, {b, -b}});
+  const std::vector<double> pi = gth_stationary_ctmc(q);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-14);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-14);
+}
+
+TEST(Gth, BirthDeathChainMatchesDetailedBalance) {
+  // Birth rate l, death rate m per state: pi_k proportional to (l/m)^k.
+  const double l = 2.0, m = 5.0;
+  const size_t n = 5;
+  DenseMatrix q(n, n, 0.0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    q(i, i + 1) = l;
+    q(i + 1, i) = m;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j)
+      if (j != i) sum += q(i, j);
+    q(i, i) = -sum;
+  }
+  const std::vector<double> pi = gth_stationary_ctmc(q);
+  double norm = 0.0, r = 1.0;
+  for (size_t k = 0; k < n; ++k) {
+    norm += r;
+    r *= l / m;
+  }
+  r = 1.0;
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(pi[k], r / norm, 1e-13) << "state " << k;
+    r *= l / m;
+  }
+}
+
+TEST(Gth, StationarityResidual) {
+  const DenseMatrix q = DenseMatrix::from_rows(
+      {{-3, 2, 1}, {4, -6, 2}, {0.5, 0.5, -1}});
+  const std::vector<double> pi = gth_stationary_ctmc(q);
+  const std::vector<double> res = q.transpose().right_multiply(pi);
+  for (double v : res) EXPECT_NEAR(v, 0.0, 1e-14);
+  EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-14);
+}
+
+TEST(Gth, StiffRatesRemainAccurate) {
+  // Rates spanning 12 orders of magnitude: GTH is subtraction-free, so the
+  // tiny stationary mass is still computed to relative precision.
+  const double fast = 1e6, slow = 1e-6;
+  const DenseMatrix q = DenseMatrix::from_rows({{-slow, slow}, {fast, -fast}});
+  const std::vector<double> pi = gth_stationary_ctmc(q);
+  const double expected1 = slow / (fast + slow);
+  EXPECT_NEAR(pi[1] / expected1, 1.0, 1e-12);
+}
+
+TEST(Gth, SingleState) {
+  const std::vector<double> pi = gth_stationary_ctmc(DenseMatrix(1, 1, 0.0));
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Gth, ReducibleChainThrows) {
+  // State 1 is absorbing: no stationary distribution over both states in the
+  // irreducible sense; elimination of state 1 finds no outgoing transitions.
+  const DenseMatrix q = DenseMatrix::from_rows({{-1, 1}, {0, 0}});
+  EXPECT_THROW(gth_stationary_ctmc(q), ModelError);
+}
+
+TEST(Gth, NegativeOffDiagonalThrows) {
+  const DenseMatrix q = DenseMatrix::from_rows({{-1, -1}, {1, -1}});
+  EXPECT_THROW(gth_stationary_ctmc(q), InvalidArgument);
+}
+
+TEST(Gth, DtmcWrapper) {
+  // Two-state DTMC: P = [[0.9, 0.1], [0.2, 0.8]]; pi = (2/3, 1/3).
+  const DenseMatrix p = DenseMatrix::from_rows({{0.9, 0.1}, {0.2, 0.8}});
+  const std::vector<double> pi = gth_stationary_dtmc(p);
+  EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-13);
+  EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-13);
+}
+
+}  // namespace
+}  // namespace gop::linalg

@@ -1,0 +1,153 @@
+// Unit tests for gop::linalg CSR matrices, the COO builder and vector ops.
+
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.hh"
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+
+namespace gop::linalg {
+namespace {
+
+CsrMatrix small() {
+  CooBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 3.0);
+  b.add(1, 2, 4.0);
+  b.add(2, 2, 5.0);
+  return b.build();
+}
+
+TEST(CooBuilder, SumsDuplicates) {
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, 2.5);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.5);
+}
+
+TEST(CooBuilder, DropsExactZeros) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  b.add(1, 1, 1.0);
+  b.add(1, 1, -1.0);  // cancels to zero
+  EXPECT_EQ(b.build().nnz(), 0u);
+}
+
+TEST(CooBuilder, OutOfRangeThrows) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(b.add(0, 2, 1.0), InvalidArgument);
+}
+
+TEST(CsrMatrix, BasicAccessors) {
+  const CsrMatrix m = small();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);  // absent entry
+}
+
+TEST(CsrMatrix, RowSums) {
+  const CsrMatrix m = small();
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 7.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(2), 5.0);
+}
+
+TEST(CsrMatrix, LeftMultiplyMatchesDense) {
+  const CsrMatrix m = small();
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> sparse = m.left_multiply(x);
+  const std::vector<double> dense = m.to_dense().left_multiply(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(sparse[i], dense[i]);
+}
+
+TEST(CsrMatrix, RightMultiplyMatchesDense) {
+  const CsrMatrix m = small();
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> sparse = m.right_multiply(x);
+  const std::vector<double> dense = m.to_dense().right_multiply(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(sparse[i], dense[i]);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  const CsrMatrix m = small();
+  const CsrMatrix tt = m.transpose().transpose();
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt.at(r, c), m.at(r, c));
+}
+
+TEST(CsrMatrix, TransposeEntries) {
+  const CsrMatrix t = small().transpose();
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 3.0);
+}
+
+TEST(CsrMatrix, Scaled) {
+  const CsrMatrix m = small().scaled(2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 8.0);
+}
+
+TEST(CsrMatrix, NormInf) { EXPECT_DOUBLE_EQ(small().norm_inf(), 7.0); }
+
+TEST(CsrMatrix, FromDenseWithDropTolerance) {
+  DenseMatrix d(2, 2);
+  d(0, 0) = 1e-14;
+  d(1, 1) = 1.0;
+  EXPECT_EQ(CsrMatrix::from_dense(d, 1e-12).nnz(), 1u);
+  EXPECT_EQ(CsrMatrix::from_dense(d).nnz(), 2u);
+}
+
+TEST(CsrMatrix, InvalidCsrArraysThrow) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), InvalidArgument);       // row_ptr too short
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 2}, {0}, {1.0}), InvalidArgument);    // back != nnz
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 0, 1}, {5}, {1.0}), InvalidArgument);    // col out of range
+}
+
+// --- vector ops ----------------------------------------------------------------
+
+TEST(VectorOps, Axpy) {
+  std::vector<double> y{1, 2};
+  axpy(2.0, {10, 20}, y);
+  EXPECT_DOUBLE_EQ(y[0], 21);
+  EXPECT_DOUBLE_EQ(y[1], 42);
+}
+
+TEST(VectorOps, Dot) { EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32); }
+
+TEST(VectorOps, LengthMismatchThrows) {
+  std::vector<double> y{1.0};
+  EXPECT_THROW(axpy(1.0, {1, 2}, y), InvalidArgument);
+  EXPECT_THROW(dot({1.0}, {1, 2}), InvalidArgument);
+  EXPECT_THROW(max_abs_diff({1.0}, {1, 2}), InvalidArgument);
+}
+
+TEST(VectorOps, Norms) {
+  EXPECT_DOUBLE_EQ(norm_inf({1, -5, 3}), 5);
+  EXPECT_DOUBLE_EQ(norm_1({1, -5, 3}), 9);
+  EXPECT_DOUBLE_EQ(sum({1, -5, 3}), -1);
+}
+
+TEST(VectorOps, MaxAbsDiff) { EXPECT_DOUBLE_EQ(max_abs_diff({1, 2}, {3, 1.5}), 2.0); }
+
+TEST(VectorOps, NormalizeProbability) {
+  std::vector<double> x{1, 3};
+  normalize_probability(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(normalize_probability(zeros), InvalidArgument);
+}
+
+TEST(VectorOps, IsProbabilityVector) {
+  EXPECT_TRUE(is_probability_vector({0.25, 0.75}));
+  EXPECT_FALSE(is_probability_vector({0.5, 0.6}));   // sums to 1.1
+  EXPECT_FALSE(is_probability_vector({-0.5, 1.5}));  // negative entry
+  EXPECT_TRUE(is_probability_vector({0.5, 0.5 + 1e-12}, 1e-9));
+}
+
+}  // namespace
+}  // namespace gop::linalg

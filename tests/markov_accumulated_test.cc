@@ -1,0 +1,130 @@
+// Tests for accumulated (interval-of-time) reward solutions: the augmented
+// exponential, the uniformization integral, and impulse rewards.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/accumulated.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+Ctmc pure_death(double a) { return Ctmc(2, {{0, 1, a, 0}}, {1.0, 0.0}); }
+
+/// Closed form: expected time in state 0 over [0,t] for the two-state chain.
+double two_state_l0(double a, double b, double t) {
+  const double s = a + b;
+  return b / s * t + a / (s * s) * (1.0 - std::exp(-s * t));
+}
+
+TEST(Accumulated, OccupancySumsToHorizon) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  for (double t : {0.1, 1.0, 10.0}) {
+    const std::vector<double> occ = accumulated_occupancy(chain, t);
+    EXPECT_NEAR(occ[0] + occ[1], t, 1e-9 * std::max(1.0, t));
+  }
+}
+
+TEST(Accumulated, MatchesClosedFormTwoState) {
+  const double a = 2.0, b = 3.0;
+  const Ctmc chain = two_state(a, b);
+  for (double t : {0.25, 1.0, 5.0}) {
+    const std::vector<double> occ = accumulated_occupancy(chain, t);
+    EXPECT_NEAR(occ[0], two_state_l0(a, b, t), 1e-10) << "t=" << t;
+  }
+}
+
+TEST(Accumulated, PureDeathMeanTimeInTransientState) {
+  // Expected time in state 0 by t: (1 - exp(-a t)) / a.
+  const double a = 0.5;
+  const Ctmc chain = pure_death(a);
+  const double t = 3.0;
+  const std::vector<double> occ = accumulated_occupancy(chain, t);
+  EXPECT_NEAR(occ[0], (1.0 - std::exp(-a * t)) / a, 1e-11);
+}
+
+TEST(Accumulated, ZeroHorizonIsZero) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const std::vector<double> occ = accumulated_occupancy(chain, 0.0);
+  EXPECT_DOUBLE_EQ(occ[0], 0.0);
+  EXPECT_DOUBLE_EQ(occ[1], 0.0);
+}
+
+TEST(Accumulated, EnginesAgree) {
+  const Ctmc chain(3, {{0, 1, 2.0, 0}, {1, 2, 1.0, 1}, {2, 0, 0.5, 2}}, {1.0, 0.0, 0.0});
+  for (double t : {0.5, 2.0, 8.0}) {
+    AccumulatedOptions augmented;
+    augmented.method = AccumulatedMethod::kAugmentedExponential;
+    AccumulatedOptions unif;
+    unif.method = AccumulatedMethod::kUniformization;
+    const std::vector<double> a = accumulated_occupancy(chain, t, augmented);
+    const std::vector<double> b = accumulated_occupancy(chain, t, unif);
+    for (size_t s = 0; s < 3; ++s) EXPECT_NEAR(a[s], b[s], 1e-9) << "t=" << t << " s=" << s;
+  }
+}
+
+TEST(Accumulated, StiffHorizonViaAugmentedExponential) {
+  // Expected time in state 0 for a stiff chain over a long horizon; compare
+  // to the closed form (uniformization would need ~2e7 terms here).
+  const double a = 1e3, b = 1e3;
+  const Ctmc chain = two_state(a, b);
+  const double t = 1e4;
+  const std::vector<double> occ = accumulated_occupancy(chain, t);
+  EXPECT_NEAR(occ[0] / two_state_l0(a, b, t), 1.0, 1e-9);
+}
+
+TEST(Accumulated, RateReward) {
+  const double a = 2.0, b = 3.0, t = 1.5;
+  const Ctmc chain = two_state(a, b);
+  // Reward 2 in state 0, 1 in state 1: 2*L0 + (t - L0).
+  const double expected = 2.0 * two_state_l0(a, b, t) + (t - two_state_l0(a, b, t));
+  EXPECT_NEAR(accumulated_reward(chain, {2.0, 1.0}, t), expected, 1e-10);
+}
+
+TEST(Accumulated, RewardLengthMismatchThrows) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(accumulated_reward(chain, {1.0}, 1.0), InvalidArgument);
+}
+
+TEST(Accumulated, ImpulseCountsExpectedCompletions) {
+  // Pure death at rate a: expected number of 0->1 completions by t is
+  // P(jump happened) = 1 - exp(-a t); with impulse 1 on that transition the
+  // accumulated impulse reward equals exactly that.
+  const double a = 0.8, t = 2.0;
+  const Ctmc chain = pure_death(a);
+  const auto impulse = [](const Transition& tr) { return tr.label == 0 ? 1.0 : 0.0; };
+  EXPECT_NEAR(accumulated_impulse_reward(chain, impulse, t), 1.0 - std::exp(-a * t), 1e-11);
+}
+
+TEST(Accumulated, ImpulseOnRecurrentChainGrowsLinearly) {
+  // Two-state chain: long-run completion rate of the 0->1 transition is
+  // pi_0 * a; over a long horizon the expected count approaches that rate
+  // times t.
+  const double a = 2.0, b = 3.0, t = 1000.0;
+  const Ctmc chain = two_state(a, b);
+  const auto impulse = [](const Transition& tr) { return tr.label == 0 ? 1.0 : 0.0; };
+  const double expected_rate = b / (a + b) * a;
+  EXPECT_NEAR(accumulated_impulse_reward(chain, impulse, t) / t, expected_rate, 1e-3);
+}
+
+TEST(Accumulated, ImpulseOnSelfLoopCounts) {
+  // A self-loop completes at its rate while the state is occupied, even
+  // though it never changes the state.
+  const Ctmc chain(1, {{0, 0, 4.0, 7}}, {1.0});
+  const auto impulse = [](const Transition& tr) { return tr.label == 7 ? 1.0 : 0.0; };
+  EXPECT_NEAR(accumulated_impulse_reward(chain, impulse, 2.5), 10.0, 1e-10);
+}
+
+TEST(Accumulated, NullImpulseThrows) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(accumulated_impulse_reward(chain, nullptr, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,133 @@
+// Unit tests for the CTMC container and Fox–Glynn Poisson windows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "markov/ctmc.hh"
+#include "markov/fox_glynn.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+TEST(Ctmc, BasicAccessors) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  EXPECT_EQ(chain.state_count(), 2u);
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[0], 2.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[1], 3.0);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 3.0);
+  EXPECT_FALSE(chain.is_absorbing(0));
+}
+
+TEST(Ctmc, ParallelTransitionsSumInRateMatrix) {
+  const Ctmc chain(2, {{0, 1, 1.0, 0}, {0, 1, 2.0, 1}}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(chain.rate_matrix().at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[0], 3.0);
+  // ... but the transitions list keeps both (for impulse rewards).
+  EXPECT_EQ(chain.transitions().size(), 2u);
+}
+
+TEST(Ctmc, SelfLoopsExcludedFromRates) {
+  const Ctmc chain(2, {{0, 0, 5.0, 0}, {0, 1, 1.0, 1}}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(chain.exit_rates()[0], 1.0);
+  EXPECT_EQ(chain.transitions().size(), 2u);
+}
+
+TEST(Ctmc, AbsorbingDetection) {
+  const Ctmc chain(2, {{0, 1, 1.0, 0}}, {1.0, 0.0});
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_TRUE(chain.is_absorbing(1));
+}
+
+TEST(Ctmc, GeneratorRowsSumToZero) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const linalg::DenseMatrix q = chain.generator_dense();
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 2; ++c) sum += q(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(q(0, 0), -2.0);
+}
+
+TEST(Ctmc, ValidationErrors) {
+  EXPECT_THROW(Ctmc(0, {}, {}), InvalidArgument);
+  EXPECT_THROW(Ctmc(2, {}, {0.5, 0.6}), InvalidArgument);              // not a distribution
+  EXPECT_THROW(Ctmc(2, {{0, 5, 1.0, 0}}, {1.0, 0.0}), InvalidArgument);  // bad endpoint
+  EXPECT_THROW(Ctmc(2, {{0, 1, -1.0, 0}}, {1.0, 0.0}), InvalidArgument); // negative rate
+  EXPECT_THROW(Ctmc(2, {{0, 1, 0.0, 0}}, {1.0, 0.0}), InvalidArgument);  // zero rate
+}
+
+TEST(Ctmc, WithInitialReplacesDistribution) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const Ctmc moved = chain.with_initial({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(moved.initial_distribution()[1], 1.0);
+  EXPECT_EQ(moved.transitions().size(), chain.transitions().size());
+}
+
+// --- Fox–Glynn ---------------------------------------------------------------
+
+TEST(FoxGlynn, WeightsSumToOne) {
+  for (double lambda : {0.1, 1.0, 25.0, 4000.0}) {
+    const PoissonWindow w = poisson_window(lambda, 1e-12);
+    double total = 0.0;
+    for (double v : w.weights) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "lambda=" << lambda;
+  }
+}
+
+TEST(FoxGlynn, MatchesReferencePmf) {
+  const double lambda = 30.0;
+  const PoissonWindow w = poisson_window(lambda, 1e-12);
+  for (size_t i = 0; i < w.weights.size(); ++i) {
+    const size_t k = w.left + i;
+    EXPECT_NEAR(w.weights[i], poisson_pmf(lambda, k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(FoxGlynn, WindowCoversMode) {
+  const double lambda = 1234.5;
+  const PoissonWindow w = poisson_window(lambda);
+  EXPECT_LE(w.left, static_cast<size_t>(lambda));
+  EXPECT_GE(w.right(), static_cast<size_t>(lambda));
+}
+
+TEST(FoxGlynn, WindowWidthIsSqrtScaled) {
+  // For large lambda the window should be O(sqrt(lambda)), not O(lambda).
+  const double lambda = 1e6;
+  const PoissonWindow w = poisson_window(lambda, 1e-12);
+  EXPECT_LT(static_cast<double>(w.weights.size()), 60.0 * std::sqrt(lambda));
+  EXPECT_GT(static_cast<double>(w.weights.size()), 2.0 * std::sqrt(lambda));
+}
+
+TEST(FoxGlynn, TruncatedTailsAreSmall) {
+  const double lambda = 50.0;
+  const double epsilon = 1e-10;
+  const PoissonWindow w = poisson_window(lambda, epsilon);
+  double outside = 0.0;
+  for (size_t k = 0; k < w.left; ++k) outside += poisson_pmf(lambda, k);
+  for (size_t k = w.right() + 1; k < w.right() + 200; ++k) outside += poisson_pmf(lambda, k);
+  EXPECT_LT(outside, epsilon);
+}
+
+TEST(FoxGlynn, SmallLambdaStartsAtZero) {
+  const PoissonWindow w = poisson_window(0.5, 1e-12);
+  EXPECT_EQ(w.left, 0u);
+  EXPECT_NEAR(w.weights[0], std::exp(-0.5), 1e-12);
+}
+
+TEST(FoxGlynn, InvalidArguments) {
+  EXPECT_THROW(poisson_window(0.0), InvalidArgument);
+  EXPECT_THROW(poisson_window(-1.0), InvalidArgument);
+  EXPECT_THROW(poisson_window(1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(poisson_window(1.0, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::markov

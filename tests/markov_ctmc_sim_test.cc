@@ -1,0 +1,125 @@
+// Tests for the chain-level trajectory simulator and its Monte Carlo
+// estimators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/accumulated.hh"
+#include "markov/ctmc_sim.hh"
+#include "markov/transient.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+TEST(CtmcSim, DeterministicGivenSeed) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  sim::Rng a(5), b(5);
+  const CtmcPathOutcome pa = simulate_ctmc(chain, a, 10.0);
+  const CtmcPathOutcome pb = simulate_ctmc(chain, b, 10.0);
+  EXPECT_EQ(pa.state, pb.state);
+  EXPECT_DOUBLE_EQ(pa.time, pb.time);
+}
+
+TEST(CtmcSim, SojournsPartitionHorizon) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  sim::Rng rng(9);
+  double covered = 0.0, last = 0.0;
+  simulate_ctmc(chain, rng, 20.0, nullptr, [&](size_t, double enter, double leave) {
+    EXPECT_DOUBLE_EQ(enter, last);
+    covered += leave - enter;
+    last = leave;
+  });
+  EXPECT_NEAR(covered, 20.0, 1e-12);
+}
+
+TEST(CtmcSim, AbsorbingStateHolds) {
+  const Ctmc chain(2, {{0, 1, 50.0, 0}}, {1.0, 0.0});
+  sim::Rng rng(3);
+  const CtmcPathOutcome outcome = simulate_ctmc(chain, rng, 5.0);
+  EXPECT_EQ(outcome.state, 1u);
+  EXPECT_FALSE(outcome.stopped);
+}
+
+TEST(CtmcSim, StopPredicate) {
+  const Ctmc chain(2, {{0, 1, 5.0, 0}}, {1.0, 0.0});
+  sim::Rng rng(11);
+  const CtmcPathOutcome outcome =
+      simulate_ctmc(chain, rng, 1000.0, [](size_t s) { return s == 1; });
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_EQ(outcome.state, 1u);
+  EXPECT_LT(outcome.time, 1000.0);
+}
+
+TEST(CtmcSim, StopOnInitialState) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  sim::Rng rng(1);
+  const CtmcPathOutcome outcome = simulate_ctmc(chain, rng, 5.0, [](size_t s) { return s == 0; });
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_DOUBLE_EQ(outcome.time, 0.0);
+}
+
+TEST(CtmcSim, RandomInitialDistribution) {
+  const Ctmc chain = two_state(1e-9, 1e-9).with_initial({0.3, 0.7});
+  sim::Rng rng(123);
+  size_t in_one = 0;
+  const size_t n = 20000;
+  for (size_t i = 0; i < n; ++i) {
+    in_one += simulate_ctmc(chain, rng, 1e-6).state == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(in_one) / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(CtmcSim, McInstantRewardMatchesSolver) {
+  const double a = 2.0, b = 3.0, t = 0.6;
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> reward{1.0, 0.0};
+  const double exact = transient_reward(chain, reward, t);
+
+  sim::ReplicationOptions options;
+  options.seed = 77;
+  options.min_replications = 6000;
+  options.max_replications = 6000;
+  const auto estimate = mc_instant_reward(chain, reward, t, options);
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.stats.std_error() + 1e-3);
+}
+
+TEST(CtmcSim, McAccumulatedRewardMatchesSolver) {
+  const double a = 2.0, b = 3.0, t = 4.0;
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> reward{1.0, 0.25};
+  const double exact = accumulated_reward(chain, reward, t);
+
+  sim::ReplicationOptions options;
+  options.seed = 78;
+  options.min_replications = 6000;
+  options.max_replications = 6000;
+  const auto estimate = mc_accumulated_reward(chain, reward, t, options);
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.stats.std_error() + 1e-3);
+}
+
+TEST(CtmcSim, StiffChainTrajectoriesAreCheap) {
+  // Two rare events over a huge horizon: must return quickly (this test
+  // exists because simulating at the SAN level would take ~1e7 events).
+  const Ctmc chain(3, {{0, 1, 1e-4, 0}, {1, 2, 1e-4, 1}}, {1.0, 0.0, 0.0});
+  sim::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const CtmcPathOutcome outcome = simulate_ctmc(chain, rng, 1e4);
+    EXPECT_LE(outcome.state, 2u);
+  }
+}
+
+TEST(CtmcSim, Validation) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  sim::Rng rng(1);
+  EXPECT_THROW(simulate_ctmc(chain, rng, -1.0), InvalidArgument);
+  EXPECT_THROW(mc_instant_reward(chain, {1.0}, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::markov

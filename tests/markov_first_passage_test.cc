@@ -1,0 +1,158 @@
+// Tests for first-passage analysis and the DTMC utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/dtmc.hh"
+#include "markov/first_passage.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+// --- first passage ----------------------------------------------------------------
+
+TEST(FirstPassage, ExponentialHitFromTwoStateChain) {
+  // First passage 0 -> 1 in the recurrent two-state chain is Exp(a).
+  const double a = 1.5;
+  const Ctmc chain = two_state(a, 99.0);
+  const std::vector<bool> target{false, true};
+  for (double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(first_passage_cdf(chain, target, t), 1.0 - std::exp(-a * t), 1e-10);
+  }
+}
+
+TEST(FirstPassage, SummaryMeanMatchesExponential) {
+  const double a = 0.25;
+  const Ctmc chain = two_state(a, 5.0);
+  const std::vector<bool> target{false, true};
+  const FirstPassageSummary summary = first_passage_summary(chain, target);
+  EXPECT_NEAR(summary.hit_probability, 1.0, 1e-12);
+  EXPECT_NEAR(summary.mean_time_to_absorption, 1.0 / a, 1e-12);
+}
+
+TEST(FirstPassage, CompetingAbsorberLimitsHitProbability) {
+  // 0 -> 1 (target) at a, 0 -> 2 (absorbing trap) at b.
+  const double a = 1.0, b = 3.0;
+  const Ctmc chain(3, {{0, 1, a, 0}, {0, 2, b, 1}}, {1.0, 0.0, 0.0});
+  const FirstPassageSummary summary = first_passage_summary(chain, {false, true, false});
+  EXPECT_NEAR(summary.hit_probability, a / (a + b), 1e-12);
+  // CDF saturates at the hit probability.
+  EXPECT_NEAR(first_passage_cdf(chain, {false, true, false}, 1000.0), a / (a + b), 1e-9);
+}
+
+TEST(FirstPassage, InitialMassInTargetHitsAtZero) {
+  const Ctmc chain = two_state(1.0, 1.0).with_initial({0.25, 0.75});
+  EXPECT_NEAR(first_passage_cdf(chain, {false, true}, 0.0), 0.75, 1e-12);
+}
+
+TEST(FirstPassage, QuantileInvertsCdf) {
+  const double a = 2.0;
+  const Ctmc chain = two_state(a, 7.0);
+  const std::vector<bool> target{false, true};
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    const double t = first_passage_quantile(chain, target, p, 1e-8);
+    EXPECT_NEAR(t, -std::log(1.0 - p) / a, 1e-5 * (1.0 + t)) << "p=" << p;
+  }
+}
+
+TEST(FirstPassage, QuantileAboveHitProbabilityThrows) {
+  const Ctmc chain(3, {{0, 1, 1.0, 0}, {0, 2, 3.0, 1}}, {1.0, 0.0, 0.0});
+  // Hit probability is 0.25; asking for the 0.9 quantile cannot succeed.
+  EXPECT_THROW(first_passage_quantile(chain, {false, true, false}, 0.9), InvalidArgument);
+}
+
+TEST(FirstPassage, SummaryRejectsNonAbsorbingRemainder) {
+  // Once state 2 is the target, states 0 <-> 1 keep cycling without
+  // reaching it: no absorption, mean would be infinite.
+  const Ctmc chain(3, {{0, 1, 1.0, 0}, {1, 0, 1.0, 1}}, {1.0, 0.0, 0.0});
+  EXPECT_THROW(first_passage_summary(chain, {false, false, true}), ModelError);
+}
+
+TEST(FirstPassage, MaskHelpersAndValidation) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const std::vector<bool> mask = target_mask(2, {1});
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_THROW(target_mask(2, {5}), InvalidArgument);
+  EXPECT_THROW(first_passage_cdf(chain, {false, false}, 1.0), InvalidArgument);
+  EXPECT_THROW(first_passage_cdf(chain, {true}, 1.0), InvalidArgument);
+}
+
+TEST(FirstPassage, TandemMeanAddsUp) {
+  const double r0 = 4.0, r1 = 0.5;
+  const Ctmc chain(3, {{0, 1, r0, 0}, {1, 2, r1, 1}}, {1.0, 0.0, 0.0});
+  const FirstPassageSummary to_last = first_passage_summary(chain, target_mask(3, {2}));
+  EXPECT_NEAR(to_last.mean_time_to_absorption, 1.0 / r0 + 1.0 / r1, 1e-12);
+  const FirstPassageSummary to_middle = first_passage_summary(chain, target_mask(3, {1}));
+  EXPECT_NEAR(to_middle.mean_time_to_absorption, 1.0 / r0, 1e-12);
+}
+
+// --- DTMC -------------------------------------------------------------------------
+
+TEST(Dtmc, EmbeddedJumpChainProbabilities) {
+  const Ctmc chain(3, {{0, 1, 2.0, 0}, {0, 2, 6.0, 1}, {1, 0, 1.0, 2}}, {1.0, 0.0, 0.0});
+  const Dtmc jump = Dtmc::embedded_jump_chain(chain);
+  EXPECT_NEAR(jump.transition_matrix().at(0, 1), 0.25, 1e-15);
+  EXPECT_NEAR(jump.transition_matrix().at(0, 2), 0.75, 1e-15);
+  EXPECT_NEAR(jump.transition_matrix().at(1, 0), 1.0, 1e-15);
+  // Absorbing CTMC state -> self loop in the jump chain.
+  EXPECT_NEAR(jump.transition_matrix().at(2, 2), 1.0, 1e-15);
+}
+
+TEST(Dtmc, DistributionAfterSteps) {
+  const Ctmc chain(3, {{0, 1, 2.0, 0}, {0, 2, 6.0, 1}, {1, 0, 1.0, 2}}, {1.0, 0.0, 0.0});
+  const Dtmc jump = Dtmc::embedded_jump_chain(chain);
+  const std::vector<double> after1 = jump.distribution_after(1);
+  EXPECT_NEAR(after1[1], 0.25, 1e-15);
+  EXPECT_NEAR(after1[2], 0.75, 1e-15);
+  const std::vector<double> after2 = jump.distribution_after(2);
+  EXPECT_NEAR(after2[0], 0.25, 1e-15);  // 0 ->1 ->0
+  EXPECT_NEAR(after2[2], 0.75, 1e-15);
+}
+
+TEST(Dtmc, UniformizedRowsAreStochastic) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  const Dtmc uniform = Dtmc::uniformized(chain);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(uniform.transition_matrix().row_sum(r), 1.0, 1e-12);
+  }
+}
+
+TEST(Dtmc, StationaryMatchesCtmcForUniformized) {
+  // The uniformized chain shares the CTMC's stationary distribution.
+  const double a = 2.0, b = 3.0;
+  const Dtmc uniform = Dtmc::uniformized(two_state(a, b));
+  const std::vector<double> pi = uniform.stationary_distribution();
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+}
+
+TEST(Dtmc, EmbeddedStationaryDiffersFromCtmc) {
+  // Jump-chain stationary weights states by visit frequency, not time: for
+  // the two-state chain it is uniform regardless of rates.
+  const Dtmc jump = Dtmc::embedded_jump_chain(two_state(2.0, 30.0));
+  const std::vector<double> pi = jump.stationary_distribution();
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+  EXPECT_NEAR(pi[1], 0.5, 1e-12);
+}
+
+TEST(Dtmc, RejectsNonStochasticMatrix) {
+  linalg::CooBuilder builder(2, 2);
+  builder.add(0, 0, 0.5);  // row sums to 0.5
+  builder.add(1, 1, 1.0);
+  EXPECT_THROW(Dtmc(builder.build(), {1.0, 0.0}), InvalidArgument);
+}
+
+TEST(Dtmc, ExpectedRewardAfterSteps) {
+  const Dtmc jump = Dtmc::embedded_jump_chain(two_state(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(jump.expected_reward_after({0.0, 10.0}, 1), 10.0);
+  EXPECT_DOUBLE_EQ(jump.expected_reward_after({0.0, 10.0}, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,178 @@
+// Tests for the Krylov matrix-exponential action and steady-state
+// sensitivities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/krylov.hh"
+#include "markov/sensitivity.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "sim/rng.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+/// Random sparse irreducible CTMC: a ring plus random chords.
+Ctmc random_chain(size_t n, size_t extra_edges, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Transition> transitions;
+  for (size_t s = 0; s < n; ++s) {
+    transitions.push_back({s, (s + 1) % n, 0.5 + rng.uniform(), 0});
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    const size_t from = rng.uniform_index(n);
+    size_t to = rng.uniform_index(n);
+    if (to == from) to = (to + 1) % n;
+    transitions.push_back({from, to, 0.1 + 2.0 * rng.uniform(), 0});
+  }
+  std::vector<double> initial(n, 0.0);
+  initial[0] = 1.0;
+  return Ctmc(n, std::move(transitions), std::move(initial));
+}
+
+// --- Krylov -----------------------------------------------------------------------
+
+TEST(Krylov, MatchesClosedFormTwoState) {
+  const double a = 2.0, b = 5.0;
+  const Ctmc chain = two_state(a, b);
+  for (double t : {0.1, 1.0, 10.0}) {
+    const std::vector<double> pi = krylov_transient_distribution(chain, t);
+    const double expected = b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+    EXPECT_NEAR(pi[0], expected, 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  }
+}
+
+TEST(Krylov, MatchesDenseExponentialOnRandomChain) {
+  const Ctmc chain = random_chain(60, 120, 42);
+  TransientOptions dense;
+  dense.method = TransientMethod::kMatrixExponential;
+  for (double t : {0.05, 0.5, 3.0}) {
+    const std::vector<double> expected = transient_distribution(chain, t, dense);
+    const std::vector<double> actual = krylov_transient_distribution(chain, t);
+    for (size_t s = 0; s < chain.state_count(); ++s) {
+      EXPECT_NEAR(actual[s], expected[s], 1e-8) << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+TEST(Krylov, SmallChainTriggersHappyBreakdown) {
+  // Basis dimension larger than the chain: Arnoldi must break down happily
+  // and still give the exact answer.
+  const Ctmc chain = two_state(1.0, 4.0);
+  KrylovOptions options;
+  options.basis_dimension = 30;
+  const std::vector<double> pi = krylov_transient_distribution(chain, 2.0, options);
+  const double expected = 4.0 / 5.0 + 1.0 / 5.0 * std::exp(-5.0 * 2.0);
+  EXPECT_NEAR(pi[0], expected, 1e-10);
+}
+
+TEST(Krylov, ZeroTimeIsIdentity) {
+  const Ctmc chain = random_chain(10, 5, 7);
+  const std::vector<double> pi = krylov_transient_distribution(chain, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Krylov, ZeroVectorStaysZero) {
+  linalg::CooBuilder builder(3, 3);
+  builder.add(0, 1, 1.0);
+  const std::vector<double> w = krylov_expv(builder.build(), 1.0, {0.0, 0.0, 0.0});
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Krylov, Validation) {
+  linalg::CooBuilder builder(2, 3);
+  builder.add(0, 1, 1.0);
+  EXPECT_THROW(krylov_expv(builder.build(), 1.0, {1.0, 0.0}), InvalidArgument);
+  const Ctmc chain = two_state(1.0, 1.0);
+  KrylovOptions options;
+  options.basis_dimension = 1;
+  EXPECT_THROW(krylov_transient_distribution(chain, 1.0, options), InvalidArgument);
+}
+
+TEST(Krylov, ModeratelyStiffChainViaSubstepping) {
+  const double a = 200.0, b = 300.0;
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> pi = krylov_transient_distribution(chain, 5.0);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-8);
+}
+
+// --- sensitivity -------------------------------------------------------------------
+
+TEST(Sensitivity, TwoStateClosedForm) {
+  // pi0 = b/(a+b); dpi0/da = -b/(a+b)^2.
+  const double a = 2.0, b = 3.0;
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> pi = steady_state_distribution(chain);
+  // dQ/da = [[-1, 1], [0, 0]].
+  const linalg::DenseMatrix dq = linalg::DenseMatrix::from_rows({{-1, 1}, {0, 0}});
+  const std::vector<double> dpi = steady_state_sensitivity(chain, pi, dq);
+  EXPECT_NEAR(dpi[0], -b / ((a + b) * (a + b)), 1e-12);
+  EXPECT_NEAR(dpi[1], b / ((a + b) * (a + b)), 1e-12);
+}
+
+TEST(Sensitivity, DerivativeSumsToZero) {
+  const Ctmc chain = random_chain(12, 20, 9);
+  const std::vector<double> pi = steady_state_distribution(chain);
+  linalg::DenseMatrix dq(12, 12, 0.0);
+  dq(3, 7) = 1.0;
+  dq(3, 3) = -1.0;
+  const std::vector<double> dpi = steady_state_sensitivity(chain, pi, dq);
+  double total = 0.0;
+  for (double v : dpi) total += v;
+  EXPECT_NEAR(total, 0.0, 1e-10);
+}
+
+TEST(Sensitivity, MatchesFiniteDifferenceOnRandomChain) {
+  // Perturb the rate of one specific transition and compare the analytic
+  // reward derivative against a central finite difference.
+  const size_t n = 8;
+  std::vector<double> reward(n, 0.0);
+  reward[2] = 1.0;
+  reward[5] = 0.5;
+
+  const auto build = [&](double extra) {
+    Ctmc base = random_chain(n, 10, 31);
+    std::vector<Transition> transitions = base.transitions();
+    transitions.push_back({1, 4, 0.7 + extra, -1});
+    return Ctmc(n, std::move(transitions), base.initial_distribution());
+  };
+
+  const Ctmc chain = build(0.0);
+  const std::vector<double> pi = steady_state_distribution(chain);
+  linalg::DenseMatrix dq(n, n, 0.0);
+  dq(1, 4) = 1.0;
+  dq(1, 1) = -1.0;
+  const double analytic = steady_state_reward_sensitivity(chain, pi, dq, reward);
+
+  const double numeric = finite_difference(
+      [&](double extra) {
+        return steady_state_reward(build(extra), reward);
+      },
+      0.0, 1e-5);
+  EXPECT_NEAR(analytic, numeric, 1e-6 * std::max(1.0, std::abs(analytic)));
+}
+
+TEST(Sensitivity, FiniteDifferenceOnPolynomial) {
+  EXPECT_NEAR(finite_difference([](double x) { return x * x * x; }, 2.0), 12.0, 1e-6);
+  EXPECT_NEAR(finite_difference([](double x) { return 3.0 * x; }, 0.0), 3.0, 1e-9);
+  EXPECT_THROW(finite_difference(nullptr, 1.0), InvalidArgument);
+}
+
+TEST(Sensitivity, DimensionValidation) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const std::vector<double> pi = steady_state_distribution(chain);
+  EXPECT_THROW(steady_state_sensitivity(chain, pi, linalg::DenseMatrix(3, 3)), InvalidArgument);
+  EXPECT_THROW(steady_state_sensitivity(chain, {1.0}, linalg::DenseMatrix(2, 2)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::markov

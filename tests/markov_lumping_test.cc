@@ -1,0 +1,152 @@
+// Tests for ordinary lumpability: checking, quotient construction, and
+// coarsest-partition refinement — including the flagship use case, lumping
+// the symmetric replicas produced by san::replicate().
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/lumping.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "san/compose.hh"
+#include "san/expr.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+/// Two independent identical units, no shared resources: 4 states
+/// (up-up, up-down, down-up, down-down); the middle two lump.
+Ctmc two_units(double fail, double repair) {
+  // State coding: bit i = unit i down. 0=uu, 1=du, 2=ud, 3=dd.
+  return Ctmc(4,
+              {{0, 1, fail, 0},
+               {0, 2, fail, 1},
+               {1, 0, repair, 2},
+               {2, 0, repair, 3},
+               {1, 3, fail, 4},
+               {2, 3, fail, 5},
+               {3, 1, repair, 6},
+               {3, 2, repair, 7}},
+              {1.0, 0.0, 0.0, 0.0});
+}
+
+TEST(Lumping, SymmetricPartitionIsLumpable) {
+  const Ctmc chain = two_units(0.2, 1.0);
+  const Partition partition{0, 1, 1, 2};
+  const LumpingCheck check = check_lumpable(chain, partition);
+  EXPECT_TRUE(check.lumpable);
+}
+
+TEST(Lumping, AsymmetricPartitionIsRejectedWithWitness) {
+  const Ctmc chain = two_units(0.2, 1.0);
+  // Grouping up-up with up-down is not lumpable.
+  const Partition partition{0, 0, 1, 2};
+  const LumpingCheck check = check_lumpable(chain, partition);
+  EXPECT_FALSE(check.lumpable);
+  EXPECT_THROW(lump(chain, partition), ModelError);
+}
+
+TEST(Lumping, QuotientPreservesTransientBlockMass) {
+  const double fail = 0.2, repair = 1.0;
+  const Ctmc chain = two_units(fail, repair);
+  const Partition partition{0, 1, 1, 2};
+  const Ctmc quotient = lump(chain, partition);
+  ASSERT_EQ(quotient.state_count(), 3u);
+
+  for (double t : {0.3, 1.5, 6.0}) {
+    const std::vector<double> full = transient_distribution(chain, t);
+    const std::vector<double> small = transient_distribution(quotient, t);
+    EXPECT_NEAR(small[0], full[0], 1e-10) << t;
+    EXPECT_NEAR(small[1], full[1] + full[2], 1e-10) << t;
+    EXPECT_NEAR(small[2], full[3], 1e-10) << t;
+  }
+}
+
+TEST(Lumping, QuotientPreservesStationaryBlockMass) {
+  const Ctmc chain = two_units(0.5, 2.0);
+  const Partition partition{0, 1, 1, 2};
+  const Ctmc quotient = lump(chain, partition);
+  const std::vector<double> full = steady_state_distribution(chain);
+  const std::vector<double> small = steady_state_distribution(quotient);
+  EXPECT_NEAR(small[1], full[1] + full[2], 1e-12);
+}
+
+TEST(Lumping, SingleBlockSeedIsAlreadyLumpable) {
+  // Ordinary lumpability only constrains rates *between* blocks, so the
+  // one-block partition is trivially a fixpoint.
+  const Ctmc chain = two_units(0.2, 1.0);
+  const Partition coarsest = coarsest_lumpable_partition(chain, Partition(4, 0));
+  EXPECT_EQ(block_count(coarsest), 1u);
+}
+
+TEST(Lumping, CoarsestPartitionFindsTheSymmetry) {
+  // Seed with the distinction that matters (all-up vs degraded); refinement
+  // must split "degraded" into one-down and two-down but keep the two
+  // symmetric one-down states together.
+  const Ctmc chain = two_units(0.2, 1.0);
+  const Partition seed{0, 1, 1, 1};
+  const Partition coarsest = coarsest_lumpable_partition(chain, seed);
+  EXPECT_EQ(block_count(coarsest), 3u);
+  EXPECT_EQ(coarsest[1], coarsest[2]);  // the two one-down states lump
+  EXPECT_NE(coarsest[0], coarsest[3]);
+  EXPECT_TRUE(check_lumpable(chain, coarsest).lumpable);
+}
+
+TEST(Lumping, CoarsestPartitionRespectsSeeds) {
+  // Force the two one-down states apart via the seed; refinement must keep
+  // them apart.
+  const Ctmc chain = two_units(0.2, 1.0);
+  const Partition seed{0, 1, 2, 0};
+  const Partition refined = coarsest_lumpable_partition(chain, seed);
+  EXPECT_NE(refined[1], refined[2]);
+}
+
+TEST(Lumping, ReplicatedSanLumps) {
+  // Three replicas sharing a repair crew: the coarsest lumpable partition
+  // must shrink the 8-state chain to 4 blocks (by number of units down).
+  using namespace gop::san;
+  SanModel proto("unit");
+  const PlaceRef up = proto.add_place("up", 1);
+  const PlaceRef crew = proto.add_place("crew", 1);
+  proto.add_timed_activity("fail", has_tokens(up), constant_rate(0.25), set_mark(up, 0));
+  proto.add_timed_activity("repair", all_of({mark_eq(up, 0), has_tokens(crew)}),
+                           constant_rate(1.5), set_mark(up, 1));
+  const ReplicatedModel replicated = replicate(proto, 3, {"crew"});
+  const GeneratedChain chain = generate_state_space(replicated.model);
+  ASSERT_EQ(chain.state_count(), 8u);
+
+  // Seed: distinguish the all-up state (the measure we want to preserve).
+  Partition seed(chain.state_count(), 1);
+  seed[chain.state_index(replicated.model.initial_marking())] = 0;
+  const Partition coarsest = coarsest_lumpable_partition(chain.ctmc(), seed);
+  EXPECT_EQ(block_count(coarsest), 4u);
+
+  // The quotient must reproduce P(all up at t).
+  const Ctmc quotient = lump(chain.ctmc(), coarsest);
+  const size_t all_up_state = chain.state_index(replicated.model.initial_marking());
+  const double t = 2.0;
+  const double full = transient_distribution(chain.ctmc(), t)[all_up_state];
+  const double small = transient_distribution(quotient, t)[coarsest[all_up_state]];
+  EXPECT_NEAR(small, full, 1e-10);
+}
+
+TEST(Lumping, TrivialPartitionsAlwaysLumpable) {
+  const Ctmc chain = two_units(0.3, 0.9);
+  EXPECT_TRUE(check_lumpable(chain, Partition{0, 1, 2, 3}).lumpable);  // identity
+  EXPECT_TRUE(check_lumpable(chain, Partition(4, 0)).lumpable);       // single block
+  EXPECT_EQ(lump(chain, Partition(4, 0)).state_count(), 1u);
+}
+
+TEST(Lumping, Validation) {
+  const Ctmc chain = two_units(0.3, 0.9);
+  EXPECT_THROW(check_lumpable(chain, Partition{0, 1}), InvalidArgument);     // length
+  EXPECT_THROW(block_count(Partition{0, 2, 2, 2}), InvalidArgument);         // gap
+  EXPECT_THROW(coarsest_lumpable_partition(chain, Partition(4, 0), 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,66 @@
+// Tests for the incremental transient series evaluator (and, incidentally,
+// the umbrella header, which this file includes in place of individual
+// headers).
+
+#include <gtest/gtest.h>
+
+#include "gop.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+TEST(TransientSeries, MatchesPointwiseSolutions) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  const std::vector<double> times{0.0, 0.25, 0.5, 0.75, 1.0, 2.5};
+  const auto series = transient_distribution_series(chain, times);
+  ASSERT_EQ(series.size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    const std::vector<double> direct = transient_distribution(chain, times[i]);
+    EXPECT_NEAR(series[i][0], direct[0], 1e-11) << "t=" << times[i];
+    EXPECT_NEAR(series[i][1], direct[1], 1e-11);
+  }
+}
+
+TEST(TransientSeries, UniformGridUsesOneStepMatrix) {
+  // Correctness proxy for the caching: a long uniform grid must still agree
+  // with the direct solution at the far end, where 100 cached-step products
+  // have been chained.
+  const Ctmc chain = two_state(1.0, 3.0);
+  const std::vector<double> times = core::linspace(0.0, 10.0, 101);
+  const auto series = transient_distribution_series(chain, times);
+  const std::vector<double> direct = transient_distribution(chain, 10.0);
+  EXPECT_NEAR(series.back()[0], direct[0], 1e-9);
+}
+
+TEST(TransientSeries, RepeatedTimesShareDistributions) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const auto series = transient_distribution_series(chain, {0.5, 0.5, 0.5});
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0][0], series[2][0]);
+}
+
+TEST(TransientSeries, EmptyTimesGiveEmptySeries) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_TRUE(transient_distribution_series(chain, {}).empty());
+}
+
+TEST(TransientSeries, UnsortedTimesThrow) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(transient_distribution_series(chain, {1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW(transient_distribution_series(chain, {-1.0, 0.5}), InvalidArgument);
+}
+
+TEST(TransientSeries, UniformizationFallbackAgrees) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  const auto series = transient_distribution_series(chain, {0.2, 0.9}, options);
+  EXPECT_NEAR(series[1][0], transient_distribution(chain, 0.9)[0], 1e-10);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,190 @@
+// Tests for steady-state solvers (GTH / power / Gauss-Seidel) and
+// absorbing-chain analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/absorbing.hh"
+#include "markov/steady_state.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+/// Cyclic 3-state chain 0 -> 1 -> 2 -> 0 with distinct rates.
+Ctmc cycle3() {
+  return Ctmc(3, {{0, 1, 1.0, 0}, {1, 2, 2.0, 1}, {2, 0, 4.0, 2}}, {1.0, 0.0, 0.0});
+}
+
+TEST(SteadyState, TwoStateClosedForm) {
+  const double a = 3.0, b = 7.0;
+  const std::vector<double> pi = steady_state_distribution(two_state(a, b));
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(SteadyState, CycleOccupancyInverseToRates) {
+  // pi_i proportional to 1/rate_i for a cycle.
+  const std::vector<double> pi = steady_state_distribution(cycle3());
+  const double z = 1.0 / 1.0 + 1.0 / 2.0 + 1.0 / 4.0;
+  EXPECT_NEAR(pi[0], (1.0 / 1.0) / z, 1e-12);
+  EXPECT_NEAR(pi[1], (1.0 / 2.0) / z, 1e-12);
+  EXPECT_NEAR(pi[2], (1.0 / 4.0) / z, 1e-12);
+}
+
+class SteadyStateMethods : public ::testing::TestWithParam<SteadyStateMethod> {};
+
+TEST_P(SteadyStateMethods, AllMethodsAgreeOnCycle) {
+  SteadyStateOptions options;
+  options.method = GetParam();
+  const std::vector<double> pi = steady_state_distribution(cycle3(), options);
+  const double z = 1.75;
+  EXPECT_NEAR(pi[0], 1.0 / z, 1e-8);
+  EXPECT_NEAR(pi[1], 0.5 / z, 1e-8);
+  EXPECT_NEAR(pi[2], 0.25 / z, 1e-8);
+}
+
+TEST_P(SteadyStateMethods, RewardIsDotProduct) {
+  SteadyStateOptions options;
+  options.method = GetParam();
+  const double value = steady_state_reward(two_state(1.0, 3.0), {1.0, 0.0}, options);
+  EXPECT_NEAR(value, 0.75, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SteadyStateMethods,
+                         ::testing::Values(SteadyStateMethod::kGth, SteadyStateMethod::kPower,
+                                           SteadyStateMethod::kGaussSeidel));
+
+TEST(SteadyState, GthRejectsAbsorbingChain) {
+  const Ctmc chain(2, {{0, 1, 1.0, 0}}, {1.0, 0.0});
+  SteadyStateOptions options;
+  options.method = SteadyStateMethod::kGth;
+  EXPECT_THROW(steady_state_distribution(chain, options), ModelError);
+}
+
+TEST(SteadyState, GaussSeidelRejectsAbsorbingChain) {
+  const Ctmc chain(2, {{0, 1, 1.0, 0}}, {1.0, 0.0});
+  SteadyStateOptions options;
+  options.method = SteadyStateMethod::kGaussSeidel;
+  EXPECT_THROW(steady_state_distribution(chain, options), InvalidArgument);
+}
+
+TEST(SteadyState, StiffChainViaGth) {
+  const double a = 1e-8, b = 1e4;
+  const std::vector<double> pi = steady_state_distribution(two_state(a, b));
+  EXPECT_NEAR(pi[1] / (a / (a + b)), 1.0, 1e-10);  // relative accuracy on tiny mass
+}
+
+// --- absorbing analysis ---------------------------------------------------------
+
+TEST(Absorbing, PureDeathMeanTime) {
+  const double a = 0.25;
+  const Ctmc chain(2, {{0, 1, a, 0}}, {1.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  ASSERT_EQ(analysis.absorbing_states.size(), 1u);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, 1.0 / a, 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability[0], 1.0, 1e-12);
+}
+
+TEST(Absorbing, CompetingAbsorbers) {
+  // 0 -> 1 at rate a, 0 -> 2 at rate b: absorbed in 1 w.p. a/(a+b).
+  const double a = 2.0, b = 6.0;
+  const Ctmc chain(3, {{0, 1, a, 0}, {0, 2, b, 1}}, {1.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  ASSERT_EQ(analysis.absorbing_states.size(), 2u);
+  EXPECT_NEAR(analysis.absorption_probability[0], a / (a + b), 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability[1], b / (a + b), 1e-12);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, 1.0 / (a + b), 1e-12);
+}
+
+TEST(Absorbing, TandemChainMeanTimeAdds) {
+  // 0 -> 1 -> 2 with rates r0, r1: MTTA = 1/r0 + 1/r1.
+  const double r0 = 2.0, r1 = 0.5;
+  const Ctmc chain(3, {{0, 1, r0, 0}, {1, 2, r1, 1}}, {1.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, 1.0 / r0 + 1.0 / r1, 1e-12);
+  ASSERT_EQ(analysis.expected_time_in_state.size(), 2u);
+  EXPECT_NEAR(analysis.expected_time_in_state[0], 1.0 / r0, 1e-12);
+  EXPECT_NEAR(analysis.expected_time_in_state[1], 1.0 / r1, 1e-12);
+}
+
+TEST(Absorbing, WithLoopBeforeAbsorption) {
+  // 0 <-> 1, and 1 -> 2 (absorbing). Starting at 0:
+  // MTTA = (expected visits) analysis; closed form for this birth-death:
+  // E[T] = 1/a + (1 + a/b ... ) — compute via first-step analysis:
+  // t0 = 1/a + t1; t1 = 1/(b+c) + b/(b+c) t0, with a=0->1, b=1->0, c=1->2.
+  const double a = 1.0, b = 3.0, c = 2.0;
+  const Ctmc chain(3, {{0, 1, a, 0}, {1, 0, b, 1}, {1, 2, c, 2}}, {1.0, 0.0, 0.0});
+  double t1 = 0, t0 = 0;
+  // Solve the 2x2 first-step system directly.
+  // t0 = 1/a + t1;  t1 = 1/(b+c) + (b/(b+c)) t0
+  // => t1 = (1/(b+c) + b/(a(b+c))) / (1 - b/(b+c))
+  t1 = (1.0 / (b + c) + b / (a * (b + c))) / (1.0 - b / (b + c));
+  t0 = 1.0 / a + t1;
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, t0, 1e-12);
+}
+
+TEST(Absorbing, InitialMassOnAbsorbingState) {
+  const Ctmc chain(2, {{0, 1, 1.0, 0}}, {0.25, 0.75});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.absorption_probability[0], 1.0, 1e-12);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, 0.25 * 1.0, 1e-12);
+}
+
+TEST(Absorbing, NoAbsorbingStateThrows) {
+  EXPECT_THROW(analyze_absorbing(two_state(1.0, 1.0)), InvalidArgument);
+}
+
+TEST(Absorbing, ExponentialAbsorptionVariance) {
+  const double a = 0.4;
+  const Ctmc chain(2, {{0, 1, a, 0}}, {1.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.second_moment_time_to_absorption, 2.0 / (a * a), 1e-12);
+  EXPECT_NEAR(analysis.variance_time_to_absorption(), 1.0 / (a * a), 1e-12);
+}
+
+TEST(Absorbing, TandemAbsorptionVarianceAdds) {
+  // Sum of independent exponentials: variances add.
+  const double r0 = 2.0, r1 = 0.5;
+  const Ctmc chain(3, {{0, 1, r0, 0}, {1, 2, r1, 1}}, {1.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.variance_time_to_absorption(), 1.0 / (r0 * r0) + 1.0 / (r1 * r1),
+              1e-10);
+}
+
+TEST(Absorbing, CompetingExitIsStillExponential) {
+  const double a = 2.0, b = 6.0;
+  const Ctmc chain(3, {{0, 1, a, 0}, {0, 2, b, 1}}, {1.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  const double rate = a + b;
+  EXPECT_NEAR(analysis.variance_time_to_absorption(), 1.0 / (rate * rate), 1e-12);
+}
+
+TEST(Absorbing, ErlangVarianceIsKOverRateSquared) {
+  // Four identical stages at rate r: Var = 4 / r^2.
+  const double r = 3.0;
+  const Ctmc chain(5, {{0, 1, r, 0}, {1, 2, r, 1}, {2, 3, r, 2}, {3, 4, r, 3}},
+                   {1.0, 0.0, 0.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.mean_time_to_absorption, 4.0 / r, 1e-12);
+  EXPECT_NEAR(analysis.variance_time_to_absorption(), 4.0 / (r * r), 1e-11);
+}
+
+TEST(Absorbing, AbsorptionProbabilitiesSumToOne) {
+  const Ctmc chain(4,
+                   {{0, 1, 1.0, 0}, {1, 0, 1.0, 1}, {0, 2, 0.5, 2}, {1, 3, 0.25, 3}},
+                   {1.0, 0.0, 0.0, 0.0});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  double total = 0.0;
+  for (double p : analysis.absorption_probability) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,220 @@
+// Tests for the transient solvers: dense matrix exponential, uniformization,
+// and the dispatching front door — validated against closed-form chains and
+// against each other.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/matrix_exp.hh"
+#include "markov/transient.hh"
+#include "markov/uniformization.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+using linalg::DenseMatrix;
+
+/// 0 --a--> 1 --b--> 0, start in 0.
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+/// 0 --a--> 1 (absorbing), start in 0: P(still in 0 at t) = exp(-a t).
+Ctmc pure_death(double a) { return Ctmc(2, {{0, 1, a, 0}}, {1.0, 0.0}); }
+
+/// Closed form for the two-state chain: P(state 0 at t).
+double two_state_p0(double a, double b, double t) {
+  return b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+}
+
+// --- matrix exponential -------------------------------------------------------
+
+TEST(MatrixExp, ZeroMatrixGivesIdentity) {
+  const DenseMatrix e = matrix_exponential(DenseMatrix(3, 3, 0.0));
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(e(r, c), r == c ? 1.0 : 0.0, 1e-15);
+}
+
+TEST(MatrixExp, DiagonalMatrix) {
+  DenseMatrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  const DenseMatrix e = matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-15);
+}
+
+TEST(MatrixExp, NilpotentMatrix) {
+  // A = [[0,1],[0,0]]: exp(A) = I + A exactly.
+  const DenseMatrix a = DenseMatrix::from_rows({{0, 1}, {0, 0}});
+  const DenseMatrix e = matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-15);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-15);
+}
+
+TEST(MatrixExp, RotationBlock) {
+  // A = [[0,-w],[w,0]]: exp(A) is a rotation by w.
+  const double w = 2.0;
+  const DenseMatrix a = DenseMatrix::from_rows({{0, -w}, {w, 0}});
+  const DenseMatrix e = matrix_exponential(a);
+  EXPECT_NEAR(e(0, 0), std::cos(w), 1e-13);
+  EXPECT_NEAR(e(0, 1), -std::sin(w), 1e-13);
+}
+
+TEST(MatrixExp, SemigroupProperty) {
+  const DenseMatrix a = DenseMatrix::from_rows({{-2, 2}, {3, -3}});
+  const DenseMatrix e1 = matrix_exponential(a, 0.7);
+  const DenseMatrix e2 = matrix_exponential(a, 0.3);
+  const DenseMatrix whole = matrix_exponential(a, 1.0);
+  const DenseMatrix composed = e1 * e2;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 2; ++c) EXPECT_NEAR(composed(r, c), whole(r, c), 1e-13);
+}
+
+TEST(MatrixExp, GeneratorExponentialIsStochastic) {
+  // Rows of exp(Q t) sum to 1 and are non-negative — even for a stiff Q with
+  // a large scaling-and-squaring depth.
+  const DenseMatrix q = DenseMatrix::from_rows(
+      {{-1e4, 1e4, 0}, {1e-3, -2e-3, 1e-3}, {0, 5.0, -5.0}});
+  const DenseMatrix e = matrix_exponential(q, 100.0);
+  for (size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(e(r, c), -1e-12);
+      sum += e(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+  }
+}
+
+TEST(MatrixExp, NonSquareThrows) {
+  EXPECT_THROW(matrix_exponential(DenseMatrix(2, 3)), InvalidArgument);
+}
+
+// --- uniformization -----------------------------------------------------------
+
+TEST(Uniformization, MatchesClosedFormTwoState) {
+  const double a = 2.0, b = 5.0;
+  const Ctmc chain = two_state(a, b);
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    const std::vector<double> pi = uniformized_transient_distribution(chain, t);
+    EXPECT_NEAR(pi[0], two_state_p0(a, b, t), 1e-11) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Uniformization, PureDeathExponentialSurvival) {
+  const Ctmc chain = pure_death(0.7);
+  const std::vector<double> pi = uniformized_transient_distribution(chain, 2.0);
+  EXPECT_NEAR(pi[0], std::exp(-1.4), 1e-11);
+}
+
+TEST(Uniformization, TimeZeroReturnsInitial) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  const std::vector<double> pi = uniformized_transient_distribution(chain, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Uniformization, SteadyStateDetectionShortCircuitsLongHorizons) {
+  // t chosen so Lambda t ~ 7e4 Poisson terms but the chain mixes in ~1 time
+  // unit; steady-state detection must keep this fast AND correct.
+  const double a = 2.0, b = 5.0;
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> pi = uniformized_transient_distribution(chain, 1e4);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-9);
+}
+
+TEST(Uniformization, RefusesHopelesslyStiffProblems) {
+  const Ctmc chain = two_state(1e6, 1e6);
+  UniformizationOptions options;
+  options.max_lambda_t = 1e5;
+  EXPECT_THROW(uniformized_transient_distribution(chain, 10.0, options), NumericalError);
+}
+
+TEST(Uniformization, AllAbsorbingChainIsConstant) {
+  const Ctmc chain(2, {}, {0.3, 0.7});
+  const std::vector<double> pi = uniformized_transient_distribution(chain, 5.0);
+  EXPECT_NEAR(pi[0], 0.3, 1e-12);
+  EXPECT_NEAR(pi[1], 0.7, 1e-12);
+}
+
+// --- dispatcher & cross-validation --------------------------------------------
+
+TEST(Transient, ExpmAndUniformizationAgree) {
+  const Ctmc chain(3,
+                   {{0, 1, 2.0, 0}, {1, 2, 1.0, 1}, {2, 0, 0.5, 2}, {0, 2, 0.25, 3}},
+                   {1.0, 0.0, 0.0});
+  for (double t : {0.2, 1.0, 4.0}) {
+    TransientOptions expm_options;
+    expm_options.method = TransientMethod::kMatrixExponential;
+    TransientOptions unif_options;
+    unif_options.method = TransientMethod::kUniformization;
+    const std::vector<double> a = transient_distribution(chain, t, expm_options);
+    const std::vector<double> b = transient_distribution(chain, t, unif_options);
+    for (size_t s = 0; s < 3; ++s) EXPECT_NEAR(a[s], b[s], 1e-10) << "t=" << t << " s=" << s;
+  }
+}
+
+TEST(Transient, AutoHandlesStiffHorizon) {
+  // Lambda*t = 1e4 * 1e4 = 1e8: auto must route to the matrix exponential.
+  // ~27 squaring levels accumulate a few ulps of roundoff; 1e-7 is ample.
+  const Ctmc chain = two_state(1e4, 1e4);
+  const std::vector<double> pi = transient_distribution(chain, 1e4);
+  EXPECT_NEAR(pi[0], 0.5, 1e-7);
+}
+
+TEST(Transient, RewardIsDotProduct) {
+  const double a = 2.0, b = 5.0;
+  const Ctmc chain = two_state(a, b);
+  const double t = 0.8;
+  const double reward = transient_reward(chain, {1.0, 0.0}, t);
+  EXPECT_NEAR(reward, two_state_p0(a, b, t), 1e-11);
+}
+
+TEST(Transient, RewardLengthMismatchThrows) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(transient_reward(chain, {1.0}, 1.0), InvalidArgument);
+}
+
+TEST(Transient, NegativeTimeThrows) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(transient_distribution(chain, -1.0), InvalidArgument);
+}
+
+// --- parameterized sweep: closed form across (a, b, t) -------------------------
+
+struct TwoStateCase {
+  double a, b, t;
+};
+
+class TwoStateTransient : public ::testing::TestWithParam<TwoStateCase> {};
+
+TEST_P(TwoStateTransient, MatchesClosedFormViaBothEngines) {
+  const auto [a, b, t] = GetParam();
+  const Ctmc chain = two_state(a, b);
+  const double expected = two_state_p0(a, b, t);
+
+  TransientOptions expm_options;
+  expm_options.method = TransientMethod::kMatrixExponential;
+  EXPECT_NEAR(transient_distribution(chain, t, expm_options)[0], expected, 1e-9);
+
+  if (chain.max_exit_rate() * t < 1e5) {
+    TransientOptions unif_options;
+    unif_options.method = TransientMethod::kUniformization;
+    EXPECT_NEAR(transient_distribution(chain, t, unif_options)[0], expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TwoStateTransient,
+    ::testing::Values(TwoStateCase{0.1, 0.1, 1.0}, TwoStateCase{1.0, 2.0, 0.3},
+                      TwoStateCase{5.0, 0.5, 2.0}, TwoStateCase{100.0, 1.0, 0.05},
+                      TwoStateCase{1e-3, 1e-2, 50.0}, TwoStateCase{1e3, 1e3, 10.0},
+                      TwoStateCase{7.0, 11.0, 0.0}, TwoStateCase{0.5, 0.5, 20.0}));
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,257 @@
+// Tests for SAN composition (join / replicate) and the model linter.
+
+#include <gtest/gtest.h>
+
+#include "markov/steady_state.hh"
+#include "san/batch_means.hh"
+#include "san/compose.hh"
+#include "san/expr.hh"
+#include "san/lint.hh"
+#include "san/simulator.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+/// One repairable unit: up --fail--> down, repaired when the (possibly
+/// shared) repair crew is free.
+SanModel unit_model(double fail_rate = 0.2, double repair_rate = 1.0) {
+  SanModel m("unit");
+  const PlaceRef up = m.add_place("up", 1);
+  const PlaceRef crew = m.add_place("crew", 1);
+  m.add_timed_activity("fail", has_tokens(up), constant_rate(fail_rate),
+                       set_mark(up, 0));
+  m.add_timed_activity("repair", all_of({mark_eq(up, 0), has_tokens(crew)}),
+                       constant_rate(repair_rate), set_mark(up, 1));
+  return m;
+}
+
+// --- join --------------------------------------------------------------------------
+
+TEST(Join, FusesSharedPlaces) {
+  const SanModel a = unit_model();
+  const SanModel b = unit_model();
+  JoinSpec spec;
+  spec.shared = {{"crew", "crew"}};
+  const JoinedModel joined = join(a, b, spec);
+  // up, crew from the left; r_up from the right; crew fused.
+  EXPECT_EQ(joined.model.place_count(), 3u);
+  EXPECT_EQ(joined.left_place_map[a.place("crew").index],
+            joined.right_place_map[b.place("crew").index]);
+  EXPECT_EQ(joined.model.activity_count(), 4u);
+}
+
+TEST(Join, ComposedBehaviourMatchesHandBuiltModel) {
+  // Two units sharing one repair crew: with both down, only one repair can
+  // proceed (the crew token gates it) — except nothing consumes the crew in
+  // unit_model, so couple harder: repair takes the crew while in progress.
+  SanModel proto("unit");
+  const PlaceRef up = proto.add_place("up", 1);
+  const PlaceRef crew = proto.add_place("crew", 1);
+  const PlaceRef in_repair = proto.add_place("in_repair", 0);
+  proto.add_timed_activity("fail", has_tokens(up), constant_rate(0.2), set_mark(up, 0));
+  proto.add_instantaneous_activity(
+      "grab", all_of({mark_eq(up, 0), mark_eq(in_repair, 0), has_tokens(crew)}),
+      sequence({add_mark(crew, -1), set_mark(in_repair, 1)}));
+  proto.add_timed_activity("repair", has_tokens(in_repair), constant_rate(1.0),
+                           sequence({set_mark(in_repair, 0), set_mark(up, 1), add_mark(crew, 1)}));
+
+  JoinSpec spec;
+  spec.shared = {{"crew", "crew"}};
+  const JoinedModel joined = join(proto, proto, spec);
+  const GeneratedChain chain = generate_state_space(joined.model);
+
+  // Steady-state availability of the left unit must equal the right's by
+  // symmetry, and lie strictly between the isolated-unit availability
+  // (1 / (1 + 0.2)) and 1 because the shared crew queues repairs.
+  RewardStructure left_up, right_up;
+  left_up.add(has_tokens(joined.left_place(up)), 1.0);
+  right_up.add(has_tokens(joined.right_place(up)), 1.0);
+  const double a_left = chain.steady_state_reward(left_up);
+  const double a_right = chain.steady_state_reward(right_up);
+  EXPECT_NEAR(a_left, a_right, 1e-10);
+  EXPECT_LT(a_left, 1.0 / 1.2 + 1e-9);
+  EXPECT_GT(a_left, 0.5);
+}
+
+TEST(Join, InitialTokenMismatchThrows) {
+  SanModel a("a");
+  a.add_place("p", 1);
+  a.add_timed_activity("t", always(), constant_rate(1.0), no_effect());
+  SanModel b("b");
+  b.add_place("p", 2);
+  b.add_timed_activity("t", always(), constant_rate(1.0), no_effect());
+  JoinSpec spec;
+  spec.shared = {{"p", "p"}};
+  EXPECT_THROW(join(a, b, spec), InvalidArgument);
+}
+
+TEST(Join, UnknownPlaceThrows) {
+  const SanModel a = unit_model();
+  const SanModel b = unit_model();
+  JoinSpec spec;
+  spec.shared = {{"nope", "crew"}};
+  EXPECT_THROW(join(a, b, spec), InvalidArgument);
+}
+
+TEST(Join, DuplicateFusionThrows) {
+  const SanModel a = unit_model();
+  const SanModel b = unit_model();
+  JoinSpec spec;
+  spec.shared = {{"crew", "crew"}, {"crew", "up"}};
+  EXPECT_THROW(join(a, b, spec), InvalidArgument);
+}
+
+// --- replicate ----------------------------------------------------------------------
+
+TEST(Replicate, SharesDesignatedPlacesAcrossReplicas) {
+  const SanModel proto = unit_model();
+  const ReplicatedModel replicated = replicate(proto, 3, {"crew"});
+  // 1 shared crew + 3 private "up" places.
+  EXPECT_EQ(replicated.model.place_count(), 4u);
+  EXPECT_EQ(replicated.model.activity_count(), 6u);
+  const size_t crew0 = replicated.replica_place(0, proto.place("crew")).index;
+  const size_t crew2 = replicated.replica_place(2, proto.place("crew")).index;
+  EXPECT_EQ(crew0, crew2);
+  EXPECT_NE(replicated.replica_place(0, proto.place("up")).index,
+            replicated.replica_place(1, proto.place("up")).index);
+}
+
+TEST(Replicate, StateSpaceGrowsExponentiallyInPrivatePlaces) {
+  const SanModel proto = unit_model();
+  const ReplicatedModel two = replicate(proto, 2, {"crew"});
+  const ReplicatedModel three = replicate(proto, 3, {"crew"});
+  EXPECT_EQ(generate_state_space(two.model).state_count(), 4u);   // 2^2 up/down
+  EXPECT_EQ(generate_state_space(three.model).state_count(), 8u); // 2^3
+}
+
+TEST(Replicate, ReplicasAreStatisticallyIdentical) {
+  const SanModel proto = unit_model(0.3, 0.9);
+  const ReplicatedModel replicated = replicate(proto, 2, {"crew"});
+  const GeneratedChain chain = generate_state_space(replicated.model);
+  RewardStructure up0, up1;
+  up0.add(has_tokens(replicated.replica_place(0, proto.place("up"))), 1.0);
+  up1.add(has_tokens(replicated.replica_place(1, proto.place("up"))), 1.0);
+  EXPECT_NEAR(chain.steady_state_reward(up0), chain.steady_state_reward(up1), 1e-12);
+}
+
+TEST(Replicate, ZeroReplicasThrows) {
+  EXPECT_THROW(replicate(unit_model(), 0, {}), InvalidArgument);
+}
+
+// --- lint ---------------------------------------------------------------------------
+
+TEST(Lint, CleanErgodicModel) {
+  const SanModel proto = unit_model();
+  const GeneratedChain chain = generate_state_space(proto);
+  const ModelDiagnostics diagnostics = diagnose(chain);
+  EXPECT_TRUE(diagnostics.dead_timed_activities.empty());
+  EXPECT_TRUE(diagnostics.absorbing_states.empty());
+  EXPECT_TRUE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 1u);
+}
+
+TEST(Lint, DetectsDeadActivity) {
+  SanModel m("dead");
+  const PlaceRef p = m.add_place("p", 1);
+  m.add_timed_activity("alive", has_tokens(p), constant_rate(1.0), no_effect());
+  m.add_timed_activity("never", mark_ge(p, 5), constant_rate(1.0), no_effect());
+  const ModelDiagnostics diagnostics = diagnose(generate_state_space(m));
+  ASSERT_EQ(diagnostics.dead_timed_activities.size(), 1u);
+  EXPECT_EQ(diagnostics.dead_timed_activities[0], "never");
+}
+
+TEST(Lint, DetectsAbsorbingStatesAndReducibility) {
+  SanModel m("death");
+  const PlaceRef alive = m.add_place("alive", 1);
+  m.add_timed_activity("die", has_tokens(alive), constant_rate(1.0), set_mark(alive, 0));
+  const ModelDiagnostics diagnostics = diagnose(generate_state_space(m));
+  EXPECT_EQ(diagnostics.absorbing_states.size(), 1u);
+  EXPECT_FALSE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 1u);  // the absorbing state
+  EXPECT_NE(diagnostics.summary().find("NOT irreducible"), std::string::npos);
+}
+
+TEST(Lint, CountsMultipleRecurrentClasses) {
+  // Initial vanishing marking branches into two disconnected cycles.
+  SanModel m("split");
+  const PlaceRef start = m.add_place("start", 1);
+  const PlaceRef left = m.add_place("left");
+  const PlaceRef right = m.add_place("right");
+  InstantaneousActivity branch;
+  branch.name = "branch";
+  branch.enabled = has_tokens(start);
+  branch.cases.push_back(Case{constant_prob(0.5),
+                              sequence({add_mark(start, -1), add_mark(left, 1)})});
+  branch.cases.push_back(Case{constant_prob(0.5),
+                              sequence({add_mark(start, -1), add_mark(right, 1)})});
+  m.add_instantaneous_activity(std::move(branch));
+  m.add_timed_activity("spin_left", has_tokens(left), constant_rate(1.0), no_effect());
+  m.add_timed_activity("spin_right", has_tokens(right), constant_rate(1.0), no_effect());
+  const ModelDiagnostics diagnostics = diagnose(generate_state_space(m));
+  EXPECT_FALSE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 2u);
+}
+
+TEST(Lint, SccOnKnownGraph) {
+  // 0 -> 1 -> 2 -> 1 (cycle {1,2}), 0 transient.
+  const markov::Ctmc chain(3, {{0, 1, 1.0, 0}, {1, 2, 1.0, 1}, {2, 1, 1.0, 2}},
+                           {1.0, 0.0, 0.0});
+  size_t count = 0;
+  const std::vector<size_t> component = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(component[1], component[2]);
+  EXPECT_NE(component[0], component[1]);
+}
+
+// --- batch means --------------------------------------------------------------------
+
+TEST(BatchMeans, MatchesSteadyStateOnToggle) {
+  SanModel m("toggle");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_timed_activity("fwd", has_tokens(a), constant_rate(2.0),
+                       sequence({add_mark(a, -1), add_mark(b, 1)}));
+  m.add_timed_activity("bwd", has_tokens(b), constant_rate(3.0),
+                       sequence({add_mark(b, -1), add_mark(a, 1)}));
+  RewardStructure reward;
+  reward.add(has_tokens(a), 1.0);
+
+  const SanSimulator simulator(m);
+  BatchMeansOptions options;
+  options.seed = 1;
+  options.warmup_time = 5.0;
+  options.batch_duration = 40.0;
+  options.batch_count = 24;
+  const BatchMeansResult result = estimate_steady_state_reward(simulator, reward, options);
+  EXPECT_EQ(result.batches, 24u);
+  EXPECT_NEAR(result.mean, 0.6, 4.0 * result.half_width + 0.01);
+  EXPECT_GT(result.half_width, 0.0);
+}
+
+TEST(BatchMeans, Validation) {
+  const SanModel model = unit_model();
+  const SanSimulator simulator(model);
+  RewardStructure reward;
+  reward.add(always(), 1.0);
+  BatchMeansOptions options;
+  options.batch_count = 1;
+  EXPECT_THROW(estimate_steady_state_reward(simulator, reward, options), InvalidArgument);
+  options.batch_count = 4;
+  options.batch_duration = 0.0;
+  EXPECT_THROW(estimate_steady_state_reward(simulator, reward, options), InvalidArgument);
+}
+
+TEST(BatchMeans, ConstantRewardHasZeroVariance) {
+  const SanModel model = unit_model();
+  const SanSimulator simulator(model);
+  RewardStructure reward;
+  reward.add(always(), 2.5);
+  const BatchMeansResult result = estimate_steady_state_reward(simulator, reward);
+  EXPECT_NEAR(result.mean, 2.5, 1e-9);
+  EXPECT_NEAR(result.half_width, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gop::san

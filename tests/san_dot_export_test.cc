@@ -1,0 +1,61 @@
+// Tests for the Graphviz export of SAN structure and reachability graphs.
+
+#include <gtest/gtest.h>
+
+#include "san/dot_export.hh"
+#include "san/expr.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+namespace {
+
+SanModel toggle_model() {
+  SanModel m("toggle");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_timed_activity("fwd", has_tokens(a), constant_rate(2.0),
+                       sequence({add_mark(a, -1), add_mark(b, 1)}));
+  m.add_instantaneous_activity("noop", [](const Marking&) { return false; }, no_effect());
+  return m;
+}
+
+TEST(DotExport, ModelContainsPlacesAndActivities) {
+  const SanModel m = toggle_model();
+  const std::string dot = model_to_dot(m);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("place_a"), std::string::npos);
+  EXPECT_NE(dot.find("timed_fwd"), std::string::npos);
+  EXPECT_NE(dot.find("inst_noop"), std::string::npos);
+  // Initial token count annotated.
+  EXPECT_NE(dot.find("(1)"), std::string::npos);
+}
+
+TEST(DotExport, ReachabilityContainsStatesAndEdges) {
+  const SanModel m = toggle_model();
+  const GeneratedChain chain = generate_state_space(m);
+  const std::string dot = reachability_to_dot(chain);
+  EXPECT_NE(dot.find("s0"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("fwd @ 2"), std::string::npos);
+  // Absorbing state drawn with double periphery.
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+TEST(DotExport, TruncationNote) {
+  const SanModel m = toggle_model();
+  const GeneratedChain chain = generate_state_space(m);
+  const std::string dot = reachability_to_dot(chain, 1);
+  EXPECT_NE(dot.find("not shown"), std::string::npos);
+}
+
+TEST(DotExport, SanitizesNames) {
+  SanModel m("weird");
+  m.add_place("a-b c", 0);
+  m.add_timed_activity("x/y", always(), constant_rate(1.0), no_effect());
+  const std::string dot = model_to_dot(m);
+  EXPECT_NE(dot.find("place_a_b_c"), std::string::npos);
+  EXPECT_NE(dot.find("timed_x_y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gop::san

@@ -1,0 +1,186 @@
+// Unit tests for the SAN model container, markings and expression helpers.
+
+#include <gtest/gtest.h>
+
+#include "san/expr.hh"
+#include "san/marking.hh"
+#include "san/model.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+// --- marking -------------------------------------------------------------------
+
+TEST(Marking, ConstructionAndAccess) {
+  Marking m(3);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 0);
+  m[1] = 7;
+  EXPECT_EQ(m[1], 7);
+}
+
+TEST(Marking, EqualityByValue) {
+  Marking a(std::vector<int32_t>{1, 2});
+  Marking b(std::vector<int32_t>{1, 2});
+  Marking c(std::vector<int32_t>{2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Marking, HashAgreesWithEquality) {
+  MarkingHash hash;
+  Marking a(std::vector<int32_t>{1, 0, 3});
+  Marking b(std::vector<int32_t>{1, 0, 3});
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(Marking, HashSpreadsPermutations) {
+  MarkingHash hash;
+  EXPECT_NE(hash(Marking(std::vector<int32_t>{1, 0})), hash(Marking(std::vector<int32_t>{0, 1})));
+}
+
+TEST(Marking, ToString) {
+  EXPECT_EQ(Marking(std::vector<int32_t>{1, 0, 2}).to_string(), "(1,0,2)");
+  EXPECT_EQ(Marking().to_string(), "()");
+}
+
+// --- model ---------------------------------------------------------------------
+
+TEST(SanModel, PlacesAndInitialMarking) {
+  SanModel m("test");
+  const PlaceRef a = m.add_place("a", 2);
+  const PlaceRef b = m.add_place("b");
+  EXPECT_EQ(m.place_count(), 2u);
+  EXPECT_EQ(m.place_name(a), "a");
+  const Marking init = m.initial_marking();
+  EXPECT_EQ(init[a.index], 2);
+  EXPECT_EQ(init[b.index], 0);
+}
+
+TEST(SanModel, PlaceLookupByName) {
+  SanModel m("test");
+  m.add_place("x");
+  const PlaceRef y = m.add_place("y");
+  EXPECT_EQ(m.place("y").index, y.index);
+  EXPECT_THROW(m.place("nope"), InvalidArgument);
+}
+
+TEST(SanModel, DuplicatePlaceNameThrows) {
+  SanModel m("test");
+  m.add_place("x");
+  EXPECT_THROW(m.add_place("x"), InvalidArgument);
+}
+
+TEST(SanModel, NegativeInitialTokensThrow) {
+  SanModel m("test");
+  EXPECT_THROW(m.add_place("x", -1), InvalidArgument);
+}
+
+TEST(SanModel, ActivityRegistryInterleavesKinds) {
+  SanModel m("test");
+  const PlaceRef p = m.add_place("p", 1);
+  const ActivityRef t0 = m.add_timed_activity("t0", always(), constant_rate(1.0), no_effect());
+  const ActivityRef i0 = m.add_instantaneous_activity("i0", mark_eq(p, 5), no_effect());
+  const ActivityRef t1 = m.add_timed_activity("t1", always(), constant_rate(2.0), no_effect());
+
+  EXPECT_TRUE(m.is_timed(t0));
+  EXPECT_FALSE(m.is_timed(i0));
+  EXPECT_TRUE(m.is_timed(t1));
+  EXPECT_EQ(m.activity_name(t0), "t0");
+  EXPECT_EQ(m.activity_name(i0), "i0");
+  EXPECT_EQ(m.activity_name(t1), "t1");
+  EXPECT_EQ(m.activity_count(), 3u);
+  // timed_ref/instantaneous_ref invert the registry.
+  EXPECT_EQ(m.timed_ref(1).index, t1.index);
+  EXPECT_EQ(m.instantaneous_ref(0).index, i0.index);
+}
+
+TEST(SanModel, ActivityValidation) {
+  SanModel m("test");
+  EXPECT_THROW(m.add_timed_activity("", always(), constant_rate(1.0), no_effect()),
+               InvalidArgument);
+  EXPECT_THROW(m.add_timed_activity("t", nullptr, constant_rate(1.0), no_effect()),
+               InvalidArgument);
+  TimedActivity no_cases;
+  no_cases.name = "t";
+  no_cases.enabled = always();
+  no_cases.rate = constant_rate(1.0);
+  EXPECT_THROW(m.add_timed_activity(std::move(no_cases)), InvalidArgument);
+}
+
+TEST(SanModel, OutOfRangeRefsThrow) {
+  SanModel m("test");
+  EXPECT_THROW(m.activity_name(ActivityRef{0}), InvalidArgument);
+  EXPECT_THROW(m.place_name(PlaceRef{0}), InvalidArgument);
+  EXPECT_THROW(m.timed_ref(0), InvalidArgument);
+}
+
+// --- expression helpers ----------------------------------------------------------
+
+TEST(Expr, MarkPredicates) {
+  Marking m(std::vector<int32_t>{2, 0});
+  const PlaceRef p0{0}, p1{1};
+  EXPECT_TRUE(mark_eq(p0, 2)(m));
+  EXPECT_FALSE(mark_eq(p1, 2)(m));
+  EXPECT_TRUE(mark_ge(p0, 1)(m));
+  EXPECT_FALSE(mark_ge(p1, 1)(m));
+  EXPECT_TRUE(has_tokens(p0)(m));
+  EXPECT_FALSE(has_tokens(p1)(m));
+  EXPECT_TRUE(always()(m));
+}
+
+TEST(Expr, BooleanCombinators) {
+  Marking m(std::vector<int32_t>{1, 0});
+  const PlaceRef p0{0}, p1{1};
+  EXPECT_TRUE(all_of({has_tokens(p0), mark_eq(p1, 0)})(m));
+  EXPECT_FALSE(all_of({has_tokens(p0), has_tokens(p1)})(m));
+  EXPECT_TRUE(any_of({has_tokens(p1), has_tokens(p0)})(m));
+  EXPECT_FALSE(any_of({has_tokens(p1), mark_eq(p0, 5)})(m));
+  EXPECT_TRUE(negate(has_tokens(p1))(m));
+  EXPECT_THROW(all_of({}), InvalidArgument);
+}
+
+TEST(Expr, RatesAndProbabilities) {
+  Marking m(std::vector<int32_t>{3});
+  EXPECT_DOUBLE_EQ(constant_rate(2.5)(m), 2.5);
+  EXPECT_THROW(constant_rate(0.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(constant_prob(0.25)(m), 0.25);
+  EXPECT_THROW(constant_prob(1.5), InvalidArgument);
+  EXPECT_DOUBLE_EQ(complement_prob(constant_prob(0.25))(m), 0.75);
+  EXPECT_DOUBLE_EQ(rate_per_token(PlaceRef{0}, 2.0)(m), 6.0);
+}
+
+TEST(Expr, Effects) {
+  Marking m(std::vector<int32_t>{1, 1});
+  const PlaceRef p0{0}, p1{1};
+  set_mark(p0, 5)(m);
+  EXPECT_EQ(m[0], 5);
+  add_mark(p1, 2)(m);
+  EXPECT_EQ(m[1], 3);
+  add_mark(p1, -3)(m);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_THROW(add_mark(p1, -1)(m), InternalError);  // would go negative
+  no_effect()(m);
+  EXPECT_EQ(m[0], 5);
+}
+
+TEST(Expr, SequenceAppliesInOrder) {
+  Marking m(std::vector<int32_t>{0});
+  const PlaceRef p{0};
+  sequence({set_mark(p, 3), add_mark(p, 1)})(m);
+  EXPECT_EQ(m[0], 4);
+}
+
+TEST(Expr, WhenGuardsEffect) {
+  Marking m(std::vector<int32_t>{0, 0});
+  const PlaceRef p0{0}, p1{1};
+  when(has_tokens(p0), set_mark(p1, 9))(m);
+  EXPECT_EQ(m[1], 0);
+  m[0] = 1;
+  when(has_tokens(p0), set_mark(p1, 9))(m);
+  EXPECT_EQ(m[1], 9);
+}
+
+}  // namespace
+}  // namespace gop::san

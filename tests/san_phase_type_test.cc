@@ -1,0 +1,134 @@
+// Tests for Erlang (phase-type) activities by stage expansion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/first_passage.hh"
+#include "san/expr.hh"
+#include "san/phase_type.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+/// Erlang-k CDF with mean 1/rate.
+double erlang_cdf(double rate, int k, double t) {
+  const double x = rate * static_cast<double>(k) * t;
+  double term = 1.0;  // x^i / i!
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    sum += term;
+    term *= x / static_cast<double>(i + 1);
+  }
+  return 1.0 - std::exp(-x) * sum;
+}
+
+struct ErlangFixture {
+  SanModel model{"erlang"};
+  PlaceRef done = model.add_place("done", 0);
+  ErlangActivity erlang;
+
+  ErlangFixture(double rate, int32_t stages)
+      : erlang(add_erlang_activity(model, "work", mark_eq(done, 0), rate, stages,
+                                   set_mark(done, 1))) {}
+};
+
+TEST(PhaseType, StateSpaceHasOneStatePerStage) {
+  ErlangFixture fixture(2.0, 4);
+  const GeneratedChain chain = generate_state_space(fixture.model);
+  // Stages 0..3 with done=0, plus the done=1 absorbing state.
+  EXPECT_EQ(chain.state_count(), 5u);
+}
+
+TEST(PhaseType, MeanCompletionTimeIsInverseRate) {
+  const double rate = 0.5;
+  ErlangFixture fixture(rate, 5);
+  const GeneratedChain chain = generate_state_space(fixture.model);
+  std::vector<bool> target(chain.state_count(), false);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    target[s] = chain.states()[s][fixture.done.index] == 1;
+  }
+  const markov::FirstPassageSummary summary =
+      markov::first_passage_summary(chain.ctmc(), target);
+  EXPECT_NEAR(summary.mean_time_to_absorption, 1.0 / rate, 1e-12);
+}
+
+class ErlangCdf : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErlangCdf, MatchesClosedForm) {
+  const double rate = 1.5;
+  const int stages = GetParam();
+  ErlangFixture fixture(rate, stages);
+  const GeneratedChain chain = generate_state_space(fixture.model);
+  std::vector<bool> target(chain.state_count(), false);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    target[s] = chain.states()[s][fixture.done.index] == 1;
+  }
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(markov::first_passage_cdf(chain.ctmc(), target, t),
+                erlang_cdf(rate, stages, t), 1e-9)
+        << "k=" << stages << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, ErlangCdf, ::testing::Values(1, 2, 3, 8, 20));
+
+TEST(PhaseType, HigherStageCountConcentratesTheDistribution) {
+  // CV^2 = 1/k: P(T <= mean) rises toward 1/2 ... and the probability of a
+  // very early completion falls with k.
+  const double rate = 1.0;
+  double early_previous = 1.0;
+  for (int stages : {1, 4, 16}) {
+    ErlangFixture fixture(rate, stages);
+    const GeneratedChain chain = generate_state_space(fixture.model);
+    std::vector<bool> target(chain.state_count(), false);
+    for (size_t s = 0; s < chain.state_count(); ++s) {
+      target[s] = chain.states()[s][fixture.done.index] == 1;
+    }
+    const double early = markov::first_passage_cdf(chain.ctmc(), target, 0.1);
+    EXPECT_LT(early, early_previous);
+    early_previous = early;
+  }
+}
+
+TEST(PhaseType, ErlangOneIsPlainExponential) {
+  ErlangFixture fixture(3.0, 1);
+  const GeneratedChain chain = generate_state_space(fixture.model);
+  EXPECT_EQ(chain.state_count(), 2u);
+  RewardStructure done_reward;
+  done_reward.add(mark_eq(fixture.done, 1), 1.0);
+  EXPECT_NEAR(chain.instant_reward(done_reward, 0.7), 1.0 - std::exp(-3.0 * 0.7), 1e-11);
+}
+
+TEST(PhaseType, PreemptiveResumeHoldsProgress) {
+  // A gate place disables the activity; the stage marking must persist.
+  SanModel model("gated");
+  const PlaceRef gate = model.add_place("gate", 1);
+  const PlaceRef done = model.add_place("done", 0);
+  const ErlangActivity erlang = add_erlang_activity(
+      model, "work", all_of({has_tokens(gate), mark_eq(done, 0)}), 1.0, 3, set_mark(done, 1));
+  // A marking with gate=0 and stage=2 is legal and has no enabled work
+  // stages.
+  Marking marking = model.initial_marking();
+  marking[gate.index] = 0;
+  marking[erlang.stage.index] = 2;
+  for (const TimedActivity& activity : model.timed_activities()) {
+    EXPECT_FALSE(activity.enabled(marking)) << activity.name;
+  }
+}
+
+TEST(PhaseType, Validation) {
+  SanModel model("bad");
+  const PlaceRef done = model.add_place("done", 0);
+  EXPECT_THROW(
+      add_erlang_activity(model, "x", mark_eq(done, 0), 0.0, 3, set_mark(done, 1)),
+      InvalidArgument);
+  EXPECT_THROW(
+      add_erlang_activity(model, "y", mark_eq(done, 0), 1.0, 0, set_mark(done, 1)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::san

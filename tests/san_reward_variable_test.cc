@@ -1,0 +1,121 @@
+// Tests for the UltraSAN-style reward-variable abstraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "san/expr.hh"
+#include "san/reward_variable.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+struct TogglePair {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+  double fwd, bwd;
+
+  TogglePair(double forward = 2.0, double backward = 3.0) : fwd(forward), bwd(backward) {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(forward),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(backward),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+  }
+
+  RewardStructure in_a() const {
+    RewardStructure reward;
+    reward.add(has_tokens(a), 1.0);
+    return reward;
+  }
+
+  double p_a(double t) const {
+    const double s = fwd + bwd;
+    return bwd / s + fwd / s * std::exp(-s * t);
+  }
+};
+
+TEST(RewardVariable, InstantOfTime) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const RewardVariable variable("pA", toggle.in_a(), RewardVariableKind::kInstantOfTime, 0.7);
+  EXPECT_NEAR(variable.solve(chain), toggle.p_a(0.7), 1e-11);
+}
+
+TEST(RewardVariable, Accumulated) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const RewardVariable variable("LA", toggle.in_a(), RewardVariableKind::kAccumulated, 2.0);
+  EXPECT_NEAR(variable.solve(chain), chain.accumulated_reward(toggle.in_a(), 2.0), 1e-12);
+}
+
+TEST(RewardVariable, TimeAveragedApproachesSteadyState) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const RewardVariable average("avg", toggle.in_a(), RewardVariableKind::kTimeAveraged, 500.0);
+  const RewardVariable steady("ss", toggle.in_a(), RewardVariableKind::kSteadyState);
+  EXPECT_NEAR(average.solve(chain), steady.solve(chain), 1e-3);
+  EXPECT_NEAR(steady.solve(chain), toggle.bwd / (toggle.fwd + toggle.bwd), 1e-12);
+}
+
+TEST(RewardVariable, SimulationEstimateAgrees) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const SanSimulator simulator(toggle.model);
+  const RewardVariable variable("pA", toggle.in_a(), RewardVariableKind::kInstantOfTime, 0.5);
+  sim::ReplicationOptions options;
+  options.seed = 5;
+  options.min_replications = 3000;
+  options.max_replications = 3000;
+  const auto estimate = variable.estimate(simulator, options);
+  EXPECT_NEAR(estimate.mean(), variable.solve(chain), 4.0 * estimate.stats.std_error() + 5e-3);
+}
+
+TEST(RewardVariable, SteadyStateEstimateUsesTimeAverage) {
+  TogglePair toggle;
+  const SanSimulator simulator(toggle.model);
+  const RewardVariable steady("ss", toggle.in_a(), RewardVariableKind::kSteadyState, 200.0);
+  sim::ReplicationOptions options;
+  options.seed = 6;
+  options.min_replications = 200;
+  options.max_replications = 200;
+  const auto estimate = steady.estimate(simulator, options);
+  EXPECT_NEAR(estimate.mean(), 0.6, 0.05);
+}
+
+TEST(RewardVariable, SolveAllPreservesOrder) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const std::vector<RewardVariable> variables{
+      RewardVariable("p0", toggle.in_a(), RewardVariableKind::kInstantOfTime, 0.0),
+      RewardVariable("ss", toggle.in_a(), RewardVariableKind::kSteadyState)};
+  const std::vector<double> values = solve_all(chain, variables);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NEAR(values[0], 1.0, 1e-12);  // starts in a
+  EXPECT_NEAR(values[1], 0.6, 1e-12);
+}
+
+TEST(RewardVariable, KindNames) {
+  EXPECT_STREQ(reward_variable_kind_name(RewardVariableKind::kInstantOfTime),
+               "instant-of-time");
+  EXPECT_STREQ(reward_variable_kind_name(RewardVariableKind::kSteadyState), "steady-state");
+}
+
+TEST(RewardVariable, Validation) {
+  TogglePair toggle;
+  EXPECT_THROW(
+      RewardVariable("", toggle.in_a(), RewardVariableKind::kInstantOfTime, 1.0),
+      InvalidArgument);
+  EXPECT_THROW(
+      RewardVariable("x", toggle.in_a(), RewardVariableKind::kInstantOfTime, -1.0),
+      InvalidArgument);
+  EXPECT_THROW(RewardVariable("x", toggle.in_a(), RewardVariableKind::kTimeAveraged, 0.0),
+               InvalidArgument);
+  const SanSimulator simulator(toggle.model);
+  const RewardVariable bad_steady("ss", toggle.in_a(), RewardVariableKind::kSteadyState, 0.0);
+  EXPECT_THROW(bad_steady.estimate(simulator), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::san

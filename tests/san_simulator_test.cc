@@ -1,0 +1,204 @@
+// Tests for the SAN discrete-event simulator: agreement with the numerical
+// solvers (statistical), determinism, early stopping, observers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "san/expr.hh"
+#include "san/simulator.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+struct TogglePair {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+
+  TogglePair(double forward = 2.0, double backward = 3.0) {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(forward),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(backward),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+  }
+};
+
+TEST(Simulator, DeterministicGivenSeed) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng1(99), rng2(99);
+  const Marking m1 = simulator.simulate(rng1, 50.0);
+  const Marking m2 = simulator.simulate(rng2, 50.0);
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(Simulator, SojournsPartitionTheHorizon) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng(7);
+  double covered = 0.0;
+  double last_leave = 0.0;
+  simulator.simulate(rng, 25.0, [&](const Marking&, double enter, double leave) {
+    EXPECT_DOUBLE_EQ(enter, last_leave);
+    EXPECT_GE(leave, enter);
+    covered += leave - enter;
+    last_leave = leave;
+  });
+  EXPECT_NEAR(covered, 25.0, 1e-12);
+}
+
+TEST(Simulator, AbsorptionHoldsFinalMarking) {
+  SanModel m("death");
+  const PlaceRef alive = m.add_place("alive", 1);
+  m.add_timed_activity("die", has_tokens(alive), constant_rate(100.0), add_mark(alive, -1));
+  SanSimulator simulator(m);
+  sim::Rng rng(3);
+  const Marking final_marking = simulator.simulate(rng, 10.0);
+  EXPECT_EQ(final_marking[alive.index], 0);
+}
+
+TEST(Simulator, StopPredicateReturnsEarly) {
+  SanModel m("death");
+  const PlaceRef alive = m.add_place("alive", 1);
+  m.add_timed_activity("die", has_tokens(alive), constant_rate(5.0), add_mark(alive, -1));
+  SanSimulator simulator(m);
+  sim::Rng rng(5);
+  const auto outcome = simulator.simulate_until(rng, 1000.0, mark_eq(alive, 0));
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_LT(outcome.time, 1000.0);
+  EXPECT_EQ(outcome.marking[alive.index], 0);
+}
+
+TEST(Simulator, StopPredicateOnInitialMarking) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng(1);
+  const auto outcome = simulator.simulate_until(rng, 10.0, has_tokens(toggle.a));
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_DOUBLE_EQ(outcome.time, 0.0);
+}
+
+TEST(Simulator, NoStopRunsToHorizon) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng(1);
+  const auto outcome = simulator.simulate_until(rng, 10.0, mark_ge(toggle.a, 100));
+  EXPECT_FALSE(outcome.stopped);
+  EXPECT_DOUBLE_EQ(outcome.time, 10.0);
+}
+
+TEST(Simulator, CompletionObserverSeesTimedActivities) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng(11);
+  size_t completions = 0;
+  simulator.simulate(rng, 100.0, nullptr, [&](ActivityRef ref, double) {
+    EXPECT_TRUE(toggle.model.is_timed(ref));
+    ++completions;
+  });
+  // Cycle rate = 1/(1/2 + 1/3) = 1.2 cycles/unit -> ~240 completions in 100u.
+  EXPECT_GT(completions, 120u);
+  EXPECT_LT(completions, 480u);
+}
+
+TEST(Simulator, InstantaneousActivitiesFireDuringSimulation) {
+  // Timed into a vanishing marking; the instantaneous settle must fire and
+  // the vanishing marking must never be observed as a sojourn.
+  SanModel m("vanish");
+  const PlaceRef src = m.add_place("src", 1);
+  const PlaceRef mid = m.add_place("mid");
+  const PlaceRef done = m.add_place("done");
+  m.add_timed_activity("fire", has_tokens(src), constant_rate(50.0),
+                       sequence({add_mark(src, -1), add_mark(mid, 1)}));
+  m.add_instantaneous_activity("settle", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(done, 1)}));
+  SanSimulator simulator(m);
+  sim::Rng rng(17);
+  bool saw_instantaneous = false;
+  const Marking final_marking = simulator.simulate(
+      rng, 10.0,
+      [&](const Marking& marking, double, double) { EXPECT_EQ(marking[mid.index], 0); },
+      [&](ActivityRef ref, double) {
+        if (!m.is_timed(ref)) saw_instantaneous = true;
+      });
+  EXPECT_TRUE(saw_instantaneous);
+  EXPECT_EQ(final_marking[done.index], 1);
+}
+
+TEST(Simulator, VanishingLoopDetected) {
+  SanModel m("loop");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_instantaneous_activity("ab", has_tokens(a),
+                               sequence({add_mark(a, -1), add_mark(b, 1)}));
+  m.add_instantaneous_activity("ba", has_tokens(b),
+                               sequence({add_mark(b, -1), add_mark(a, 1)}));
+  SanSimulator simulator(m);
+  sim::Rng rng(23);
+  EXPECT_THROW(simulator.simulate(rng, 1.0), InvalidArgument);
+}
+
+TEST(Simulator, InstantRewardEstimateMatchesSolver) {
+  const double fwd = 2.0, bwd = 3.0, t = 0.6;
+  TogglePair toggle(fwd, bwd);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 1.0);
+  const double exact = chain.instant_reward(reward, t);
+
+  SanSimulator simulator(toggle.model);
+  sim::ReplicationOptions options;
+  options.seed = 1234;
+  options.min_replications = 4000;
+  options.max_replications = 4000;
+  const auto estimate = simulator.estimate_instant_reward(reward, t, options);
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.stats.std_error() + 1e-3);
+}
+
+TEST(Simulator, AccumulatedRewardEstimateMatchesSolver) {
+  const double fwd = 2.0, bwd = 3.0, t = 3.0;
+  TogglePair toggle(fwd, bwd);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 1.0);
+  const double exact = chain.accumulated_reward(reward, t);
+
+  SanSimulator simulator(toggle.model);
+  sim::ReplicationOptions options;
+  options.seed = 4321;
+  options.min_replications = 4000;
+  options.max_replications = 4000;
+  const auto estimate = simulator.estimate_accumulated_reward(reward, t, options);
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.stats.std_error() + 1e-3);
+}
+
+TEST(Simulator, ImpulseRewardEstimateMatchesSolver) {
+  const double fwd = 2.0, bwd = 3.0, t = 5.0;
+  TogglePair toggle(fwd, bwd);
+  const ActivityRef fwd_ref = toggle.model.timed_ref(0);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add_impulse(fwd_ref, 2.5);
+  const double exact = chain.accumulated_reward(reward, t);
+
+  SanSimulator simulator(toggle.model);
+  sim::ReplicationOptions options;
+  options.seed = 777;
+  options.min_replications = 4000;
+  options.max_replications = 4000;
+  const auto estimate = simulator.estimate_accumulated_reward(reward, t, options);
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.stats.std_error() + 1e-2);
+}
+
+TEST(Simulator, NegativeHorizonThrows) {
+  TogglePair toggle;
+  SanSimulator simulator(toggle.model);
+  sim::Rng rng(2);
+  EXPECT_THROW(simulator.simulate(rng, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::san

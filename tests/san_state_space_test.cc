@@ -1,0 +1,296 @@
+// Tests for the reachability generator: tangible state exploration,
+// vanishing-marking elimination, validation, and reward structures evaluated
+// through the generated chain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "san/expr.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+/// A simple cyclic two-place SAN: token moves a <-> b.
+struct TogglePair {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+
+  TogglePair(double forward = 2.0, double backward = 3.0) {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(forward),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(backward),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+  }
+};
+
+TEST(StateSpace, ExploresTangibleStates) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  EXPECT_EQ(chain.state_count(), 2u);
+  EXPECT_EQ(chain.ctmc().transitions().size(), 2u);
+  // Initial distribution concentrated on the initial marking.
+  const size_t init = chain.state_index(toggle.model.initial_marking());
+  EXPECT_DOUBLE_EQ(chain.ctmc().initial_distribution()[init], 1.0);
+}
+
+TEST(StateSpace, TransitionRatesMatchActivities) {
+  TogglePair toggle(2.0, 3.0);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  Marking in_a = toggle.model.initial_marking();
+  Marking in_b = in_a;
+  in_b[toggle.a.index] = 0;
+  in_b[toggle.b.index] = 1;
+  const size_t sa = chain.state_index(in_a);
+  const size_t sb = chain.state_index(in_b);
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(sa, sb), 2.0);
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(sb, sa), 3.0);
+}
+
+TEST(StateSpace, UnreachableMarkingLookupThrows) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  Marking bogus(std::vector<int32_t>{1, 1});
+  EXPECT_THROW(chain.state_index(bogus), InvalidArgument);
+}
+
+TEST(StateSpace, ProbabilisticCasesSplitRates) {
+  SanModel m("branch");
+  const PlaceRef src = m.add_place("src", 1);
+  const PlaceRef left = m.add_place("left");
+  const PlaceRef right = m.add_place("right");
+  TimedActivity act;
+  act.name = "go";
+  act.enabled = has_tokens(src);
+  act.rate = constant_rate(10.0);
+  act.cases.push_back(Case{constant_prob(0.3),
+                           sequence({add_mark(src, -1), add_mark(left, 1)})});
+  act.cases.push_back(Case{constant_prob(0.7),
+                           sequence({add_mark(src, -1), add_mark(right, 1)})});
+  m.add_timed_activity(std::move(act));
+
+  const GeneratedChain chain = generate_state_space(m);
+  ASSERT_EQ(chain.state_count(), 3u);
+  Marking to_left(std::vector<int32_t>{0, 1, 0});
+  Marking to_right(std::vector<int32_t>{0, 0, 1});
+  const size_t s0 = chain.state_index(m.initial_marking());
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(s0, chain.state_index(to_left)), 3.0);
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(s0, chain.state_index(to_right)), 7.0);
+}
+
+TEST(StateSpace, CaseProbabilitiesMustSumToOne) {
+  SanModel m("bad");
+  const PlaceRef p = m.add_place("p", 1);
+  TimedActivity act;
+  act.name = "broken";
+  act.enabled = has_tokens(p);
+  act.rate = constant_rate(1.0);
+  act.cases.push_back(Case{constant_prob(0.3), no_effect()});
+  act.cases.push_back(Case{constant_prob(0.3), no_effect()});
+  m.add_timed_activity(std::move(act));
+  EXPECT_THROW(generate_state_space(m), InvalidArgument);
+}
+
+TEST(StateSpace, NonPositiveRateWhileEnabledThrows) {
+  SanModel m("bad");
+  const PlaceRef p = m.add_place("p", 1);
+  m.add_timed_activity("zero", has_tokens(p), [](const Marking&) { return 0.0; }, no_effect());
+  EXPECT_THROW(generate_state_space(m), InvalidArgument);
+}
+
+TEST(StateSpace, VanishingMarkingEliminated) {
+  // src --(timed)--> mid (vanishing) --(instantaneous)--> done.
+  SanModel m("vanish");
+  const PlaceRef src = m.add_place("src", 1);
+  const PlaceRef mid = m.add_place("mid");
+  const PlaceRef done = m.add_place("done");
+  m.add_timed_activity("fire", has_tokens(src), constant_rate(1.0),
+                       sequence({add_mark(src, -1), add_mark(mid, 1)}));
+  m.add_instantaneous_activity("settle", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(done, 1)}));
+
+  const GeneratedChain chain = generate_state_space(m);
+  EXPECT_EQ(chain.state_count(), 2u);  // mid never appears
+  Marking vanishing(std::vector<int32_t>{0, 1, 0});
+  EXPECT_THROW(chain.state_index(vanishing), InvalidArgument);
+}
+
+TEST(StateSpace, VanishingChainSplitsProbabilistically) {
+  // Timed into a vanishing marking whose instantaneous activity branches
+  // 0.25 / 0.75 into two tangible states.
+  SanModel m("vanish_branch");
+  const PlaceRef src = m.add_place("src", 1);
+  const PlaceRef mid = m.add_place("mid");
+  const PlaceRef left = m.add_place("left");
+  const PlaceRef right = m.add_place("right");
+  m.add_timed_activity("fire", has_tokens(src), constant_rate(8.0),
+                       sequence({add_mark(src, -1), add_mark(mid, 1)}));
+  InstantaneousActivity inst;
+  inst.name = "branch";
+  inst.enabled = has_tokens(mid);
+  inst.cases.push_back(Case{constant_prob(0.25),
+                            sequence({add_mark(mid, -1), add_mark(left, 1)})});
+  inst.cases.push_back(Case{constant_prob(0.75),
+                            sequence({add_mark(mid, -1), add_mark(right, 1)})});
+  m.add_instantaneous_activity(std::move(inst));
+
+  const GeneratedChain chain = generate_state_space(m);
+  const size_t s0 = chain.state_index(m.initial_marking());
+  Marking to_left(std::vector<int32_t>{0, 0, 1, 0});
+  Marking to_right(std::vector<int32_t>{0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(s0, chain.state_index(to_left)), 2.0);
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(s0, chain.state_index(to_right)), 6.0);
+}
+
+TEST(StateSpace, PriorityOrdersInstantaneousActivities) {
+  // Two instantaneous activities enabled in the same vanishing marking; the
+  // higher-priority one must fire.
+  SanModel m("priority");
+  const PlaceRef mid = m.add_place("mid", 1);
+  const PlaceRef low = m.add_place("low");
+  const PlaceRef high = m.add_place("high");
+  const PlaceRef src = m.add_place("src");
+  m.add_instantaneous_activity("low_act", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(low, 1)}), 0);
+  m.add_instantaneous_activity("high_act", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(high, 1)}), 5);
+  // A dummy timed activity so the tangible chain is non-trivial.
+  m.add_timed_activity("tick", has_tokens(high), constant_rate(1.0),
+                       sequence({add_mark(high, -1), add_mark(src, 1)}));
+
+  const GeneratedChain chain = generate_state_space(m);
+  Marking expect_high(std::vector<int32_t>{0, 0, 1, 0});
+  EXPECT_NO_THROW(chain.state_index(expect_high));
+  Marking expect_low(std::vector<int32_t>{0, 1, 0, 0});
+  EXPECT_THROW(chain.state_index(expect_low), InvalidArgument);
+}
+
+TEST(StateSpace, EqualPriorityInstantaneousChosenUniformly) {
+  // The initial marking is vanishing with two equal-priority activities:
+  // the initial distribution splits 0.5 / 0.5.
+  SanModel m("uniform");
+  const PlaceRef mid = m.add_place("mid", 1);
+  const PlaceRef a = m.add_place("a");
+  const PlaceRef b = m.add_place("b");
+  m.add_instantaneous_activity("to_a", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(a, 1)}));
+  m.add_instantaneous_activity("to_b", has_tokens(mid),
+                               sequence({add_mark(mid, -1), add_mark(b, 1)}));
+  m.add_timed_activity("tick_a", has_tokens(a), constant_rate(1.0), no_effect());
+  m.add_timed_activity("tick_b", has_tokens(b), constant_rate(1.0), no_effect());
+
+  // NOTE: tick_* keep the marking unchanged — self-loop transitions.
+  const GeneratedChain chain = generate_state_space(m);
+  Marking in_a(std::vector<int32_t>{0, 1, 0});
+  Marking in_b(std::vector<int32_t>{0, 0, 1});
+  EXPECT_DOUBLE_EQ(chain.ctmc().initial_distribution()[chain.state_index(in_a)], 0.5);
+  EXPECT_DOUBLE_EQ(chain.ctmc().initial_distribution()[chain.state_index(in_b)], 0.5);
+}
+
+TEST(StateSpace, VanishingLoopDetected) {
+  SanModel m("loop");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_instantaneous_activity("ab", has_tokens(a),
+                               sequence({add_mark(a, -1), add_mark(b, 1)}));
+  m.add_instantaneous_activity("ba", has_tokens(b),
+                               sequence({add_mark(b, -1), add_mark(a, 1)}));
+  EXPECT_THROW(generate_state_space(m), InvalidArgument);
+}
+
+TEST(StateSpace, MaxStatesGuard) {
+  // Unbounded counter: the explosion guard must fire.
+  SanModel m("unbounded");
+  const PlaceRef p = m.add_place("p", 0);
+  m.add_timed_activity("grow", always(), constant_rate(1.0), add_mark(p, 1));
+  GenerationOptions options;
+  options.max_states = 100;
+  EXPECT_THROW(generate_state_space(m, options), InvalidArgument);
+}
+
+TEST(StateSpace, InfiniteServerRateIsMarkingDependent) {
+  // Bounded birth-death with marking-dependent death rate k*mu: an M/M/inf
+  // style model; check the generated rates.
+  SanModel m("mminf");
+  const PlaceRef busy = m.add_place("busy", 0);
+  const double lambda = 4.0, mu = 1.5;
+  m.add_timed_activity("arrive",
+                       [busy](const Marking& mk) { return mk[busy.index] < 3; },
+                       constant_rate(lambda), add_mark(busy, 1));
+  m.add_timed_activity("depart", has_tokens(busy), rate_per_token(busy, mu),
+                       add_mark(busy, -1));
+  const GeneratedChain chain = generate_state_space(m);
+  ASSERT_EQ(chain.state_count(), 4u);
+  Marking two(std::vector<int32_t>{2});
+  Marking one(std::vector<int32_t>{1});
+  EXPECT_DOUBLE_EQ(chain.ctmc().rate_matrix().at(chain.state_index(two), chain.state_index(one)),
+                   2.0 * mu);
+}
+
+// --- rewards through the chain ---------------------------------------------------
+
+TEST(StateSpace, RateRewardVector) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 2.0);
+  reward.add(always(), 1.0);  // overlapping predicates add
+  const std::vector<double> vec = chain.rate_reward_vector(reward);
+  const size_t in_a = chain.state_index(toggle.model.initial_marking());
+  EXPECT_DOUBLE_EQ(vec[in_a], 3.0);
+  EXPECT_DOUBLE_EQ(vec[1 - in_a], 1.0);
+}
+
+TEST(StateSpace, SteadyStateRewardMatchesClosedForm) {
+  const double fwd = 2.0, bwd = 3.0;
+  TogglePair toggle(fwd, bwd);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 1.0);
+  // pi(a) = bwd / (fwd + bwd).
+  EXPECT_NEAR(chain.steady_state_reward(reward), bwd / (fwd + bwd), 1e-12);
+}
+
+TEST(StateSpace, InstantRewardMatchesClosedForm) {
+  const double fwd = 2.0, bwd = 3.0, t = 0.4;
+  TogglePair toggle(fwd, bwd);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 1.0);
+  const double s = fwd + bwd;
+  const double expected = bwd / s + fwd / s * std::exp(-s * t);
+  EXPECT_NEAR(chain.instant_reward(reward, t), expected, 1e-11);
+  EXPECT_NEAR(chain.transient_probability(has_tokens(toggle.a), t), expected, 1e-11);
+}
+
+TEST(StateSpace, AccumulatedImpulseRewardCountsCompletions) {
+  const double fwd = 2.0, bwd = 3.0, t = 200.0;
+  TogglePair toggle(fwd, bwd);
+  const ActivityRef fwd_ref = toggle.model.timed_ref(0);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add_impulse(fwd_ref, 1.0);
+  // Long-run completion rate of fwd is pi(a)*fwd.
+  const double expected_rate = bwd / (fwd + bwd) * fwd;
+  EXPECT_NEAR(chain.accumulated_reward(reward, t) / t, expected_rate, 1e-2);
+}
+
+TEST(StateSpace, ImpulseOnInstantaneousActivityRejected) {
+  SanModel m("impulse_inst");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_timed_activity("t", has_tokens(a), constant_rate(1.0),
+                       sequence({add_mark(a, -1), add_mark(b, 1)}));
+  const ActivityRef inst = m.add_instantaneous_activity(
+      "i", [](const Marking&) { return false; }, no_effect());
+  const GeneratedChain chain = generate_state_space(m);
+  RewardStructure reward;
+  reward.add_impulse(inst, 1.0);
+  EXPECT_THROW(chain.accumulated_reward(reward, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::san

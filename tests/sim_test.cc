@@ -1,0 +1,258 @@
+// Tests for the simulation substrate: RNG, online statistics, replication
+// runner, event queue.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/event_queue.hh"
+#include "sim/replication.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "util/error.hh"
+
+namespace gop::sim {
+namespace {
+
+// --- rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFrequencies) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical({1.0, 2.0, 3.0})];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 3.0 / 6.0, 0.01);
+}
+
+TEST(Rng, CategoricalValidation) {
+  Rng rng(23);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), InvalidArgument);
+  EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1u);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(29);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.uniform_index(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(5), b(5);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());  // same parent seed -> same fork
+  Rng next_fork = a.fork();
+  EXPECT_NE(fa.next_u64(), next_fork.next_u64());
+}
+
+// --- stats -----------------------------------------------------------------------
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci_half_width(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 3 + i * 0.01;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_two_sided_quantile(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_two_sided_quantile(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_two_sided_quantile(0.6827), 1.0, 1e-3);
+  EXPECT_THROW(normal_two_sided_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_two_sided_quantile(0.0), InvalidArgument);
+}
+
+TEST(OnlineStats, CiHalfWidthShrinksWithSamples) {
+  Rng rng(31);
+  OnlineStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_LT(large.ci_half_width(), small.ci_half_width());
+}
+
+// --- replication runner ----------------------------------------------------------
+
+TEST(Replication, FixedCount) {
+  ReplicationOptions options;
+  options.min_replications = 500;
+  options.max_replications = 500;
+  const auto result = run_replications([](Rng& rng) { return rng.uniform(); }, options);
+  EXPECT_EQ(result.replications(), 500u);
+  EXPECT_NEAR(result.mean(), 0.5, 0.05);
+}
+
+TEST(Replication, StopsAtAbsoluteTarget) {
+  ReplicationOptions options;
+  options.min_replications = 10;
+  options.max_replications = 1'000'000;
+  options.target_half_width_abs = 0.05;
+  const auto result = run_replications([](Rng& rng) { return rng.uniform(); }, options);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_LT(result.replications(), 1'000'000u);
+  EXPECT_LE(result.half_width(), 0.05);
+}
+
+TEST(Replication, RelativeTarget) {
+  ReplicationOptions options;
+  options.min_replications = 10;
+  options.max_replications = 100'000;
+  options.target_half_width_rel = 0.01;
+  const auto result =
+      run_replications([](Rng& rng) { return 10.0 + rng.uniform(); }, options);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_LE(result.half_width(), 0.01 * result.mean() * 1.01);
+}
+
+TEST(Replication, DeterministicGivenSeed) {
+  ReplicationOptions options;
+  options.min_replications = 50;
+  options.max_replications = 50;
+  options.seed = 555;
+  const auto a = run_replications([](Rng& rng) { return rng.uniform(); }, options);
+  const auto b = run_replications([](Rng& rng) { return rng.uniform(); }, options);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Replication, Validation) {
+  EXPECT_THROW(run_replications(nullptr), InvalidArgument);
+  ReplicationOptions bad;
+  bad.min_replications = 1;
+  EXPECT_THROW(run_replications([](Rng&) { return 0.0; }, bad), InvalidArgument);
+}
+
+// --- event queue ------------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue<int> q;
+  q.schedule(1.0, 10);
+  q.schedule(1.0, 20);
+  q.schedule(1.0, 30);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+}
+
+TEST(EventQueue, NextTimeAndValidation) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.next_time(), InvalidArgument);
+  EXPECT_THROW(q.pop(), InvalidArgument);
+  EXPECT_THROW(q.schedule(-1.0, 0), InvalidArgument);
+  q.schedule(5.0, 1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_EQ(q.size(), 1u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace gop::sim

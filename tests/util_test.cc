@@ -1,0 +1,227 @@
+// Unit tests for src/util: error macros, string helpers, tables, CLI flags.
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace gop {
+namespace {
+
+// --- error macros -----------------------------------------------------------
+
+TEST(ErrorMacros, RequirePassesOnTrue) { EXPECT_NO_THROW(GOP_REQUIRE(1 + 1 == 2, "fine")); }
+
+TEST(ErrorMacros, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(GOP_REQUIRE(false, "boom"), InvalidArgument);
+}
+
+TEST(ErrorMacros, EnsureThrowsInternalError) {
+  EXPECT_THROW(GOP_ENSURE(false, "bug"), InternalError);
+}
+
+TEST(ErrorMacros, NumericThrowsNumericalError) {
+  EXPECT_THROW(GOP_CHECK_NUMERIC(false, "diverged"), NumericalError);
+}
+
+TEST(ErrorMacros, MessageContainsContext) {
+  try {
+    GOP_REQUIRE(false, "the answer is 42");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, ExceptionHierarchy) {
+  EXPECT_THROW(throw InvalidArgument("x"), std::invalid_argument);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
+  EXPECT_THROW(throw NumericalError("x"), std::runtime_error);
+  EXPECT_THROW(throw ModelError("x"), std::runtime_error);
+}
+
+// --- strings ------------------------------------------------------------------
+
+TEST(Strings, StrFormatBasic) { EXPECT_EQ(str_format("phi=%d Y=%.2f", 7, 1.5), "phi=7 Y=1.50"); }
+
+TEST(Strings, StrFormatEmpty) { EXPECT_EQ(str_format("%s", ""), ""); }
+
+TEST(Strings, StrFormatLong) {
+  const std::string big(500, 'x');
+  EXPECT_EQ(str_format("%s", big.c_str()).size(), 500u);
+}
+
+TEST(Strings, FormatCompactTrimsZeros) {
+  EXPECT_EQ(format_compact(1.5), "1.5");
+  EXPECT_EQ(format_compact(12000.0), "12000");
+  EXPECT_EQ(format_compact(1e-4), "0.0001");
+}
+
+TEST(Strings, FormatCompactPrecision) { EXPECT_EQ(format_compact(3.14159265, 3), "3.14"); }
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+// --- table --------------------------------------------------------------------
+
+TEST(TextTable, RejectsEmptyHeaders) { EXPECT_THROW(TextTable({}), InvalidArgument); }
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.begin_row().add("xxxxxx").add("1");
+  const std::string out = t.to_string();
+  // Header separator row is made of dashes matching column widths.
+  EXPECT_NE(out.find("------  -----------"), std::string::npos);
+}
+
+TEST(TextTable, AddBeforeBeginRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), InvalidArgument);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), InvalidArgument);
+}
+
+TEST(TextTable, IncompleteRowDetectedAtNextBeginRow) {
+  TextTable t({"a", "b"});
+  t.begin_row().add("only one");
+  EXPECT_THROW(t.begin_row(), InvalidArgument);
+}
+
+TEST(TextTable, TypedAdders) {
+  TextTable t({"d", "i"});
+  t.begin_row().add_double(0.25, 6).add_int(-3);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("0.25,-3"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable t({"x"});
+  t.begin_row().add("a,b \"quoted\"");
+  EXPECT_NE(t.to_csv().find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, IndentedRendering) {
+  TextTable t({"x"});
+  t.begin_row().add("1");
+  const std::string out = t.to_string(4);
+  EXPECT_EQ(out.rfind("    x", 0), 0u);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.begin_row().add("1");
+  t.begin_row().add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 1u);
+}
+
+// --- cli ---------------------------------------------------------------------
+
+CliFlags make_flags() {
+  CliFlags flags("prog", "test program");
+  flags.add_double("phi", 7000.0, "duration")
+      .add_int("n", 10, "count")
+      .add_string("name", "default", "label")
+      .add_bool("verbose", false, "chatty");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("phi"), 7000.0);
+  EXPECT_EQ(flags.get_int("n"), 10);
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--phi=1234.5", "--name=hello"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("phi"), 1234.5);
+  EXPECT_EQ(flags.get_string("name"), "hello");
+}
+
+TEST(CliFlags, SpaceSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--n", "42"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_EQ(flags.get_int("n"), 42);
+}
+
+TEST(CliFlags, BareBooleanFlag) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(flags.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliFlags, MalformedNumberThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--phi=abc"};
+  EXPECT_THROW(flags.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliFlags, MissingValueThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--phi"};
+  EXPECT_THROW(flags.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, WrongTypeAccessThrows) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_THROW(flags.get_int("phi"), InvalidArgument);
+  EXPECT_THROW(flags.get_double("missing"), InvalidArgument);
+}
+
+TEST(CliFlags, PositionalArgumentRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(flags.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliFlags, UsageListsFlagsAndDefaults) {
+  CliFlags flags = make_flags();
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--phi"), std::string::npos);
+  EXPECT_NE(usage.find("7000"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gop

@@ -1,0 +1,188 @@
+// gop_study — command-line front end for the performability analysis.
+//
+// Modes (--mode=...):
+//   sweep         Y(phi) over a grid                      (default)
+//   optimum       optimal phi via golden-section search
+//   constituents  the Figure-3 constituent measures over the grid
+//   tornado       +/-20% one-factor sensitivity of Y at --phi
+//   verdict       first-passage time-to-verdict quantiles of RMGd
+//   approx        closed-form approximation vs exact Y over the grid
+//
+// All Table 3 parameters are flags; --csv switches the tabular output to
+// CSV for plotting. Examples:
+//
+//   gop_study --mode=sweep --mu_new=5e-5 --points=21
+//   gop_study --mode=optimum --alpha=2500 --beta=2500
+//   gop_study --mode=tornado --phi=7000 --csv
+
+#include <cstdio>
+
+#include "core/approximation.hh"
+#include "core/performability.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "markov/first_passage.hh"
+#include "util/cli.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace gop;
+
+void emit(const TextTable& table, bool csv) {
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+}
+
+int run_sweep(const core::GsuParameters& params, double /*phi*/, size_t points, bool csv) {
+  core::PerformabilityAnalyzer analyzer(params);
+  std::fprintf(stderr, "rho1 = %.4f, rho2 = %.4f\n", analyzer.rho1(), analyzer.rho2());
+  TextTable table({"phi", "Y", "E_W0", "E_Wphi", "Y_S1", "Y_S2", "gamma"});
+  for (const auto& r : core::sweep_phi(analyzer, core::linspace(0.0, params.theta, points))) {
+    table.begin_row()
+        .add_double(r.phi, 6)
+        .add_double(r.y, 6)
+        .add_double(r.e_w0, 6)
+        .add_double(r.e_wphi, 6)
+        .add_double(r.y_s1, 6)
+        .add_double(r.y_s2, 6)
+        .add_double(r.gamma, 5);
+  }
+  emit(table, csv);
+  return 0;
+}
+
+int run_optimum(const core::GsuParameters& params) {
+  core::PerformabilityAnalyzer analyzer(params);
+  core::OptimizeOptions options;
+  options.grid_points = 41;
+  options.phi_tolerance = 1.0;
+  const core::OptimalPhi best = core::find_optimal_phi(analyzer, options);
+  std::printf("optimal phi = %.1f h, Y = %.6f, beneficial = %s\n", best.phi, best.y,
+              best.beneficial ? "yes" : "no");
+  return 0;
+}
+
+int run_constituents(const core::GsuParameters& params, size_t points, bool csv) {
+  core::PerformabilityAnalyzer analyzer(params);
+  TextTable table({"phi", "P_A1", "Ih", "Itauh", "Itauh_literal", "Ihf", "P_nd_rest", "If"});
+  for (double phi : core::linspace(0.0, params.theta, points)) {
+    const core::ConstituentMeasures m = analyzer.constituents(phi);
+    table.begin_row()
+        .add_double(phi, 6)
+        .add_double(m.p_a1_phi, 6)
+        .add_double(m.i_h, 6)
+        .add_double(m.i_tau_h, 6)
+        .add_double(m.i_tau_h_literal, 6)
+        .add_double(m.i_hf, 6)
+        .add_double(m.p_nd_rest, 6)
+        .add_double(m.i_f, 6);
+  }
+  emit(table, csv);
+  return 0;
+}
+
+int run_tornado(const core::GsuParameters& params, double phi, bool csv) {
+  TextTable table({"parameter", "low", "high", "Y_low", "Y_high", "swing"});
+  for (const core::TornadoEntry& e : core::tornado_y(params, phi, 0.20)) {
+    table.begin_row()
+        .add(core::parameter_name(e.parameter))
+        .add_double(e.low_value, 5)
+        .add_double(e.high_value, 5)
+        .add_double(e.y_low, 5)
+        .add_double(e.y_high, 5)
+        .add_double(e.swing(), 4);
+  }
+  emit(table, csv);
+  return 0;
+}
+
+int run_verdict(const core::GsuParameters& params, bool csv) {
+  const core::RmGd gd = core::build_rm_gd(params);
+  const san::GeneratedChain chain = san::generate_state_space(gd.model);
+  std::vector<bool> verdict(chain.state_count(), false);
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    const san::Marking& m = chain.states()[s];
+    verdict[s] = m[gd.detected.index] == 1 || m[gd.failure.index] == 1;
+  }
+  const markov::FirstPassageSummary summary =
+      markov::first_passage_summary(chain.ctmc(), verdict);
+  std::printf("time to verdict: mean %.1f h, std %.1f h\n", summary.mean_time_to_absorption,
+              summary.std_time_to_absorption);
+  TextTable table({"quantile", "t [h]"});
+  for (double p : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    table.begin_row().add_double(p, 3).add_double(
+        markov::first_passage_quantile(chain.ctmc(), verdict, p, 1e-4), 6);
+  }
+  emit(table, csv);
+  return 0;
+}
+
+int run_approx(const core::GsuParameters& params, size_t points, bool csv) {
+  core::PerformabilityAnalyzer analyzer(params);
+  TextTable table({"phi", "Y_exact", "Y_approx", "rel_error"});
+  for (double phi : core::linspace(0.0, params.theta, points)) {
+    const double exact = analyzer.evaluate(phi).y;
+    const double approx =
+        core::approximate_y(params, phi, analyzer.rho1(), analyzer.rho2()).y;
+    table.begin_row()
+        .add_double(phi, 6)
+        .add_double(exact, 6)
+        .add_double(approx, 6)
+        .add_double((approx - exact) / exact, 3);
+  }
+  emit(table, csv);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("gop_study", "performability studies of guarded-operation duration");
+  const core::GsuParameters defaults = core::GsuParameters::table3();
+  flags.add_string("mode", "sweep",
+                   "sweep | optimum | constituents | tornado | verdict | approx")
+      .add_double("theta", defaults.theta, "hours to the next upgrade")
+      .add_double("lambda", defaults.lambda, "message rate (1/h)")
+      .add_double("mu_new", defaults.mu_new, "fault rate of the new version (1/h)")
+      .add_double("mu_old", defaults.mu_old, "fault rate of the old version (1/h)")
+      .add_double("coverage", defaults.coverage, "acceptance-test coverage")
+      .add_double("p_ext", defaults.p_ext, "external-message probability")
+      .add_double("alpha", defaults.alpha, "AT completion rate (1/h)")
+      .add_double("beta", defaults.beta, "checkpoint completion rate (1/h)")
+      .add_double("phi", 7000.0, "guarded-operation duration (tornado mode)")
+      .add_int("points", 11, "grid points for sweep-style modes")
+      .add_bool("csv", false, "emit CSV instead of an aligned table");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    core::GsuParameters params;
+    params.theta = flags.get_double("theta");
+    params.lambda = flags.get_double("lambda");
+    params.mu_new = flags.get_double("mu_new");
+    params.mu_old = flags.get_double("mu_old");
+    params.coverage = flags.get_double("coverage");
+    params.p_ext = flags.get_double("p_ext");
+    params.alpha = flags.get_double("alpha");
+    params.beta = flags.get_double("beta");
+    params.validate();
+
+    const std::string& mode = flags.get_string("mode");
+    const bool csv = flags.get_bool("csv");
+    const size_t points = static_cast<size_t>(flags.get_int("points"));
+    const double phi = flags.get_double("phi");
+
+    if (mode == "sweep") return run_sweep(params, phi, points, csv);
+    if (mode == "optimum") return run_optimum(params);
+    if (mode == "constituents") return run_constituents(params, points, csv);
+    if (mode == "tornado") return run_tornado(params, phi, csv);
+    if (mode == "verdict") return run_verdict(params, csv);
+    if (mode == "approx") return run_approx(params, points, csv);
+    std::fprintf(stderr, "unknown mode '%s' (try --help)\n", mode.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
