@@ -106,9 +106,19 @@ class PerformabilityAnalyzer {
   double rho2() const { return rho2_; }
 
   /// Solves all constituent measures at phi (0 <= phi <= theta).
+  ///
+  /// Thread safety: `constituents` and `evaluate` are safe to call from
+  /// multiple threads concurrently on the same analyzer. All phi-independent
+  /// quantities (the SAN models, generated chains, rho1/rho2, p_nd_theta) are
+  /// computed once in the constructor and only read afterwards; there are no
+  /// mutable members or lazy caches, and every per-call solver (transient,
+  /// accumulated, uniformization) works in per-call/per-workspace buffers.
+  /// The parallel sweep layer (core/sweep.hh) relies on this contract — any
+  /// future caching added here must be per-call or synchronized.
   ConstituentMeasures constituents(double phi) const;
 
   /// Evaluates the performability index and its intermediate quantities.
+  /// Thread-safe; see constituents().
   PerformabilityResult evaluate(double phi) const;
 
   /// Underlying models and chains, for diagnostics, benches and tests.

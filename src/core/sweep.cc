@@ -1,10 +1,23 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "par/parallel_for.hh"
 #include "util/error.hh"
 
 namespace gop::core {
+
+namespace {
+
+/// Resolves the "0 = auto" convention and never asks for more workers than
+/// there are points to evaluate.
+size_t resolve_threads(size_t requested, size_t points) {
+  const size_t threads = requested > 0 ? requested : par::default_thread_count();
+  return std::max<size_t>(1, std::min(threads, points));
+}
+
+}  // namespace
 
 std::vector<double> linspace(double lo, double hi, size_t n) {
   GOP_REQUIRE(n >= 2, "linspace needs at least two points");
@@ -18,11 +31,22 @@ std::vector<double> linspace(double lo, double hi, size_t n) {
 }
 
 std::vector<PerformabilityResult> sweep_phi(const PerformabilityAnalyzer& analyzer,
-                                            const std::vector<double>& phis) {
-  std::vector<PerformabilityResult> results;
-  results.reserve(phis.size());
-  for (double phi : phis) results.push_back(analyzer.evaluate(phi));
-  return results;
+                                            const std::vector<double>& phis,
+                                            const SweepOptions& options) {
+  const size_t threads = resolve_threads(options.threads, phis.size());
+  if (threads <= 1) {
+    std::vector<PerformabilityResult> results;
+    results.reserve(phis.size());
+    for (double phi : phis) results.push_back(analyzer.evaluate(phi));
+    return results;
+  }
+  // PerformabilityAnalyzer::evaluate is const and touches no shared mutable
+  // state (see the thread-safety note in performability.hh), so concurrent
+  // phi-points need no locking; ordered_transform writes each result into its
+  // index slot, making the output bit-identical to the serial loop.
+  par::ThreadPool pool(threads);
+  return par::ordered_transform<PerformabilityResult>(
+      pool, phis.size(), 1, [&analyzer, &phis](size_t i) { return analyzer.evaluate(phis[i]); });
 }
 
 OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
@@ -30,13 +54,17 @@ OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
   GOP_REQUIRE(options.grid_points >= 3, "need at least three grid points");
   const double theta = analyzer.parameters().theta;
 
-  // Coarse scan.
+  // Coarse scan, optionally across the pool. The argmax is taken by a serial
+  // in-order pass over the index-placed results, so the selected bracket (and
+  // the serial loop's first-wins tie-breaking) never depends on scheduling.
   const std::vector<double> grid = linspace(0.0, theta, options.grid_points);
+  const size_t threads = resolve_threads(options.threads, grid.size());
+  std::vector<double> ys = par::ordered_transform<double>(
+      grid.size(), 1, [&analyzer, &grid](size_t i) { return analyzer.evaluate(grid[i]).y; },
+      threads);
   size_t best = 0;
   double best_y = -1.0;
-  std::vector<double> ys(grid.size());
   for (size_t i = 0; i < grid.size(); ++i) {
-    ys[i] = analyzer.evaluate(grid[i]).y;
     if (ys[i] > best_y) {
       best_y = ys[i];
       best = i;

@@ -14,9 +14,19 @@ namespace gop::core {
 /// Evenly spaced values from lo to hi inclusive (n >= 2).
 std::vector<double> linspace(double lo, double hi, size_t n);
 
+struct SweepOptions {
+  /// Worker threads evaluating phi-points concurrently. 1 runs the plain
+  /// serial loop; 0 picks gop::par::default_thread_count() (the GOP_THREADS
+  /// environment variable, else the hardware). Results are placed by index
+  /// (ordered reduction), so every thread count produces bit-identical
+  /// output; see docs/parallelism.md.
+  size_t threads = 1;
+};
+
 /// Evaluates Y at every phi in `phis` (each must be in [0, theta]).
 std::vector<PerformabilityResult> sweep_phi(const PerformabilityAnalyzer& analyzer,
-                                            const std::vector<double>& phis);
+                                            const std::vector<double>& phis,
+                                            const SweepOptions& options = {});
 
 struct OptimalPhi {
   double phi = 0.0;
@@ -31,6 +41,10 @@ struct OptimizeOptions {
   size_t grid_points = 41;
   /// Absolute phi tolerance of the golden-section refinement.
   double phi_tolerance = 1.0;
+  /// Worker threads for the coarse grid scan (same contract as
+  /// SweepOptions::threads; the golden-section refinement is inherently
+  /// sequential and stays on the calling thread).
+  size_t threads = 1;
 };
 
 /// Maximizes Y over [0, theta]: coarse grid scan, then golden-section

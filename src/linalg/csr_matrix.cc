@@ -67,14 +67,20 @@ CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense, double drop_tol) {
 }
 
 std::vector<double> CsrMatrix::left_multiply(const std::vector<double>& x) const {
+  std::vector<double> y;
+  left_multiply(x, y);
+  return y;
+}
+
+void CsrMatrix::left_multiply(const std::vector<double>& x, std::vector<double>& y) const {
   GOP_REQUIRE(x.size() == rows_, "left_multiply: vector length must equal rows()");
-  std::vector<double> y(cols_, 0.0);
+  GOP_REQUIRE(&x != &y, "left_multiply: x and y must not alias");
+  y.assign(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
     for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) y[col_idx_[k]] += xr * values_[k];
   }
-  return y;
 }
 
 std::vector<double> CsrMatrix::right_multiply(const std::vector<double>& x) const {

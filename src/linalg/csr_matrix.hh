@@ -63,6 +63,11 @@ class CsrMatrix {
   /// y = x^T * A. Used by uniformization (probability row vectors).
   std::vector<double> left_multiply(const std::vector<double>& x) const;
 
+  /// In-place variant: overwrites y (resized to cols()) with x^T * A. x and y
+  /// must be distinct vectors. Lets the uniformization inner loop reuse its
+  /// iterate buffers instead of allocating per DTMC step.
+  void left_multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
   /// y = A * x.
   std::vector<double> right_multiply(const std::vector<double>& x) const;
 

@@ -1,6 +1,7 @@
 #include "markov/uniformization.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
@@ -11,16 +12,15 @@ namespace gop::markov {
 
 namespace {
 
-/// One DTMC step of the uniformized chain: v_next = v P with
-/// P = I + Q/Lambda, computed as v + (v R - v .* exit)/Lambda.
-std::vector<double> uniformized_step(const Ctmc& chain, double lambda,
-                                     const std::vector<double>& v) {
-  std::vector<double> next = chain.rate_matrix().left_multiply(v);
+/// One DTMC step of the uniformized chain, written into `next`:
+/// v_next = v P with P = I + Q/Lambda, computed as v + (v R - v .* exit)/Lambda.
+void uniformized_step(const Ctmc& chain, double lambda, const std::vector<double>& v,
+                      std::vector<double>& next) {
+  chain.rate_matrix().left_multiply(v, next);
   const std::vector<double>& exit = chain.exit_rates();
   for (size_t s = 0; s < v.size(); ++s) {
     next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
   }
-  return next;
 }
 
 double effective_lambda(const Ctmc& chain, const UniformizationOptions& options) {
@@ -34,6 +34,13 @@ double effective_lambda(const Ctmc& chain, const UniformizationOptions& options)
 
 std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
                                                        const UniformizationOptions& options) {
+  UniformizationWorkspace workspace;
+  return uniformized_transient_distribution(chain, t, options, workspace);
+}
+
+std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
+                                                       const UniformizationOptions& options,
+                                                       UniformizationWorkspace& workspace) {
   GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
   if (t == 0.0) return chain.initial_distribution();
 
@@ -47,7 +54,9 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
 
   const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
 
-  std::vector<double> v = chain.initial_distribution();
+  std::vector<double>& v = workspace.iterate;
+  std::vector<double>& next = workspace.scratch;
+  v = chain.initial_distribution();
   std::vector<double> result(chain.state_count(), 0.0);
   double used_mass = 0.0;
 
@@ -59,7 +68,7 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
     }
     if (k == window.right()) break;
 
-    std::vector<double> next = uniformized_step(chain, lambda, v);
+    uniformized_step(chain, lambda, v, next);
     // Steady-state detection: once the DTMC iterate stops moving, all further
     // terms equal the current vector; fold the remaining Poisson mass in.
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
@@ -68,7 +77,7 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
       used_mass = 1.0;
       break;
     }
-    v = std::move(next);
+    std::swap(v, next);
   }
 
   if (used_mass < 1.0) {
@@ -81,6 +90,13 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
 
 std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
                                                       const UniformizationOptions& options) {
+  UniformizationWorkspace workspace;
+  return uniformized_accumulated_occupancy(chain, t, options, workspace);
+}
+
+std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
+                                                      const UniformizationOptions& options,
+                                                      UniformizationWorkspace& workspace) {
   GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
   std::vector<double> occupancy(chain.state_count(), 0.0);
   if (t == 0.0) return occupancy;
@@ -98,7 +114,9 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
   // \int_0^t pi(s) ds = (1/Lambda) * sum_k  P(N > k) * pi0 P^k, with
   // N ~ Poisson(Lambda t); sum_k P(N > k) = E[N] = Lambda t, which bounds the
   // tail we fold in at steady-state detection.
-  std::vector<double> v = chain.initial_distribution();
+  std::vector<double>& v = workspace.iterate;
+  std::vector<double>& next = workspace.scratch;
+  v = chain.initial_distribution();
   double cdf = 0.0;
   double tail_sum = 0.0;  // running sum of P(N > k) over processed k
 
@@ -109,7 +127,7 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
     tail_sum += tail;
     if (k == window.right()) break;
 
-    std::vector<double> next = uniformized_step(chain, lambda, v);
+    uniformized_step(chain, lambda, v, next);
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
         options.steady_state_tol) {
       const double remaining = std::max(0.0, lambda_t - tail_sum);
@@ -117,7 +135,7 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
       tail_sum = lambda_t;
       break;
     }
-    v = std::move(next);
+    std::swap(v, next);
   }
   return occupancy;
 }

@@ -26,13 +26,34 @@ struct UniformizationOptions {
   double rate_slack = 1.02;
 };
 
+/// Reusable iterate buffers for the uniformization inner loop. One transient
+/// solve performs up to O(Lambda t) DTMC steps (~1e4 for the paper's stiffer
+/// regimes); without a workspace every step allocates two fresh state-sized
+/// vectors. Passing a workspace makes the loop allocation-free after warm-up
+/// and is what the parallel sweep layers use — one workspace per worker, since
+/// a workspace must never be shared by concurrent calls.
+struct UniformizationWorkspace {
+  std::vector<double> iterate;  ///< v_k, the current DTMC iterate
+  std::vector<double> scratch;  ///< v_{k+1} under construction
+};
+
 /// Distribution at time t starting from the chain's initial distribution.
 std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
                                                        const UniformizationOptions& options = {});
+
+/// Workspace-reusing variant; bit-identical to the allocating one.
+std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
+                                                       const UniformizationOptions& options,
+                                                       UniformizationWorkspace& workspace);
 
 /// Expected accumulated state occupancy L(t) = \int_0^t pi(s) ds, by the
 /// standard uniformization integral formula.
 std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
                                                       const UniformizationOptions& options = {});
+
+/// Workspace-reusing variant; bit-identical to the allocating one.
+std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double t,
+                                                      const UniformizationOptions& options,
+                                                      UniformizationWorkspace& workspace);
 
 }  // namespace gop::markov

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file parallel_for.hh
+/// Data-parallel primitives over a ThreadPool, built around one determinism
+/// contract: *results land in index order regardless of completion order*.
+/// parallel_for partitions [0, n) into chunks of consecutive indices;
+/// ordered_transform writes fn(i) into slot i of a pre-sized vector, so a
+/// reduction over that vector visits replicas in exactly the order the serial
+/// loop would — parallel runs are bit-identical to serial ones as long as
+/// fn(i) itself is deterministic. Exceptions thrown by fn are captured per
+/// chunk and the lowest-index chunk's exception is rethrown after every task
+/// has finished (no task is left running against destroyed state).
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "par/thread_pool.hh"
+
+namespace gop::par {
+
+namespace detail {
+
+/// Completion latch plus per-chunk exception slots for one parallel_for.
+struct ForJoinState {
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t pending = 0;
+  std::vector<std::exception_ptr> errors;
+};
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [0, n), `chunk` consecutive indices per task.
+/// Serial fallback (runs inline on the caller's thread, no queueing) when the
+/// pool has a single worker or a single chunk covers the whole range — with
+/// threads = 1 the behaviour is the plain for-loop, bit for bit.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, size_t n, size_t chunk, Fn&& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (pool.thread_count() <= 1 || n <= chunk) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const size_t chunks = (n + chunk - 1) / chunk;
+  detail::ForJoinState state;
+  state.pending = chunks;
+  state.errors.assign(chunks, nullptr);
+
+  for (size_t c = 0; c < chunks; ++c) {
+    pool.submit([&state, &fn, c, chunk, n] {
+      std::exception_ptr error;
+      try {
+        const size_t lo = c * chunk;
+        const size_t hi = std::min(n, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (error) state.errors[c] = std::move(error);
+      if (--state.pending == 0) state.done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.pending == 0; });
+  for (std::exception_ptr& error : state.errors) {
+    if (error) std::rethrow_exception(error);  // lowest-index chunk wins
+  }
+}
+
+/// Convenience overload owning a transient pool: threads = 0 means
+/// default_thread_count(); threads <= 1 never constructs a pool at all.
+template <typename Fn>
+void parallel_for(size_t n, size_t chunk, Fn&& fn, size_t threads = 0) {
+  if (threads == 0) threads = default_thread_count();
+  if (threads <= 1 || n <= std::max<size_t>(chunk, 1)) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  parallel_for(pool, n, chunk, std::forward<Fn>(fn));
+}
+
+/// Deterministic ordered reduction helper: out[i] = fn(i) for i in [0, n),
+/// with slot placement fixed by index — never by completion order. R must be
+/// default-constructible and movable.
+template <typename R, typename Fn>
+std::vector<R> ordered_transform(ThreadPool& pool, size_t n, size_t chunk, Fn&& fn) {
+  std::vector<R> out(n);
+  parallel_for(pool, n, chunk, [&out, &fn](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Pool-less ordered reduction (threads = 0 means default_thread_count()).
+template <typename R, typename Fn>
+std::vector<R> ordered_transform(size_t n, size_t chunk, Fn&& fn, size_t threads = 0) {
+  std::vector<R> out(n);
+  parallel_for(
+      n, chunk, [&out, &fn](size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace gop::par

@@ -1,0 +1,60 @@
+#include "par/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace gop::par {
+
+size_t default_thread_count() {
+  if (const char* env = std::getenv("GOP_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) return static_cast<size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t thread_count) {
+  if (thread_count == 0) thread_count = default_thread_count();
+  workers_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  GOP_REQUIRE(static_cast<bool>(task), "ThreadPool::submit needs a callable task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GOP_REQUIRE(!stopping_, "ThreadPool::submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace gop::par

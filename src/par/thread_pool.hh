@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file thread_pool.hh
+/// Fixed-size worker pool with a blocking FIFO task queue — the execution
+/// backend of gop::par. The pool is a plain reusable object: create it once,
+/// drive any number of parallel_for calls through it, destroy it when done
+/// (the destructor drains the queue and joins the workers). Nothing in here
+/// depends on the rest of the library beyond gop_util's error helpers, so
+/// every layer (core sweeps, sim replications, benches) can link it without
+/// cycles.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gop::par {
+
+/// Worker count used when a caller asks for "auto" (threads = 0): the
+/// GOP_THREADS environment variable when it parses as a positive integer,
+/// else std::thread::hardware_concurrency() (1 when that reports 0).
+size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (0 means default_thread_count()).
+  explicit ThreadPool(size_t thread_count = 0);
+
+  /// Drains already-submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Workers pick tasks up in submission (FIFO) order; with
+  /// a single worker this is also the execution order. Tasks must not throw —
+  /// wrap fallible work (parallel_for captures exceptions per chunk).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gop::par

@@ -1,10 +1,29 @@
 #include "sim/replication.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "par/parallel_for.hh"
 #include "util/error.hh"
 
 namespace gop::sim {
+
+namespace {
+
+bool target_met(const ReplicationOptions& options, const OnlineStats& stats) {
+  if (options.target_half_width_abs <= 0.0 && options.target_half_width_rel <= 0.0) {
+    return false;
+  }
+  const double hw = stats.ci_half_width(options.confidence);
+  if (options.target_half_width_abs > 0.0 && hw <= options.target_half_width_abs) return true;
+  if (options.target_half_width_rel > 0.0 &&
+      hw <= options.target_half_width_rel * std::abs(stats.mean())) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 ReplicationResult run_replications(const std::function<double(Rng&)>& replication,
                                    const ReplicationOptions& options) {
@@ -13,31 +32,59 @@ ReplicationResult run_replications(const std::function<double(Rng&)>& replicatio
   GOP_REQUIRE(options.max_replications >= options.min_replications,
               "max_replications must be >= min_replications");
 
+  const size_t threads =
+      options.threads > 0 ? options.threads : par::default_thread_count();
+
   Rng master(options.seed);
   ReplicationResult result;
 
-  auto target_met = [&]() {
-    if (options.target_half_width_abs <= 0.0 && options.target_half_width_rel <= 0.0) {
-      return false;
+  if (threads <= 1) {
+    // Serial path: unchanged historical behaviour (target checked after every
+    // replication once the minimum is reached).
+    for (size_t i = 0; i < options.max_replications; ++i) {
+      Rng stream = master.fork();
+      result.stats.add(replication(stream));
+      if (result.stats.count() >= options.min_replications && target_met(options, result.stats)) {
+        result.target_met = true;
+        break;
+      }
     }
-    const double hw = result.stats.ci_half_width(options.confidence);
-    if (options.target_half_width_abs > 0.0 && hw <= options.target_half_width_abs) return true;
-    if (options.target_half_width_rel > 0.0 &&
-        hw <= options.target_half_width_rel * std::abs(result.stats.mean())) {
-      return true;
-    }
-    return false;
-  };
+    if (!result.target_met) result.target_met = target_met(options, result.stats);
+    return result;
+  }
 
-  for (size_t i = 0; i < options.max_replications; ++i) {
-    Rng stream = master.fork();
-    result.stats.add(replication(stream));
-    if (result.stats.count() >= options.min_replications && target_met()) {
+  // Concurrent batched mode. Each batch pre-forks one seed per replication by
+  // index — seed i is the i-th draw from the master stream, exactly what the
+  // serial path's master.fork() would have produced — runs the batch across
+  // the pool, then folds the values into the accumulator in replication order
+  // (deterministic ordered reduction). The CI target is evaluated at batch
+  // boundaries only.
+  const size_t batch_size = options.batch_size > 0 ? options.batch_size : 256;
+  par::ThreadPool pool(threads);
+  std::vector<uint64_t> seeds;
+  std::vector<double> values;
+
+  size_t launched = 0;
+  while (launched < options.max_replications) {
+    const size_t batch = std::min(batch_size, options.max_replications - launched);
+    seeds.resize(batch);
+    for (uint64_t& seed : seeds) seed = master.next_u64();
+    values.resize(batch);
+    // Chunk so each task amortizes queue traffic even for cheap replications;
+    // chunking affects scheduling only, never where a value lands.
+    const size_t chunk = std::max<size_t>(1, batch / (8 * threads));
+    par::parallel_for(pool, batch, chunk, [&replication, &seeds, &values](size_t j) {
+      Rng stream(seeds[j]);
+      values[j] = replication(stream);
+    });
+    for (double value : values) result.stats.add(value);
+    launched += batch;
+    if (result.stats.count() >= options.min_replications && target_met(options, result.stats)) {
       result.target_met = true;
       break;
     }
   }
-  if (!result.target_met) result.target_met = target_met();
+  if (!result.target_met) result.target_met = target_met(options, result.stats);
   return result;
 }
 

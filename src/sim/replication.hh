@@ -23,6 +23,20 @@ struct ReplicationOptions {
   double target_half_width_abs = 0.0;
   double target_half_width_rel = 0.0;
   double confidence = 0.95;
+  /// Worker threads. 1 (the default) is the historical serial loop, bit for
+  /// bit; 0 picks gop::par::default_thread_count() (GOP_THREADS env var, else
+  /// the hardware). The concurrent mode draws per-replication RNG streams by
+  /// index from the same master stream the serial path forks from and merges
+  /// sample values in replication order, so for a fixed seed and a fixed
+  /// replication count the estimate is identical at every thread count. The
+  /// replication functional must be safe to invoke concurrently.
+  size_t threads = 1;
+  /// Replications per scheduling batch in the concurrent mode. The CI target
+  /// is checked at batch boundaries only, so a concurrent run with an active
+  /// target can stop up to one batch later than the serial loop (never with
+  /// a different estimate for the replications it did run — the batch size,
+  /// not the worker count, decides the stopping points). 0 picks 256.
+  size_t batch_size = 0;
 };
 
 struct ReplicationResult {

@@ -1,0 +1,179 @@
+// The gop::par determinism contract, end to end: parallel phi-sweeps,
+// concurrent Monte Carlo replication runs, and workspace-reusing
+// uniformization must all be *bit-identical* to their serial/allocating
+// counterparts — parallelism is a scheduling decision, never a numerical one.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/mc_validator.hh"
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "markov/ctmc.hh"
+#include "markov/uniformization.hh"
+#include "sim/replication.hh"
+
+namespace gop {
+namespace {
+
+void expect_bit_identical(const core::PerformabilityResult& a,
+                          const core::PerformabilityResult& b) {
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.e_wi, b.e_wi);
+  EXPECT_EQ(a.e_w0, b.e_w0);
+  EXPECT_EQ(a.e_wphi, b.e_wphi);
+  EXPECT_EQ(a.y_s1, b.y_s1);
+  EXPECT_EQ(a.y_s2, b.y_s2);
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.neglected_term, b.neglected_term);
+  EXPECT_EQ(a.measures.p_a1_phi, b.measures.p_a1_phi);
+  EXPECT_EQ(a.measures.i_h, b.measures.i_h);
+  EXPECT_EQ(a.measures.i_tau_h, b.measures.i_tau_h);
+  EXPECT_EQ(a.measures.i_tau_h_literal, b.measures.i_tau_h_literal);
+  EXPECT_EQ(a.measures.i_hf, b.measures.i_hf);
+  EXPECT_EQ(a.measures.rho1, b.measures.rho1);
+  EXPECT_EQ(a.measures.rho2, b.measures.rho2);
+  EXPECT_EQ(a.measures.p_nd_theta, b.measures.p_nd_theta);
+  EXPECT_EQ(a.measures.p_nd_rest, b.measures.p_nd_rest);
+  EXPECT_EQ(a.measures.i_f, b.measures.i_f);
+}
+
+TEST(SweepDeterminism, GopThreads4MatchesSerialBitForBit) {
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const core::PerformabilityAnalyzer analyzer(params);
+  const std::vector<double> phis = core::linspace(0.0, params.theta, 21);
+
+  const std::vector<core::PerformabilityResult> serial =
+      core::sweep_phi(analyzer, phis, core::SweepOptions{.threads = 1});
+
+  // threads = 0 resolves through GOP_THREADS, the env-var path gop_study and
+  // long-running services use.
+  ASSERT_EQ(setenv("GOP_THREADS", "4", 1), 0);
+  const std::vector<core::PerformabilityResult> parallel =
+      core::sweep_phi(analyzer, phis, core::SweepOptions{.threads = 0});
+  ASSERT_EQ(unsetenv("GOP_THREADS"), 0);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) expect_bit_identical(serial[i], parallel[i]);
+}
+
+TEST(SweepDeterminism, FindOptimalPhiMatchesAcrossThreadCounts) {
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const core::PerformabilityAnalyzer analyzer(params);
+
+  core::OptimizeOptions serial_options;
+  serial_options.grid_points = 21;
+  serial_options.threads = 1;
+  core::OptimizeOptions parallel_options = serial_options;
+  parallel_options.threads = 4;
+
+  const core::OptimalPhi serial = core::find_optimal_phi(analyzer, serial_options);
+  const core::OptimalPhi parallel = core::find_optimal_phi(analyzer, parallel_options);
+  EXPECT_EQ(serial.phi, parallel.phi);
+  EXPECT_EQ(serial.y, parallel.y);
+  EXPECT_EQ(serial.beneficial, parallel.beneficial);
+}
+
+TEST(ReplicationDeterminism, FixedSeedAndCountMatchAcrossWorkers) {
+  // A replication whose value depends on the whole stream, so any seed or
+  // ordering slip shows up in the estimate.
+  const auto replication = [](sim::Rng& rng) {
+    double v = rng.exponential(2.0);
+    for (int i = 0; i < 8; ++i) v += rng.uniform() * rng.exponential(0.5 + i);
+    return v;
+  };
+
+  sim::ReplicationOptions options;
+  options.seed = 20020623;
+  options.min_replications = 4000;
+  options.max_replications = 4000;  // fixed count: no early stopping
+
+  options.threads = 1;
+  const sim::ReplicationResult serial = sim::run_replications(replication, options);
+
+  options.threads = 4;
+  const sim::ReplicationResult parallel = sim::run_replications(replication, options);
+
+  EXPECT_EQ(serial.replications(), 4000u);
+  EXPECT_EQ(parallel.replications(), 4000u);
+  EXPECT_EQ(serial.mean(), parallel.mean());
+  EXPECT_EQ(serial.stats.variance(), parallel.stats.variance());
+  EXPECT_EQ(serial.half_width(), parallel.half_width());
+
+  // Batch size partitions scheduling, not the reduction order: still equal.
+  options.batch_size = 17;
+  const sim::ReplicationResult odd_batches = sim::run_replications(replication, options);
+  EXPECT_EQ(serial.mean(), odd_batches.mean());
+  EXPECT_EQ(serial.stats.variance(), odd_batches.stats.variance());
+}
+
+TEST(ReplicationDeterminism, McValidatorSamplesMatchAcrossWorkers) {
+  const core::GsuParameters params = core::GsuParameters::scaled_mission();
+  const core::McValidator validator(params);
+  const double phi = 0.6 * params.theta;
+  const auto replication = [&](sim::Rng& rng) {
+    return validator.sample_wphi(rng, phi, 1.99, 0.9);
+  };
+
+  sim::ReplicationOptions options;
+  options.seed = 7;
+  options.min_replications = 2000;
+  options.max_replications = 2000;
+
+  options.threads = 1;
+  const sim::ReplicationResult serial = sim::run_replications(replication, options);
+  options.threads = 4;
+  const sim::ReplicationResult parallel = sim::run_replications(replication, options);
+
+  EXPECT_EQ(serial.mean(), parallel.mean());
+  EXPECT_EQ(serial.stats.variance(), parallel.stats.variance());
+}
+
+TEST(ReplicationDeterminism, ConcurrentEarlyStoppingRespectsBatchBoundaries) {
+  const auto replication = [](sim::Rng& rng) { return rng.uniform(); };
+
+  sim::ReplicationOptions options;
+  options.seed = 11;
+  options.min_replications = 100;
+  options.max_replications = 50'000;
+  options.target_half_width_abs = 0.01;
+  options.threads = 4;
+  options.batch_size = 128;
+
+  const sim::ReplicationResult result = sim::run_replications(replication, options);
+  EXPECT_TRUE(result.target_met);
+  // Stops only at batch boundaries, and only once the minimum is reached.
+  EXPECT_GE(result.replications(), options.min_replications);
+  EXPECT_EQ(result.replications() % options.batch_size, 0u);
+  EXPECT_LE(result.half_width(), 0.01);
+}
+
+TEST(UniformizationWorkspace, ReusedWorkspaceIsBitIdentical) {
+  // Small irreducible chain with distinct rates; t chosen so the Poisson
+  // window spans many DTMC steps.
+  std::vector<markov::Transition> transitions{
+      {0, 1, 2.0, 0}, {1, 2, 1.5, 1}, {2, 0, 0.7, 2}, {1, 0, 0.3, 3}};
+  const markov::Ctmc chain(3, transitions, {1.0, 0.0, 0.0});
+  const markov::UniformizationOptions options;
+
+  markov::UniformizationWorkspace workspace;
+  for (double t : {0.5, 3.0, 12.0, 3.0}) {
+    const std::vector<double> fresh = markov::uniformized_transient_distribution(chain, t, options);
+    const std::vector<double> reused =
+        markov::uniformized_transient_distribution(chain, t, options, workspace);
+    ASSERT_EQ(fresh.size(), reused.size());
+    for (size_t s = 0; s < fresh.size(); ++s) EXPECT_EQ(fresh[s], reused[s]);
+
+    const std::vector<double> fresh_acc = markov::uniformized_accumulated_occupancy(chain, t, options);
+    const std::vector<double> reused_acc =
+        markov::uniformized_accumulated_occupancy(chain, t, options, workspace);
+    ASSERT_EQ(fresh_acc.size(), reused_acc.size());
+    for (size_t s = 0; s < fresh_acc.size(); ++s) EXPECT_EQ(fresh_acc[s], reused_acc[s]);
+  }
+}
+
+}  // namespace
+}  // namespace gop

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "par/parallel_for.hh"
+#include "par/thread_pool.hh"
+#include "util/error.hh"
+
+namespace gop::par {
+namespace {
+
+TEST(DefaultThreadCount, HonorsGopThreadsEnvVar) {
+  ASSERT_EQ(setenv("GOP_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ASSERT_EQ(setenv("GOP_THREADS", "garbage", 1), 0);
+  const size_t fallback = default_thread_count();
+  ASSERT_EQ(unsetenv("GOP_THREADS"), 0);
+  EXPECT_EQ(fallback, default_thread_count());  // unparsable value = unset
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t pending = 32;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&, i] {
+        std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(i);
+        if (--pending == 0) done.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return pending == 0; });
+  }
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // FIFO queue + one worker = submission order
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins only after the queue is drained
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPool, SubmitRejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>()), gop::InvalidArgument);
+}
+
+TEST(ParallelFor, ResultsLandInIndexOrder) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<size_t> out(n, 0);
+  parallel_for(pool, n, 7, [&out](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> out(64, -1);
+    parallel_for(pool, out.size(), 3, [&out, round](size_t i) {
+      out[i] = round + static_cast<int>(i);
+    });
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], round + static_cast<int>(i));
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptionFromWorker) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  const auto body = [&ran](size_t i) {
+    if (i == 37) throw std::runtime_error("boom at 37");
+    ran.fetch_add(1, std::memory_order_relaxed);
+  };
+  EXPECT_THROW(parallel_for(pool, 100, 1, body), std::runtime_error);
+  // Every non-throwing index still ran: the join waits for all chunks even
+  // when one fails (no task left touching dead stack frames).
+  EXPECT_EQ(ran.load(), 99u);
+}
+
+TEST(ParallelFor, LowestIndexChunkExceptionWins) {
+  ThreadPool pool(4);
+  const auto body = [](size_t i) {
+    if (i == 10) throw std::runtime_error("error at 10");
+    if (i == 90) throw std::out_of_range("error at 90");
+  };
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      parallel_for(pool, 100, 1, body);
+      FAIL() << "parallel_for should have thrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "error at 10");
+    }
+    // std::out_of_range derives from std::logic_error, not runtime_error: had
+    // index 90's exception been chosen, the catch above would not match and
+    // the test would error out — regardless of which chunk finished first.
+  }
+}
+
+TEST(ParallelFor, SerialFallbackRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  parallel_for(pool, seen.size(), 4, [&seen](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+
+  // Pool-less overload with threads = 1: also inline, and no pool is built.
+  std::fill(seen.begin(), seen.end(), std::thread::id());
+  parallel_for(
+      seen.size(), 4, [&seen](size_t i) { seen[i] = std::this_thread::get_id(); }, 1);
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleChunkRanges) {
+  ThreadPool pool(4);
+  parallel_for(pool, 0, 8, [](size_t) { FAIL() << "no indices to run"; });
+  std::vector<int> out(5, 0);
+  parallel_for(pool, out.size(), 100, [&out](size_t i) { out[i] = 1; });  // one chunk -> inline
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 5);
+}
+
+TEST(OrderedTransform, PlacesResultsByIndex) {
+  ThreadPool pool(4);
+  const std::vector<double> values =
+      ordered_transform<double>(pool, 257, 5, [](size_t i) { return 0.5 * static_cast<double>(i); });
+  ASSERT_EQ(values.size(), 257u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(values[i], 0.5 * static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gop::par

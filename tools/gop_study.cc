@@ -34,11 +34,13 @@ void emit(const TextTable& table, bool csv) {
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
 }
 
-int run_sweep(const core::GsuParameters& params, double /*phi*/, size_t points, bool csv) {
+int run_sweep(const core::GsuParameters& params, size_t points, size_t threads, bool csv) {
   core::PerformabilityAnalyzer analyzer(params);
   std::fprintf(stderr, "rho1 = %.4f, rho2 = %.4f\n", analyzer.rho1(), analyzer.rho2());
   TextTable table({"phi", "Y", "E_W0", "E_Wphi", "Y_S1", "Y_S2", "gamma"});
-  for (const auto& r : core::sweep_phi(analyzer, core::linspace(0.0, params.theta, points))) {
+  const core::SweepOptions sweep_options{.threads = threads};
+  for (const auto& r :
+       core::sweep_phi(analyzer, core::linspace(0.0, params.theta, points), sweep_options)) {
     table.begin_row()
         .add_double(r.phi, 6)
         .add_double(r.y, 6)
@@ -52,11 +54,12 @@ int run_sweep(const core::GsuParameters& params, double /*phi*/, size_t points, 
   return 0;
 }
 
-int run_optimum(const core::GsuParameters& params) {
+int run_optimum(const core::GsuParameters& params, size_t threads) {
   core::PerformabilityAnalyzer analyzer(params);
   core::OptimizeOptions options;
   options.grid_points = 41;
   options.phi_tolerance = 1.0;
+  options.threads = threads;
   const core::OptimalPhi best = core::find_optimal_phi(analyzer, options);
   std::printf("optimal phi = %.1f h, Y = %.6f, beneficial = %s\n", best.phi, best.y,
               best.beneficial ? "yes" : "no");
@@ -152,6 +155,7 @@ int main(int argc, char** argv) {
       .add_double("beta", defaults.beta, "checkpoint completion rate (1/h)")
       .add_double("phi", 7000.0, "guarded-operation duration (tornado mode)")
       .add_int("points", 11, "grid points for sweep-style modes")
+      .add_int("threads", 1, "worker threads for sweep/optimum (0 = GOP_THREADS or hardware)")
       .add_bool("csv", false, "emit CSV instead of an aligned table");
 
   try {
@@ -171,10 +175,11 @@ int main(int argc, char** argv) {
     const std::string& mode = flags.get_string("mode");
     const bool csv = flags.get_bool("csv");
     const size_t points = static_cast<size_t>(flags.get_int("points"));
+    const size_t threads = static_cast<size_t>(flags.get_int("threads"));
     const double phi = flags.get_double("phi");
 
-    if (mode == "sweep") return run_sweep(params, phi, points, csv);
-    if (mode == "optimum") return run_optimum(params);
+    if (mode == "sweep") return run_sweep(params, points, threads, csv);
+    if (mode == "optimum") return run_optimum(params, threads);
     if (mode == "constituents") return run_constituents(params, points, csv);
     if (mode == "tornado") return run_tornado(params, phi, csv);
     if (mode == "verdict") return run_verdict(params, csv);

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark perf suites and records machine-readable results
+# at the repo root, establishing the performance trajectory across PRs:
+#
+#   BENCH_solver.json   — solver engine micro-benchmarks (bench_solver_perf)
+#   BENCH_scaling.json  — parallel scaling of sweeps + Monte Carlo
+#                         (bench_parallel_scaling at 1/2/4/8 threads)
+#
+# Usage: tools/run_benches.sh [build-dir]      (default: build)
+# The build dir must already contain compiled bench binaries.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${BUILD_DIR:-build}}"
+bench_dir="$root/$build_dir/bench"
+
+for binary in bench_solver_perf bench_parallel_scaling; do
+  if [[ ! -x "$bench_dir/$binary" ]]; then
+    echo "error: $bench_dir/$binary not found; build first:" >&2
+    echo "  cmake -B $build_dir -S $root && cmake --build $build_dir -j" >&2
+    exit 1
+  fi
+done
+
+echo "== bench_solver_perf -> BENCH_solver.json"
+"$bench_dir/bench_solver_perf" \
+  --benchmark_out="$root/BENCH_solver.json" --benchmark_out_format=json
+
+echo "== bench_parallel_scaling -> BENCH_scaling.json"
+"$bench_dir/bench_parallel_scaling" \
+  --benchmark_out="$root/BENCH_scaling.json" --benchmark_out_format=json
+
+# Speedup summary: real_time(threads:1) / real_time(threads:T) per benchmark
+# family, straight from the JSON this run just wrote.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$root/BENCH_scaling.json" <<'PY'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as fh:
+    data = json.load(fh)
+
+families = defaultdict(dict)
+for b in data.get("benchmarks", []):
+    name = b["name"]            # e.g. BM_SweepPhi41/4/real_time
+    parts = name.split("/")
+    if len(parts) < 2 or not parts[1].isdigit():
+        continue
+    families[parts[0]][int(parts[1])] = b["real_time"]
+
+print("\nspeedup vs 1 thread (wall clock):")
+for family, times in sorted(families.items()):
+    if 1 not in times:
+        continue
+    row = "  ".join(f"{t}T: {times[1] / times[t]:.2f}x" for t in sorted(times))
+    print(f"  {family:<20} {row}")
+PY
+fi
+
+echo "done: $root/BENCH_solver.json $root/BENCH_scaling.json"
