@@ -1,0 +1,94 @@
+// Pointwise-vs-batched phi-sweep (google-benchmark): the legacy per-measure
+// evaluation loop — one solver run per (point, measure), which is what the
+// pre-session pipeline executed — against the session-batched pipeline
+// (PerformabilityAnalyzer::evaluate_batch), at 1/2/4/8 worker threads for the
+// batched arm. Both arms produce bit-identical constituent measures (the
+// session layer replays the pointwise solvers exactly), so the wall-clock gap
+// is pure amortization: on the paper's dense-engine chains the per-measure
+// loop runs eight matrix exponentials per point where the batched pipeline
+// runs four, and under uniformization the batch needs one propagation pass
+// per chain for the whole grid.
+//
+// Emit machine-readable output for the perf trajectory with
+//   bench_sweep_batch --benchmark_format=json
+// (tools/run_benches.sh writes BENCH_sweep.json at the repo root).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "markov/solver_stats.hh"
+
+namespace {
+
+using namespace gop;
+
+const core::GsuParameters& table3() {
+  static const core::GsuParameters params = core::GsuParameters::table3();
+  return params;
+}
+
+const core::PerformabilityAnalyzer& analyzer() {
+  static const core::PerformabilityAnalyzer instance(table3());
+  return instance;
+}
+
+/// The seed pipeline's constituent solve plan: one solver invocation per
+/// (point, measure), reconstructed through the public chain accessors. This
+/// is the baseline evaluate_batch replaces.
+core::ConstituentMeasures per_measure_constituents(const core::PerformabilityAnalyzer& a,
+                                                   double phi) {
+  core::ConstituentMeasures m;
+  m.rho1 = a.rho1();
+  m.rho2 = a.rho2();
+  const auto& gd = a.rm_gd();
+  m.p_a1_phi = a.gd_chain().instant_reward(gd.reward_p_a1(), phi);
+  m.i_h = a.gd_chain().instant_reward(gd.reward_ih(), phi);
+  m.i_hf = a.gd_chain().instant_reward(gd.reward_ihf(), phi);
+  m.i_tau_h = a.gd_chain().accumulated_reward(gd.reward_itauh(), phi);
+  const double p_detected = a.gd_chain().instant_reward(gd.reward_detected(), phi);
+  const double detected_area = a.gd_chain().accumulated_reward(gd.reward_detected(), phi);
+  m.i_tau_h_literal = phi * p_detected - detected_area;
+  const double rest = a.parameters().theta - phi;
+  m.p_nd_rest = a.nd_new_chain().instant_reward(a.rm_nd_new().reward_no_failure(), rest);
+  m.i_f = 1.0 - a.nd_old_chain().instant_reward(a.rm_nd_old().reward_no_failure(), rest);
+  return m;
+}
+
+void BM_SweepPerMeasure41(benchmark::State& state) {
+  const std::vector<double> grid = core::linspace(0.0, table3().theta, 41);
+  const uint64_t expm_before = markov::solver_stats().matrix_exponentials.load();
+  for (auto _ : state) {
+    for (double phi : grid) {
+      core::ConstituentMeasures m = per_measure_constituents(analyzer(), phi);
+      benchmark::DoNotOptimize(&m);
+    }
+  }
+  const uint64_t expm_after = markov::solver_stats().matrix_exponentials.load();
+  state.counters["points"] = 41.0;
+  state.counters["expm_per_sweep"] =
+      static_cast<double>(expm_after - expm_before) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SweepPerMeasure41)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_SweepBatched41(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  const std::vector<double> grid = core::linspace(0.0, table3().theta, 41);
+  const uint64_t expm_before = markov::solver_stats().matrix_exponentials.load();
+  for (auto _ : state) {
+    std::vector<core::PerformabilityResult> results = analyzer().evaluate_batch(grid, threads);
+    benchmark::DoNotOptimize(results.data());
+  }
+  const uint64_t expm_after = markov::solver_stats().matrix_exponentials.load();
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["points"] = 41.0;
+  state.counters["expm_per_sweep"] =
+      static_cast<double>(expm_after - expm_before) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SweepBatched41)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,12 @@
 #include "core/performability.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
 
+#include "par/parallel_for.hh"
+#include "san/session.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
@@ -33,44 +38,143 @@ PerformabilityAnalyzer::PerformabilityAnalyzer(const GsuParameters& params,
 }
 
 ConstituentMeasures PerformabilityAnalyzer::constituents(double phi) const {
-  GOP_REQUIRE(phi >= 0.0 && phi <= params_.theta,
-              str_format("phi = %g must lie in [0, theta = %g]", phi, params_.theta));
+  // A one-point batch: the four chain solves at this phi are shared across
+  // every measure that reads them (one RMGd distribution serves p_a1, Ih, Ihf
+  // and the detection probability instead of four independent solves).
+  return constituents_batch(std::span<const double>(&phi, 1), 1).front();
+}
 
-  ConstituentMeasures m;
-  m.rho1 = rho1_;
-  m.rho2 = rho2_;
-  m.p_nd_theta = p_nd_theta_;
+std::vector<ConstituentMeasures> PerformabilityAnalyzer::constituents_batch(
+    std::span<const double> phis, size_t threads) const {
+  const size_t n = phis.size();
+  std::vector<ConstituentMeasures> out(n);
+  if (n == 0) return out;
+  for (double phi : phis) {
+    GOP_REQUIRE(phi >= 0.0 && phi <= params_.theta,
+                str_format("phi = %g must lie in [0, theta = %g]", phi, params_.theta));
+  }
 
-  // RMGd measures (Table 1).
-  m.p_a1_phi = gd_chain_.instant_reward(gd_.reward_p_a1(), phi, options_.transient);
-  m.i_h = gd_chain_.instant_reward(gd_.reward_ih(), phi, options_.transient);
-  m.i_hf = gd_chain_.instant_reward(gd_.reward_ihf(), phi, options_.transient);
-  m.i_tau_h = gd_chain_.accumulated_reward(gd_.reward_itauh(), phi, options_.accumulated);
+  // Sessions want sorted grids; accept any input order and scatter back.
+  // RMGd solves at phi; the RMNd models solve at theta - phi (the §4.1 time
+  // shift), so their sorted grid is the gd grid walked backwards.
+  std::vector<size_t> gd_order(n);
+  std::iota(gd_order.begin(), gd_order.end(), size_t{0});
+  std::stable_sort(gd_order.begin(), gd_order.end(),
+                   [&phis](size_t a, size_t b) { return phis[a] < phis[b]; });
+  std::vector<double> gd_times(n), nd_times(n);
+  std::vector<size_t> nd_order(n);
+  for (size_t j = 0; j < n; ++j) gd_times[j] = phis[gd_order[j]];
+  for (size_t j = 0; j < n; ++j) {
+    nd_order[j] = gd_order[n - 1 - j];
+    nd_times[j] = params_.theta - phis[nd_order[j]];
+  }
 
-  // Literal E[tau 1(detected by phi)] by parts on the detection-time CDF:
-  // phi * P(detected at phi) - \int_0^phi P(detected at t) dt.
-  const double p_detected =
-      gd_chain_.instant_reward(gd_.reward_detected(), phi, options_.transient);
-  const double detected_area =
-      gd_chain_.accumulated_reward(gd_.reward_detected(), phi, options_.accumulated);
-  m.i_tau_h_literal = phi * p_detected - detected_area;
+  // Work units: four chain solves (RMGd transient, RMGd accumulated, RMNd-new,
+  // RMNd-old) times `segments` contiguous grid slices. Segmentation only adds
+  // parallelism beyond four threads — every slice solves its points exactly as
+  // a whole-grid session would, so the values do not depend on the split.
+  const size_t requested = threads > 0 ? threads : par::default_thread_count();
+  const size_t segments = std::max<size_t>(1, std::min((requested + 3) / 4, n));
+  std::vector<size_t> bounds(segments + 1);
+  for (size_t s = 0; s <= segments; ++s) bounds[s] = s * n / segments;
 
-  // RMNd measures (§5.2.3). The V_[phi,theta] ~ V_[0,theta-phi] time shift of
-  // §4.1 turns both into instant-of-time rewards at theta - phi.
-  const double rest = params_.theta - phi;
-  m.p_nd_rest =
-      nd_new_chain_.instant_reward(nd_new_.reward_no_failure(), rest, options_.transient);
-  m.i_f =
-      1.0 - nd_old_chain_.instant_reward(nd_old_.reward_no_failure(), rest, options_.transient);
+  const auto slice = [&bounds](const std::vector<double>& times, size_t s) {
+    return std::vector<double>(times.begin() + static_cast<ptrdiff_t>(bounds[s]),
+                               times.begin() + static_cast<ptrdiff_t>(bounds[s + 1]));
+  };
+  san::GridSolveOptions transient_only;
+  transient_only.transient_options = options_.transient;
+  san::GridSolveOptions accumulated_only;
+  accumulated_only.transient = false;
+  accumulated_only.accumulated = true;
+  accumulated_only.accumulated_options = options_.accumulated;
 
-  return m;
+  std::vector<std::optional<san::ChainSession>> sessions(4 * segments);
+  par::parallel_for(
+      4 * segments, 1,
+      [&](size_t task) {
+        const size_t chain = task / segments;
+        const size_t s = task % segments;
+        switch (chain) {
+          case 0:
+            sessions[task].emplace(gd_chain_.solve_grid(slice(gd_times, s), transient_only));
+            break;
+          case 1:
+            sessions[task].emplace(gd_chain_.solve_grid(slice(gd_times, s), accumulated_only));
+            break;
+          case 2:
+            sessions[task].emplace(nd_new_chain_.solve_grid(slice(nd_times, s), transient_only));
+            break;
+          default:
+            sessions[task].emplace(nd_old_chain_.solve_grid(slice(nd_times, s), transient_only));
+            break;
+        }
+      },
+      std::min(requested, 4 * segments));
+
+  // Serial in-order extraction and scatter through the sort permutations.
+  for (size_t s = 0; s < segments; ++s) {
+    const san::ChainSession& gd_transient = *sessions[0 * segments + s];
+    const san::ChainSession& gd_accumulated = *sessions[1 * segments + s];
+    const san::ChainSession& nd_new = *sessions[2 * segments + s];
+    const san::ChainSession& nd_old = *sessions[3 * segments + s];
+
+    // RMGd measures (Table 1), one series per reward structure against the
+    // shared slice solutions.
+    const std::vector<double> p_a1 = gd_transient.instant_reward_series(gd_.reward_p_a1());
+    const std::vector<double> i_h = gd_transient.instant_reward_series(gd_.reward_ih());
+    const std::vector<double> i_hf = gd_transient.instant_reward_series(gd_.reward_ihf());
+    const std::vector<double> p_detected =
+        gd_transient.instant_reward_series(gd_.reward_detected());
+    const std::vector<double> i_tau_h =
+        gd_accumulated.accumulated_reward_series(gd_.reward_itauh());
+    const std::vector<double> detected_area =
+        gd_accumulated.accumulated_reward_series(gd_.reward_detected());
+    // RMNd measures (§5.2.3) at theta - phi.
+    const std::vector<double> p_nd = nd_new.instant_reward_series(nd_new_.reward_no_failure());
+    const std::vector<double> no_failure_old =
+        nd_old.instant_reward_series(nd_old_.reward_no_failure());
+
+    for (size_t j = 0; j < bounds[s + 1] - bounds[s]; ++j) {
+      const size_t g = bounds[s] + j;
+      ConstituentMeasures& m = out[gd_order[g]];
+      m.rho1 = rho1_;
+      m.rho2 = rho2_;
+      m.p_nd_theta = p_nd_theta_;
+      m.p_a1_phi = p_a1[j];
+      m.i_h = i_h[j];
+      m.i_hf = i_hf[j];
+      m.i_tau_h = i_tau_h[j];
+      // Literal E[tau 1(detected by phi)] by parts on the detection-time CDF:
+      // phi * P(detected at phi) - \int_0^phi P(detected at t) dt.
+      m.i_tau_h_literal = gd_times[g] * p_detected[j] - detected_area[j];
+
+      ConstituentMeasures& nd_m = out[nd_order[g]];
+      nd_m.p_nd_rest = p_nd[j];
+      nd_m.i_f = 1.0 - no_failure_old[j];
+    }
+  }
+  return out;
 }
 
 PerformabilityResult PerformabilityAnalyzer::evaluate(double phi) const {
+  return assemble(phi, constituents(phi));
+}
+
+std::vector<PerformabilityResult> PerformabilityAnalyzer::evaluate_batch(
+    std::span<const double> phis, size_t threads) const {
+  const std::vector<ConstituentMeasures> measures = constituents_batch(phis, threads);
+  std::vector<PerformabilityResult> results;
+  results.reserve(phis.size());
+  for (size_t i = 0; i < phis.size(); ++i) results.push_back(assemble(phis[i], measures[i]));
+  return results;
+}
+
+PerformabilityResult PerformabilityAnalyzer::assemble(double phi,
+                                                      const ConstituentMeasures& m) const {
   PerformabilityResult r;
   r.phi = phi;
-  r.measures = constituents(phi);
-  const ConstituentMeasures& m = r.measures;
+  r.measures = m;
 
   const double theta = params_.theta;
   const double rho_sum = m.rho1 + m.rho2;

@@ -22,6 +22,8 @@
 /// and accumulated reward solutions per phi.
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/gamma.hh"
 #include "core/params.hh"
@@ -117,9 +119,29 @@ class PerformabilityAnalyzer {
   /// future caching added here must be per-call or synchronized.
   ConstituentMeasures constituents(double phi) const;
 
+  /// Solves the constituent measures for a whole batch of phi points through
+  /// per-chain solver sessions (san::ChainSession): each of the four chain
+  /// solves (RMGd transient, RMGd accumulated, RMNd-new, RMNd-old) covers the
+  /// entire grid in one session instead of one solver run per (point,
+  /// measure). `phis` may be in any order; results come back in input order.
+  ///
+  /// Determinism contract: the result at every phi is bit-identical to
+  /// constituents(phi), at every `threads` value (sessions replay the
+  /// pointwise solver loops exactly; see docs/solver-architecture.md).
+  /// `threads` = 1 runs serially, 0 picks par::default_thread_count();
+  /// parallelism is across the four chain solves and across grid segments,
+  /// never within a solve.
+  std::vector<ConstituentMeasures> constituents_batch(std::span<const double> phis,
+                                                      size_t threads = 1) const;
+
   /// Evaluates the performability index and its intermediate quantities.
   /// Thread-safe; see constituents().
   PerformabilityResult evaluate(double phi) const;
+
+  /// evaluate() for a batch of phi points on top of constituents_batch();
+  /// bit-identical to calling evaluate(phi) per point, at every thread count.
+  std::vector<PerformabilityResult> evaluate_batch(std::span<const double> phis,
+                                                   size_t threads = 1) const;
 
   /// Underlying models and chains, for diagnostics, benches and tests.
   const RmGd& rm_gd() const { return gd_; }
@@ -132,6 +154,10 @@ class PerformabilityAnalyzer {
   const san::GeneratedChain& nd_old_chain() const { return nd_old_chain_; }
 
  private:
+  /// Scalar assembly of Eq 1/6/8/14/15/16/21 from already-solved measures;
+  /// the shared back half of evaluate() and evaluate_batch().
+  PerformabilityResult assemble(double phi, const ConstituentMeasures& measures) const;
+
   GsuParameters params_;
   AnalyzerOptions options_;
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
-#include "par/parallel_for.hh"
+#include "par/thread_pool.hh"
 #include "util/error.hh"
 
 namespace gop::core {
@@ -33,20 +34,12 @@ std::vector<double> linspace(double lo, double hi, size_t n) {
 std::vector<PerformabilityResult> sweep_phi(const PerformabilityAnalyzer& analyzer,
                                             const std::vector<double>& phis,
                                             const SweepOptions& options) {
+  // The whole sweep is one batched evaluation: four chain sessions cover the
+  // entire grid (split into segments beyond four threads) instead of one
+  // solver run per (point, measure). evaluate_batch is bit-identical to the
+  // old per-point loop at every thread count; see docs/solver-architecture.md.
   const size_t threads = resolve_threads(options.threads, phis.size());
-  if (threads <= 1) {
-    std::vector<PerformabilityResult> results;
-    results.reserve(phis.size());
-    for (double phi : phis) results.push_back(analyzer.evaluate(phi));
-    return results;
-  }
-  // PerformabilityAnalyzer::evaluate is const and touches no shared mutable
-  // state (see the thread-safety note in performability.hh), so concurrent
-  // phi-points need no locking; ordered_transform writes each result into its
-  // index slot, making the output bit-identical to the serial loop.
-  par::ThreadPool pool(threads);
-  return par::ordered_transform<PerformabilityResult>(
-      pool, phis.size(), 1, [&analyzer, &phis](size_t i) { return analyzer.evaluate(phis[i]); });
+  return analyzer.evaluate_batch(phis, threads);
 }
 
 OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
@@ -54,21 +47,38 @@ OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
   GOP_REQUIRE(options.grid_points >= 3, "need at least three grid points");
   const double theta = analyzer.parameters().theta;
 
-  // Coarse scan, optionally across the pool. The argmax is taken by a serial
+  // Coarse scan as one batched evaluation. The argmax is taken by a serial
   // in-order pass over the index-placed results, so the selected bracket (and
   // the serial loop's first-wins tie-breaking) never depends on scheduling.
   const std::vector<double> grid = linspace(0.0, theta, options.grid_points);
   const size_t threads = resolve_threads(options.threads, grid.size());
-  std::vector<double> ys = par::ordered_transform<double>(
-      grid.size(), 1, [&analyzer, &grid](size_t i) { return analyzer.evaluate(grid[i]).y; },
-      threads);
-  size_t best = 0;
-  double best_y = -1.0;
-  for (size_t i = 0; i < grid.size(); ++i) {
-    if (ys[i] > best_y) {
-      best_y = ys[i];
-      best = i;
+  const std::vector<PerformabilityResult> scan = analyzer.evaluate_batch(grid, threads);
+
+  // Every Y value ever computed is cached by its exact phi bits, and the best
+  // (phi, y) pair seen so far is tracked as it is evaluated. This seeds the
+  // refinement with the grid scan (a golden-section probe landing on a grid
+  // phi — bracket endpoints included — costs nothing) and lets the function
+  // return the best *evaluated* point instead of re-solving a midpoint.
+  std::map<double, double> cache;
+  OptimalPhi result;
+  result.y = -1.0;
+  const auto record = [&result](double phi, double y) {
+    if (y > result.y) {
+      result.y = y;
+      result.phi = phi;
     }
+  };
+  const auto eval = [&](double phi) {
+    const auto [it, inserted] = cache.try_emplace(phi, 0.0);
+    if (inserted) it->second = analyzer.evaluate(phi).y;
+    return it->second;
+  };
+
+  size_t best = 0;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    cache.emplace(grid[i], scan[i].y);
+    if (scan[i].y > result.y) best = i;
+    record(grid[i], scan[i].y);
   }
 
   // Golden-section refinement inside the bracket around the best grid point.
@@ -78,32 +88,28 @@ OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
 
   double x1 = hi - inv_golden * (hi - lo);
   double x2 = lo + inv_golden * (hi - lo);
-  double y1 = analyzer.evaluate(x1).y;
-  double y2 = analyzer.evaluate(x2).y;
+  double y1 = eval(x1);
+  record(x1, y1);
+  double y2 = eval(x2);
+  record(x2, y2);
   while (hi - lo > options.phi_tolerance) {
     if (y1 < y2) {
       lo = x1;
       x1 = x2;
       y1 = y2;
       x2 = lo + inv_golden * (hi - lo);
-      y2 = analyzer.evaluate(x2).y;
+      y2 = eval(x2);
+      record(x2, y2);
     } else {
       hi = x2;
       x2 = x1;
       y2 = y1;
       x1 = hi - inv_golden * (hi - lo);
-      y1 = analyzer.evaluate(x1).y;
+      y1 = eval(x1);
+      record(x1, y1);
     }
   }
 
-  OptimalPhi result;
-  result.phi = (lo + hi) / 2.0;
-  result.y = analyzer.evaluate(result.phi).y;
-  // The refinement only ever improves on the grid optimum; keep the better.
-  if (best_y > result.y) {
-    result.phi = grid[best];
-    result.y = best_y;
-  }
   result.beneficial = result.y > 1.0;
   return result;
 }

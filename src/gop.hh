@@ -31,6 +31,8 @@
 #include "markov/matrix_exp.hh"     // IWYU pragma: export
 #include "markov/importance.hh"     // IWYU pragma: export
 #include "markov/sensitivity.hh"    // IWYU pragma: export
+#include "markov/session.hh"        // IWYU pragma: export
+#include "markov/solver_stats.hh"   // IWYU pragma: export
 #include "markov/steady_state.hh"   // IWYU pragma: export
 #include "markov/transient.hh"      // IWYU pragma: export
 #include "markov/uniformization.hh" // IWYU pragma: export
@@ -52,6 +54,7 @@
 #include "san/phase_type.hh"       // IWYU pragma: export
 #include "san/reward.hh"           // IWYU pragma: export
 #include "san/reward_variable.hh"  // IWYU pragma: export
+#include "san/session.hh"          // IWYU pragma: export
 #include "san/simulator.hh"        // IWYU pragma: export
 #include "san/state_space.hh"      // IWYU pragma: export
 

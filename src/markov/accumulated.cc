@@ -6,9 +6,8 @@
 
 namespace gop::markov {
 
-namespace {
-
-AccumulatedMethod resolve(const Ctmc& chain, double t, const AccumulatedOptions& options) {
+AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
+                                             const AccumulatedOptions& options) {
   if (options.method != AccumulatedMethod::kAuto) return options.method;
   const double lambda_t = chain.max_exit_rate() * t;
   if (chain.state_count() <= options.auto_dense_max_states) {
@@ -17,6 +16,8 @@ AccumulatedMethod resolve(const Ctmc& chain, double t, const AccumulatedOptions&
   (void)lambda_t;
   return AccumulatedMethod::kUniformization;
 }
+
+namespace {
 
 std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double t) {
   const size_t n = chain.state_count();
@@ -46,7 +47,7 @@ std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   if (t == 0.0) return std::vector<double>(chain.state_count(), 0.0);
 
-  switch (resolve(chain, t, options)) {
+  switch (resolve_accumulated_method(chain, t, options)) {
     case AccumulatedMethod::kAugmentedExponential:
       return occupancy_by_augmented_exponential(chain, t);
     case AccumulatedMethod::kUniformization:

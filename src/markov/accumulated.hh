@@ -31,6 +31,12 @@ struct AccumulatedOptions {
   size_t auto_dense_max_states = 2048;
 };
 
+/// The engine the dispatcher would run for (chain, t). Exposed for the
+/// session layer (session.hh); for kAuto the choice depends only on the chain
+/// size, never on t.
+AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
+                                             const AccumulatedOptions& options);
+
 /// Expected total time spent in each state during [0, t]:
 /// L_s(t) = \int_0^t pi_s(u) du. Sums to t.
 std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,

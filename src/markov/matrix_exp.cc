@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/lu.hh"
+#include "markov/solver_stats.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
@@ -27,6 +28,7 @@ constexpr double kTheta13 = 5.371920351148152;
 
 DenseMatrix matrix_exponential(const DenseMatrix& a) {
   GOP_REQUIRE(a.square(), "matrix_exponential requires a square matrix");
+  solver_stats().matrix_exponentials.fetch_add(1, std::memory_order_relaxed);
   const size_t n = a.rows();
 
   const double norm = a.norm_inf();

@@ -1,0 +1,281 @@
+#include "markov/session.hh"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hh"
+#include "markov/fox_glynn.hh"
+#include "markov/solver_stats.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::markov {
+
+namespace {
+
+void validate_grid(const std::vector<double>& times) {
+  for (size_t i = 1; i < times.size(); ++i) {
+    GOP_REQUIRE(times[i] >= times[i - 1], "times must be sorted non-decreasing");
+  }
+  if (!times.empty()) {
+    GOP_REQUIRE(times.front() >= 0.0, "times must be non-negative");
+  }
+}
+
+void check_lambda_t(double lambda_t, const UniformizationOptions& options) {
+  GOP_CHECK_NUMERIC(lambda_t <= options.max_lambda_t,
+                    str_format("uniformization refused: Lambda*t = %.3g exceeds the configured "
+                               "maximum %.3g; use the matrix-exponential solver for stiff "
+                               "problems",
+                               lambda_t, options.max_lambda_t));
+}
+
+/// The shared Krylov sequence of the uniformized DTMC: v_k = pi0 P^k together
+/// with the per-step convergence gaps the pointwise solver would have seen.
+/// Recording the gaps lets every per-time replay reproduce the pointwise
+/// steady-state-detection decision bit for bit.
+struct UniformizedSequence {
+  double lambda = 1.0;
+  std::vector<std::vector<double>> iterates;  ///< v_0 .. v_S
+  std::vector<double> diffs;                  ///< max_abs_diff(v_{k+1}, v_k), k in [0, S)
+};
+
+/// Longest Fox-Glynn window any grid time needs (0 when every time is 0).
+size_t max_window_right(const std::vector<double>& times, double lambda,
+                        const UniformizationOptions& options) {
+  size_t target = 0;
+  double previous = -1.0;
+  for (double t : times) {
+    if (t == 0.0 || t == previous) continue;
+    previous = t;
+    GOP_REQUIRE(std::isfinite(t), "time must be non-negative and finite");
+    check_lambda_t(lambda * t, options);
+    target = std::max(target, poisson_window(lambda * t, options.epsilon).right());
+  }
+  return target;
+}
+
+/// Propagates v_0 .. v_target (stopping early once the iterate is steady,
+/// exactly where the pointwise loop would stop consuming fresh iterates).
+UniformizedSequence build_sequence(const Ctmc& chain, const UniformizationOptions& options,
+                                   size_t target) {
+  solver_stats().uniformization_passes.fetch_add(1, std::memory_order_relaxed);
+  UniformizedSequence sequence;
+  sequence.lambda = uniformization_rate(chain, options);
+  sequence.iterates.reserve(target + 1);
+  sequence.iterates.push_back(chain.initial_distribution());
+  sequence.diffs.reserve(target);
+
+  std::vector<double> next(chain.state_count());
+  for (size_t k = 0; k < target; ++k) {
+    uniformized_step(chain, sequence.lambda, sequence.iterates.back(), next);
+    const double diff = linalg::max_abs_diff(next, sequence.iterates.back());
+    sequence.iterates.push_back(next);
+    sequence.diffs.push_back(diff);
+    if (diff * static_cast<double>(chain.state_count()) < options.steady_state_tol) break;
+  }
+  return sequence;
+}
+
+/// Replays the pointwise uniformized_transient_distribution loop for one time
+/// against the shared iterate sequence: same weights, same summation order,
+/// same steady-state decisions, hence the same bits.
+std::vector<double> replay_transient(const Ctmc& chain, const UniformizedSequence& sequence,
+                                     double t, const UniformizationOptions& options) {
+  const double lambda_t = sequence.lambda * t;
+  check_lambda_t(lambda_t, options);
+  const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+
+  std::vector<double> result(chain.state_count(), 0.0);
+  double used_mass = 0.0;
+  for (size_t k = 0; k <= window.right(); ++k) {
+    if (k >= window.left) {
+      const double w = window.weights[k - window.left];
+      linalg::axpy(w, sequence.iterates[k], result);
+      used_mass += w;
+    }
+    if (k == window.right()) break;
+
+    if (sequence.diffs[k] * static_cast<double>(chain.state_count()) <
+        options.steady_state_tol) {
+      linalg::axpy(1.0 - used_mass, sequence.iterates[k + 1], result);
+      used_mass = 1.0;
+      break;
+    }
+  }
+  if (used_mass < 1.0) {
+    linalg::axpy(1.0 - used_mass, sequence.iterates[window.right()], result);
+  }
+  return result;
+}
+
+/// Replays the pointwise uniformized_accumulated_occupancy loop; see
+/// replay_transient.
+std::vector<double> replay_accumulated(const Ctmc& chain, const UniformizedSequence& sequence,
+                                       double t, const UniformizationOptions& options) {
+  const double lambda_t = sequence.lambda * t;
+  check_lambda_t(lambda_t, options);
+  const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+
+  std::vector<double> occupancy(chain.state_count(), 0.0);
+  double cdf = 0.0;
+  double tail_sum = 0.0;
+  for (size_t k = 0; k <= window.right(); ++k) {
+    if (k >= window.left) cdf += window.weights[k - window.left];
+    const double tail = std::max(0.0, 1.0 - cdf);
+    linalg::axpy(tail / sequence.lambda, sequence.iterates[k], occupancy);
+    tail_sum += tail;
+    if (k == window.right()) break;
+
+    if (sequence.diffs[k] * static_cast<double>(chain.state_count()) <
+        options.steady_state_tol) {
+      const double remaining = std::max(0.0, lambda_t - tail_sum);
+      linalg::axpy(remaining / sequence.lambda, sequence.iterates[k + 1], occupancy);
+      break;
+    }
+  }
+  return occupancy;
+}
+
+/// Fills `out[i]` for every grid time: zeros-time entries via `at_zero`,
+/// duplicates by sharing the previous solution, everything else via `solve`.
+template <typename AtZero, typename Solve>
+void solve_grid(const std::vector<double>& times, std::vector<std::vector<double>>& out,
+                const AtZero& at_zero, const Solve& solve) {
+  out.resize(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (i > 0 && times[i] == times[i - 1]) {
+      out[i] = out[i - 1];  // exact duplicate: share the solution
+    } else if (times[i] == 0.0) {
+      out[i] = at_zero();
+    } else {
+      out[i] = solve(times[i]);
+    }
+  }
+}
+
+double series_dot(const std::vector<double>& x, const std::vector<double>& y) {
+  return linalg::dot(x, y);
+}
+
+}  // namespace
+
+TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
+                                   const TransientOptions& options)
+    : chain_(&chain), times_(std::move(times)) {
+  solver_stats().transient_sessions.fetch_add(1, std::memory_order_relaxed);
+  validate_grid(times_);
+  if (times_.empty()) return;
+
+  // One grid resolves to one engine: for kAuto the dispatcher's choice
+  // depends only on the chain size (resolve_transient_method), so resolving
+  // against the largest time is exactly what per-time resolution would do.
+  const TransientMethod method = resolve_transient_method(chain, times_.back(), options);
+
+  if (method == TransientMethod::kUniformization && times_.back() > 0.0) {
+    const double lambda = uniformization_rate(chain, options.uniformization);
+    const size_t target = max_window_right(times_, lambda, options.uniformization);
+    if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
+      const UniformizedSequence sequence =
+          build_sequence(chain, options.uniformization, target);
+      solve_grid(
+          times_, distributions_, [&] { return chain.initial_distribution(); },
+          [&](double t) { return replay_transient(chain, sequence, t, options.uniformization); });
+      return;
+    }
+    // Grid too long for the recorded sequence: independent per-time solves
+    // (the workspace removes the per-step allocations; bits are unchanged).
+    UniformizationWorkspace workspace;
+    solve_grid(
+        times_, distributions_, [&] { return chain.initial_distribution(); },
+        [&](double t) {
+          return uniformized_transient_distribution(chain, t, options.uniformization, workspace);
+        });
+    return;
+  }
+
+  // Dense path: one from-zero solve per *distinct* time, shared across
+  // duplicates (and across every reward structure dotted against it).
+  solve_grid(
+      times_, distributions_, [&] { return chain.initial_distribution(); },
+      [&](double t) { return transient_distribution(chain, t, options); });
+}
+
+double TransientSession::time_at(size_t i) const {
+  GOP_REQUIRE(i < times_.size(), "time index out of range");
+  return times_[i];
+}
+
+const std::vector<double>& TransientSession::distribution_at(size_t i) const {
+  GOP_REQUIRE(i < distributions_.size(), "time index out of range");
+  return distributions_[i];
+}
+
+double TransientSession::reward_at(size_t i, const std::vector<double>& state_reward) const {
+  GOP_REQUIRE(state_reward.size() == chain_->state_count(), "reward vector length mismatch");
+  return series_dot(distribution_at(i), state_reward);
+}
+
+std::vector<double> TransientSession::reward_series(
+    const std::vector<double>& state_reward) const {
+  GOP_REQUIRE(state_reward.size() == chain_->state_count(), "reward vector length mismatch");
+  std::vector<double> series(times_.size());
+  for (size_t i = 0; i < times_.size(); ++i) series[i] = series_dot(distributions_[i], state_reward);
+  return series;
+}
+
+AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> times,
+                                       const AccumulatedOptions& options)
+    : chain_(&chain), times_(std::move(times)) {
+  solver_stats().accumulated_sessions.fetch_add(1, std::memory_order_relaxed);
+  validate_grid(times_);
+  if (times_.empty()) return;
+
+  const AccumulatedMethod method = resolve_accumulated_method(chain, times_.back(), options);
+  const auto zeros = [&] { return std::vector<double>(chain.state_count(), 0.0); };
+
+  if (method == AccumulatedMethod::kUniformization && times_.back() > 0.0) {
+    const double lambda = uniformization_rate(chain, options.uniformization);
+    const size_t target = max_window_right(times_, lambda, options.uniformization);
+    if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
+      const UniformizedSequence sequence =
+          build_sequence(chain, options.uniformization, target);
+      solve_grid(times_, occupancies_, zeros, [&](double t) {
+        return replay_accumulated(chain, sequence, t, options.uniformization);
+      });
+      return;
+    }
+    UniformizationWorkspace workspace;
+    solve_grid(times_, occupancies_, zeros, [&](double t) {
+      return uniformized_accumulated_occupancy(chain, t, options.uniformization, workspace);
+    });
+    return;
+  }
+
+  solve_grid(times_, occupancies_, zeros,
+             [&](double t) { return accumulated_occupancy(chain, t, options); });
+}
+
+double AccumulatedSession::time_at(size_t i) const {
+  GOP_REQUIRE(i < times_.size(), "time index out of range");
+  return times_[i];
+}
+
+const std::vector<double>& AccumulatedSession::occupancy_at(size_t i) const {
+  GOP_REQUIRE(i < occupancies_.size(), "time index out of range");
+  return occupancies_[i];
+}
+
+double AccumulatedSession::reward_at(size_t i, const std::vector<double>& state_reward) const {
+  GOP_REQUIRE(state_reward.size() == chain_->state_count(), "reward vector length mismatch");
+  return series_dot(occupancy_at(i), state_reward);
+}
+
+std::vector<double> AccumulatedSession::reward_series(
+    const std::vector<double>& state_reward) const {
+  GOP_REQUIRE(state_reward.size() == chain_->state_count(), "reward vector length mismatch");
+  std::vector<double> series(times_.size());
+  for (size_t i = 0; i < times_.size(); ++i) series[i] = series_dot(occupancies_[i], state_reward);
+  return series;
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file session.hh
+/// Solver sessions: one-pass transient / accumulated CTMC solutions over a
+/// whole time grid, with multi-reward evaluation against a single solve.
+///
+/// The paper's evaluation (§6) is built from phi-sweeps: the same chain is
+/// queried at many time points, and at each point several reward structures
+/// are dotted against the same distribution. The pointwise entry points
+/// (transient.hh, accumulated.hh) re-solve the chain from t = 0 for every
+/// (time, reward) pair. A session instead solves once per grid:
+///
+///  - **Uniformization** shares the Krylov sequence v_k = pi0 P^k across all
+///    grid times: the DTMC iterates are propagated once, up to the largest
+///    time's Fox–Glynn window, and each time point only re-weights the shared
+///    iterates with its own Poisson probabilities. One propagation pass
+///    serves the whole grid (O(1) passes per chain instead of O(points)).
+///  - **Dense matrix exponential** solves each *distinct* time once and
+///    shares the solution across duplicate grid times and across every reward
+///    structure dotted against it.
+///
+/// Determinism contract (docs/solver-architecture.md): session results are
+/// **bit-identical** to the pointwise solvers at every grid point. The
+/// uniformization replay consumes exactly the iterate sequence, Poisson
+/// windows, summation order, and steady-state-detection decisions of the
+/// pointwise loop; the dense path runs the identical from-zero solve. This is
+/// what lets the batched sweep pipeline (core/performability.hh) promise
+/// bit-identical results to the single-point path at every thread count.
+///
+/// Sessions are immutable after construction and safe to read from multiple
+/// threads concurrently.
+
+#include <vector>
+
+#include "markov/accumulated.hh"
+#include "markov/ctmc.hh"
+#include "markov/transient.hh"
+
+namespace gop::markov {
+
+/// State distributions pi(t_i) for a sorted, non-decreasing time grid
+/// (duplicates allowed; they share one solution).
+class TransientSession {
+ public:
+  /// Solves eagerly at construction. `times` must be sorted non-decreasing
+  /// and non-negative. The chain must outlive the session.
+  TransientSession(const Ctmc& chain, std::vector<double> times,
+                   const TransientOptions& options = {});
+
+  const Ctmc& chain() const { return *chain_; }
+  size_t time_count() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  double time_at(size_t i) const;
+
+  /// pi(times()[i]); bit-identical to transient_distribution(chain, t).
+  const std::vector<double>& distribution_at(size_t i) const;
+
+  /// sum_s pi_s(t_i) * state_reward[s]; bit-identical to transient_reward.
+  double reward_at(size_t i, const std::vector<double>& state_reward) const;
+
+  /// reward_at for every grid point, in grid order.
+  std::vector<double> reward_series(const std::vector<double>& state_reward) const;
+
+ private:
+  const Ctmc* chain_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> distributions_;
+};
+
+/// Accumulated occupancies L(t_i) = \int_0^{t_i} pi(s) ds for a sorted grid.
+/// The missing "accumulated counterpart" of the transient series: one
+/// uniformization pass (or one augmented exponential per distinct time)
+/// serves every interval-of-time reward on the grid.
+class AccumulatedSession {
+ public:
+  AccumulatedSession(const Ctmc& chain, std::vector<double> times,
+                     const AccumulatedOptions& options = {});
+
+  const Ctmc& chain() const { return *chain_; }
+  size_t time_count() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  double time_at(size_t i) const;
+
+  /// L(times()[i]); bit-identical to accumulated_occupancy(chain, t).
+  const std::vector<double>& occupancy_at(size_t i) const;
+
+  /// sum_s L_s(t_i) * state_reward[s]; bit-identical to accumulated_reward.
+  double reward_at(size_t i, const std::vector<double>& state_reward) const;
+
+  /// reward_at for every grid point, in grid order.
+  std::vector<double> reward_series(const std::vector<double>& state_reward) const;
+
+ private:
+  const Ctmc* chain_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> occupancies_;
+};
+
+}  // namespace gop::markov

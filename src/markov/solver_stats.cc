@@ -1,0 +1,10 @@
+#include "markov/solver_stats.hh"
+
+namespace gop::markov {
+
+SolverCounters& solver_stats() {
+  static SolverCounters counters;
+  return counters;
+}
+
+}  // namespace gop::markov

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file solver_stats.hh
+/// Process-wide counters of solver-engine invocations. The counters exist so
+/// tests and benches can *prove* the amortization claims of the solver-session
+/// layer (session.hh): a phi-sweep through the batched pipeline must cost
+/// O(1) uniformization passes per chain instead of O(points x measures), and
+/// the single-point evaluation path must solve each (chain, t) distribution
+/// exactly once however many reward structures are dotted against it.
+///
+/// The counters are relaxed atomics: increments from concurrent solver calls
+/// never synchronize with each other, so they add no contention to the hot
+/// path, and reads taken while solvers are running are only advisory. Tests
+/// reset, run a known workload on one logical stream, and compare snapshots.
+
+#include <atomic>
+#include <cstdint>
+
+namespace gop::markov {
+
+struct SolverCounters {
+  /// Dense Pade matrix exponentials (matrix_exp.hh), including the augmented
+  /// 2n x 2n exponentials behind the accumulated-occupancy solver.
+  std::atomic<uint64_t> matrix_exponentials{0};
+  /// Uniformization propagation passes: each pointwise transient or
+  /// accumulated solve counts one, and each session-shared Krylov sequence
+  /// counts one regardless of how many grid times it serves.
+  std::atomic<uint64_t> uniformization_passes{0};
+  /// TransientSession / AccumulatedSession constructions.
+  std::atomic<uint64_t> transient_sessions{0};
+  std::atomic<uint64_t> accumulated_sessions{0};
+
+  void reset() {
+    matrix_exponentials.store(0, std::memory_order_relaxed);
+    uniformization_passes.store(0, std::memory_order_relaxed);
+    transient_sessions.store(0, std::memory_order_relaxed);
+    accumulated_sessions.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide counter instance.
+SolverCounters& solver_stats();
+
+}  // namespace gop::markov

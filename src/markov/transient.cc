@@ -1,16 +1,13 @@
 #include "markov/transient.hh"
 
-#include <cmath>
-#include <utility>
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
 
-namespace {
-
-TransientMethod resolve(const Ctmc& chain, double t, const TransientOptions& options) {
+TransientMethod resolve_transient_method(const Ctmc& chain, double t,
+                                         const TransientOptions& options) {
   if (options.method != TransientMethod::kAuto) return options.method;
   const double lambda_t = chain.max_exit_rate() * t;
   if (lambda_t <= options.auto_stiffness_cutoff && chain.state_count() > options.auto_dense_max_states) {
@@ -24,14 +21,12 @@ TransientMethod resolve(const Ctmc& chain, double t, const TransientOptions& opt
   return TransientMethod::kUniformization;
 }
 
-}  // namespace
-
 std::vector<double> transient_distribution(const Ctmc& chain, double t,
                                            const TransientOptions& options) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   if (t == 0.0) return chain.initial_distribution();
 
-  switch (resolve(chain, t, options)) {
+  switch (resolve_transient_method(chain, t, options)) {
     case TransientMethod::kUniformization:
       return uniformized_transient_distribution(chain, t, options.uniformization);
     case TransientMethod::kMatrixExponential: {
@@ -50,46 +45,6 @@ double transient_reward(const Ctmc& chain, const std::vector<double>& state_rewa
   GOP_REQUIRE(state_reward.size() == chain.state_count(), "reward vector length mismatch");
   const std::vector<double> pi = transient_distribution(chain, t, options);
   return linalg::dot(pi, state_reward);
-}
-
-std::vector<std::vector<double>> transient_distribution_series(
-    const Ctmc& chain, const std::vector<double>& times, const TransientOptions& options) {
-  std::vector<std::vector<double>> series;
-  series.reserve(times.size());
-  for (size_t i = 1; i < times.size(); ++i) {
-    GOP_REQUIRE(times[i] >= times[i - 1], "times must be sorted non-decreasing");
-  }
-  if (times.empty()) return series;
-  GOP_REQUIRE(times.front() >= 0.0, "times must be non-negative");
-
-  const bool incremental =
-      !times.empty() && resolve(chain, times.back(), options) == TransientMethod::kMatrixExponential;
-  if (!incremental) {
-    for (double t : times) series.push_back(transient_distribution(chain, t, options));
-    return series;
-  }
-
-  const linalg::DenseMatrix q = chain.generator_dense();
-  std::vector<std::pair<double, linalg::DenseMatrix>> step_cache;
-  const auto step_matrix = [&](double gap) -> const linalg::DenseMatrix& {
-    for (const auto& [cached_gap, matrix] : step_cache) {
-      if (std::abs(cached_gap - gap) <= 1e-12 * std::max(1.0, gap)) return matrix;
-    }
-    step_cache.emplace_back(gap, matrix_exponential(q, gap));
-    return step_cache.back().second;
-  };
-
-  std::vector<double> pi = chain.initial_distribution();
-  double now = 0.0;
-  for (double t : times) {
-    const double gap = t - now;
-    if (gap > 0.0) {
-      pi = step_matrix(gap).left_multiply(pi);
-      now = t;
-    }
-    series.push_back(pi);
-  }
-  return series;
 }
 
 }  // namespace gop::markov

@@ -4,6 +4,11 @@
 /// Front door for transient (instant-of-time) CTMC reward solutions: picks
 /// between the dense matrix exponential and uniformization, mirroring the
 /// "expected instant-of-time reward at t" solver the paper uses (§5.2).
+///
+/// For repeated queries over a time grid — the phi-sweeps of §6 — use
+/// TransientSession (session.hh), which shares the solver work across the
+/// grid and across reward structures while staying bit-identical to these
+/// pointwise entry points.
 
 #include <vector>
 
@@ -29,6 +34,13 @@ struct TransientOptions {
   size_t auto_dense_max_states = 4096;
 };
 
+/// The engine the dispatcher would run for (chain, t). Exposed so the session
+/// layer resolves exactly the way the pointwise solver does. Note that for
+/// kAuto the choice depends only on the chain size, never on t, so one grid
+/// resolves to one engine.
+TransientMethod resolve_transient_method(const Ctmc& chain, double t,
+                                         const TransientOptions& options);
+
 /// State distribution at time t.
 std::vector<double> transient_distribution(const Ctmc& chain, double t,
                                            const TransientOptions& options = {});
@@ -36,13 +48,5 @@ std::vector<double> transient_distribution(const Ctmc& chain, double t,
 /// Expected instant-of-time rate reward at t: sum_s pi_s(t) * reward[s].
 double transient_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,
                         const TransientOptions& options = {});
-
-/// Distributions at several time points (`times` sorted non-decreasing).
-/// With the matrix-exponential engine the solution advances incrementally,
-/// pi(t_{i+1}) = pi(t_i) exp(Q (t_{i+1} - t_i)), and the step exponentials
-/// are cached per distinct gap — a uniform phi-grid sweep costs one
-/// exponential instead of one per point.
-std::vector<std::vector<double>> transient_distribution_series(
-    const Ctmc& chain, const std::vector<double>& times, const TransientOptions& options = {});
 
 }  // namespace gop::markov

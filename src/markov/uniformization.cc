@@ -5,15 +5,12 @@
 
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
+#include "markov/solver_stats.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
 namespace gop::markov {
 
-namespace {
-
-/// One DTMC step of the uniformized chain, written into `next`:
-/// v_next = v P with P = I + Q/Lambda, computed as v + (v R - v .* exit)/Lambda.
 void uniformized_step(const Ctmc& chain, double lambda, const std::vector<double>& v,
                       std::vector<double>& next) {
   chain.rate_matrix().left_multiply(v, next);
@@ -23,14 +20,12 @@ void uniformized_step(const Ctmc& chain, double lambda, const std::vector<double
   }
 }
 
-double effective_lambda(const Ctmc& chain, const UniformizationOptions& options) {
+double uniformization_rate(const Ctmc& chain, const UniformizationOptions& options) {
   // A chain whose states are all absorbing has pi(t) = pi(0); pick a dummy
   // positive rate so the window machinery still works.
   const double base = chain.max_exit_rate();
   return base > 0.0 ? base * options.rate_slack : 1.0;
 }
-
-}  // namespace
 
 std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,
                                                        const UniformizationOptions& options) {
@@ -43,8 +38,9 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
                                                        UniformizationWorkspace& workspace) {
   GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
   if (t == 0.0) return chain.initial_distribution();
+  solver_stats().uniformization_passes.fetch_add(1, std::memory_order_relaxed);
 
-  const double lambda = effective_lambda(chain, options);
+  const double lambda = uniformization_rate(chain, options);
   const double lambda_t = lambda * t;
   GOP_CHECK_NUMERIC(lambda_t <= options.max_lambda_t,
                     str_format("uniformization refused: Lambda*t = %.3g exceeds the configured "
@@ -100,8 +96,9 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
   GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
   std::vector<double> occupancy(chain.state_count(), 0.0);
   if (t == 0.0) return occupancy;
+  solver_stats().uniformization_passes.fetch_add(1, std::memory_order_relaxed);
 
-  const double lambda = effective_lambda(chain, options);
+  const double lambda = uniformization_rate(chain, options);
   const double lambda_t = lambda * t;
   GOP_CHECK_NUMERIC(lambda_t <= options.max_lambda_t,
                     str_format("uniformization refused: Lambda*t = %.3g exceeds the configured "

@@ -24,6 +24,13 @@ struct UniformizationOptions {
   double max_lambda_t = 2e6;
   /// Uniformization rate safety factor over the maximal exit rate.
   double rate_slack = 1.02;
+  /// Memory budget (in doubles) for the shared DTMC iterate sequence a
+  /// TransientSession / AccumulatedSession (session.hh) records. A session
+  /// over a time grid stores v_k = pi0 P^k for every step up to the largest
+  /// time's Poisson window; when (steps+1) * state_count would exceed this
+  /// budget the session falls back to independent per-time solves — still
+  /// bit-identical, just without the cross-time amortization.
+  size_t max_session_doubles = size_t{1} << 24;
 };
 
 /// Reusable iterate buffers for the uniformization inner loop. One transient
@@ -36,6 +43,19 @@ struct UniformizationWorkspace {
   std::vector<double> iterate;  ///< v_k, the current DTMC iterate
   std::vector<double> scratch;  ///< v_{k+1} under construction
 };
+
+/// The uniformization rate Lambda the solvers use: max_exit_rate * rate_slack
+/// (or a dummy 1.0 for an all-absorbing chain). Exposed so the session layer
+/// shares the exact rate — and therefore the exact Poisson windows and DTMC
+/// iterates — of the pointwise solvers.
+double uniformization_rate(const Ctmc& chain, const UniformizationOptions& options);
+
+/// One DTMC step of the uniformized chain, written into `next`:
+/// v_next = v P with P = I + Q/Lambda, computed as v + (v R - v .* exit)/Lambda.
+/// Exposed so the session layer advances the exact iterate sequence of the
+/// pointwise solvers (bit-identity depends on it).
+void uniformized_step(const Ctmc& chain, double lambda, const std::vector<double>& v,
+                      std::vector<double>& next);
 
 /// Distribution at time t starting from the chain's initial distribution.
 std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double t,

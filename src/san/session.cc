@@ -1,0 +1,73 @@
+#include "san/session.hh"
+
+#include "linalg/vector_ops.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+
+ChainSession::ChainSession(const GeneratedChain& chain, std::vector<double> times,
+                           const GridSolveOptions& options)
+    : chain_(&chain), times_(std::move(times)) {
+  GOP_REQUIRE(options.transient || options.accumulated,
+              "solve_grid needs at least one of transient / accumulated");
+  if (options.transient) {
+    transient_.emplace(chain.ctmc(), times_, options.transient_options);
+  }
+  if (options.accumulated) {
+    accumulated_.emplace(chain.ctmc(), times_, options.accumulated_options);
+  }
+}
+
+double ChainSession::instant_reward(const RewardStructure& reward, size_t i) const {
+  return transient_session().reward_at(i, chain_->rate_reward_vector(reward));
+}
+
+std::vector<double> ChainSession::instant_reward_series(const RewardStructure& reward) const {
+  return transient_session().reward_series(chain_->rate_reward_vector(reward));
+}
+
+double ChainSession::accumulated_reward(const RewardStructure& reward, size_t i) const {
+  return chain_->accumulated_reward_over(reward, accumulated_session().occupancy_at(i));
+}
+
+std::vector<double> ChainSession::accumulated_reward_series(const RewardStructure& reward) const {
+  const markov::AccumulatedSession& session = accumulated_session();
+  std::vector<double> series(times_.size());
+  for (size_t i = 0; i < times_.size(); ++i) {
+    series[i] = chain_->accumulated_reward_over(reward, session.occupancy_at(i));
+  }
+  return series;
+}
+
+double ChainSession::transient_probability(const Predicate& predicate, size_t i) const {
+  GOP_REQUIRE(static_cast<bool>(predicate), "predicate must be callable");
+  const std::vector<Marking>& states = chain_->states();
+  std::vector<double> indicator(states.size(), 0.0);
+  for (size_t s = 0; s < states.size(); ++s) indicator[s] = predicate(states[s]) ? 1.0 : 0.0;
+  return transient_session().reward_at(i, indicator);
+}
+
+const markov::TransientSession& ChainSession::transient_session() const {
+  GOP_REQUIRE(transient_.has_value(),
+              "this session was solved without transient distributions; set "
+              "GridSolveOptions::transient");
+  return *transient_;
+}
+
+const markov::AccumulatedSession& ChainSession::accumulated_session() const {
+  GOP_REQUIRE(accumulated_.has_value(),
+              "this session was solved without accumulated occupancies; set "
+              "GridSolveOptions::accumulated");
+  return *accumulated_;
+}
+
+ChainSession GeneratedChain::solve_grid(std::vector<double> times,
+                                        const GridSolveOptions& options) const {
+  return ChainSession(*this, std::move(times), options);
+}
+
+ChainSession GeneratedChain::solve_grid(std::vector<double> times) const {
+  return ChainSession(*this, std::move(times), GridSolveOptions{});
+}
+
+}  // namespace gop::san

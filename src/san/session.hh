@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file session.hh
+/// Batched reward evaluation for a generated SAN chain: solve the underlying
+/// CTMC once over a whole time grid (GeneratedChain::solve_grid), then dot
+/// any number of reward structures against the shared solutions. This is the
+/// SAN-layer face of the markov solver sessions (markov/session.hh) and the
+/// building block of the core batched sweep pipeline
+/// (core::PerformabilityAnalyzer::constituents_batch).
+///
+/// Every accessor is bit-identical to the corresponding pointwise
+/// GeneratedChain call at the same time: instant_reward(r, i) ==
+/// chain.instant_reward(r, times[i]) down to the last bit, for both solver
+/// engines. Sessions are immutable after construction and safe to share
+/// across threads.
+
+#include <optional>
+#include <vector>
+
+#include "markov/session.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+
+/// What GeneratedChain::solve_grid should solve for. Instant-of-time rewards
+/// need the transient distributions, interval-of-time rewards the accumulated
+/// occupancies; solving only what the caller will read keeps a
+/// transient-only session at one pass.
+struct GridSolveOptions {
+  bool transient = true;
+  bool accumulated = false;
+  markov::TransientOptions transient_options;
+  markov::AccumulatedOptions accumulated_options;
+};
+
+class ChainSession {
+ public:
+  /// `times` must be sorted non-decreasing (duplicates fine — they share one
+  /// solution). The chain must outlive the session.
+  ChainSession(const GeneratedChain& chain, std::vector<double> times,
+               const GridSolveOptions& options = {});
+
+  const GeneratedChain& chain() const { return *chain_; }
+  size_t time_count() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+
+  bool has_transient() const { return transient_.has_value(); }
+  bool has_accumulated() const { return accumulated_.has_value(); }
+
+  /// Expected instant-of-time reward at times()[i]; bit-identical to
+  /// GeneratedChain::instant_reward at the same time.
+  double instant_reward(const RewardStructure& reward, size_t i) const;
+
+  /// instant_reward at every grid point; the reward vector is built once.
+  std::vector<double> instant_reward_series(const RewardStructure& reward) const;
+
+  /// Expected accumulated reward over [0, times()[i]] (rate part plus
+  /// expected impulse completions); bit-identical to
+  /// GeneratedChain::accumulated_reward.
+  double accumulated_reward(const RewardStructure& reward, size_t i) const;
+
+  /// accumulated_reward at every grid point.
+  std::vector<double> accumulated_reward_series(const RewardStructure& reward) const;
+
+  /// Probability of a predicate marking at times()[i]; bit-identical to
+  /// GeneratedChain::transient_probability.
+  double transient_probability(const Predicate& predicate, size_t i) const;
+
+  /// The underlying solver sessions; throw gop::InvalidArgument when the
+  /// corresponding part was not requested in GridSolveOptions.
+  const markov::TransientSession& transient_session() const;
+  const markov::AccumulatedSession& accumulated_session() const;
+
+ private:
+  const GeneratedChain* chain_;
+  std::vector<double> times_;
+  std::optional<markov::TransientSession> transient_;
+  std::optional<markov::AccumulatedSession> accumulated_;
+};
+
+}  // namespace gop::san

@@ -194,8 +194,13 @@ double GeneratedChain::instant_reward(const RewardStructure& reward, double t,
 
 double GeneratedChain::accumulated_reward(const RewardStructure& reward, double t,
                                           const markov::AccumulatedOptions& options) const {
+  return accumulated_reward_over(reward, markov::accumulated_occupancy(ctmc_, t, options));
+}
+
+double GeneratedChain::accumulated_reward_over(const RewardStructure& reward,
+                                               const std::vector<double>& occupancy) const {
   require_timed_impulses(reward);
-  const std::vector<double> occupancy = markov::accumulated_occupancy(ctmc_, t, options);
+  GOP_REQUIRE(occupancy.size() == states_.size(), "occupancy vector length mismatch");
   double total = linalg::dot(occupancy, rate_reward_vector(reward));
   if (reward.has_impulses()) total += impulse_flux(reward, occupancy);
   return total;

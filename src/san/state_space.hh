@@ -20,6 +20,9 @@
 
 namespace gop::san {
 
+class ChainSession;       // san/session.hh
+struct GridSolveOptions;  // san/session.hh
+
 struct GenerationOptions {
   /// Hard cap on tangible states (explosion guard).
   size_t max_states = 1'000'000;
@@ -57,6 +60,20 @@ class GeneratedChain {
   /// (an impulse on an instantaneous activity raises gop::InvalidArgument).
   double accumulated_reward(const RewardStructure& reward, double t,
                             const markov::AccumulatedOptions& options = {}) const;
+
+  /// Assembles the accumulated reward from an already-solved occupancy vector
+  /// L(t) (rate part plus impulse flux). This is the shared back half of
+  /// accumulated_reward; the session layer (san/session.hh) uses it to dot
+  /// many reward structures against one occupancy solve.
+  double accumulated_reward_over(const RewardStructure& reward,
+                                 const std::vector<double>& occupancy) const;
+
+  /// Solves the chain once over a sorted time grid and returns a session for
+  /// evaluating any number of reward structures against that one solve; see
+  /// san/session.hh. By default only transient distributions are solved; pass
+  /// GridSolveOptions to add (or restrict to) accumulated occupancies.
+  ChainSession solve_grid(std::vector<double> times, const GridSolveOptions& options) const;
+  ChainSession solve_grid(std::vector<double> times) const;
 
   /// Expected steady-state reward: rate part plus steady-state impulse flux
   /// (impulses per unit time). Requires an irreducible chain.

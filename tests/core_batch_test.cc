@@ -1,0 +1,184 @@
+// Tests for the batched performability pipeline: constituents_batch /
+// evaluate_batch bit-identity with the pointwise path at every thread count
+// (sorted, unsorted and duplicated phi grids), and the solver-invocation
+// accounting that proves the session amortization — one chain solve per
+// (chain, t) however many measures read it, and one uniformization pass per
+// chain per sweep.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "markov/solver_stats.hh"
+
+namespace gop::core {
+namespace {
+
+const PerformabilityAnalyzer& table3_analyzer() {
+  static const PerformabilityAnalyzer analyzer(GsuParameters::table3());
+  return analyzer;
+}
+
+void expect_same_bits(double got, double want, const char* field, double phi) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+      << field << " at phi=" << phi << ": " << got << " vs " << want;
+}
+
+void expect_same_measures(const ConstituentMeasures& got, const ConstituentMeasures& want,
+                          double phi) {
+  expect_same_bits(got.p_a1_phi, want.p_a1_phi, "p_a1_phi", phi);
+  expect_same_bits(got.i_h, want.i_h, "i_h", phi);
+  expect_same_bits(got.i_tau_h, want.i_tau_h, "i_tau_h", phi);
+  expect_same_bits(got.i_hf, want.i_hf, "i_hf", phi);
+  expect_same_bits(got.i_tau_h_literal, want.i_tau_h_literal, "i_tau_h_literal", phi);
+  expect_same_bits(got.rho1, want.rho1, "rho1", phi);
+  expect_same_bits(got.rho2, want.rho2, "rho2", phi);
+  expect_same_bits(got.p_nd_theta, want.p_nd_theta, "p_nd_theta", phi);
+  expect_same_bits(got.p_nd_rest, want.p_nd_rest, "p_nd_rest", phi);
+  expect_same_bits(got.i_f, want.i_f, "i_f", phi);
+}
+
+TEST(Batch, MatchesPointwiseAtEveryThreadCount) {
+  const std::vector<double> phis = linspace(0.0, 10000.0, 41);
+  std::vector<ConstituentMeasures> pointwise;
+  pointwise.reserve(phis.size());
+  for (double phi : phis) pointwise.push_back(table3_analyzer().constituents(phi));
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const std::vector<ConstituentMeasures> batch =
+        table3_analyzer().constituents_batch(phis, threads);
+    ASSERT_EQ(batch.size(), phis.size()) << "threads=" << threads;
+    for (size_t i = 0; i < phis.size(); ++i) {
+      expect_same_measures(batch[i], pointwise[i], phis[i]);
+    }
+  }
+}
+
+TEST(Batch, UnsortedInputComesBackInInputOrder) {
+  const std::vector<double> phis{7000.0, 0.0, 10000.0, 2500.0, 2500.0, 1.0};
+  for (size_t threads : {1u, 4u}) {
+    const std::vector<ConstituentMeasures> batch =
+        table3_analyzer().constituents_batch(phis, threads);
+    ASSERT_EQ(batch.size(), phis.size());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      expect_same_measures(batch[i], table3_analyzer().constituents(phis[i]), phis[i]);
+    }
+  }
+}
+
+TEST(Batch, EvaluateBatchMatchesEvaluate) {
+  const std::vector<double> phis = linspace(0.0, 10000.0, 9);
+  for (size_t threads : {1u, 4u}) {
+    const std::vector<PerformabilityResult> batch =
+        table3_analyzer().evaluate_batch(phis, threads);
+    ASSERT_EQ(batch.size(), phis.size());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      const PerformabilityResult r = table3_analyzer().evaluate(phis[i]);
+      expect_same_bits(batch[i].y, r.y, "y", phis[i]);
+      expect_same_bits(batch[i].y_s1, r.y_s1, "y_s1", phis[i]);
+      expect_same_bits(batch[i].y_s2, r.y_s2, "y_s2", phis[i]);
+      expect_same_bits(batch[i].gamma, r.gamma, "gamma", phis[i]);
+      expect_same_bits(batch[i].e_w0, r.e_w0, "e_w0", phis[i]);
+      expect_same_bits(batch[i].e_wphi, r.e_wphi, "e_wphi", phis[i]);
+    }
+  }
+}
+
+TEST(Batch, EmptyBatchAndRangeValidation) {
+  EXPECT_TRUE(table3_analyzer().constituents_batch({}).empty());
+  const std::vector<double> below{-1.0};
+  const std::vector<double> above{10001.0};
+  EXPECT_THROW(table3_analyzer().constituents_batch(below), InvalidArgument);
+  EXPECT_THROW(table3_analyzer().constituents_batch(above), InvalidArgument);
+}
+
+TEST(SolverAccounting, EvaluateSolvesEachChainOnce) {
+  const PerformabilityAnalyzer& analyzer = table3_analyzer();
+  auto& stats = markov::solver_stats();
+
+  // One evaluation = four chain solves (RMGd distribution, RMGd occupancy,
+  // RMNd-new, RMNd-old), shared across every measure that reads them.
+  stats.reset();
+  analyzer.evaluate(2500.0);
+  EXPECT_EQ(stats.matrix_exponentials.load(), 4u);
+
+  // At phi = 0 both RMGd solves are free (t = 0), leaving the two RMNd ones.
+  stats.reset();
+  analyzer.evaluate(0.0);
+  EXPECT_EQ(stats.matrix_exponentials.load(), 2u);
+
+  // The per-measure cost this replaced: one solver run per measure — four
+  // RMGd distributions, two RMGd occupancies, two RMNd distributions.
+  stats.reset();
+  const auto& gd = analyzer.rm_gd();
+  analyzer.gd_chain().instant_reward(gd.reward_p_a1(), 2500.0);
+  analyzer.gd_chain().instant_reward(gd.reward_ih(), 2500.0);
+  analyzer.gd_chain().instant_reward(gd.reward_ihf(), 2500.0);
+  analyzer.gd_chain().instant_reward(gd.reward_detected(), 2500.0);
+  analyzer.gd_chain().accumulated_reward(gd.reward_itauh(), 2500.0);
+  analyzer.gd_chain().accumulated_reward(gd.reward_detected(), 2500.0);
+  analyzer.nd_new_chain().instant_reward(analyzer.rm_nd_new().reward_no_failure(), 7500.0);
+  analyzer.nd_old_chain().instant_reward(analyzer.rm_nd_old().reward_no_failure(), 7500.0);
+  EXPECT_EQ(stats.matrix_exponentials.load(), 8u);
+}
+
+TEST(SolverAccounting, UniformizationSweepIsOnePassPerChain) {
+  // Force uniformization everywhere. The RMGd and RMNd chains carry the
+  // message rate lambda = 1200/h, so shrink the mission time to keep
+  // Lambda*t within the solver's budget at every solve (including the
+  // constructor's P(X''_theta) solve at t = theta).
+  AnalyzerOptions options;
+  options.transient.method = markov::TransientMethod::kUniformization;
+  options.accumulated.method = markov::AccumulatedMethod::kUniformization;
+  GsuParameters params = GsuParameters::table3();
+  params.theta = 400.0;
+  const PerformabilityAnalyzer analyzer(params, options);
+  const std::vector<double> phis{50.0, 100.0, 200.0};
+  auto& stats = markov::solver_stats();
+
+  stats.reset();
+  const std::vector<ConstituentMeasures> batch = analyzer.constituents_batch(phis, 1);
+  EXPECT_EQ(stats.uniformization_passes.load(), 4u);  // one per chain, whole grid
+
+  stats.reset();
+  std::vector<ConstituentMeasures> pointwise;
+  for (double phi : phis) pointwise.push_back(analyzer.constituents(phi));
+  EXPECT_EQ(stats.uniformization_passes.load(), 4u * phis.size());
+
+  for (size_t i = 0; i < phis.size(); ++i) {
+    expect_same_measures(batch[i], pointwise[i], phis[i]);
+  }
+}
+
+TEST(SolverAccounting, OptimizerNeverResolvesAnEvaluatedPoint) {
+  OptimizeOptions options;
+  options.grid_points = 11;
+  options.phi_tolerance = 5.0;
+  const PerformabilityAnalyzer& analyzer = table3_analyzer();  // construct before reset
+  auto& stats = markov::solver_stats();
+
+  stats.reset();
+  const OptimalPhi best = find_optimal_phi(analyzer, options);
+  const uint64_t solves = stats.matrix_exponentials.load();
+
+  // Grid scan: 9 interior points at 4 solves each, plus 2 at each endpoint
+  // (phi = 0 frees the RMGd solves, phi = theta the RMNd ones) = 40.
+  // Golden-section on the 2000-hour bracket to a 5-hour tolerance needs 15
+  // probes at 4 solves each; anything above 40 + 60 means a phi was solved
+  // twice (the bug this bounds: re-solving grid points or a final midpoint).
+  EXPECT_EQ(solves % 4, 0u);
+  EXPECT_LE(solves, 100u);
+  EXPECT_GE(solves, 60u);
+
+  // The reported optimum is a point that was actually evaluated.
+  expect_same_bits(table3_analyzer().evaluate(best.phi).y, best.y, "best.y", best.phi);
+  EXPECT_GT(best.phi, 6000.0);
+  EXPECT_LT(best.phi, 8000.0);
+}
+
+}  // namespace
+}  // namespace gop::core

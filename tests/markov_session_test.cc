@@ -1,0 +1,189 @@
+// Tests for the solver sessions (markov/session.hh): bit-identity with the
+// pointwise solvers on both engines, grid validation, duplicate and
+// near-coincident time handling, the memory-cap fallback, and the
+// solver-invocation counters that prove the amortization. (This file also
+// exercises the umbrella header, which it includes in place of individual
+// headers.)
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "gop.hh"
+
+namespace gop::markov {
+namespace {
+
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+void expect_same_bits(const std::vector<double>& got, const std::vector<double>& want,
+                      double t) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t s = 0; s < got.size(); ++s) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(got[s]), std::bit_cast<uint64_t>(want[s]))
+        << "state " << s << " at t=" << t << ": " << got[s] << " vs " << want[s];
+  }
+}
+
+/// Zero, exact duplicates, and a pair one ulp apart — the grid shapes the
+/// sharing logic has to keep bit-exact.
+std::vector<double> tricky_grid() {
+  return {0.0,  0.0, 0.25, 0.5, 0.5, std::nextafter(0.5, 1.0),
+          0.75, 1.0, 2.5,  2.5};
+}
+
+TEST(TransientSession, DenseMatchesPointwiseBitForBit) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  const std::vector<double> times = tricky_grid();
+  const TransientSession session(chain, times);  // 2 states => dense engine
+  ASSERT_EQ(session.time_count(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.distribution_at(i), transient_distribution(chain, times[i]),
+                     times[i]);
+  }
+}
+
+TEST(TransientSession, UniformizationMatchesPointwiseBitForBit) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  const std::vector<double> times = tricky_grid();
+  const TransientSession session(chain, times, options);
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.distribution_at(i),
+                     transient_distribution(chain, times[i], options), times[i]);
+  }
+}
+
+TEST(TransientSession, SteadyStateDetectionReplayMatches) {
+  // At t = 50 the Poisson window is far beyond the point where this chain's
+  // DTMC iterates converge, so both the shared-sequence build and the
+  // pointwise loop take their steady-state shortcut — and must agree.
+  const Ctmc chain = two_state(2.0, 5.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  const std::vector<double> times{0.1, 5.0, 50.0};
+  const TransientSession session(chain, times, options);
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.distribution_at(i),
+                     transient_distribution(chain, times[i], options), times[i]);
+  }
+}
+
+TEST(AccumulatedSession, AugmentedExponentialMatchesPointwiseBitForBit) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  const std::vector<double> times = tricky_grid();
+  const AccumulatedSession session(chain, times);
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.occupancy_at(i), accumulated_occupancy(chain, times[i]),
+                     times[i]);
+  }
+}
+
+TEST(AccumulatedSession, UniformizationMatchesPointwiseBitForBit) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  AccumulatedOptions options;
+  options.method = AccumulatedMethod::kUniformization;
+  const std::vector<double> times = tricky_grid();
+  const AccumulatedSession session(chain, times, options);
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.occupancy_at(i),
+                     accumulated_occupancy(chain, times[i], options), times[i]);
+  }
+}
+
+TEST(TransientSession, RewardAccessorsMatchPointwise) {
+  const Ctmc chain = two_state(1.0, 3.0);
+  const std::vector<double> reward{2.0, -1.0};
+  const std::vector<double> times{0.0, 0.5, 1.0, 4.0};
+  const TransientSession session(chain, times);
+  const std::vector<double> series = session.reward_series(reward);
+  ASSERT_EQ(series.size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    const double pointwise = transient_reward(chain, reward, times[i]);
+    EXPECT_EQ(std::bit_cast<uint64_t>(session.reward_at(i, reward)),
+              std::bit_cast<uint64_t>(pointwise));
+    EXPECT_EQ(std::bit_cast<uint64_t>(series[i]), std::bit_cast<uint64_t>(pointwise));
+  }
+}
+
+TEST(AccumulatedSession, RewardAccessorsMatchPointwise) {
+  const Ctmc chain = two_state(1.0, 3.0);
+  const std::vector<double> reward{2.0, -1.0};
+  const std::vector<double> times{0.0, 0.5, 1.0, 4.0};
+  const AccumulatedSession session(chain, times);
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(session.reward_at(i, reward)),
+              std::bit_cast<uint64_t>(accumulated_reward(chain, reward, times[i])));
+  }
+}
+
+TEST(Session, EmptyGridGivesEmptySession) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_EQ(TransientSession(chain, {}).time_count(), 0u);
+  EXPECT_EQ(AccumulatedSession(chain, {}).time_count(), 0u);
+}
+
+TEST(Session, InvalidGridsThrow) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(TransientSession(chain, {1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW(TransientSession(chain, {-1.0, 0.5}), InvalidArgument);
+  EXPECT_THROW(AccumulatedSession(chain, {1.0, 0.5}), InvalidArgument);
+  const TransientSession session(chain, {0.5});
+  EXPECT_THROW(session.distribution_at(1), InvalidArgument);
+  EXPECT_THROW(session.time_at(1), InvalidArgument);
+}
+
+TEST(SolverStats, UniformizationSessionIsOnePassPerGrid) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  const std::vector<double> times{0.25, 0.5, 0.75, 1.0, 2.5};
+
+  solver_stats().reset();
+  const TransientSession session(chain, times, options);
+  EXPECT_EQ(solver_stats().uniformization_passes.load(), 1u);
+  EXPECT_EQ(solver_stats().transient_sessions.load(), 1u);
+
+  solver_stats().reset();
+  for (double t : times) transient_distribution(chain, t, options);
+  EXPECT_EQ(solver_stats().uniformization_passes.load(), times.size());
+}
+
+TEST(SolverStats, MemoryCapFallsBackToPerTimeSolves) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  options.uniformization.max_session_doubles = 1;  // force the fallback
+  const std::vector<double> times{0.0, 0.25, 0.5, 0.5, 1.0};
+
+  solver_stats().reset();
+  const TransientSession session(chain, times, options);
+  // One pass per *distinct nonzero* time (0 is free, the duplicate shares).
+  EXPECT_EQ(solver_stats().uniformization_passes.load(), 3u);
+  for (size_t i = 0; i < times.size(); ++i) {
+    expect_same_bits(session.distribution_at(i),
+                     transient_distribution(chain, times[i], options), times[i]);
+  }
+}
+
+TEST(SolverStats, DenseSessionSolvesDistinctTimesOnce) {
+  const Ctmc chain = two_state(2.0, 5.0);
+  const std::vector<double> times{0.0, 0.5, 0.5, 1.0};
+
+  solver_stats().reset();
+  const TransientSession transient(chain, times);
+  EXPECT_EQ(solver_stats().matrix_exponentials.load(), 2u);
+
+  solver_stats().reset();
+  const AccumulatedSession accumulated(chain, times);
+  EXPECT_EQ(solver_stats().matrix_exponentials.load(), 2u);
+  EXPECT_EQ(solver_stats().accumulated_sessions.load(), 1u);
+}
+
+}  // namespace
+}  // namespace gop::markov

@@ -1,0 +1,143 @@
+// Tests for GeneratedChain::solve_grid / ChainSession (san/session.hh):
+// bit-identity with the pointwise GeneratedChain reward calls on both solver
+// engines, impulse rewards through the shared occupancy solve, and the
+// transient/accumulated gating.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "san/expr.hh"
+#include "san/session.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+/// A simple cyclic two-place SAN: token moves a <-> b.
+struct TogglePair {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+
+  TogglePair(double forward = 2.0, double backward = 3.0) {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(forward),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(backward),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+  }
+};
+
+void expect_same_bits(double got, double want, double t) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+      << "at t=" << t << ": " << got << " vs " << want;
+}
+
+const std::vector<double> kTimes{0.0, 0.1, 0.4, 0.4, 2.0};
+
+TEST(ChainSession, InstantRewardMatchesPointwiseBitForBit) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 2.5);
+  reward.add(always(), 0.5);
+
+  const ChainSession session = chain.solve_grid(kTimes);
+  const std::vector<double> series = session.instant_reward_series(reward);
+  for (size_t i = 0; i < kTimes.size(); ++i) {
+    const double pointwise = chain.instant_reward(reward, kTimes[i]);
+    expect_same_bits(session.instant_reward(reward, i), pointwise, kTimes[i]);
+    expect_same_bits(series[i], pointwise, kTimes[i]);
+    expect_same_bits(session.transient_probability(has_tokens(toggle.a), i),
+                     chain.transient_probability(has_tokens(toggle.a), kTimes[i]), kTimes[i]);
+  }
+}
+
+TEST(ChainSession, AccumulatedRewardMatchesPointwiseBitForBit) {
+  TogglePair toggle;
+  const ActivityRef fwd_ref = toggle.model.timed_ref(0);
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure rate_reward;
+  rate_reward.add(has_tokens(toggle.b), 1.0);
+  RewardStructure impulse_reward;
+  impulse_reward.add_impulse(fwd_ref, 1.0);
+
+  GridSolveOptions options;
+  options.accumulated = true;
+  const ChainSession session = chain.solve_grid(kTimes, options);
+  const std::vector<double> series = session.accumulated_reward_series(impulse_reward);
+  for (size_t i = 0; i < kTimes.size(); ++i) {
+    expect_same_bits(session.accumulated_reward(rate_reward, i),
+                     chain.accumulated_reward(rate_reward, kTimes[i]), kTimes[i]);
+    const double pointwise = chain.accumulated_reward(impulse_reward, kTimes[i]);
+    expect_same_bits(session.accumulated_reward(impulse_reward, i), pointwise, kTimes[i]);
+    expect_same_bits(series[i], pointwise, kTimes[i]);
+  }
+}
+
+TEST(ChainSession, UniformizationEngineMatchesPointwiseBitForBit) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(has_tokens(toggle.a), 1.0);
+
+  GridSolveOptions options;
+  options.accumulated = true;
+  options.transient_options.method = markov::TransientMethod::kUniformization;
+  options.accumulated_options.method = markov::AccumulatedMethod::kUniformization;
+  const ChainSession session = chain.solve_grid(kTimes, options);
+  for (size_t i = 0; i < kTimes.size(); ++i) {
+    expect_same_bits(session.instant_reward(reward, i),
+                     chain.instant_reward(reward, kTimes[i], options.transient_options),
+                     kTimes[i]);
+    expect_same_bits(session.accumulated_reward(reward, i),
+                     chain.accumulated_reward(reward, kTimes[i], options.accumulated_options),
+                     kTimes[i]);
+  }
+}
+
+TEST(ChainSession, PartsNotRequestedThrow) {
+  TogglePair toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  RewardStructure reward;
+  reward.add(always(), 1.0);
+
+  const ChainSession transient_only = chain.solve_grid({0.5});
+  EXPECT_TRUE(transient_only.has_transient());
+  EXPECT_FALSE(transient_only.has_accumulated());
+  EXPECT_THROW(transient_only.accumulated_reward(reward, 0), InvalidArgument);
+
+  GridSolveOptions accumulated_only;
+  accumulated_only.transient = false;
+  accumulated_only.accumulated = true;
+  const ChainSession session = chain.solve_grid({0.5}, accumulated_only);
+  EXPECT_THROW(session.instant_reward(reward, 0), InvalidArgument);
+  EXPECT_NO_THROW(session.accumulated_reward(reward, 0));
+
+  GridSolveOptions neither;
+  neither.transient = false;
+  EXPECT_THROW(chain.solve_grid({0.5}, neither), InvalidArgument);
+}
+
+TEST(ChainSession, ImpulseOnInstantaneousActivityRejected) {
+  SanModel m("impulse_inst");
+  const PlaceRef a = m.add_place("a", 1);
+  const PlaceRef b = m.add_place("b");
+  m.add_timed_activity("t", has_tokens(a), constant_rate(1.0),
+                       sequence({add_mark(a, -1), add_mark(b, 1)}));
+  const ActivityRef inst = m.add_instantaneous_activity(
+      "i", [](const Marking&) { return false; }, no_effect());
+  const GeneratedChain chain = generate_state_space(m);
+  RewardStructure reward;
+  reward.add_impulse(inst, 1.0);
+
+  GridSolveOptions options;
+  options.accumulated = true;
+  const ChainSession session = chain.solve_grid({1.0}, options);
+  EXPECT_THROW(session.accumulated_reward(reward, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gop::san

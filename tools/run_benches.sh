@@ -5,6 +5,8 @@
 #   BENCH_solver.json   — solver engine micro-benchmarks (bench_solver_perf)
 #   BENCH_scaling.json  — parallel scaling of sweeps + Monte Carlo
 #                         (bench_parallel_scaling at 1/2/4/8 threads)
+#   BENCH_sweep.json    — pointwise (per-measure) vs session-batched phi-sweep
+#                         (bench_sweep_batch; batched arm at 1/2/4/8 threads)
 #
 # Usage: tools/run_benches.sh [build-dir]      (default: build)
 # The build dir must already contain compiled bench binaries.
@@ -15,7 +17,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${BUILD_DIR:-build}}"
 bench_dir="$root/$build_dir/bench"
 
-for binary in bench_solver_perf bench_parallel_scaling; do
+for binary in bench_solver_perf bench_parallel_scaling bench_sweep_batch; do
   if [[ ! -x "$bench_dir/$binary" ]]; then
     echo "error: $bench_dir/$binary not found; build first:" >&2
     echo "  cmake -B $build_dir -S $root && cmake --build $build_dir -j" >&2
@@ -30,6 +32,10 @@ echo "== bench_solver_perf -> BENCH_solver.json"
 echo "== bench_parallel_scaling -> BENCH_scaling.json"
 "$bench_dir/bench_parallel_scaling" \
   --benchmark_out="$root/BENCH_scaling.json" --benchmark_out_format=json
+
+echo "== bench_sweep_batch -> BENCH_sweep.json"
+"$bench_dir/bench_sweep_batch" \
+  --benchmark_out="$root/BENCH_sweep.json" --benchmark_out_format=json
 
 # Speedup summary: real_time(threads:1) / real_time(threads:T) per benchmark
 # family, straight from the JSON this run just wrote.
@@ -58,4 +64,31 @@ for family, times in sorted(families.items()):
 PY
 fi
 
-echo "done: $root/BENCH_solver.json $root/BENCH_scaling.json"
+# Pointwise-vs-batched summary: single-thread win of the session pipeline and
+# the batched arm's thread scaling, from the JSON this run just wrote.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$root/BENCH_sweep.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    data = json.load(fh)
+
+pointwise = None
+batched = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]            # BM_SweepPerMeasure41/real_time, BM_SweepBatched41/4/real_time
+    parts = name.split("/")
+    if parts[0] == "BM_SweepPerMeasure41":
+        pointwise = b["real_time"]
+    elif parts[0] == "BM_SweepBatched41" and len(parts) > 1 and parts[1].isdigit():
+        batched[int(parts[1])] = b["real_time"]
+
+if pointwise is not None and batched:
+    print("\npointwise (per-measure) vs session-batched 41-point sweep:")
+    print(f"  pointwise 1T: {pointwise:.2f} ms")
+    for t in sorted(batched):
+        print(f"  batched  {t}T: {batched[t]:.2f} ms  ({pointwise / batched[t]:.2f}x vs pointwise)")
+PY
+fi
+
+echo "done: $root/BENCH_solver.json $root/BENCH_scaling.json $root/BENCH_sweep.json"
