@@ -69,15 +69,16 @@ int main() {
     }
     const double n = static_cast<double>(runs);
     TextTable table({"verdict class at phi", "protocol", "RMGd"});
-    table.begin_row().add("A'1  (no verdict)").add_double(a1 / n, 5).add_double(m.p_a1_phi, 5);
-    table.begin_row().add("A'3  (detected, alive)").add_double(a3 / n, 5).add_double(m.i_h, 5);
+    const auto frac = [n](size_t count) { return static_cast<double>(count) / n; };
+    table.begin_row().add("A'1  (no verdict)").add_double(frac(a1), 5).add_double(m.p_a1_phi, 5);
+    table.begin_row().add("A'3  (detected, alive)").add_double(frac(a3), 5).add_double(m.i_h, 5);
     table.begin_row()
         .add("detected then failed")
-        .add_double(detected_failed / n, 5)
+        .add_double(frac(detected_failed), 5)
         .add_double(m.i_hf, 5);
     table.begin_row()
         .add("A'4  (failed undetected)")
-        .add_double(a4 / n, 5)
+        .add_double(frac(a4), 5)
         .add_double(1.0 - m.p_a1_phi - m.i_h - m.i_hf, 5);
     std::fputs(table.to_string().c_str(), stdout);
     std::printf("(phi = %.0f h on the compressed mission, %zu runs)\n\n", phi, runs);

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "lint/lint.hh"
 #include "par/parallel_for.hh"
 #include "san/session.hh"
 #include "util/error.hh"
@@ -25,6 +26,13 @@ PerformabilityAnalyzer::PerformabilityAnalyzer(const GsuParameters& params,
       nd_new_chain_(san::generate_state_space(nd_new_.model)),
       nd_old_chain_(san::generate_state_space(nd_old_.model)) {
   params_.validate();
+
+  // The structural half of the lint gate runs once, before the first solve:
+  // a malformed constituent model fails here with a findings report instead
+  // of a throw (or NaN) from inside a steady-state or transient solver.
+  if (options_.preflight) {
+    structural_report().throw_if_errors("PerformabilityAnalyzer preflight");
+  }
 
   rho1_ = options_.override_rho1.value_or(
       1.0 - gp_chain_.steady_state_reward(gp_.reward_overhead_p1n(), options_.steady_state));
@@ -49,6 +57,9 @@ std::vector<ConstituentMeasures> PerformabilityAnalyzer::constituents_batch(
   const size_t n = phis.size();
   std::vector<ConstituentMeasures> out(n);
   if (n == 0) return out;
+  if (options_.preflight) {
+    grid_report(phis).throw_if_errors("PerformabilityAnalyzer preflight");
+  }
   for (double phi : phis) {
     GOP_REQUIRE(phi >= 0.0 && phi <= params_.theta,
                 str_format("phi = %g must lie in [0, theta = %g]", phi, params_.theta));
@@ -159,6 +170,75 @@ std::vector<ConstituentMeasures> PerformabilityAnalyzer::constituents_batch(
 
 PerformabilityResult PerformabilityAnalyzer::evaluate(double phi) const {
   return assemble(phi, constituents(phi));
+}
+
+lint::Report PerformabilityAnalyzer::lint_report(std::span<const double> phis) const {
+  lint::Report report = structural_report();
+  report.merge(grid_report(phis));
+  return report;
+}
+
+lint::Report PerformabilityAnalyzer::structural_report() const {
+  lint::Report report;
+
+  report.merge(lint::lint_model(gd_.model));
+  report.merge(lint::lint_model(gp_.model));
+  report.merge(lint::lint_model(nd_new_.model));
+  report.merge(lint::lint_model(nd_old_.model));
+
+  report.merge(lint::lint_chain(gd_chain_));
+  report.merge(lint::lint_chain(gp_chain_));
+  report.merge(lint::lint_chain(nd_new_chain_));
+  report.merge(lint::lint_chain(nd_old_chain_));
+
+  for (const san::RewardStructure& reward :
+       {gd_.reward_p_a1(), gd_.reward_ih(), gd_.reward_ihf(), gd_.reward_itauh(),
+        gd_.reward_detected()}) {
+    report.merge(lint::lint_reward(gd_chain_, reward));
+  }
+  for (const san::RewardStructure& reward : {gp_.reward_overhead_p1n(), gp_.reward_overhead_p2()}) {
+    report.merge(lint::lint_reward(gp_chain_, reward));
+  }
+  report.merge(lint::lint_reward(nd_new_chain_, nd_new_.reward_no_failure()));
+  report.merge(lint::lint_reward(nd_old_chain_, nd_old_.reward_no_failure()));
+
+  // rho1/rho2 come from an RMGp steady-state solve (unless overridden).
+  if (!options_.override_rho1 || !options_.override_rho2) {
+    report.merge(lint::preflight_steady_state(gp_chain_.ctmc(), options_.steady_state,
+                                              gp_.model.name()));
+  }
+
+  // P(X''_theta in A''1) comes from an RMNd-new transient solve at theta,
+  // run once by the constructor itself.
+  const double theta = params_.theta;
+  report.merge(lint::preflight_transient(nd_new_chain_.ctmc(),
+                                         std::span<const double>(&theta, 1), options_.transient,
+                                         nd_new_.model.name()));
+  return report;
+}
+
+lint::Report PerformabilityAnalyzer::grid_report(std::span<const double> phis) const {
+  lint::Report report;
+  if (phis.empty()) return report;
+
+  // The grids constituents_batch() actually solves: RMGd transient and
+  // accumulated at phi, the RMNd chains transient at theta - phi (plus theta
+  // for the constructor's P(X''_theta in A''1) solve).
+  std::vector<double> gd_times(phis.begin(), phis.end());
+  std::vector<double> nd_times;
+  nd_times.reserve(phis.size() + 1);
+  for (double phi : phis) nd_times.push_back(params_.theta - phi);
+  nd_times.push_back(params_.theta);
+
+  report.merge(lint::preflight_transient(gd_chain_.ctmc(), gd_times, options_.transient,
+                                         gd_.model.name()));
+  report.merge(lint::preflight_accumulated(gd_chain_.ctmc(), gd_times, options_.accumulated,
+                                           gd_.model.name()));
+  report.merge(lint::preflight_transient(nd_new_chain_.ctmc(), nd_times, options_.transient,
+                                         nd_new_.model.name()));
+  report.merge(lint::preflight_transient(nd_old_chain_.ctmc(), nd_times, options_.transient,
+                                         nd_old_.model.name()));
+  return report;
 }
 
 std::vector<PerformabilityResult> PerformabilityAnalyzer::evaluate_batch(

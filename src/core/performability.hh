@@ -30,6 +30,7 @@
 #include "core/rm_gd.hh"
 #include "core/rm_gp.hh"
 #include "core/rm_nd.hh"
+#include "lint/finding.hh"
 #include "markov/accumulated.hh"
 #include "markov/steady_state.hh"
 #include "markov/transient.hh"
@@ -85,6 +86,14 @@ struct AnalyzerOptions {
   /// label curves by (rho1, rho2) directly).
   std::optional<double> override_rho1;
   std::optional<double> override_rho2;
+
+  /// Runs the gop::lint battery as a gate: the structural checks (model,
+  /// chain, reward) once at construction, and the solver preflight on every
+  /// evaluate()/evaluate_batch()/constituents() grid. Error-severity findings
+  /// raise gop::ModelError carrying the report — a diagnostic up front
+  /// instead of NaNs or a throw from deep inside a solver. Warnings and info
+  /// findings never block; read them via lint_report().
+  bool preflight = false;
 
   markov::TransientOptions transient;
   markov::AccumulatedOptions accumulated;
@@ -143,6 +152,14 @@ class PerformabilityAnalyzer {
   std::vector<PerformabilityResult> evaluate_batch(std::span<const double> phis,
                                                    size_t threads = 1) const;
 
+  /// The full static-analysis battery (see docs/static-analysis.md) over the
+  /// four constituent models/chains, their reward structures, and the solver
+  /// grids a sweep over `phis` would run: RMGd transient+accumulated at phi,
+  /// RMNd transient at theta-phi and theta, RMGp steady state. Pass an empty
+  /// span to check only the phi-independent parts. Never throws on findings;
+  /// callers decide what severity gates.
+  lint::Report lint_report(std::span<const double> phis = {}) const;
+
   /// Underlying models and chains, for diagnostics, benches and tests.
   const RmGd& rm_gd() const { return gd_; }
   const RmGp& rm_gp() const { return gp_; }
@@ -157,6 +174,14 @@ class PerformabilityAnalyzer {
   /// Scalar assembly of Eq 1/6/8/14/15/16/21 from already-solved measures;
   /// the shared back half of evaluate() and evaluate_batch().
   PerformabilityResult assemble(double phi, const ConstituentMeasures& measures) const;
+
+  /// The phi-independent half of lint_report(): model, chain and reward
+  /// checks plus the RMGp steady-state preflight.
+  lint::Report structural_report() const;
+
+  /// The per-grid half of lint_report(): transient/accumulated preflight for
+  /// the solver grids a sweep over `phis` runs.
+  lint::Report grid_report(std::span<const double> phis) const;
 
   GsuParameters params_;
   AnalyzerOptions options_;

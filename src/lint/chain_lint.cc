@@ -1,0 +1,296 @@
+#include "lint/chain_lint.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "san/lint.hh"
+#include "util/strings.hh"
+
+namespace gop::lint {
+
+namespace {
+
+/// "3 state(s), e.g. 0, 4, 7" — a bounded example list for per-state codes.
+std::string state_examples(const std::vector<size_t>& states, size_t max_examples) {
+  std::string out = str_format("%zu state(s), e.g.", states.size());
+  for (size_t i = 0; i < states.size() && i < max_examples; ++i) {
+    out += (i == 0 ? " " : ", ") + std::to_string(states[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Report lint_generator(const linalg::CsrMatrix& rates, const std::vector<double>& exit_rates,
+                      const std::vector<double>& initial, const std::string& model_name,
+                      const ChainLintOptions& options) {
+  Report report;
+  const size_t n = rates.rows();
+
+  // CHN003: off-diagonal entries must be non-negative finite rates.
+  std::vector<size_t> bad_entry_rows;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+      const double rate = rates.values()[k];
+      if (rate < 0.0 || !std::isfinite(rate)) {
+        bad_entry_rows.push_back(s);
+        break;
+      }
+    }
+  }
+  if (!bad_entry_rows.empty()) {
+    report.add("CHN003", Severity::kError, model_name, "",
+               "negative or non-finite off-diagonal rate in " +
+                   state_examples(bad_entry_rows, options.max_examples),
+               "transition rates must be non-negative and finite; check the rate expressions "
+               "feeding the generator");
+  }
+
+  // CHN002: the diagonal must balance the off-diagonal row sums (Q 1 = 0).
+  if (exit_rates.size() != n) {
+    report.add("CHN002", Severity::kError, model_name, "",
+               str_format("exit-rate vector has %zu entries for %zu states", exit_rates.size(), n),
+               "the generator diagonal must cover every state");
+  } else {
+    std::vector<size_t> unbalanced;
+    for (size_t s = 0; s < n; ++s) {
+      const double row_sum = rates.row_sum(s);
+      const double scale = std::max(1.0, std::abs(exit_rates[s]));
+      if (!(std::abs(row_sum - exit_rates[s]) <= options.row_sum_tolerance * scale)) {
+        unbalanced.push_back(s);
+      }
+    }
+    if (!unbalanced.empty()) {
+      report.add("CHN002", Severity::kError, model_name, "",
+                 "generator row sums do not match the exit rates in " +
+                     state_examples(unbalanced, options.max_examples),
+                 "Q must satisfy Q 1 = 0: the diagonal entry is minus the off-diagonal row sum");
+    }
+  }
+
+  // CHN004: the initial distribution must be a probability vector.
+  if (initial.size() != n) {
+    report.add("CHN004", Severity::kError, model_name, "",
+               str_format("initial distribution has %zu entries for %zu states", initial.size(),
+                          n),
+               "provide one probability per state");
+  } else {
+    double total = 0.0;
+    bool in_range = true;
+    for (double p : initial) {
+      if (!(p >= -options.probability_tolerance && p <= 1.0 + options.probability_tolerance)) {
+        in_range = false;
+      }
+      total += p;
+    }
+    if (!in_range || !(std::abs(total - 1.0) <= 1e-6)) {
+      report.add("CHN004", Severity::kError, model_name, "",
+                 str_format("initial distribution is not a probability vector (sums to %.12g)",
+                            total),
+                 "entries must lie in [0,1] and sum to 1");
+    }
+  }
+
+  // CHN001: every state should be reachable from the initial support.
+  if (initial.size() == n && n > 0) {
+    std::vector<bool> reachable(n, false);
+    std::deque<size_t> frontier;
+    for (size_t s = 0; s < n; ++s) {
+      if (initial[s] > 0.0) {
+        reachable[s] = true;
+        frontier.push_back(s);
+      }
+    }
+    while (!frontier.empty()) {
+      const size_t s = frontier.front();
+      frontier.pop_front();
+      for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+        const size_t target = rates.col_idx()[k];
+        if (rates.values()[k] > 0.0 && !reachable[target]) {
+          reachable[target] = true;
+          frontier.push_back(target);
+        }
+      }
+    }
+    std::vector<size_t> unreachable;
+    for (size_t s = 0; s < n; ++s) {
+      if (!reachable[s]) unreachable.push_back(s);
+    }
+    if (!unreachable.empty()) {
+      report.add("CHN001", Severity::kWarning, model_name, "",
+                 "unreachable from the initial distribution: " +
+                     state_examples(unreachable, options.max_examples),
+                 "unreachable states cannot influence any measure; they usually indicate a "
+                 "mis-specified initial marking or a lumping artifact");
+    }
+  }
+
+  return report;
+}
+
+Report lint_ctmc(const markov::Ctmc& chain, const std::string& model_name,
+                 const ChainLintOptions& options) {
+  Report report = lint_generator(chain.rate_matrix(), chain.exit_rates(),
+                                 chain.initial_distribution(), model_name, options);
+
+  std::vector<size_t> absorbing;
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    if (chain.is_absorbing(s)) absorbing.push_back(s);
+  }
+  if (!absorbing.empty()) {
+    report.add("CHN011", Severity::kInfo, model_name, "",
+               "absorbing " + state_examples(absorbing, options.max_examples),
+               "expected for dependability models; fatal for steady-state analysis (see PRE010)");
+  }
+
+  size_t component_count = 0;
+  const std::vector<size_t> component =
+      san::strongly_connected_components(chain, &component_count);
+  if (component_count > 1) {
+    report.add("CHN012", Severity::kInfo, model_name, "",
+               str_format("chain is not irreducible (%zu strongly connected components over %zu "
+                          "states)",
+                          component_count, chain.state_count()),
+               "steady-state solvers require one communicating class; transient analysis is "
+               "unaffected");
+
+    // Bottom components (no exit) are the recurrent classes.
+    std::vector<bool> has_exit(component_count, false);
+    const linalg::CsrMatrix& rates = chain.rate_matrix();
+    for (size_t s = 0; s < chain.state_count(); ++s) {
+      for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+        if (component[rates.col_idx()[k]] != component[s]) has_exit[component[s]] = true;
+      }
+    }
+    size_t recurrent = 0;
+    for (bool exits : has_exit) {
+      if (!exits) ++recurrent;
+    }
+    if (recurrent > 1) {
+      report.add("CHN013", Severity::kInfo, model_name, "",
+                 str_format("%zu recurrent classes: the long-run behaviour depends on the "
+                            "starting state",
+                            recurrent),
+                 "check whether the model really has competing absorbing fates; steady-state "
+                 "measures are ill-defined across classes");
+    }
+  }
+
+  return report;
+}
+
+Report lint_chain(const san::GeneratedChain& chain, const ChainLintOptions& options) {
+  const std::string& model_name = chain.model().name();
+  Report report = lint_ctmc(chain.ctmc(), model_name, options);
+
+  // CHN010: the legacy diagnose() dead-activity analysis through findings.
+  for (const san::TimedActivity& activity : chain.model().timed_activities()) {
+    bool enabled_somewhere = false;
+    for (const san::Marking& marking : chain.states()) {
+      if (activity.enabled(marking)) {
+        enabled_somewhere = true;
+        break;
+      }
+    }
+    if (!enabled_somewhere) {
+      report.add("CHN010", Severity::kWarning, model_name, activity.name,
+                 "timed activity is enabled in no reachable tangible marking",
+                 "the activity can never fire; check its guard against the reachable markings");
+    }
+  }
+
+  return report;
+}
+
+Report lint_reward(const san::GeneratedChain& chain, const san::RewardStructure& reward,
+                   const ChainLintOptions& options) {
+  (void)options;
+  Report report;
+  const std::string& model_name = chain.model().name();
+  const std::string location = reward.name().empty() ? "reward" : reward.name();
+  const san::SanModel& model = chain.model();
+
+  if (reward.rate_rewards().empty() && !reward.has_impulses()) {
+    report.add("RWD001", Severity::kWarning, model_name, location,
+               "reward structure is empty (identically zero)",
+               "add predicate-rate pairs or impulse rewards");
+    return report;
+  }
+
+  for (size_t i = 0; i < reward.rate_rewards().size(); ++i) {
+    const san::PredicateRate& pair = reward.rate_rewards()[i];
+    bool matched = false;
+    bool finite = true;
+    std::string defect;
+    for (const san::Marking& marking : chain.states()) {
+      try {
+        if (!pair.predicate(marking)) continue;
+        matched = true;
+        const double rate = pair.rate(marking);
+        if (!std::isfinite(rate)) {
+          finite = false;
+          defect = str_format("rate evaluates to %g in marking %s", rate,
+                              marking.to_string().c_str());
+          break;
+        }
+      } catch (const std::exception& e) {
+        finite = false;
+        defect = "expression raised an error in marking " + marking.to_string() + ": " + e.what();
+        break;
+      }
+    }
+    if (!finite) {
+      report.add("RWD002", Severity::kError, model_name, location,
+                 str_format("rate-reward pair #%zu: ", i) + defect,
+                 "reward rates must be finite over every reachable marking the predicate matches");
+    } else if (!matched) {
+      report.add("RWD001", Severity::kWarning, model_name, location,
+                 str_format("rate-reward pair #%zu matches no reachable marking (it contributes "
+                            "nothing)",
+                            i),
+                 "the predicate never holds on the chain; check it against the reachable "
+                 "markings");
+    }
+  }
+
+  // Impulse rewards: only timed activities produce labelled transitions.
+  for (size_t i = 0; i < model.instantaneous_activities().size(); ++i) {
+    if (reward.impulse_of(model.instantaneous_ref(i)) != 0.0) {
+      report.add("RWD004", Severity::kError, model_name, location,
+                 "impulse reward on instantaneous activity '" +
+                     model.instantaneous_activities()[i].name + "'",
+                 "impulse rewards are supported on timed activities only; the solvers reject "
+                 "this structure");
+    }
+  }
+  for (size_t i = 0; i < model.timed_activities().size(); ++i) {
+    const san::ActivityRef ref = model.timed_ref(i);
+    const double impulse = reward.impulse_of(ref);
+    if (impulse == 0.0) continue;
+    if (!std::isfinite(impulse)) {
+      report.add("RWD002", Severity::kError, model_name, location,
+                 "non-finite impulse reward on timed activity '" + model.timed_activities()[i].name +
+                     "'",
+                 "impulse rewards must be finite");
+      continue;
+    }
+    bool labels_transition = false;
+    for (const markov::Transition& tr : chain.ctmc().transitions()) {
+      if (tr.label == static_cast<int>(ref.index)) {
+        labels_transition = true;
+        break;
+      }
+    }
+    if (!labels_transition) {
+      report.add("RWD003", Severity::kWarning, model_name, location,
+                 "impulse reward on timed activity '" + model.timed_activities()[i].name +
+                     "', which completes on no reachable transition",
+                 "the activity never fires (see CHN010/SAN020), so the impulse contributes "
+                 "nothing");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace gop::lint

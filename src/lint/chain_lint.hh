@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file chain_lint.hh
+/// Layer-2 static checks on generated chains (and raw CTMC generator data),
+/// run after state-space generation and before any solver. These absorb the
+/// legacy san::diagnose() analyses — dead activities, absorbing states,
+/// irreducibility / recurrent classes — into the findings API, and add
+/// generator-validity and reward-structure checks.
+///
+/// Check codes (full catalog: docs/static-analysis.md):
+///   CHN002 error   generator row sums do not match the exit rates
+///   CHN003 error   negative or non-finite off-diagonal rate entry
+///   CHN004 error   initial distribution is not a probability vector
+///   CHN001 warning states unreachable from the initial distribution
+///   CHN010 warning timed activity enabled in no reachable tangible marking
+///   CHN011 info    absorbing states present
+///   CHN012 info    chain is not irreducible (expected for dependability
+///                  models; steady-state *misuse* is PRE010/PRE011's job)
+///   CHN013 info    multiple recurrent classes (the long-run behaviour
+///                  depends on the starting state)
+///   RWD002 error   non-finite rate reward at a reachable marking
+///   RWD004 error   impulse reward on an instantaneous activity
+///   RWD001 warning rate-reward predicate holds in no reachable marking
+///   RWD003 warning impulse reward on an activity labelling no transition
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.hh"
+#include "linalg/csr_matrix.hh"
+#include "markov/ctmc.hh"
+#include "san/reward.hh"
+#include "san/state_space.hh"
+
+namespace gop::lint {
+
+struct ChainLintOptions {
+  /// Row-sum consistency tolerance, relative to max(1, exit rate).
+  double row_sum_tolerance = 1e-9;
+  /// Tolerance for the initial distribution to be a probability vector.
+  double probability_tolerance = 1e-9;
+  /// At most this many example states are named per finding.
+  size_t max_examples = 5;
+};
+
+/// Generator-validity checks (CHN001..CHN004) on raw CSR data: `rates` is the
+/// off-diagonal rate matrix, `exit_rates` the diagonal it must be consistent
+/// with, `initial` the initial distribution. The markov::Ctmc constructor
+/// rejects most of these outright — this entry point exists so externally
+/// assembled generators (and tests seeding defects) get the same verdicts as
+/// chains built through the front door.
+Report lint_generator(const linalg::CsrMatrix& rates, const std::vector<double>& exit_rates,
+                      const std::vector<double>& initial, const std::string& model_name,
+                      const ChainLintOptions& options = {});
+
+/// Generator validity plus communication structure (CHN011..CHN013) on a
+/// CTMC.
+Report lint_ctmc(const markov::Ctmc& chain, const std::string& model_name = "",
+                 const ChainLintOptions& options = {});
+
+/// All lint_ctmc checks plus the SAN-aware ones (CHN010) on a generated
+/// chain. This is the findings-API successor of san::diagnose().
+Report lint_chain(const san::GeneratedChain& chain, const ChainLintOptions& options = {});
+
+/// Reward-structure checks (RWD001..RWD004) against a chain's reachable
+/// markings and transition labels.
+Report lint_reward(const san::GeneratedChain& chain, const san::RewardStructure& reward,
+                   const ChainLintOptions& options = {});
+
+}  // namespace gop::lint

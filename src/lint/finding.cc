@@ -1,0 +1,118 @@
+#include "lint/finding.hh"
+
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::lint {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+Report& Report::add(Finding finding) {
+  findings_.push_back(std::move(finding));
+  return *this;
+}
+
+Report& Report::add(std::string code, Severity severity, std::string model, std::string location,
+                    std::string message, std::string hint) {
+  return add(Finding{std::move(code), severity, std::move(model), std::move(location),
+                     std::move(message), std::move(hint)});
+}
+
+Report& Report::merge(Report other) {
+  findings_.insert(findings_.end(), std::make_move_iterator(other.findings_.begin()),
+                   std::make_move_iterator(other.findings_.end()));
+  return *this;
+}
+
+size_t Report::count(Severity severity) const {
+  size_t n = 0;
+  for (const Finding& f : findings_) {
+    if (f.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has_code(const std::string& code) const {
+  for (const Finding& f : findings_) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+std::string Report::to_text() const {
+  if (findings_.empty()) return "no findings\n";
+  std::ostringstream os;
+  for (const Finding& f : findings_) {
+    os << str_format("%-7s %s", severity_name(f.severity), f.code.c_str());
+    if (!f.model.empty() || !f.location.empty()) {
+      os << " [" << f.model;
+      if (!f.location.empty()) os << (f.model.empty() ? "" : "/") << f.location;
+      os << ']';
+    }
+    os << ' ' << f.message << '\n';
+    if (!f.hint.empty()) os << "        hint: " << f.hint << '\n';
+  }
+  os << count(Severity::kError) << " error(s), " << count(Severity::kWarning) << " warning(s), "
+     << count(Severity::kInfo) << " info(s)\n";
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\"findings\":[";
+  for (size_t i = 0; i < findings_.size(); ++i) {
+    const Finding& f = findings_[i];
+    if (i > 0) os << ',';
+    os << "{\"code\":\"" << json_escape(f.code) << "\",\"severity\":\"" << severity_name(f.severity)
+       << "\",\"model\":\"" << json_escape(f.model) << "\",\"location\":\""
+       << json_escape(f.location) << "\",\"message\":\"" << json_escape(f.message)
+       << "\",\"hint\":\"" << json_escape(f.hint) << "\"}";
+  }
+  os << "],\"counts\":{\"error\":" << count(Severity::kError)
+     << ",\"warning\":" << count(Severity::kWarning) << ",\"info\":" << count(Severity::kInfo)
+     << "}}";
+  return os.str();
+}
+
+void Report::throw_if_errors(const std::string& context) const {
+  if (!has_errors()) return;
+  throw ModelError(context + ": static analysis found " + std::to_string(count(Severity::kError)) +
+                   " error(s)\n" + to_text());
+}
+
+}  // namespace gop::lint

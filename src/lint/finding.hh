@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file finding.hh
+/// gop::lint — structured static-analysis findings. Every check in the lint
+/// subsystem (model checks, chain checks, solver preflight) reports through
+/// this API: a stable check code, a severity, the model/location the finding
+/// is about, a message and a fix hint. The catalog of codes lives in
+/// docs/static-analysis.md; the `gop_lint` CLI renders reports as text or
+/// JSON and the PerformabilityAnalyzer's preflight gate turns error-severity
+/// findings into gop::ModelError before any solver runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gop::lint {
+
+enum class Severity {
+  kInfo = 0,     ///< worth knowing, never blocks
+  kWarning = 1,  ///< probably a modeling mistake; solvers still run
+  kError = 2,    ///< the model/solve is unusable; gates fail on these
+};
+
+/// "info" | "warning" | "error".
+const char* severity_name(Severity severity);
+
+struct Finding {
+  std::string code;      ///< stable check id, e.g. "SAN010" (docs/static-analysis.md)
+  Severity severity = Severity::kInfo;
+  std::string model;     ///< model or chain the finding is about ("" when n/a)
+  std::string location;  ///< place/activity/state/reward within the model ("" when n/a)
+  std::string message;   ///< what is wrong, with concrete values
+  std::string hint;      ///< how to fix it ("" when there is no generic fix)
+};
+
+/// An ordered collection of findings. Order is the order checks ran in
+/// (deterministic); renderers group by severity only in the summary line.
+class Report {
+ public:
+  Report& add(Finding finding);
+  Report& add(std::string code, Severity severity, std::string model, std::string location,
+              std::string message, std::string hint = "");
+
+  /// Appends another report's findings (checks compose into batteries).
+  Report& merge(Report other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool empty() const { return findings_.empty(); }
+  size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+  /// True when some finding carries `code` (tests pin detection with this).
+  bool has_code(const std::string& code) const;
+
+  /// One line per finding plus a trailing count summary:
+  ///   error   SAN010 [model/relay] case probabilities sum to 0.6 ...
+  ///           hint: ...
+  ///   1 error(s), 0 warning(s), 0 info(s)
+  /// An empty report renders as "no findings\n".
+  std::string to_text() const;
+
+  /// {"findings":[{"code":...,"severity":...,...}],
+  ///  "counts":{"error":N,"warning":N,"info":N}}
+  std::string to_json() const;
+
+  /// Throws gop::ModelError carrying `context` and to_text() when the report
+  /// holds error-severity findings; otherwise does nothing.
+  void throw_if_errors(const std::string& context) const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace gop::lint

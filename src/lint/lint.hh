@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file lint.hh
+/// Umbrella header for the gop::lint static-analysis subsystem:
+///  - finding.hh     structured findings (code, severity, location, hint)
+///  - model_lint.hh  layer 1: pre-generation checks on a san::SanModel
+///  - chain_lint.hh  layer 2: generated-chain / generator / reward checks
+///  - preflight.hh   layer 3: solver preflight for a (chain, grid, options)
+/// The check-code catalog is documented in docs/static-analysis.md; the
+/// `gop_lint` CLI (tools/gop_lint.cc) runs the full battery.
+
+#include "lint/chain_lint.hh"   // IWYU pragma: export
+#include "lint/finding.hh"      // IWYU pragma: export
+#include "lint/model_lint.hh"   // IWYU pragma: export
+#include "lint/preflight.hh"    // IWYU pragma: export

@@ -1,0 +1,364 @@
+#include "lint/model_lint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "san/marking.hh"
+#include "util/strings.hh"
+
+namespace gop::lint {
+
+namespace {
+
+using san::Case;
+using san::InstantaneousActivity;
+using san::Marking;
+using san::MarkingHash;
+using san::SanModel;
+using san::TimedActivity;
+
+/// Exception-tolerant breadth-first probe of the reachable markings. Mirrors
+/// the firing rules of san::generate_state_space (highest-priority enabled
+/// instantaneous activities pre-empt timed ones; probabilistic cases) but
+/// converts every defect the generator would throw on into a finding.
+class Prober {
+ public:
+  Prober(const SanModel& model, const ModelLintOptions& options, Report& report)
+      : model_(model), options_(options), report_(report) {}
+
+  void run() {
+    if (model_.place_count() == 0) {
+      report_.add("SAN001", Severity::kError, model_.name(), "",
+                  "model has no places: there is no marking to evolve",
+                  "add places before activities; see san/model.hh");
+    }
+    if (model_.timed_activities().empty()) {
+      report_.add("SAN002", Severity::kError, model_.name(), "",
+                  "model has no timed activities: the chain cannot evolve in time",
+                  "add at least one timed activity (instantaneous activities fire in zero time)");
+    }
+
+    timed_fired_.assign(model_.timed_activities().size(), false);
+    instant_fired_.assign(model_.instantaneous_activities().size(), false);
+    token_min_.assign(model_.place_count(), std::numeric_limits<int32_t>::max());
+    token_max_.assign(model_.place_count(), std::numeric_limits<int32_t>::min());
+
+    intern(model_.initial_marking());
+    while (!frontier_.empty()) {
+      if (truncated_) break;
+      const Marking marking = markings_[frontier_.front()];
+      frontier_.pop_front();
+      probe(marking);
+    }
+
+    finish();
+  }
+
+ private:
+  void intern(const Marking& marking) {
+    if (truncated_) return;
+    auto [it, inserted] = index_.try_emplace(marking, markings_.size());
+    if (!inserted) return;
+    if (markings_.size() >= options_.max_probe_markings) {
+      truncated_ = true;
+      index_.erase(it);
+      return;
+    }
+    markings_.push_back(marking);
+    frontier_.push_back(it->second);
+    for (size_t p = 0; p < model_.place_count(); ++p) {
+      token_min_[p] = std::min(token_min_[p], marking[p]);
+      token_max_[p] = std::max(token_max_[p], marking[p]);
+    }
+  }
+
+  /// Records one finding per (code, location) pair: the first offending
+  /// marking names the defect; repeats across markings add no signal.
+  void report_once(const char* code, Severity severity, const std::string& location,
+                   std::string message, std::string hint) {
+    if (!reported_.insert(std::string(code) + '\0' + location).second) return;
+    report_.add(code, severity, model_.name(), location, std::move(message), std::move(hint));
+  }
+
+  void expression_error(const std::string& location, const Marking& marking,
+                        const std::exception& e) {
+    report_once("SAN004", Severity::kError, location,
+                "expression raised an error in marking " + marking.to_string() + ": " + e.what(),
+                "expressions must be total over reachable markings and reference only places the "
+                "model declares");
+  }
+
+  /// Evaluates the cases' probabilities at `marking`, reporting range and
+  /// sum defects. Returns the probabilities (0 for a throwing case).
+  std::vector<double> check_cases(const std::string& activity_name,
+                                  const std::vector<Case>& cases, const Marking& marking) {
+    std::vector<double> probabilities(cases.size(), 0.0);
+    double total = 0.0;
+    bool evaluated_all = true;
+    for (size_t c = 0; c < cases.size(); ++c) {
+      double p = 0.0;
+      try {
+        p = cases[c].probability(marking);
+      } catch (const std::exception& e) {
+        expression_error(activity_name + " case " + std::to_string(c), marking, e);
+        evaluated_all = false;
+        continue;
+      }
+      if (!(p >= -options_.probability_tolerance && p <= 1.0 + options_.probability_tolerance)) {
+        report_once("SAN011", Severity::kError, activity_name,
+                    str_format("case %zu has probability %g in marking %s (outside [0,1])", c, p,
+                               marking.to_string().c_str()),
+                    "case probabilities are probabilities; clamp or renormalize the expression");
+        evaluated_all = false;
+        continue;
+      }
+      probabilities[c] = p;
+      total += p;
+    }
+    if (evaluated_all && std::abs(total - 1.0) > options_.probability_tolerance) {
+      report_once("SAN010", Severity::kError, activity_name,
+                  str_format("case probabilities sum to %.12g in marking %s (expected 1)", total,
+                             marking.to_string().c_str()),
+                  "make the case probabilities sum to 1 in every marking where the activity is "
+                  "enabled (use complement_prob for two-case activities)");
+    }
+    return probabilities;
+  }
+
+  /// Applies case effects and interns the successors; returns them so the
+  /// vanishing-cycle graph can be recorded.
+  std::vector<Marking> fire_cases(const std::string& activity_name, const std::vector<Case>& cases,
+                                  const std::vector<double>& probabilities,
+                                  const Marking& marking) {
+    std::vector<Marking> successors;
+    for (size_t c = 0; c < cases.size(); ++c) {
+      if (probabilities[c] <= options_.probability_tolerance) continue;
+      Marking next = marking;
+      try {
+        cases[c].effect(next);
+      } catch (const std::exception& e) {
+        expression_error(activity_name + " case " + std::to_string(c), marking, e);
+        continue;
+      }
+      intern(next);
+      successors.push_back(std::move(next));
+    }
+    return successors;
+  }
+
+  /// The instantaneous activities that would fire in `marking` (highest
+  /// enabled priority level), exactly as the generator selects them.
+  std::vector<size_t> firing_instantaneous(const Marking& marking) {
+    std::vector<size_t> firing;
+    int best_priority = 0;
+    for (size_t i = 0; i < model_.instantaneous_activities().size(); ++i) {
+      const InstantaneousActivity& activity = model_.instantaneous_activities()[i];
+      bool enabled = false;
+      try {
+        enabled = activity.enabled(marking);
+      } catch (const std::exception& e) {
+        expression_error(activity.name, marking, e);
+        continue;
+      }
+      if (!enabled) continue;
+      if (firing.empty() || activity.priority > best_priority) {
+        firing.clear();
+        best_priority = activity.priority;
+      }
+      if (activity.priority == best_priority) firing.push_back(i);
+    }
+    return firing;
+  }
+
+  void probe(const Marking& marking) {
+    const std::vector<size_t> firing = firing_instantaneous(marking);
+    if (!firing.empty()) {
+      // Vanishing marking: only the selected instantaneous activities fire.
+      const size_t source = vanishing_id(marking);
+      for (size_t i : firing) {
+        const InstantaneousActivity& activity = model_.instantaneous_activities()[i];
+        instant_fired_[i] = true;
+        const std::vector<double> probabilities =
+            check_cases(activity.name, activity.cases, marking);
+        for (const Marking& next : fire_cases(activity.name, activity.cases, probabilities,
+                                              marking)) {
+          if (!firing_instantaneous_quiet(next).empty()) {
+            const size_t target = vanishing_id(next);  // may reallocate vanishing_edges_
+            vanishing_edges_[source].push_back(target);
+          }
+        }
+      }
+      return;
+    }
+
+    // Tangible marking: timed activities fire.
+    for (size_t i = 0; i < model_.timed_activities().size(); ++i) {
+      const TimedActivity& activity = model_.timed_activities()[i];
+      bool enabled = false;
+      try {
+        enabled = activity.enabled(marking);
+      } catch (const std::exception& e) {
+        expression_error(activity.name, marking, e);
+        continue;
+      }
+      if (!enabled) continue;
+      timed_fired_[i] = true;
+
+      try {
+        const double rate = activity.rate(marking);
+        if (!(rate > 0.0) || !std::isfinite(rate)) {
+          report_once("SAN012", Severity::kError, activity.name,
+                      str_format("rate evaluates to %g in enabling marking %s (must be positive "
+                                 "and finite)",
+                                 rate, marking.to_string().c_str()),
+                      "guard the rate expression so it is positive and finite wherever the "
+                      "activity is enabled");
+        }
+      } catch (const std::exception& e) {
+        expression_error(activity.name, marking, e);
+      }
+
+      const std::vector<double> probabilities = check_cases(activity.name, activity.cases, marking);
+      fire_cases(activity.name, activity.cases, probabilities, marking);
+    }
+  }
+
+  /// `firing_instantaneous` without findings, for classifying successors.
+  std::vector<size_t> firing_instantaneous_quiet(const Marking& marking) const {
+    std::vector<size_t> firing;
+    int best_priority = 0;
+    for (size_t i = 0; i < model_.instantaneous_activities().size(); ++i) {
+      const InstantaneousActivity& activity = model_.instantaneous_activities()[i];
+      bool enabled = false;
+      try {
+        enabled = activity.enabled(marking);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (!enabled) continue;
+      if (firing.empty() || activity.priority > best_priority) {
+        firing.clear();
+        best_priority = activity.priority;
+      }
+      if (activity.priority == best_priority) firing.push_back(i);
+    }
+    return firing;
+  }
+
+  size_t vanishing_id(const Marking& marking) {
+    auto [it, inserted] = vanishing_index_.try_emplace(marking, vanishing_markings_.size());
+    if (inserted) {
+      vanishing_markings_.push_back(marking);
+      vanishing_edges_.emplace_back();
+    }
+    return it->second;
+  }
+
+  void check_vanishing_cycles() {
+    // Tri-color DFS over the vanishing-marking graph: a back edge is a loop
+    // of zero-time firings, on which vanishing elimination diverges.
+    enum class Color { kWhite, kGray, kBlack };
+    std::vector<Color> color(vanishing_markings_.size(), Color::kWhite);
+    struct Frame {
+      size_t node;
+      size_t edge;
+    };
+    for (size_t root = 0; root < vanishing_markings_.size(); ++root) {
+      if (color[root] != Color::kWhite) continue;
+      std::vector<Frame> stack{{root, 0}};
+      color[root] = Color::kGray;
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.edge < vanishing_edges_[frame.node].size()) {
+          const size_t next = vanishing_edges_[frame.node][frame.edge++];
+          if (color[next] == Color::kGray) {
+            report_.add("SAN030", Severity::kError, model_.name(), "",
+                        "cycle among vanishing markings through " +
+                            vanishing_markings_[next].to_string() +
+                            ": instantaneous activities re-enable each other in zero time",
+                        "break the loop with a timed activity or a guard; vanishing elimination "
+                        "cannot terminate on it");
+            return;
+          }
+          if (color[next] == Color::kWhite) {
+            color[next] = Color::kGray;
+            stack.push_back(Frame{next, 0});
+          }
+          continue;
+        }
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  void finish() {
+    for (size_t i = 0; i < timed_fired_.size(); ++i) {
+      if (timed_fired_[i]) continue;
+      report_.add("SAN020", Severity::kWarning, model_.name(),
+                  model_.timed_activities()[i].name,
+                  "timed activity fires in no probed tangible marking",
+                  "the enabling predicate never holds (or only in vanishing markings); check the "
+                  "guard and the initial marking");
+    }
+    for (size_t i = 0; i < instant_fired_.size(); ++i) {
+      if (instant_fired_[i]) continue;
+      report_.add("SAN021", Severity::kWarning, model_.name(),
+                  model_.instantaneous_activities()[i].name,
+                  "instantaneous activity fires in no probed marking (disabled everywhere, or "
+                  "always pre-empted by a higher-priority activity)",
+                  "check the enabling predicate and the priority ordering");
+    }
+    if (!markings_.empty()) {
+      for (size_t p = 0; p < model_.place_count(); ++p) {
+        if (token_min_[p] != token_max_[p]) continue;
+        report_.add("SAN022", Severity::kInfo, model_.name(), model_.place_name(san::PlaceRef{p}),
+                    str_format("place holds %d token(s) in every probed marking",
+                               static_cast<int>(token_min_[p])),
+                    "a constant place is often a misspelled reference or a forgotten effect");
+      }
+    }
+    check_vanishing_cycles();
+    if (truncated_) {
+      report_.add("SAN031", Severity::kWarning, model_.name(), "",
+                  str_format("probe budget of %zu markings exhausted; the remaining checks cover "
+                             "only the probed prefix of the reachable markings",
+                             options_.max_probe_markings),
+                  "raise ModelLintOptions::max_probe_markings, or expect partial coverage");
+    }
+  }
+
+  const SanModel& model_;
+  const ModelLintOptions& options_;
+  Report& report_;
+
+  std::vector<Marking> markings_;
+  std::unordered_map<Marking, size_t, MarkingHash> index_;
+  std::deque<size_t> frontier_;
+  bool truncated_ = false;
+
+  std::vector<bool> timed_fired_;
+  std::vector<bool> instant_fired_;
+  std::vector<int32_t> token_min_;
+  std::vector<int32_t> token_max_;
+  std::set<std::string> reported_;
+
+  std::vector<Marking> vanishing_markings_;
+  std::unordered_map<Marking, size_t, MarkingHash> vanishing_index_;
+  std::vector<std::vector<size_t>> vanishing_edges_;
+};
+
+}  // namespace
+
+Report lint_model(const san::SanModel& model, const ModelLintOptions& options) {
+  Report report;
+  Prober(model, options, report).run();
+  return report;
+}
+
+}  // namespace gop::lint

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file model_lint.hh
+/// Layer-1 static checks on a san::SanModel, run *before* state-space
+/// generation. The checker probes the reachable markings breadth-first with
+/// an exception-tolerant re-implementation of the generator's firing rules:
+/// where generate_state_space() would throw on first contact with a defect,
+/// lint_model() records a structured finding per defect and keeps going, so
+/// one run reports every problem the probe can reach.
+///
+/// Check codes (full catalog: docs/static-analysis.md):
+///   SAN001 error   model has no places
+///   SAN002 error   model has no timed activities (no time evolution)
+///   SAN004 error   expression raised an error at a probed marking (for
+///                  models built with san/expr.hh combinators this includes
+///                  references to places the model does not have)
+///   SAN010 error   case probabilities do not sum to 1 at a probed marking
+///   SAN011 error   case probability outside [0,1] at a probed marking
+///   SAN012 error   enabled timed activity with non-positive/NaN/inf rate
+///   SAN030 error   cycle among vanishing markings (instantaneous-activity
+///                  loop: vanishing elimination would diverge)
+///   SAN020 warning timed activity fires in no probed tangible marking
+///   SAN021 warning instantaneous activity fires in no probed marking
+///                  (disabled everywhere, or always pre-empted by priority)
+///   SAN031 warning probe budget exhausted; checks cover only a prefix of
+///                  the reachable markings
+///   SAN022 info    place holds the same token count in every probed marking
+
+#include "lint/finding.hh"
+#include "san/model.hh"
+
+namespace gop::lint {
+
+struct ModelLintOptions {
+  /// Breadth-first probing stops after this many distinct markings
+  /// (tangible and vanishing); exceeding it raises SAN031, not an error.
+  size_t max_probe_markings = 20'000;
+
+  /// Case probabilities must sum to 1 within this tolerance and branches
+  /// below it are ignored (matches san::GenerationOptions).
+  double probability_tolerance = 1e-9;
+};
+
+Report lint_model(const san::SanModel& model, const ModelLintOptions& options = {});
+
+}  // namespace gop::lint

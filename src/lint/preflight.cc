@@ -1,0 +1,180 @@
+#include "lint/preflight.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/uniformization.hh"
+#include "san/lint.hh"
+#include "util/strings.hh"
+
+namespace gop::lint {
+
+namespace {
+
+/// PRE001 plus the largest valid time (negative when none). Both transient
+/// and accumulated grids obey the same contract: finite, non-negative times.
+double check_time_grid(std::span<const double> times, const std::string& model_name,
+                       Report& report) {
+  size_t invalid = 0;
+  double example = 0.0;
+  double t_max = -1.0;
+  for (double t : times) {
+    if (!(t >= 0.0) || !std::isfinite(t)) {
+      if (invalid == 0) example = t;
+      ++invalid;
+      continue;
+    }
+    t_max = std::max(t_max, t);
+  }
+  if (invalid > 0) {
+    report.add("PRE001", Severity::kError, model_name, "",
+               str_format("time grid holds %zu invalid entr%s (e.g. %g); times must be finite "
+                          "and non-negative",
+                          invalid, invalid == 1 ? "y" : "ies", example),
+               "filter the grid before solving");
+  }
+  return t_max;
+}
+
+/// PRE002..PRE005 for a uniformization run to horizon `t_max`.
+void check_uniformization(const markov::Ctmc& chain, double t_max,
+                          const markov::UniformizationOptions& uniform,
+                          const std::string& model_name, const PreflightOptions& preflight,
+                          Report& report) {
+  if (!(uniform.epsilon > 0.0 && uniform.epsilon < 1.0)) {
+    report.add("PRE005", Severity::kError, model_name, "",
+               str_format("Fox-Glynn epsilon = %g is outside (0,1); the Poisson window cannot be "
+                          "built",
+                          uniform.epsilon),
+               "use a truncation budget in (0,1), e.g. 1e-12");
+  } else if (uniform.epsilon < preflight.min_epsilon) {
+    report.add("PRE005", Severity::kWarning, model_name, "",
+               str_format("Fox-Glynn epsilon = %g is below double precision (~%g); the truncated "
+                          "window cannot honour the request",
+                          uniform.epsilon, preflight.min_epsilon),
+               "budgets tighter than ~1e-15 only add window width, not accuracy");
+  }
+
+  if (t_max < 0.0) return;  // no valid horizon
+  const double lambda = markov::uniformization_rate(chain, uniform);
+  const double lambda_t = lambda * t_max;
+  if (lambda_t > uniform.max_lambda_t) {
+    report.add("PRE002", Severity::kError, model_name, "",
+               str_format("Lambda*t = %.3g exceeds max_lambda_t = %.3g: the uniformization "
+                          "solver will refuse this horizon",
+                          lambda_t, uniform.max_lambda_t),
+               "use the dense matrix exponential (TransientMethod::kMatrixExponential) for stiff "
+               "horizons, or raise max_lambda_t knowingly");
+  } else if (lambda_t > preflight.warn_lambda_t) {
+    report.add("PRE003", Severity::kWarning, model_name, "",
+               str_format("Lambda*t = %.3g: uniformization performs on the order of that many "
+                          "sparse matrix-vector products",
+                          lambda_t),
+               "consider the dense matrix exponential when the chain is small, or a coarser "
+               "horizon");
+  }
+
+  double min_exit = 0.0;
+  for (double rate : chain.exit_rates()) {
+    if (rate > 0.0 && (min_exit == 0.0 || rate < min_exit)) min_exit = rate;
+  }
+  if (min_exit > 0.0 && chain.max_exit_rate() / min_exit > preflight.warn_stiffness_ratio) {
+    report.add("PRE004", Severity::kWarning, model_name, "",
+               str_format("stiff chain: exit rates span %.3g .. %.3g (ratio %.3g); the "
+                          "uniformization step count follows the fastest rate while the horizon "
+                          "follows the slowest",
+                          min_exit, chain.max_exit_rate(), chain.max_exit_rate() / min_exit),
+               "the dense matrix exponential is stiffness-robust at this library's model sizes");
+  }
+}
+
+}  // namespace
+
+Report preflight_transient(const markov::Ctmc& chain, std::span<const double> times,
+                           const markov::TransientOptions& options,
+                           const std::string& model_name, const PreflightOptions& preflight) {
+  Report report;
+  const double t_max = check_time_grid(times, model_name, report);
+  if (t_max < 0.0) return report;
+  if (markov::resolve_transient_method(chain, t_max, options) ==
+      markov::TransientMethod::kUniformization) {
+    check_uniformization(chain, t_max, options.uniformization, model_name, preflight, report);
+  }
+  return report;
+}
+
+Report preflight_accumulated(const markov::Ctmc& chain, std::span<const double> times,
+                             const markov::AccumulatedOptions& options,
+                             const std::string& model_name, const PreflightOptions& preflight) {
+  Report report;
+  const double t_max = check_time_grid(times, model_name, report);
+  if (t_max < 0.0) return report;
+  if (markov::resolve_accumulated_method(chain, t_max, options) ==
+      markov::AccumulatedMethod::kUniformization) {
+    check_uniformization(chain, t_max, options.uniformization, model_name, preflight, report);
+  }
+  return report;
+}
+
+Report preflight_steady_state(const markov::Ctmc& chain, const markov::SteadyStateOptions& options,
+                              const std::string& model_name, const PreflightOptions& preflight) {
+  (void)preflight;
+  Report report;
+
+  size_t component_count = 0;
+  const std::vector<size_t> component =
+      san::strongly_connected_components(chain, &component_count);
+  if (component_count == 1) return report;
+
+  // Bottom components (no exit) are the recurrent classes.
+  std::vector<bool> has_exit(component_count, false);
+  const linalg::CsrMatrix& rates = chain.rate_matrix();
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    for (size_t k = rates.row_ptr()[s]; k < rates.row_ptr()[s + 1]; ++k) {
+      if (component[rates.col_idx()[k]] != component[s]) has_exit[component[s]] = true;
+    }
+  }
+  size_t recurrent = 0;
+  for (bool exits : has_exit) {
+    if (!exits) ++recurrent;
+  }
+
+  if (recurrent > 1) {
+    report.add("PRE010", Severity::kError, model_name, "",
+               str_format("steady state requested on a chain with %zu recurrent classes: there "
+                          "is no unique stationary distribution",
+                          recurrent),
+               "condition on one class (restrict the initial marking) or analyse the classes "
+               "separately");
+    return report;
+  }
+
+  const markov::SteadyStateMethod method = markov::resolve_steady_state_method(chain, options);
+  bool has_absorbing = false;
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    if (chain.is_absorbing(s)) has_absorbing = true;
+  }
+  if (method == markov::SteadyStateMethod::kGth) {
+    report.add("PRE011", Severity::kError, model_name, "",
+               str_format("chain is reducible (%zu components, one recurrent class): the GTH "
+                          "solver refuses reducible chains",
+                          component_count),
+               "use SteadyStateMethod::kPower (transient states receive probability 0) or lump "
+               "the transient states away");
+  } else if (method == markov::SteadyStateMethod::kGaussSeidel && has_absorbing) {
+    report.add("PRE011", Severity::kError, model_name, "",
+               "chain has absorbing states: the Gauss-Seidel solver requires an exit transition "
+               "from every state",
+               "use SteadyStateMethod::kPower for chains with absorbing states");
+  } else {
+    report.add("PRE011", Severity::kInfo, model_name, "",
+               str_format("chain is reducible (%zu components) with one recurrent class; the "
+                          "iterative steady-state solvers converge, with probability 0 on the "
+                          "transient states",
+                          component_count),
+               "");
+  }
+  return report;
+}
+
+}  // namespace gop::lint

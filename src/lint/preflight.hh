@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file preflight.hh
+/// Layer-3 solver preflight: predicts, before any solver runs, whether the
+/// requested (chain, time grid, options) combination will be refused, slow,
+/// or numerically fragile. Each check mirrors the corresponding dispatcher
+/// (markov::resolve_transient_method and friends) so the verdict is about
+/// the engine that would actually run. The PerformabilityAnalyzer runs these
+/// on every evaluate()/evaluate_batch() grid when preflight is enabled,
+/// failing fast with a diagnostic instead of NaNs or a deep solver throw.
+///
+/// Check codes (full catalog: docs/static-analysis.md):
+///   PRE001 error   invalid time grid (negative, NaN or infinite entries)
+///   PRE002 error   uniformization would refuse: Lambda*t exceeds
+///                  UniformizationOptions::max_lambda_t
+///   PRE010 error   steady state requested on a chain with several
+///                  recurrent classes (no unique stationary distribution)
+///   PRE011 error/  chain is reducible: GTH refuses it outright (error);
+///          info    with a unique recurrent class the iterative methods
+///                  still converge (info)
+///   PRE003 warning Lambda*t large: uniformization needs ~Lambda*t
+///                  matrix-vector products per time point
+///   PRE004 warning stiff chain (max/min exit-rate ratio) handed to
+///                  uniformization
+///   PRE005 warning Fox-Glynn epsilon below what double precision honours
+
+#include <span>
+#include <string>
+
+#include "lint/finding.hh"
+#include "markov/accumulated.hh"
+#include "markov/ctmc.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+
+namespace gop::lint {
+
+struct PreflightOptions {
+  /// Lambda*t above which a uniformization run is flagged as slow (PRE003).
+  double warn_lambda_t = 1e5;
+  /// Exit-rate ratio above which the chain counts as stiff (PRE004).
+  double warn_stiffness_ratio = 1e6;
+  /// Fox-Glynn truncation budgets below this are unachievable in doubles
+  /// (PRE005).
+  double min_epsilon = 1e-15;
+};
+
+/// Preflight for transient_distribution / transient_reward over `times`.
+Report preflight_transient(const markov::Ctmc& chain, std::span<const double> times,
+                           const markov::TransientOptions& options = {},
+                           const std::string& model_name = "",
+                           const PreflightOptions& preflight = {});
+
+/// Preflight for accumulated_occupancy / accumulated_reward over `times`.
+Report preflight_accumulated(const markov::Ctmc& chain, std::span<const double> times,
+                             const markov::AccumulatedOptions& options = {},
+                             const std::string& model_name = "",
+                             const PreflightOptions& preflight = {});
+
+/// Preflight for steady_state_distribution / steady_state_reward.
+Report preflight_steady_state(const markov::Ctmc& chain,
+                              const markov::SteadyStateOptions& options = {},
+                              const std::string& model_name = "",
+                              const PreflightOptions& preflight = {});
+
+}  // namespace gop::lint

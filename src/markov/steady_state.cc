@@ -69,13 +69,16 @@ std::vector<double> gauss_seidel(const Ctmc& chain, const SteadyStateOptions& op
 
 }  // namespace
 
+SteadyStateMethod resolve_steady_state_method(const Ctmc& chain,
+                                              const SteadyStateOptions& options) {
+  if (options.method != SteadyStateMethod::kAuto) return options.method;
+  return chain.state_count() <= options.auto_gth_max_states ? SteadyStateMethod::kGth
+                                                            : SteadyStateMethod::kPower;
+}
+
 std::vector<double> steady_state_distribution(const Ctmc& chain,
                                               const SteadyStateOptions& options) {
-  SteadyStateMethod method = options.method;
-  if (method == SteadyStateMethod::kAuto) {
-    method = chain.state_count() <= options.auto_gth_max_states ? SteadyStateMethod::kGth
-                                                                : SteadyStateMethod::kPower;
-  }
+  const SteadyStateMethod method = resolve_steady_state_method(chain, options);
   switch (method) {
     case SteadyStateMethod::kGth:
       return linalg::gth_stationary_ctmc(chain.generator_dense());

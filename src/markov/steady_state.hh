@@ -27,6 +27,11 @@ struct SteadyStateOptions {
   size_t auto_gth_max_states = 2048;
 };
 
+/// The engine the dispatcher would run for `chain`. Exposed for the solver
+/// preflight (lint/preflight.hh), which mirrors the dispatcher exactly; for
+/// kAuto the choice depends only on the chain size.
+SteadyStateMethod resolve_steady_state_method(const Ctmc& chain, const SteadyStateOptions& options);
+
 /// Stationary distribution pi with pi Q = 0, sum(pi) = 1. The chain must be
 /// irreducible; GTH raises gop::ModelError when it provably is not, the
 /// iterative methods raise gop::NumericalError on non-convergence.

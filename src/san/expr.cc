@@ -1,19 +1,35 @@
 #include "san/expr.hh"
 
 #include "util/error.hh"
+#include "util/strings.hh"
 
 namespace gop::san {
 
+namespace {
+
+/// Every combinator below reads or writes through this accessor: a PlaceRef
+/// outside the marking is a modeling error (an expression referencing a
+/// place its model does not have), surfaced as gop::InvalidArgument instead
+/// of out-of-bounds UB. gop::lint turns the throw into a SAN004 finding.
+size_t checked_index(PlaceRef place, const Marking& m) {
+  GOP_REQUIRE(place.index < m.size(),
+              str_format("expression references place #%zu but the marking has %zu place(s)",
+                         place.index, m.size()));
+  return place.index;
+}
+
+}  // namespace
+
 Predicate mark_eq(PlaceRef place, int32_t value) {
-  return [place, value](const Marking& m) { return m[place.index] == value; };
+  return [place, value](const Marking& m) { return m[checked_index(place, m)] == value; };
 }
 
 Predicate mark_ge(PlaceRef place, int32_t value) {
-  return [place, value](const Marking& m) { return m[place.index] >= value; };
+  return [place, value](const Marking& m) { return m[checked_index(place, m)] >= value; };
 }
 
 Predicate has_tokens(PlaceRef place) {
-  return [place](const Marking& m) { return m[place.index] > 0; };
+  return [place](const Marking& m) { return m[checked_index(place, m)] > 0; };
 }
 
 Predicate always() {
@@ -62,19 +78,22 @@ ProbFn complement_prob(ProbFn probability) {
 
 RateFn rate_per_token(PlaceRef place, double rate) {
   GOP_REQUIRE(rate > 0.0, "rate_per_token must be positive");
-  return [place, rate](const Marking& m) { return rate * static_cast<double>(m[place.index]); };
+  return [place, rate](const Marking& m) {
+    return rate * static_cast<double>(m[checked_index(place, m)]);
+  };
 }
 
 Effect set_mark(PlaceRef place, int32_t value) {
   GOP_REQUIRE(value >= 0, "marking values are non-negative");
-  return [place, value](Marking& m) { m[place.index] = value; };
+  return [place, value](Marking& m) { m[checked_index(place, m)] = value; };
 }
 
 Effect add_mark(PlaceRef place, int32_t delta) {
   return [place, delta](Marking& m) {
-    const int32_t updated = m[place.index] + delta;
+    const size_t index = checked_index(place, m);
+    const int32_t updated = m[index] + delta;
     GOP_ENSURE(updated >= 0, "effect drove a place marking negative");
-    m[place.index] = updated;
+    m[index] = updated;
   };
 }
 

@@ -127,8 +127,8 @@ std::vector<ApproxCase> approx_grid() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, ApproximationGrid, ::testing::ValuesIn(approx_grid()),
-                         [](const ::testing::TestParamInfo<ApproxCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<ApproxCase>& spec) {
+                           return spec.param.label;
                          });
 
 }  // namespace

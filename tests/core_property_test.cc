@@ -143,8 +143,8 @@ TEST_P(AnalyzerProperties, IfDecreasesWithPhi) {
 
 INSTANTIATE_TEST_SUITE_P(ParameterGrid, AnalyzerProperties,
                          ::testing::ValuesIn(parameter_grid()),
-                         [](const ::testing::TestParamInfo<ParamCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<ParamCase>& spec) {
+                           return spec.param.label;
                          });
 
 }  // namespace

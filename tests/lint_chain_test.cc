@@ -1,0 +1,221 @@
+// Positive-detection tests for the layer-2 chain checks (lint/chain_lint.hh):
+// generator validity (CHNxxx) seeded through the raw-CSR entry point (the
+// markov::Ctmc constructor rejects most of these outright), communication
+// structure, and reward-structure checks (RWDxxx).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "lint/chain_lint.hh"
+#include "san/expr.hh"
+#include "san/state_space.hh"
+
+namespace gop::lint {
+namespace {
+
+using san::add_mark;
+using san::constant_rate;
+using san::has_tokens;
+using san::Marking;
+using san::mark_eq;
+using san::PlaceRef;
+using san::SanModel;
+using san::sequence;
+
+linalg::CsrMatrix csr_2x2(double rate_01) {
+  linalg::CooBuilder coo(2, 2);
+  coo.add(0, 1, rate_01);
+  return coo.build();
+}
+
+TEST(LintGenerator, CleanGeneratorIsClean) {
+  const Report report = lint_generator(csr_2x2(1.0), {1.0, 0.0}, {0.5, 0.5}, "m");
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(LintGenerator, Chn002RowSumMismatch) {
+  const Report report = lint_generator(csr_2x2(2.0), {3.0, 0.0}, {1.0, 0.0}, "m");
+  EXPECT_TRUE(report.has_code("CHN002"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintGenerator, Chn002ExitVectorSizeMismatch) {
+  const Report report = lint_generator(csr_2x2(1.0), {1.0}, {1.0, 0.0}, "m");
+  EXPECT_TRUE(report.has_code("CHN002"));
+}
+
+TEST(LintGenerator, Chn003NegativeRate) {
+  const Report report = lint_generator(csr_2x2(-1.0), {-1.0, 0.0}, {1.0, 0.0}, "m");
+  EXPECT_TRUE(report.has_code("CHN003"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintGenerator, Chn003NonFiniteRate) {
+  const Report report =
+      lint_generator(csr_2x2(std::numeric_limits<double>::infinity()),
+                     {std::numeric_limits<double>::infinity(), 0.0}, {1.0, 0.0}, "m");
+  EXPECT_TRUE(report.has_code("CHN003"));
+}
+
+TEST(LintGenerator, Chn004InitialNotAProbabilityVector) {
+  const Report report = lint_generator(csr_2x2(1.0), {1.0, 0.0}, {0.5, 0.2}, "m");
+  EXPECT_TRUE(report.has_code("CHN004"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintGenerator, Chn001UnreachableState) {
+  linalg::CooBuilder coo(3, 3);
+  coo.add(0, 1, 1.0);
+  const Report report = lint_generator(coo.build(), {1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, "m");
+  EXPECT_TRUE(report.has_code("CHN001"));
+  EXPECT_FALSE(report.has_errors());
+  // The finding names the unreachable state.
+  for (const Finding& finding : report.findings()) {
+    if (finding.code == "CHN001") {
+      EXPECT_NE(finding.message.find("2"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintCtmc, AbsorbingAndReducibleAreReportedAsInfo) {
+  // 0 -> 1 with 1 absorbing: one recurrent class, not irreducible.
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}}, {1.0, 0.0});
+  const Report report = lint_ctmc(chain, "m");
+  EXPECT_TRUE(report.has_code("CHN011"));
+  EXPECT_TRUE(report.has_code("CHN012"));
+  EXPECT_FALSE(report.has_code("CHN013"));
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.count(Severity::kWarning), 0u);
+}
+
+TEST(LintCtmc, Chn013MultipleRecurrentClasses) {
+  // 0 branches to two absorbing fates: the long-run behaviour is ambiguous.
+  const markov::Ctmc chain(3, {{0, 1, 1.0, -1}, {0, 2, 1.0, -1}}, {1.0, 0.0, 0.0});
+  const Report report = lint_ctmc(chain, "m");
+  EXPECT_TRUE(report.has_code("CHN013"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintCtmc, IrreducibleChainIsClean) {
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}, {1, 0, 2.0, -1}}, {1.0, 0.0});
+  EXPECT_TRUE(lint_ctmc(chain, "m").empty());
+}
+
+/// Toggle SAN plus a timed activity whose guard never holds.
+struct DeadActivityFixture {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+
+  DeadActivityFixture() {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(2.0),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(3.0),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+    model.add_timed_activity("never", mark_eq(a, 5), constant_rate(1.0), add_mark(a, 0));
+  }
+};
+
+TEST(LintChain, Chn010DeadTimedActivity) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  const Report report = lint_chain(chain);
+  EXPECT_TRUE(report.has_code("CHN010"));
+  EXPECT_FALSE(report.has_errors());
+  for (const Finding& finding : report.findings()) {
+    if (finding.code == "CHN010") {
+      EXPECT_EQ(finding.location, "never");
+      EXPECT_EQ(finding.model, "toggle");
+    }
+  }
+}
+
+TEST(LintReward, Rwd001EmptyStructure) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  const san::RewardStructure reward("empty");
+  const Report report = lint_reward(chain, reward);
+  EXPECT_TRUE(report.has_code("RWD001"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintReward, Rwd001PredicateMatchesNoMarking) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("miss");
+  reward.add(mark_eq(fixture.a, 5), 1.0);
+  const Report report = lint_reward(chain, reward);
+  EXPECT_TRUE(report.has_code("RWD001"));
+}
+
+TEST(LintReward, Rwd002NonFiniteRate) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("inf");
+  reward.add(san::always(),
+             [](const Marking&) { return std::numeric_limits<double>::infinity(); });
+  const Report report = lint_reward(chain, reward);
+  EXPECT_TRUE(report.has_code("RWD002"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintReward, Rwd002ThrowingRateExpression) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("throws");
+  reward.add(san::always(), [](const Marking&) -> double { throw std::runtime_error("boom"); });
+  EXPECT_TRUE(lint_reward(chain, reward).has_code("RWD002"));
+}
+
+TEST(LintReward, Rwd002NonFiniteImpulse) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("badimp");
+  reward.add_impulse(fixture.model.timed_ref(0), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(lint_reward(chain, reward).has_code("RWD002"));
+}
+
+TEST(LintReward, Rwd003ImpulseOnDeadActivity) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("dead");
+  reward.add_impulse(fixture.model.timed_ref(2), 1.0);  // "never"
+  const Report report = lint_reward(chain, reward);
+  EXPECT_TRUE(report.has_code("RWD003"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintReward, Rwd004ImpulseOnInstantaneousActivity) {
+  // Toggle routed through a vanishing marking: go -> (via instantaneous) b.
+  SanModel model("vanish");
+  const PlaceRef a = model.add_place("a", 1);
+  const PlaceRef mid = model.add_place("mid");
+  const PlaceRef b = model.add_place("b");
+  model.add_timed_activity("go", has_tokens(a), constant_rate(1.0),
+                           sequence({add_mark(a, -1), add_mark(mid, 1)}));
+  const san::ActivityRef inst = model.add_instantaneous_activity(
+      "hop", has_tokens(mid), sequence({add_mark(mid, -1), add_mark(b, 1)}));
+  model.add_timed_activity("back", has_tokens(b), constant_rate(2.0),
+                           sequence({add_mark(b, -1), add_mark(a, 1)}));
+  const san::GeneratedChain chain = san::generate_state_space(model);
+
+  san::RewardStructure reward("imp");
+  reward.add_impulse(inst, 1.0);
+  const Report report = lint_reward(chain, reward);
+  EXPECT_TRUE(report.has_code("RWD004"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintReward, HealthyRewardIsClean) {
+  DeadActivityFixture fixture;
+  const san::GeneratedChain chain = san::generate_state_space(fixture.model);
+  san::RewardStructure reward("ok");
+  reward.add(has_tokens(fixture.a), 1.0);
+  reward.add_impulse(fixture.model.timed_ref(0), 0.5);  // "fwd" fires
+  EXPECT_TRUE(lint_reward(chain, reward).empty());
+}
+
+}  // namespace
+}  // namespace gop::lint

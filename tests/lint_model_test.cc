@@ -1,0 +1,227 @@
+// Positive-detection tests for the layer-1 model checks (lint/model_lint.hh):
+// every SANxxx code is triggered by a deliberately broken fixture model, and a
+// healthy model comes back clean.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lint/model_lint.hh"
+#include "san/expr.hh"
+
+namespace gop::lint {
+namespace {
+
+using san::add_mark;
+using san::always;
+using san::constant_prob;
+using san::constant_rate;
+using san::has_tokens;
+using san::Marking;
+using san::mark_eq;
+using san::PlaceRef;
+using san::SanModel;
+using san::sequence;
+
+/// A healthy cyclic two-place SAN (the state space is {10, 01}).
+SanModel healthy_toggle() {
+  SanModel model("toggle");
+  const PlaceRef a = model.add_place("a", 1);
+  const PlaceRef b = model.add_place("b");
+  model.add_timed_activity("fwd", has_tokens(a), constant_rate(2.0),
+                           sequence({add_mark(a, -1), add_mark(b, 1)}));
+  model.add_timed_activity("bwd", has_tokens(b), constant_rate(3.0),
+                           sequence({add_mark(b, -1), add_mark(a, 1)}));
+  return model;
+}
+
+TEST(LintModel, HealthyModelIsClean) {
+  EXPECT_TRUE(lint_model(healthy_toggle()).empty());
+}
+
+TEST(LintModel, San001NoPlaces) {
+  SanModel model("empty");
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN001"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, San002NoTimedActivities) {
+  SanModel model("frozen");
+  model.add_place("a", 1);
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN002"));
+  EXPECT_FALSE(report.has_code("SAN001"));
+}
+
+TEST(LintModel, San004MissingPlaceReference) {
+  SanModel model("dangling");
+  const PlaceRef a = model.add_place("a", 1);
+  // The guard references place #5 of a one-place model; the expr.hh
+  // combinators bounds-check and throw, which the prober reports as SAN004.
+  model.add_timed_activity("bad_guard", mark_eq(PlaceRef{5}, 1), constant_rate(1.0),
+                           add_mark(a, 0));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN004"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, San004ThrowingRateExpression) {
+  SanModel model("throwing");
+  const PlaceRef a = model.add_place("a", 1);
+  model.add_timed_activity(
+      "explodes", has_tokens(a),
+      [](const Marking&) -> double { throw std::runtime_error("boom"); }, add_mark(a, 0));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN004"));
+}
+
+TEST(LintModel, San010CaseProbabilitiesDoNotSumToOne) {
+  SanModel model("lossy");
+  const PlaceRef a = model.add_place("a", 1);
+  san::TimedActivity activity;
+  activity.name = "split";
+  activity.enabled = has_tokens(a);
+  activity.rate = constant_rate(1.0);
+  activity.cases = {{constant_prob(0.3), add_mark(a, 0)}, {constant_prob(0.3), add_mark(a, 0)}};
+  model.add_timed_activity(std::move(activity));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN010"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, San011CaseProbabilityOutOfRange) {
+  SanModel model("overconfident");
+  const PlaceRef a = model.add_place("a", 1);
+  san::TimedActivity activity;
+  activity.name = "split";
+  activity.enabled = has_tokens(a);
+  activity.rate = constant_rate(1.0);
+  // constant_prob validates at construction, so the defect needs a raw lambda.
+  activity.cases = {{[](const Marking&) { return 1.5; }, add_mark(a, 0)}};
+  model.add_timed_activity(std::move(activity));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN011"));
+  // The sum check is suppressed when a case already failed the range check.
+  EXPECT_FALSE(report.has_code("SAN010"));
+}
+
+TEST(LintModel, San012NonPositiveRate) {
+  SanModel model("stalled");
+  const PlaceRef a = model.add_place("a", 1);
+  model.add_timed_activity("zero_rate", has_tokens(a), [](const Marking&) { return 0.0; },
+                           add_mark(a, 0));
+  EXPECT_TRUE(lint_model(model).has_code("SAN012"));
+
+  SanModel nan_model("nan");
+  const PlaceRef b = nan_model.add_place("b", 1);
+  nan_model.add_timed_activity("nan_rate", has_tokens(b),
+                               [](const Marking&) { return std::nan(""); }, add_mark(b, 0));
+  EXPECT_TRUE(lint_model(nan_model).has_code("SAN012"));
+}
+
+TEST(LintModel, San020DeadTimedActivity) {
+  SanModel model = healthy_toggle();
+  model.add_timed_activity("never", mark_eq(model.place("a"), 5), constant_rate(1.0),
+                           add_mark(model.place("a"), 0));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN020"));
+  EXPECT_FALSE(report.has_errors());
+  // The finding names the dead activity.
+  bool named = false;
+  for (const Finding& finding : report.findings()) {
+    if (finding.code == "SAN020" && finding.location == "never") named = true;
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(LintModel, San021DeadInstantaneousActivity) {
+  SanModel model = healthy_toggle();
+  model.add_instantaneous_activity("unreachable", mark_eq(model.place("a"), 7),
+                                   add_mark(model.place("a"), 0));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN021"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintModel, San021PreemptedByPriority) {
+  // Both instantaneous activities are enabled in the same vanishing marking;
+  // the higher priority one always pre-empts the other.
+  SanModel model("preempted");
+  const PlaceRef a = model.add_place("a", 1);
+  const PlaceRef go = model.add_place("go");
+  model.add_timed_activity("tick", mark_eq(go, 0), constant_rate(1.0), add_mark(go, 1));
+  model.add_instantaneous_activity("winner", has_tokens(go), add_mark(go, -1), 2);
+  model.add_instantaneous_activity("loser", has_tokens(go), add_mark(go, -1), 1);
+  (void)a;
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN021"));
+  bool loser_flagged = false;
+  for (const Finding& finding : report.findings()) {
+    if (finding.code == "SAN021") {
+      EXPECT_EQ(finding.location, "loser");
+      loser_flagged = true;
+    }
+  }
+  EXPECT_TRUE(loser_flagged);
+}
+
+TEST(LintModel, San022ConstantPlace) {
+  SanModel model = healthy_toggle();
+  model.add_place("untouched", 3);
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN022"));
+  EXPECT_EQ(report.count(Severity::kInfo), 1u);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintModel, San030VanishingCycle) {
+  // Two instantaneous activities toggle `w` back and forth while `v` keeps
+  // both enabled in turn: a zero-time loop vanishing elimination diverges on.
+  SanModel model("pingpong");
+  const PlaceRef v = model.add_place("v", 1);
+  const PlaceRef w = model.add_place("w");
+  model.add_timed_activity("tick", has_tokens(v), constant_rate(1.0), add_mark(v, 0));
+  model.add_instantaneous_activity("ping", san::all_of({has_tokens(v), mark_eq(w, 0)}),
+                                   add_mark(w, 1));
+  model.add_instantaneous_activity("pong", san::all_of({has_tokens(v), mark_eq(w, 1)}),
+                                   add_mark(w, -1));
+  const Report report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SAN030"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, San031ProbeBudgetExhausted) {
+  // Unbounded token growth: the probe can only ever cover a prefix.
+  SanModel model("unbounded");
+  const PlaceRef a = model.add_place("a", 1);
+  model.add_timed_activity("grow", always(), constant_rate(1.0), add_mark(a, 1));
+  ModelLintOptions options;
+  options.max_probe_markings = 3;
+  const Report report = lint_model(model, options);
+  EXPECT_TRUE(report.has_code("SAN031"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintModel, OneFindingPerDefectSite) {
+  // The same defect reached from many markings reports once, not per marking.
+  SanModel model("chatty");
+  const PlaceRef a = model.add_place("a", 1);
+  san::TimedActivity activity;
+  activity.name = "split";
+  activity.enabled = always();
+  activity.rate = constant_rate(1.0);
+  activity.cases = {{constant_prob(0.25), add_mark(a, 1)}, {constant_prob(0.25), add_mark(a, -1)}};
+  model.add_timed_activity(std::move(activity));
+  ModelLintOptions options;
+  options.max_probe_markings = 50;
+  const Report report = lint_model(model, options);
+  size_t san010 = 0;
+  for (const Finding& finding : report.findings()) {
+    if (finding.code == "SAN010") ++san010;
+  }
+  EXPECT_EQ(san010, 1u);
+}
+
+}  // namespace
+}  // namespace gop::lint

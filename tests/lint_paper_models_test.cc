@@ -1,0 +1,104 @@
+// The static-analysis battery against the paper's constituent models: the
+// published RMGd/RMGp/RMNd models at Table 3 parameters must come back with
+// zero error-severity findings, and the analyzer's preflight gate must be
+// invisible on healthy configurations while failing fast on doomed ones.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/performability.hh"
+#include "lint/lint.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+namespace {
+
+lint::Report model_battery(san::SanModel& model,
+                           const std::vector<san::RewardStructure>& rewards) {
+  lint::Report report = lint::lint_model(model);
+  const san::GeneratedChain chain = san::generate_state_space(model);
+  report.merge(lint::lint_chain(chain));
+  for (const san::RewardStructure& reward : rewards) {
+    report.merge(lint::lint_reward(chain, reward));
+  }
+  return report;
+}
+
+TEST(LintPaperModels, RmGdHasNoErrorFindings) {
+  RmGd gd = build_rm_gd(GsuParameters::table3());
+  const lint::Report report = model_battery(
+      gd.model, {gd.reward_p_a1(), gd.reward_ih(), gd.reward_ihf(), gd.reward_itauh(),
+                 gd.reward_detected()});
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+  // RMGd is a dependability model: absorbing fates are expected and reported
+  // as info, never as errors.
+  EXPECT_TRUE(report.has_code("CHN011"));
+}
+
+TEST(LintPaperModels, RmGpHasNoErrorFindings) {
+  RmGp gp = build_rm_gp(GsuParameters::table3());
+  lint::Report report =
+      model_battery(gp.model, {gp.reward_overhead_p1n(), gp.reward_overhead_p2()});
+  report.merge(lint::preflight_steady_state(san::generate_state_space(gp.model).ctmc(), {},
+                                            gp.model.name()));
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+}
+
+TEST(LintPaperModels, RmNdHasNoErrorFindings) {
+  const GsuParameters params = GsuParameters::table3();
+  for (double mu : {params.mu_new, params.mu_old}) {
+    RmNd nd = build_rm_nd(params, mu);
+    const lint::Report report = model_battery(nd.model, {nd.reward_no_failure()});
+    EXPECT_FALSE(report.has_errors()) << report.to_text();
+  }
+}
+
+TEST(LintPaperModels, AnalyzerReportHasNoErrorsOnNominalGrid) {
+  const PerformabilityAnalyzer analyzer(GsuParameters::table3());
+  const std::vector<double> phis{7000.0};
+  const lint::Report report = analyzer.lint_report(phis);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+  EXPECT_EQ(report.count(lint::Severity::kError), 0u);
+}
+
+TEST(LintPaperModels, PreflightGateIsInvisibleWhenHealthy) {
+  const GsuParameters params = GsuParameters::table3();
+  AnalyzerOptions gated;
+  gated.preflight = true;
+  const PerformabilityAnalyzer checked(params, gated);
+  const PerformabilityAnalyzer unchecked(params);
+  const PerformabilityResult a = checked.evaluate(7000.0);
+  const PerformabilityResult b = unchecked.evaluate(7000.0);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.e_w0, b.e_w0);
+  EXPECT_EQ(a.e_wphi, b.e_wphi);
+}
+
+TEST(LintPaperModels, PreflightFailsFastOnDoomedSolverConfiguration) {
+  // Force uniformization with a horizon budget no Table 3 grid satisfies:
+  // the gate must raise ModelError naming PRE002 before any solver runs —
+  // already at construction, since the constructor itself solves at theta.
+  AnalyzerOptions options;
+  options.preflight = true;
+  options.transient.method = markov::TransientMethod::kUniformization;
+  options.transient.uniformization.max_lambda_t = 1e-3;
+  try {
+    const PerformabilityAnalyzer analyzer(GsuParameters::table3(), options);
+    FAIL() << "expected gop::ModelError from the preflight gate";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("PRE002"), std::string::npos) << e.what();
+  }
+}
+
+TEST(LintPaperModels, PreflightRejectsInvalidGrid) {
+  AnalyzerOptions options;
+  options.preflight = true;
+  const PerformabilityAnalyzer analyzer(GsuParameters::table3(), options);
+  const std::vector<double> bad{-5.0};
+  EXPECT_THROW((void)analyzer.constituents_batch(bad), ModelError);
+}
+
+}  // namespace
+}  // namespace gop::core

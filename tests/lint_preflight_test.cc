@@ -1,0 +1,144 @@
+// Positive-detection tests for the layer-3 solver preflight
+// (lint/preflight.hh): every PRExxx code is triggered by a (chain, grid,
+// options) combination the corresponding solver would refuse or struggle on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lint/preflight.hh"
+
+namespace gop::lint {
+namespace {
+
+/// Irreducible two-state toggle with the given forward rate.
+markov::Ctmc toggle_chain(double rate = 1.0) {
+  return markov::Ctmc(2, {{0, 1, rate, -1}, {1, 0, rate, -1}}, {1.0, 0.0});
+}
+
+markov::TransientOptions forced_uniformization() {
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kUniformization;
+  return options;
+}
+
+TEST(PreflightTransient, CleanGridIsClean) {
+  const std::vector<double> times{1.0, 2.0};
+  EXPECT_TRUE(preflight_transient(toggle_chain(), times, forced_uniformization(), "m").empty());
+}
+
+TEST(PreflightTransient, Pre001InvalidTimeGrid) {
+  const std::vector<double> times{-1.0, std::nan("")};
+  const Report report = preflight_transient(toggle_chain(), times, {}, "m");
+  EXPECT_TRUE(report.has_code("PRE001"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre002LambdaTExceedsSolverLimit) {
+  // Lambda ~ 1.02e9, t = 1e3: Lambda*t ~ 1e12 over the default 2e6 refusal.
+  const std::vector<double> times{1e3};
+  const Report report =
+      preflight_transient(toggle_chain(1e9), times, forced_uniformization(), "m");
+  EXPECT_TRUE(report.has_code("PRE002"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre002NotRaisedForDenseMethod) {
+  // The same horizon through the matrix exponential: nothing to warn about.
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kMatrixExponential;
+  const std::vector<double> times{1e3};
+  EXPECT_TRUE(preflight_transient(toggle_chain(1e9), times, options, "m").empty());
+}
+
+TEST(PreflightTransient, Pre003LargeLambdaT) {
+  // Lambda*t ~ 2e5: below the refusal limit, above the slowness warning.
+  const std::vector<double> times{2e5};
+  const Report report = preflight_transient(toggle_chain(1.0), times, forced_uniformization(),
+                                            "m");
+  EXPECT_TRUE(report.has_code("PRE003"));
+  EXPECT_FALSE(report.has_code("PRE002"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre004StiffChain) {
+  // Exit rates span 1e-3 .. ~1e7: ratio far beyond the stiffness threshold,
+  // with a horizon short enough to stay below the PRE003 warning.
+  const markov::Ctmc chain(3, {{0, 1, 1e7, -1}, {1, 2, 1e-3, -1}, {2, 0, 1.0, -1}},
+                           {1.0, 0.0, 0.0});
+  const std::vector<double> times{1e-3};
+  const Report report = preflight_transient(chain, times, forced_uniformization(), "m");
+  EXPECT_TRUE(report.has_code("PRE004"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre005EpsilonOutOfRange) {
+  markov::TransientOptions options = forced_uniformization();
+  options.uniformization.epsilon = 2.0;
+  const std::vector<double> times{1.0};
+  const Report report = preflight_transient(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE005"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre005EpsilonBelowDoublePrecision) {
+  markov::TransientOptions options = forced_uniformization();
+  options.uniformization.epsilon = 1e-20;
+  const std::vector<double> times{1.0};
+  const Report report = preflight_transient(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE005"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightAccumulated, SharesTheTransientChecks) {
+  markov::AccumulatedOptions options;
+  options.method = markov::AccumulatedMethod::kUniformization;
+  const std::vector<double> times{1e3};
+  const Report report = preflight_accumulated(toggle_chain(1e9), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE002"));
+
+  const std::vector<double> bad{-2.0};
+  EXPECT_TRUE(preflight_accumulated(toggle_chain(), bad, {}, "m").has_code("PRE001"));
+}
+
+TEST(PreflightSteadyState, IrreducibleChainIsClean) {
+  EXPECT_TRUE(preflight_steady_state(toggle_chain(), {}, "m").empty());
+}
+
+TEST(PreflightSteadyState, Pre010MultipleRecurrentClasses) {
+  const markov::Ctmc chain(3, {{0, 1, 1.0, -1}, {0, 2, 1.0, -1}}, {1.0, 0.0, 0.0});
+  const Report report = preflight_steady_state(chain, {}, "m");
+  EXPECT_TRUE(report.has_code("PRE010"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightSteadyState, Pre011GthRefusesReducibleChain) {
+  // One recurrent class, but reducible: kAuto resolves to GTH at this size,
+  // and GTH refuses reducible chains outright.
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}}, {1.0, 0.0});
+  const Report report = preflight_steady_state(chain, {}, "m");
+  EXPECT_TRUE(report.has_code("PRE011"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightSteadyState, Pre011GaussSeidelRefusesAbsorbingStates) {
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}}, {1.0, 0.0});
+  markov::SteadyStateOptions options;
+  options.method = markov::SteadyStateMethod::kGaussSeidel;
+  const Report report = preflight_steady_state(chain, options, "m");
+  EXPECT_TRUE(report.has_code("PRE011"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightSteadyState, Pre011PowerIterationOnlyInforms) {
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}}, {1.0, 0.0});
+  markov::SteadyStateOptions options;
+  options.method = markov::SteadyStateMethod::kPower;
+  const Report report = preflight_steady_state(chain, options, "m");
+  EXPECT_TRUE(report.has_code("PRE011"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+}  // namespace
+}  // namespace gop::lint

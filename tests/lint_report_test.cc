@@ -1,0 +1,102 @@
+// Tests for the gop::lint findings API: report assembly, severity counting,
+// text and JSON rendering (including escaping), and the error gate.
+
+#include <gtest/gtest.h>
+
+#include "lint/finding.hh"
+#include "util/error.hh"
+
+namespace gop::lint {
+namespace {
+
+TEST(LintReport, EmptyReportRendersNoFindings) {
+  Report report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.to_text(), "no findings\n");
+  EXPECT_EQ(report.to_json(),
+            "{\"findings\":[],\"counts\":{\"error\":0,\"warning\":0,\"info\":0}}");
+  EXPECT_NO_THROW(report.throw_if_errors("test"));
+}
+
+TEST(LintReport, SeverityNames) {
+  EXPECT_STREQ(severity_name(Severity::kInfo), "info");
+  EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+}
+
+TEST(LintReport, CountsPerSeverityAndHasCode) {
+  Report report;
+  report.add("SAN010", Severity::kError, "m", "act", "bad sum")
+      .add("SAN020", Severity::kWarning, "m", "act2", "dead")
+      .add("SAN022", Severity::kInfo, "m", "p", "constant")
+      .add("SAN022", Severity::kInfo, "m", "q", "constant");
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+  EXPECT_EQ(report.count(Severity::kInfo), 2u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("SAN010"));
+  EXPECT_TRUE(report.has_code("SAN022"));
+  EXPECT_FALSE(report.has_code("SAN999"));
+}
+
+TEST(LintReport, TextRenderingCarriesCodeLocationAndHint) {
+  Report report;
+  report.add("SAN010", Severity::kError, "relay", "send", "case probabilities sum to 0.6",
+             "use complement_prob");
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("SAN010"), std::string::npos);
+  EXPECT_NE(text.find("relay"), std::string::npos);
+  EXPECT_NE(text.find("send"), std::string::npos);
+  EXPECT_NE(text.find("case probabilities sum to 0.6"), std::string::npos);
+  EXPECT_NE(text.find("hint: use complement_prob"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s), 0 info(s)"), std::string::npos);
+}
+
+TEST(LintReport, JsonRenderingEscapesSpecials) {
+  Report report;
+  report.add("CHN001", Severity::kWarning, "m\"q", "a\\b", "line\nbreak\ttab", "");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"code\":\"CHN001\""), std::string::npos);
+  EXPECT_NE(json.find("m\\\"q"), std::string::npos);
+  EXPECT_NE(json.find("a\\\\b"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\"warning\":1"), std::string::npos);
+  // Raw control characters must not survive into the JSON document.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(LintReport, MergeAppendsInOrder) {
+  Report a;
+  a.add("SAN001", Severity::kError, "m", "", "first");
+  Report b;
+  b.add("CHN001", Severity::kWarning, "m", "", "second");
+  a.merge(std::move(b));
+  ASSERT_EQ(a.findings().size(), 2u);
+  EXPECT_EQ(a.findings()[0].code, "SAN001");
+  EXPECT_EQ(a.findings()[1].code, "CHN001");
+}
+
+TEST(LintReport, ThrowIfErrorsCarriesContextAndFindings) {
+  Report report;
+  report.add("PRE002", Severity::kError, "RMGd", "", "Lambda*t too large");
+  try {
+    report.throw_if_errors("preflight gate");
+    FAIL() << "expected gop::ModelError";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("preflight gate"), std::string::npos);
+    EXPECT_NE(what.find("PRE002"), std::string::npos);
+  }
+}
+
+TEST(LintReport, WarningsDoNotTriggerTheGate) {
+  Report report;
+  report.add("SAN020", Severity::kWarning, "m", "act", "dead activity");
+  EXPECT_NO_THROW(report.throw_if_errors("gate"));
+}
+
+}  // namespace
+}  // namespace gop::lint

@@ -1,0 +1,110 @@
+// Regression tests for the legacy san::diagnose() diagnostics, which the
+// gop::lint findings API absorbs but must not change: the structured fields,
+// the summary() wording, and the SCC helper they are built on.
+
+#include <gtest/gtest.h>
+
+#include "san/expr.hh"
+#include "san/lint.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+namespace {
+
+/// Healthy cyclic two-place SAN.
+struct Toggle {
+  SanModel model{"toggle"};
+  PlaceRef a = model.add_place("a", 1);
+  PlaceRef b = model.add_place("b");
+
+  Toggle() {
+    model.add_timed_activity("fwd", has_tokens(a), constant_rate(2.0),
+                             sequence({add_mark(a, -1), add_mark(b, 1)}));
+    model.add_timed_activity("bwd", has_tokens(b), constant_rate(3.0),
+                             sequence({add_mark(b, -1), add_mark(a, 1)}));
+  }
+};
+
+TEST(SanDiagnoseLegacy, CleanIrreducibleChain) {
+  Toggle toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const ModelDiagnostics diagnostics = diagnose(chain);
+  EXPECT_TRUE(diagnostics.dead_timed_activities.empty());
+  EXPECT_TRUE(diagnostics.absorbing_states.empty());
+  EXPECT_TRUE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 1u);
+
+  const std::string summary = diagnostics.summary();
+  EXPECT_NE(summary.find("chain is irreducible"), std::string::npos);
+  EXPECT_NE(summary.find("1 recurrent class(es)"), std::string::npos);
+  EXPECT_EQ(summary.find("dead timed activities:"), std::string::npos);
+  EXPECT_EQ(summary.find("absorbing state(s)"), std::string::npos);
+}
+
+TEST(SanDiagnoseLegacy, DeadTimedActivityIsNamed) {
+  Toggle toggle;
+  toggle.model.add_timed_activity("never", mark_eq(toggle.a, 5), constant_rate(1.0),
+                                  add_mark(toggle.a, 0));
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  const ModelDiagnostics diagnostics = diagnose(chain);
+  ASSERT_EQ(diagnostics.dead_timed_activities.size(), 1u);
+  EXPECT_EQ(diagnostics.dead_timed_activities[0], "never");
+  EXPECT_NE(diagnostics.summary().find("dead timed activities: never"), std::string::npos);
+}
+
+TEST(SanDiagnoseLegacy, AbsorbingFailureState) {
+  SanModel model("fail");
+  const PlaceRef up = model.add_place("up", 1);
+  const PlaceRef down = model.add_place("down");
+  model.add_timed_activity("crash", has_tokens(up), constant_rate(1.0),
+                           sequence({add_mark(up, -1), add_mark(down, 1)}));
+  const GeneratedChain chain = generate_state_space(model);
+  const ModelDiagnostics diagnostics = diagnose(chain);
+  ASSERT_EQ(diagnostics.absorbing_states.size(), 1u);
+  EXPECT_FALSE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 1u);
+
+  const std::string summary = diagnostics.summary();
+  EXPECT_NE(summary.find("1 absorbing state(s)"), std::string::npos);
+  EXPECT_NE(summary.find("chain is NOT irreducible"), std::string::npos);
+}
+
+TEST(SanDiagnoseLegacy, MultipleRecurrentClasses) {
+  // Two competing absorbing fates: two bottom components.
+  SanModel model("fates");
+  const PlaceRef up = model.add_place("up", 1);
+  const PlaceRef good = model.add_place("good");
+  const PlaceRef bad = model.add_place("bad");
+  model.add_timed_activity("detect", has_tokens(up), constant_rate(1.0),
+                           sequence({add_mark(up, -1), add_mark(good, 1)}));
+  model.add_timed_activity("fail", has_tokens(up), constant_rate(2.0),
+                           sequence({add_mark(up, -1), add_mark(bad, 1)}));
+  const GeneratedChain chain = generate_state_space(model);
+  const ModelDiagnostics diagnostics = diagnose(chain);
+  EXPECT_EQ(diagnostics.absorbing_states.size(), 2u);
+  EXPECT_FALSE(diagnostics.irreducible);
+  EXPECT_EQ(diagnostics.recurrent_class_count, 2u);
+  EXPECT_NE(diagnostics.summary().find("2 recurrent class(es)"), std::string::npos);
+}
+
+TEST(SanSccLegacy, ComponentsInReverseTopologicalOrder) {
+  // 0 -> 1 (absorbing): two components; Tarjan assigns the bottom one id 0.
+  const markov::Ctmc chain(2, {{0, 1, 1.0, -1}}, {1.0, 0.0});
+  size_t count = 0;
+  const std::vector<size_t> component = strongly_connected_components(chain, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(component[1], 0u);
+  EXPECT_EQ(component[0], 1u);
+}
+
+TEST(SanSccLegacy, IrreducibleChainIsOneComponent) {
+  Toggle toggle;
+  const GeneratedChain chain = generate_state_space(toggle.model);
+  size_t count = 0;
+  const std::vector<size_t> component = strongly_connected_components(chain.ctmc(), &count);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(component[0], component[1]);
+}
+
+}  // namespace
+}  // namespace gop::san

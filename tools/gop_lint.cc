@@ -1,0 +1,172 @@
+// gop_lint — static-analysis battery for SAN reward models.
+//
+// Runs the gop::lint check layers (pre-generation model checks, generated-
+// chain checks, solver preflight; see docs/static-analysis.md for the check
+// catalog) over a registered model, or over all of the paper's constituent
+// models, and reports structured findings.
+//
+//   gop_lint                          # all paper models, Table 3 parameters
+//   gop_lint --model=rmgd --phi=7000  # one model, explicit grid point
+//   gop_lint --json                   # machine-readable findings (CI gate)
+//
+// Exit codes: 0 no error findings (warnings/info allowed unless --strict),
+// 1 runtime failure, 2 usage error, 3 findings at the gating severity.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "lint/lint.hh"
+#include "san/state_space.hh"
+#include "util/cli.hh"
+
+namespace {
+
+using namespace gop;
+
+/// What a registered model contributes to the battery: everything needed to
+/// lint it end to end.
+struct BatteryInput {
+  san::SanModel* model = nullptr;
+  std::vector<san::RewardStructure> rewards;
+  std::vector<double> transient_times;    ///< preflighted instant-of-time grid
+  std::vector<double> accumulated_times;  ///< preflighted interval-of-time grid
+  bool steady_state = false;              ///< preflight the steady-state solve
+};
+
+/// All three layers over one model: lint_model, generate + lint_chain +
+/// lint_reward, then the solver preflights the model's measures need.
+lint::Report run_battery(const BatteryInput& input) {
+  lint::Report report = lint::lint_model(*input.model);
+  if (report.has_errors()) return report;  // generation would throw on these
+
+  const san::GeneratedChain chain = san::generate_state_space(*input.model);
+  report.merge(lint::lint_chain(chain));
+  for (const san::RewardStructure& reward : input.rewards) {
+    report.merge(lint::lint_reward(chain, reward));
+  }
+  if (!input.transient_times.empty()) {
+    report.merge(lint::preflight_transient(chain.ctmc(), input.transient_times, {},
+                                           input.model->name()));
+  }
+  if (!input.accumulated_times.empty()) {
+    report.merge(lint::preflight_accumulated(chain.ctmc(), input.accumulated_times, {},
+                                             input.model->name()));
+  }
+  if (input.steady_state) {
+    report.merge(lint::preflight_steady_state(chain.ctmc(), {}, input.model->name()));
+  }
+  return report;
+}
+
+/// The model registry: name -> battery runner. New models (composed SANs,
+/// user studies) register here to become `gop_lint --model=<name>` targets.
+struct RegisteredModel {
+  const char* name;
+  std::function<lint::Report(const core::GsuParameters&, double phi)> run;
+};
+
+lint::Report run_rmgd(const core::GsuParameters& params, double phi) {
+  core::RmGd gd = core::build_rm_gd(params);
+  BatteryInput input;
+  input.model = &gd.model;
+  input.rewards = {gd.reward_p_a1(), gd.reward_ih(), gd.reward_ihf(), gd.reward_itauh(),
+                   gd.reward_detected()};
+  input.transient_times = {phi};
+  input.accumulated_times = {phi};
+  return run_battery(input);
+}
+
+lint::Report run_rmgp(const core::GsuParameters& params, double /*phi*/) {
+  core::RmGp gp = core::build_rm_gp(params);
+  BatteryInput input;
+  input.model = &gp.model;
+  input.rewards = {gp.reward_overhead_p1n(), gp.reward_overhead_p2()};
+  input.steady_state = true;
+  return run_battery(input);
+}
+
+lint::Report run_rmnd(const core::GsuParameters& params, double phi, double mu_1) {
+  core::RmNd nd = core::build_rm_nd(params, mu_1);
+  BatteryInput input;
+  input.model = &nd.model;
+  input.rewards = {nd.reward_no_failure()};
+  input.transient_times = {params.theta - phi, params.theta};
+  return run_battery(input);
+}
+
+const RegisteredModel kRegistry[] = {
+    {"rmgd", [](const core::GsuParameters& p, double phi) { return run_rmgd(p, phi); }},
+    {"rmgp", [](const core::GsuParameters& p, double phi) { return run_rmgp(p, phi); }},
+    {"rmnd-new",
+     [](const core::GsuParameters& p, double phi) { return run_rmnd(p, phi, p.mu_new); }},
+    {"rmnd-old",
+     [](const core::GsuParameters& p, double phi) { return run_rmnd(p, phi, p.mu_old); }},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("gop_lint", "static-analysis battery for the paper's SAN reward models");
+  const core::GsuParameters defaults = core::GsuParameters::table3();
+  flags.add_string("model", "all", "all | rmgd | rmgp | rmnd-new | rmnd-old")
+      .add_double("theta", defaults.theta, "hours to the next upgrade")
+      .add_double("lambda", defaults.lambda, "message rate (1/h)")
+      .add_double("mu_new", defaults.mu_new, "fault rate of the new version (1/h)")
+      .add_double("mu_old", defaults.mu_old, "fault rate of the old version (1/h)")
+      .add_double("coverage", defaults.coverage, "acceptance-test coverage")
+      .add_double("p_ext", defaults.p_ext, "external-message probability")
+      .add_double("alpha", defaults.alpha, "AT completion rate (1/h)")
+      .add_double("beta", defaults.beta, "checkpoint completion rate (1/h)")
+      .add_double("phi", 7000.0, "guarded-operation duration the preflight grids use")
+      .add_bool("json", false, "emit the findings report as JSON")
+      .add_bool("strict", false, "also fail (exit 3) on warning-severity findings");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    core::GsuParameters params;
+    params.theta = flags.get_double("theta");
+    params.lambda = flags.get_double("lambda");
+    params.mu_new = flags.get_double("mu_new");
+    params.mu_old = flags.get_double("mu_old");
+    params.coverage = flags.get_double("coverage");
+    params.p_ext = flags.get_double("p_ext");
+    params.alpha = flags.get_double("alpha");
+    params.beta = flags.get_double("beta");
+    params.validate();
+    const double phi = flags.get_double("phi");
+    const std::string& which = flags.get_string("model");
+
+    lint::Report report;
+    bool matched = false;
+    for (const RegisteredModel& entry : kRegistry) {
+      if (which != "all" && which != entry.name) continue;
+      matched = true;
+      report.merge(entry.run(params, phi));
+    }
+    if (!matched) {
+      std::fprintf(stderr, "unknown model '%s' (try --help)\n", which.c_str());
+      return 2;
+    }
+
+    if (flags.get_bool("json")) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::fputs(report.to_text().c_str(), stdout);
+    }
+
+    const bool gate_warnings = flags.get_bool("strict");
+    if (report.has_errors()) return 3;
+    if (gate_warnings && report.count(lint::Severity::kWarning) > 0) return 3;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
