@@ -3,17 +3,39 @@
 /// Shared helpers for the figure/table benchmark binaries: each bench prints
 /// the paper's series as a console table (and optionally CSV), and reports
 /// the grid optimum the way the paper quotes it (on the figure's own phi
-/// grid).
+/// grid). Work-count reporting rides on the gop::obs registry (CounterWatch)
+/// instead of per-bench before/after bookkeeping.
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/performability.hh"
 #include "core/sweep.hh"
+#include "obs/registry.hh"
 #include "util/table.hh"
 
 namespace gop::bench {
+
+/// Per-iteration delta of a gop::obs counter across a benchmark run: construct
+/// before the timing loop, read after. Used for solver work counts such as
+/// "markov.matrix_exponentials" (always-on legacy counters, so no
+/// obs::set_enabled is needed).
+class CounterWatch {
+ public:
+  explicit CounterWatch(std::string_view name)
+      : counter_(obs::counter(name)), before_(counter_.get()) {}
+
+  double per_iteration(uint64_t iterations) const {
+    if (iterations == 0) return 0.0;
+    return static_cast<double>(counter_.get() - before_) / static_cast<double>(iterations);
+  }
+
+ private:
+  obs::Counter& counter_;
+  uint64_t before_;
+};
 
 struct Series {
   std::string label;

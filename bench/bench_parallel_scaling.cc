@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/mc_validator.hh"
 #include "core/performability.hh"
 #include "core/sweep.hh"
@@ -56,6 +57,7 @@ void BM_SweepPhi41(benchmark::State& state) {
   const auto threads = static_cast<size_t>(state.range(0));
   const std::vector<double> grid = core::linspace(0.0, table3().theta, 41);
   const core::SweepOptions options{.threads = threads};
+  const bench::CounterWatch expm("markov.matrix_exponentials");
   for (auto _ : state) {
     std::vector<core::PerformabilityResult> results =
         core::sweep_phi(analyzer(), grid, options);
@@ -63,6 +65,7 @@ void BM_SweepPhi41(benchmark::State& state) {
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["points"] = 41.0;
+  state.counters["expm_per_sweep"] = expm.per_iteration(state.iterations());
 }
 BENCHMARK(BM_SweepPhi41)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
 

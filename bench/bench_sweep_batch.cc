@@ -17,9 +17,9 @@
 
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/performability.hh"
 #include "core/sweep.hh"
-#include "markov/solver_stats.hh"
 
 namespace {
 
@@ -59,33 +59,29 @@ core::ConstituentMeasures per_measure_constituents(const core::PerformabilityAna
 
 void BM_SweepPerMeasure41(benchmark::State& state) {
   const std::vector<double> grid = core::linspace(0.0, table3().theta, 41);
-  const uint64_t expm_before = markov::solver_stats().matrix_exponentials.load();
+  const bench::CounterWatch expm("markov.matrix_exponentials");
   for (auto _ : state) {
     for (double phi : grid) {
       core::ConstituentMeasures m = per_measure_constituents(analyzer(), phi);
       benchmark::DoNotOptimize(&m);
     }
   }
-  const uint64_t expm_after = markov::solver_stats().matrix_exponentials.load();
   state.counters["points"] = 41.0;
-  state.counters["expm_per_sweep"] =
-      static_cast<double>(expm_after - expm_before) / static_cast<double>(state.iterations());
+  state.counters["expm_per_sweep"] = expm.per_iteration(state.iterations());
 }
 BENCHMARK(BM_SweepPerMeasure41)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_SweepBatched41(benchmark::State& state) {
   const auto threads = static_cast<size_t>(state.range(0));
   const std::vector<double> grid = core::linspace(0.0, table3().theta, 41);
-  const uint64_t expm_before = markov::solver_stats().matrix_exponentials.load();
+  const bench::CounterWatch expm("markov.matrix_exponentials");
   for (auto _ : state) {
     std::vector<core::PerformabilityResult> results = analyzer().evaluate_batch(grid, threads);
     benchmark::DoNotOptimize(results.data());
   }
-  const uint64_t expm_after = markov::solver_stats().matrix_exponentials.load();
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["points"] = 41.0;
-  state.counters["expm_per_sweep"] =
-      static_cast<double>(expm_after - expm_before) / static_cast<double>(state.iterations());
+  state.counters["expm_per_sweep"] = expm.per_iteration(state.iterations());
 }
 BENCHMARK(BM_SweepBatched41)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
 

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "lint/lint.hh"
+#include "obs/span.hh"
 #include "par/parallel_for.hh"
 #include "san/session.hh"
 #include "util/error.hh"
@@ -25,6 +26,7 @@ PerformabilityAnalyzer::PerformabilityAnalyzer(const GsuParameters& params,
       gp_chain_(san::generate_state_space(gp_.model)),
       nd_new_chain_(san::generate_state_space(nd_new_.model)),
       nd_old_chain_(san::generate_state_space(nd_old_.model)) {
+  GOP_OBS_SPAN("core.analyzer_construction");
   params_.validate();
 
   // The structural half of the lint gate runs once, before the first solve:
@@ -54,6 +56,7 @@ ConstituentMeasures PerformabilityAnalyzer::constituents(double phi) const {
 
 std::vector<ConstituentMeasures> PerformabilityAnalyzer::constituents_batch(
     std::span<const double> phis, size_t threads) const {
+  GOP_OBS_SPAN("core.constituents_batch");
   const size_t n = phis.size();
   std::vector<ConstituentMeasures> out(n);
   if (n == 0) return out;
@@ -243,6 +246,7 @@ lint::Report PerformabilityAnalyzer::grid_report(std::span<const double> phis) c
 
 std::vector<PerformabilityResult> PerformabilityAnalyzer::evaluate_batch(
     std::span<const double> phis, size_t threads) const {
+  GOP_OBS_SPAN("core.evaluate_batch");
   const std::vector<ConstituentMeasures> measures = constituents_batch(phis, threads);
   std::vector<PerformabilityResult> results;
   results.reserve(phis.size());

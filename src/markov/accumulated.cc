@@ -2,6 +2,7 @@
 
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
@@ -40,17 +41,36 @@ std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double
   return occupancy;
 }
 
+/// One dispatcher-level event per accumulated_occupancy call; see the
+/// transient dispatcher for the rationale.
+[[gnu::cold]] [[gnu::noinline]] void record_accumulated_event(const Ctmc& chain, double t,
+                                                              const char* method) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kAccumulated;
+  event.method = method;
+  event.states = chain.state_count();
+  event.t = t;
+  event.lambda_t = chain.max_exit_rate() * t;
+  obs::record_event(std::move(event));
+}
+
 }  // namespace
 
 std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
                                           const AccumulatedOptions& options) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
-  if (t == 0.0) return std::vector<double>(chain.state_count(), 0.0);
+  GOP_OBS_SPAN("markov.accumulated");
+  if (t == 0.0) {
+    if (obs::enabled()) record_accumulated_event(chain, t, "initial");
+    return std::vector<double>(chain.state_count(), 0.0);
+  }
 
   switch (resolve_accumulated_method(chain, t, options)) {
     case AccumulatedMethod::kAugmentedExponential:
+      if (obs::enabled()) record_accumulated_event(chain, t, "augmented-expm");
       return occupancy_by_augmented_exponential(chain, t);
     case AccumulatedMethod::kUniformization:
+      if (obs::enabled()) record_accumulated_event(chain, t, "uniformization");
       return uniformized_accumulated_occupancy(chain, t, options.uniformization);
     case AccumulatedMethod::kAuto:
       break;

@@ -5,6 +5,7 @@
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
 #include "markov/solver_stats.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
@@ -52,6 +53,25 @@ size_t max_window_right(const std::vector<double>& times, double lambda,
     target = std::max(target, poisson_window(lambda * t, options.epsilon).right());
   }
   return target;
+}
+
+/// One event per session build: which engine serves the grid, how many grid
+/// points share the work, and (for the shared-sequence path) how long the
+/// recorded iterate sequence is.
+[[gnu::cold]] [[gnu::noinline]] void record_session_event(obs::SolverEventKind kind,
+                                                          const Ctmc& chain,
+                                                          const std::vector<double>& times,
+                                                          const char* method, double lambda_t,
+                                                          size_t target) {
+  obs::SolverEvent event;
+  event.kind = kind;
+  event.method = method;
+  event.states = chain.state_count();
+  event.t = times.empty() ? 0.0 : times.back();
+  event.lambda_t = lambda_t;
+  event.fox_glynn_right = target;
+  event.grid_points = times.size();
+  obs::record_event(std::move(event));
 }
 
 /// Propagates v_0 .. v_target (stopping early once the iterate is steady,
@@ -162,6 +182,7 @@ double series_dot(const std::vector<double>& x, const std::vector<double>& y) {
 TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
                                    const TransientOptions& options)
     : chain_(&chain), times_(std::move(times)) {
+  GOP_OBS_SPAN("markov.transient_session");
   solver_stats().transient_sessions.fetch_add(1, std::memory_order_relaxed);
   validate_grid(times_);
   if (times_.empty()) return;
@@ -175,6 +196,10 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
     const double lambda = uniformization_rate(chain, options.uniformization);
     const size_t target = max_window_right(times_, lambda, options.uniformization);
     if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
+      if (obs::enabled()) {
+        record_session_event(obs::SolverEventKind::kTransientSession, chain, times_,
+                             "uniformization-shared", lambda * times_.back(), target);
+      }
       const UniformizedSequence sequence =
           build_sequence(chain, options.uniformization, target);
       solve_grid(
@@ -184,6 +209,10 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
     }
     // Grid too long for the recorded sequence: independent per-time solves
     // (the workspace removes the per-step allocations; bits are unchanged).
+    if (obs::enabled()) {
+      record_session_event(obs::SolverEventKind::kTransientSession, chain, times_,
+                           "uniformization-fallback", lambda * times_.back(), target);
+    }
     UniformizationWorkspace workspace;
     solve_grid(
         times_, distributions_, [&] { return chain.initial_distribution(); },
@@ -195,6 +224,10 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
 
   // Dense path: one from-zero solve per *distinct* time, shared across
   // duplicates (and across every reward structure dotted against it).
+  if (obs::enabled()) {
+    record_session_event(obs::SolverEventKind::kTransientSession, chain, times_, "pade-expm", 0.0,
+                         0);
+  }
   solve_grid(
       times_, distributions_, [&] { return chain.initial_distribution(); },
       [&](double t) { return transient_distribution(chain, t, options); });
@@ -226,6 +259,7 @@ std::vector<double> TransientSession::reward_series(
 AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> times,
                                        const AccumulatedOptions& options)
     : chain_(&chain), times_(std::move(times)) {
+  GOP_OBS_SPAN("markov.accumulated_session");
   solver_stats().accumulated_sessions.fetch_add(1, std::memory_order_relaxed);
   validate_grid(times_);
   if (times_.empty()) return;
@@ -237,12 +271,20 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
     const double lambda = uniformization_rate(chain, options.uniformization);
     const size_t target = max_window_right(times_, lambda, options.uniformization);
     if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
+      if (obs::enabled()) {
+        record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+                             "uniformization-shared", lambda * times_.back(), target);
+      }
       const UniformizedSequence sequence =
           build_sequence(chain, options.uniformization, target);
       solve_grid(times_, occupancies_, zeros, [&](double t) {
         return replay_accumulated(chain, sequence, t, options.uniformization);
       });
       return;
+    }
+    if (obs::enabled()) {
+      record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+                           "uniformization-fallback", lambda * times_.back(), target);
     }
     UniformizationWorkspace workspace;
     solve_grid(times_, occupancies_, zeros, [&](double t) {
@@ -251,6 +293,10 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
     return;
   }
 
+  if (obs::enabled()) {
+    record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+                         "augmented-expm", 0.0, 0);
+  }
   solve_grid(times_, occupancies_, zeros,
              [&](double t) { return accumulated_occupancy(chain, t, options); });
 }

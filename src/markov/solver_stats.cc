@@ -1,9 +1,16 @@
 #include "markov/solver_stats.hh"
 
+#include "obs/registry.hh"
+
 namespace gop::markov {
 
 SolverCounters& solver_stats() {
-  static SolverCounters counters;
+  static SolverCounters counters{
+      obs::counter("markov.matrix_exponentials").raw(),
+      obs::counter("markov.uniformization_passes").raw(),
+      obs::counter("markov.transient_sessions").raw(),
+      obs::counter("markov.accumulated_sessions").raw(),
+  };
   return counters;
 }
 

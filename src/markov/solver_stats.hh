@@ -1,17 +1,23 @@
 #pragma once
 
 /// \file solver_stats.hh
-/// Process-wide counters of solver-engine invocations. The counters exist so
-/// tests and benches can *prove* the amortization claims of the solver-session
-/// layer (session.hh): a phi-sweep through the batched pipeline must cost
-/// O(1) uniformization passes per chain instead of O(points x measures), and
-/// the single-point evaluation path must solve each (chain, t) distribution
-/// exactly once however many reward structures are dotted against it.
+/// Compatibility shim over the gop::obs registry (obs/registry.hh). The
+/// process-wide solver-invocation counters used to live here as a standalone
+/// struct; they are now ordinary named obs counters
+/// ("markov.matrix_exponentials", "markov.uniformization_passes",
+/// "markov.transient_sessions", "markov.accumulated_sessions") so every sink
+/// — gop_trace, `gop_study --trace`, snapshots in tests — sees them next to
+/// the spans and solver events. This header keeps the historical API: the
+/// struct's members are references to the registry's atomics, so existing
+/// `solver_stats().matrix_exponentials.load()` call sites compile and read
+/// the same numbers.
 ///
-/// The counters are relaxed atomics: increments from concurrent solver calls
-/// never synchronize with each other, so they add no contention to the hot
-/// path, and reads taken while solvers are running are only advisory. Tests
-/// reset, run a known workload on one logical stream, and compare snapshots.
+/// The counters exist so tests and benches can *prove* the amortization
+/// claims of the solver-session layer (session.hh): a phi-sweep through the
+/// batched pipeline must cost O(1) uniformization passes per chain instead
+/// of O(points x measures). They are always counted (relaxed increments, no
+/// new overhead, no obs::set_enabled required) — exactly the pre-obs
+/// behaviour; only spans and solver events are gated on the obs enable flag.
 
 #include <atomic>
 #include <cstdint>
@@ -21,14 +27,14 @@ namespace gop::markov {
 struct SolverCounters {
   /// Dense Pade matrix exponentials (matrix_exp.hh), including the augmented
   /// 2n x 2n exponentials behind the accumulated-occupancy solver.
-  std::atomic<uint64_t> matrix_exponentials{0};
+  std::atomic<uint64_t>& matrix_exponentials;
   /// Uniformization propagation passes: each pointwise transient or
   /// accumulated solve counts one, and each session-shared Krylov sequence
   /// counts one regardless of how many grid times it serves.
-  std::atomic<uint64_t> uniformization_passes{0};
+  std::atomic<uint64_t>& uniformization_passes;
   /// TransientSession / AccumulatedSession constructions.
-  std::atomic<uint64_t> transient_sessions{0};
-  std::atomic<uint64_t> accumulated_sessions{0};
+  std::atomic<uint64_t>& transient_sessions;
+  std::atomic<uint64_t>& accumulated_sessions;
 
   void reset() {
     matrix_exponentials.store(0, std::memory_order_relaxed);
@@ -38,7 +44,7 @@ struct SolverCounters {
   }
 };
 
-/// The process-wide counter instance.
+/// The process-wide counter view (aliasing the obs registry).
 SolverCounters& solver_stats();
 
 }  // namespace gop::markov

@@ -4,12 +4,26 @@
 
 #include "linalg/gth.hh"
 #include "linalg/vector_ops.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
 namespace gop::markov {
 
 namespace {
+
+/// One event per steady_state_distribution call, recorded where the
+/// iteration count is known (inside the iterative methods, at the dispatcher
+/// for the direct GTH elimination).
+[[gnu::cold]] [[gnu::noinline]] void record_steady_event(const Ctmc& chain, const char* method,
+                                                         size_t iterations) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kSteadyState;
+  event.method = method;
+  event.states = chain.state_count();
+  event.iterations = iterations;
+  obs::record_event(std::move(event));
+}
 
 std::vector<double> power_iteration(const Ctmc& chain, const SteadyStateOptions& options) {
   const size_t n = chain.state_count();
@@ -26,6 +40,7 @@ std::vector<double> power_iteration(const Ctmc& chain, const SteadyStateOptions&
     v = std::move(next);
     if (diff < options.tolerance) {
       linalg::normalize_probability(v);
+      if (obs::enabled()) record_steady_event(chain, "power", iter + 1);
       return v;
     }
   }
@@ -61,7 +76,10 @@ std::vector<double> gauss_seidel(const Ctmc& chain, const SteadyStateOptions& op
       x[i] = updated;
     }
     linalg::normalize_probability(x);
-    if (max_change < options.tolerance) return x;
+    if (max_change < options.tolerance) {
+      if (obs::enabled()) record_steady_event(chain, "gauss-seidel", iter + 1);
+      return x;
+    }
   }
   throw NumericalError(str_format("Gauss-Seidel did not converge in %zu iterations",
                                   options.max_iterations));
@@ -78,9 +96,11 @@ SteadyStateMethod resolve_steady_state_method(const Ctmc& chain,
 
 std::vector<double> steady_state_distribution(const Ctmc& chain,
                                               const SteadyStateOptions& options) {
+  GOP_OBS_SPAN("markov.steady_state");
   const SteadyStateMethod method = resolve_steady_state_method(chain, options);
   switch (method) {
     case SteadyStateMethod::kGth:
+      if (obs::enabled()) record_steady_event(chain, "gth", 0);
       return linalg::gth_stationary_ctmc(chain.generator_dense());
     case SteadyStateMethod::kPower:
       return power_iteration(chain, options);

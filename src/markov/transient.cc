@@ -2,6 +2,7 @@
 
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
@@ -21,15 +22,42 @@ TransientMethod resolve_transient_method(const Ctmc& chain, double t,
   return TransientMethod::kUniformization;
 }
 
+namespace {
+
+/// One dispatcher-level event per transient_distribution call, carrying the
+/// engine the dispatcher actually resolved to — the assertion surface for
+/// "the intended method really ran" in the cross-solver validation tier.
+/// Cold + noinline: the event construction must not be inlined into the
+/// dispatcher, where it would dilute the hot path's I-cache for a branch
+/// that is never taken while tracing is disabled.
+[[gnu::cold]] [[gnu::noinline]] void record_transient_event(const Ctmc& chain, double t,
+                                                            const char* method) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kTransient;
+  event.method = method;
+  event.states = chain.state_count();
+  event.t = t;
+  event.lambda_t = chain.max_exit_rate() * t;
+  obs::record_event(std::move(event));
+}
+
+}  // namespace
+
 std::vector<double> transient_distribution(const Ctmc& chain, double t,
                                            const TransientOptions& options) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
-  if (t == 0.0) return chain.initial_distribution();
+  GOP_OBS_SPAN("markov.transient");
+  if (t == 0.0) {
+    if (obs::enabled()) record_transient_event(chain, t, "initial");
+    return chain.initial_distribution();
+  }
 
   switch (resolve_transient_method(chain, t, options)) {
     case TransientMethod::kUniformization:
+      if (obs::enabled()) record_transient_event(chain, t, "uniformization");
       return uniformized_transient_distribution(chain, t, options.uniformization);
     case TransientMethod::kMatrixExponential: {
+      if (obs::enabled()) record_transient_event(chain, t, "pade-expm");
       // pi(t)^T = pi(0)^T exp(Q t)
       const linalg::DenseMatrix expm = matrix_exponential(chain.generator_dense(), t);
       return expm.left_multiply(chain.initial_distribution());

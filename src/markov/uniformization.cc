@@ -6,10 +6,35 @@
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
 #include "markov/solver_stats.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
 namespace gop::markov {
+
+namespace {
+
+/// One event per propagation pass: the Fox-Glynn window, the DTMC steps the
+/// loop actually ran (iterations < window right when steady-state detection
+/// cut it short), and the stiffness Lambda*t.
+[[gnu::cold]] [[gnu::noinline]] void record_pass_event(const Ctmc& chain, double t,
+                                                       double lambda_t,
+                                                       const PoissonWindow& window, size_t steps,
+                                                       bool steady_state_detected) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kUniformizationPass;
+  event.method = "uniformization";
+  event.states = chain.state_count();
+  event.t = t;
+  event.lambda_t = lambda_t;
+  event.fox_glynn_left = window.left;
+  event.fox_glynn_right = window.right();
+  event.iterations = steps;
+  event.steady_state_detected = steady_state_detected;
+  obs::record_event(std::move(event));
+}
+
+}  // namespace
 
 void uniformized_step(const Ctmc& chain, double lambda, const std::vector<double>& v,
                       std::vector<double>& next) {
@@ -55,6 +80,8 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
   v = chain.initial_distribution();
   std::vector<double> result(chain.state_count(), 0.0);
   double used_mass = 0.0;
+  size_t steps = 0;
+  bool detected = false;
 
   for (size_t k = 0; k <= window.right(); ++k) {
     if (k >= window.left) {
@@ -65,12 +92,14 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
     if (k == window.right()) break;
 
     uniformized_step(chain, lambda, v, next);
+    ++steps;
     // Steady-state detection: once the DTMC iterate stops moving, all further
     // terms equal the current vector; fold the remaining Poisson mass in.
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
         options.steady_state_tol) {
       linalg::axpy(1.0 - used_mass, next, result);
       used_mass = 1.0;
+      detected = true;
       break;
     }
     std::swap(v, next);
@@ -81,6 +110,7 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
     // result stays a probability vector.
     linalg::axpy(1.0 - used_mass, v, result);
   }
+  if (obs::enabled()) record_pass_event(chain, t, lambda_t, window, steps, detected);
   return result;
 }
 
@@ -116,6 +146,8 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
   v = chain.initial_distribution();
   double cdf = 0.0;
   double tail_sum = 0.0;  // running sum of P(N > k) over processed k
+  size_t steps = 0;
+  bool detected = false;
 
   for (size_t k = 0; k <= window.right(); ++k) {
     if (k >= window.left) cdf += window.weights[k - window.left];
@@ -125,15 +157,18 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
     if (k == window.right()) break;
 
     uniformized_step(chain, lambda, v, next);
+    ++steps;
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
         options.steady_state_tol) {
       const double remaining = std::max(0.0, lambda_t - tail_sum);
       linalg::axpy(remaining / lambda, next, occupancy);
       tail_sum = lambda_t;
+      detected = true;
       break;
     }
     std::swap(v, next);
   }
+  if (obs::enabled()) record_pass_event(chain, t, lambda_t, window, steps, detected);
   return occupancy;
 }
 

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file obs.hh
+/// Umbrella header for gop::obs — the observability subsystem
+/// (docs/observability.md): registry (counters / gauges / solver events),
+/// RAII hierarchical spans, and the text / JSON / JSONL sinks.
+
+#include "obs/registry.hh"  // IWYU pragma: export
+#include "obs/sink.hh"      // IWYU pragma: export
+#include "obs/span.hh"      // IWYU pragma: export

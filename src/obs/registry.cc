@@ -1,0 +1,212 @@
+#include "obs/registry.hh"
+
+#include <time.h>
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "obs/span.hh"
+#include "util/error.hh"
+
+namespace gop::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+/// Mutable span-tree node. Timing fields are relaxed atomics so closing a
+/// span never takes a lock; the child list is mutated under the registry
+/// mutex (child creation is rare — once per distinct (parent, name) pair).
+struct LiveSpanNode {
+  std::string name;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> wall_ns{0};
+  std::atomic<uint64_t> cpu_ns{0};
+  std::vector<std::unique_ptr<LiveSpanNode>> children;
+};
+
+namespace {
+
+/// All registry state behind one mutex. Counters / gauges live in deques so
+/// the references handed out stay valid forever.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Counter*, std::less<>> counters;
+  std::map<std::string, MaxGauge*, std::less<>> gauges;
+  std::deque<Counter> counter_storage;
+  std::deque<MaxGauge> gauge_storage;
+  std::vector<SolverEvent> events;
+  uint64_t dropped_events = 0;
+  size_t max_events = 65536;
+  LiveSpanNode root{.name = "root"};
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+/// Copies the live tree, pruning subtrees with no completed samples. Live
+/// nodes survive reset() so pointers held by open spans stay valid; pruning
+/// here keeps those zero-count leftovers (and still-open spans) out of the
+/// snapshot until they record again.
+void snapshot_node(const LiveSpanNode& live, SpanNode& out) {
+  out.name = live.name;
+  out.count = live.count.load(std::memory_order_relaxed);
+  out.wall_ns = live.wall_ns.load(std::memory_order_relaxed);
+  out.cpu_ns = live.cpu_ns.load(std::memory_order_relaxed);
+  for (const auto& child : live.children) {
+    SpanNode copied;
+    snapshot_node(*child, copied);
+    if (copied.count > 0 || !copied.children.empty()) {
+      out.children.push_back(std::move(copied));
+    }
+  }
+}
+
+void reset_node(LiveSpanNode& node) {
+  node.count.store(0, std::memory_order_relaxed);
+  node.wall_ns.store(0, std::memory_order_relaxed);
+  node.cpu_ns.store(0, std::memory_order_relaxed);
+  for (auto& child : node.children) reset_node(*child);
+}
+
+}  // namespace
+
+LiveSpanNode* resolve_child(LiveSpanNode* parent, const char* name) {
+  Registry& reg = registry();
+  if (parent == nullptr) parent = &reg.root;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& child : parent->children) {
+    if (child->name == name) return child.get();
+  }
+  parent->children.push_back(std::make_unique<LiveSpanNode>());
+  parent->children.back()->name = name;
+  return parent->children.back().get();
+}
+
+LiveSpanNode*& current_span() {
+  thread_local LiveSpanNode* current = nullptr;
+  return current;
+}
+
+void record_sample(LiveSpanNode* node, uint64_t wall_ns, uint64_t cpu_ns) {
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  node->cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+}
+
+uint64_t wall_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+}  // namespace detail
+
+void ScopedSpan::open(const char* name) {
+  detail::LiveSpanNode*& current = detail::current_span();
+  parent_ = current;
+  node_ = detail::resolve_child(parent_, name);
+  current = node_;
+  wall_start_ = detail::wall_now_ns();
+  cpu_start_ = detail::cpu_now_ns();
+}
+
+void ScopedSpan::close() {
+  detail::record_sample(node_, detail::wall_now_ns() - wall_start_,
+                        detail::cpu_now_ns() - cpu_start_);
+  detail::current_span() = parent_;
+}
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+Counter& counter(std::string_view name) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.counters.find(name);
+  if (it != reg.counters.end()) return *it->second;
+  reg.counter_storage.emplace_back();
+  Counter& fresh = reg.counter_storage.back();
+  reg.counters.emplace(std::string(name), &fresh);
+  return fresh;
+}
+
+MaxGauge& max_gauge(std::string_view name) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.gauges.find(name);
+  if (it != reg.gauges.end()) return *it->second;
+  reg.gauge_storage.emplace_back();
+  MaxGauge& fresh = reg.gauge_storage.back();
+  reg.gauges.emplace(std::string(name), &fresh);
+  return fresh;
+}
+
+const char* to_string(SolverEventKind kind) {
+  switch (kind) {
+    case SolverEventKind::kTransient: return "transient";
+    case SolverEventKind::kAccumulated: return "accumulated";
+    case SolverEventKind::kSteadyState: return "steady_state";
+    case SolverEventKind::kMatrixExponential: return "matrix_exponential";
+    case SolverEventKind::kUniformizationPass: return "uniformization_pass";
+    case SolverEventKind::kTransientSession: return "transient_session";
+    case SolverEventKind::kAccumulatedSession: return "accumulated_session";
+  }
+  throw InternalError("unknown SolverEventKind");
+}
+
+void record_event(SolverEvent event) {
+  if (!enabled()) return;
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.events.size() >= reg.max_events) {
+    ++reg.dropped_events;
+    return;
+  }
+  reg.events.push_back(std::move(event));
+}
+
+Snapshot snapshot() {
+  detail::Registry& reg = detail::registry();
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [name, c] : reg.counters) out.counters[name] = c->get();
+  for (const auto& [name, g] : reg.gauges) out.gauges[name] = g->get();
+  out.events = reg.events;
+  out.dropped_events = reg.dropped_events;
+  detail::snapshot_node(reg.root, out.root);
+  return out;
+}
+
+void reset() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, c] : reg.counters) c->reset();
+  for (auto& [name, g] : reg.gauges) g->reset();
+  reg.events.clear();
+  reg.dropped_events = 0;
+  detail::reset_node(reg.root);
+}
+
+void set_max_events(size_t max_events) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.max_events = max_events;
+}
+
+}  // namespace gop::obs

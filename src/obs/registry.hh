@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file registry.hh
+/// Process-wide observability registry: named counters and max-gauges,
+/// structured solver-event records, and the aggregated span tree fed by the
+/// RAII timers in obs/span.hh. The registry is the single source of truth
+/// every sink (obs/sink.hh), the gop_trace tool, and the assertion surface of
+/// the cross-solver validation tier read from.
+///
+/// Cost model (docs/observability.md):
+///  - Counters and gauges are relaxed atomics with stable addresses; an
+///    increment never takes a lock and never synchronizes with other solver
+///    calls. The four legacy solver counters behind markov::solver_stats()
+///    are *always* counted — exactly the pre-obs behaviour — so existing
+///    amortization tests keep working without enabling anything.
+///  - Everything else (solver events, spans, the par/sim instrumentation) is
+///    gated on enabled(): a single relaxed bool load on the hot path when
+///    tracing is off, nothing recorded, nothing allocated.
+///  - Lookup by name takes a mutex, so instrumentation sites cache the
+///    returned reference (`static obs::Counter& c = obs::counter("...")`).
+///    References stay valid for the process lifetime (deque storage).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gop::obs {
+
+/// Global trace switch for events, spans, and the non-legacy counters.
+/// Reading is one relaxed atomic load; flipping it mid-solve is allowed
+/// (records from concurrent solves are simply kept or dropped per site).
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonically increasing relaxed counter with a stable address.
+class Counter {
+ public:
+  void add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  /// The underlying atomic, for the markov::solver_stats() compatibility shim.
+  std::atomic<uint64_t>& raw() { return value_; }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Running maximum (e.g. thread-pool queue depth high-water mark).
+class MaxGauge {
+ public:
+  void record(uint64_t value) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Looks up (or registers) a named counter / gauge. Thread-safe; the returned
+/// reference is valid for the process lifetime. Cache it at instrumentation
+/// sites — the lookup itself takes the registry mutex.
+Counter& counter(std::string_view name);
+MaxGauge& max_gauge(std::string_view name);
+
+/// What a solver event describes. One record per *entry-point* call: the
+/// transient / accumulated / steady-state dispatchers, each dense Padé expm,
+/// each uniformization propagation pass, and each solver-session build.
+enum class SolverEventKind {
+  kTransient,
+  kAccumulated,
+  kSteadyState,
+  kMatrixExponential,
+  kUniformizationPass,
+  kTransientSession,
+  kAccumulatedSession,
+};
+
+const char* to_string(SolverEventKind kind);
+
+/// Per-solve diagnostic record in the spirit of the transient-reward
+/// literature (PAPERS.md): enough to audit after the fact which engine ran,
+/// how stiff the problem was, and how hard the solver worked.
+struct SolverEvent {
+  SolverEventKind kind = SolverEventKind::kTransient;
+  /// Engine actually run: "uniformization", "pade-expm", "augmented-expm",
+  /// "gth", "power", "gauss-seidel", "initial" (t = 0 fast path), ...
+  std::string method;
+  size_t states = 0;        ///< chain dimension
+  double t = 0.0;           ///< solve horizon (0 for steady state / raw expm)
+  double lambda_t = 0.0;    ///< uniformization stiffness Lambda*t (0 if n/a)
+  size_t fox_glynn_left = 0;   ///< Poisson window [left, right]
+  size_t fox_glynn_right = 0;
+  size_t iterations = 0;    ///< DTMC steps / power sweeps / expm squarings
+  bool steady_state_detected = false;  ///< uniformization stopped early
+  size_t grid_points = 0;   ///< session events: times served by this solve
+};
+
+/// Records an event when enabled() (drops it otherwise). The buffer is
+/// bounded; once `max_events` records are held further ones are counted in
+/// dropped_events() but not stored.
+void record_event(SolverEvent event);
+
+/// Aggregated timing node of the span tree (see obs/span.hh for how nodes
+/// are created). Children are keyed by span name; a name used under two
+/// different parents is two nodes.
+struct SpanNode {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t wall_ns = 0;
+  uint64_t cpu_ns = 0;
+  std::vector<SpanNode> children;
+};
+
+/// Point-in-time copy of everything the registry holds; the in-memory sink
+/// tests and tools assert against.
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::vector<SolverEvent> events;
+  uint64_t dropped_events = 0;
+  SpanNode root;  ///< name "root"; top-level spans are its children
+};
+
+Snapshot snapshot();
+
+/// Clears events, the span tree, and every counter / gauge (including the
+/// legacy solver counters — markov::solver_stats().reset() does the same for
+/// just its four). Intended for tests and tool startup, not for use while
+/// solves are in flight.
+void reset();
+
+/// Maximum solver events kept before dropping (default 65536). Setting a new
+/// cap does not discard already-recorded events.
+void set_max_events(size_t max_events);
+
+namespace detail {
+/// The global enable flag, exposed so the inline fast path in span.hh can
+/// read it without a function call per check.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace gop::obs

@@ -1,0 +1,169 @@
+#include "obs/sink.hh"
+
+#include <map>
+
+#include "util/strings.hh"
+
+namespace gop::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void text_node(const SpanNode& node, size_t depth, std::string& out) {
+  const int indent = static_cast<int>(2 * depth);
+  const int name_width = std::max(1, 40 - indent);
+  out += str_format("%*s%-*s  count %8llu  wall %10.3f ms  cpu %10.3f ms\n", indent, "",
+                    name_width, node.name.c_str(), static_cast<unsigned long long>(node.count),
+                    ms(node.wall_ns), ms(node.cpu_ns));
+  for (const SpanNode& child : node.children) text_node(child, depth + 1, out);
+}
+
+std::string event_json(const SolverEvent& e) {
+  return str_format(
+      "{\"kind\":\"%s\",\"method\":\"%s\",\"states\":%zu,\"t\":%.17g,"
+      "\"lambda_t\":%.17g,\"fox_glynn_left\":%zu,\"fox_glynn_right\":%zu,"
+      "\"iterations\":%zu,\"steady_state_detected\":%s,\"grid_points\":%zu}",
+      to_string(e.kind), json_escape(e.method).c_str(), e.states, e.t, e.lambda_t,
+      e.fox_glynn_left, e.fox_glynn_right, e.iterations,
+      e.steady_state_detected ? "true" : "false", e.grid_points);
+}
+
+void json_node(const SpanNode& node, std::string& out) {
+  out += str_format("{\"name\":\"%s\",\"count\":%llu,\"wall_ns\":%llu,\"cpu_ns\":%llu",
+                    json_escape(node.name).c_str(),
+                    static_cast<unsigned long long>(node.count),
+                    static_cast<unsigned long long>(node.wall_ns),
+                    static_cast<unsigned long long>(node.cpu_ns));
+  out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ",";
+    json_node(node.children[i], out);
+  }
+  out += "]}";
+}
+
+void jsonl_nodes(const SpanNode& node, const std::string& prefix, std::string& out) {
+  const std::string path = prefix.empty() ? node.name : prefix + "/" + node.name;
+  out += str_format("{\"type\":\"span\",\"path\":\"%s\",\"count\":%llu,\"wall_ns\":%llu,"
+                    "\"cpu_ns\":%llu}\n",
+                    json_escape(path).c_str(), static_cast<unsigned long long>(node.count),
+                    static_cast<unsigned long long>(node.wall_ns),
+                    static_cast<unsigned long long>(node.cpu_ns));
+  for (const SpanNode& child : node.children) jsonl_nodes(child, path, out);
+}
+
+}  // namespace
+
+std::string render_text(const Snapshot& snapshot) {
+  std::string out = "spans (count, wall, cpu):\n";
+  if (snapshot.root.children.empty()) {
+    out += "  (none recorded)\n";
+  }
+  for (const SpanNode& child : snapshot.root.children) text_node(child, 1, out);
+
+  out += "\ncounters:\n";
+  if (snapshot.counters.empty()) out += "  (none)\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out += str_format("  %-40s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+
+  if (!snapshot.gauges.empty()) {
+    out += "\ngauges (max):\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out += str_format("  %-40s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+
+  out += str_format("\nsolver events: %zu", snapshot.events.size());
+  if (snapshot.dropped_events > 0) {
+    out += str_format(" (+%llu dropped)", static_cast<unsigned long long>(snapshot.dropped_events));
+  }
+  out += "\n";
+  // Digest: per (kind, method) count, total iterations, max lambda_t.
+  struct Digest {
+    size_t count = 0;
+    size_t iterations = 0;
+    double max_lambda_t = 0.0;
+  };
+  std::map<std::string, Digest> digest;
+  for (const SolverEvent& e : snapshot.events) {
+    Digest& d = digest[std::string(to_string(e.kind)) + " / " + e.method];
+    ++d.count;
+    d.iterations += e.iterations;
+    d.max_lambda_t = std::max(d.max_lambda_t, e.lambda_t);
+  }
+  for (const auto& [key, d] : digest) {
+    out += str_format("  %-44s x%-6zu iterations %-8zu max Lambda*t %.3g\n", key.c_str(),
+                      d.count, d.iterations, d.max_lambda_t);
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += str_format("\"%s\":%llu", json_escape(name).c_str(),
+                      static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += str_format("\"%s\":%llu", json_escape(name).c_str(),
+                      static_cast<unsigned long long>(value));
+  }
+  out += str_format("},\"dropped_events\":%llu,\"events\":[",
+                    static_cast<unsigned long long>(snapshot.dropped_events));
+  for (size_t i = 0; i < snapshot.events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += event_json(snapshot.events[i]);
+  }
+  out += "],\"spans\":";
+  json_node(snapshot.root, out);
+  out += "}";
+  return out;
+}
+
+std::string render_jsonl(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += str_format("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                      json_escape(name).c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += str_format("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%llu}\n",
+                      json_escape(name).c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const SpanNode& child : snapshot.root.children) jsonl_nodes(child, "", out);
+  for (const SolverEvent& e : snapshot.events) {
+    out += "{\"type\":\"event\",\"event\":" + event_json(e) + "}\n";
+  }
+  return out;
+}
+
+}  // namespace gop::obs

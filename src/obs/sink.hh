@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file sink.hh
+/// Structured renderers for a registry Snapshot (obs/registry.hh):
+///
+///  - render_text  — human-readable trace: the span tree indented with
+///                   call counts and wall/CPU milliseconds, then counters,
+///                   gauges, and a per-kind solver-event digest.
+///  - render_json  — one JSON document with the full span tree, counters,
+///                   gauges, and every solver event (what `gop_trace --json`
+///                   and the CI trace artifacts emit).
+///  - render_jsonl — JSON *lines*: one object per span node (with its full
+///                   dotted path), per counter, per gauge, and per solver
+///                   event; greppable and streamable into log pipelines.
+///
+/// The third sink is the Snapshot itself: tests assert against the in-memory
+/// structure and never parse rendered output.
+
+#include <string>
+
+#include "obs/registry.hh"
+
+namespace gop::obs {
+
+std::string render_text(const Snapshot& snapshot);
+std::string render_json(const Snapshot& snapshot);
+std::string render_jsonl(const Snapshot& snapshot);
+
+}  // namespace gop::obs

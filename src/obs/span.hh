@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file span.hh
+/// RAII scoped timers that build the registry's aggregated span tree.
+///
+/// A ScopedSpan measures monotonic wall time (steady_clock) and per-thread
+/// CPU time (CLOCK_THREAD_CPUTIME_ID) between construction and destruction
+/// and merges both into the span node addressed by (enclosing span, name).
+/// Nesting is tracked per thread: the parent of a span is the innermost live
+/// span *on the same thread*, or the root for a thread with no open span —
+/// so spans opened inside thread-pool tasks aggregate under the task's own
+/// top-level name rather than racing to attach to another thread's stack.
+///
+/// When tracing is disabled the constructor is a single relaxed atomic load;
+/// nothing is timed, looked up, or recorded.
+
+#include <cstdint>
+
+#include "obs/registry.hh"
+
+namespace gop::obs {
+
+namespace detail {
+
+/// Internal mutable tree node; snapshot() converts these into SpanNode.
+struct LiveSpanNode;
+
+/// Resolves (or creates) the child of `parent` named `name`; takes the
+/// registry mutex on first use of a (parent, name) pair.
+LiveSpanNode* resolve_child(LiveSpanNode* parent, const char* name);
+
+/// The per-thread innermost live span (nullptr = attach to the root).
+LiveSpanNode*& current_span();
+
+/// Adds one completed timing sample to `node` (relaxed atomics, no lock).
+void record_sample(LiveSpanNode* node, uint64_t wall_ns, uint64_t cpu_ns);
+
+uint64_t wall_now_ns();
+uint64_t cpu_now_ns();
+
+}  // namespace detail
+
+/// Scoped hierarchical timer. `name` must be a string literal (or otherwise
+/// outlive the registry); it is the tree key, so keep names stable —
+/// "markov.transient", "core.evaluate_batch", ...
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (enabled()) open(name);
+  }
+
+  ~ScopedSpan() {
+    if (node_ != nullptr) close();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  // Out of line (registry.cc) and cold: a span lands in every solver hot
+  // path, so the disabled case must cost exactly one relaxed load plus a
+  // never-taken branch — keeping the open/close machinery out of the caller
+  // keeps it out of the caller's I-cache footprint too.
+  [[gnu::cold]] void open(const char* name);
+  [[gnu::cold]] void close();
+
+  detail::LiveSpanNode* node_ = nullptr;
+  detail::LiveSpanNode* parent_ = nullptr;
+  uint64_t wall_start_ = 0;
+  uint64_t cpu_start_ = 0;
+};
+
+}  // namespace gop::obs
+
+#define GOP_OBS_CONCAT_INNER(a, b) a##b
+#define GOP_OBS_CONCAT(a, b) GOP_OBS_CONCAT_INNER(a, b)
+
+/// Opens a scoped span for the rest of the enclosing block.
+#define GOP_OBS_SPAN(name) ::gop::obs::ScopedSpan GOP_OBS_CONCAT(gop_obs_span_, __LINE__)(name)

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/registry.hh"
 #include "util/error.hh"
+#include "util/strings.hh"
 
 namespace gop::par {
 
@@ -20,7 +22,7 @@ ThreadPool::ThreadPool(size_t thread_count) {
   if (thread_count == 0) thread_count = default_thread_count();
   workers_.reserve(thread_count);
   for (size_t i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -35,15 +37,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   GOP_REQUIRE(static_cast<bool>(task), "ThreadPool::submit needs a callable task");
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     GOP_REQUIRE(!stopping_, "ThreadPool::submit after shutdown began");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   ready_.notify_one();
+  if (obs::enabled()) {
+    static obs::Counter& submitted = obs::counter("par.tasks_submitted");
+    static obs::MaxGauge& depth_max = obs::max_gauge("par.queue_depth_max");
+    submitted.add();
+    depth_max.record(depth);
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(size_t worker_index) {
+  obs::Counter* worker_tasks = nullptr;  // resolved lazily, only when tracing
   while (true) {
     std::function<void()> task;
     {
@@ -54,6 +65,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+    if (obs::enabled()) {
+      static obs::Counter& executed = obs::counter("par.tasks_executed");
+      executed.add();
+      if (worker_tasks == nullptr) {
+        worker_tasks = &obs::counter(str_format("par.worker.%zu.tasks", worker_index));
+      }
+      worker_tasks->add();
+    }
   }
 }
 

@@ -40,10 +40,16 @@ class ThreadPool {
   /// Enqueues a task. Workers pick tasks up in submission (FIFO) order; with
   /// a single worker this is also the execution order. Tasks must not throw —
   /// wrap fallible work (parallel_for captures exceptions per chunk).
+  ///
+  /// Observability: when gop::obs is enabled, submissions count into
+  /// "par.tasks_submitted" and the queue-depth high-water mark into
+  /// "par.queue_depth_max"; each worker counts executed tasks into
+  /// "par.tasks_executed" and its own "par.worker.<i>.tasks". Disabled obs
+  /// costs one relaxed load per submit/execute.
   void submit(std::function<void()> task);
 
  private:
-  void worker_loop();
+  void worker_loop(size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable ready_;

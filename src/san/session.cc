@@ -1,6 +1,7 @@
 #include "san/session.hh"
 
 #include "linalg/vector_ops.hh"
+#include "obs/span.hh"
 #include "util/error.hh"
 
 namespace gop::san {
@@ -8,6 +9,7 @@ namespace gop::san {
 ChainSession::ChainSession(const GeneratedChain& chain, std::vector<double> times,
                            const GridSolveOptions& options)
     : chain_(&chain), times_(std::move(times)) {
+  GOP_OBS_SPAN("san.chain_session");
   GOP_REQUIRE(options.transient || options.accumulated,
               "solve_grid needs at least one of transient / accumulated");
   if (options.transient) {

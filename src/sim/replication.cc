@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "par/parallel_for.hh"
 #include "util/error.hh"
 
@@ -23,10 +24,20 @@ bool target_met(const ReplicationOptions& options, const OnlineStats& stats) {
   return false;
 }
 
+/// Counts one finished run into the registry ("sim.runs", "sim.replications",
+/// "sim.batches"; batches = 0 for the serial path).
+void record_run(const ReplicationResult& result, size_t batches) {
+  if (!obs::enabled()) return;
+  obs::counter("sim.runs").add();
+  obs::counter("sim.replications").add(result.stats.count());
+  obs::counter("sim.batches").add(batches);
+}
+
 }  // namespace
 
 ReplicationResult run_replications(const std::function<double(Rng&)>& replication,
                                    const ReplicationOptions& options) {
+  GOP_OBS_SPAN("sim.run_replications");
   GOP_REQUIRE(static_cast<bool>(replication), "replication functional must be callable");
   GOP_REQUIRE(options.min_replications >= 2, "need at least two replications");
   GOP_REQUIRE(options.max_replications >= options.min_replications,
@@ -50,6 +61,7 @@ ReplicationResult run_replications(const std::function<double(Rng&)>& replicatio
       }
     }
     if (!result.target_met) result.target_met = target_met(options, result.stats);
+    record_run(result, 0);
     return result;
   }
 
@@ -65,6 +77,7 @@ ReplicationResult run_replications(const std::function<double(Rng&)>& replicatio
   std::vector<double> values;
 
   size_t launched = 0;
+  size_t batches = 0;
   while (launched < options.max_replications) {
     const size_t batch = std::min(batch_size, options.max_replications - launched);
     seeds.resize(batch);
@@ -79,12 +92,14 @@ ReplicationResult run_replications(const std::function<double(Rng&)>& replicatio
     });
     for (double value : values) result.stats.add(value);
     launched += batch;
+    ++batches;
     if (result.stats.count() >= options.min_replications && target_met(options, result.stats)) {
       result.target_met = true;
       break;
     }
   }
   if (!result.target_met) result.target_met = target_met(options, result.stats);
+  record_run(result, batches);
   return result;
 }
 

@@ -1,0 +1,239 @@
+// Golden-file regression tests for the paper's headline numbers: the Table 1
+// constituent measures, the Table 2 overhead measures, the Table 3 baseline
+// Y(phi) sweep, and the Figure 9–12 parameter studies. Each scenario computes
+// its values through the public analyzer API and compares them against JSON
+// files under tests/golden/ (compile definition GOP_GOLDEN_DIR) with a small
+// relative tolerance, so an accidental change anywhere in the translation
+// pipeline — SAN generation, state-space reachability, any solver engine, the
+// constituent assembly — shows up as a failed golden.
+//
+// Regenerating after an *intentional* numeric change:
+//
+//   ./tests/golden_regression_test --update-golden
+//
+// rewrites every golden file in the source tree from the current build (the
+// flag is consumed before gtest sees argv); re-run without the flag to
+// confirm, and review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/performability.hh"
+#include "core/sweep.hh"
+#include "util/strings.hh"
+
+namespace gop {
+namespace {
+
+bool g_update_golden = false;
+
+constexpr double kRelTolerance = 1e-7;
+constexpr double kAbsTolerance = 1e-12;
+
+using GoldenMap = std::map<std::string, double>;
+
+std::string golden_path(const std::string& name) {
+  return std::string(GOP_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+void write_golden(const std::string& name, const GoldenMap& values) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "{\n";
+  size_t i = 0;
+  for (const auto& [key, value] : values) {
+    out << "  \"" << key << "\": " << str_format("%.17g", value);
+    out << (++i == values.size() ? "\n" : ",\n");
+  }
+  out << "}\n";
+}
+
+/// Minimal reader for the flat {"key": number} documents this test writes:
+/// keys contain no escapes, values are plain JSON numbers.
+GoldenMap read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " — run with --update-golden to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  GoldenMap values;
+  size_t pos = 0;
+  while (true) {
+    const size_t key_start = text.find('"', pos);
+    if (key_start == std::string::npos) break;
+    const size_t key_end = text.find('"', key_start + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(key_start + 1, key_end - key_start - 1);
+    const size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) break;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    values[key] = value;
+    pos = static_cast<size_t>(end - text.c_str());
+  }
+  return values;
+}
+
+/// Update mode: rewrite the golden. Check mode: identical key sets, each
+/// value within rel/abs tolerance.
+void check_or_update(const std::string& name, const GoldenMap& computed) {
+  if (g_update_golden) {
+    write_golden(name, computed);
+    std::printf("[golden] wrote %s (%zu values)\n", golden_path(name).c_str(), computed.size());
+    return;
+  }
+  const GoldenMap expected = read_golden(name);
+  for (const auto& [key, value] : expected) {
+    ASSERT_TRUE(computed.contains(key)) << name << ": computed set lost key '" << key << "'";
+    const double got = computed.at(key);
+    const double tolerance = kAbsTolerance + kRelTolerance * std::abs(value);
+    EXPECT_NEAR(got, value, tolerance) << name << " / " << key;
+  }
+  for (const auto& [key, value] : computed) {
+    (void)value;
+    EXPECT_TRUE(expected.contains(key))
+        << name << ": computed new key '" << key << "' absent from golden (run --update-golden)";
+  }
+}
+
+/// "phi_03000" — fixed width so the map (and the JSON) sorts numerically.
+std::string phi_key(double phi) { return str_format("phi_%05.0f", phi); }
+
+void add_sweep(GoldenMap& golden, const std::string& prefix,
+               const core::PerformabilityAnalyzer& analyzer, const std::vector<double>& phis) {
+  for (const core::PerformabilityResult& r : core::sweep_phi(analyzer, phis)) {
+    golden[prefix + phi_key(r.phi) + "/y"] = r.y;
+  }
+}
+
+TEST(GoldenRegression, Table1Constituents) {
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const core::PerformabilityAnalyzer analyzer(params);
+  GoldenMap golden;
+  for (double phi : core::linspace(0.0, params.theta, 11)) {
+    const core::ConstituentMeasures m = analyzer.constituents(phi);
+    const std::string k = phi_key(phi) + "/";
+    golden[k + "p_a1"] = m.p_a1_phi;
+    golden[k + "i_h"] = m.i_h;
+    golden[k + "i_tau_h"] = m.i_tau_h;
+    golden[k + "i_tau_h_literal"] = m.i_tau_h_literal;
+    golden[k + "i_hf"] = m.i_hf;
+    golden[k + "p_nd_rest"] = m.p_nd_rest;
+    golden[k + "i_f"] = m.i_f;
+  }
+  check_or_update("table1_constituents", golden);
+}
+
+TEST(GoldenRegression, Table2Overhead) {
+  GoldenMap golden;
+  // 6000 is the Table 3 baseline; 2500 is the paper's degraded-overhead arm.
+  for (double rate : {6000.0, 2500.0}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = rate;
+    params.beta = rate;
+    const core::PerformabilityAnalyzer analyzer(params);
+    const std::string k = str_format("alpha_beta_%05.0f/", rate);
+    golden[k + "rho1"] = analyzer.rho1();
+    golden[k + "rho2"] = analyzer.rho2();
+  }
+  check_or_update("table2_overhead", golden);
+}
+
+TEST(GoldenRegression, Table3BaselineSweep) {
+  const core::GsuParameters params = core::GsuParameters::table3();
+  const core::PerformabilityAnalyzer analyzer(params);
+  GoldenMap golden;
+  for (const core::PerformabilityResult& r :
+       core::sweep_phi(analyzer, core::linspace(0.0, params.theta, 11))) {
+    const std::string k = phi_key(r.phi) + "/";
+    golden[k + "y"] = r.y;
+    golden[k + "e_w0"] = r.e_w0;
+    golden[k + "e_wphi"] = r.e_wphi;
+    golden[k + "y_s1"] = r.y_s1;
+    golden[k + "y_s2"] = r.y_s2;
+    golden[k + "gamma"] = r.gamma;
+  }
+  check_or_update("table3_baseline_sweep", golden);
+}
+
+TEST(GoldenRegression, Fig09FaultRate) {
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  GoldenMap golden;
+  for (double mu_new : {1e-4, 0.5e-4}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.mu_new = mu_new;
+    const core::PerformabilityAnalyzer analyzer(params);
+    add_sweep(golden, str_format("mu_new_%g/", mu_new), analyzer, phis);
+  }
+  check_or_update("fig09_fault_rate", golden);
+}
+
+TEST(GoldenRegression, Fig10Overhead) {
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  GoldenMap golden;
+  for (double rate : {6000.0, 2500.0}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = rate;
+    params.beta = rate;
+    const core::PerformabilityAnalyzer analyzer(params);
+    const std::string prefix = str_format("alpha_beta_%05.0f/", rate);
+    golden[prefix + "rho1"] = analyzer.rho1();
+    golden[prefix + "rho2"] = analyzer.rho2();
+    add_sweep(golden, prefix, analyzer, phis);
+  }
+  check_or_update("fig10_overhead", golden);
+}
+
+TEST(GoldenRegression, Fig11Coverage) {
+  const std::vector<double> phis = core::linspace(0.0, 10000.0, 11);
+  GoldenMap golden;
+  for (double coverage : {0.95, 0.75, 0.50}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.alpha = 2500.0;
+    params.beta = 2500.0;
+    params.coverage = coverage;
+    const core::PerformabilityAnalyzer analyzer(params);
+    add_sweep(golden, str_format("coverage_%.2f/", coverage), analyzer, phis);
+  }
+  check_or_update("fig11_coverage", golden);
+}
+
+TEST(GoldenRegression, Fig12ShorterTheta) {
+  const std::vector<double> phis = core::linspace(0.0, 5000.0, 11);
+  GoldenMap golden;
+  for (double mu_new : {1e-4, 0.5e-4}) {
+    core::GsuParameters params = core::GsuParameters::table3();
+    params.theta = 5000.0;
+    params.mu_new = mu_new;
+    const core::PerformabilityAnalyzer analyzer(params);
+    add_sweep(golden, str_format("mu_new_%g/", mu_new), analyzer, phis);
+  }
+  check_or_update("fig12_shorter_theta", golden);
+}
+
+}  // namespace
+}  // namespace gop
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-golden") {
+      gop::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,240 @@
+// gop::obs unit tests: registry counters/gauges, the enable gate, solver
+// events, the aggregated span tree (including cross-thread attachment), the
+// three sinks, and the markov::solver_stats() compatibility shim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "markov/solver_stats.hh"
+#include "markov/transient.hh"
+#include "obs/obs.hh"
+
+namespace gop {
+namespace {
+
+/// Every test starts from a clean, disabled registry and leaves it that way
+/// (the registry is process-global; other suites expect tracing off).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+    obs::set_max_events(65536);
+  }
+};
+
+markov::Ctmc two_state_chain() {
+  return markov::Ctmc(2, {{0, 1, 1.0, -1}, {1, 0, 2.0, -1}}, {1.0, 0.0});
+}
+
+TEST_F(ObsTest, CounterAccumulatesAndHasStableIdentity) {
+  obs::Counter& a = obs::counter("test.counter");
+  a.add();
+  a.add(4);
+  EXPECT_EQ(a.get(), 5u);
+  EXPECT_EQ(&obs::counter("test.counter"), &a);
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  ASSERT_TRUE(snapshot.counters.contains("test.counter"));
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 5u);
+}
+
+TEST_F(ObsTest, MaxGaugeKeepsHighWaterMark) {
+  obs::MaxGauge& g = obs::max_gauge("test.gauge");
+  g.record(3);
+  g.record(7);
+  g.record(5);
+  EXPECT_EQ(g.get(), 7u);
+  EXPECT_EQ(obs::snapshot().gauges.at("test.gauge"), 7u);
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+  obs::set_enabled(true);
+  obs::counter("test.counter").add(9);
+  obs::record_event({.kind = obs::SolverEventKind::kTransient, .method = "uniformization"});
+  { GOP_OBS_SPAN("test.span"); }
+  obs::reset();
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 0u);
+  EXPECT_TRUE(snapshot.events.empty());
+  EXPECT_TRUE(snapshot.root.children.empty());
+}
+
+TEST_F(ObsTest, DisabledRecordsNoEventsOrSpans) {
+  ASSERT_FALSE(obs::enabled());
+  obs::record_event({.kind = obs::SolverEventKind::kTransient, .method = "uniformization"});
+  { GOP_OBS_SPAN("test.disabled_span"); }
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  EXPECT_TRUE(snapshot.events.empty());
+  EXPECT_EQ(snapshot.dropped_events, 0u);
+  EXPECT_TRUE(snapshot.root.children.empty());
+}
+
+TEST_F(ObsTest, EventBufferIsBoundedAndCountsDrops) {
+  obs::set_enabled(true);
+  obs::set_max_events(3);
+  for (int i = 0; i < 5; ++i) {
+    obs::record_event({.kind = obs::SolverEventKind::kMatrixExponential, .method = "pade13"});
+  }
+  const obs::Snapshot snapshot = obs::snapshot();
+  EXPECT_EQ(snapshot.events.size(), 3u);
+  EXPECT_EQ(snapshot.dropped_events, 2u);
+}
+
+TEST_F(ObsTest, SpansNestIntoATree) {
+  obs::set_enabled(true);
+  {
+    GOP_OBS_SPAN("outer");
+    {
+      GOP_OBS_SPAN("inner");
+    }
+    {
+      GOP_OBS_SPAN("inner");
+    }
+  }
+  {
+    GOP_OBS_SPAN("outer");
+  }
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  ASSERT_EQ(snapshot.root.children.size(), 1u);
+  const obs::SpanNode& outer = snapshot.root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 2u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].count, 2u);
+}
+
+TEST_F(ObsTest, SpanOnAnotherThreadAttachesToRootNotToThisStack) {
+  obs::set_enabled(true);
+  {
+    GOP_OBS_SPAN("main_thread");
+    std::thread worker([] { GOP_OBS_SPAN("worker_thread"); });
+    worker.join();
+  }
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  std::vector<std::string> top_level;
+  top_level.reserve(snapshot.root.children.size());
+  for (const obs::SpanNode& child : snapshot.root.children) top_level.push_back(child.name);
+  EXPECT_EQ(top_level.size(), 2u);
+  EXPECT_NE(std::find(top_level.begin(), top_level.end(), "main_thread"), top_level.end());
+  EXPECT_NE(std::find(top_level.begin(), top_level.end(), "worker_thread"), top_level.end());
+}
+
+TEST_F(ObsTest, SolverStatsShimAliasesRegistryCounters) {
+  markov::SolverCounters& stats = markov::solver_stats();
+  stats.reset();
+  stats.matrix_exponentials.fetch_add(5, std::memory_order_relaxed);
+  EXPECT_EQ(obs::counter("markov.matrix_exponentials").get(), 5u);
+
+  obs::counter("markov.uniformization_passes").add(2);
+  EXPECT_EQ(stats.uniformization_passes.load(), 2u);
+
+  // registry reset clears the shim view too — same storage.
+  obs::reset();
+  EXPECT_EQ(stats.matrix_exponentials.load(), 0u);
+}
+
+TEST_F(ObsTest, LegacySolverCountersCountEvenWhenDisabled) {
+  ASSERT_FALSE(obs::enabled());
+  const markov::Ctmc chain = two_state_chain();
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kMatrixExponential;
+  (void)markov::transient_distribution(chain, 0.5, options);
+  EXPECT_GE(obs::counter("markov.matrix_exponentials").get(), 1u);
+  // ... but no structured event is recorded while disabled.
+  EXPECT_TRUE(obs::snapshot().events.empty());
+}
+
+TEST_F(ObsTest, RealSolveEmitsEventsWhenEnabled) {
+  obs::set_enabled(true);
+  const markov::Ctmc chain = two_state_chain();
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kUniformization;
+  (void)markov::transient_distribution(chain, 0.5, options);
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  bool saw_transient = false;
+  bool saw_pass = false;
+  for (const obs::SolverEvent& event : snapshot.events) {
+    if (event.kind == obs::SolverEventKind::kTransient) {
+      saw_transient = true;
+      EXPECT_EQ(event.method, "uniformization");
+      EXPECT_EQ(event.states, 2u);
+      EXPECT_DOUBLE_EQ(event.t, 0.5);
+      EXPECT_GT(event.lambda_t, 0.0);
+    }
+    if (event.kind == obs::SolverEventKind::kUniformizationPass) {
+      saw_pass = true;
+      EXPECT_GE(event.fox_glynn_right, event.fox_glynn_left);
+    }
+  }
+  EXPECT_TRUE(saw_transient);
+  EXPECT_TRUE(saw_pass);
+}
+
+TEST_F(ObsTest, TextSinkRendersSpansCountersAndEvents) {
+  obs::set_enabled(true);
+  obs::counter("test.counter").add(3);
+  obs::max_gauge("test.gauge").record(4);
+  obs::record_event({.kind = obs::SolverEventKind::kSteadyState, .method = "gth", .states = 6});
+  { GOP_OBS_SPAN("test.render"); }
+
+  const std::string text = obs::render_text(obs::snapshot());
+  EXPECT_NE(text.find("test.render"), std::string::npos);
+  EXPECT_NE(text.find("test.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.gauge"), std::string::npos);
+  EXPECT_NE(text.find("gth"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonSinkEscapesAndContainsRecords) {
+  obs::set_enabled(true);
+  obs::counter("test.with\"quote").add(1);
+  obs::record_event({.kind = obs::SolverEventKind::kAccumulated, .method = "augmented-expm"});
+
+  const std::string json = obs::render_json(obs::snapshot());
+  EXPECT_NE(json.find("test.with\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("\"augmented-expm\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonlSinkEmitsOneObjectPerLine) {
+  obs::set_enabled(true);
+  obs::counter("test.a").add(1);
+  obs::counter("test.b").add(2);
+  obs::record_event({.kind = obs::SolverEventKind::kTransient, .method = "pade-expm"});
+  { GOP_OBS_SPAN("test.line"); }
+
+  const std::string jsonl = obs::render_jsonl(obs::snapshot());
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  // two counters + one event + one span >= 4 lines, each a {...} object.
+  EXPECT_GE(lines, 4u);
+  std::istringstream stream(jsonl);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+}  // namespace
+}  // namespace gop

@@ -1,0 +1,183 @@
+// Cross-solver validation: on a family of randomized (but seeded, fully
+// deterministic) CTMCs, the uniformization engine and the dense Padé
+// matrix-exponential engine must agree on transient distributions and
+// accumulated occupancies to near machine precision. The two engines share no
+// numerics — Fox–Glynn-windowed Poisson mixing of DTMC powers vs
+// scaling-and-squaring Padé [13/13] — so agreement to 1e-10 is strong
+// evidence both are correct, not merely consistent.
+//
+// Every comparison also asserts, through the gop::obs event stream, that the
+// engine we asked for is the engine that ran — a silent dispatcher fallback
+// would otherwise make the whole suite vacuous.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "markov/accumulated.hh"
+#include "markov/ctmc.hh"
+#include "markov/transient.hh"
+#include "obs/obs.hh"
+
+namespace gop {
+namespace {
+
+constexpr double kTolerance = 1e-10;
+constexpr size_t kCases = 50;
+constexpr uint64_t kBaseSeed = 0x5eed0d5e'2002'0623ULL;
+
+/// Random strongly-connected-ish CTMC: n in [2, 12], each ordered pair gets a
+/// transition with probability 0.4 (rate in [0.05, 2]), plus a guaranteed
+/// cycle 0 -> 1 -> ... -> n-1 -> 0 so no state is a rate-zero dead end in
+/// *every* draw; the initial distribution is a normalized random vector.
+markov::Ctmc random_chain(std::mt19937_64& rng) {
+  std::uniform_int_distribution<size_t> size_dist(2, 12);
+  std::uniform_real_distribution<double> rate_dist(0.05, 2.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  const size_t n = size_dist(rng);
+  std::vector<markov::Transition> transitions;
+  for (size_t i = 0; i < n; ++i) {
+    transitions.push_back({i, (i + 1) % n, rate_dist(rng), -1});
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || j == (i + 1) % n) continue;
+      if (coin(rng) < 0.4) transitions.push_back({i, j, rate_dist(rng), -1});
+    }
+  }
+
+  std::vector<double> initial(n);
+  double total = 0.0;
+  for (double& p : initial) {
+    p = coin(rng) + 1e-3;
+    total += p;
+  }
+  for (double& p : initial) p /= total;
+  return markov::Ctmc(n, std::move(transitions), std::move(initial));
+}
+
+/// Horizon giving a moderate uniformization problem: Lambda*t in [0.5, 40].
+double random_horizon(std::mt19937_64& rng, const markov::Ctmc& chain) {
+  std::uniform_real_distribution<double> lambda_t_dist(0.5, 40.0);
+  return lambda_t_dist(rng) / chain.max_exit_rate();
+}
+
+/// True when the event stream holds a record of `kind` whose method is
+/// exactly `method` — i.e. the engine we forced is the engine that ran.
+bool ran_method(const std::vector<obs::SolverEvent>& events, obs::SolverEventKind kind,
+                const std::string& method) {
+  for (const obs::SolverEvent& event : events) {
+    if (event.kind == kind && event.method == method) return true;
+  }
+  return false;
+}
+
+class XSolverValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(XSolverValidationTest, TransientUniformizationMatchesPadeExpm) {
+  for (size_t c = 0; c < kCases; ++c) {
+    std::mt19937_64 rng(kBaseSeed + c);
+    const markov::Ctmc chain = random_chain(rng);
+    const double t = random_horizon(rng, chain);
+
+    markov::TransientOptions uni;
+    uni.method = markov::TransientMethod::kUniformization;
+    markov::TransientOptions expm;
+    expm.method = markov::TransientMethod::kMatrixExponential;
+
+    obs::reset();
+    const std::vector<double> pi_uni = markov::transient_distribution(chain, t, uni);
+    const std::vector<double> pi_expm = markov::transient_distribution(chain, t, expm);
+
+    const obs::Snapshot snapshot = obs::snapshot();
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kTransient, "uniformization"))
+        << "case " << c << ": uniformization silently not run";
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kTransient, "pade-expm"))
+        << "case " << c << ": pade-expm silently not run";
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kMatrixExponential, "pade13"))
+        << "case " << c << ": no dense expm event";
+
+    ASSERT_EQ(pi_uni.size(), pi_expm.size());
+    double sum = 0.0;
+    for (size_t s = 0; s < pi_uni.size(); ++s) {
+      EXPECT_NEAR(pi_uni[s], pi_expm[s], kTolerance)
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      sum += pi_uni[s];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "case " << c << ": distribution does not sum to 1";
+  }
+}
+
+TEST_F(XSolverValidationTest, AccumulatedUniformizationMatchesAugmentedExpm) {
+  for (size_t c = 0; c < kCases; ++c) {
+    std::mt19937_64 rng(kBaseSeed ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    const markov::Ctmc chain = random_chain(rng);
+    const double t = random_horizon(rng, chain);
+
+    markov::AccumulatedOptions uni;
+    uni.method = markov::AccumulatedMethod::kUniformization;
+    markov::AccumulatedOptions expm;
+    expm.method = markov::AccumulatedMethod::kAugmentedExponential;
+
+    obs::reset();
+    const std::vector<double> occ_uni = markov::accumulated_occupancy(chain, t, uni);
+    const std::vector<double> occ_expm = markov::accumulated_occupancy(chain, t, expm);
+
+    const obs::Snapshot snapshot = obs::snapshot();
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kAccumulated, "uniformization"))
+        << "case " << c << ": uniformization silently not run";
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kAccumulated, "augmented-expm"))
+        << "case " << c << ": augmented-expm silently not run";
+
+    ASSERT_EQ(occ_uni.size(), occ_expm.size());
+    double sum = 0.0;
+    for (size_t s = 0; s < occ_uni.size(); ++s) {
+      // Occupancies scale with t, so compare with a tolerance scaled the same
+      // way (t >= ~0.25 h in these draws, so this stays near 1e-10 absolute).
+      EXPECT_NEAR(occ_uni[s], occ_expm[s], kTolerance * std::max(1.0, t))
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      sum += occ_uni[s];
+    }
+    EXPECT_NEAR(sum, t, 1e-9 * std::max(1.0, t))
+        << "case " << c << ": occupancies must sum to t";
+  }
+}
+
+TEST_F(XSolverValidationTest, DispatcherNeverFallsBackSilently) {
+  // kAuto must record the method it resolved to, and that method must match
+  // what resolve_transient_method promises for the same inputs.
+  for (size_t c = 0; c < 10; ++c) {
+    std::mt19937_64 rng(kBaseSeed + 1000 + c);
+    const markov::Ctmc chain = random_chain(rng);
+    const double t = random_horizon(rng, chain);
+
+    const markov::TransientOptions options;  // kAuto
+    const markov::TransientMethod resolved =
+        markov::resolve_transient_method(chain, t, options);
+    const char* expected = resolved == markov::TransientMethod::kUniformization
+                               ? "uniformization"
+                               : "pade-expm";
+
+    obs::reset();
+    (void)markov::transient_distribution(chain, t, options);
+    ASSERT_TRUE(ran_method(obs::snapshot().events, obs::SolverEventKind::kTransient, expected))
+        << "case " << c << ": dispatcher event does not match resolve_transient_method";
+  }
+}
+
+}  // namespace
+}  // namespace gop

@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "core/approximation.hh"
+#include "obs/obs.hh"
 #include "core/performability.hh"
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
@@ -156,7 +157,9 @@ int main(int argc, char** argv) {
       .add_double("phi", 7000.0, "guarded-operation duration (tornado mode)")
       .add_int("points", 11, "grid points for sweep-style modes")
       .add_int("threads", 1, "worker threads for sweep/optimum (0 = GOP_THREADS or hardware)")
-      .add_bool("csv", false, "emit CSV instead of an aligned table");
+      .add_bool("csv", false, "emit CSV instead of an aligned table")
+      .add_string("trace", "off",
+                  "off | text | json: dump a gop::obs trace of the run to stderr");
 
   try {
     if (!flags.parse(argc, argv)) return 0;
@@ -178,14 +181,37 @@ int main(int argc, char** argv) {
     const size_t threads = static_cast<size_t>(flags.get_int("threads"));
     const double phi = flags.get_double("phi");
 
-    if (mode == "sweep") return run_sweep(params, points, threads, csv);
-    if (mode == "optimum") return run_optimum(params, threads);
-    if (mode == "constituents") return run_constituents(params, points, csv);
-    if (mode == "tornado") return run_tornado(params, phi, csv);
-    if (mode == "verdict") return run_verdict(params, csv);
-    if (mode == "approx") return run_approx(params, points, csv);
-    std::fprintf(stderr, "unknown mode '%s' (try --help)\n", mode.c_str());
-    return 2;
+    const std::string& trace = flags.get_string("trace");
+    if (trace != "off" && trace != "text" && trace != "json") {
+      std::fprintf(stderr, "unknown --trace format '%s' (off | text | json)\n", trace.c_str());
+      return 2;
+    }
+    obs::set_enabled(trace != "off");
+
+    int status = 2;
+    if (mode == "sweep") {
+      status = run_sweep(params, points, threads, csv);
+    } else if (mode == "optimum") {
+      status = run_optimum(params, threads);
+    } else if (mode == "constituents") {
+      status = run_constituents(params, points, csv);
+    } else if (mode == "tornado") {
+      status = run_tornado(params, phi, csv);
+    } else if (mode == "verdict") {
+      status = run_verdict(params, csv);
+    } else if (mode == "approx") {
+      status = run_approx(params, points, csv);
+    } else {
+      std::fprintf(stderr, "unknown mode '%s' (try --help)\n", mode.c_str());
+    }
+
+    if (trace != "off") {
+      const obs::Snapshot snapshot = obs::snapshot();
+      const std::string rendered =
+          trace == "json" ? obs::render_json(snapshot) : obs::render_text(snapshot);
+      std::fputs(rendered.c_str(), stderr);
+    }
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,177 @@
+// gop_trace — solver observability probe for the paper's three SAN models.
+//
+// Runs a fixed scenario per model with gop::obs tracing enabled and dumps
+// the resulting trace (span tree, counters, gauges, solver events):
+//
+//   rmgd      transient + accumulated rewards, pointwise and as grid
+//             sessions, through both the uniformization and dense-expm
+//             engines (the Table 1 dependability model);
+//   rmgp      steady-state rewards via the dispatcher plus the explicit
+//             GTH / power / Gauss-Seidel engines (the Table 2 overhead
+//             model — the only irreducible chain of the three);
+//   rmnd-new  transient + accumulated no-failure rewards at theta-phi and
+//   rmnd-old  theta (the Eq 14/21 normal-mode constituents).
+//
+// The default --model=all exercises every markov solver entry point
+// (transient, accumulated, steady state, sessions, expm, uniformization);
+// the footer reports which event kinds the run actually covered.
+//
+// Examples:
+//   gop_trace                      # all models, human-readable report
+//   gop_trace --model=rmgp --json  # machine-readable, one JSON document
+//   gop_trace --jsonl              # JSON lines for log pipelines
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "obs/obs.hh"
+#include "san/session.hh"
+#include "san/state_space.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+
+namespace {
+
+using namespace gop;
+
+/// Transient + accumulated solves on RMGd: pointwise entry points under both
+/// engines, then the shared-grid sessions the analyzer's sweeps use.
+void trace_rmgd(const core::GsuParameters& params, double phi) {
+  GOP_OBS_SPAN("trace.rmgd");
+  const core::RmGd gd = core::build_rm_gd(params);
+  const san::GeneratedChain chain = san::generate_state_space(gd.model);
+
+  // Table 3 rates make RMGd stiff (Lambda*t ~ 1.6e7 at phi = 7000 h) — the
+  // very reason the dispatcher prefers the dense expm here — so the forced
+  // uniformization runs use a short horizon with a sane Poisson window.
+  const double t_uni = std::min(phi, 10.0);
+
+  markov::TransientOptions uni;
+  uni.method = markov::TransientMethod::kUniformization;
+  markov::TransientOptions expm;
+  expm.method = markov::TransientMethod::kMatrixExponential;
+  (void)chain.instant_reward(gd.reward_ih(), phi);  // dispatcher (kAuto)
+  (void)chain.instant_reward(gd.reward_ih(), t_uni, uni);
+  (void)chain.instant_reward(gd.reward_ih(), phi, expm);
+
+  markov::AccumulatedOptions acc_uni;
+  acc_uni.method = markov::AccumulatedMethod::kUniformization;
+  markov::AccumulatedOptions acc_expm;
+  acc_expm.method = markov::AccumulatedMethod::kAugmentedExponential;
+  (void)chain.accumulated_reward(gd.reward_itauh(), phi);
+  (void)chain.accumulated_reward(gd.reward_itauh(), t_uni, acc_uni);
+  (void)chain.accumulated_reward(gd.reward_itauh(), phi, acc_expm);
+
+  san::GridSolveOptions grid;
+  grid.transient = true;
+  grid.accumulated = true;
+  const san::ChainSession session =
+      chain.solve_grid({0.25 * phi, 0.5 * phi, phi}, grid);
+  (void)session.instant_reward_series(gd.reward_ih());
+  (void)session.accumulated_reward_series(gd.reward_itauh());
+}
+
+/// Steady-state solves on RMGp (the only irreducible chain): the dispatcher
+/// plus each explicit engine.
+void trace_rmgp(const core::GsuParameters& params) {
+  GOP_OBS_SPAN("trace.rmgp");
+  const core::RmGp gp = core::build_rm_gp(params);
+  const san::GeneratedChain chain = san::generate_state_space(gp.model);
+
+  (void)chain.steady_state_reward(gp.reward_overhead_p1n());  // dispatcher
+  for (const markov::SteadyStateMethod method :
+       {markov::SteadyStateMethod::kGth, markov::SteadyStateMethod::kPower,
+        markov::SteadyStateMethod::kGaussSeidel}) {
+    markov::SteadyStateOptions options;
+    options.method = method;
+    (void)chain.steady_state_reward(gp.reward_overhead_p2(), options);
+  }
+}
+
+/// Transient + accumulated no-failure rewards on RMNd at the two horizons
+/// the analyzer evaluates (theta - phi and theta).
+void trace_rmnd(const core::GsuParameters& params, double mu_1, double phi,
+                const char* span_name) {
+  GOP_OBS_SPAN(span_name);
+  const core::RmNd nd = core::build_rm_nd(params, mu_1);
+  const san::GeneratedChain chain = san::generate_state_space(nd.model);
+
+  (void)chain.instant_reward(nd.reward_no_failure(), params.theta - phi);
+  (void)chain.instant_reward(nd.reward_no_failure(), params.theta);
+  (void)chain.accumulated_reward(nd.reward_no_failure(), params.theta - phi);
+
+  const san::ChainSession session =
+      chain.solve_grid({params.theta - phi, params.theta});
+  (void)session.instant_reward_series(nd.reward_no_failure());
+}
+
+void print_coverage(const obs::Snapshot& snapshot) {
+  std::set<std::string> kinds;
+  for (const obs::SolverEvent& event : snapshot.events) {
+    kinds.insert(obs::to_string(event.kind));
+  }
+  std::string line = "solver entry points covered:";
+  for (const std::string& kind : kinds) line += " " + kind;
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("gop_trace", "solver observability traces of the paper's SAN models");
+  const core::GsuParameters defaults = core::GsuParameters::table3();
+  flags.add_string("model", "all", "rmgd | rmgp | rmnd-new | rmnd-old | all")
+      .add_double("theta", defaults.theta, "hours to the next upgrade")
+      .add_double("phi", 7000.0, "guarded-operation duration for the scenario")
+      .add_bool("json", false, "emit one JSON document instead of the text report")
+      .add_bool("jsonl", false, "emit JSON lines (one object per record)");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    core::GsuParameters params = defaults;
+    params.theta = flags.get_double("theta");
+    params.validate();
+    const double phi = flags.get_double("phi");
+    GOP_REQUIRE(phi >= 0.0 && phi <= params.theta, "need 0 <= phi <= theta");
+
+    const std::string& model = flags.get_string("model");
+    const bool want_rmgd = model == "all" || model == "rmgd";
+    const bool want_rmgp = model == "all" || model == "rmgp";
+    const bool want_nd_new = model == "all" || model == "rmnd-new" || model == "rmnd";
+    const bool want_nd_old = model == "all" || model == "rmnd-old" || model == "rmnd";
+    if (!want_rmgd && !want_rmgp && !want_nd_new && !want_nd_old) {
+      std::fprintf(stderr, "unknown model '%s' (try --help)\n", model.c_str());
+      return 2;
+    }
+
+    obs::reset();
+    obs::set_enabled(true);
+    if (want_rmgd) trace_rmgd(params, phi);
+    if (want_rmgp) trace_rmgp(params);
+    if (want_nd_new) trace_rmnd(params, params.mu_new, phi, "trace.rmnd_new");
+    if (want_nd_old) trace_rmnd(params, params.mu_old, phi, "trace.rmnd_old");
+    obs::set_enabled(false);
+
+    const obs::Snapshot snapshot = obs::snapshot();
+    if (flags.get_bool("jsonl")) {
+      std::fputs(obs::render_jsonl(snapshot).c_str(), stdout);
+    } else if (flags.get_bool("json")) {
+      std::fputs(obs::render_json(snapshot).c_str(), stdout);
+    } else {
+      std::fputs(obs::render_text(snapshot).c_str(), stdout);
+    }
+    print_coverage(snapshot);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

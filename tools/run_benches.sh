@@ -17,7 +17,15 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${BUILD_DIR:-build}}"
 bench_dir="$root/$build_dir/bench"
 
-for binary in bench_solver_perf bench_parallel_scaling bench_sweep_batch; do
+# binary:output pairs; one loop checks, runs, and emits JSON for each suite.
+suites=(
+  "bench_solver_perf:BENCH_solver.json"
+  "bench_parallel_scaling:BENCH_scaling.json"
+  "bench_sweep_batch:BENCH_sweep.json"
+)
+
+for suite in "${suites[@]}"; do
+  binary="${suite%%:*}"
   if [[ ! -x "$bench_dir/$binary" ]]; then
     echo "error: $bench_dir/$binary not found; build first:" >&2
     echo "  cmake -B $build_dir -S $root && cmake --build $build_dir -j" >&2
@@ -25,35 +33,34 @@ for binary in bench_solver_perf bench_parallel_scaling bench_sweep_batch; do
   fi
 done
 
-echo "== bench_solver_perf -> BENCH_solver.json"
-"$bench_dir/bench_solver_perf" \
-  --benchmark_out="$root/BENCH_solver.json" --benchmark_out_format=json
+outputs=()
+for suite in "${suites[@]}"; do
+  binary="${suite%%:*}"
+  out="$root/${suite##*:}"
+  echo "== $binary -> ${suite##*:}"
+  "$bench_dir/$binary" --benchmark_out="$out" --benchmark_out_format=json
+  outputs+=("$out")
+done
 
-echo "== bench_parallel_scaling -> BENCH_scaling.json"
-"$bench_dir/bench_parallel_scaling" \
-  --benchmark_out="$root/BENCH_scaling.json" --benchmark_out_format=json
-
-echo "== bench_sweep_batch -> BENCH_sweep.json"
-"$bench_dir/bench_sweep_batch" \
-  --benchmark_out="$root/BENCH_sweep.json" --benchmark_out_format=json
-
-# Speedup summary: real_time(threads:1) / real_time(threads:T) per benchmark
-# family, straight from the JSON this run just wrote.
+# Summaries straight from the JSON this run just wrote: per-family speedup vs
+# 1 thread (scaling suite) and the pointwise-vs-batched sweep comparison.
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$root/BENCH_scaling.json" <<'PY'
+  python3 - "$root/BENCH_scaling.json" "$root/BENCH_sweep.json" <<'PY'
 import json, sys
 from collections import defaultdict
 
-with open(sys.argv[1]) as fh:
-    data = json.load(fh)
 
+def benchmarks(path):
+    with open(path) as fh:
+        return json.load(fh).get("benchmarks", [])
+
+
+# Speedup vs 1 thread, per benchmark family (name form BM_Family/threads/...).
 families = defaultdict(dict)
-for b in data.get("benchmarks", []):
-    name = b["name"]            # e.g. BM_SweepPhi41/4/real_time
-    parts = name.split("/")
-    if len(parts) < 2 or not parts[1].isdigit():
-        continue
-    families[parts[0]][int(parts[1])] = b["real_time"]
+for b in benchmarks(sys.argv[1]):
+    parts = b["name"].split("/")
+    if len(parts) >= 2 and parts[1].isdigit():
+        families[parts[0]][int(parts[1])] = b["real_time"]
 
 print("\nspeedup vs 1 thread (wall clock):")
 for family, times in sorted(families.items()):
@@ -61,23 +68,12 @@ for family, times in sorted(families.items()):
         continue
     row = "  ".join(f"{t}T: {times[1] / times[t]:.2f}x" for t in sorted(times))
     print(f"  {family:<20} {row}")
-PY
-fi
 
-# Pointwise-vs-batched summary: single-thread win of the session pipeline and
-# the batched arm's thread scaling, from the JSON this run just wrote.
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$root/BENCH_sweep.json" <<'PY'
-import json, sys
-
-with open(sys.argv[1]) as fh:
-    data = json.load(fh)
-
+# Single-thread win of the session pipeline and the batched arm's scaling.
 pointwise = None
 batched = {}
-for b in data.get("benchmarks", []):
-    name = b["name"]            # BM_SweepPerMeasure41/real_time, BM_SweepBatched41/4/real_time
-    parts = name.split("/")
+for b in benchmarks(sys.argv[2]):
+    parts = b["name"].split("/")
     if parts[0] == "BM_SweepPerMeasure41":
         pointwise = b["real_time"]
     elif parts[0] == "BM_SweepBatched41" and len(parts) > 1 and parts[1].isdigit():
@@ -91,4 +87,4 @@ if pointwise is not None and batched:
 PY
 fi
 
-echo "done: $root/BENCH_solver.json $root/BENCH_scaling.json $root/BENCH_sweep.json"
+echo "done: ${outputs[*]}"
