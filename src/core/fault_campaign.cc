@@ -1,0 +1,336 @@
+#include "core/fault_campaign.hh"
+
+#include <cmath>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "core/params.hh"
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "linalg/vector_ops.hh"
+#include "markov/recovery.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::core {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string describe(const fi::Trigger& trigger) {
+  switch (trigger.mode) {
+    case fi::Trigger::Mode::kNever:
+      return "never";
+    case fi::Trigger::Mode::kOnNth:
+      return str_format("on_nth(%llu)", static_cast<unsigned long long>(trigger.n));
+    case fi::Trigger::Mode::kEveryK:
+      return str_format("every(%llu)", static_cast<unsigned long long>(trigger.n));
+    case fi::Trigger::Mode::kProbability:
+      return str_format("p(%g)", trigger.probability);
+  }
+  return "?";
+}
+
+/// What one solve of one scenario produced: the scalar reward plus the
+/// degradation facts from its certificate.
+struct ScenarioRun {
+  double value = 0.0;
+  bool degraded = false;
+  std::string engine;
+};
+
+struct Scenario {
+  std::string name;
+  std::function<ScenarioRun()> run;
+};
+
+/// The campaign scenarios cover the three paper models and force each
+/// non-default engine at least once, so every injection site lies on the hot
+/// path of at least one cell. Model build + state-space generation happen
+/// inside run() so the san.state_space site is inside the guarded region.
+/// GsuParameters::scaled_mission keeps the time horizons short.
+std::vector<Scenario> build_scenarios() {
+  const GsuParameters params = GsuParameters::scaled_mission();
+  // phi within the compressed mission theta = 100 h; short enough that the
+  // uniformization cells stay at a few thousand steps.
+  const double phi = 1.0;
+
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"rmgd.transient", [params, phi] {
+                         RmGd rm = build_rm_gd(params);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_p_a1());
+                         markov::TransientResult res =
+                             markov::transient_distribution_checked(chain.ctmc(), phi);
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmgd.accumulated", [params, phi] {
+                         RmGd rm = build_rm_gd(params);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_itauh());
+                         markov::AccumulatedResult res =
+                             markov::accumulated_occupancy_checked(chain.ctmc(), phi);
+                         return ScenarioRun{linalg::dot(res.occupancy, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmnd.transient.uniformization", [params, phi] {
+                         RmNd rm = build_rm_nd(params, params.mu_new);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_no_failure());
+                         markov::TransientOptions options;
+                         options.method = markov::TransientMethod::kUniformization;
+                         markov::TransientResult res =
+                             markov::transient_distribution_checked(chain.ctmc(), phi, options);
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmnd.transient.expm", [params, phi] {
+                         RmNd rm = build_rm_nd(params, params.mu_new);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_no_failure());
+                         markov::TransientOptions options;
+                         options.method = markov::TransientMethod::kMatrixExponential;
+                         markov::TransientResult res =
+                             markov::transient_distribution_checked(chain.ctmc(), phi, options);
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmnd.accumulated.augmented", [params, phi] {
+                         RmNd rm = build_rm_nd(params, params.mu_old);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_no_failure());
+                         markov::AccumulatedOptions options;
+                         options.method = markov::AccumulatedMethod::kAugmentedExponential;
+                         markov::AccumulatedResult res =
+                             markov::accumulated_occupancy_checked(chain.ctmc(), phi, options);
+                         return ScenarioRun{linalg::dot(res.occupancy, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmgp.steady", [params] {
+                         RmGp rm = build_rm_gp(params);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_overhead_p1n());
+                         markov::SteadyStateResult res =
+                             markov::steady_state_distribution_checked(chain.ctmc());
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmgp.steady.power", [params] {
+                         RmGp rm = build_rm_gp(params);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_overhead_p2());
+                         markov::SteadyStateOptions options;
+                         options.method = markov::SteadyStateMethod::kPower;
+                         // A stalled run burns the whole budget on every rung
+                         // of the ladder; keep it small so those cells finish
+                         // fast. (1e-10 converges well within this budget.)
+                         options.tolerance = 1e-10;
+                         options.max_iterations = 50'000;
+                         markov::SteadyStateResult res =
+                             markov::steady_state_distribution_checked(chain.ctmc(), options);
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  return scenarios;
+}
+
+std::vector<fi::Trigger> default_triggers() {
+  return {fi::Trigger::on_nth(1), fi::Trigger::every(4), fi::Trigger::with_probability(0.5)};
+}
+
+const char* classify(const std::exception& ex) {
+  if (dynamic_cast<const SolverError*>(&ex) != nullptr) return "SolverError";
+  if (dynamic_cast<const NumericalError*>(&ex) != nullptr) return "NumericalError";
+  if (dynamic_cast<const ModelError*>(&ex) != nullptr) return "ModelError";
+  if (dynamic_cast<const InvalidArgument*>(&ex) != nullptr) return "InvalidArgument";
+  if (dynamic_cast<const InternalError*>(&ex) != nullptr) return "InternalError";
+  if (dynamic_cast<const std::bad_alloc*>(&ex) != nullptr) return "bad_alloc";
+  return "exception";
+}
+
+}  // namespace
+
+const char* to_string(CampaignOutcome outcome) {
+  switch (outcome) {
+    case CampaignOutcome::kNotTriggered:
+      return "not-triggered";
+    case CampaignOutcome::kTolerated:
+      return "tolerated";
+    case CampaignOutcome::kRecovered:
+      return "recovered";
+    case CampaignOutcome::kStructuredError:
+      return "structured-error";
+    case CampaignOutcome::kSilentWrong:
+      return "SILENT-WRONG";
+  }
+  return "?";
+}
+
+bool CampaignReport::all_safe() const {
+  return count(CampaignOutcome::kSilentWrong) == 0;
+}
+
+size_t CampaignReport::count(CampaignOutcome outcome) const {
+  size_t n = 0;
+  for (const CampaignCell& cell : cells) {
+    if (cell.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::string CampaignReport::to_text() const {
+  std::string out = str_format("fault campaign: %zu cells, seed=%llu, tolerance=%g\n",
+                               cells.size(), static_cast<unsigned long long>(seed), tolerance);
+  for (const CampaignCell& cell : cells) {
+    out += str_format("  %-32s %-34s %-12s %-16s hits=%-6llu inj=%-4llu", cell.scenario.c_str(),
+                      fi::to_string(cell.site), cell.trigger.c_str(), to_string(cell.outcome),
+                      static_cast<unsigned long long>(cell.hits),
+                      static_cast<unsigned long long>(cell.injections));
+    if (cell.outcome == CampaignOutcome::kStructuredError) {
+      out += str_format(" %s", cell.error_type.c_str());
+    } else if (cell.injections > 0) {
+      out += str_format(" engine=%s rel_err=%.2e", cell.engine.c_str(), cell.rel_error);
+    }
+    out += '\n';
+  }
+  out += str_format(
+      "  summary: not-triggered=%zu tolerated=%zu recovered=%zu structured-error=%zu "
+      "silent-wrong=%zu -> %s\n",
+      count(CampaignOutcome::kNotTriggered), count(CampaignOutcome::kTolerated),
+      count(CampaignOutcome::kRecovered), count(CampaignOutcome::kStructuredError),
+      count(CampaignOutcome::kSilentWrong), all_safe() ? "SAFE" : "UNSAFE");
+  return out;
+}
+
+std::string CampaignReport::to_json() const {
+  std::string out = str_format("{\"seed\":%llu,\"tolerance\":%g,\"all_safe\":%s,\"cells\":[",
+                               static_cast<unsigned long long>(seed), tolerance,
+                               all_safe() ? "true" : "false");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CampaignCell& cell = cells[i];
+    if (i > 0) out += ',';
+    out += str_format(
+        "{\"scenario\":\"%s\",\"site\":\"%s\",\"trigger\":\"%s\",\"outcome\":\"%s\","
+        "\"hits\":%llu,\"injections\":%llu,\"degraded\":%s,\"engine\":\"%s\","
+        "\"rel_error\":%.17g,\"error_type\":\"%s\",\"detail\":\"%s\"}",
+        json_escape(cell.scenario).c_str(), fi::to_string(cell.site),
+        json_escape(cell.trigger).c_str(), to_string(cell.outcome),
+        static_cast<unsigned long long>(cell.hits),
+        static_cast<unsigned long long>(cell.injections), cell.degraded ? "true" : "false",
+        json_escape(cell.engine).c_str(), cell.rel_error, json_escape(cell.error_type).c_str(),
+        json_escape(cell.detail).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::string> campaign_scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& scenario : build_scenarios()) names.push_back(scenario.name);
+  return names;
+}
+
+CampaignReport run_fault_campaign(const CampaignOptions& options) {
+  const std::vector<Scenario> scenarios = build_scenarios();
+  const std::vector<fi::Trigger> triggers =
+      options.triggers.empty() ? default_triggers() : options.triggers;
+
+  CampaignReport report;
+  report.seed = options.seed;
+  report.tolerance = options.tolerance;
+
+  for (const Scenario& scenario : scenarios) {
+    // The fault-free baseline; a throw here is a broken scenario, not a
+    // campaign finding, so it propagates.
+    fi::clear_plan();
+    const ScenarioRun baseline = scenario.run();
+
+    for (fi::SiteId site : fi::all_sites()) {
+      for (const fi::Trigger& trigger : triggers) {
+        CampaignCell cell;
+        cell.scenario = scenario.name;
+        cell.site = site;
+        cell.trigger = describe(trigger);
+
+        fi::Plan plan(options.seed);
+        plan.arm(site, trigger);
+        try {
+          fi::ScopedPlan guard(plan);
+          const ScenarioRun run = scenario.run();
+          const fi::SiteStats stats = fi::site_stats(site);
+          cell.hits = stats.hits;
+          cell.injections = stats.injections;
+          cell.degraded = run.degraded;
+          cell.engine = run.engine;
+          cell.rel_error =
+              std::abs(run.value - baseline.value) / std::max(1.0, std::abs(baseline.value));
+          if (cell.injections == 0) {
+            cell.outcome = CampaignOutcome::kNotTriggered;
+          } else if (cell.rel_error <= options.tolerance) {
+            cell.outcome =
+                run.degraded ? CampaignOutcome::kRecovered : CampaignOutcome::kTolerated;
+          } else {
+            cell.outcome = CampaignOutcome::kSilentWrong;
+          }
+        } catch (const std::exception& ex) {
+          const fi::SiteStats stats = fi::site_stats(site);
+          cell.hits = stats.hits;
+          cell.injections = stats.injections;
+          cell.outcome = CampaignOutcome::kStructuredError;
+          cell.error_type = classify(ex);
+          cell.detail = ex.what();
+        }
+        report.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  fi::clear_plan();
+  return report;
+}
+
+}  // namespace gop::core

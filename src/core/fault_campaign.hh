@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file fault_campaign.hh
+/// Full-matrix fault-injection campaigns over the paper's models
+/// (docs/robustness.md): every fi site x every trigger x a set of solver
+/// scenarios (RMGd / RMGp / RMNd, auto and forced engines). Each cell runs
+/// one scenario with one armed site and classifies what happened against the
+/// fault-free baseline. The campaign invariant — enforced by the gop_fi tool
+/// and the fault-campaign regression test — is that no cell is ever
+/// kSilentWrong: an injected fault is either harmless, recovered within
+/// tolerance, or surfaces as a structured error.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/fi.hh"
+
+namespace gop::core {
+
+enum class CampaignOutcome {
+  /// The armed site was never reached on this scenario's code path.
+  kNotTriggered,
+  /// The injection fired but the result matched the baseline anyway (the
+  /// fault was absorbed without the recovery ladder degrading).
+  kTolerated,
+  /// The recovery ladder produced a within-tolerance result, degraded
+  /// (retries or an engine fallback; the certificate says so).
+  kRecovered,
+  /// The scenario failed with a typed exception — loud, auditable failure.
+  kStructuredError,
+  /// A result came back that deviates from the baseline beyond tolerance:
+  /// the one outcome the solvers must never produce.
+  kSilentWrong,
+};
+
+const char* to_string(CampaignOutcome outcome);
+
+/// One (scenario, site, trigger) run of the matrix.
+struct CampaignCell {
+  std::string scenario;
+  fi::SiteId site = fi::SiteId::kLuPivotBreakdown;
+  std::string trigger;
+  CampaignOutcome outcome = CampaignOutcome::kNotTriggered;
+  uint64_t hits = 0;        ///< armed traversals of the site in this run
+  uint64_t injections = 0;  ///< how often the trigger fired
+  bool degraded = false;    ///< result certificate reported retries/fallback
+  std::string engine;       ///< engine that produced the accepted result
+  double rel_error = 0.0;   ///< |value - baseline| / max(1, |baseline|)
+  std::string error_type;   ///< exception class for kStructuredError
+  std::string detail;       ///< exception message / attempt summary
+};
+
+struct CampaignOptions {
+  /// Plan seed; drives the probabilistic triggers bit-reproducibly.
+  uint64_t seed = 0x5eedf1u;
+  /// Relative deviation from the fault-free baseline still considered
+  /// correct.
+  double tolerance = 1e-6;
+  /// Triggers armed per (scenario, site) cell; empty selects the default
+  /// matrix {on_nth(1), every(4), with_probability(0.5)}.
+  std::vector<fi::Trigger> triggers;
+};
+
+struct CampaignReport {
+  uint64_t seed = 0;
+  double tolerance = 0.0;
+  std::vector<CampaignCell> cells;
+
+  /// True when no cell is kSilentWrong — the campaign invariant.
+  bool all_safe() const;
+  size_t count(CampaignOutcome outcome) const;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Names of the built-in solver scenarios, in campaign order.
+std::vector<std::string> campaign_scenario_names();
+
+/// Runs the full (scenario x site x trigger) matrix. Installs and clears
+/// fi plans internally; not safe to run concurrently with other fi users.
+/// With injection compiled out (fi::compiled_in() == false) every cell
+/// reports kNotTriggered.
+CampaignReport run_fault_campaign(const CampaignOptions& options = {});
+
+}  // namespace gop::core

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file fi.hh
+/// Umbrella header for gop::fi — the deterministic fault-injection subsystem
+/// (docs/robustness.md) — and the GOP_FI_POINT site macro the numerical
+/// kernels compile their injection sites behind.
+///
+/// Usage at a site:
+///
+///   if (GOP_FI_POINT(fi::SiteId::kLuPivotBreakdown)) best = 0.0;
+///
+/// With GOP_FI compiled out (the default for performance-pinned builds) the
+/// macro is the literal constant `false` and the site vanishes from codegen.
+/// Compiled in, a disarmed site costs one relaxed atomic load.
+
+#include "fi/plan.hh"  // IWYU pragma: export
+#include "fi/site.hh"  // IWYU pragma: export
+
+#if defined(GOP_FI_ENABLED) && GOP_FI_ENABLED
+#define GOP_FI_POINT(site) (::gop::fi::armed() && ::gop::fi::detail::should_inject(site))
+#else
+#define GOP_FI_POINT(site) false
+#endif

@@ -1,0 +1,183 @@
+#include "fi/plan.hh"
+
+#include "obs/obs.hh"
+#include "util/error.hh"
+
+namespace gop::fi {
+
+namespace {
+
+struct SiteInfo {
+  const char* name;
+  const char* description;
+};
+
+constexpr std::array<SiteInfo, kSiteCount> kSites = {{
+    {"linalg.lu.pivot_breakdown", "LU partial pivoting finds an exactly zero pivot"},
+    {"linalg.lu.pivot_perturb", "an LU pivot is doubled mid-factorization (silent corruption)"},
+    {"linalg.dense.multiply_nan", "a dense matrix product acquires a NaN entry"},
+    {"linalg.dense.multiply_inf", "a dense matrix product acquires an Inf entry"},
+    {"linalg.dense.alloc_fail", "dense matrix construction throws std::bad_alloc"},
+    {"markov.fox_glynn.truncate", "the Poisson window loses its upper half"},
+    {"markov.uniformization.iterate_nan", "the uniformized DTMC iterate acquires a NaN entry"},
+    {"markov.expm.scaling_overflow", "the Pade scaling-and-squaring setup overflows"},
+    {"markov.steady_state.stall", "the steady-state convergence measure never drops"},
+    {"san.state_space.probe_exhausted", "reachability exploration exhausts its probe budget"},
+}};
+
+/// All mutable injection state. The plan itself is written only by
+/// set_plan/clear_plan (under the armed flag being false during the write on
+/// the caller's side of the contract); the counters are relaxed atomics.
+struct State {
+  Plan plan;
+  std::array<std::atomic<uint64_t>, kSiteCount> hits{};
+  std::array<std::atomic<uint64_t>, kSiteCount> injections{};
+};
+
+State& state() {
+  static State* instance = new State();  // leaked: outlives all users
+  return *instance;
+}
+
+/// splitmix64-style finalizer over (seed, site, hit): a stateless
+/// counter-based stream, so probabilistic triggers are reproducible per hit
+/// index even when hits arrive from several threads.
+uint64_t mix(uint64_t seed, uint64_t site, uint64_t hit) {
+  uint64_t x = seed ^ (site * 0x9e3779b97f4a7c15ULL) ^ (hit * 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+[[gnu::cold]] [[gnu::noinline]] void record_injection_event(SiteId site, uint64_t hit) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kFaultInjection;
+  event.method = to_string(site);
+  event.iterations = hit;
+  obs::record_event(std::move(event));
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool should_inject(SiteId site) {
+  State& s = state();
+  const size_t index = static_cast<size_t>(site);
+  // Count the traversal first, trigger or not: campaign reports use hits to
+  // tell "site not on this code path" from "site reached but not fired".
+  const uint64_t hit = s.hits[index].fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const Trigger& trigger = s.plan.trigger(site);
+  bool fire = false;
+  switch (trigger.mode) {
+    case Trigger::Mode::kNever:
+      break;
+    case Trigger::Mode::kOnNth:
+      fire = hit == trigger.n;
+      break;
+    case Trigger::Mode::kEveryK:
+      fire = hit % trigger.n == 0;
+      break;
+    case Trigger::Mode::kProbability:
+      fire = static_cast<double>(mix(s.plan.seed(), index, hit)) * 0x1.0p-64 <
+             trigger.probability;
+      break;
+  }
+  if (fire) {
+    s.injections[index].fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& injected = obs::counter("fi.injections");
+    injected.add();
+    if (obs::enabled()) record_injection_event(site, hit);
+  }
+  return fire;
+}
+
+}  // namespace detail
+
+Trigger Trigger::on_nth(uint64_t nth) {
+  GOP_REQUIRE(nth >= 1, "on_nth trigger needs a 1-based hit index");
+  Trigger t;
+  t.mode = Mode::kOnNth;
+  t.n = nth;
+  return t;
+}
+
+Trigger Trigger::every(uint64_t k) {
+  GOP_REQUIRE(k >= 1, "every-K trigger needs K >= 1");
+  Trigger t;
+  t.mode = Mode::kEveryK;
+  t.n = k;
+  return t;
+}
+
+Trigger Trigger::with_probability(double p) {
+  GOP_REQUIRE(p >= 0.0 && p <= 1.0, "trigger probability must be in [0,1]");
+  Trigger t;
+  t.mode = Mode::kProbability;
+  t.probability = p;
+  return t;
+}
+
+Plan& Plan::arm(SiteId site, Trigger trigger) {
+  triggers_[static_cast<size_t>(site)] = trigger;
+  return *this;
+}
+
+const Trigger& Plan::trigger(SiteId site) const {
+  return triggers_[static_cast<size_t>(site)];
+}
+
+void set_plan(const Plan& plan) {
+  State& s = state();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  s.plan = plan;
+  for (auto& h : s.hits) h.store(0, std::memory_order_relaxed);
+  for (auto& i : s.injections) i.store(0, std::memory_order_relaxed);
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void clear_plan() { detail::g_armed.store(false, std::memory_order_relaxed); }
+
+SiteStats site_stats(SiteId site) {
+  State& s = state();
+  const size_t index = static_cast<size_t>(site);
+  return SiteStats{s.hits[index].load(std::memory_order_relaxed),
+                   s.injections[index].load(std::memory_order_relaxed)};
+}
+
+uint64_t total_injections() {
+  State& s = state();
+  uint64_t total = 0;
+  for (const auto& i : s.injections) total += i.load(std::memory_order_relaxed);
+  return total;
+}
+
+const char* to_string(SiteId site) { return kSites[static_cast<size_t>(site)].name; }
+
+const char* site_description(SiteId site) {
+  return kSites[static_cast<size_t>(site)].description;
+}
+
+std::optional<SiteId> site_from_string(std::string_view name) {
+  for (size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSites[i].name) return static_cast<SiteId>(i);
+  }
+  return std::nullopt;
+}
+
+const std::array<SiteId, kSiteCount>& all_sites() {
+  static const std::array<SiteId, kSiteCount> sites = [] {
+    std::array<SiteId, kSiteCount> out{};
+    for (size_t i = 0; i < kSiteCount; ++i) out[i] = static_cast<SiteId>(i);
+    return out;
+  }();
+  return sites;
+}
+
+}  // namespace gop::fi

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file plan.hh
+/// Deterministic fault-injection plans. A Plan arms any subset of the sites
+/// in site.hh with a trigger — fire on the Nth hit, fire every K hits, or
+/// fire probabilistically from a counter-based stream seeded by (plan seed,
+/// site, hit index) — so every injected failure is bit-reproducible from the
+/// seed alone, independent of wall clock and (for every-K and probabilistic
+/// triggers) of thread interleaving.
+///
+/// Cost model: with no plan installed, a compiled-in site costs one relaxed
+/// atomic load (armed()); with GOP_FI compiled out (fi.hh) the sites vanish
+/// entirely. Installing or clearing a plan while solves are in flight is not
+/// supported — arm, solve, disarm, exactly like obs::reset().
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "fi/site.hh"
+
+namespace gop::fi {
+
+/// True when the library was built with the injection sites compiled in
+/// (-DGOP_FI=ON). Plans can always be constructed and installed; without the
+/// sites they simply never fire.
+constexpr bool compiled_in() {
+#if defined(GOP_FI_ENABLED) && GOP_FI_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+struct Trigger {
+  enum class Mode : uint8_t {
+    kNever,        ///< site disarmed (the default)
+    kOnNth,        ///< fire exactly once, on the n-th hit (1-based)
+    kEveryK,       ///< fire on every k-th hit (k = n)
+    kProbability,  ///< fire each hit with probability p, from the seeded stream
+  };
+
+  Mode mode = Mode::kNever;
+  uint64_t n = 1;
+  double probability = 0.0;
+
+  static Trigger on_nth(uint64_t nth);
+  static Trigger every(uint64_t k);
+  static Trigger with_probability(double p);
+};
+
+/// An immutable-once-installed assignment of triggers to sites.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(uint64_t seed) : seed_(seed) {}
+
+  Plan& arm(SiteId site, Trigger trigger);
+  const Trigger& trigger(SiteId site) const;
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_ = 0;
+  std::array<Trigger, kSiteCount> triggers_{};
+};
+
+/// Installs `plan` and resets every site's hit / injection counter. Not safe
+/// while solves are in flight.
+void set_plan(const Plan& plan);
+
+/// Uninstalls the active plan (counters are left readable until the next
+/// set_plan).
+void clear_plan();
+
+/// Per-site accounting since the last set_plan: how often the site was
+/// reached while a plan was armed, and how often it fired. `hits` counts
+/// every armed traversal regardless of the site's trigger, so a campaign can
+/// distinguish "not reached on this path" from "reached but not triggered".
+struct SiteStats {
+  uint64_t hits = 0;
+  uint64_t injections = 0;
+};
+
+SiteStats site_stats(SiteId site);
+
+/// Sum of injections over all sites since the last set_plan.
+uint64_t total_injections();
+
+/// RAII guard: installs a plan for a scope (tests, campaign cells).
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const Plan& plan) { set_plan(plan); }
+  ~ScopedPlan() { clear_plan(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+
+/// Counts the hit and decides whether the active plan fires at `site` now.
+/// Out of line and cold: only reached while a plan is armed.
+bool should_inject(SiteId site);
+}  // namespace detail
+
+/// True while a plan is installed; one relaxed load.
+inline bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+}  // namespace gop::fi

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file site.hh
+/// Catalog of fault-injection sites (docs/robustness.md). Every site is a
+/// stable, dotted lower-case identifier naming one specific failure a solver
+/// internal can exhibit — a zero LU pivot, a truncated Fox-Glynn window, a
+/// stalled steady-state iteration. Sites are compiled into the numerical
+/// kernels behind the GOP_FI_POINT macro (fi.hh) and addressed by a seeded
+/// fi::Plan (plan.hh); the enum values are append-only so campaign reports
+/// and regression baselines stay comparable across versions.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace gop::fi {
+
+enum class SiteId : uint32_t {
+  /// linalg.lu.pivot_breakdown — the partial-pivoting search finds an exactly
+  /// zero pivot (singular matrix); LuFactorization throws NumericalError.
+  kLuPivotBreakdown = 0,
+  /// linalg.lu.pivot_perturb — a pivot is silently doubled mid-factorization,
+  /// corrupting every downstream solve without raising an error.
+  kLuPivotPerturb,
+  /// linalg.dense.multiply_nan — a dense matrix product acquires a NaN entry
+  /// (uninitialised read / FMA contraction bug model).
+  kDenseMultiplyNan,
+  /// linalg.dense.multiply_inf — a dense matrix product acquires an Inf entry
+  /// (overflow model).
+  kDenseMultiplyInf,
+  /// linalg.dense.alloc_fail — constructing a dense matrix throws
+  /// std::bad_alloc (allocation-failure model).
+  kDenseAllocFail,
+  /// markov.fox_glynn.truncate — the Poisson window loses its upper half, so
+  /// the returned weights sum to well below 1.
+  kFoxGlynnTruncate,
+  /// markov.uniformization.iterate_nan — the DTMC iterate acquires a NaN
+  /// entry mid-propagation.
+  kUniformizationIterateNan,
+  /// markov.expm.scaling_overflow — the Padé scaling-and-squaring setup
+  /// overflows; matrix_exponential throws NumericalError.
+  kExpmScalingOverflow,
+  /// markov.steady_state.stall — the power / Gauss-Seidel convergence measure
+  /// is pinned above tolerance, so the iteration never converges.
+  kSteadyStateStall,
+  /// san.state_space.probe_exhausted — reachability exploration reports its
+  /// probe budget exhausted (state-space explosion model); throws ModelError.
+  kStateSpaceProbeExhausted,
+};
+
+inline constexpr size_t kSiteCount = 10;
+
+/// The stable dotted identifier ("linalg.lu.pivot_breakdown", ...).
+const char* to_string(SiteId site);
+
+/// One-line human description for catalogs and reports.
+const char* site_description(SiteId site);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<SiteId> site_from_string(std::string_view name);
+
+/// Every registered site, in enum order.
+const std::array<SiteId, kSiteCount>& all_sites();
+
+}  // namespace gop::fi

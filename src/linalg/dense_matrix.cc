@@ -1,15 +1,20 @@
 #include "linalg/dense_matrix.hh"
 
 #include <cmath>
+#include <limits>
+#include <new>
 #include <sstream>
 
+#include "fi/fi.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
 namespace gop::linalg {
 
 DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (GOP_FI_POINT(fi::SiteId::kDenseAllocFail)) throw std::bad_alloc();
+}
 
 DenseMatrix DenseMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
   GOP_REQUIRE(!rows.empty(), "from_rows needs at least one row");
@@ -65,6 +70,14 @@ DenseMatrix DenseMatrix::operator*(const DenseMatrix& other) const {
       const double* brow = &other.data_[k * other.cols_];
       double* orow = &out.data_[i * other.cols_];
       for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  if (!out.data_.empty()) {
+    if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyNan)) {
+      out.data_[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyInf)) {
+      out.data_[0] = std::numeric_limits<double>::infinity();
     }
   }
   return out;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fi/fi.hh"
 #include "util/error.hh"
 
 namespace gop::linalg {
@@ -23,13 +24,15 @@ LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
         pivot = r;
       }
     }
+    if (GOP_FI_POINT(fi::SiteId::kLuPivotBreakdown)) best = 0.0;
     GOP_CHECK_NUMERIC(best > 0.0, "LU pivot is exactly zero: matrix is singular");
     if (pivot != k) {
       for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
       std::swap(perm_[k], perm_[pivot]);
       sign_ = -sign_;
     }
-    const double pivot_value = lu_(k, k);
+    double pivot_value = lu_(k, k);
+    if (GOP_FI_POINT(fi::SiteId::kLuPivotPerturb)) pivot_value *= 2.0;
     for (size_t r = k + 1; r < n; ++r) {
       const double factor = lu_(r, k) / pivot_value;
       lu_(r, k) = factor;

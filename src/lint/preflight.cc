@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "markov/fox_glynn.hh"
 #include "markov/uniformization.hh"
 #include "san/lint.hh"
 #include "util/strings.hh"
@@ -41,12 +42,15 @@ void check_uniformization(const markov::Ctmc& chain, double t_max,
                           const markov::UniformizationOptions& uniform,
                           const std::string& model_name, const PreflightOptions& preflight,
                           Report& report) {
-  if (!(uniform.epsilon > 0.0 && uniform.epsilon < 1.0)) {
+  if (!(uniform.epsilon >= markov::kMinPoissonEpsilon && uniform.epsilon < 1.0)) {
+    // Mirrors the solver refusal exactly: poisson_window requires epsilon in
+    // [kMinPoissonEpsilon, 1) — below that its internal normalization floor
+    // underflows, so the run would throw, not merely lose accuracy.
     report.add("PRE005", Severity::kError, model_name, "",
-               str_format("Fox-Glynn epsilon = %g is outside (0,1); the Poisson window cannot be "
-                          "built",
-                          uniform.epsilon),
-               "use a truncation budget in (0,1), e.g. 1e-12");
+               str_format("Fox-Glynn epsilon = %g is outside [%g, 1); the uniformization solver "
+                          "will refuse to build the Poisson window",
+                          uniform.epsilon, markov::kMinPoissonEpsilon),
+               "use a truncation budget in [1e-300, 1), e.g. 1e-12");
   } else if (uniform.epsilon < preflight.min_epsilon) {
     report.add("PRE005", Severity::kWarning, model_name, "",
                str_format("Fox-Glynn epsilon = %g is below double precision (~%g); the truncated "

@@ -23,6 +23,8 @@
 ///   PRE004 warning stiff chain (max/min exit-rate ratio) handed to
 ///                  uniformization
 ///   PRE005 warning Fox-Glynn epsilon below what double precision honours
+///                  (error when below markov::kMinPoissonEpsilon, where the
+///                  solver refuses the window outright)
 
 #include <span>
 #include <string>

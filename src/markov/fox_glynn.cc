@@ -2,14 +2,17 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
 
+#include "fi/fi.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
 
 PoissonWindow poisson_window(double lambda, double epsilon) {
   GOP_REQUIRE(lambda > 0.0 && std::isfinite(lambda), "poisson_window: lambda must be positive");
-  GOP_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "poisson_window: epsilon must be in (0,1)");
+  GOP_REQUIRE(epsilon >= kMinPoissonEpsilon && epsilon < 1.0,
+              "poisson_window: epsilon must be in [kMinPoissonEpsilon, 1)");
 
   const size_t mode = static_cast<size_t>(lambda);
 
@@ -17,8 +20,13 @@ PoissonWindow poisson_window(double lambda, double epsilon) {
   // renormalization maps them back to probabilities. Truncation uses a
   // conservative per-side budget of epsilon/4 relative to the accumulated
   // mass, with a hard relative floor to stop the scan once terms are
-  // negligible at double precision.
-  const double floor_ratio = std::min(1e-18, epsilon * 1e-4);
+  // negligible at double precision. The floor must stay strictly positive:
+  // if it underflowed to zero, the scans below — whose terms eventually
+  // underflow to exactly zero too — would never satisfy `v < floor_ratio`
+  // and would run forever. kMinPoissonEpsilon keeps epsilon * 1e-4 normal,
+  // and the max() guards the invariant against future retuning.
+  const double floor_ratio =
+      std::max(std::numeric_limits<double>::min(), std::min(1e-18, epsilon * 1e-4));
 
   std::deque<double> values;
   values.push_back(1.0);
@@ -55,6 +63,12 @@ PoissonWindow poisson_window(double lambda, double epsilon) {
   window.left = left;
   window.weights.assign(values.begin(), values.end());
   for (double& w : window.weights) w /= total;
+  if (GOP_FI_POINT(fi::SiteId::kFoxGlynnTruncate)) {
+    // Keep at least the mode but drop the upper half of the (normalized)
+    // window: the weights now sum to well below 1, modelling an
+    // over-aggressive right truncation.
+    window.weights.resize(std::max<size_t>(1, window.weights.size() / 2));
+  }
   return window;
 }
 

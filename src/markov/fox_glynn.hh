@@ -11,6 +11,13 @@
 
 namespace gop::markov {
 
+/// Smallest epsilon poisson_window accepts. Below this the scaled-recurrence
+/// floor (epsilon * 1e-4) would underflow to exactly zero at double
+/// precision, and the outward scans — whose terms also underflow to zero —
+/// would never terminate. The preflight lint (PRE005) refuses the same
+/// constant so the static gate and the solver agree on the boundary.
+inline constexpr double kMinPoissonEpsilon = 1e-300;
+
 struct PoissonWindow {
   /// First index of the window: weights[i] approximates Poisson(lambda)
   /// probability of (left + i).
@@ -21,8 +28,9 @@ struct PoissonWindow {
 };
 
 /// Computes the truncation window for Poisson(lambda) with total truncated
-/// tail mass below `epsilon`. lambda must be positive and finite; for very
-/// large lambda the window has O(sqrt(lambda)) entries.
+/// tail mass below `epsilon`. lambda must be positive and finite and epsilon
+/// in [kMinPoissonEpsilon, 1); for very large lambda the window has
+/// O(sqrt(lambda)) entries.
 PoissonWindow poisson_window(double lambda, double epsilon = 1e-12);
 
 /// Reference Poisson pmf via lgamma, used by tests to validate the window.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fi/fi.hh"
 #include "linalg/lu.hh"
 #include "markov/solver_stats.hh"
 #include "obs/obs.hh"
@@ -84,6 +85,8 @@ DenseMatrix matrix_exponential(const DenseMatrix& a) {
   if (norm > kTheta13) {
     squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
   }
+  GOP_CHECK_NUMERIC(!GOP_FI_POINT(fi::SiteId::kExpmScalingOverflow),
+                    "matrix_exponential: scaling-and-squaring setup overflowed");
   if (obs::enabled()) record_expm_event(a.rows(), squarings);
   return matrix_exponential_impl(a, squarings);
 }

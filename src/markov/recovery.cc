@@ -1,0 +1,278 @@
+#include "markov/recovery.hh"
+
+#include <cmath>
+#include <new>
+#include <numeric>
+#include <utility>
+
+#include "markov/fox_glynn.hh"
+#include "obs/obs.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+
+const char* engine_name(TransientMethod method) {
+  switch (method) {
+    case TransientMethod::kUniformization: return "uniformization";
+    case TransientMethod::kMatrixExponential: return "pade-expm";
+    case TransientMethod::kAuto: break;
+  }
+  throw InternalError("unresolved transient method in recovery ladder");
+}
+
+const char* engine_name(AccumulatedMethod method) {
+  switch (method) {
+    case AccumulatedMethod::kUniformization: return "uniformization";
+    case AccumulatedMethod::kAugmentedExponential: return "augmented-expm";
+    case AccumulatedMethod::kAuto: break;
+  }
+  throw InternalError("unresolved accumulated method in recovery ladder");
+}
+
+const char* engine_name(SteadyStateMethod method) {
+  switch (method) {
+    case SteadyStateMethod::kGth: return "gth";
+    case SteadyStateMethod::kPower: return "power";
+    case SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+    case SteadyStateMethod::kAuto: break;
+  }
+  throw InternalError("unresolved steady-state method in recovery ladder");
+}
+
+namespace detail {
+
+/// Accounting for a solve that only succeeded degraded: the always-on
+/// counters make degradation visible even without tracing; the kRecovery
+/// event (when tracing is on) carries the full attempt log. Cold + noinline:
+/// never reached on the clean path.
+[[gnu::cold]] [[gnu::noinline]] void note_degraded(const char* solver, const Certificate& cert,
+                                                   size_t states, double t) {
+  static obs::Counter& retries = obs::counter("markov.recovery.retries");
+  static obs::Counter& fallbacks = obs::counter("markov.recovery.fallbacks");
+  retries.add(cert.retries);
+  if (cert.fallback) fallbacks.add();
+  if (!obs::enabled()) return;
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kRecovery;
+  event.method = cert.engine;
+  event.states = states;
+  event.t = t;
+  event.retries = cert.retries;
+  event.degraded = true;
+  event.detail = solver;
+  for (const std::string& attempt : cert.attempts) {
+    event.detail += " | ";
+    event.detail += attempt;
+  }
+  obs::record_event(std::move(event));
+}
+
+}  // namespace detail
+
+bool is_probability_vector(const std::vector<double>& v, double slack) {
+  double sum = 0.0;
+  for (double x : v) {
+    if (!std::isfinite(x) || x < -slack) return false;
+    sum += x;
+  }
+  return std::abs(sum - 1.0) <= slack;
+}
+
+bool is_occupancy_vector(const std::vector<double>& v, double t, double slack) {
+  const double scale = slack * std::max(1.0, t);
+  double sum = 0.0;
+  for (double x : v) {
+    if (!std::isfinite(x) || x < -scale) return false;
+    sum += x;
+  }
+  return std::abs(sum - t) <= scale;
+}
+
+TransientResult transient_distribution_checked(const Ctmc& chain, double t,
+                                               const TransientOptions& options,
+                                               const RecoveryPolicy& policy) {
+  GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
+  if (t == 0.0) {
+    TransientResult out{chain.initial_distribution(), {}};
+    out.certificate.requested_engine = "initial";
+    out.certificate.engine = "initial";
+    return out;
+  }
+
+  const TransientMethod primary = resolve_transient_method(chain, t, options);
+  std::vector<TransientMethod> ladder{primary};
+  if (policy.allow_engine_fallback) {
+    ladder.push_back(primary == TransientMethod::kUniformization
+                         ? TransientMethod::kMatrixExponential
+                         : TransientMethod::kUniformization);
+  }
+
+  Certificate cert;
+  cert.requested_engine = engine_name(primary);
+  std::vector<std::string> attempts;
+  std::string last_cause;
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const char* name = engine_name(ladder[rung]);
+    TransientOptions forced = options;
+    forced.method = ladder[rung];
+    for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
+      if (retry > 0 && ladder[rung] == TransientMethod::kUniformization) {
+        forced.uniformization.epsilon = std::max(
+            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+      }
+      try {
+        std::vector<double> candidate = transient_distribution(chain, t, forced);
+        if (!is_probability_vector(candidate, policy.validation_slack)) {
+          throw NumericalError("result failed the probability-vector validation");
+        }
+        cert.engine = name;
+        cert.fallback = rung > 0;
+        cert.retries = attempts.size();
+        cert.degraded = cert.fallback || cert.retries > 0;
+        cert.error_bound = ladder[rung] == TransientMethod::kUniformization
+                               ? forced.uniformization.epsilon
+                               : 0.0;
+        cert.attempts = attempts;
+        if (cert.degraded) detail::note_degraded("transient", cert, chain.state_count(), t);
+        return TransientResult{std::move(candidate), std::move(cert)};
+      } catch (const InternalError&) {
+        throw;  // library bug: the ladder must not absorb it
+      } catch (const ModelError&) {
+        throw;  // structural diagnosis: no engine can fix the model
+      } catch (const std::bad_alloc&) {
+        last_cause = "allocation failure";
+        attempts.push_back(std::string(name) + ": allocation failure");
+      } catch (const std::exception& ex) {
+        last_cause = ex.what();
+        attempts.push_back(std::string(name) + ": " + ex.what());
+      }
+    }
+  }
+  throw SolverError("transient", std::move(attempts), std::move(last_cause));
+}
+
+AccumulatedResult accumulated_occupancy_checked(const Ctmc& chain, double t,
+                                                const AccumulatedOptions& options,
+                                                const RecoveryPolicy& policy) {
+  GOP_REQUIRE(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
+  if (t == 0.0) {
+    AccumulatedResult out{std::vector<double>(chain.state_count(), 0.0), {}};
+    out.certificate.requested_engine = "initial";
+    out.certificate.engine = "initial";
+    return out;
+  }
+
+  const AccumulatedMethod primary = resolve_accumulated_method(chain, t, options);
+  std::vector<AccumulatedMethod> ladder{primary};
+  if (policy.allow_engine_fallback) {
+    ladder.push_back(primary == AccumulatedMethod::kUniformization
+                         ? AccumulatedMethod::kAugmentedExponential
+                         : AccumulatedMethod::kUniformization);
+  }
+
+  Certificate cert;
+  cert.requested_engine = engine_name(primary);
+  std::vector<std::string> attempts;
+  std::string last_cause;
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const char* name = engine_name(ladder[rung]);
+    AccumulatedOptions forced = options;
+    forced.method = ladder[rung];
+    for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
+      if (retry > 0 && ladder[rung] == AccumulatedMethod::kUniformization) {
+        forced.uniformization.epsilon = std::max(
+            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+      }
+      try {
+        std::vector<double> candidate = accumulated_occupancy(chain, t, forced);
+        if (!is_occupancy_vector(candidate, t, policy.validation_slack)) {
+          throw NumericalError("result failed the occupancy-vector validation");
+        }
+        cert.engine = name;
+        cert.fallback = rung > 0;
+        cert.retries = attempts.size();
+        cert.degraded = cert.fallback || cert.retries > 0;
+        cert.error_bound = ladder[rung] == AccumulatedMethod::kUniformization
+                               ? forced.uniformization.epsilon
+                               : 0.0;
+        cert.attempts = attempts;
+        if (cert.degraded) detail::note_degraded("accumulated", cert, chain.state_count(), t);
+        return AccumulatedResult{std::move(candidate), std::move(cert)};
+      } catch (const InternalError&) {
+        throw;
+      } catch (const ModelError&) {
+        throw;
+      } catch (const std::bad_alloc&) {
+        last_cause = "allocation failure";
+        attempts.push_back(std::string(name) + ": allocation failure");
+      } catch (const std::exception& ex) {
+        last_cause = ex.what();
+        attempts.push_back(std::string(name) + ": " + ex.what());
+      }
+    }
+  }
+  throw SolverError("accumulated", std::move(attempts), std::move(last_cause));
+}
+
+SteadyStateResult steady_state_distribution_checked(const Ctmc& chain,
+                                                    const SteadyStateOptions& options,
+                                                    const RecoveryPolicy& policy) {
+  const SteadyStateMethod primary = resolve_steady_state_method(chain, options);
+  std::vector<SteadyStateMethod> ladder{primary};
+  if (policy.allow_engine_fallback) {
+    for (SteadyStateMethod method : {SteadyStateMethod::kGth, SteadyStateMethod::kPower,
+                                     SteadyStateMethod::kGaussSeidel}) {
+      if (method == primary) continue;
+      // A dense O(n^3) elimination is no rescue for a chain the dispatcher
+      // already judged too large for it.
+      if (method == SteadyStateMethod::kGth &&
+          chain.state_count() > options.auto_gth_max_states) {
+        continue;
+      }
+      ladder.push_back(method);
+    }
+  }
+
+  Certificate cert;
+  cert.requested_engine = engine_name(primary);
+  std::vector<std::string> attempts;
+  std::string last_cause;
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const char* name = engine_name(ladder[rung]);
+    SteadyStateOptions forced = options;
+    forced.method = ladder[rung];
+    const bool iterative = ladder[rung] != SteadyStateMethod::kGth;
+    for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
+      // A stalled iteration is not helped by a tighter tolerance — widen the
+      // budget instead so a slowly-mixing chain gets room to converge.
+      if (retry > 0 && iterative) forced.max_iterations *= policy.iteration_widen;
+      try {
+        std::vector<double> candidate = steady_state_distribution(chain, forced);
+        if (!is_probability_vector(candidate, policy.validation_slack)) {
+          throw NumericalError("result failed the probability-vector validation");
+        }
+        cert.engine = name;
+        cert.fallback = rung > 0;
+        cert.retries = attempts.size();
+        cert.degraded = cert.fallback || cert.retries > 0;
+        cert.error_bound = iterative ? forced.tolerance : 0.0;
+        cert.attempts = attempts;
+        if (cert.degraded) detail::note_degraded("steady_state", cert, chain.state_count(), 0.0);
+        return SteadyStateResult{std::move(candidate), std::move(cert)};
+      } catch (const InternalError&) {
+        throw;
+      } catch (const ModelError&) {
+        throw;
+      } catch (const std::bad_alloc&) {
+        last_cause = "allocation failure";
+        attempts.push_back(std::string(name) + ": allocation failure");
+      } catch (const std::exception& ex) {
+        last_cause = ex.what();
+        attempts.push_back(std::string(name) + ": " + ex.what());
+      }
+    }
+  }
+  throw SolverError("steady_state", std::move(attempts), std::move(last_cause));
+}
+
+}  // namespace gop::markov

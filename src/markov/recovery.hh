@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file recovery.hh
+/// Policy-driven graceful degradation around the transient / accumulated /
+/// steady-state dispatchers (docs/robustness.md). The `_checked` entry points
+/// run the same engines as the plain ones, but climb a recovery ladder when
+/// an engine throws or returns a result that fails its mass invariant:
+///
+///   1. retry the engine (tightening the Fox-Glynn epsilon, or widening the
+///      iteration budget for the iterative steady-state engines),
+///   2. fall back to an alternative engine (uniformization <-> Pade /
+///      augmented exponential; GTH <-> power <-> Gauss-Seidel),
+///   3. throw a structured gop::SolverError carrying the full attempt log.
+///
+/// Every result carries a Certificate naming the engine that actually
+/// produced it, so a degraded answer is never mistaken for a first-try one;
+/// each degradation also emits a gop::obs kRecovery event and bumps the
+/// always-on counters `markov.recovery.retries` / `markov.recovery.fallbacks`.
+/// With no fault and no degradation, a `_checked` call returns bitwise the
+/// same vector as its unchecked twin.
+
+#include <string>
+#include <vector>
+
+#include "markov/accumulated.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+
+namespace gop::markov {
+
+struct RecoveryPolicy {
+  /// Additional attempts per engine after the first (0 = no retries).
+  size_t max_retries = 1;
+  /// Each uniformization retry multiplies the Fox-Glynn epsilon by this
+  /// (floored at kMinPoissonEpsilon); the dense engines retry unchanged,
+  /// which still clears transient (non-deterministic) faults.
+  double epsilon_tighten = 1e-3;
+  /// Each iterative steady-state retry multiplies max_iterations by this.
+  size_t iteration_widen = 4;
+  /// Permit step 2 of the ladder (cross-engine fallback).
+  bool allow_engine_fallback = true;
+  /// Mass-invariant slack for validating a candidate result: probability
+  /// vectors must sum to 1 within this, occupancy vectors to t within
+  /// slack * max(1, t), and every entry must be finite and >= -slack.
+  double validation_slack = 1e-6;
+};
+
+/// Provenance of a `_checked` result: what the dispatcher wanted, what
+/// actually produced the answer, and how hard the ladder had to work.
+struct Certificate {
+  std::string requested_engine;  ///< engine the dispatcher resolved to
+  std::string engine;            ///< engine that produced the result
+  size_t retries = 0;            ///< failed attempts before the success
+  bool fallback = false;         ///< result came from a non-requested engine
+  bool degraded = false;         ///< retries > 0 || fallback
+  /// Residual accuracy bound of the successful attempt: the Fox-Glynn
+  /// epsilon for uniformization, the convergence tolerance for the iterative
+  /// steady-state engines, 0 for the direct dense engines.
+  double error_bound = 0.0;
+  std::vector<std::string> attempts;  ///< "engine: reason" per failed attempt
+};
+
+struct TransientResult {
+  std::vector<double> distribution;
+  Certificate certificate;
+};
+
+struct AccumulatedResult {
+  std::vector<double> occupancy;
+  Certificate certificate;
+};
+
+struct SteadyStateResult {
+  std::vector<double> distribution;
+  Certificate certificate;
+};
+
+/// transient_distribution with the recovery ladder. Throws gop::SolverError
+/// ("transient") when every rung fails.
+TransientResult transient_distribution_checked(const Ctmc& chain, double t,
+                                               const TransientOptions& options = {},
+                                               const RecoveryPolicy& policy = {});
+
+/// accumulated_occupancy with the recovery ladder ("accumulated").
+AccumulatedResult accumulated_occupancy_checked(const Ctmc& chain, double t,
+                                                const AccumulatedOptions& options = {},
+                                                const RecoveryPolicy& policy = {});
+
+/// steady_state_distribution with the recovery ladder ("steady_state").
+SteadyStateResult steady_state_distribution_checked(const Ctmc& chain,
+                                                    const SteadyStateOptions& options = {},
+                                                    const RecoveryPolicy& policy = {});
+
+/// Validation predicates the ladder applies to every candidate result (also
+/// the assertion surface of the fault-campaign tests): finite entries,
+/// entries >= -slack, and total mass 1 (respectively t, within
+/// slack * max(1, t)).
+bool is_probability_vector(const std::vector<double>& v, double slack);
+bool is_occupancy_vector(const std::vector<double>& v, double t, double slack);
+
+/// Dispatcher engine labels exactly as they appear in certificates and obs
+/// events ("uniformization", "pade-expm", "augmented-expm", "gth", ...).
+/// Throws gop::InternalError for the unresolved kAuto placeholders.
+const char* engine_name(TransientMethod method);
+const char* engine_name(AccumulatedMethod method);
+const char* engine_name(SteadyStateMethod method);
+
+namespace detail {
+/// Bumps the always-on recovery counters and (when tracing) records the
+/// kRecovery event for a degraded solve; shared by the checked dispatchers
+/// and the session layer.
+void note_degraded(const char* solver, const Certificate& cert, size_t states, double t);
+}  // namespace detail
+
+}  // namespace gop::markov

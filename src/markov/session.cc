@@ -1,6 +1,7 @@
 #include "markov/session.hh"
 
 #include <cmath>
+#include <new>
 
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
@@ -104,6 +105,14 @@ std::vector<double> replay_transient(const Ctmc& chain, const UniformizedSequenc
   const double lambda_t = sequence.lambda * t;
   check_lambda_t(lambda_t, options);
   const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+  // The sequence was sized from these same windows, so it covers the window
+  // unless it legitimately stopped early at steady state; anything else (a
+  // corrupted sizing probe) must fail loudly, not read past the iterates.
+  GOP_CHECK_NUMERIC(window.right() < sequence.iterates.size() ||
+                        (!sequence.diffs.empty() &&
+                         sequence.diffs.back() * static_cast<double>(chain.state_count()) <
+                             options.steady_state_tol),
+                    "session replay: shared iterate sequence is shorter than the Poisson window");
 
   std::vector<double> result(chain.state_count(), 0.0);
   double used_mass = 0.0;
@@ -122,6 +131,10 @@ std::vector<double> replay_transient(const Ctmc& chain, const UniformizedSequenc
       break;
     }
   }
+  // Mirror of the pointwise deficit check: folding more than the truncation
+  // slack into the last iterate would silently misattribute probability.
+  GOP_CHECK_NUMERIC(used_mass >= 1.0 - options.mass_check_slack,
+                    "session replay: Poisson window mass deficit exceeds the slack");
   if (used_mass < 1.0) {
     linalg::axpy(1.0 - used_mass, sequence.iterates[window.right()], result);
   }
@@ -135,6 +148,11 @@ std::vector<double> replay_accumulated(const Ctmc& chain, const UniformizedSeque
   const double lambda_t = sequence.lambda * t;
   check_lambda_t(lambda_t, options);
   const PoissonWindow window = poisson_window(lambda_t, options.epsilon);
+  GOP_CHECK_NUMERIC(window.right() < sequence.iterates.size() ||
+                        (!sequence.diffs.empty() &&
+                         sequence.diffs.back() * static_cast<double>(chain.state_count()) <
+                             options.steady_state_tol),
+                    "session replay: shared iterate sequence is shorter than the Poisson window");
 
   std::vector<double> occupancy(chain.state_count(), 0.0);
   double cdf = 0.0;
@@ -153,6 +171,13 @@ std::vector<double> replay_accumulated(const Ctmc& chain, const UniformizedSeque
       break;
     }
   }
+  // Mirror of the pointwise time-conservation check: L(t) must distribute
+  // exactly t across the states (a truncated window inflates the tails, a
+  // NaN iterate voids the comparison — both must surface here).
+  double mass = 0.0;
+  for (double l : occupancy) mass += l;
+  GOP_CHECK_NUMERIC(std::abs(mass - t) <= options.mass_check_slack * std::max(1.0, t),
+                    "session replay: accumulated occupancy does not conserve time");
   return occupancy;
 }
 
@@ -182,6 +207,11 @@ double series_dot(const std::vector<double>& x, const std::vector<double>& y) {
 TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
                                    const TransientOptions& options)
     : chain_(&chain), times_(std::move(times)) {
+  build(options);
+}
+
+void TransientSession::build(const TransientOptions& options) {
+  const Ctmc& chain = *chain_;
   GOP_OBS_SPAN("markov.transient_session");
   solver_stats().transient_sessions.fetch_add(1, std::memory_order_relaxed);
   validate_grid(times_);
@@ -233,6 +263,69 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
       [&](double t) { return transient_distribution(chain, t, options); });
 }
 
+TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
+                                   const TransientOptions& options, const RecoveryPolicy& policy)
+    : chain_(&chain), times_(std::move(times)) {
+  validate_grid(times_);  // grid preconditions stay InvalidArgument, not ladder failures
+  const double horizon = times_.empty() ? 0.0 : times_.back();
+  const TransientMethod primary = resolve_transient_method(chain, horizon, options);
+  std::vector<TransientMethod> ladder{primary};
+  if (policy.allow_engine_fallback) {
+    ladder.push_back(primary == TransientMethod::kUniformization
+                         ? TransientMethod::kMatrixExponential
+                         : TransientMethod::kUniformization);
+  }
+
+  Certificate cert;
+  cert.requested_engine = engine_name(primary);
+  std::vector<std::string> attempts;
+  std::string last_cause;
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const char* name = engine_name(ladder[rung]);
+    TransientOptions forced = options;
+    forced.method = ladder[rung];
+    for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
+      if (retry > 0 && ladder[rung] == TransientMethod::kUniformization) {
+        forced.uniformization.epsilon = std::max(
+            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+      }
+      try {
+        distributions_.clear();
+        build(forced);
+        for (const std::vector<double>& pi : distributions_) {
+          if (!is_probability_vector(pi, policy.validation_slack)) {
+            throw NumericalError("a grid distribution failed the probability-vector validation");
+          }
+        }
+        cert.engine = name;
+        cert.fallback = rung > 0;
+        cert.retries = attempts.size();
+        cert.degraded = cert.fallback || cert.retries > 0;
+        cert.error_bound = ladder[rung] == TransientMethod::kUniformization
+                               ? forced.uniformization.epsilon
+                               : 0.0;
+        cert.attempts = attempts;
+        if (cert.degraded) {
+          detail::note_degraded("transient_session", cert, chain.state_count(), horizon);
+        }
+        certificate_ = std::move(cert);
+        return;
+      } catch (const InternalError&) {
+        throw;  // library bug: the ladder must not absorb it
+      } catch (const ModelError&) {
+        throw;  // structural diagnosis: no engine can fix the model
+      } catch (const std::bad_alloc&) {
+        last_cause = "allocation failure";
+        attempts.push_back(std::string(name) + ": allocation failure");
+      } catch (const std::exception& ex) {
+        last_cause = ex.what();
+        attempts.push_back(std::string(name) + ": " + ex.what());
+      }
+    }
+  }
+  throw SolverError("transient_session", std::move(attempts), std::move(last_cause));
+}
+
 double TransientSession::time_at(size_t i) const {
   GOP_REQUIRE(i < times_.size(), "time index out of range");
   return times_[i];
@@ -259,6 +352,11 @@ std::vector<double> TransientSession::reward_series(
 AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> times,
                                        const AccumulatedOptions& options)
     : chain_(&chain), times_(std::move(times)) {
+  build(options);
+}
+
+void AccumulatedSession::build(const AccumulatedOptions& options) {
+  const Ctmc& chain = *chain_;
   GOP_OBS_SPAN("markov.accumulated_session");
   solver_stats().accumulated_sessions.fetch_add(1, std::memory_order_relaxed);
   validate_grid(times_);
@@ -299,6 +397,70 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
   }
   solve_grid(times_, occupancies_, zeros,
              [&](double t) { return accumulated_occupancy(chain, t, options); });
+}
+
+AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> times,
+                                       const AccumulatedOptions& options,
+                                       const RecoveryPolicy& policy)
+    : chain_(&chain), times_(std::move(times)) {
+  validate_grid(times_);  // grid preconditions stay InvalidArgument, not ladder failures
+  const double horizon = times_.empty() ? 0.0 : times_.back();
+  const AccumulatedMethod primary = resolve_accumulated_method(chain, horizon, options);
+  std::vector<AccumulatedMethod> ladder{primary};
+  if (policy.allow_engine_fallback) {
+    ladder.push_back(primary == AccumulatedMethod::kUniformization
+                         ? AccumulatedMethod::kAugmentedExponential
+                         : AccumulatedMethod::kUniformization);
+  }
+
+  Certificate cert;
+  cert.requested_engine = engine_name(primary);
+  std::vector<std::string> attempts;
+  std::string last_cause;
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const char* name = engine_name(ladder[rung]);
+    AccumulatedOptions forced = options;
+    forced.method = ladder[rung];
+    for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
+      if (retry > 0 && ladder[rung] == AccumulatedMethod::kUniformization) {
+        forced.uniformization.epsilon = std::max(
+            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+      }
+      try {
+        occupancies_.clear();
+        build(forced);
+        for (size_t i = 0; i < occupancies_.size(); ++i) {
+          if (!is_occupancy_vector(occupancies_[i], times_[i], policy.validation_slack)) {
+            throw NumericalError("a grid occupancy failed the occupancy-vector validation");
+          }
+        }
+        cert.engine = name;
+        cert.fallback = rung > 0;
+        cert.retries = attempts.size();
+        cert.degraded = cert.fallback || cert.retries > 0;
+        cert.error_bound = ladder[rung] == AccumulatedMethod::kUniformization
+                               ? forced.uniformization.epsilon
+                               : 0.0;
+        cert.attempts = attempts;
+        if (cert.degraded) {
+          detail::note_degraded("accumulated_session", cert, chain.state_count(), horizon);
+        }
+        certificate_ = std::move(cert);
+        return;
+      } catch (const InternalError&) {
+        throw;
+      } catch (const ModelError&) {
+        throw;
+      } catch (const std::bad_alloc&) {
+        last_cause = "allocation failure";
+        attempts.push_back(std::string(name) + ": allocation failure");
+      } catch (const std::exception& ex) {
+        last_cause = ex.what();
+        attempts.push_back(std::string(name) + ": " + ex.what());
+      }
+    }
+  }
+  throw SolverError("accumulated_session", std::move(attempts), std::move(last_cause));
 }
 
 double AccumulatedSession::time_at(size_t i) const {

@@ -30,10 +30,12 @@
 /// Sessions are immutable after construction and safe to read from multiple
 /// threads concurrently.
 
+#include <optional>
 #include <vector>
 
 #include "markov/accumulated.hh"
 #include "markov/ctmc.hh"
+#include "markov/recovery.hh"
 #include "markov/transient.hh"
 
 namespace gop::markov {
@@ -46,6 +48,17 @@ class TransientSession {
   /// and non-negative. The chain must outlive the session.
   TransientSession(const Ctmc& chain, std::vector<double> times,
                    const TransientOptions& options = {});
+
+  /// Recovery-laddered build (recovery.hh): retries the grid solve with a
+  /// tightened Fox-Glynn epsilon, then rebuilds on the alternative engine,
+  /// before throwing gop::SolverError ("transient_session"). certificate()
+  /// records the provenance. A clean first-try build stays bit-identical to
+  /// the policy-free constructor.
+  TransientSession(const Ctmc& chain, std::vector<double> times, const TransientOptions& options,
+                   const RecoveryPolicy& policy);
+
+  /// Set iff the session was built with a RecoveryPolicy.
+  const std::optional<Certificate>& certificate() const { return certificate_; }
 
   const Ctmc& chain() const { return *chain_; }
   size_t time_count() const { return times_.size(); }
@@ -62,9 +75,12 @@ class TransientSession {
   std::vector<double> reward_series(const std::vector<double>& state_reward) const;
 
  private:
+  void build(const TransientOptions& options);
+
   const Ctmc* chain_;
   std::vector<double> times_;
   std::vector<std::vector<double>> distributions_;
+  std::optional<Certificate> certificate_;
 };
 
 /// Accumulated occupancies L(t_i) = \int_0^{t_i} pi(s) ds for a sorted grid.
@@ -75,6 +91,14 @@ class AccumulatedSession {
  public:
   AccumulatedSession(const Ctmc& chain, std::vector<double> times,
                      const AccumulatedOptions& options = {});
+
+  /// Recovery-laddered build; see TransientSession. Throws gop::SolverError
+  /// ("accumulated_session") when every rung fails.
+  AccumulatedSession(const Ctmc& chain, std::vector<double> times,
+                     const AccumulatedOptions& options, const RecoveryPolicy& policy);
+
+  /// Set iff the session was built with a RecoveryPolicy.
+  const std::optional<Certificate>& certificate() const { return certificate_; }
 
   const Ctmc& chain() const { return *chain_; }
   size_t time_count() const { return times_.size(); }
@@ -91,9 +115,12 @@ class AccumulatedSession {
   std::vector<double> reward_series(const std::vector<double>& state_reward) const;
 
  private:
+  void build(const AccumulatedOptions& options);
+
   const Ctmc* chain_;
   std::vector<double> times_;
   std::vector<std::vector<double>> occupancies_;
+  std::optional<Certificate> certificate_;
 };
 
 }  // namespace gop::markov

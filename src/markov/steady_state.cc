@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fi/fi.hh"
 #include "linalg/gth.hh"
 #include "linalg/vector_ops.hh"
 #include "obs/obs.hh"
@@ -36,7 +37,8 @@ std::vector<double> power_iteration(const Ctmc& chain, const SteadyStateOptions&
     std::vector<double> next = chain.rate_matrix().left_multiply(v);
     const std::vector<double>& exit = chain.exit_rates();
     for (size_t s = 0; s < n; ++s) next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
-    const double diff = linalg::max_abs_diff(next, v);
+    double diff = linalg::max_abs_diff(next, v);
+    if (GOP_FI_POINT(fi::SiteId::kSteadyStateStall)) diff = 1.0;
     v = std::move(next);
     if (diff < options.tolerance) {
       linalg::normalize_probability(v);
@@ -76,6 +78,7 @@ std::vector<double> gauss_seidel(const Ctmc& chain, const SteadyStateOptions& op
       x[i] = updated;
     }
     linalg::normalize_probability(x);
+    if (GOP_FI_POINT(fi::SiteId::kSteadyStateStall)) max_change = 1.0;
     if (max_change < options.tolerance) {
       if (obs::enabled()) record_steady_event(chain, "gauss-seidel", iter + 1);
       return x;

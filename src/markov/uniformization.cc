@@ -1,8 +1,11 @@
 #include "markov/uniformization.hh"
 
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <utility>
 
+#include "fi/fi.hh"
 #include "linalg/vector_ops.hh"
 #include "markov/fox_glynn.hh"
 #include "markov/solver_stats.hh"
@@ -93,6 +96,9 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
 
     uniformized_step(chain, lambda, v, next);
     ++steps;
+    if (GOP_FI_POINT(fi::SiteId::kUniformizationIterateNan)) {
+      next[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     // Steady-state detection: once the DTMC iterate stops moving, all further
     // terms equal the current vector; fold the remaining Poisson mass in.
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
@@ -107,9 +113,21 @@ std::vector<double> uniformized_transient_distribution(const Ctmc& chain, double
 
   if (used_mass < 1.0) {
     // Truncated mass (at most epsilon): assign it to the last iterate so the
-    // result stays a probability vector.
+    // result stays a probability vector. The renormalization is only sound
+    // when the deficit really is the epsilon-bounded Fox-Glynn tail — a
+    // window that lost real mass (or a non-finite iterate) must fail loudly
+    // here, not be papered over.
+    GOP_CHECK_NUMERIC(used_mass >= 1.0 - options.mass_check_slack,
+                      str_format("uniformization: Poisson window covered only %.6g of the "
+                                 "probability mass; the Fox-Glynn window is defective",
+                                 used_mass));
     linalg::axpy(1.0 - used_mass, v, result);
   }
+  const double mass = std::accumulate(result.begin(), result.end(), 0.0);
+  GOP_CHECK_NUMERIC(std::abs(mass - 1.0) <= options.mass_check_slack,
+                    str_format("uniformization: transient distribution mass %.6g violates the "
+                               "probability-vector invariant",
+                               mass));
   if (obs::enabled()) record_pass_event(chain, t, lambda_t, window, steps, detected);
   return result;
 }
@@ -158,6 +176,9 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
 
     uniformized_step(chain, lambda, v, next);
     ++steps;
+    if (GOP_FI_POINT(fi::SiteId::kUniformizationIterateNan)) {
+      next[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     if (linalg::max_abs_diff(next, v) * static_cast<double>(chain.state_count()) <
         options.steady_state_tol) {
       const double remaining = std::max(0.0, lambda_t - tail_sum);
@@ -168,6 +189,14 @@ std::vector<double> uniformized_accumulated_occupancy(const Ctmc& chain, double 
     }
     std::swap(v, next);
   }
+  // Total occupancy over all states is exactly t (time is conserved); a
+  // truncated window inflates the Poisson tail terms and a NaN iterate
+  // poisons the sum, so this one invariant catches both.
+  const double mass = std::accumulate(occupancy.begin(), occupancy.end(), 0.0);
+  GOP_CHECK_NUMERIC(std::abs(mass - t) <= options.mass_check_slack * t,
+                    str_format("uniformization: accumulated occupancy sums to %.6g over horizon "
+                               "%.6g, violating the time-conservation invariant",
+                               mass, t));
   if (obs::enabled()) record_pass_event(chain, t, lambda_t, window, steps, detected);
   return occupancy;
 }

@@ -24,6 +24,13 @@ struct UniformizationOptions {
   double max_lambda_t = 2e6;
   /// Uniformization rate safety factor over the maximal exit rate.
   double rate_slack = 1.02;
+  /// Result-mass invariant slack: a transient solve must return total
+  /// probability within mass_check_slack of 1, an accumulated solve total
+  /// occupancy within mass_check_slack * t of t, or it throws NumericalError
+  /// instead of silently renormalizing a defective window. Loose enough for
+  /// the rounding drift of Lambda*t ~ 2e6 DTMC steps, tight enough that a
+  /// truncated Fox-Glynn window or a NaN iterate cannot pass.
+  double mass_check_slack = 1e-6;
   /// Memory budget (in doubles) for the shared DTMC iterate sequence a
   /// TransientSession / AccumulatedSession (session.hh) records. A session
   /// over a time grid stores v_k = pi0 P^k for every step up to the largest

@@ -166,6 +166,8 @@ const char* to_string(SolverEventKind kind) {
     case SolverEventKind::kUniformizationPass: return "uniformization_pass";
     case SolverEventKind::kTransientSession: return "transient_session";
     case SolverEventKind::kAccumulatedSession: return "accumulated_session";
+    case SolverEventKind::kFaultInjection: return "fault_injection";
+    case SolverEventKind::kRecovery: return "recovery";
   }
   throw InternalError("unknown SolverEventKind");
 }

@@ -81,6 +81,12 @@ enum class SolverEventKind {
   kUniformizationPass,
   kTransientSession,
   kAccumulatedSession,
+  /// One per fired gop::fi injection site (method = the site id); the trace
+  /// proof that a campaign failure was actually seeded, not organic.
+  kFaultInjection,
+  /// One per degraded recovery (markov/recovery.hh): a solve that only
+  /// succeeded after retries or an engine fallback. Nothing recovers silently.
+  kRecovery,
 };
 
 const char* to_string(SolverEventKind kind);
@@ -101,6 +107,9 @@ struct SolverEvent {
   size_t iterations = 0;    ///< DTMC steps / power sweeps / expm squarings
   bool steady_state_detected = false;  ///< uniformization stopped early
   size_t grid_points = 0;   ///< session events: times served by this solve
+  size_t retries = 0;       ///< recovery events: tightened-tolerance retries
+  bool degraded = false;    ///< recovery events: result needed retries/fallback
+  std::string detail;       ///< recovery events: attempt log summary
 };
 
 /// Records an event when enabled() (drops it otherwise). The buffer is

@@ -40,13 +40,19 @@ void text_node(const SpanNode& node, size_t depth, std::string& out) {
 }
 
 std::string event_json(const SolverEvent& e) {
-  return str_format(
+  std::string out = str_format(
       "{\"kind\":\"%s\",\"method\":\"%s\",\"states\":%zu,\"t\":%.17g,"
       "\"lambda_t\":%.17g,\"fox_glynn_left\":%zu,\"fox_glynn_right\":%zu,"
-      "\"iterations\":%zu,\"steady_state_detected\":%s,\"grid_points\":%zu}",
+      "\"iterations\":%zu,\"steady_state_detected\":%s,\"grid_points\":%zu",
       to_string(e.kind), json_escape(e.method).c_str(), e.states, e.t, e.lambda_t,
       e.fox_glynn_left, e.fox_glynn_right, e.iterations,
       e.steady_state_detected ? "true" : "false", e.grid_points);
+  if (e.degraded || e.retries > 0 || !e.detail.empty()) {
+    out += str_format(",\"retries\":%zu,\"degraded\":%s,\"detail\":\"%s\"", e.retries,
+                      e.degraded ? "true" : "false", json_escape(e.detail).c_str());
+  }
+  out += "}";
+  return out;
 }
 
 void json_node(const SpanNode& node, std::string& out) {

@@ -1,0 +1,67 @@
+#include "san/random_model.hh"
+
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::san {
+
+SanModel random_san(uint64_t seed, const RandomModelOptions& options) {
+  GOP_REQUIRE(options.min_places >= 1 && options.min_places <= options.max_places,
+              "random_san: place bounds must satisfy 1 <= min <= max");
+  GOP_REQUIRE(options.min_activities >= 1 && options.min_activities <= options.max_activities,
+              "random_san: activity bounds must satisfy 1 <= min <= max");
+  GOP_REQUIRE(options.max_cases >= 1, "random_san: max_cases must be >= 1");
+  GOP_REQUIRE(options.place_capacity >= 1, "random_san: place_capacity must be >= 1");
+  GOP_REQUIRE(options.min_rate > 0.0 && options.min_rate <= options.max_rate,
+              "random_san: rates must satisfy 0 < min <= max");
+
+  sim::Rng rng(seed);
+  SanModel model(str_format("random-san-%llu", static_cast<unsigned long long>(seed)));
+
+  const size_t places =
+      options.min_places + rng.uniform_index(options.max_places - options.min_places + 1);
+  for (size_t p = 0; p < places; ++p) {
+    model.add_place(str_format("p%zu", p), options.place_capacity);
+  }
+
+  const size_t activities =
+      options.min_activities +
+      rng.uniform_index(options.max_activities - options.min_activities + 1);
+  const int32_t capacity = options.place_capacity;
+  for (size_t a = 0; a < activities; ++a) {
+    const size_t source = rng.uniform_index(places);
+    const double rate = rng.uniform(options.min_rate, options.max_rate);
+    const size_t case_count = 1 + rng.uniform_index(options.max_cases);
+
+    // Small integer weights keep every probability strictly positive and the
+    // sum within one rounding unit of 1 after the w / total division.
+    std::vector<uint64_t> weights(case_count);
+    uint64_t total = 0;
+    for (uint64_t& w : weights) {
+      w = 1 + rng.uniform_index(4);
+      total += w;
+    }
+
+    TimedActivity activity;
+    activity.name = str_format("a%zu", a);
+    activity.enabled = [source](const Marking& m) { return m[source] >= 1; };
+    activity.rate = [rate](const Marking&) { return rate; };
+    for (size_t c = 0; c < case_count; ++c) {
+      const size_t target = rng.uniform_index(places);
+      const double p = static_cast<double>(weights[c]) / static_cast<double>(total);
+      activity.cases.push_back(
+          Case{[p](const Marking&) { return p; }, [source, target, capacity](Marking& m) {
+                 m[source] -= 1;
+                 if (m[target] < capacity) m[target] += 1;  // cap: the excess token is dropped
+               }});
+    }
+    model.add_timed_activity(std::move(activity));
+  }
+  return model;
+}
+
+}  // namespace gop::san

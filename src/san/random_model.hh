@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file random_model.hh
+/// Seeded random SAN instances for the property-based differential test tier
+/// (docs/robustness.md): structurally valid, bounded models whose analytic
+/// and empirical solutions can be cross-checked against each other without
+/// any per-instance golden data.
+
+#include <cstdint>
+
+#include "san/model.hh"
+
+namespace gop::san {
+
+struct RandomModelOptions {
+  size_t min_places = 2;
+  size_t max_places = 4;
+  size_t min_activities = 2;
+  size_t max_activities = 5;
+  /// Cases per activity are drawn uniformly from [1, max_cases].
+  size_t max_cases = 3;
+  /// Token cap per place; bounds the reachable set by (capacity+1)^places.
+  int32_t place_capacity = 2;
+  /// Constant activity rates are drawn uniformly from [min_rate, max_rate).
+  double min_rate = 0.2;
+  double max_rate = 4.0;
+};
+
+/// Generates a random SAN that is valid and lint-clean by construction:
+///  - timed activities only (no instantaneous activities, hence no vanishing
+///    loops) with constant positive rates;
+///  - each activity moves one token from its source place (guard: at least
+///    one token) to a target place, capped at place_capacity with the excess
+///    token dropped, so the reachable marking set is bounded;
+///  - case probabilities come from small integer weights, so they are
+///    strictly positive and sum to 1 within one rounding unit;
+///  - every place starts at full capacity, so every activity is enabled in
+///    the initial marking and no activity is dead.
+/// Deterministic: the same (seed, options) always yields the same model.
+SanModel random_san(uint64_t seed, const RandomModelOptions& options = {});
+
+}  // namespace gop::san

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <deque>
 
+#include "fi/fi.hh"
 #include "linalg/vector_ops.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
@@ -49,6 +50,11 @@ class Explorer {
   size_t intern(const Marking& marking) {
     auto [it, inserted] = index_.try_emplace(marking, states_.size());
     if (inserted) {
+      if (GOP_FI_POINT(fi::SiteId::kStateSpaceProbeExhausted)) {
+        throw ModelError(
+            str_format("reachability probe budget exhausted after %zu tangible states",
+                       states_.size()));
+      }
       GOP_REQUIRE(states_.size() < options_.max_states,
                   str_format("state-space explosion: more than %zu tangible states",
                              options_.max_states));

@@ -2,6 +2,36 @@
 
 #include <sstream>
 
+namespace gop {
+
+namespace {
+std::string solver_error_message(const std::string& solver,
+                                 const std::vector<std::string>& attempts,
+                                 const std::string& cause) {
+  std::ostringstream os;
+  os << "solver error: " << solver << " failed after " << attempts.size() << " attempt"
+     << (attempts.size() == 1 ? "" : "s");
+  if (!attempts.empty()) {
+    os << " [";
+    for (size_t i = 0; i < attempts.size(); ++i) {
+      if (i > 0) os << "; ";
+      os << attempts[i];
+    }
+    os << ']';
+  }
+  os << ": " << cause;
+  return os.str();
+}
+}  // namespace
+
+SolverError::SolverError(std::string solver, std::vector<std::string> attempts, std::string cause)
+    : NumericalError(solver_error_message(solver, attempts, cause)),
+      solver_(std::move(solver)),
+      attempts_(std::move(attempts)),
+      cause_(std::move(cause)) {}
+
+}  // namespace gop
+
 namespace gop::detail {
 
 namespace {

@@ -13,6 +13,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace gop {
 
@@ -33,6 +34,30 @@ class InternalError : public std::logic_error {
 class NumericalError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the recovery dispatchers (markov/recovery.hh) when a solve
+/// failed *after* exhausting its whole recovery ladder — tightened-tolerance
+/// retries, then engine fallbacks. Unlike a bare NumericalError it is
+/// structured: it records which solver gave up and every attempt made, so a
+/// caller (or a fault-injection campaign) can audit the degradation path
+/// instead of parsing a message.
+class SolverError : public NumericalError {
+ public:
+  SolverError(std::string solver, std::vector<std::string> attempts, std::string cause);
+
+  /// The solver family that gave up: "transient", "accumulated",
+  /// "steady_state", "transient_session", "accumulated_session".
+  const std::string& solver() const { return solver_; }
+  /// One entry per failed attempt, "engine: reason" (ladder order).
+  const std::vector<std::string>& attempts() const { return attempts_; }
+  /// The failure reason of the last attempt.
+  const std::string& cause() const { return cause_; }
+
+ private:
+  std::string solver_;
+  std::vector<std::string> attempts_;
+  std::string cause_;
 };
 
 /// Thrown when a model is structurally unusable for the requested analysis

@@ -1,0 +1,105 @@
+// Fault-campaign regression test (docs/robustness.md): runs the full
+// (scenario x site x trigger) matrix over the three paper models and asserts
+// the campaign invariant — every injected fault is either harmless, recovered
+// within tolerance, or surfaces as a structured error. A silent wrong answer
+// anywhere fails the suite.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/fault_campaign.hh"
+#include "fi/fi.hh"
+
+namespace gop::core {
+namespace {
+
+class FiCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fi::compiled_in()) {
+      GTEST_SKIP() << "fault injection compiled out (GOP_FI=OFF)";
+    }
+  }
+};
+
+TEST_F(FiCampaignTest, NoSilentWrongAnswers) {
+  const CampaignReport report = run_fault_campaign();
+
+  EXPECT_FALSE(report.cells.empty());
+  for (const CampaignCell& cell : report.cells) {
+    EXPECT_NE(cell.outcome, CampaignOutcome::kSilentWrong)
+        << cell.scenario << " x " << fi::to_string(cell.site) << " x " << cell.trigger
+        << ": rel_error=" << cell.rel_error << " engine=" << cell.engine;
+    // Classification consistency: a triggered cell is never "not-triggered",
+    // an untriggered one is never anything else.
+    if (cell.injections == 0) {
+      EXPECT_EQ(cell.outcome, CampaignOutcome::kNotTriggered)
+          << cell.scenario << " x " << fi::to_string(cell.site);
+    } else {
+      EXPECT_NE(cell.outcome, CampaignOutcome::kNotTriggered);
+    }
+    if (cell.outcome == CampaignOutcome::kStructuredError) {
+      EXPECT_FALSE(cell.error_type.empty());
+      EXPECT_FALSE(cell.detail.empty());
+    }
+    if (cell.outcome == CampaignOutcome::kRecovered) {
+      EXPECT_TRUE(cell.degraded);
+      EXPECT_FALSE(cell.engine.empty());
+    }
+    EXPECT_GE(cell.hits, cell.injections);
+  }
+  EXPECT_TRUE(report.all_safe());
+}
+
+TEST_F(FiCampaignTest, EverySiteFiresSomewhere) {
+  // The scenario set is only a valid robustness probe if each site actually
+  // lies on the hot path of at least one (scenario, trigger) cell.
+  const CampaignReport report = run_fault_campaign();
+
+  std::set<fi::SiteId> fired;
+  for (const CampaignCell& cell : report.cells) {
+    if (cell.injections > 0) fired.insert(cell.site);
+  }
+  for (fi::SiteId site : fi::all_sites()) {
+    EXPECT_TRUE(fired.count(site) > 0) << "site never fired: " << fi::to_string(site);
+  }
+}
+
+TEST_F(FiCampaignTest, MatrixCoversScenariosBySitesByTriggers) {
+  CampaignOptions options;
+  options.triggers = {fi::Trigger::on_nth(1), fi::Trigger::every(2)};
+  const CampaignReport report = run_fault_campaign(options);
+
+  const size_t scenarios = campaign_scenario_names().size();
+  EXPECT_EQ(report.cells.size(), scenarios * fi::kSiteCount * 2);
+
+  std::map<std::string, size_t> per_scenario;
+  for (const CampaignCell& cell : report.cells) per_scenario[cell.scenario]++;
+  EXPECT_EQ(per_scenario.size(), scenarios);
+  for (const auto& [name, count] : per_scenario) {
+    EXPECT_EQ(count, fi::kSiteCount * 2) << name;
+  }
+}
+
+TEST_F(FiCampaignTest, ReportsAreSeedDeterministic) {
+  CampaignOptions options;
+  options.seed = 20260806;
+  const CampaignReport first = run_fault_campaign(options);
+  const CampaignReport again = run_fault_campaign(options);
+  EXPECT_EQ(first.to_json(), again.to_json());  // bit-reproducible end to end
+
+  // The JSON document embeds the invariant verdict for CI artifact scraping.
+  EXPECT_NE(first.to_json().find("\"all_safe\":true"), std::string::npos);
+  EXPECT_NE(first.to_text().find("SAFE"), std::string::npos);
+}
+
+TEST_F(FiCampaignTest, CampaignLeavesNoPlanArmed) {
+  (void)run_fault_campaign();
+  EXPECT_FALSE(fi::armed());
+}
+
+}  // namespace
+}  // namespace gop::core

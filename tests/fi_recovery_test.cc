@@ -1,0 +1,283 @@
+// Tests for the recovery dispatchers (markov/recovery.hh): checked results
+// bit-identical to unchecked ones on the clean path, certificates that name
+// the producing engine, retries observable through the always-on obs
+// counters, SolverError structure after an exhausted ladder, and certificate
+// determinism across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fi/fi.hh"
+#include "markov/accumulated.hh"
+#include "markov/recovery.hh"
+#include "markov/session.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+#include "obs/obs.hh"
+#include "par/parallel_for.hh"
+#include "par/thread_pool.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+/// 0 --a--> 1 --b--> 0, start in 0 (irreducible).
+Ctmc two_state(double a, double b) {
+  return Ctmc(2, {{0, 1, a, 0}, {1, 0, b, 1}}, {1.0, 0.0});
+}
+
+// --- clean path: checked == unchecked, bit for bit ---------------------------
+
+TEST(Recovery, CheckedTransientMatchesUncheckedBitwise) {
+  fi::clear_plan();
+  const Ctmc chain = two_state(2.0, 3.0);
+  const TransientResult checked = transient_distribution_checked(chain, 0.7);
+  const std::vector<double> plain = transient_distribution(chain, 0.7);
+  EXPECT_EQ(checked.distribution, plain);
+
+  EXPECT_FALSE(checked.certificate.degraded);
+  EXPECT_FALSE(checked.certificate.fallback);
+  EXPECT_EQ(checked.certificate.retries, 0u);
+  EXPECT_TRUE(checked.certificate.attempts.empty());
+  EXPECT_EQ(checked.certificate.engine, checked.certificate.requested_engine);
+}
+
+TEST(Recovery, CheckedAccumulatedMatchesUncheckedBitwise) {
+  fi::clear_plan();
+  const Ctmc chain = two_state(2.0, 3.0);
+  const AccumulatedResult checked = accumulated_occupancy_checked(chain, 0.7);
+  EXPECT_EQ(checked.occupancy, accumulated_occupancy(chain, 0.7));
+  EXPECT_FALSE(checked.certificate.degraded);
+}
+
+TEST(Recovery, CheckedSteadyStateMatchesUncheckedBitwise) {
+  fi::clear_plan();
+  const Ctmc chain = two_state(2.0, 3.0);
+  const SteadyStateResult checked = steady_state_distribution_checked(chain);
+  EXPECT_EQ(checked.distribution, steady_state_distribution(chain));
+  EXPECT_FALSE(checked.certificate.degraded);
+  EXPECT_EQ(checked.certificate.engine, "gth");
+}
+
+TEST(Recovery, InitialDistributionFastPath) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const TransientResult at_zero = transient_distribution_checked(chain, 0.0);
+  EXPECT_EQ(at_zero.distribution, (std::vector<double>{1.0, 0.0}));
+  EXPECT_EQ(at_zero.certificate.engine, "initial");
+  EXPECT_FALSE(at_zero.certificate.degraded);
+}
+
+TEST(Recovery, EngineNamesMatchDispatcherLabels) {
+  EXPECT_STREQ(engine_name(TransientMethod::kUniformization), "uniformization");
+  EXPECT_STREQ(engine_name(TransientMethod::kMatrixExponential), "pade-expm");
+  EXPECT_STREQ(engine_name(AccumulatedMethod::kAugmentedExponential), "augmented-expm");
+  EXPECT_STREQ(engine_name(SteadyStateMethod::kGth), "gth");
+  EXPECT_STREQ(engine_name(SteadyStateMethod::kPower), "power");
+  EXPECT_STREQ(engine_name(SteadyStateMethod::kGaussSeidel), "gauss-seidel");
+  EXPECT_THROW(engine_name(TransientMethod::kAuto), InternalError);
+}
+
+TEST(Recovery, ValidationPredicates) {
+  EXPECT_TRUE(is_probability_vector({0.5, 0.5}, 1e-9));
+  EXPECT_FALSE(is_probability_vector({0.5, 0.4}, 1e-9));
+  EXPECT_FALSE(is_probability_vector({0.5, std::nan("")}, 1e-9));
+  EXPECT_FALSE(is_probability_vector({1.5, -0.5}, 1e-9));
+  EXPECT_TRUE(is_occupancy_vector({1.0, 1.0}, 2.0, 1e-9));
+  EXPECT_FALSE(is_occupancy_vector({1.0, 0.5}, 2.0, 1e-9));
+}
+
+// --- degraded paths (need the compiled-in injection sites) -------------------
+
+class RecoveryFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fi::compiled_in()) {
+      GTEST_SKIP() << "fault injection compiled out (GOP_FI=OFF)";
+    }
+  }
+  void TearDown() override { fi::clear_plan(); }
+};
+
+TEST_F(RecoveryFaultTest, RetryIsObservableThroughCountersAndEvents) {
+  obs::reset();
+  obs::set_enabled(true);
+
+  const Ctmc chain = two_state(2.0, 3.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+
+  fi::Plan plan(1);
+  plan.arm(fi::SiteId::kUniformizationIterateNan, fi::Trigger::on_nth(1));
+  fi::set_plan(plan);
+  const TransientResult result = transient_distribution_checked(chain, 0.7, options);
+  fi::clear_plan();
+  obs::set_enabled(false);
+
+  // The first attempt hit the injected NaN; the retry succeeded.
+  EXPECT_TRUE(result.certificate.degraded);
+  EXPECT_GE(result.certificate.retries, 1u);
+  EXPECT_FALSE(result.certificate.fallback);
+  EXPECT_EQ(result.certificate.engine, "uniformization");
+  ASSERT_FALSE(result.certificate.attempts.empty());
+  EXPECT_NE(result.certificate.attempts.front().find("uniformization"), std::string::npos);
+
+  const obs::Snapshot snapshot = obs::snapshot();
+  EXPECT_GE(snapshot.counters.at("fi.injections"), 1u);
+  EXPECT_GE(snapshot.counters.at("markov.recovery.retries"), 1u);
+  bool saw_injection = false;
+  bool saw_recovery = false;
+  for (const obs::SolverEvent& event : snapshot.events) {
+    saw_injection |= event.kind == obs::SolverEventKind::kFaultInjection;
+    if (event.kind == obs::SolverEventKind::kRecovery) {
+      saw_recovery = true;
+      EXPECT_TRUE(event.degraded);
+      EXPECT_GE(event.retries, 1u);
+      EXPECT_FALSE(event.detail.empty());
+    }
+  }
+  EXPECT_TRUE(saw_injection);
+  EXPECT_TRUE(saw_recovery);
+
+  // The recovered answer still matches the clean one within the bound.
+  const std::vector<double> clean = transient_distribution(chain, 0.7, options);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_NEAR(result.distribution[i], clean[i], 1e-9);
+  }
+}
+
+TEST_F(RecoveryFaultTest, FallbackCountersAndCertificate) {
+  obs::reset();
+  const Ctmc chain = two_state(2.0, 3.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+
+  // every(1): each uniformization attempt re-hits the NaN, forcing the
+  // ladder past the retries into the dense fallback.
+  fi::Plan plan(1);
+  plan.arm(fi::SiteId::kUniformizationIterateNan, fi::Trigger::every(1));
+  fi::set_plan(plan);
+  const TransientResult result = transient_distribution_checked(chain, 0.7, options);
+  fi::clear_plan();
+
+  EXPECT_TRUE(result.certificate.degraded);
+  EXPECT_TRUE(result.certificate.fallback);
+  EXPECT_EQ(result.certificate.requested_engine, "uniformization");
+  EXPECT_EQ(result.certificate.engine, "pade-expm");
+  EXPECT_GE(obs::snapshot().counters.at("markov.recovery.fallbacks"), 1u);
+}
+
+TEST_F(RecoveryFaultTest, ExhaustedLadderThrowsStructuredSolverError) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  // Poison every dense product: uniformization is clean, but force the dense
+  // engine and forbid fallback so the whole (short) ladder fails.
+  RecoveryPolicy policy;
+  policy.allow_engine_fallback = false;
+  TransientOptions options;
+  options.method = TransientMethod::kMatrixExponential;
+
+  fi::Plan plan(1);
+  plan.arm(fi::SiteId::kDenseMultiplyNan, fi::Trigger::every(1));
+  fi::set_plan(plan);
+  try {
+    (void)transient_distribution_checked(chain, 0.7, options, policy);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& error) {
+    EXPECT_EQ(error.solver(), "transient");
+    EXPECT_EQ(error.attempts().size(), 1 + policy.max_retries);
+    EXPECT_FALSE(error.cause().empty());
+    EXPECT_NE(std::string(error.what()).find("transient"), std::string::npos);
+  }
+  fi::clear_plan();
+}
+
+TEST_F(RecoveryFaultTest, SessionCarriesCertificate) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const std::vector<double> grid{0.25, 0.5, 1.0};
+
+  // Clean build: certificate present, not degraded, grid bit-identical to the
+  // policy-free session.
+  fi::clear_plan();
+  TransientSession plain(chain, grid);
+  TransientSession checked(chain, grid, {}, RecoveryPolicy{});
+  ASSERT_TRUE(checked.certificate().has_value());
+  EXPECT_FALSE(checked.certificate()->degraded);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(checked.distribution_at(i), plain.distribution_at(i));
+  }
+
+  // Faulted build: the session ladder degrades and says so. The site is the
+  // Poisson window (not the pointwise DTMC iterate — the session has its own
+  // shared-grid propagation); every(1) truncates every window the build
+  // constructs, so the uniformization rungs keep losing mass and the ladder
+  // must reach the dense fallback. The horizon matters: a halved window only
+  // loses real mass once Lambda*t is well past the window's safety margin
+  // (at Lambda*t < 1 the loss is ~1e-7 and is legitimately absorbed).
+  const std::vector<double> far_grid{2.5, 5.0, 10.0};
+  TransientOptions uni;
+  uni.method = TransientMethod::kUniformization;
+  fi::Plan plan(1);
+  plan.arm(fi::SiteId::kFoxGlynnTruncate, fi::Trigger::every(1));
+  fi::set_plan(plan);
+  TransientSession degraded(chain, far_grid, uni, RecoveryPolicy{});
+  const fi::SiteStats stats = fi::site_stats(fi::SiteId::kFoxGlynnTruncate);
+  fi::clear_plan();
+  ASSERT_GT(stats.injections, 0u) << "hits=" << stats.hits;
+  ASSERT_TRUE(degraded.certificate().has_value());
+  EXPECT_TRUE(degraded.certificate()->degraded)
+      << "hits=" << stats.hits << " injections=" << stats.injections
+      << " engine=" << degraded.certificate()->engine;
+  EXPECT_TRUE(degraded.certificate()->fallback);  // every rung of uniformization was poisoned
+  for (size_t i = 0; i < far_grid.size(); ++i) {
+    const std::vector<double>& d = degraded.distribution_at(i);
+    EXPECT_TRUE(is_probability_vector(d, 1e-9));
+  }
+}
+
+TEST_F(RecoveryFaultTest, CertificatesBitIdenticalAcrossThreadCounts) {
+  // every(1) makes the injection decision a pure function of the site, not of
+  // the global hit index, so concurrent solves racing on the shared counters
+  // still all see the same faults — certificates must come out identical at
+  // every pool width.
+  const Ctmc chain = two_state(2.0, 3.0);
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+
+  const auto run_lane = [&](std::vector<Certificate>& certs, size_t lane) {
+    const TransientResult result = transient_distribution_checked(chain, 0.7, options);
+    certs[lane] = result.certificate;
+  };
+
+  constexpr size_t kLanes = 8;
+  std::vector<std::vector<Certificate>> by_threads;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    fi::Plan plan(1);
+    plan.arm(fi::SiteId::kUniformizationIterateNan, fi::Trigger::every(1));
+    fi::set_plan(plan);
+    par::ThreadPool pool(threads);
+    std::vector<Certificate> certs(kLanes);
+    par::parallel_for(pool, kLanes, 1, [&](size_t lane) { run_lane(certs, lane); });
+    fi::clear_plan();
+    by_threads.push_back(std::move(certs));
+  }
+
+  const auto certificate_string = [](const Certificate& cert) {
+    std::string out = cert.requested_engine + "|" + cert.engine + "|" +
+                      std::to_string(cert.retries) + "|" + (cert.fallback ? "F" : "-") + "|" +
+                      (cert.degraded ? "D" : "-") + "|" + std::to_string(cert.error_bound);
+    for (const std::string& attempt : cert.attempts) out += "|" + attempt;
+    return out;
+  };
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    const std::string reference = certificate_string(by_threads[0][lane]);
+    for (size_t i = 1; i < by_threads.size(); ++i) {
+      EXPECT_EQ(certificate_string(by_threads[i][lane]), reference)
+          << "lane " << lane << " diverges at thread count " << (1u << i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gop::markov

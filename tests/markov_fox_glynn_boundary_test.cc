@@ -1,0 +1,107 @@
+// Boundary tests for the Fox-Glynn epsilon refusal (kMinPoissonEpsilon) and
+// its alignment with the uniformization solver and the PRE005 preflight gate:
+// the same constant decides, in all three places, whether a truncation budget
+// is accepted. Historically epsilons below ~1e-296 made the window's internal
+// underflow floor collapse to zero and the outward scans spin forever; now
+// they are refused up front.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lint/preflight.hh"
+#include "markov/fox_glynn.hh"
+#include "markov/transient.hh"
+#include "markov/uniformization.hh"
+#include "util/error.hh"
+
+namespace gop::markov {
+namespace {
+
+TEST(FoxGlynnBoundary, RefusesEpsilonBelowMinimum) {
+  EXPECT_THROW(poisson_window(10.0, std::nextafter(kMinPoissonEpsilon, 0.0)), InvalidArgument);
+  EXPECT_THROW(poisson_window(10.0, 1e-308), InvalidArgument);  // would loop forever before
+  EXPECT_THROW(poisson_window(10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(poisson_window(10.0, -1e-3), InvalidArgument);
+  EXPECT_THROW(poisson_window(10.0, 1.0), InvalidArgument);
+}
+
+TEST(FoxGlynnBoundary, AcceptsAndTerminatesAtTheMinimum) {
+  // Exactly at the boundary the window must build, terminate, cover the mode,
+  // and stay normalized.
+  const PoissonWindow window = poisson_window(25.0, kMinPoissonEpsilon);
+  EXPECT_LE(window.left, 25u);
+  EXPECT_GE(window.right(), 25u);
+  double sum = 0.0;
+  for (double w : window.weights) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FoxGlynnBoundary, ExtremeEpsilonStillAccurateAtTheMode) {
+  // An extreme (but legal) budget must not distort the central weights.
+  const PoissonWindow window = poisson_window(25.0, kMinPoissonEpsilon);
+  for (size_t k = 20; k <= 30; ++k) {
+    EXPECT_NEAR(window.weights[k - window.left], poisson_pmf(25.0, k), 1e-12) << k;
+  }
+}
+
+TEST(FoxGlynnBoundary, UniformizationSharesTheRefusal) {
+  const Ctmc chain(2, {{0, 1, 2.0, 0}, {1, 0, 3.0, 1}}, {1.0, 0.0});
+
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  options.uniformization.epsilon = 1e-308;
+  EXPECT_THROW(transient_distribution(chain, 1.0, options), InvalidArgument);
+
+  // Just inside the boundary the solve goes through and conserves mass.
+  options.uniformization.epsilon = kMinPoissonEpsilon;
+  const std::vector<double> pi = transient_distribution(chain, 1.0, options);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(FoxGlynnBoundary, PreflightAgreesWithTheSolver) {
+  const Ctmc chain(2, {{0, 1, 2.0, 0}, {1, 0, 3.0, 1}}, {1.0, 0.0});
+  const std::vector<double> times{1.0};
+
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+
+  // Below the solver refusal: PRE005 must gate (error), exactly like the
+  // solver throws — this is the alignment this test tier exists for.
+  options.uniformization.epsilon = 1e-308;
+  const lint::Report refused = lint::preflight_transient(chain, times, options, "m");
+  EXPECT_TRUE(refused.has_code("PRE005"));
+  EXPECT_TRUE(refused.has_errors());
+
+  // At the boundary: legal for the solver, so no PRE005 error — only the
+  // double-precision advisory warning.
+  options.uniformization.epsilon = kMinPoissonEpsilon;
+  const lint::Report boundary = lint::preflight_transient(chain, times, options, "m");
+  EXPECT_TRUE(boundary.has_code("PRE005"));
+  EXPECT_FALSE(boundary.has_errors());
+
+  // A sane budget raises nothing.
+  options.uniformization.epsilon = 1e-12;
+  const lint::Report clean = lint::preflight_transient(chain, times, options, "m");
+  EXPECT_FALSE(clean.has_code("PRE005"));
+}
+
+TEST(FoxGlynnBoundary, MassConservationChecksCatchTruncatedWindows) {
+  // The uniformization hardening added alongside the refusal: a transient
+  // solve whose Poisson window loses real mass must throw loudly instead of
+  // silently folding the deficit into the last iterate.
+  const Ctmc chain(2, {{0, 1, 2.0, 0}, {1, 0, 3.0, 1}}, {1.0, 0.0});
+  TransientOptions options;
+  options.method = TransientMethod::kUniformization;
+  options.uniformization.mass_check_slack = 1e-12;
+  const std::vector<double> pi = transient_distribution(chain, 1.0, options);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);  // tight slack passes on a clean run
+}
+
+}  // namespace
+}  // namespace gop::markov

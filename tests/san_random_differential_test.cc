@@ -1,0 +1,138 @@
+// Property-based differential tier (docs/robustness.md): seeded random SAN
+// instances (san/random_model.hh), each cross-checked three independent ways:
+//
+//   1. analytic transient reward (reachability graph + solver) against a
+//      Monte Carlo estimate from ctmc_sim trajectories;
+//   2. uniformization against the dense Pade exponential;
+//   3. pointwise solves against the shared-grid session layer.
+//
+// Every instance is also required to be what the generator promises: valid,
+// bounded, and lint-clean. Fully seeded, so a pass is reproducible — there is
+// no statistical flake, only a fixed sample of model space. Labelled `slow`.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lint/model_lint.hh"
+#include "markov/ctmc_sim.hh"
+#include "markov/session.hh"
+#include "markov/transient.hh"
+#include "san/random_model.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+namespace {
+
+constexpr uint64_t kInstances = 200;
+constexpr double kHorizon = 1.5;
+
+// Token count of place 0 in each tangible state: a marking-dependent reward
+// every instance supports regardless of its random structure.
+std::vector<double> tokens_in_place0(const GeneratedChain& chain) {
+  std::vector<double> reward(chain.state_count());
+  for (size_t s = 0; s < chain.state_count(); ++s) {
+    reward[s] = static_cast<double>(chain.states()[s][0]);
+  }
+  return reward;
+}
+
+TEST(SanRandomDifferential, InstancesAreValidBoundedAndLintClean) {
+  const RandomModelOptions options;
+  const size_t max_tangible = static_cast<size_t>(
+      std::pow(options.place_capacity + 1.0, static_cast<double>(options.max_places)));
+
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const SanModel model = random_san(seed);
+
+    // Determinism: the same seed must rebuild the same model, observed
+    // through its generated chain.
+    const GeneratedChain chain = generate_state_space(model);
+    const SanModel again = random_san(seed);
+    const GeneratedChain chain2 = generate_state_space(again);
+    ASSERT_EQ(chain.state_count(), chain2.state_count()) << "seed " << seed;
+
+    // Bounded by construction: capacity-capped token moves.
+    ASSERT_LE(chain.state_count(), max_tangible) << "seed " << seed;
+    ASSERT_GE(chain.state_count(), 1u) << "seed " << seed;
+
+    // Lint-clean by construction: no errors, no dead timed activities.
+    const lint::Report report = lint::lint_model(model);
+    EXPECT_FALSE(report.has_errors()) << "seed " << seed << "\n" << report.to_text();
+    EXPECT_FALSE(report.has_code("SAN020")) << "seed " << seed << " has a dead timed activity";
+  }
+}
+
+TEST(SanRandomDifferential, UniformizationAgreesWithPadeExpm) {
+  markov::TransientOptions uni;
+  uni.method = markov::TransientMethod::kUniformization;
+  markov::TransientOptions expm;
+  expm.method = markov::TransientMethod::kMatrixExponential;
+
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const SanModel model = random_san(seed);
+    const GeneratedChain chain = generate_state_space(model);
+
+    const std::vector<double> a = markov::transient_distribution(chain.ctmc(), kHorizon, uni);
+    const std::vector<double> b = markov::transient_distribution(chain.ctmc(), kHorizon, expm);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t s = 0; s < a.size(); ++s) {
+      ASSERT_NEAR(a[s], b[s], 1e-9) << "seed " << seed << " state " << s;
+    }
+  }
+}
+
+TEST(SanRandomDifferential, PointwiseAgreesWithSession) {
+  const std::vector<double> grid{0.25 * kHorizon, 0.5 * kHorizon, kHorizon};
+
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const SanModel model = random_san(seed);
+    const GeneratedChain chain = generate_state_space(model);
+
+    const markov::TransientSession session(chain.ctmc(), grid);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const std::vector<double> pointwise =
+          markov::transient_distribution(chain.ctmc(), grid[i]);
+      const std::vector<double>& from_session = session.distribution_at(i);
+      ASSERT_EQ(pointwise.size(), from_session.size());
+      for (size_t s = 0; s < pointwise.size(); ++s) {
+        // The session contract is bit-identical resolution of the same
+        // engine; a tiny tolerance keeps this robust to engine-order
+        // differences in the shared-grid propagation.
+        ASSERT_NEAR(from_session[s], pointwise[s], 1e-12) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SanRandomDifferential, AnalyticAgreesWithCtmcSimulation) {
+  sim::ReplicationOptions mc;
+  mc.min_replications = 2000;
+  mc.max_replications = 2000;
+
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const SanModel model = random_san(seed);
+    const GeneratedChain chain = generate_state_space(model);
+    const std::vector<double> reward = tokens_in_place0(chain);
+
+    const double analytic =
+        markov::transient_reward(chain.ctmc(), reward, kHorizon);
+    mc.seed = 1000 + seed;  // independent of the model seed, still deterministic
+    const sim::ReplicationResult empirical =
+        markov::mc_instant_reward(chain.ctmc(), reward, kHorizon, mc);
+
+    // 99.9%-style acceptance band: the run is fully seeded, so this is a
+    // one-time draw, not a flake source. The floor guards rare-event
+    // instances where all replications return 0 (sample variance 0) while
+    // the true mean is a small positive number.
+    const double slack = std::max(5.0 * empirical.half_width(0.95), 5e-3);
+    ASSERT_NEAR(empirical.mean(), analytic, slack)
+        << "seed " << seed << " mean=" << empirical.mean() << " analytic=" << analytic
+        << " half_width=" << empirical.half_width(0.95);
+  }
+}
+
+}  // namespace
+}  // namespace gop::san
