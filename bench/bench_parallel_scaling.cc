@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hh"
+
 #include "bench_common.hh"
 #include "core/mc_validator.hh"
 #include "core/performability.hh"
@@ -99,4 +101,4 @@ BENCHMARK(BM_MonteCarlo1e5)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GOP_BENCH_MAIN();

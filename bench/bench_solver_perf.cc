@@ -6,8 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <random>
+
+#include "bench_support.hh"
 #include "core/mc_validator.hh"
 #include "core/performability.hh"
+#include "linalg/dense_matrix.hh"
+#include "linalg/lu.hh"
+#include "markov/matrix_exp.hh"
 #include "markov/steady_state.hh"
 #include "markov/transient.hh"
 #include "san/simulator.hh"
@@ -16,6 +22,16 @@
 namespace {
 
 using namespace gop;
+
+linalg::DenseMatrix random_matrix(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.1, 1.0);
+  linalg::DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = dist(rng) + (i == j ? double(n) : 0.0);
+  }
+  return m;
+}
 
 const core::GsuParameters& table3() {
   static const core::GsuParameters params = core::GsuParameters::table3();
@@ -89,6 +105,49 @@ void BM_AnalyzerConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzerConstruction);
 
+// The raw dense-multiply kernel across the dispatch regimes: fixed-size
+// unrolled (n <= 15), plain strip (n < 512), and the (k, j)-tiled path
+// (n = 512). Items/sec is 2n^3 flops per iteration.
+void BM_DenseMultiply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const linalg::DenseMatrix a = random_matrix(n, 7);
+  const linalg::DenseMatrix b = random_matrix(n, 11);
+  linalg::DenseMatrix c;
+  for (auto _ : state) {
+    linalg::multiply_into(c, a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_DenseMultiply)->Arg(7)->Arg(14)->Arg(48)->Arg(192)->Arg(512);
+
+// Multi-RHS solve on a shared factorization: factor once, then solve an
+// n-column block per iteration — the shape the Padé solve (V-U) X = (V+U)
+// and the batched session layers hit.
+void BM_LuSolveMultiRhs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const linalg::LuFactorization lu(random_matrix(n, 7));
+  const linalg::DenseMatrix rhs = random_matrix(n, 11);
+  linalg::DenseMatrix x;
+  for (auto _ : state) {
+    lu.solve_into(rhs, x);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+}
+BENCHMARK(BM_LuSolveMultiRhs)->Arg(7)->Arg(48)->Arg(192)->Arg(512);
+
+// Steady-state workspace reuse: the whole Padé + squaring pipeline with zero
+// allocations per iteration once the workspace is warm (the property
+// markov_expm_workspace_test pins down).
+void BM_ExpmWorkspaceReuse(benchmark::State& state) {
+  const linalg::DenseMatrix a = random_matrix(static_cast<size_t>(state.range(0)), 7);
+  markov::ExpmWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::matrix_exponential(a, 1.0, ws).data().data());
+  }
+}
+BENCHMARK(BM_ExpmWorkspaceReuse)->Arg(7)->Arg(48);
+
 void BM_MonteCarlo_SingleMissionPath(benchmark::State& state) {
   core::McValidator validator(core::GsuParameters::scaled_mission(100.0));
   sim::Rng rng(7);
@@ -100,4 +159,4 @@ BENCHMARK(BM_MonteCarlo_SingleMissionPath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GOP_BENCH_MAIN();

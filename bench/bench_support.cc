@@ -1,0 +1,23 @@
+#include "bench_support.hh"
+
+namespace gop::bench {
+
+void add_build_context() {
+#ifdef GOP_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("gop_build_type", GOP_BENCH_BUILD_TYPE);
+#else
+  benchmark::AddCustomContext("gop_build_type", "unknown");
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("gop_ndebug", "true");
+#else
+  benchmark::AddCustomContext("gop_ndebug", "false");
+#endif
+#ifdef GOP_FI_ENABLED
+  benchmark::AddCustomContext("gop_fi", "compiled-in");
+#else
+  benchmark::AddCustomContext("gop_fi", "compiled-out");
+#endif
+}
+
+}  // namespace gop::bench

@@ -1,0 +1,38 @@
+#pragma once
+
+/// Shared main() and context reporting for the google-benchmark binaries.
+///
+/// The stock BENCHMARK_MAIN() reports only `library_build_type` — the build
+/// type of the *benchmark library* itself, which on distro packages is
+/// routinely "debug" even when this repo's code is fully optimized (and would
+/// be "release" even if this repo were built -O0). The committed BENCH_*.json
+/// files need the truth about the code under test, so every bench binary
+/// built here injects its own context keys:
+///
+///   gop_build_type — CMAKE_BUILD_TYPE the gop libraries were compiled with
+///   gop_ndebug     — whether assertions were compiled out (NDEBUG)
+///   gop_fi         — whether fault-injection sites are compiled in
+///
+/// tools/run_benches.sh refuses to record results when gop_build_type is a
+/// Debug flavor, and docs/performance.md documents the measurement protocol.
+
+#include <benchmark/benchmark.h>
+
+namespace gop::bench {
+
+/// Registers the gop_* context keys above. Call once, after
+/// benchmark::Initialize and before RunSpecifiedBenchmarks.
+void add_build_context();
+
+}  // namespace gop::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that reports the build context.
+#define GOP_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                       \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    gop::bench::add_build_context();                                      \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }

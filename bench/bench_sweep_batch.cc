@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hh"
+
 #include <vector>
 
 #include "bench_common.hh"
@@ -87,4 +89,4 @@ BENCHMARK(BM_SweepBatched41)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Uni
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GOP_BENCH_MAIN();

@@ -1,5 +1,6 @@
 #include "linalg/dense_matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <new>
@@ -8,6 +9,15 @@
 #include "fi/fi.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
+
+// No-aliasing hint for the multiply kernels: the public entry points enforce
+// that the destination never aliases an operand, so the inner loops may keep
+// B rows and C rows in registers across iterations.
+#if defined(__GNUC__) || defined(__clang__)
+#define GOP_RESTRICT __restrict__
+#else
+#define GOP_RESTRICT
+#endif
 
 namespace gop::linalg {
 
@@ -60,26 +70,8 @@ DenseMatrix& DenseMatrix::operator+=(const DenseMatrix& other) {
 }
 
 DenseMatrix DenseMatrix::operator*(const DenseMatrix& other) const {
-  GOP_REQUIRE(cols_ == other.rows_, "dimension mismatch in operator*");
-  DenseMatrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous for both operands.
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
-  if (!out.data_.empty()) {
-    if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyNan)) {
-      out.data_[0] = std::numeric_limits<double>::quiet_NaN();
-    }
-    if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyInf)) {
-      out.data_[0] = std::numeric_limits<double>::infinity();
-    }
-  }
+  DenseMatrix out;
+  multiply_into(out, *this, other);
   return out;
 }
 
@@ -145,6 +137,311 @@ std::string DenseMatrix::to_string(int precision) const {
     os << "]\n";
   }
   return os.str();
+}
+
+bool DenseMatrix::reshape_uninitialized(size_t rows, size_t cols) {
+  const size_t needed = rows * cols;
+  const bool grew = needed > data_.capacity();
+  if (grew && GOP_FI_POINT(fi::SiteId::kDenseAllocFail)) throw std::bad_alloc();
+  data_.resize(needed);
+  rows_ = rows;
+  cols_ = cols;
+  return grew;
+}
+
+namespace {
+
+/// The register-level core shared by every multiply kernel: one strip of C
+/// rows, accumulating `crow op= a(i, k) * brow(k)` for k in [k0, k1) with the
+/// inner j loop contiguous over [j0, j1). Per output element this is a single
+/// memory accumulator updated in ascending-k order, with the historical
+/// `a == 0.0` skip — the exact operation sequence of the original naive
+/// kernel, which is what the bit-identity contract is anchored to (structural
+/// zeros contribute `acc +/-= 0.0 * b`, which cannot change the accumulator's
+/// bits for finite inputs; skipping them is a pure strength reduction).
+template <bool kSubtract>
+inline void gemm_axpy_row(double* GOP_RESTRICT crow, const double* GOP_RESTRICT brow, double av,
+                          size_t j0, size_t j1) {
+  if constexpr (kSubtract) {
+    for (size_t j = j0; j < j1; ++j) crow[j] -= av * brow[j];
+  } else {
+    for (size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+  }
+}
+
+template <bool kSubtract>
+inline void gemm_strip(double* GOP_RESTRICT c, const double* GOP_RESTRICT a,
+                       const double* GOP_RESTRICT b, size_t rows, size_t a_cols, size_t b_cols,
+                       size_t k0, size_t k1, size_t j0, size_t j1) {
+  for (size_t i = 0; i < rows; ++i) {
+    double* crow = c + i * b_cols;
+    const double* arow = a + i * a_cols;
+    // k is unrolled by two so every pass over the C row folds two rank-1
+    // contributions: the two adds per element stay strictly sequential
+    // (explicit parentheses, no contraction on this target), so the
+    // per-element accumulation order — and therefore every bit of the result
+    // — is the same as the one-k-at-a-time loop; only the number of C-row
+    // load/store passes halves.
+    size_t k = k0;
+    for (; k + 1 < k1; k += 2) {
+      const double a0 = arow[k];
+      const double a1 = arow[k + 1];
+      const double* b0 = b + k * b_cols;
+      const double* b1 = b0 + b_cols;
+      if (a0 == 0.0) {
+        if (a1 != 0.0) gemm_axpy_row<kSubtract>(crow, b1, a1, j0, j1);
+      } else if (a1 == 0.0) {
+        gemm_axpy_row<kSubtract>(crow, b0, a0, j0, j1);
+      } else if constexpr (kSubtract) {
+        for (size_t j = j0; j < j1; ++j) crow[j] = (crow[j] - a0 * b0[j]) - a1 * b1[j];
+      } else {
+        for (size_t j = j0; j < j1; ++j) crow[j] = (crow[j] + a0 * b0[j]) + a1 * b1[j];
+      }
+    }
+    if (k < k1) {
+      const double av = arow[k];
+      if (av != 0.0) gemm_axpy_row<kSubtract>(crow, b + k * b_cols, av, j0, j1);
+    }
+  }
+}
+
+/// Fully-unrolled kernel for tiny square multiplies (the Padé/squaring hot
+/// path runs at the chain dimension, typically < 16). The trip counts are
+/// compile-time constants, so the compiler keeps the whole accumulator row in
+/// registers across every k step instead of storing/reloading C per k pair.
+///
+/// The `ak == 0.0` skip is kept: it is the same strength reduction as in
+/// gemm_strip (per-element accumulation order unchanged, so bit-identical),
+/// and it is a large win in practice — the paper's failure models generate
+/// triangular-structured chains whose exp(Qt) keeps most entries at exact
+/// zero through every squaring (measured 1.2-2x at n = 7, docs/performance.md).
+///
+/// kInit == true means "dst is logically zero-filled": each accumulator
+/// starts at +0.0 instead of reading the destination, which lets
+/// multiply_into skip its separate fill pass over C. Skipped-k rows leave the
+/// accumulator at +0.0, exactly as the fill-then-accumulate path would.
+template <int N, bool kSubtract, bool kInit = false>
+void gemm_fixed(double* GOP_RESTRICT c, const double* GOP_RESTRICT a,
+                const double* GOP_RESTRICT b) {
+  static_assert(!(kInit && kSubtract), "init form only exists for the additive kernel");
+  for (int i = 0; i < N; ++i) {
+    const double* GOP_RESTRICT arow = a + i * N;
+    double acc[N];
+    if constexpr (kInit) {
+      for (int j = 0; j < N; ++j) acc[j] = 0.0;
+    } else {
+      for (int j = 0; j < N; ++j) acc[j] = c[i * N + j];
+    }
+    for (int k = 0; k < N; ++k) {
+      const double ak = arow[k];
+      if (ak == 0.0) continue;
+      const double* GOP_RESTRICT bk = b + k * N;
+      if constexpr (kSubtract) {
+        for (int j = 0; j < N; ++j) acc[j] -= ak * bk[j];
+      } else {
+        for (int j = 0; j < N; ++j) acc[j] += ak * bk[j];
+      }
+    }
+    for (int j = 0; j < N; ++j) c[i * N + j] = acc[j];
+  }
+}
+
+/// Largest square size routed to gemm_fixed. Measured on the reference
+/// x86-64 container (docs/performance.md): 1.25-1.6x over gemm_strip for
+/// n in [1, 15] except n == 8, where the power-of-two row stride provokes
+/// store-forwarding stalls and the generic strip wins (n == 16 is worse
+/// still, hence the cap).
+constexpr size_t kFixedGemmMax = 15;
+
+template <bool kSubtract, bool kInit = false>
+bool gemm_fixed_dispatch(double* c, const double* a, const double* b, size_t n) {
+  switch (n) {
+      // clang-format off
+    case 1: gemm_fixed<1, kSubtract, kInit>(c, a, b); return true;
+    case 2: gemm_fixed<2, kSubtract, kInit>(c, a, b); return true;
+    case 3: gemm_fixed<3, kSubtract, kInit>(c, a, b); return true;
+    case 4: gemm_fixed<4, kSubtract, kInit>(c, a, b); return true;
+    case 5: gemm_fixed<5, kSubtract, kInit>(c, a, b); return true;
+    case 6: gemm_fixed<6, kSubtract, kInit>(c, a, b); return true;
+    case 7: gemm_fixed<7, kSubtract, kInit>(c, a, b); return true;
+    case 9: gemm_fixed<9, kSubtract, kInit>(c, a, b); return true;
+    case 10: gemm_fixed<10, kSubtract, kInit>(c, a, b); return true;
+    case 11: gemm_fixed<11, kSubtract, kInit>(c, a, b); return true;
+    case 12: gemm_fixed<12, kSubtract, kInit>(c, a, b); return true;
+    case 13: gemm_fixed<13, kSubtract, kInit>(c, a, b); return true;
+    case 14: gemm_fixed<14, kSubtract, kInit>(c, a, b); return true;
+    case 15: gemm_fixed<15, kSubtract, kInit>(c, a, b); return true;
+      // clang-format on
+    default:
+      return false;
+  }
+}
+
+/// True when (dst, a, b) is a square multiply small enough for gemm_fixed.
+bool fixed_gemm_eligible(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows() &&
+         a.rows() <= kFixedGemmMax && a.rows() != 8;
+}
+
+/// The fault-injection sites every multiply kernel reports through, fixed
+/// dispatch path included (site IDs are append-only contract, fi/sites.hh).
+void inject_multiply_faults(DenseMatrix& dst) {
+  if (dst.data().empty()) return;
+  if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyNan)) {
+    dst.data()[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (GOP_FI_POINT(fi::SiteId::kDenseMultiplyInf)) {
+    dst.data()[0] = std::numeric_limits<double>::infinity();
+  }
+}
+
+/// Cache-blocking thresholds (docs/performance.md): the plain i-k-j kernel is
+/// fastest while B stays resident in L2; beyond that the (k, j)-tiled
+/// traversal keeps a kKBlock x kJBlock panel of B hot across all rows of C.
+/// Blocking is a pure loop interchange — k blocks ascend, j blocks partition
+/// independent output columns — so per-element summation order is unchanged.
+constexpr size_t kBlockThreshold = 512;  // min(b_rows, b_cols) above which we tile
+constexpr size_t kKBlock = 128;
+constexpr size_t kJBlock = 512;
+
+template <bool kSubtract>
+void gemm_accumulate(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  const size_t rows = a.rows();
+  const size_t inner = a.cols();
+  const size_t cols = b.cols();
+  double* c = dst.data().data();
+  const double* ap = a.data().data();
+  const double* bp = b.data().data();
+  if (fixed_gemm_eligible(a, b) && gemm_fixed_dispatch<kSubtract>(c, ap, bp, cols)) {
+    // handled by the fully-unrolled fixed-size kernel
+  } else if (inner < kBlockThreshold || cols < kBlockThreshold) {
+    gemm_strip<kSubtract>(c, ap, bp, rows, inner, cols, 0, inner, 0, cols);
+  } else {
+    for (size_t k0 = 0; k0 < inner; k0 += kKBlock) {
+      const size_t k1 = std::min(inner, k0 + kKBlock);
+      for (size_t j0 = 0; j0 < cols; j0 += kJBlock) {
+        gemm_strip<kSubtract>(c, ap, bp, rows, inner, cols, k0, k1, j0,
+                              std::min(cols, j0 + kJBlock));
+      }
+    }
+  }
+  inject_multiply_faults(dst);
+}
+
+void check_multiply_shapes(const DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  GOP_REQUIRE(a.cols() == b.rows(), "dimension mismatch in multiply");
+  GOP_REQUIRE(dst.data().data() != a.data().data() && dst.data().data() != b.data().data(),
+              "multiply destination must not alias an operand");
+}
+
+}  // namespace
+
+void multiply_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  check_multiply_shapes(dst, a, b);
+  dst.reshape_uninitialized(a.rows(), b.cols());
+  if (fixed_gemm_eligible(a, b) &&
+      gemm_fixed_dispatch<false, true>(dst.data().data(), a.data().data(), b.data().data(),
+                                       a.rows())) {
+    inject_multiply_faults(dst);
+    return;
+  }
+  std::fill(dst.data().begin(), dst.data().end(), 0.0);
+  gemm_accumulate<false>(dst, a, b);
+}
+
+void multiply_add_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  check_multiply_shapes(dst, a, b);
+  GOP_REQUIRE(dst.rows() == a.rows() && dst.cols() == b.cols(),
+              "multiply_add_into: destination shape mismatch");
+  gemm_accumulate<false>(dst, a, b);
+}
+
+void multiply_sub_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  check_multiply_shapes(dst, a, b);
+  GOP_REQUIRE(dst.rows() == a.rows() && dst.cols() == b.cols(),
+              "multiply_sub_into: destination shape mismatch");
+  gemm_accumulate<true>(dst, a, b);
+}
+
+void copy_into(DenseMatrix& dst, const DenseMatrix& a) {
+  if (&dst == &a) return;
+  dst.reshape_uninitialized(a.rows(), a.cols());
+  std::copy(a.data().begin(), a.data().end(), dst.data().begin());
+}
+
+void scale_copy_into(DenseMatrix& dst, const DenseMatrix& a, double alpha) {
+  GOP_REQUIRE(&dst != &a, "scale_copy_into destination must not alias the source");
+  dst.reshape_uninitialized(a.rows(), a.cols());
+  const double* src = a.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < a.data().size(); ++i) out[i] = src[i] * alpha;
+}
+
+void add_scaled(DenseMatrix& dst, double alpha, const DenseMatrix& a) {
+  GOP_REQUIRE(dst.rows() == a.rows() && dst.cols() == a.cols(),
+              "dimension mismatch in add_scaled");
+  const double* src = a.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < a.data().size(); ++i) out[i] += src[i] * alpha;
+}
+
+void weighted_sum3_into(DenseMatrix& dst, double c1, const DenseMatrix& m1, double c2,
+                        const DenseMatrix& m2, double c3, const DenseMatrix& m3) {
+  GOP_REQUIRE(m1.rows() == m2.rows() && m1.cols() == m2.cols() && m1.rows() == m3.rows() &&
+                  m1.cols() == m3.cols(),
+              "dimension mismatch in weighted_sum3_into");
+  GOP_REQUIRE(&dst != &m1 && &dst != &m2 && &dst != &m3,
+              "weighted_sum3_into destination must not alias a source");
+  dst.reshape_uninitialized(m1.rows(), m1.cols());
+  const double* p1 = m1.data().data();
+  const double* p2 = m2.data().data();
+  const double* p3 = m3.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < m1.data().size(); ++i) {
+    out[i] = ((p1[i] * c1) + p2[i] * c2) + p3[i] * c3;
+  }
+}
+
+void add_weighted3(DenseMatrix& dst, double c1, const DenseMatrix& m1, double c2,
+                   const DenseMatrix& m2, double c3, const DenseMatrix& m3) {
+  GOP_REQUIRE(dst.rows() == m1.rows() && dst.cols() == m1.cols() && m1.rows() == m2.rows() &&
+                  m1.cols() == m2.cols() && m1.rows() == m3.rows() && m1.cols() == m3.cols(),
+              "dimension mismatch in add_weighted3");
+  const double* p1 = m1.data().data();
+  const double* p2 = m2.data().data();
+  const double* p3 = m3.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < dst.data().size(); ++i) {
+    out[i] = ((out[i] + p1[i] * c1) + p2[i] * c2) + p3[i] * c3;
+  }
+}
+
+void add_to_diagonal(DenseMatrix& dst, double alpha) {
+  GOP_REQUIRE(dst.square(), "add_to_diagonal requires a square matrix");
+  for (size_t i = 0; i < dst.rows(); ++i) dst(i, i) += alpha;
+}
+
+void subtract_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  GOP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "dimension mismatch in subtract_into");
+  dst.reshape_uninitialized(a.rows(), a.cols());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < a.data().size(); ++i) out[i] = pa[i] - pb[i];
+}
+
+void detail::gemm_strip_sub(double* c, const double* a, const double* b, size_t rows, size_t lda,
+                            size_t ldcb, size_t k0, size_t k1, size_t j0, size_t j1) {
+  gemm_strip<true>(c, a, b, rows, lda, ldcb, k0, k1, j0, j1);
+}
+
+void add_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b) {
+  GOP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "dimension mismatch in add_into");
+  dst.reshape_uninitialized(a.rows(), a.cols());
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* out = dst.data().data();
+  for (size_t i = 0; i < a.data().size(); ++i) out[i] = pa[i] + pb[i];
 }
 
 }  // namespace gop::linalg

@@ -61,10 +61,82 @@ class DenseMatrix {
   /// Human-readable rendering for debugging.
   std::string to_string(int precision = 4) const;
 
+  /// Reshapes to rows x cols without initializing the contents. Reuses the
+  /// existing heap buffer whenever its capacity suffices, so workspace
+  /// owners (markov::ExpmWorkspace) reach a zero-allocation steady state.
+  /// Returns true when the call had to grow the underlying allocation.
+  bool reshape_uninitialized(size_t rows, size_t cols);
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Fused dense kernels (docs/performance.md). All of them write through a
+/// caller-owned destination so hot loops (the Padé expm polynomial chains,
+/// the LU trailing updates, the squaring phase) stop materializing
+/// temporaries. Every kernel accumulates each output element with a single
+/// accumulator in ascending-k order — the exact floating-point summation
+/// order of the historical naive kernels — so results are bit-identical to
+/// the pre-blocked implementation; the cache-blocked path is a pure loop
+/// interchange over (k, j) tiles that preserves that per-element order.
+
+/// dst = a * b. dst is reshaped to (a.rows() x b.cols()); dst must not alias
+/// a or b.
+void multiply_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b);
+
+/// dst += a * b. dst must already be (a.rows() x b.cols()) and must not
+/// alias a or b.
+void multiply_add_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b);
+
+/// dst -= a * b. Same contract as multiply_add_into. The update is applied
+/// in ascending-k order per element, matching a sequence of rank-1 updates —
+/// the property that keeps the blocked LU factorization bit-identical to the
+/// unblocked one.
+void multiply_sub_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b);
+
+/// dst = a (reshapes dst; reuses dst's buffer when it is large enough).
+void copy_into(DenseMatrix& dst, const DenseMatrix& a);
+
+/// dst = a * alpha without an intermediate copy.
+void scale_copy_into(DenseMatrix& dst, const DenseMatrix& a, double alpha);
+
+/// dst += alpha * a (matrix AXPY). Dimensions must match.
+void add_scaled(DenseMatrix& dst, double alpha, const DenseMatrix& a);
+
+/// dst = c1*m1 + c2*m2 + c3*m3 in one pass (reshapes dst). Per element the
+/// sum is evaluated as ((c1*m1) + c2*m2) + c3*m3 — exactly the sequence a
+/// scale_copy_into followed by two add_scaled calls performs — so fusing the
+/// three passes is bit-identical to the unfused chain.
+void weighted_sum3_into(DenseMatrix& dst, double c1, const DenseMatrix& m1, double c2,
+                        const DenseMatrix& m2, double c3, const DenseMatrix& m3);
+
+/// dst += c1*m1 + c2*m2 + c3*m3 in one pass. Per element:
+/// ((dst + c1*m1) + c2*m2) + c3*m3 — the sequence of three add_scaled calls.
+void add_weighted3(DenseMatrix& dst, double c1, const DenseMatrix& m1, double c2,
+                   const DenseMatrix& m2, double c3, const DenseMatrix& m3);
+
+/// dst(i, i) += alpha for every diagonal element. Replaces the
+/// `identity * coefficient` terms of the Padé polynomial chains.
+void add_to_diagonal(DenseMatrix& dst, double alpha);
+
+/// dst = a - b (reshapes dst).
+void subtract_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b);
+
+/// dst = a + b (reshapes dst).
+void add_into(DenseMatrix& dst, const DenseMatrix& a, const DenseMatrix& b);
+
+namespace detail {
+
+/// Raw strided strip of the subtracting GEMM kernel, shared with the blocked
+/// LU trailing update: c[i*ldcb + j] -= sum_k a[i*lda + k] * b[k*ldcb + j]
+/// for i in [0, rows), k in [k0, k1), j in [j0, j1), accumulated per element
+/// in ascending-k order with the `a == 0.0` skip. c and b share the stride
+/// ldcb; pointers may be offset into larger matrices but must not alias.
+void gemm_strip_sub(double* c, const double* a, const double* b, size_t rows, size_t lda,
+                    size_t ldcb, size_t k0, size_t k1, size_t j0, size_t j1);
+
+}  // namespace detail
 
 }  // namespace gop::linalg

@@ -1,43 +1,170 @@
 #include "linalg/lu.hh"
 
 #include <cmath>
+#include <numeric>
 
 #include "fi/fi.hh"
 #include "util/error.hh"
 
 namespace gop::linalg {
 
+namespace {
+
+/// Panel width for the blocked right-looking factorization. Matrices with
+/// n <= kPanel take exactly the classic unblocked code path (the trailing
+/// update below never runs), and larger matrices produce bit-identical
+/// factors anyway: deferring the update of columns >= p1 only batches the
+/// same ascending-k subtractions per element, it never reorders them.
+constexpr size_t kLuPanel = 64;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GOP_LU_RESTRICT __restrict__
+#else
+#define GOP_LU_RESTRICT
+#endif
+
+/// Fully-unrolled substitution for small square multi-RHS solves (the Padé
+/// solve runs at the chain dimension). With compile-time trip counts the
+/// whole X row stays in registers across its j updates instead of being
+/// stored and reloaded per j pair. Per element the updates are the same
+/// ascending-j subtractions, one memory accumulator, divide-last — the exact
+/// operation sequence of the runtime-n loops below, so results (and every
+/// rounding) are identical.
+template <int N>
+void substitute_fixed(const double* GOP_LU_RESTRICT lu, double* GOP_LU_RESTRICT xd) {
+  // Forward substitution: L Y = P B (unit diagonal).
+  for (int i = 1; i < N; ++i) {
+    double* GOP_LU_RESTRICT xi = xd + i * N;
+    const double* GOP_LU_RESTRICT lrow = lu + i * N;
+    double acc[N];
+    for (int c = 0; c < N; ++c) acc[c] = xi[c];
+    for (int j = 0; j < i; ++j) {
+      const double l = lrow[j];
+      const double* GOP_LU_RESTRICT xj = xd + j * N;
+      for (int c = 0; c < N; ++c) acc[c] -= l * xj[c];
+    }
+    for (int c = 0; c < N; ++c) xi[c] = acc[c];
+  }
+  // Back substitution: U X = Y.
+  for (int i = N; i-- > 0;) {
+    double* GOP_LU_RESTRICT xi = xd + i * N;
+    const double* GOP_LU_RESTRICT urow = lu + i * N;
+    double acc[N];
+    for (int c = 0; c < N; ++c) acc[c] = xi[c];
+    for (int j = i + 1; j < N; ++j) {
+      const double u = urow[j];
+      const double* GOP_LU_RESTRICT xj = xd + j * N;
+      for (int c = 0; c < N; ++c) acc[c] -= u * xj[c];
+    }
+    const double pivot = urow[i];
+    for (int c = 0; c < N; ++c) xi[c] = acc[c] / pivot;
+  }
+}
+
+/// Largest square multi-RHS solve routed through substitute_fixed; mirrors
+/// the gemm_fixed gate (docs/performance.md).
+constexpr size_t kFixedSolveMax = 15;
+
+bool substitute_fixed_dispatch(const double* lu, double* xd, size_t n) {
+  switch (n) {
+      // clang-format off
+    case 1: substitute_fixed<1>(lu, xd); return true;
+    case 2: substitute_fixed<2>(lu, xd); return true;
+    case 3: substitute_fixed<3>(lu, xd); return true;
+    case 4: substitute_fixed<4>(lu, xd); return true;
+    case 5: substitute_fixed<5>(lu, xd); return true;
+    case 6: substitute_fixed<6>(lu, xd); return true;
+    case 7: substitute_fixed<7>(lu, xd); return true;
+    case 9: substitute_fixed<9>(lu, xd); return true;
+    case 10: substitute_fixed<10>(lu, xd); return true;
+    case 11: substitute_fixed<11>(lu, xd); return true;
+    case 12: substitute_fixed<12>(lu, xd); return true;
+    case 13: substitute_fixed<13>(lu, xd); return true;
+    case 14: substitute_fixed<14>(lu, xd); return true;
+    case 15: substitute_fixed<15>(lu, xd); return true;
+      // clang-format on
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  factorize_in_place();
+}
+
+void LuFactorization::factorize(const DenseMatrix& a) {
+  copy_into(lu_, a);
+  factorize_in_place();
+}
+
+bool LuFactorization::reserve(size_t n) {
+  const bool perm_grew = perm_.capacity() < n;
+  const bool lu_grew = lu_.reshape_uninitialized(n, n);
+  perm_.resize(n);
+  return perm_grew || lu_grew;
+}
+
+void LuFactorization::factorize_in_place() {
   GOP_REQUIRE(lu_.square(), "LU factorization requires a square matrix");
   const size_t n = lu_.rows();
   perm_.resize(n);
-  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+  std::iota(perm_.begin(), perm_.end(), size_t{0});
+  sign_ = 1;
 
-  for (size_t k = 0; k < n; ++k) {
-    // Partial pivoting: pick the largest magnitude in column k at/below row k.
-    size_t pivot = k;
-    double best = std::abs(lu_(k, k));
-    for (size_t r = k + 1; r < n; ++r) {
-      const double v = std::abs(lu_(r, k));
-      if (v > best) {
-        best = v;
-        pivot = r;
+  for (size_t p0 = 0; p0 < n; p0 += kLuPanel) {
+    const size_t p1 = std::min(n, p0 + kLuPanel);
+    // Factorize the panel: columns [p0, p1), rank-1 updates restricted to the
+    // panel's columns. Identical to the unblocked loop with the c-range split.
+    for (size_t k = p0; k < p1; ++k) {
+      // Partial pivoting: pick the largest magnitude in column k at/below
+      // row k.
+      size_t pivot = k;
+      double best = std::abs(lu_(k, k));
+      for (size_t r = k + 1; r < n; ++r) {
+        const double v = std::abs(lu_(r, k));
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (GOP_FI_POINT(fi::SiteId::kLuPivotBreakdown)) best = 0.0;
+      GOP_CHECK_NUMERIC(best > 0.0, "LU pivot is exactly zero: matrix is singular");
+      if (pivot != k) {
+        for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+        std::swap(perm_[k], perm_[pivot]);
+        sign_ = -sign_;
+      }
+      double pivot_value = lu_(k, k);
+      if (GOP_FI_POINT(fi::SiteId::kLuPivotPerturb)) pivot_value *= 2.0;
+      for (size_t r = k + 1; r < n; ++r) {
+        const double factor = lu_(r, k) / pivot_value;
+        lu_(r, k) = factor;
+        if (factor == 0.0) continue;
+        for (size_t c = k + 1; c < p1; ++c) lu_(r, c) -= factor * lu_(k, c);
       }
     }
-    if (GOP_FI_POINT(fi::SiteId::kLuPivotBreakdown)) best = 0.0;
-    GOP_CHECK_NUMERIC(best > 0.0, "LU pivot is exactly zero: matrix is singular");
-    if (pivot != k) {
-      for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
-      std::swap(perm_[k], perm_[pivot]);
-      sign_ = -sign_;
-    }
-    double pivot_value = lu_(k, k);
-    if (GOP_FI_POINT(fi::SiteId::kLuPivotPerturb)) pivot_value *= 2.0;
-    for (size_t r = k + 1; r < n; ++r) {
-      const double factor = lu_(r, k) / pivot_value;
-      lu_(r, k) = factor;
-      if (factor == 0.0) continue;
-      for (size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    if (p1 < n) {
+      // U12 = L11^{-1} A12: replay the panel's eliminations on the columns
+      // right of the panel, in the same ascending-k order per element the
+      // unblocked rank-1 updates would have used.
+      for (size_t k = p0; k < p1; ++k) {
+        for (size_t r = k + 1; r < p1; ++r) {
+          const double factor = lu_(r, k);
+          if (factor == 0.0) continue;
+          for (size_t c = p1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+        }
+      }
+      // Deferred trailing update through the fused multiply-subtract strip:
+      //   A[p1:, p1:] -= L[p1:, p0:p1) * U[p0:p1, p1:)
+      // applied per element in ascending-k order (detail::gemm_strip_sub), so
+      // the trailing block holds exactly the values the unblocked rank-1
+      // updates would have produced before the next panel's pivot search
+      // reads it.
+      double* base = lu_.data().data();
+      detail::gemm_strip_sub(base + p1 * n + p1, base + p1 * n + p0, base + p0 * n + p1, n - p1,
+                             n, n, 0, p1 - p0, 0, n - p1);
     }
   }
 }
@@ -62,15 +189,72 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
 }
 
 DenseMatrix LuFactorization::solve(const DenseMatrix& b) const {
-  GOP_REQUIRE(b.rows() == size(), "LU solve: rhs row count mismatch");
-  DenseMatrix x(b.rows(), b.cols());
-  std::vector<double> col(b.rows());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-    const std::vector<double> sol = solve(col);
-    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
-  }
+  DenseMatrix x;
+  solve_into(b, x);
   return x;
+}
+
+void LuFactorization::solve_into(const DenseMatrix& b, DenseMatrix& x) const {
+  const size_t n = size();
+  const size_t m = b.cols();
+  GOP_REQUIRE(b.rows() == n, "LU solve: rhs row count mismatch");
+  GOP_REQUIRE(&b != &x && b.data().data() != x.data().data(),
+              "LU solve_into: destination must not alias the rhs");
+  x.reshape_uninitialized(n, m);
+
+  const double* lu = lu_.data().data();
+  double* xd = x.data().data();
+  const double* bd = b.data().data();
+  // Gather the permuted rhs, then substitute in place on x. Each column keeps
+  // the scalar solve's accumulation order: row i accumulates updates from
+  // rows j < i (forward) / j > i (backward) in ascending j, one memory
+  // accumulator per element — only independent columns are interleaved.
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = bd + perm_[i] * m;
+    double* dst = xd + i * m;
+    for (size_t c = 0; c < m; ++c) dst[c] = src[c];
+  }
+  if (m == n && n <= kFixedSolveMax && substitute_fixed_dispatch(lu, xd, n)) return;
+  // Forward substitution: L Y = P B (unit diagonal). The j loop is unrolled
+  // by two with strictly sequential subtractions per element, preserving the
+  // scalar solve's accumulation order bit for bit (see gemm_strip).
+  for (size_t i = 0; i < n; ++i) {
+    double* xi = xd + i * m;
+    const double* lrow = lu + i * n;
+    size_t j = 0;
+    for (; j + 1 < i; j += 2) {
+      const double l0 = lrow[j];
+      const double l1 = lrow[j + 1];
+      const double* xj0 = xd + j * m;
+      const double* xj1 = xj0 + m;
+      for (size_t c = 0; c < m; ++c) xi[c] = (xi[c] - l0 * xj0[c]) - l1 * xj1[c];
+    }
+    if (j < i) {
+      const double l = lrow[j];
+      const double* xj = xd + j * m;
+      for (size_t c = 0; c < m; ++c) xi[c] -= l * xj[c];
+    }
+  }
+  // Back substitution: U X = Y.
+  for (size_t i = n; i-- > 0;) {
+    double* xi = xd + i * m;
+    const double* urow = lu + i * n;
+    size_t j = i + 1;
+    for (; j + 1 < n; j += 2) {
+      const double u0 = urow[j];
+      const double u1 = urow[j + 1];
+      const double* xj0 = xd + j * m;
+      const double* xj1 = xj0 + m;
+      for (size_t c = 0; c < m; ++c) xi[c] = (xi[c] - u0 * xj0[c]) - u1 * xj1[c];
+    }
+    if (j < n) {
+      const double u = urow[j];
+      const double* xj = xd + j * m;
+      for (size_t c = 0; c < m; ++c) xi[c] -= u * xj[c];
+    }
+    const double pivot = urow[i];
+    for (size_t c = 0; c < m; ++c) xi[c] /= pivot;
+  }
 }
 
 std::vector<double> LuFactorization::solve_transposed(const std::vector<double>& b) const {

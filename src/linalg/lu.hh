@@ -4,6 +4,14 @@
 /// LU factorization with partial pivoting. Used for direct linear solves in
 /// the Padé matrix exponential and for absorbing-chain analysis (fundamental
 /// matrix systems).
+///
+/// The factorization is right-looking with a blocked trailing update for
+/// large matrices (docs/performance.md): panels of kPanel columns are
+/// factorized with rank-1 updates exactly like the classic algorithm, and the
+/// deferred trailing-block update is applied through the fused
+/// multiply-subtract kernel, which preserves the per-element ascending-k
+/// update order — pivot choices and factors are bit-identical to the
+/// unblocked factorization at every size.
 
 #include <vector>
 
@@ -14,17 +22,39 @@ namespace gop::linalg {
 /// Factorization PA = LU of a square matrix.
 class LuFactorization {
  public:
+  /// An empty factorization; factorize() must run before any solve. Exists so
+  /// workspace owners (markov::ExpmWorkspace) can reuse one object's storage
+  /// across many factorizations without reallocating.
+  LuFactorization() = default;
+
   /// Factorizes `a`. Throws gop::NumericalError when a pivot underflows
   /// (matrix numerically singular).
   explicit LuFactorization(DenseMatrix a);
+
+  /// Re-factorizes onto this object's existing storage: copies `a` into the
+  /// internal buffer (no allocation once the buffer has seen this dimension)
+  /// and factorizes in place. Same failure contract as the constructor.
+  void factorize(const DenseMatrix& a);
+
+  /// Pre-sizes the internal storage for dimension n without factorizing.
+  /// Returns true when the call had to grow an allocation (workspace
+  /// accounting). The object stays unusable until factorize() runs.
+  bool reserve(size_t n);
 
   size_t size() const { return lu_.rows(); }
 
   /// Solves A x = b.
   std::vector<double> solve(const std::vector<double>& b) const;
 
-  /// Solves A X = B column-by-column.
+  /// Solves A X = B for all columns of B at once.
   DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// Multi-RHS solve into a caller-owned destination: x <- A^{-1} b. x is
+  /// reshaped to b's shape and must not alias b. Column c of the result is
+  /// bit-identical to solve(column c of b): the batched substitution keeps
+  /// each column's ascending-j accumulation order, it only interleaves
+  /// independent columns.
+  void solve_into(const DenseMatrix& b, DenseMatrix& x) const;
 
   /// Solves x^T A = b^T (i.e. A^T x = b).
   std::vector<double> solve_transposed(const std::vector<double>& b) const;
@@ -34,6 +64,8 @@ class LuFactorization {
   double determinant() const;
 
  private:
+  void factorize_in_place();
+
   DenseMatrix lu_;           // combined L (unit diagonal, below) and U (on/above)
   std::vector<size_t> perm_; // row permutation: row i of PA is row perm_[i] of A
   int sign_ = 1;

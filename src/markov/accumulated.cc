@@ -20,17 +20,35 @@ AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
 
 namespace {
 
-std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double t) {
+/// A = [[Q, I], [0, 0]];  exp(A t) top-right block is \int_0^t e^{Qs} ds.
+linalg::DenseMatrix build_augmented_generator(const Ctmc& chain) {
   const size_t n = chain.state_count();
   const linalg::DenseMatrix q = chain.generator_dense();
-
-  // A = [[Q, I], [0, 0]];  exp(A t) top-right block is \int_0^t e^{Qs} ds.
   linalg::DenseMatrix augmented(2 * n, 2 * n, 0.0);
   for (size_t r = 0; r < n; ++r) {
     for (size_t c = 0; c < n; ++c) augmented(r, c) = q(r, c);
     augmented(r, n + r) = 1.0;
   }
-  const linalg::DenseMatrix expm = matrix_exponential(augmented, t);
+  return augmented;
+}
+
+std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double t,
+                                                       AccumulatedWorkspace* aws,
+                                                       ExpmWorkspace& ews) {
+  const size_t n = chain.state_count();
+  const linalg::DenseMatrix* augmented;
+  linalg::DenseMatrix local;
+  if (aws != nullptr) {
+    if (!aws->augmented_built) {
+      aws->augmented = build_augmented_generator(chain);
+      aws->augmented_built = true;
+    }
+    augmented = &aws->augmented;
+  } else {
+    local = build_augmented_generator(chain);
+    augmented = &local;
+  }
+  const linalg::DenseMatrix& expm = matrix_exponential(*augmented, t, ews);
 
   const std::vector<double>& pi0 = chain.initial_distribution();
   std::vector<double> occupancy(n, 0.0);
@@ -54,10 +72,9 @@ std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double
   obs::record_event(std::move(event));
 }
 
-}  // namespace
-
-std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
-                                          const AccumulatedOptions& options) {
+std::vector<double> accumulated_dispatch(const Ctmc& chain, double t,
+                                         const AccumulatedOptions& options,
+                                         AccumulatedWorkspace* aws) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   GOP_OBS_SPAN("markov.accumulated");
   if (t == 0.0) {
@@ -66,9 +83,13 @@ std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
   }
 
   switch (resolve_accumulated_method(chain, t, options)) {
-    case AccumulatedMethod::kAugmentedExponential:
+    case AccumulatedMethod::kAugmentedExponential: {
       if (obs::enabled()) record_accumulated_event(chain, t, "augmented-expm");
-      return occupancy_by_augmented_exponential(chain, t);
+      if (aws != nullptr) return occupancy_by_augmented_exponential(chain, t, aws, aws->expm);
+      ExpmWorkspace fallback;
+      return occupancy_by_augmented_exponential(
+          chain, t, nullptr, detail::pooled_expm_workspace(2 * chain.state_count(), fallback));
+    }
     case AccumulatedMethod::kUniformization:
       if (obs::enabled()) record_accumulated_event(chain, t, "uniformization");
       return uniformized_accumulated_occupancy(chain, t, options.uniformization);
@@ -76,6 +97,19 @@ std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
       break;
   }
   throw InternalError("unreachable accumulated method");
+}
+
+}  // namespace
+
+std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
+                                          const AccumulatedOptions& options) {
+  return accumulated_dispatch(chain, t, options, nullptr);
+}
+
+std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
+                                          const AccumulatedOptions& options,
+                                          AccumulatedWorkspace& ws) {
+  return accumulated_dispatch(chain, t, options, &ws);
 }
 
 double accumulated_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,

@@ -13,7 +13,9 @@
 #include <functional>
 #include <vector>
 
+#include "linalg/dense_matrix.hh"
 #include "markov/ctmc.hh"
+#include "markov/matrix_exp.hh"
 #include "markov/uniformization.hh"
 
 namespace gop::markov {
@@ -41,6 +43,22 @@ AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
 /// L_s(t) = \int_0^t pi_s(u) du. Sums to t.
 std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
                                           const AccumulatedOptions& options = {});
+
+/// Reusable state for repeated accumulated solves on ONE chain: the 2n x 2n
+/// augmented generator [[Q, I], [0, 0]] is assembled once and the Padé
+/// scratch is shared across the grid, so steady-state solves allocate only
+/// their result vector. Results are bit-identical to the pointwise overload.
+/// Do not share one workspace across different chains.
+struct AccumulatedWorkspace {
+  ExpmWorkspace expm;
+  linalg::DenseMatrix augmented;
+  bool augmented_built = false;
+};
+
+/// Occupancy over [0, t], using caller-owned scratch.
+std::vector<double> accumulated_occupancy(const Ctmc& chain, double t,
+                                          const AccumulatedOptions& options,
+                                          AccumulatedWorkspace& ws);
 
 /// Expected accumulated rate reward: sum_s L_s(t) * reward[s].
 double accumulated_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,

@@ -1,11 +1,12 @@
 #include "markov/matrix_exp.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "fi/fi.hh"
-#include "linalg/lu.hh"
 #include "markov/solver_stats.hh"
 #include "obs/obs.hh"
+#include "obs/registry.hh"
 #include "util/error.hh"
 
 namespace gop::markov {
@@ -26,6 +27,16 @@ constexpr double kPade13[] = {
 // precision without scaling.
 constexpr double kTheta13 = 5.371920351148152;
 
+obs::Counter& workspace_alloc_counter() {
+  static obs::Counter& c = obs::counter("markov.expm_workspace_allocs");
+  return c;
+}
+
+obs::Counter& workspace_reuse_counter() {
+  static obs::Counter& c = obs::counter("markov.expm_workspace_reuses");
+  return c;
+}
+
 /// Cold and out of line so the event machinery (string members, registry
 /// lock) stays off the expm hot path; the caller pays one predicted-not-taken
 /// branch when tracing is disabled.
@@ -40,40 +51,95 @@ constexpr double kTheta13 = 5.371920351148152;
 
 /// The numerical body, free of instrumentation. noinline so the wrapper's
 /// ScopedSpan (an object with a cleanup) never gets merged into this frame:
-/// measured on BM_Transient_MatrixExponential, a span scoped across the
-/// dozen live matrix temporaries below costs ~5% even when tracing is
-/// disabled, purely through codegen; scoped across the thin wrapper it is
-/// free.
-[[gnu::noinline]] DenseMatrix matrix_exponential_impl(const DenseMatrix& a, int squarings) {
-  const size_t n = a.rows();
-  DenseMatrix scaled = a * std::pow(2.0, -squarings);
+/// measured on BM_Transient_MatrixExponential, a span scoped across the live
+/// matrix buffers below costs ~5% even when tracing is disabled, purely
+/// through codegen; scoped across the thin wrapper it is free.
+///
+/// Every step runs through the fused kernels (linalg/dense_matrix.hh) on
+/// workspace buffers, so the body allocates nothing once ws has seen this
+/// dimension — yet it performs, per output element, the exact floating-point
+/// operation sequence of the historical temporary-allocating code:
+/// `X*coef + Y*coef + ...` chains become scale_copy_into followed by
+/// add_scaled (same round-product-then-add per element), `+ identity*coef`
+/// becomes add_to_diagonal (off-diagonal `+ 0.0` is a bitwise no-op here
+/// because no intermediate in these chains can be -0.0: GEMM accumulators
+/// start at +0.0 and IEEE-754 exact cancellation yields +0.0), and the
+/// factor/solve runs on the same LU with a batched substitution that keeps
+/// each column's scalar order. See docs/performance.md.
+[[gnu::noinline]] void matrix_exponential_impl(const DenseMatrix& a, int squarings,
+                                               ExpmWorkspace& ws) {
+  using linalg::add_into;
+  using linalg::add_to_diagonal;
+  using linalg::add_weighted3;
+  using linalg::multiply_into;
+  using linalg::scale_copy_into;
+  using linalg::subtract_into;
+  using linalg::weighted_sum3_into;
+
+  scale_copy_into(ws.scaled, a, std::pow(2.0, -squarings));
 
   // Evaluate the [13/13] Padé approximant r(A) = (V - U)^{-1} (V + U) with
   //   U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
   //   V =    A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
-  const DenseMatrix identity = DenseMatrix::identity(n);
-  const DenseMatrix a2 = scaled * scaled;
-  const DenseMatrix a4 = a2 * a2;
-  const DenseMatrix a6 = a2 * a4;
+  // The three-term coefficient chains run through the single-pass fused
+  // kernels; their per-element order is the scale_copy_into/add_scaled
+  // sequence of the historical code (see dense_matrix.hh).
+  multiply_into(ws.a2, ws.scaled, ws.scaled);
+  multiply_into(ws.a4, ws.a2, ws.a2);
+  multiply_into(ws.a6, ws.a2, ws.a4);
 
-  DenseMatrix inner_u = a6 * kPade13[13] + a4 * kPade13[11] + a2 * kPade13[9];
-  DenseMatrix u =
-      scaled * (a6 * inner_u + a6 * kPade13[7] + a4 * kPade13[5] + a2 * kPade13[3] +
-                identity * kPade13[1]);
+  weighted_sum3_into(ws.poly_u, kPade13[13], ws.a6, kPade13[11], ws.a4, kPade13[9], ws.a2);
+  multiply_into(ws.u, ws.a6, ws.poly_u);
+  add_weighted3(ws.u, kPade13[7], ws.a6, kPade13[5], ws.a4, kPade13[3], ws.a2);
+  add_to_diagonal(ws.u, kPade13[1]);
+  multiply_into(ws.poly_u, ws.scaled, ws.u);  // U, reusing the inner_u buffer
 
-  DenseMatrix inner_v = a6 * kPade13[12] + a4 * kPade13[10] + a2 * kPade13[8];
-  DenseMatrix v =
-      a6 * inner_v + a6 * kPade13[6] + a4 * kPade13[4] + a2 * kPade13[2] + identity * kPade13[0];
+  weighted_sum3_into(ws.poly_v, kPade13[12], ws.a6, kPade13[10], ws.a4, kPade13[8], ws.a2);
+  multiply_into(ws.v, ws.a6, ws.poly_v);
+  add_weighted3(ws.v, kPade13[6], ws.a6, kPade13[4], ws.a4, kPade13[2], ws.a2);
+  add_to_diagonal(ws.v, kPade13[0]);
 
-  DenseMatrix result = linalg::LuFactorization(v - u).solve(v + u);
+  subtract_into(ws.tmp, ws.v, ws.poly_u);  // V - U
+  ws.lu.factorize(ws.tmp);
+  add_into(ws.tmp, ws.v, ws.poly_u);  // V + U; tmp is free once factorize copied it
+  ws.lu.solve_into(ws.tmp, ws.result);
 
-  for (int i = 0; i < squarings; ++i) result = result * result;
-  return result;
+  for (int i = 0; i < squarings; ++i) {
+    multiply_into(ws.tmp, ws.result, ws.result);
+    std::swap(ws.result, ws.tmp);
+  }
 }
 
 }  // namespace
 
-DenseMatrix matrix_exponential(const DenseMatrix& a) {
+void ExpmWorkspace::ensure(size_t n) {
+  // Steady-state fast path: nothing to reshape, count the reuse and return.
+  // The result check guards against a moved-from workspace whose ensured_dim
+  // survived the move while its buffers did not.
+  if (ensured_dim == n && result.rows() == n && result.cols() == n) {
+    workspace_reuse_counter().add(1);
+    return;
+  }
+  size_t grown = 0;
+  for (DenseMatrix* m : {&input, &scaled, &a2, &a4, &a6, &poly_u, &poly_v, &u, &v, &tmp, &result}) {
+    if (m->reshape_uninitialized(n, n)) ++grown;
+  }
+  if (lu.reserve(n)) ++grown;
+  ensured_dim = n;
+  if (grown > 0) {
+    workspace_alloc_counter().add(grown);
+  } else {
+    workspace_reuse_counter().add(1);
+  }
+}
+
+ExpmWorkspace& detail::pooled_expm_workspace(size_t dim, ExpmWorkspace& fallback) {
+  if (dim > kPooledExpmMaxDim) return fallback;
+  thread_local ExpmWorkspace pool;
+  return pool;
+}
+
+const DenseMatrix& matrix_exponential(const DenseMatrix& a, ExpmWorkspace& ws) {
   GOP_REQUIRE(a.square(), "matrix_exponential requires a square matrix");
   GOP_OBS_SPAN("markov.expm");
   solver_stats().matrix_exponentials.fetch_add(1, std::memory_order_relaxed);
@@ -88,12 +154,27 @@ DenseMatrix matrix_exponential(const DenseMatrix& a) {
   GOP_CHECK_NUMERIC(!GOP_FI_POINT(fi::SiteId::kExpmScalingOverflow),
                     "matrix_exponential: scaling-and-squaring setup overflowed");
   if (obs::enabled()) record_expm_event(a.rows(), squarings);
-  return matrix_exponential_impl(a, squarings);
+  ws.ensure(a.rows());
+  matrix_exponential_impl(a, squarings, ws);
+  return ws.result;
+}
+
+const DenseMatrix& matrix_exponential(const DenseMatrix& a, double t, ExpmWorkspace& ws) {
+  GOP_REQUIRE(std::isfinite(t), "matrix_exponential: t must be finite");
+  // Scale into the workspace's input slot; ensure() inside the call below
+  // re-reshapes that slot to the same shape, which is a no-op.
+  linalg::scale_copy_into(ws.input, a, t);
+  return matrix_exponential(ws.input, ws);
+}
+
+DenseMatrix matrix_exponential(const DenseMatrix& a) {
+  ExpmWorkspace fallback;
+  return matrix_exponential(a, detail::pooled_expm_workspace(a.rows(), fallback));
 }
 
 DenseMatrix matrix_exponential(const DenseMatrix& a, double t) {
-  GOP_REQUIRE(std::isfinite(t), "matrix_exponential: t must be finite");
-  return matrix_exponential(a * t);
+  ExpmWorkspace fallback;
+  return matrix_exponential(a, t, detail::pooled_expm_workspace(a.rows(), fallback));
 }
 
 }  // namespace gop::markov

@@ -6,15 +6,78 @@
 /// paper's models: their generators are stiff (||Q||t up to ~2.5e7) which
 /// rules out plain uniformization, while their state spaces are small enough
 /// that an O(n^3 log ||Q||t) dense method is instantaneous.
+///
+/// Two call shapes exist. The value-returning overloads are the historical
+/// pointwise API; they borrow a thread-local pooled workspace internally. The
+/// workspace overloads let session loops (markov/session.hh) thread one
+/// ExpmWorkspace through a whole time grid so every solve after the first is
+/// allocation-free — the property the "markov.expm_workspace_allocs" counter
+/// pins down in tests. Both shapes produce bit-identical results: the fused
+/// kernels keep the historical per-element summation order
+/// (docs/performance.md).
+
+#include <cstddef>
 
 #include "linalg/dense_matrix.hh"
+#include "linalg/lu.hh"
 
 namespace gop::markov {
+
+/// Reusable scratch for matrix_exponential: eleven n x n buffers plus an LU
+/// factorization. After the first solve at a given dimension, repeated solves
+/// perform no heap allocation (buffers reshape in place; growing to a larger
+/// dimension reallocates once and is counted on
+/// "markov.expm_workspace_allocs", while allocation-free reuse ticks
+/// "markov.expm_workspace_reuses").
+struct ExpmWorkspace {
+  ExpmWorkspace() = default;
+  ExpmWorkspace(const ExpmWorkspace&) = delete;
+  ExpmWorkspace& operator=(const ExpmWorkspace&) = delete;
+  ExpmWorkspace(ExpmWorkspace&&) = default;
+  ExpmWorkspace& operator=(ExpmWorkspace&&) = default;
+
+  /// Pre-sizes every buffer for dimension n and updates the workspace
+  /// counters. Called by the solver; idempotent per dimension.
+  void ensure(size_t n);
+
+  /// Scratch buffers, internal to the solver implementation. The only member
+  /// meant for callers is `result`, which the workspace overloads below
+  /// return by reference; it stays valid until the next solve through this
+  /// workspace.
+  linalg::DenseMatrix input, scaled, a2, a4, a6, poly_u, poly_v, u, v, tmp, result;
+  linalg::LuFactorization lu;
+
+  /// Last dimension ensure() completed for; lets steady-state ensure() calls
+  /// skip the per-buffer reshape walk entirely. Managed by ensure().
+  size_t ensured_dim = 0;
+};
 
 /// exp(A) for a square matrix.
 linalg::DenseMatrix matrix_exponential(const linalg::DenseMatrix& a);
 
 /// exp(A t).
 linalg::DenseMatrix matrix_exponential(const linalg::DenseMatrix& a, double t);
+
+/// exp(A) computed in `ws`; returns ws.result. `a` must not alias a workspace
+/// buffer (ws.input excepted — the exp(A t) overload relies on that).
+const linalg::DenseMatrix& matrix_exponential(const linalg::DenseMatrix& a, ExpmWorkspace& ws);
+
+/// exp(A t) computed in `ws`; returns ws.result.
+const linalg::DenseMatrix& matrix_exponential(const linalg::DenseMatrix& a, double t,
+                                              ExpmWorkspace& ws);
+
+namespace detail {
+
+/// Dimension cap for the shared thread-local workspace behind the
+/// value-returning overloads: beyond this, pooling would pin ~a dozen large
+/// buffers per thread for the process lifetime, so callers fall back to the
+/// caller-owned (typically stack-scoped) workspace instead.
+constexpr size_t kPooledExpmMaxDim = 256;
+
+/// The thread-local pooled workspace when dim fits under the cap, otherwise
+/// `fallback`.
+ExpmWorkspace& pooled_expm_workspace(size_t dim, ExpmWorkspace& fallback);
+
+}  // namespace detail
 
 }  // namespace gop::markov

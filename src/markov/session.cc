@@ -258,9 +258,10 @@ void TransientSession::build(const TransientOptions& options) {
     record_session_event(obs::SolverEventKind::kTransientSession, chain, times_, "pade-expm", 0.0,
                          0);
   }
+  TransientWorkspace workspace;  // generator + Padé scratch shared across the grid
   solve_grid(
       times_, distributions_, [&] { return chain.initial_distribution(); },
-      [&](double t) { return transient_distribution(chain, t, options); });
+      [&](double t) { return transient_distribution(chain, t, options, workspace); });
 }
 
 TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
@@ -395,8 +396,9 @@ void AccumulatedSession::build(const AccumulatedOptions& options) {
     record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
                          "augmented-expm", 0.0, 0);
   }
+  AccumulatedWorkspace workspace;  // augmented generator + Padé scratch shared across the grid
   solve_grid(times_, occupancies_, zeros,
-             [&](double t) { return accumulated_occupancy(chain, t, options); });
+             [&](double t) { return accumulated_occupancy(chain, t, options, workspace); });
 }
 
 AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> times,

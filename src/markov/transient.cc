@@ -41,10 +41,30 @@ namespace {
   obs::record_event(std::move(event));
 }
 
-}  // namespace
+/// The dense arm: pi(t)^T = pi(0)^T exp(Q t). With a TransientWorkspace the
+/// generator is materialized once per workspace; either way the expm runs on
+/// caller-owned or pooled scratch, so steady-state solves only allocate the
+/// result vector.
+std::vector<double> dense_transient(const Ctmc& chain, double t, TransientWorkspace* tws,
+                                    ExpmWorkspace& ews) {
+  const linalg::DenseMatrix* generator;
+  linalg::DenseMatrix local;
+  if (tws != nullptr) {
+    if (!tws->generator_built) {
+      tws->generator = chain.generator_dense();
+      tws->generator_built = true;
+    }
+    generator = &tws->generator;
+  } else {
+    local = chain.generator_dense();
+    generator = &local;
+  }
+  const linalg::DenseMatrix& expm = matrix_exponential(*generator, t, ews);
+  return expm.left_multiply(chain.initial_distribution());
+}
 
-std::vector<double> transient_distribution(const Ctmc& chain, double t,
-                                           const TransientOptions& options) {
+std::vector<double> transient_dispatch(const Ctmc& chain, double t,
+                                       const TransientOptions& options, TransientWorkspace* tws) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   GOP_OBS_SPAN("markov.transient");
   if (t == 0.0) {
@@ -58,14 +78,28 @@ std::vector<double> transient_distribution(const Ctmc& chain, double t,
       return uniformized_transient_distribution(chain, t, options.uniformization);
     case TransientMethod::kMatrixExponential: {
       if (obs::enabled()) record_transient_event(chain, t, "pade-expm");
-      // pi(t)^T = pi(0)^T exp(Q t)
-      const linalg::DenseMatrix expm = matrix_exponential(chain.generator_dense(), t);
-      return expm.left_multiply(chain.initial_distribution());
+      if (tws != nullptr) return dense_transient(chain, t, tws, tws->expm);
+      ExpmWorkspace fallback;
+      return dense_transient(chain, t, nullptr,
+                             detail::pooled_expm_workspace(chain.state_count(), fallback));
     }
     case TransientMethod::kAuto:
       break;
   }
   throw InternalError("unreachable transient method");
+}
+
+}  // namespace
+
+std::vector<double> transient_distribution(const Ctmc& chain, double t,
+                                           const TransientOptions& options) {
+  return transient_dispatch(chain, t, options, nullptr);
+}
+
+std::vector<double> transient_distribution(const Ctmc& chain, double t,
+                                           const TransientOptions& options,
+                                           TransientWorkspace& ws) {
+  return transient_dispatch(chain, t, options, &ws);
 }
 
 double transient_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,

@@ -12,7 +12,9 @@
 
 #include <vector>
 
+#include "linalg/dense_matrix.hh"
 #include "markov/ctmc.hh"
+#include "markov/matrix_exp.hh"
 #include "markov/uniformization.hh"
 
 namespace gop::markov {
@@ -44,6 +46,23 @@ TransientMethod resolve_transient_method(const Ctmc& chain, double t,
 /// State distribution at time t.
 std::vector<double> transient_distribution(const Ctmc& chain, double t,
                                            const TransientOptions& options = {});
+
+/// Reusable state for repeated transient solves on ONE chain (the session
+/// grid loop): the dense generator is materialized once and the Padé scratch
+/// buffers are shared, so every dense solve after the first allocates only
+/// its result vector. Results are bit-identical to the pointwise overload.
+/// Do not share one workspace across different chains — the cached generator
+/// belongs to the first chain it saw.
+struct TransientWorkspace {
+  ExpmWorkspace expm;
+  linalg::DenseMatrix generator;
+  bool generator_built = false;
+};
+
+/// State distribution at time t, using caller-owned scratch.
+std::vector<double> transient_distribution(const Ctmc& chain, double t,
+                                           const TransientOptions& options,
+                                           TransientWorkspace& ws);
 
 /// Expected instant-of-time rate reward at t: sum_s pi_s(t) * reward[s].
 double transient_reward(const Ctmc& chain, const std::vector<double>& state_reward, double t,

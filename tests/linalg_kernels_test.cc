@@ -1,0 +1,327 @@
+// Bit-identity tests for the optimized dense kernels (docs/performance.md).
+//
+// The library's numerical contract is that kernel dispatch never changes
+// results: the fixed-size unrolled gemm (n <= 15), the strip kernel, the
+// (k, j)-tiled path (dims >= 512), the blocked LU, the fixed-size and batched
+// substitutions, and the fused Padé elementwise passes all perform the exact
+// per-element operation sequence of the naive reference — one accumulator,
+// ascending-k updates, the a == 0.0 skip, divide-last. These tests pin that
+// down with std::bit_cast comparisons, so any future kernel change that
+// reorders a single rounding fails loudly (the reproducibility certificates
+// in gop::repro depend on it).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "linalg/dense_matrix.hh"
+#include "linalg/lu.hh"
+
+namespace gop::linalg {
+namespace {
+
+uint64_t bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+void expect_bitwise_equal(const DenseMatrix& got, const DenseMatrix& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (size_t r = 0; r < got.rows(); ++r) {
+    for (size_t c = 0; c < got.cols(); ++c) {
+      ASSERT_EQ(bits(got(r, c)), bits(want(r, c)))
+          << what << " differs at (" << r << ", " << c << "): got " << got(r, c) << " want "
+          << want(r, c);
+    }
+  }
+}
+
+enum class Pattern { kDense, kSparse, kLowerTriangular, kUpperTriangular };
+
+/// Random test matrix. kSparse zeroes ~60% of entries to exercise the
+/// kernels' a == 0.0 skip; the triangular patterns mirror the structure the
+/// paper's RmNd failure-model generators actually have (where exp(Qt) keeps
+/// a large fraction of entries exactly zero through every squaring).
+DenseMatrix random_matrix(size_t rows, size_t cols, uint32_t seed, Pattern pattern) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_real_distribution<double> gate(0.0, 1.0);
+  DenseMatrix m(rows, cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (pattern == Pattern::kSparse && gate(rng) < 0.6) continue;
+      if (pattern == Pattern::kLowerTriangular && c > r) continue;
+      if (pattern == Pattern::kUpperTriangular && c < r) continue;
+      m(r, c) = dist(rng);
+    }
+  }
+  return m;
+}
+
+/// The historical per-element contract, written as the naive triple loop:
+/// one accumulator per output element, k ascending, skip when a(i, k) is
+/// exactly zero (which also skips non-finite b entries in that row — the
+/// skip is part of the contract, not an optimization detail).
+DenseMatrix reference_multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double av = a(i, k);
+        if (av == 0.0) continue;
+        acc += av * b(k, j);
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+// Every dispatch regime in one sweep: fixed-size unrolled (n <= 15, n != 8),
+// the excluded power-of-two sizes (8, 16) on the strip path, strip sizes
+// across the LU panel boundary (64, 65), and odd sizes that leave remainders
+// in the unroll-by-two strips.
+TEST(DenseMultiplyKernels, MatchesReferenceBitwiseAcrossSizesAndPatterns) {
+  const size_t sizes[] = {1, 2, 3, 5, 7, 8, 9, 13, 14, 15, 16, 17, 33, 64, 65, 100, 130};
+  const Pattern patterns[] = {Pattern::kDense, Pattern::kSparse, Pattern::kLowerTriangular,
+                              Pattern::kUpperTriangular};
+  uint32_t seed = 1;
+  for (size_t n : sizes) {
+    for (Pattern pattern : patterns) {
+      const DenseMatrix a = random_matrix(n, n, seed++, pattern);
+      const DenseMatrix b = random_matrix(n, n, seed++, Pattern::kDense);
+      DenseMatrix c;
+      multiply_into(c, a, b);
+      expect_bitwise_equal(c, reference_multiply(a, b), "multiply_into");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// min(inner, cols) >= 512 routes to the (k, j)-tiled kernel; 513 also leaves
+// a remainder strip in every block dimension. Tiling batches the same
+// ascending-k additions per element (stores between k-blocks don't change
+// values), so the tiled product must still be bit-identical to the naive
+// reference.
+TEST(DenseMultiplyKernels, TiledPathMatchesReferenceBitwise) {
+  const size_t n = 513;
+  const DenseMatrix a = random_matrix(n, n, 101, Pattern::kSparse);
+  const DenseMatrix b = random_matrix(n, n, 102, Pattern::kDense);
+  DenseMatrix c;
+  multiply_into(c, a, b);
+  expect_bitwise_equal(c, reference_multiply(a, b), "tiled multiply_into");
+}
+
+TEST(DenseMultiplyKernels, NonSquareShapesMatchReferenceBitwise) {
+  struct Shape {
+    size_t m, k, n;
+  };
+  const Shape shapes[] = {{7, 13, 9}, {1, 17, 5}, {33, 7, 33}, {64, 65, 3}};
+  uint32_t seed = 201;
+  for (const Shape& s : shapes) {
+    const DenseMatrix a = random_matrix(s.m, s.k, seed++, Pattern::kSparse);
+    const DenseMatrix b = random_matrix(s.k, s.n, seed++, Pattern::kDense);
+    DenseMatrix c;
+    multiply_into(c, a, b);
+    expect_bitwise_equal(c, reference_multiply(a, b), "non-square multiply_into");
+    if (HasFatalFailure()) return;
+  }
+}
+
+// The a == 0.0 skip is load-bearing for non-finite inputs: a zero in A must
+// suppress an inf/NaN in the corresponding B row exactly as it always has
+// (0 * inf would otherwise inject NaN). The fixed-size kernels keep the skip,
+// so this behavior is identical across dispatch.
+TEST(DenseMultiplyKernels, ZeroSkipSuppressesNonFiniteExactlyLikeReference) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t n : {3UL, 7UL, 17UL}) {
+    DenseMatrix a = random_matrix(n, n, 301, Pattern::kDense);
+    DenseMatrix b = random_matrix(n, n, 302, Pattern::kDense);
+    a(0, 1) = 0.0;       // suppresses the inf below for row 0 outputs
+    b(1, 0) = kInf;
+    a(2, 2) = 0.0;       // suppresses the NaN below for row 2 outputs
+    b(2, 2) = kNan;
+    DenseMatrix c;
+    multiply_into(c, a, b);
+    const DenseMatrix want = reference_multiply(a, b);
+    expect_bitwise_equal(c, want, "non-finite multiply_into");
+    if (HasFatalFailure()) return;
+    EXPECT_TRUE(std::isfinite(c(0, 1)));  // the zero really did suppress the inf
+  }
+}
+
+TEST(FusedElementwise, WeightedSum3MatchesUnfusedChainBitwise) {
+  for (size_t n : {7UL, 48UL}) {
+    const DenseMatrix m1 = random_matrix(n, n, 401, Pattern::kDense);
+    const DenseMatrix m2 = random_matrix(n, n, 402, Pattern::kSparse);
+    const DenseMatrix m3 = random_matrix(n, n, 403, Pattern::kDense);
+    const double c1 = 1.0 / 3.0, c2 = 0.7, c3 = -1.25e-3;
+
+    DenseMatrix fused;
+    weighted_sum3_into(fused, c1, m1, c2, m2, c3, m3);
+
+    DenseMatrix unfused;
+    scale_copy_into(unfused, m1, c1);
+    add_scaled(unfused, c2, m2);
+    add_scaled(unfused, c3, m3);
+    expect_bitwise_equal(fused, unfused, "weighted_sum3_into");
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FusedElementwise, AddWeighted3MatchesUnfusedChainBitwise) {
+  for (size_t n : {7UL, 48UL}) {
+    const DenseMatrix m1 = random_matrix(n, n, 501, Pattern::kDense);
+    const DenseMatrix m2 = random_matrix(n, n, 502, Pattern::kDense);
+    const DenseMatrix m3 = random_matrix(n, n, 503, Pattern::kSparse);
+    const DenseMatrix base = random_matrix(n, n, 504, Pattern::kDense);
+    const double c1 = 0.31, c2 = -2.0 / 7.0, c3 = 5.5e4;
+
+    DenseMatrix fused = base;
+    add_weighted3(fused, c1, m1, c2, m2, c3, m3);
+
+    DenseMatrix unfused = base;
+    add_scaled(unfused, c1, m1);
+    add_scaled(unfused, c2, m2);
+    add_scaled(unfused, c3, m3);
+    expect_bitwise_equal(fused, unfused, "add_weighted3");
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Classic unblocked right-looking LU with partial pivoting — the historical
+/// algorithm the blocked factorization (panels of 64 + deferred trailing
+/// update) must reproduce bit for bit, including pivot choices.
+struct ReferenceLu {
+  DenseMatrix lu;
+  std::vector<size_t> perm;
+  int sign = 1;
+
+  explicit ReferenceLu(DenseMatrix a) : lu(std::move(a)), perm(lu.rows()) {
+    const size_t n = lu.rows();
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    for (size_t k = 0; k < n; ++k) {
+      size_t pivot = k;
+      double best = std::abs(lu(k, k));
+      for (size_t r = k + 1; r < n; ++r) {
+        const double v = std::abs(lu(r, k));
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (pivot != k) {
+        for (size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+        std::swap(perm[k], perm[pivot]);
+        sign = -sign;
+      }
+      const double pivot_value = lu(k, k);
+      for (size_t r = k + 1; r < n; ++r) {
+        const double factor = lu(r, k) / pivot_value;
+        lu(r, k) = factor;
+        if (factor == 0.0) continue;
+        for (size_t c = k + 1; c < n; ++c) lu(r, c) -= factor * lu(k, c);
+      }
+    }
+  }
+
+  /// The scalar substitution, same accumulation order as
+  /// LuFactorization::solve.
+  std::vector<double> solve(const std::vector<double>& b) const {
+    const size_t n = lu.rows();
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i) {
+      double acc = b[perm[i]];
+      for (size_t j = 0; j < i; ++j) acc -= lu(i, j) * x[j];
+      x[i] = acc;
+    }
+    for (size_t i = n; i-- > 0;) {
+      double acc = x[i];
+      for (size_t j = i + 1; j < n; ++j) acc -= lu(i, j) * x[j];
+      x[i] = acc / lu(i, i);
+    }
+    return x;
+  }
+
+  double determinant() const {
+    double det = sign;
+    for (size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+    return det;
+  }
+};
+
+std::vector<double> random_vector(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+/// Diagonally-dominated random matrix so every size factorizes without
+/// pivoting pathologies (pivot choices still get exercised by the
+/// off-diagonal noise).
+DenseMatrix random_system(size_t n, uint32_t seed) {
+  DenseMatrix m = random_matrix(n, n, seed, Pattern::kDense);
+  for (size_t i = 0; i < n; ++i) m(i, i) += double(n);
+  return m;
+}
+
+// Sizes straddling the kLuPanel = 64 boundary (64 = exactly one panel, 65 =
+// first trailing update, 130 = multiple panels with remainder). The solve and
+// determinant read the factors directly, so bitwise-equal outputs across
+// several RHS pin the factors themselves.
+TEST(BlockedLu, MatchesUnblockedReferenceBitwiseAcrossPanelBoundary) {
+  uint32_t seed = 601;
+  for (size_t n : {1UL, 2UL, 7UL, 8UL, 16UL, 33UL, 63UL, 64UL, 65UL, 100UL, 130UL}) {
+    const DenseMatrix a = random_system(n, seed++);
+    const LuFactorization blocked(a);
+    const ReferenceLu reference(a);
+    ASSERT_EQ(bits(blocked.determinant()), bits(reference.determinant())) << "n=" << n;
+    for (uint32_t rhs = 0; rhs < 3; ++rhs) {
+      const std::vector<double> b = random_vector(n, seed++);
+      const std::vector<double> got = blocked.solve(b);
+      const std::vector<double> want = reference.solve(b);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(bits(got[i]), bits(want[i])) << "n=" << n << " rhs=" << rhs << " i=" << i;
+      }
+    }
+  }
+}
+
+// solve_into's contract (lu.hh): column c of the batched result is
+// bit-identical to solve(column c). Covers the fixed-size substitution
+// (square n <= 15), the generic batched path (n > 15 and non-square RHS),
+// and the panel boundary.
+TEST(BlockedLu, MultiRhsSolveMatchesPerColumnScalarSolveBitwise) {
+  struct Case {
+    size_t n, m;
+  };
+  const Case cases[] = {{1, 1}, {5, 5}, {7, 7}, {8, 8}, {13, 13}, {15, 15},
+                        {16, 16}, {48, 48}, {65, 65}, {7, 3}, {15, 40}, {33, 5}};
+  uint32_t seed = 701;
+  for (const Case& c : cases) {
+    const LuFactorization lu(random_system(c.n, seed++));
+    const DenseMatrix rhs = random_matrix(c.n, c.m, seed++, Pattern::kSparse);
+    DenseMatrix x;
+    lu.solve_into(rhs, x);
+    ASSERT_EQ(x.rows(), c.n);
+    ASSERT_EQ(x.cols(), c.m);
+    for (size_t col = 0; col < c.m; ++col) {
+      std::vector<double> b(c.n);
+      for (size_t r = 0; r < c.n; ++r) b[r] = rhs(r, col);
+      const std::vector<double> want = lu.solve(b);
+      for (size_t r = 0; r < c.n; ++r) {
+        ASSERT_EQ(bits(x(r, col)), bits(want[r]))
+            << "n=" << c.n << " m=" << c.m << " col=" << col << " row=" << r;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gop::linalg

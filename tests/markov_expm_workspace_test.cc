@@ -1,0 +1,154 @@
+// Workspace pooling tests for the matrix exponential (docs/performance.md):
+// the "markov.expm_workspace_allocs" / "markov.expm_workspace_reuses"
+// counters, the zero-allocation steady state the counters summarize (proven
+// here directly with a counting global operator new), and bitwise identity
+// between the workspace overloads and the value-returning convenience
+// overloads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// The replaced operator new below is malloc-backed, so the replaced operator
+// delete frees with std::free — correct at runtime, but GCC's
+// -Wmismatched-new-delete heuristic flags every inlined new/delete pair in
+// this TU once it sees the malloc feeding a free.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+
+#include "linalg/dense_matrix.hh"
+#include "markov/matrix_exp.hh"
+#include "obs/registry.hh"
+
+namespace {
+
+// Binary-wide allocation counter, armed only around the measured region so
+// gtest's own bookkeeping doesn't pollute the count. Relaxed atomics: the
+// tests are single-threaded, the atomic just keeps the replacement legal if
+// anything else allocates concurrently.
+std::atomic<bool> g_counting{false};
+std::atomic<uint64_t> g_heap_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  note_allocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  note_allocation();
+  void* p = nullptr;
+  const std::size_t alignment = std::max(sizeof(void*), static_cast<std::size_t>(align));
+  if (posix_memalign(&p, alignment, size ? size : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace gop::markov {
+namespace {
+
+/// Diagonally-dominated random matrix; with t = 1 its inf-norm exceeds
+/// theta_13, so the scaling-and-squaring loop actually runs.
+linalg::DenseMatrix random_system(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.1, 1.0);
+  linalg::DenseMatrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m(r, c) = dist(rng) + (r == c ? double(n) : 0.0);
+  }
+  return m;
+}
+
+uint64_t allocs() { return obs::counter("markov.expm_workspace_allocs").get(); }
+uint64_t reuses() { return obs::counter("markov.expm_workspace_reuses").get(); }
+
+TEST(ExpmWorkspace, CountersRecordColdAllocThenSteadyReuse) {
+  const linalg::DenseMatrix a = random_system(7, 11);
+  ExpmWorkspace ws;
+
+  const uint64_t allocs_before = allocs();
+  matrix_exponential(a, 1.0, ws);
+  const uint64_t allocs_cold = allocs();
+  EXPECT_GT(allocs_cold, allocs_before) << "first use must grow the workspace";
+
+  const uint64_t reuses_before = reuses();
+  for (int i = 0; i < 5; ++i) matrix_exponential(a, 1.0, ws);
+  EXPECT_EQ(allocs(), allocs_cold) << "warm workspace must not allocate";
+  EXPECT_GE(reuses() - reuses_before, 5u) << "each warm call must tick the reuse counter";
+}
+
+TEST(ExpmWorkspace, ShrinkingDimensionReusesStorage) {
+  ExpmWorkspace ws;
+  matrix_exponential(random_system(12, 21), 1.0, ws);
+  const uint64_t allocs_large = allocs();
+  const uint64_t reuses_before = reuses();
+  matrix_exponential(random_system(7, 22), 1.0, ws);  // smaller fits in place
+  EXPECT_EQ(allocs(), allocs_large);
+  EXPECT_GT(reuses(), reuses_before);
+}
+
+// The property the counters summarize, proven at the allocator: once warm,
+// the whole pipeline — scale, Padé numerator/denominator, factorize, solve,
+// squarings — runs with zero trips to operator new.
+TEST(ExpmWorkspace, SteadyStateExpmIsAllocationFree) {
+  const linalg::DenseMatrix a = random_system(7, 31);
+  ExpmWorkspace ws;
+  matrix_exponential(a, 1.0, ws);
+  matrix_exponential(a, 1.0, ws);  // fully warm
+
+  g_heap_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 10; ++i) matrix_exponential(a, 1.0, ws);
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), 0u)
+      << "steady-state expm reached the heap";
+}
+
+TEST(ExpmWorkspace, WorkspaceOverloadMatchesValueOverloadBitwise) {
+  const linalg::DenseMatrix a = random_system(9, 41);
+  for (double t : {0.25, 1.0, 30.0}) {
+    const linalg::DenseMatrix value = matrix_exponential(a, t);
+    ExpmWorkspace ws;
+    const linalg::DenseMatrix& pooled = matrix_exponential(a, t, ws);
+    ASSERT_EQ(pooled.rows(), value.rows());
+    ASSERT_EQ(pooled.cols(), value.cols());
+    for (size_t r = 0; r < value.rows(); ++r) {
+      for (size_t c = 0; c < value.cols(); ++c) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(pooled(r, c)), std::bit_cast<uint64_t>(value(r, c)))
+            << "t=" << t << " (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gop::markov

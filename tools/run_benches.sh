@@ -8,27 +8,97 @@
 #   BENCH_sweep.json    — pointwise (per-measure) vs session-batched phi-sweep
 #                         (bench_sweep_batch; batched arm at 1/2/4/8 threads)
 #
-# Usage: tools/run_benches.sh [build-dir]      (default: build)
-# The build dir must already contain compiled bench binaries.
+# Usage: tools/run_benches.sh [options] [build-dir]
+#
+#   build-dir   build directory containing compiled bench binaries
+#               (default: build-relwithdebinfo if present, else build)
+#   --smoke     CI mode: bench_solver_perf only, one repetition, short
+#               min-time, JSON written into the build dir (never overwrites
+#               the committed BENCH_*.json files)
+#   --force     record results from a non-optimized (Debug) build anyway;
+#               the output JSON is tagged "measurement_build_type" so a
+#               debug-mode artifact can never masquerade as a release one
+#
+# Environment:
+#   GOP_BENCH_REPETITIONS   repetitions per benchmark (default 3); the
+#                           committed JSON keeps only the aggregate rows
+#                           (median/mean/stddev/cv), not individual reps
+#
+# Measurement protocol and how to read the results: docs/performance.md.
 
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${BUILD_DIR:-build}}"
+
+smoke=0
+force=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    --force) force=1 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+if [[ -z "$build_dir" ]]; then
+  if [[ -d "$root/build-relwithdebinfo" ]]; then
+    build_dir="build-relwithdebinfo"
+  else
+    build_dir="${BUILD_DIR:-build}"
+  fi
+fi
 bench_dir="$root/$build_dir/bench"
+repetitions="${GOP_BENCH_REPETITIONS:-3}"
+
+# --- build-type gate -------------------------------------------------------
+# Committed BENCH_*.json files must describe optimized code. The build type
+# comes from the build tree's CMake cache — the JSON's own
+# "library_build_type" key describes the google-benchmark *library* (on
+# distro packages it reports "debug" regardless of how this repo was built),
+# which is why the gate does not consult it.
+cache="$root/$build_dir/CMakeCache.txt"
+build_type="unknown"
+if [[ -f "$cache" ]]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache" | head -1)"
+  [[ -n "$build_type" ]] || build_type="unspecified"
+fi
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [[ "$force" -eq 1 ]]; then
+      echo "warning: build type '$build_type' is not an optimized configuration;" >&2
+      echo "warning: results will be tagged measurement_build_type=$build_type" >&2
+    else
+      echo "error: $build_dir has CMAKE_BUILD_TYPE='$build_type' — refusing to record" >&2
+      echo "error: benchmark results from a non-optimized build. Build the" >&2
+      echo "error: relwithdebinfo preset first:" >&2
+      echo "  cmake --preset relwithdebinfo && cmake --build --preset relwithdebinfo -j" >&2
+      echo "error: or pass --force to record tagged debug-mode results anyway." >&2
+      exit 1
+    fi
+    ;;
+esac
 
 # binary:output pairs; one loop checks, runs, and emits JSON for each suite.
-suites=(
-  "bench_solver_perf:BENCH_solver.json"
-  "bench_parallel_scaling:BENCH_scaling.json"
-  "bench_sweep_batch:BENCH_sweep.json"
-)
+if [[ "$smoke" -eq 1 ]]; then
+  suites=("bench_solver_perf:$build_dir/BENCH_smoke.json")
+  extra_flags=(--benchmark_min_time=0.05 --benchmark_repetitions=1)
+else
+  suites=(
+    "bench_solver_perf:BENCH_solver.json"
+    "bench_parallel_scaling:BENCH_scaling.json"
+    "bench_sweep_batch:BENCH_sweep.json"
+  )
+  extra_flags=(--benchmark_repetitions="$repetitions" --benchmark_report_aggregates_only=true)
+fi
 
 for suite in "${suites[@]}"; do
   binary="${suite%%:*}"
   if [[ ! -x "$bench_dir/$binary" ]]; then
     echo "error: $bench_dir/$binary not found; build first:" >&2
-    echo "  cmake -B $build_dir -S $root && cmake --build $build_dir -j" >&2
+    echo "  cmake --preset relwithdebinfo && cmake --build --preset relwithdebinfo -j" >&2
     exit 1
   fi
 done
@@ -38,53 +108,81 @@ for suite in "${suites[@]}"; do
   binary="${suite%%:*}"
   out="$root/${suite##*:}"
   echo "== $binary -> ${suite##*:}"
-  "$bench_dir/$binary" --benchmark_out="$out" --benchmark_out_format=json
+  "$bench_dir/$binary" --benchmark_out="$out" --benchmark_out_format=json "${extra_flags[@]}"
   outputs+=("$out")
 done
 
-# Summaries straight from the JSON this run just wrote: per-family speedup vs
-# 1 thread (scaling suite) and the pointwise-vs-batched sweep comparison.
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$root/BENCH_scaling.json" "$root/BENCH_sweep.json" <<'PY'
+# --- post-process + summarize ---------------------------------------------
+# Stamp every output with the build type of the code under test (the
+# misleading library_build_type is left in place but demoted by the new key),
+# then print the scaling/sweep summaries from the aggregate rows.
+python3 - "$build_type" "${outputs[@]}" <<'PY'
 import json, sys
 from collections import defaultdict
 
+build_type = sys.argv[1]
+paths = sys.argv[2:]
 
-def benchmarks(path):
+
+def load(path):
     with open(path) as fh:
-        return json.load(fh).get("benchmarks", [])
+        return json.load(fh)
 
 
-# Speedup vs 1 thread, per benchmark family (name form BM_Family/threads/...).
-families = defaultdict(dict)
-for b in benchmarks(sys.argv[1]):
-    parts = b["name"].split("/")
-    if len(parts) >= 2 and parts[1].isdigit():
-        families[parts[0]][int(parts[1])] = b["real_time"]
+def median_rows(doc):
+    """name -> real_time using median aggregates, or plain rows if no reps."""
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                rows[b["run_name"]] = b["real_time"]
+        elif b.get("run_type", "iteration") == "iteration":
+            rows.setdefault(b["name"], b["real_time"])
+    return rows
 
-print("\nspeedup vs 1 thread (wall clock):")
-for family, times in sorted(families.items()):
-    if 1 not in times:
-        continue
-    row = "  ".join(f"{t}T: {times[1] / times[t]:.2f}x" for t in sorted(times))
-    print(f"  {family:<20} {row}")
 
-# Single-thread win of the session pipeline and the batched arm's scaling.
-pointwise = None
-batched = {}
-for b in benchmarks(sys.argv[2]):
-    parts = b["name"].split("/")
-    if parts[0] == "BM_SweepPerMeasure41":
-        pointwise = b["real_time"]
-    elif parts[0] == "BM_SweepBatched41" and len(parts) > 1 and parts[1].isdigit():
-        batched[int(parts[1])] = b["real_time"]
+docs = {}
+for path in paths:
+    doc = load(path)
+    ctx = doc.setdefault("context", {})
+    # gop_build_type is injected by the binary itself (bench_support); the
+    # script-level stamp also covers binaries built before that existed.
+    ctx["measurement_build_type"] = build_type
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    docs[path] = doc
 
-if pointwise is not None and batched:
-    print("\npointwise (per-measure) vs session-batched 41-point sweep:")
-    print(f"  pointwise 1T: {pointwise:.2f} ms")
-    for t in sorted(batched):
-        print(f"  batched  {t}T: {batched[t]:.2f} ms  ({pointwise / batched[t]:.2f}x vs pointwise)")
+scaling = next((p for p in paths if "scaling" in p.lower()), None)
+sweep = next((p for p in paths if "sweep" in p.lower()), None)
+
+if scaling:
+    families = defaultdict(dict)
+    for name, rt in median_rows(docs[scaling]).items():
+        parts = name.split("/")
+        if len(parts) >= 2 and parts[1].isdigit():
+            families[parts[0]][int(parts[1])] = rt
+    print("\nspeedup vs 1 thread (wall clock, medians):")
+    for family, times in sorted(families.items()):
+        if 1 not in times:
+            continue
+        row = "  ".join(f"{t}T: {times[1] / times[t]:.2f}x" for t in sorted(times))
+        print(f"  {family:<20} {row}")
+
+if sweep:
+    pointwise = None
+    batched = {}
+    for name, rt in median_rows(docs[sweep]).items():
+        parts = name.split("/")
+        if parts[0] == "BM_SweepPerMeasure41":
+            pointwise = rt
+        elif parts[0] == "BM_SweepBatched41" and len(parts) > 1 and parts[1].isdigit():
+            batched[int(parts[1])] = rt
+    if pointwise is not None and batched:
+        print("\npointwise (per-measure) vs session-batched 41-point sweep (medians):")
+        print(f"  pointwise 1T: {pointwise:.2f} ms")
+        for t in sorted(batched):
+            print(f"  batched  {t}T: {batched[t]:.2f} ms  ({pointwise / batched[t]:.2f}x vs pointwise)")
 PY
-fi
 
 echo "done: ${outputs[*]}"
