@@ -1,8 +1,11 @@
 // Solver performance comparison (google-benchmark): the engines behind the
-// constituent-measure solutions. Shows why the library defaults to the dense
-// matrix exponential for the paper's stiff horizons and keeps uniformization
-// for the non-stiff regime, and what a Monte Carlo estimate costs relative
-// to the numerical solution.
+// constituent-measure solutions. Shows why the SolverPlan defaults to the
+// dense matrix exponential for the paper's stiff horizons, keeps
+// uniformization for the non-stiff regime and Krylov expm·v for chains too
+// large to densify, and what a Monte Carlo estimate costs relative to the
+// numerical solution. The BM_*_LargeSparse arms run a ~2.6e5-state random
+// SAN through the sparse engines at macro-bench (single-iteration)
+// resolution.
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +19,7 @@
 #include "markov/matrix_exp.hh"
 #include "markov/steady_state.hh"
 #include "markov/transient.hh"
+#include "san/random_model.hh"
 #include "san/simulator.hh"
 #include "san/state_space.hh"
 
@@ -72,6 +76,70 @@ void BM_Transient_Uniformization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Transient_Uniformization)->Arg(1)->Arg(100);
+
+void BM_Transient_Krylov(benchmark::State& state) {
+  const core::RmNd nd = core::build_rm_nd(table3(), table3().mu_new);
+  const san::GeneratedChain chain = san::generate_state_space(nd.model);
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kKrylov;
+  // Same arguments as the uniformization arm above: at t = 100 h the chain is
+  // already ~2.4e5 DTMC steps deep, the regime where the adaptive Krylov
+  // sub-stepping starts paying for itself on chains too big to densify.
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::transient_distribution(chain.ctmc(), t, options));
+  }
+}
+BENCHMARK(BM_Transient_Krylov)->Arg(1)->Arg(100);
+
+/// The san_large_sparse_test chain (~2.6e5 states, seeded, deterministic):
+/// built once and shared by every large-arm iteration; generation itself is
+/// measured separately by BM_StateSpaceGeneration_LargeSparse.
+const san::GeneratedChain& large_sparse_chain() {
+  static const san::GeneratedChain* chain = [] {
+    san::RandomModelOptions options;
+    options.min_places = options.max_places = 10;
+    options.min_activities = options.max_activities = 20;
+    options.max_cases = 2;
+    options.place_capacity = 3;
+    const san::SanModel model = san::random_san(1, options);
+    return new san::GeneratedChain(san::generate_state_space(model));
+  }();
+  return *chain;
+}
+
+void BM_StateSpaceGeneration_LargeSparse(benchmark::State& state) {
+  san::RandomModelOptions options;
+  options.min_places = options.max_places = 10;
+  options.min_activities = options.max_activities = 20;
+  options.max_cases = 2;
+  options.place_capacity = 3;
+  const san::SanModel model = san::random_san(1, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(san::generate_state_space(model).state_count());
+  }
+}
+BENCHMARK(BM_StateSpaceGeneration_LargeSparse)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The >= 1e5-state sparse arm: one transient solve at Lambda*t ~ 47 through
+// each sparse engine the SolverPlan can pick at this size. Seconds per solve,
+// so a single iteration per repetition — macro-bench resolution is enough to
+// track the engines' relative cost across PRs.
+void BM_Transient_LargeSparse(benchmark::State& state) {
+  const san::GeneratedChain& chain = large_sparse_chain();
+  markov::TransientOptions options;
+  options.method = static_cast<markov::TransientMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::transient_distribution(chain.ctmc(), 1.0, options));
+  }
+}
+BENCHMARK(BM_Transient_LargeSparse)
+    ->Arg(static_cast<int>(markov::TransientMethod::kUniformization))
+    ->Arg(static_cast<int>(markov::TransientMethod::kKrylov))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SteadyState(benchmark::State& state) {
   const core::RmGp gp = core::build_rm_gp(table3());

@@ -147,6 +147,32 @@ std::vector<Scenario> build_scenarios() {
                                             res.certificate.degraded, res.certificate.engine};
                        }});
 
+  scenarios.push_back({"rmnd.transient.krylov", [params, phi] {
+                         RmNd rm = build_rm_nd(params, params.mu_new);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_no_failure());
+                         markov::TransientOptions options;
+                         options.method = markov::TransientMethod::kKrylov;
+                         markov::TransientResult res =
+                             markov::transient_distribution_checked(chain.ctmc(), phi, options);
+                         return ScenarioRun{linalg::dot(res.distribution, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
+  scenarios.push_back({"rmnd.accumulated.krylov", [params, phi] {
+                         RmNd rm = build_rm_nd(params, params.mu_old);
+                         san::GeneratedChain chain = san::generate_state_space(rm.model);
+                         const std::vector<double> reward =
+                             chain.rate_reward_vector(rm.reward_no_failure());
+                         markov::AccumulatedOptions options;
+                         options.method = markov::AccumulatedMethod::kKrylov;
+                         markov::AccumulatedResult res =
+                             markov::accumulated_occupancy_checked(chain.ctmc(), phi, options);
+                         return ScenarioRun{linalg::dot(res.occupancy, reward),
+                                            res.certificate.degraded, res.certificate.engine};
+                       }});
+
   scenarios.push_back({"rmgp.steady", [params] {
                          RmGp rm = build_rm_gp(params);
                          san::GeneratedChain chain = san::generate_state_space(rm.model);

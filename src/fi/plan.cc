@@ -23,6 +23,8 @@ constexpr std::array<SiteInfo, kSiteCount> kSites = {{
     {"markov.expm.scaling_overflow", "the Pade scaling-and-squaring setup overflows"},
     {"markov.steady_state.stall", "the steady-state convergence measure never drops"},
     {"san.state_space.probe_exhausted", "reachability exploration exhausts its probe budget"},
+    {"markov.krylov.breakdown", "the Arnoldi next-vector norm reads as a spurious breakdown"},
+    {"markov.krylov.iterate_nan", "the accepted Krylov sub-step iterate acquires a NaN entry"},
 }};
 
 /// All mutable injection state. The plan itself is written only by

@@ -47,9 +47,16 @@ enum class SiteId : uint32_t {
   /// san.state_space.probe_exhausted — reachability exploration reports its
   /// probe budget exhausted (state-space explosion model); throws ModelError.
   kStateSpaceProbeExhausted,
+  /// markov.krylov.breakdown — the Arnoldi next-vector norm is forced to
+  /// exactly zero, signalling a spurious invariant subspace; the truncated
+  /// basis yields a wrong iterate the mass check must catch.
+  kKrylovBreakdown,
+  /// markov.krylov.iterate_nan — the accepted Krylov sub-step iterate
+  /// acquires a NaN entry (corrupted combination model).
+  kKrylovIterateNan,
 };
 
-inline constexpr size_t kSiteCount = 10;
+inline constexpr size_t kSiteCount = 12;
 
 /// The stable dotted identifier ("linalg.lu.pivot_breakdown", ...).
 const char* to_string(SiteId site);

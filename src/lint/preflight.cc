@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "markov/fox_glynn.hh"
+#include "markov/krylov.hh"
+#include "markov/solver_plan.hh"
 #include "markov/uniformization.hh"
 #include "san/lint.hh"
 #include "util/strings.hh"
@@ -35,6 +37,54 @@ double check_time_grid(std::span<const double> times, const std::string& model_n
                "filter the grid before solving");
   }
   return t_max;
+}
+
+/// PRE006..PRE008 for a Krylov expv run: the plan resolved kKrylov, so
+/// predict the refusals of markov::krylov_expv before it runs.
+void check_krylov(const markov::SolverPlan& plan, const markov::KrylovOptions& krylov,
+                  const std::string& model_name, const PreflightOptions& preflight,
+                  Report& report) {
+  if (krylov.basis_dimension < 2) {
+    report.add("PRE006", Severity::kError, model_name, "",
+               str_format("Krylov basis dimension = %zu: the Arnoldi process needs at least 2 "
+                          "vectors to form the local error estimate",
+                          krylov.basis_dimension),
+               "use the default basis dimension (30) or anything >= 2");
+  } else if (krylov.basis_dimension > plan.states) {
+    report.add("PRE006", Severity::kInfo, model_name, "",
+               str_format("Krylov basis dimension = %zu exceeds the chain dimension %zu; the "
+                          "solver clamps the basis to n and the action becomes exact",
+                          krylov.basis_dimension, plan.states),
+               "");
+  }
+
+  if (!(krylov.tolerance > 0.0 && krylov.tolerance < 1.0) || !std::isfinite(krylov.tolerance)) {
+    report.add("PRE007", Severity::kError, model_name, "",
+               str_format("Krylov tolerance = %g is outside (0, 1): at or below 0 no sub-step "
+                          "is ever accepted (the budget is exhausted); at or above 1 every "
+                          "sub-step is accepted regardless of its error",
+                          krylov.tolerance),
+               "use a tolerance in (0, 1), e.g. the default 1e-12");
+  } else if (krylov.tolerance < preflight.min_epsilon) {
+    report.add("PRE007", Severity::kWarning, model_name, "",
+               str_format("Krylov tolerance = %g is below double precision (~%g); tighter "
+                          "budgets only shrink the sub-steps, not the error",
+                          krylov.tolerance, preflight.min_epsilon),
+               "budgets tighter than ~1e-15 add sub-steps without adding accuracy");
+  }
+
+  // Each accepted sub-step advances roughly basis_dimension units of
+  // Lambda*t, so Lambda*t / basis is a low estimate of the sub-steps needed.
+  const double basis = static_cast<double>(std::max<size_t>(krylov.basis_dimension, 1));
+  if (plan.lambda_t / basis > static_cast<double>(krylov.max_substeps)) {
+    report.add("PRE008", Severity::kWarning, model_name, "",
+               str_format("Krylov sub-step budget %zu looks too small for Lambda*t = %.3g with a "
+                          "basis of %zu (estimate ~%.3g sub-steps); the solve would throw after "
+                          "exhausting the budget",
+                          krylov.max_substeps, plan.lambda_t, krylov.basis_dimension,
+                          plan.lambda_t / basis),
+               "raise KrylovOptions::max_substeps or widen the basis");
+  }
 }
 
 /// PRE002..PRE005 for a uniformization run to horizon `t_max`.
@@ -100,9 +150,11 @@ Report preflight_transient(const markov::Ctmc& chain, std::span<const double> ti
   Report report;
   const double t_max = check_time_grid(times, model_name, report);
   if (t_max < 0.0) return report;
-  if (markov::resolve_transient_method(chain, t_max, options) ==
-      markov::TransientMethod::kUniformization) {
+  const markov::SolverPlan plan = markov::plan_transient(chain, t_max, options);
+  if (plan.transient == markov::TransientMethod::kUniformization) {
     check_uniformization(chain, t_max, options.uniformization, model_name, preflight, report);
+  } else if (plan.transient == markov::TransientMethod::kKrylov) {
+    check_krylov(plan, options.krylov, model_name, preflight, report);
   }
   return report;
 }
@@ -113,9 +165,11 @@ Report preflight_accumulated(const markov::Ctmc& chain, std::span<const double> 
   Report report;
   const double t_max = check_time_grid(times, model_name, report);
   if (t_max < 0.0) return report;
-  if (markov::resolve_accumulated_method(chain, t_max, options) ==
-      markov::AccumulatedMethod::kUniformization) {
+  const markov::SolverPlan plan = markov::plan_accumulated(chain, t_max, options);
+  if (plan.accumulated == markov::AccumulatedMethod::kUniformization) {
     check_uniformization(chain, t_max, options.uniformization, model_name, preflight, report);
+  } else if (plan.accumulated == markov::AccumulatedMethod::kKrylov) {
+    check_krylov(plan, options.krylov, model_name, preflight, report);
   }
   return report;
 }

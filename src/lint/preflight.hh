@@ -3,11 +3,13 @@
 /// \file preflight.hh
 /// Layer-3 solver preflight: predicts, before any solver runs, whether the
 /// requested (chain, time grid, options) combination will be refused, slow,
-/// or numerically fragile. Each check mirrors the corresponding dispatcher
-/// (markov::resolve_transient_method and friends) so the verdict is about
-/// the engine that would actually run. The PerformabilityAnalyzer runs these
-/// on every evaluate()/evaluate_batch() grid when preflight is enabled,
-/// failing fast with a diagnostic instead of NaNs or a deep solver throw.
+/// or numerically fragile. Each family computes the same markov::SolverPlan
+/// the dispatcher will compute (markov::plan_transient and friends) and
+/// checks the engine that plan actually selects — the plan is the single
+/// home of the kAuto cutoffs, so preflight mirrors it instead of
+/// re-implementing it. The PerformabilityAnalyzer runs these on every
+/// evaluate()/evaluate_batch() grid when preflight is enabled, failing fast
+/// with a diagnostic instead of NaNs or a deep solver throw.
 ///
 /// Check codes (full catalog: docs/static-analysis.md):
 ///   PRE001 error   invalid time grid (negative, NaN or infinite entries)
@@ -25,6 +27,14 @@
 ///   PRE005 warning Fox-Glynn epsilon below what double precision honours
 ///                  (error when below markov::kMinPoissonEpsilon, where the
 ///                  solver refuses the window outright)
+///   PRE006 error/  Krylov basis dimension under 2 cannot form the Arnoldi
+///          info    error estimate (error); a basis wider than the chain is
+///                  silently clamped to n (info)
+///   PRE007 error/  Krylov tolerance outside (0, 1) or non-finite: either no
+///          warning sub-step is ever accepted or every one is (error); below
+///                  double precision it only adds sub-steps (warning)
+///   PRE008 warning Krylov sub-step budget looks too small for Lambda*t:
+///                  the solve would throw after max_substeps
 
 #include <span>
 #include <string>

@@ -2,6 +2,7 @@
 
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
+#include "markov/solver_plan.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
 
@@ -9,13 +10,7 @@ namespace gop::markov {
 
 AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
                                              const AccumulatedOptions& options) {
-  if (options.method != AccumulatedMethod::kAuto) return options.method;
-  const double lambda_t = chain.max_exit_rate() * t;
-  if (chain.state_count() <= options.auto_dense_max_states) {
-    return AccumulatedMethod::kAugmentedExponential;
-  }
-  (void)lambda_t;
-  return AccumulatedMethod::kUniformization;
+  return plan_accumulated(chain, t, options).accumulated;
 }
 
 namespace {
@@ -61,14 +56,15 @@ std::vector<double> occupancy_by_augmented_exponential(const Ctmc& chain, double
 
 /// One dispatcher-level event per accumulated_occupancy call; see the
 /// transient dispatcher for the rationale.
-[[gnu::cold]] [[gnu::noinline]] void record_accumulated_event(const Ctmc& chain, double t,
+[[gnu::cold]] [[gnu::noinline]] void record_accumulated_event(const SolverPlan& plan, double t,
                                                               const char* method) {
   obs::SolverEvent event;
   event.kind = obs::SolverEventKind::kAccumulated;
   event.method = method;
-  event.states = chain.state_count();
+  event.storage = to_string(plan.storage);
+  event.states = plan.states;
   event.t = t;
-  event.lambda_t = chain.max_exit_rate() * t;
+  event.lambda_t = plan.lambda_t;
   obs::record_event(std::move(event));
 }
 
@@ -77,22 +73,26 @@ std::vector<double> accumulated_dispatch(const Ctmc& chain, double t,
                                          AccumulatedWorkspace* aws) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   GOP_OBS_SPAN("markov.accumulated");
+  const SolverPlan plan = plan_accumulated(chain, t, options);
   if (t == 0.0) {
-    if (obs::enabled()) record_accumulated_event(chain, t, "initial");
+    if (obs::enabled()) record_accumulated_event(plan, t, "initial");
     return std::vector<double>(chain.state_count(), 0.0);
   }
 
-  switch (resolve_accumulated_method(chain, t, options)) {
+  switch (plan.accumulated) {
     case AccumulatedMethod::kAugmentedExponential: {
-      if (obs::enabled()) record_accumulated_event(chain, t, "augmented-expm");
+      if (obs::enabled()) record_accumulated_event(plan, t, "augmented-expm");
       if (aws != nullptr) return occupancy_by_augmented_exponential(chain, t, aws, aws->expm);
       ExpmWorkspace fallback;
       return occupancy_by_augmented_exponential(
           chain, t, nullptr, detail::pooled_expm_workspace(2 * chain.state_count(), fallback));
     }
     case AccumulatedMethod::kUniformization:
-      if (obs::enabled()) record_accumulated_event(chain, t, "uniformization");
+      if (obs::enabled()) record_accumulated_event(plan, t, "uniformization");
       return uniformized_accumulated_occupancy(chain, t, options.uniformization);
+    case AccumulatedMethod::kKrylov:
+      if (obs::enabled()) record_accumulated_event(plan, t, "krylov-augmented");
+      return krylov_accumulated_occupancy(chain, t, options.krylov);
     case AccumulatedMethod::kAuto:
       break;
   }

@@ -15,6 +15,7 @@
 
 #include "linalg/dense_matrix.hh"
 #include "markov/ctmc.hh"
+#include "markov/krylov.hh"
 #include "markov/matrix_exp.hh"
 #include "markov/uniformization.hh"
 
@@ -24,18 +25,24 @@ enum class AccumulatedMethod {
   kAuto,
   kAugmentedExponential,
   kUniformization,
+  /// One Krylov action of the sparse augmented operator [[Q^T, 0], [I, 0]]
+  /// (krylov.hh): the large-and-stiff counterpart of kAugmentedExponential.
+  kKrylov,
 };
 
 struct AccumulatedOptions {
   AccumulatedMethod method = AccumulatedMethod::kAuto;
   UniformizationOptions uniformization;
+  KrylovOptions krylov;
+  /// kAuto picks uniformization for large chains only while Lambda*t stays
+  /// below this; beyond it the Krylov engine takes over.
   double auto_stiffness_cutoff = 1e5;
   size_t auto_dense_max_states = 2048;
 };
 
-/// The engine the dispatcher would run for (chain, t). Exposed for the
-/// session layer (session.hh); for kAuto the choice depends only on the chain
-/// size, never on t.
+/// The engine the dispatcher would run for (chain, t): a thin wrapper over
+/// plan_accumulated (solver_plan.hh), where the kAuto cutoff logic lives.
+/// For kAuto the choice depends on the chain size *and* on Lambda*t.
 AccumulatedMethod resolve_accumulated_method(const Ctmc& chain, double t,
                                              const AccumulatedOptions& options);
 

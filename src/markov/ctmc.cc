@@ -35,6 +35,10 @@ bool Ctmc::is_absorbing(size_t state) const {
 }
 
 linalg::DenseMatrix Ctmc::generator_dense() const {
+  GOP_CHECK_NUMERIC(state_count_ <= kDenseGeneratorStateLimit,
+                    "dense generator materialization refused: the chain exceeds "
+                    "Ctmc::kDenseGeneratorStateLimit states; use a sparse engine "
+                    "(uniformization or Krylov)");
   linalg::DenseMatrix q = rates_.to_dense();
   for (size_t s = 0; s < state_count_; ++s) q(s, s) -= exit_rates_[s];
   return q;

@@ -49,8 +49,16 @@ class Ctmc {
   /// True when the state has no outgoing (non-self-loop) transitions.
   bool is_absorbing(size_t state) const;
 
+  /// Largest chain for which generator_dense() will materialize Q: a
+  /// 16384-state dense generator is 2 GiB. Above the limit the sparse
+  /// engines (uniformization, Krylov) are the only sane path, so
+  /// generator_dense() throws gop::NumericalError — which the recovery
+  /// ladder absorbs — instead of letting the allocator OOM the process.
+  static constexpr size_t kDenseGeneratorStateLimit = 16384;
+
   /// Dense generator Q (for the direct solvers; fine at this library's model
-  /// sizes).
+  /// sizes). Throws gop::NumericalError when the chain exceeds
+  /// kDenseGeneratorStateLimit states.
   linalg::DenseMatrix generator_dense() const;
 
   /// Returns a copy of this chain with a different initial distribution.

@@ -1,10 +1,13 @@
 #include "markov/krylov.hh"
 
 #include <cmath>
+#include <limits>
 
+#include "fi/fi.hh"
 #include "linalg/dense_matrix.hh"
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
+#include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
 
@@ -41,7 +44,8 @@ ArnoldiResult arnoldi(const linalg::CsrMatrix& a, const std::vector<double>& v0,
         result.h(i, j) += coefficient;
       }
     }
-    const double next_norm = norm2(w);
+    double next_norm = norm2(w);
+    if (GOP_FI_POINT(fi::SiteId::kKrylovBreakdown)) next_norm = 0.0;
     result.h(j + 1, j) = next_norm;
     result.dimension = j + 1;
     if (next_norm <= 1e-14) {
@@ -52,6 +56,21 @@ ArnoldiResult arnoldi(const linalg::CsrMatrix& a, const std::vector<double>& v0,
     result.basis.push_back(std::move(w));
   }
   return result;
+}
+
+/// One event per krylov_expv call: how many sub-steps the adaptive loop took
+/// for the horizon. Cold + noinline for the same I-cache reason as the
+/// dispatcher-level recorders (transient.cc).
+[[gnu::cold]] [[gnu::noinline]] void record_krylov_event(size_t n, double t, size_t substeps,
+                                                         size_t basis) {
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kKrylovPass;
+  event.method = "krylov-expv";
+  event.states = n;
+  event.t = t;
+  event.iterations = substeps;
+  event.fox_glynn_right = basis;  // reused slot: Arnoldi basis dimension
+  obs::record_event(std::move(event));
 }
 
 }  // namespace
@@ -98,6 +117,10 @@ std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
       const double residual =
           krylov.happy_breakdown ? 0.0 : krylov.h(k, k - 1) * std::abs(f(k - 1, 0));
       const double error_estimate = beta * residual * tau;
+      // A NaN iterate poisons the estimate; halving tau forever cannot fix
+      // it, so refuse here instead of spinning in the step-size loop.
+      GOP_CHECK_NUMERIC(std::isfinite(error_estimate),
+                        "krylov_expv local error estimate is not finite");
 
       if (error_estimate <= options.tolerance * std::max(beta, 1.0) || tau <= remaining * 1e-12) {
         // Accept: w = beta * V_k (F e_1).
@@ -106,6 +129,9 @@ std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
           linalg::axpy(beta * f(i, 0), krylov.basis[i], combination);
         }
         w = std::move(combination);
+        if (GOP_FI_POINT(fi::SiteId::kKrylovIterateNan)) {
+          w[0] = std::numeric_limits<double>::quiet_NaN();
+        }
         remaining -= tau;
         tau *= 1.3;  // optimistic growth, halved again on the next rejection
         break;
@@ -113,11 +139,11 @@ std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
       tau *= 0.5;
     }
   }
+  if (obs::enabled()) record_krylov_event(n, t, substeps, m);
   return w;
 }
 
-std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
-                                                  const KrylovOptions& options) {
+linalg::CsrMatrix krylov_transposed_generator(const Ctmc& chain) {
   // pi(t)^T = pi(0)^T exp(Q t)  <=>  pi(t) = exp(Q^T t) pi(0).
   linalg::CooBuilder builder(chain.state_count(), chain.state_count());
   const linalg::CsrMatrix& rates = chain.rate_matrix();
@@ -127,7 +153,72 @@ std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
       builder.add(rates.col_idx()[kk], s, rates.values()[kk]);  // transposed
     }
   }
-  return krylov_expv(builder.build(), t, chain.initial_distribution(), options);
+  return builder.build();
+}
+
+linalg::CsrMatrix krylov_augmented_transposed_generator(const Ctmc& chain) {
+  // B = [[Q^T, 0], [I, 0]]: nnz(Q) + n entries — never a dense 2n x 2n block.
+  const size_t n = chain.state_count();
+  linalg::CooBuilder builder(2 * n, 2 * n);
+  const linalg::CsrMatrix& rates = chain.rate_matrix();
+  for (size_t s = 0; s < n; ++s) {
+    if (chain.exit_rates()[s] != 0.0) builder.add(s, s, -chain.exit_rates()[s]);
+    for (size_t kk = rates.row_ptr()[s]; kk < rates.row_ptr()[s + 1]; ++kk) {
+      builder.add(rates.col_idx()[kk], s, rates.values()[kk]);  // transposed
+    }
+    builder.add(n + s, s, 1.0);  // dL_s/dt = pi_s
+  }
+  return builder.build();
+}
+
+std::vector<double> krylov_transient_distribution(const Ctmc& chain,
+                                                  const linalg::CsrMatrix& transposed, double t,
+                                                  const KrylovOptions& options) {
+  GOP_REQUIRE(transposed.rows() == chain.state_count() &&
+                  transposed.cols() == chain.state_count(),
+              "transposed generator dimension mismatch");
+  std::vector<double> pi = krylov_expv(transposed, t, chain.initial_distribution(), options);
+  double mass = 0.0;
+  for (double x : pi) mass += x;
+  // The generator conserves probability exactly; the Krylov approximation may
+  // drift by its tolerance, never by the slack. Anything larger (a spurious
+  // breakdown, a corrupted iterate) must surface as a refusal the recovery
+  // ladder can act on — never as a silently wrong distribution.
+  GOP_CHECK_NUMERIC(std::abs(mass - 1.0) <= options.mass_check_slack,
+                    "krylov transient distribution does not conserve probability mass");
+  return pi;
+}
+
+std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
+                                                  const KrylovOptions& options) {
+  return krylov_transient_distribution(chain, krylov_transposed_generator(chain), t, options);
+}
+
+std::vector<double> krylov_accumulated_occupancy(const Ctmc& chain,
+                                                 const linalg::CsrMatrix& augmented, double t,
+                                                 const KrylovOptions& options) {
+  const size_t n = chain.state_count();
+  GOP_REQUIRE(augmented.rows() == 2 * n && augmented.cols() == 2 * n,
+              "augmented transposed generator dimension mismatch");
+  std::vector<double> state(2 * n, 0.0);
+  const std::vector<double>& pi0 = chain.initial_distribution();
+  for (size_t s = 0; s < n; ++s) state[s] = pi0[s];
+
+  const std::vector<double> evolved = krylov_expv(augmented, t, state, options);
+  std::vector<double> occupancy(evolved.begin() + static_cast<ptrdiff_t>(n), evolved.end());
+  double mass = 0.0;
+  for (double x : occupancy) mass += x;
+  // Occupancies distribute exactly t across the states; see the transient
+  // wrapper above for why a violation must throw rather than return.
+  GOP_CHECK_NUMERIC(std::abs(mass - t) <= options.mass_check_slack * std::max(1.0, t),
+                    "krylov accumulated occupancy does not conserve time");
+  return occupancy;
+}
+
+std::vector<double> krylov_accumulated_occupancy(const Ctmc& chain, double t,
+                                                 const KrylovOptions& options) {
+  return krylov_accumulated_occupancy(chain, krylov_augmented_transposed_generator(chain), t,
+                                      options);
 }
 
 }  // namespace gop::markov

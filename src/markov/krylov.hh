@@ -6,13 +6,13 @@
 /// dimension projects A onto a small Hessenberg matrix whose dense
 /// exponential is cheap; adaptive sub-stepping controls the error. This is
 /// the transient engine for chains too large for dense n^3 work but too
-/// stiff for plain uniformization.
+/// stiff for plain uniformization — dispatched as TransientMethod::kKrylov /
+/// AccumulatedMethod::kKrylov by the SolverPlan layer (solver_plan.hh).
 
 #include <vector>
 
 #include "linalg/csr_matrix.hh"
 #include "markov/ctmc.hh"
-#include "markov/transient.hh"
 
 namespace gop::markov {
 
@@ -23,15 +23,49 @@ struct KrylovOptions {
   double tolerance = 1e-12;
   /// Safety cap on sub-steps.
   size_t max_substeps = 100'000;
+  /// Mass-conservation slack for the CTMC wrappers below: a transient
+  /// distribution must sum to 1 within this, an occupancy to t within
+  /// slack * max(1, t). Violations raise gop::NumericalError (never a silent
+  /// wrong answer), which the recovery ladder turns into an engine fallback.
+  double mass_check_slack = 1e-6;
 };
 
 /// Computes w = exp(t A) v for a square sparse A.
 std::vector<double> krylov_expv(const linalg::CsrMatrix& a, double t,
                                 const std::vector<double>& v, const KrylovOptions& options = {});
 
+/// Q^T as a CSR matrix (diagonal included): the operator krylov_expv acts
+/// with for transient solves. Exposed so the session layer builds it once per
+/// grid; the entries are identical however often it is rebuilt, so sharing it
+/// preserves bit-identity with the pointwise wrapper.
+linalg::CsrMatrix krylov_transposed_generator(const Ctmc& chain);
+
+/// The augmented operator B = [[Q^T, 0], [I, 0]] (2n x 2n, sparse): with
+/// d/dt [pi; L] = B [pi; L], one exp(t B) action on [pi(0); 0] yields the
+/// accumulated occupancy L(t) in the second half — the sparse counterpart of
+/// the dense augmented-generator exponential (accumulated.hh).
+linalg::CsrMatrix krylov_augmented_transposed_generator(const Ctmc& chain);
+
 /// Transient CTMC distribution via Krylov: pi(t)^T = pi(0)^T exp(Q t), i.e.
-/// krylov_expv on Q^T.
+/// krylov_expv on Q^T. Validates mass conservation (see
+/// KrylovOptions::mass_check_slack).
 std::vector<double> krylov_transient_distribution(const Ctmc& chain, double t,
                                                   const KrylovOptions& options = {});
+
+/// Same, acting with a prebuilt krylov_transposed_generator(chain) — the
+/// session grid loop's entry point; bit-identical to the overload above.
+std::vector<double> krylov_transient_distribution(const Ctmc& chain,
+                                                  const linalg::CsrMatrix& transposed, double t,
+                                                  const KrylovOptions& options = {});
+
+/// Accumulated occupancy L(t) via one Krylov action of the augmented
+/// operator. Validates time conservation (sum L = t within the slack).
+std::vector<double> krylov_accumulated_occupancy(const Ctmc& chain, double t,
+                                                 const KrylovOptions& options = {});
+
+/// Same, acting with a prebuilt krylov_augmented_transposed_generator(chain).
+std::vector<double> krylov_accumulated_occupancy(const Ctmc& chain,
+                                                 const linalg::CsrMatrix& augmented, double t,
+                                                 const KrylovOptions& options = {});
 
 }  // namespace gop::markov

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "markov/fox_glynn.hh"
+#include "markov/solver_plan.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
 
@@ -15,6 +16,7 @@ const char* engine_name(TransientMethod method) {
   switch (method) {
     case TransientMethod::kUniformization: return "uniformization";
     case TransientMethod::kMatrixExponential: return "pade-expm";
+    case TransientMethod::kKrylov: return "krylov-expv";
     case TransientMethod::kAuto: break;
   }
   throw InternalError("unresolved transient method in recovery ladder");
@@ -24,6 +26,7 @@ const char* engine_name(AccumulatedMethod method) {
   switch (method) {
     case AccumulatedMethod::kUniformization: return "uniformization";
     case AccumulatedMethod::kAugmentedExponential: return "augmented-expm";
+    case AccumulatedMethod::kKrylov: return "krylov-augmented";
     case AccumulatedMethod::kAuto: break;
   }
   throw InternalError("unresolved accumulated method in recovery ladder");
@@ -67,6 +70,88 @@ namespace detail {
   obs::record_event(std::move(event));
 }
 
+std::vector<TransientMethod> transient_ladder(const SolverPlan& plan,
+                                              const TransientOptions& options,
+                                              const RecoveryPolicy& policy) {
+  const TransientMethod primary = plan.transient;
+  std::vector<TransientMethod> ladder{primary};
+  if (!policy.allow_engine_fallback) return ladder;
+  // A dense O(n^3) rung is no rescue for a chain the plan already judged too
+  // large for it (same reasoning as the steady-state ladder's GTH skip).
+  const bool dense_fits = plan.states <= options.auto_dense_max_states;
+  switch (primary) {
+    case TransientMethod::kMatrixExponential:
+      ladder.push_back(TransientMethod::kUniformization);
+      break;
+    case TransientMethod::kUniformization:
+      ladder.push_back(dense_fits ? TransientMethod::kMatrixExponential
+                                  : TransientMethod::kKrylov);
+      break;
+    case TransientMethod::kKrylov:
+      ladder.push_back(TransientMethod::kUniformization);
+      if (dense_fits) ladder.push_back(TransientMethod::kMatrixExponential);
+      break;
+    case TransientMethod::kAuto:
+      break;  // unreachable: the plan never resolves to kAuto
+  }
+  return ladder;
+}
+
+std::vector<AccumulatedMethod> accumulated_ladder(const SolverPlan& plan,
+                                                  const AccumulatedOptions& options,
+                                                  const RecoveryPolicy& policy) {
+  const AccumulatedMethod primary = plan.accumulated;
+  std::vector<AccumulatedMethod> ladder{primary};
+  if (!policy.allow_engine_fallback) return ladder;
+  const bool dense_fits = plan.states <= options.auto_dense_max_states;
+  switch (primary) {
+    case AccumulatedMethod::kAugmentedExponential:
+      ladder.push_back(AccumulatedMethod::kUniformization);
+      break;
+    case AccumulatedMethod::kUniformization:
+      ladder.push_back(dense_fits ? AccumulatedMethod::kAugmentedExponential
+                                  : AccumulatedMethod::kKrylov);
+      break;
+    case AccumulatedMethod::kKrylov:
+      ladder.push_back(AccumulatedMethod::kUniformization);
+      if (dense_fits) ladder.push_back(AccumulatedMethod::kAugmentedExponential);
+      break;
+    case AccumulatedMethod::kAuto:
+      break;  // unreachable: the plan never resolves to kAuto
+  }
+  return ladder;
+}
+
+void tighten_for_retry(TransientOptions& forced, const RecoveryPolicy& policy) {
+  if (forced.method == TransientMethod::kUniformization) {
+    forced.uniformization.epsilon =
+        std::max(kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+  } else if (forced.method == TransientMethod::kKrylov) {
+    forced.krylov.tolerance = std::max(1e-16, forced.krylov.tolerance * policy.epsilon_tighten);
+  }
+}
+
+void tighten_for_retry(AccumulatedOptions& forced, const RecoveryPolicy& policy) {
+  if (forced.method == AccumulatedMethod::kUniformization) {
+    forced.uniformization.epsilon =
+        std::max(kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
+  } else if (forced.method == AccumulatedMethod::kKrylov) {
+    forced.krylov.tolerance = std::max(1e-16, forced.krylov.tolerance * policy.epsilon_tighten);
+  }
+}
+
+double error_bound_of(const TransientOptions& forced) {
+  if (forced.method == TransientMethod::kUniformization) return forced.uniformization.epsilon;
+  if (forced.method == TransientMethod::kKrylov) return forced.krylov.tolerance;
+  return 0.0;
+}
+
+double error_bound_of(const AccumulatedOptions& forced) {
+  if (forced.method == AccumulatedMethod::kUniformization) return forced.uniformization.epsilon;
+  if (forced.method == AccumulatedMethod::kKrylov) return forced.krylov.tolerance;
+  return 0.0;
+}
+
 }  // namespace detail
 
 bool is_probability_vector(const std::vector<double>& v, double slack) {
@@ -99,16 +184,11 @@ TransientResult transient_distribution_checked(const Ctmc& chain, double t,
     return out;
   }
 
-  const TransientMethod primary = resolve_transient_method(chain, t, options);
-  std::vector<TransientMethod> ladder{primary};
-  if (policy.allow_engine_fallback) {
-    ladder.push_back(primary == TransientMethod::kUniformization
-                         ? TransientMethod::kMatrixExponential
-                         : TransientMethod::kUniformization);
-  }
+  const SolverPlan plan = plan_transient(chain, t, options);
+  const std::vector<TransientMethod> ladder = detail::transient_ladder(plan, options, policy);
 
   Certificate cert;
-  cert.requested_engine = engine_name(primary);
+  cert.requested_engine = plan.engine;
   std::vector<std::string> attempts;
   std::string last_cause;
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
@@ -116,10 +196,7 @@ TransientResult transient_distribution_checked(const Ctmc& chain, double t,
     TransientOptions forced = options;
     forced.method = ladder[rung];
     for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
-      if (retry > 0 && ladder[rung] == TransientMethod::kUniformization) {
-        forced.uniformization.epsilon = std::max(
-            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
-      }
+      if (retry > 0) detail::tighten_for_retry(forced, policy);
       try {
         std::vector<double> candidate = transient_distribution(chain, t, forced);
         if (!is_probability_vector(candidate, policy.validation_slack)) {
@@ -129,9 +206,7 @@ TransientResult transient_distribution_checked(const Ctmc& chain, double t,
         cert.fallback = rung > 0;
         cert.retries = attempts.size();
         cert.degraded = cert.fallback || cert.retries > 0;
-        cert.error_bound = ladder[rung] == TransientMethod::kUniformization
-                               ? forced.uniformization.epsilon
-                               : 0.0;
+        cert.error_bound = detail::error_bound_of(forced);
         cert.attempts = attempts;
         if (cert.degraded) detail::note_degraded("transient", cert, chain.state_count(), t);
         return TransientResult{std::move(candidate), std::move(cert)};
@@ -162,16 +237,11 @@ AccumulatedResult accumulated_occupancy_checked(const Ctmc& chain, double t,
     return out;
   }
 
-  const AccumulatedMethod primary = resolve_accumulated_method(chain, t, options);
-  std::vector<AccumulatedMethod> ladder{primary};
-  if (policy.allow_engine_fallback) {
-    ladder.push_back(primary == AccumulatedMethod::kUniformization
-                         ? AccumulatedMethod::kAugmentedExponential
-                         : AccumulatedMethod::kUniformization);
-  }
+  const SolverPlan plan = plan_accumulated(chain, t, options);
+  const std::vector<AccumulatedMethod> ladder = detail::accumulated_ladder(plan, options, policy);
 
   Certificate cert;
-  cert.requested_engine = engine_name(primary);
+  cert.requested_engine = plan.engine;
   std::vector<std::string> attempts;
   std::string last_cause;
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
@@ -179,10 +249,7 @@ AccumulatedResult accumulated_occupancy_checked(const Ctmc& chain, double t,
     AccumulatedOptions forced = options;
     forced.method = ladder[rung];
     for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
-      if (retry > 0 && ladder[rung] == AccumulatedMethod::kUniformization) {
-        forced.uniformization.epsilon = std::max(
-            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
-      }
+      if (retry > 0) detail::tighten_for_retry(forced, policy);
       try {
         std::vector<double> candidate = accumulated_occupancy(chain, t, forced);
         if (!is_occupancy_vector(candidate, t, policy.validation_slack)) {
@@ -192,9 +259,7 @@ AccumulatedResult accumulated_occupancy_checked(const Ctmc& chain, double t,
         cert.fallback = rung > 0;
         cert.retries = attempts.size();
         cert.degraded = cert.fallback || cert.retries > 0;
-        cert.error_bound = ladder[rung] == AccumulatedMethod::kUniformization
-                               ? forced.uniformization.epsilon
-                               : 0.0;
+        cert.error_bound = detail::error_bound_of(forced);
         cert.attempts = attempts;
         if (cert.degraded) detail::note_degraded("accumulated", cert, chain.state_count(), t);
         return AccumulatedResult{std::move(candidate), std::move(cert)};

@@ -28,6 +28,8 @@
 
 namespace gop::markov {
 
+struct SolverPlan;
+
 struct RecoveryPolicy {
   /// Additional attempts per engine after the first (0 = no retries).
   size_t max_retries = 1;
@@ -99,8 +101,9 @@ bool is_probability_vector(const std::vector<double>& v, double slack);
 bool is_occupancy_vector(const std::vector<double>& v, double t, double slack);
 
 /// Dispatcher engine labels exactly as they appear in certificates and obs
-/// events ("uniformization", "pade-expm", "augmented-expm", "gth", ...).
-/// Throws gop::InternalError for the unresolved kAuto placeholders.
+/// events ("uniformization", "pade-expm", "krylov-expv", "augmented-expm",
+/// "krylov-augmented", "gth", ...). Throws gop::InternalError for the
+/// unresolved kAuto placeholders.
 const char* engine_name(TransientMethod method);
 const char* engine_name(AccumulatedMethod method);
 const char* engine_name(SteadyStateMethod method);
@@ -110,6 +113,29 @@ namespace detail {
 /// kRecovery event for a degraded solve; shared by the checked dispatchers
 /// and the session layer.
 void note_degraded(const char* solver, const Certificate& cert, size_t states, double t);
+
+/// The rung order the ladder climbs, derived from the SolverPlan: the plan's
+/// engine first, then the peers that can actually serve the chain — a dense
+/// rung is only offered while the chain fits the dense cutoff, mirroring the
+/// steady-state ladder's GTH skip. Shared by the checked dispatchers and the
+/// session RecoveryPolicy constructors so there is exactly one fallback
+/// policy.
+std::vector<TransientMethod> transient_ladder(const SolverPlan& plan,
+                                              const TransientOptions& options,
+                                              const RecoveryPolicy& policy);
+std::vector<AccumulatedMethod> accumulated_ladder(const SolverPlan& plan,
+                                                  const AccumulatedOptions& options,
+                                                  const RecoveryPolicy& policy);
+
+/// Per-retry option adjustment for one rung: uniformization retries tighten
+/// the Fox-Glynn epsilon, Krylov retries tighten the sub-step tolerance, the
+/// dense engines retry unchanged (clearing transient faults).
+void tighten_for_retry(TransientOptions& forced, const RecoveryPolicy& policy);
+void tighten_for_retry(AccumulatedOptions& forced, const RecoveryPolicy& policy);
+
+/// Residual accuracy bound of a successful attempt, by engine.
+double error_bound_of(const TransientOptions& forced);
+double error_bound_of(const AccumulatedOptions& forced);
 }  // namespace detail
 
 }  // namespace gop::markov

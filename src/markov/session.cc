@@ -60,14 +60,15 @@ size_t max_window_right(const std::vector<double>& times, double lambda,
 /// points share the work, and (for the shared-sequence path) how long the
 /// recorded iterate sequence is.
 [[gnu::cold]] [[gnu::noinline]] void record_session_event(obs::SolverEventKind kind,
-                                                          const Ctmc& chain,
+                                                          const SolverPlan& plan,
                                                           const std::vector<double>& times,
                                                           const char* method, double lambda_t,
                                                           size_t target) {
   obs::SolverEvent event;
   event.kind = kind;
   event.method = method;
-  event.states = chain.state_count();
+  event.storage = to_string(plan.storage);
+  event.states = plan.states;
   event.t = times.empty() ? 0.0 : times.back();
   event.lambda_t = lambda_t;
   event.fox_glynn_right = target;
@@ -217,17 +218,19 @@ void TransientSession::build(const TransientOptions& options) {
   validate_grid(times_);
   if (times_.empty()) return;
 
-  // One grid resolves to one engine: for kAuto the dispatcher's choice
-  // depends only on the chain size (resolve_transient_method), so resolving
-  // against the largest time is exactly what per-time resolution would do.
-  const TransientMethod method = resolve_transient_method(chain, times_.back(), options);
+  // One grid resolves to one SolverPlan: for kAuto the choice depends on the
+  // chain size *and* on Lambda*t at the grid horizon (plan_transient), and
+  // resolving against the largest time is exactly what per-time resolution
+  // would do for every positive grid time.
+  plan_ = plan_transient(chain, times_, options);
+  const TransientMethod method = plan_.transient;
 
   if (method == TransientMethod::kUniformization && times_.back() > 0.0) {
     const double lambda = uniformization_rate(chain, options.uniformization);
     const size_t target = max_window_right(times_, lambda, options.uniformization);
     if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
       if (obs::enabled()) {
-        record_session_event(obs::SolverEventKind::kTransientSession, chain, times_,
+        record_session_event(obs::SolverEventKind::kTransientSession, plan_, times_,
                              "uniformization-shared", lambda * times_.back(), target);
       }
       const UniformizedSequence sequence =
@@ -240,7 +243,7 @@ void TransientSession::build(const TransientOptions& options) {
     // Grid too long for the recorded sequence: independent per-time solves
     // (the workspace removes the per-step allocations; bits are unchanged).
     if (obs::enabled()) {
-      record_session_event(obs::SolverEventKind::kTransientSession, chain, times_,
+      record_session_event(obs::SolverEventKind::kTransientSession, plan_, times_,
                            "uniformization-fallback", lambda * times_.back(), target);
     }
     UniformizationWorkspace workspace;
@@ -252,10 +255,25 @@ void TransientSession::build(const TransientOptions& options) {
     return;
   }
 
+  if (method == TransientMethod::kKrylov && times_.back() > 0.0) {
+    if (obs::enabled()) {
+      record_session_event(obs::SolverEventKind::kTransientSession, plan_, times_, "krylov-expv",
+                           plan_.lambda_t, 0);
+    }
+    // One sparse transposed generator serves every grid time's expv action;
+    // identical matrix content makes each point bit-identical to the
+    // pointwise solve.
+    const linalg::CsrMatrix qt = krylov_transposed_generator(chain);
+    solve_grid(
+        times_, distributions_, [&] { return chain.initial_distribution(); },
+        [&](double t) { return krylov_transient_distribution(chain, qt, t, options.krylov); });
+    return;
+  }
+
   // Dense path: one from-zero solve per *distinct* time, shared across
   // duplicates (and across every reward structure dotted against it).
   if (obs::enabled()) {
-    record_session_event(obs::SolverEventKind::kTransientSession, chain, times_, "pade-expm", 0.0,
+    record_session_event(obs::SolverEventKind::kTransientSession, plan_, times_, "pade-expm", 0.0,
                          0);
   }
   TransientWorkspace workspace;  // generator + Padé scratch shared across the grid
@@ -269,16 +287,11 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
     : chain_(&chain), times_(std::move(times)) {
   validate_grid(times_);  // grid preconditions stay InvalidArgument, not ladder failures
   const double horizon = times_.empty() ? 0.0 : times_.back();
-  const TransientMethod primary = resolve_transient_method(chain, horizon, options);
-  std::vector<TransientMethod> ladder{primary};
-  if (policy.allow_engine_fallback) {
-    ladder.push_back(primary == TransientMethod::kUniformization
-                         ? TransientMethod::kMatrixExponential
-                         : TransientMethod::kUniformization);
-  }
+  const SolverPlan plan = plan_transient(chain, times_, options);
+  const std::vector<TransientMethod> ladder = detail::transient_ladder(plan, options, policy);
 
   Certificate cert;
-  cert.requested_engine = engine_name(primary);
+  cert.requested_engine = plan.engine;
   std::vector<std::string> attempts;
   std::string last_cause;
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
@@ -286,10 +299,7 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
     TransientOptions forced = options;
     forced.method = ladder[rung];
     for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
-      if (retry > 0 && ladder[rung] == TransientMethod::kUniformization) {
-        forced.uniformization.epsilon = std::max(
-            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
-      }
+      if (retry > 0) detail::tighten_for_retry(forced, policy);
       try {
         distributions_.clear();
         build(forced);
@@ -302,9 +312,7 @@ TransientSession::TransientSession(const Ctmc& chain, std::vector<double> times,
         cert.fallback = rung > 0;
         cert.retries = attempts.size();
         cert.degraded = cert.fallback || cert.retries > 0;
-        cert.error_bound = ladder[rung] == TransientMethod::kUniformization
-                               ? forced.uniformization.epsilon
-                               : 0.0;
+        cert.error_bound = detail::error_bound_of(forced);
         cert.attempts = attempts;
         if (cert.degraded) {
           detail::note_degraded("transient_session", cert, chain.state_count(), horizon);
@@ -363,7 +371,8 @@ void AccumulatedSession::build(const AccumulatedOptions& options) {
   validate_grid(times_);
   if (times_.empty()) return;
 
-  const AccumulatedMethod method = resolve_accumulated_method(chain, times_.back(), options);
+  plan_ = plan_accumulated(chain, times_, options);
+  const AccumulatedMethod method = plan_.accumulated;
   const auto zeros = [&] { return std::vector<double>(chain.state_count(), 0.0); };
 
   if (method == AccumulatedMethod::kUniformization && times_.back() > 0.0) {
@@ -371,7 +380,7 @@ void AccumulatedSession::build(const AccumulatedOptions& options) {
     const size_t target = max_window_right(times_, lambda, options.uniformization);
     if ((target + 1) * chain.state_count() <= options.uniformization.max_session_doubles) {
       if (obs::enabled()) {
-        record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+        record_session_event(obs::SolverEventKind::kAccumulatedSession, plan_, times_,
                              "uniformization-shared", lambda * times_.back(), target);
       }
       const UniformizedSequence sequence =
@@ -382,7 +391,7 @@ void AccumulatedSession::build(const AccumulatedOptions& options) {
       return;
     }
     if (obs::enabled()) {
-      record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+      record_session_event(obs::SolverEventKind::kAccumulatedSession, plan_, times_,
                            "uniformization-fallback", lambda * times_.back(), target);
     }
     UniformizationWorkspace workspace;
@@ -392,8 +401,21 @@ void AccumulatedSession::build(const AccumulatedOptions& options) {
     return;
   }
 
+  if (method == AccumulatedMethod::kKrylov && times_.back() > 0.0) {
+    if (obs::enabled()) {
+      record_session_event(obs::SolverEventKind::kAccumulatedSession, plan_, times_,
+                           "krylov-augmented", plan_.lambda_t, 0);
+    }
+    // One sparse augmented operator [[Q^T, 0], [I, 0]] serves the whole grid.
+    const linalg::CsrMatrix augmented = krylov_augmented_transposed_generator(chain);
+    solve_grid(times_, occupancies_, zeros, [&](double t) {
+      return krylov_accumulated_occupancy(chain, augmented, t, options.krylov);
+    });
+    return;
+  }
+
   if (obs::enabled()) {
-    record_session_event(obs::SolverEventKind::kAccumulatedSession, chain, times_,
+    record_session_event(obs::SolverEventKind::kAccumulatedSession, plan_, times_,
                          "augmented-expm", 0.0, 0);
   }
   AccumulatedWorkspace workspace;  // augmented generator + Padé scratch shared across the grid
@@ -407,16 +429,11 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
     : chain_(&chain), times_(std::move(times)) {
   validate_grid(times_);  // grid preconditions stay InvalidArgument, not ladder failures
   const double horizon = times_.empty() ? 0.0 : times_.back();
-  const AccumulatedMethod primary = resolve_accumulated_method(chain, horizon, options);
-  std::vector<AccumulatedMethod> ladder{primary};
-  if (policy.allow_engine_fallback) {
-    ladder.push_back(primary == AccumulatedMethod::kUniformization
-                         ? AccumulatedMethod::kAugmentedExponential
-                         : AccumulatedMethod::kUniformization);
-  }
+  const SolverPlan plan = plan_accumulated(chain, times_, options);
+  const std::vector<AccumulatedMethod> ladder = detail::accumulated_ladder(plan, options, policy);
 
   Certificate cert;
-  cert.requested_engine = engine_name(primary);
+  cert.requested_engine = plan.engine;
   std::vector<std::string> attempts;
   std::string last_cause;
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
@@ -424,10 +441,7 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
     AccumulatedOptions forced = options;
     forced.method = ladder[rung];
     for (size_t retry = 0; retry <= policy.max_retries; ++retry) {
-      if (retry > 0 && ladder[rung] == AccumulatedMethod::kUniformization) {
-        forced.uniformization.epsilon = std::max(
-            kMinPoissonEpsilon, forced.uniformization.epsilon * policy.epsilon_tighten);
-      }
+      if (retry > 0) detail::tighten_for_retry(forced, policy);
       try {
         occupancies_.clear();
         build(forced);
@@ -440,9 +454,7 @@ AccumulatedSession::AccumulatedSession(const Ctmc& chain, std::vector<double> ti
         cert.fallback = rung > 0;
         cert.retries = attempts.size();
         cert.degraded = cert.fallback || cert.retries > 0;
-        cert.error_bound = ladder[rung] == AccumulatedMethod::kUniformization
-                               ? forced.uniformization.epsilon
-                               : 0.0;
+        cert.error_bound = detail::error_bound_of(forced);
         cert.attempts = attempts;
         if (cert.degraded) {
           detail::note_degraded("accumulated_session", cert, chain.state_count(), horizon);

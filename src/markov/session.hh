@@ -18,6 +18,9 @@
 ///  - **Dense matrix exponential** solves each *distinct* time once and
 ///    shares the solution across duplicate grid times and across every reward
 ///    structure dotted against it.
+///  - **Krylov** (large stiff chains) builds the sparse transposed generator
+///    (respectively the augmented operator) once and shares it across every
+///    grid time's expv action; the dense generator is never materialized.
 ///
 /// Determinism contract (docs/solver-architecture.md): session results are
 /// **bit-identical** to the pointwise solvers at every grid point. The
@@ -36,6 +39,7 @@
 #include "markov/accumulated.hh"
 #include "markov/ctmc.hh"
 #include "markov/recovery.hh"
+#include "markov/solver_plan.hh"
 #include "markov/transient.hh"
 
 namespace gop::markov {
@@ -60,6 +64,10 @@ class TransientSession {
   /// Set iff the session was built with a RecoveryPolicy.
   const std::optional<Certificate>& certificate() const { return certificate_; }
 
+  /// The SolverPlan the grid resolved to (the engine that served the build;
+  /// after a recovery fallback, the plan of the successful rung).
+  const SolverPlan& plan() const { return plan_; }
+
   const Ctmc& chain() const { return *chain_; }
   size_t time_count() const { return times_.size(); }
   const std::vector<double>& times() const { return times_; }
@@ -81,6 +89,7 @@ class TransientSession {
   std::vector<double> times_;
   std::vector<std::vector<double>> distributions_;
   std::optional<Certificate> certificate_;
+  SolverPlan plan_;
 };
 
 /// Accumulated occupancies L(t_i) = \int_0^{t_i} pi(s) ds for a sorted grid.
@@ -99,6 +108,9 @@ class AccumulatedSession {
 
   /// Set iff the session was built with a RecoveryPolicy.
   const std::optional<Certificate>& certificate() const { return certificate_; }
+
+  /// The SolverPlan the grid resolved to; see TransientSession::plan().
+  const SolverPlan& plan() const { return plan_; }
 
   const Ctmc& chain() const { return *chain_; }
   size_t time_count() const { return times_.size(); }
@@ -121,6 +133,7 @@ class AccumulatedSession {
   std::vector<double> times_;
   std::vector<std::vector<double>> occupancies_;
   std::optional<Certificate> certificate_;
+  SolverPlan plan_;
 };
 
 }  // namespace gop::markov

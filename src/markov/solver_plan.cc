@@ -1,0 +1,141 @@
+#include "markov/solver_plan.hh"
+
+#include <cmath>
+
+#include "markov/recovery.hh"
+
+namespace gop::markov {
+
+const char* to_string(StorageForm form) {
+  return form == StorageForm::kDense ? "dense" : "sparse";
+}
+
+namespace {
+
+/// Largest finite non-negative grid entry (0 when none). Invalid entries are
+/// skipped, not rejected: reporting them is preflight's PRE001 job and the
+/// dispatchers GOP_REQUIRE them; planning just needs the horizon.
+double grid_horizon(std::span<const double> times) {
+  double horizon = 0.0;
+  for (double t : times) {
+    if (std::isfinite(t) && t > horizon) horizon = t;
+  }
+  return horizon;
+}
+
+double fill_ratio(const Ctmc& chain) {
+  const double n = static_cast<double>(chain.state_count());
+  return static_cast<double>(chain.rate_matrix().nnz()) / (n * n);
+}
+
+/// Analytic over-estimate of the Fox–Glynn right edge: the Poisson mass above
+/// lambda_t + 6 sqrt(lambda_t) is far below any practical epsilon, so the
+/// exact window (fox_glynn.hh) always fits under this. Advisory only.
+size_t window_estimate(double lambda_t) {
+  if (lambda_t <= 0.0) return 0;
+  return static_cast<size_t>(std::ceil(lambda_t + 6.0 * std::sqrt(lambda_t + 1.0) + 8.0));
+}
+
+/// THE kAuto transient policy — the only copy. Dimension picks dense vs
+/// sparse (a chain at or under auto_dense_max_states always takes the dense
+/// engine, keeping existing models bit-identical); among the sparse engines
+/// Lambda*t picks uniformization (cheap while the window is short) vs Krylov
+/// (stiffness-robust expm·v action).
+TransientMethod resolved_transient(size_t states, double lambda_t,
+                                   const TransientOptions& options) {
+  if (options.method != TransientMethod::kAuto) return options.method;
+  if (states <= options.auto_dense_max_states) return TransientMethod::kMatrixExponential;
+  if (lambda_t <= options.auto_stiffness_cutoff) return TransientMethod::kUniformization;
+  return TransientMethod::kKrylov;
+}
+
+/// THE kAuto accumulated policy — same shape, augmented-exponential cutoff.
+AccumulatedMethod resolved_accumulated(size_t states, double lambda_t,
+                                       const AccumulatedOptions& options) {
+  if (options.method != AccumulatedMethod::kAuto) return options.method;
+  if (states <= options.auto_dense_max_states) return AccumulatedMethod::kAugmentedExponential;
+  if (lambda_t <= options.auto_stiffness_cutoff) return AccumulatedMethod::kUniformization;
+  return AccumulatedMethod::kKrylov;
+}
+
+/// THE kAuto steady-state policy: exact subtraction-free GTH while the dense
+/// elimination is affordable, power iteration on the uniformized DTMC beyond.
+SteadyStateMethod resolved_steady_state(size_t states, const SteadyStateOptions& options) {
+  if (options.method != SteadyStateMethod::kAuto) return options.method;
+  return states <= options.auto_gth_max_states ? SteadyStateMethod::kGth
+                                               : SteadyStateMethod::kPower;
+}
+
+StorageForm storage_of(TransientMethod method) {
+  return method == TransientMethod::kMatrixExponential ? StorageForm::kDense
+                                                       : StorageForm::kSparse;
+}
+
+StorageForm storage_of(AccumulatedMethod method) {
+  return method == AccumulatedMethod::kAugmentedExponential ? StorageForm::kDense
+                                                            : StorageForm::kSparse;
+}
+
+StorageForm storage_of(SteadyStateMethod method) {
+  return method == SteadyStateMethod::kGth ? StorageForm::kDense : StorageForm::kSparse;
+}
+
+SolverPlan base_plan(const Ctmc& chain, double horizon) {
+  SolverPlan plan;
+  plan.states = chain.state_count();
+  plan.fill = fill_ratio(chain);
+  plan.horizon = horizon;
+  plan.lambda_t = chain.max_exit_rate() * horizon;
+  return plan;
+}
+
+void fill_uniformization_facts(SolverPlan& plan, const Ctmc& chain,
+                               const UniformizationOptions& options) {
+  plan.uniformization_lambda = uniformization_rate(chain, options);
+  plan.uniformization_lambda_t = plan.uniformization_lambda * plan.horizon;
+  plan.window_estimate = window_estimate(plan.uniformization_lambda_t);
+}
+
+}  // namespace
+
+SolverPlan plan_transient(const Ctmc& chain, double t, const TransientOptions& options) {
+  SolverPlan plan = base_plan(chain, std::isfinite(t) && t > 0.0 ? t : 0.0);
+  plan.transient = resolved_transient(plan.states, plan.lambda_t, options);
+  plan.storage = storage_of(plan.transient);
+  plan.engine = engine_name(plan.transient);
+  if (plan.transient == TransientMethod::kUniformization) {
+    fill_uniformization_facts(plan, chain, options.uniformization);
+  }
+  return plan;
+}
+
+SolverPlan plan_transient(const Ctmc& chain, std::span<const double> times,
+                          const TransientOptions& options) {
+  return plan_transient(chain, grid_horizon(times), options);
+}
+
+SolverPlan plan_accumulated(const Ctmc& chain, double t, const AccumulatedOptions& options) {
+  SolverPlan plan = base_plan(chain, std::isfinite(t) && t > 0.0 ? t : 0.0);
+  plan.accumulated = resolved_accumulated(plan.states, plan.lambda_t, options);
+  plan.storage = storage_of(plan.accumulated);
+  plan.engine = engine_name(plan.accumulated);
+  if (plan.accumulated == AccumulatedMethod::kUniformization) {
+    fill_uniformization_facts(plan, chain, options.uniformization);
+  }
+  return plan;
+}
+
+SolverPlan plan_accumulated(const Ctmc& chain, std::span<const double> times,
+                            const AccumulatedOptions& options) {
+  return plan_accumulated(chain, grid_horizon(times), options);
+}
+
+SolverPlan plan_steady_state(const Ctmc& chain, const SteadyStateOptions& options) {
+  SolverPlan plan = base_plan(chain, 0.0);
+  plan.steady_state = resolved_steady_state(plan.states, options);
+  plan.storage = storage_of(plan.steady_state);
+  plan.engine = engine_name(plan.steady_state);
+  return plan;
+}
+
+}  // namespace gop::markov

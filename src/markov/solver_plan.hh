@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file solver_plan.hh
+/// The single home of solver-engine resolution. A SolverPlan is computed once
+/// per (chain, time-grid) and carries both the resolved engine — never kAuto —
+/// and the facts the resolution consumed: dimension, fill, the grid horizon,
+/// the Λ·t stiffness product, the uniformization rate (with slack) and an
+/// analytic Fox–Glynn window estimate. Every consumer reads the same plan:
+///
+///   - the pointwise dispatchers (transient.cc, accumulated.cc,
+///     steady_state.cc) switch on it and stamp its facts into obs events,
+///   - TransientSession / AccumulatedSession resolve their grid through it
+///     and expose it via plan(),
+///   - the recovery ladder (recovery.hh) derives its rung order from it,
+///   - lint preflight (lint/preflight.hh) predicts refusals for the engine
+///     the plan actually selects — mirroring, not re-implementing, the
+///     cutoffs.
+///
+/// The kAuto policy (dense ↔ sparse by dimension, uniformization ↔ Krylov by
+/// Λ·t) lives in solver_plan.cc and nowhere else; resolve_transient_method
+/// and friends are thin wrappers kept for source compatibility.
+
+#include <span>
+
+#include "markov/accumulated.hh"
+#include "markov/ctmc.hh"
+#include "markov/steady_state.hh"
+#include "markov/transient.hh"
+
+namespace gop::markov {
+
+/// How the selected engine touches the generator: kDense engines materialize
+/// an n x n (or 2n x 2n) DenseMatrix; kSparse engines act on the CSR rate
+/// matrix only and never allocate O(n^2) storage.
+enum class StorageForm {
+  kDense,
+  kSparse,
+};
+
+/// "dense" / "sparse".
+const char* to_string(StorageForm form);
+
+struct SolverPlan {
+  /// The resolved engine for the family the plan was made for; the other two
+  /// members keep their defaults. Never kAuto.
+  TransientMethod transient = TransientMethod::kMatrixExponential;
+  AccumulatedMethod accumulated = AccumulatedMethod::kAugmentedExponential;
+  SteadyStateMethod steady_state = SteadyStateMethod::kGth;
+
+  /// Storage form of the resolved engine.
+  StorageForm storage = StorageForm::kDense;
+  /// Canonical engine label, exactly as certificates and obs events spell it
+  /// ("pade-expm", "uniformization", "krylov-expv", ...).
+  const char* engine = "";
+
+  // --- facts the resolution consumed (also what preflight / obs report) ---
+  size_t states = 0;
+  /// nnz / n^2 of the off-diagonal rate matrix.
+  double fill = 0.0;
+  /// Largest finite non-negative grid time (0 when the grid is empty or
+  /// holds no valid entry; invalid entries are preflight's PRE001 business).
+  double horizon = 0.0;
+  /// max_exit_rate * horizon — the stiffness fact the kAuto cutoff compares
+  /// against auto_stiffness_cutoff, and the value dispatcher events record.
+  double lambda_t = 0.0;
+  /// Uniformization rate Λ including the rate slack (uniformization.hh);
+  /// what the Poisson windows and the PRE002/PRE003 refusal checks use.
+  double uniformization_lambda = 0.0;
+  double uniformization_lambda_t = 0.0;
+  /// Cheap analytic over-estimate of the Fox–Glynn right edge for the
+  /// uniformization engines (0 otherwise). Advisory — sessions still size
+  /// their sequences from the exact per-time windows.
+  size_t window_estimate = 0;
+};
+
+/// Plan for transient_distribution / TransientSession. The span overload
+/// resolves against the largest valid grid time (sessions hand it the whole
+/// grid; the scalar overload is the pointwise dispatchers' one-time "grid").
+SolverPlan plan_transient(const Ctmc& chain, double t, const TransientOptions& options = {});
+SolverPlan plan_transient(const Ctmc& chain, std::span<const double> times,
+                          const TransientOptions& options = {});
+
+/// Plan for accumulated_occupancy / AccumulatedSession.
+SolverPlan plan_accumulated(const Ctmc& chain, double t, const AccumulatedOptions& options = {});
+SolverPlan plan_accumulated(const Ctmc& chain, std::span<const double> times,
+                            const AccumulatedOptions& options = {});
+
+/// Plan for steady_state_distribution (no time grid).
+SolverPlan plan_steady_state(const Ctmc& chain, const SteadyStateOptions& options = {});
+
+}  // namespace gop::markov

@@ -5,6 +5,7 @@
 #include "fi/fi.hh"
 #include "linalg/gth.hh"
 #include "linalg/vector_ops.hh"
+#include "markov/solver_plan.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
@@ -92,15 +93,13 @@ std::vector<double> gauss_seidel(const Ctmc& chain, const SteadyStateOptions& op
 
 SteadyStateMethod resolve_steady_state_method(const Ctmc& chain,
                                               const SteadyStateOptions& options) {
-  if (options.method != SteadyStateMethod::kAuto) return options.method;
-  return chain.state_count() <= options.auto_gth_max_states ? SteadyStateMethod::kGth
-                                                            : SteadyStateMethod::kPower;
+  return plan_steady_state(chain, options).steady_state;
 }
 
 std::vector<double> steady_state_distribution(const Ctmc& chain,
                                               const SteadyStateOptions& options) {
   GOP_OBS_SPAN("markov.steady_state");
-  const SteadyStateMethod method = resolve_steady_state_method(chain, options);
+  const SteadyStateMethod method = plan_steady_state(chain, options).steady_state;
   switch (method) {
     case SteadyStateMethod::kGth:
       if (obs::enabled()) record_steady_event(chain, "gth", 0);

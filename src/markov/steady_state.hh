@@ -27,9 +27,9 @@ struct SteadyStateOptions {
   size_t auto_gth_max_states = 2048;
 };
 
-/// The engine the dispatcher would run for `chain`. Exposed for the solver
-/// preflight (lint/preflight.hh), which mirrors the dispatcher exactly; for
-/// kAuto the choice depends only on the chain size.
+/// The engine the dispatcher would run for `chain`: a thin wrapper over
+/// plan_steady_state (solver_plan.hh), where the kAuto cutoff lives. For
+/// kAuto the choice depends only on the chain size (there is no horizon).
 SteadyStateMethod resolve_steady_state_method(const Ctmc& chain, const SteadyStateOptions& options);
 
 /// Stationary distribution pi with pi Q = 0, sum(pi) = 1. The chain must be

@@ -2,6 +2,7 @@
 
 #include "linalg/vector_ops.hh"
 #include "markov/matrix_exp.hh"
+#include "markov/solver_plan.hh"
 #include "obs/obs.hh"
 #include "util/error.hh"
 
@@ -9,17 +10,7 @@ namespace gop::markov {
 
 TransientMethod resolve_transient_method(const Ctmc& chain, double t,
                                          const TransientOptions& options) {
-  if (options.method != TransientMethod::kAuto) return options.method;
-  const double lambda_t = chain.max_exit_rate() * t;
-  if (lambda_t <= options.auto_stiffness_cutoff && chain.state_count() > options.auto_dense_max_states) {
-    return TransientMethod::kUniformization;
-  }
-  if (chain.state_count() <= options.auto_dense_max_states) {
-    return TransientMethod::kMatrixExponential;
-  }
-  // Large *and* stiff: uniformization is the only option we have; it will
-  // throw if Lambda*t exceeds its configured bound.
-  return TransientMethod::kUniformization;
+  return plan_transient(chain, t, options).transient;
 }
 
 namespace {
@@ -30,14 +21,15 @@ namespace {
 /// Cold + noinline: the event construction must not be inlined into the
 /// dispatcher, where it would dilute the hot path's I-cache for a branch
 /// that is never taken while tracing is disabled.
-[[gnu::cold]] [[gnu::noinline]] void record_transient_event(const Ctmc& chain, double t,
+[[gnu::cold]] [[gnu::noinline]] void record_transient_event(const SolverPlan& plan, double t,
                                                             const char* method) {
   obs::SolverEvent event;
   event.kind = obs::SolverEventKind::kTransient;
   event.method = method;
-  event.states = chain.state_count();
+  event.storage = to_string(plan.storage);
+  event.states = plan.states;
   event.t = t;
-  event.lambda_t = chain.max_exit_rate() * t;
+  event.lambda_t = plan.lambda_t;
   obs::record_event(std::move(event));
 }
 
@@ -67,22 +59,26 @@ std::vector<double> transient_dispatch(const Ctmc& chain, double t,
                                        const TransientOptions& options, TransientWorkspace* tws) {
   GOP_REQUIRE(t >= 0.0, "time must be non-negative");
   GOP_OBS_SPAN("markov.transient");
+  const SolverPlan plan = plan_transient(chain, t, options);
   if (t == 0.0) {
-    if (obs::enabled()) record_transient_event(chain, t, "initial");
+    if (obs::enabled()) record_transient_event(plan, t, "initial");
     return chain.initial_distribution();
   }
 
-  switch (resolve_transient_method(chain, t, options)) {
+  switch (plan.transient) {
     case TransientMethod::kUniformization:
-      if (obs::enabled()) record_transient_event(chain, t, "uniformization");
+      if (obs::enabled()) record_transient_event(plan, t, "uniformization");
       return uniformized_transient_distribution(chain, t, options.uniformization);
     case TransientMethod::kMatrixExponential: {
-      if (obs::enabled()) record_transient_event(chain, t, "pade-expm");
+      if (obs::enabled()) record_transient_event(plan, t, "pade-expm");
       if (tws != nullptr) return dense_transient(chain, t, tws, tws->expm);
       ExpmWorkspace fallback;
       return dense_transient(chain, t, nullptr,
                              detail::pooled_expm_workspace(chain.state_count(), fallback));
     }
+    case TransientMethod::kKrylov:
+      if (obs::enabled()) record_transient_event(plan, t, "krylov-expv");
+      return krylov_transient_distribution(chain, t, options.krylov);
     case TransientMethod::kAuto:
       break;
   }

@@ -2,8 +2,9 @@
 
 /// \file transient.hh
 /// Front door for transient (instant-of-time) CTMC reward solutions: picks
-/// between the dense matrix exponential and uniformization, mirroring the
-/// "expected instant-of-time reward at t" solver the paper uses (§5.2).
+/// between the dense matrix exponential, uniformization and Krylov expm·v
+/// via the SolverPlan layer (solver_plan.hh), mirroring the "expected
+/// instant-of-time reward at t" solver the paper uses (§5.2).
 ///
 /// For repeated queries over a time grid — the phi-sweeps of §6 — use
 /// TransientSession (session.hh), which shares the solver work across the
@@ -14,32 +15,38 @@
 
 #include "linalg/dense_matrix.hh"
 #include "markov/ctmc.hh"
+#include "markov/krylov.hh"
 #include "markov/matrix_exp.hh"
 #include "markov/uniformization.hh"
 
 namespace gop::markov {
 
 enum class TransientMethod {
-  /// Matrix exponential when the problem is stiff or the chain is small,
-  /// uniformization otherwise.
+  /// Dense matrix exponential for small chains, uniformization for large
+  /// non-stiff ones, Krylov expm·v for large stiff ones; see
+  /// plan_transient (solver_plan.hh) for the exact cutoffs.
   kAuto,
   kMatrixExponential,
   kUniformization,
+  kKrylov,
 };
 
 struct TransientOptions {
   TransientMethod method = TransientMethod::kAuto;
   UniformizationOptions uniformization;
-  /// kAuto picks uniformization only when Lambda*t is below this and the
-  /// chain is large enough that a dense n^3 solve would dominate.
+  KrylovOptions krylov;
+  /// kAuto picks uniformization for large chains only while Lambda*t stays
+  /// below this; beyond it the Krylov engine takes over.
   double auto_stiffness_cutoff = 1e5;
+  /// Largest chain kAuto still hands to the dense n^3 engine.
   size_t auto_dense_max_states = 4096;
 };
 
-/// The engine the dispatcher would run for (chain, t). Exposed so the session
-/// layer resolves exactly the way the pointwise solver does. Note that for
-/// kAuto the choice depends only on the chain size, never on t, so one grid
-/// resolves to one engine.
+/// The engine the dispatcher would run for (chain, t): a thin wrapper over
+/// plan_transient (solver_plan.hh), where the kAuto cutoff logic lives.
+/// For kAuto the choice depends on the chain size *and* on Lambda*t (large
+/// stiff chains go to Krylov), so grid consumers must resolve against the
+/// grid horizon — exactly what the SolverPlan layer does.
 TransientMethod resolve_transient_method(const Ctmc& chain, double t,
                                          const TransientOptions& options);
 

@@ -168,6 +168,7 @@ const char* to_string(SolverEventKind kind) {
     case SolverEventKind::kAccumulatedSession: return "accumulated_session";
     case SolverEventKind::kFaultInjection: return "fault_injection";
     case SolverEventKind::kRecovery: return "recovery";
+    case SolverEventKind::kKrylovPass: return "krylov_pass";
   }
   throw InternalError("unknown SolverEventKind");
 }

@@ -87,6 +87,9 @@ enum class SolverEventKind {
   /// One per degraded recovery (markov/recovery.hh): a solve that only
   /// succeeded after retries or an engine fallback. Nothing recovers silently.
   kRecovery,
+  /// One per krylov_expv action (markov/krylov.hh): the Arnoldi sub-step
+  /// count and basis dimension of a sparse matrix-exponential action.
+  kKrylovPass,
 };
 
 const char* to_string(SolverEventKind kind);
@@ -97,8 +100,12 @@ const char* to_string(SolverEventKind kind);
 struct SolverEvent {
   SolverEventKind kind = SolverEventKind::kTransient;
   /// Engine actually run: "uniformization", "pade-expm", "augmented-expm",
-  /// "gth", "power", "gauss-seidel", "initial" (t = 0 fast path), ...
+  /// "krylov-expv", "krylov-augmented", "gth", "power", "gauss-seidel",
+  /// "initial" (t = 0 fast path), ...
   std::string method;
+  /// Generator storage form the SolverPlan chose ("dense" / "sparse");
+  /// empty for events recorded below the dispatcher layer.
+  std::string storage;
   size_t states = 0;        ///< chain dimension
   double t = 0.0;           ///< solve horizon (0 for steady state / raw expm)
   double lambda_t = 0.0;    ///< uniformization stiffness Lambda*t (0 if n/a)

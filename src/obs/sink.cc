@@ -47,6 +47,9 @@ std::string event_json(const SolverEvent& e) {
       to_string(e.kind), json_escape(e.method).c_str(), e.states, e.t, e.lambda_t,
       e.fox_glynn_left, e.fox_glynn_right, e.iterations,
       e.steady_state_detected ? "true" : "false", e.grid_points);
+  if (!e.storage.empty()) {
+    out += str_format(",\"storage\":\"%s\"", json_escape(e.storage).c_str());
+  }
   if (e.degraded || e.retries > 0 || !e.detail.empty()) {
     out += str_format(",\"retries\":%zu,\"degraded\":%s,\"detail\":\"%s\"", e.retries,
                       e.degraded ? "true" : "false", json_escape(e.detail).c_str());

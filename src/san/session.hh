@@ -71,6 +71,11 @@ class ChainSession {
   const markov::TransientSession& transient_session() const;
   const markov::AccumulatedSession& accumulated_session() const;
 
+  /// The SolverPlan each underlying session resolved its grid to; same
+  /// preconditions as the session accessors.
+  const markov::SolverPlan& transient_plan() const { return transient_session().plan(); }
+  const markov::SolverPlan& accumulated_plan() const { return accumulated_session().plan(); }
+
  private:
   const GeneratedChain* chain_;
   std::vector<double> times_;

@@ -91,6 +91,92 @@ TEST(PreflightTransient, Pre005EpsilonBelowDoublePrecision) {
   EXPECT_FALSE(report.has_errors());
 }
 
+markov::TransientOptions forced_krylov() {
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kKrylov;
+  return options;
+}
+
+TEST(PreflightTransient, CleanKrylovPlanIsClean) {
+  const std::vector<double> times{1.0, 2.0};
+  markov::TransientOptions options = forced_krylov();
+  options.krylov.basis_dimension = 2;  // within n, so not even the clamp info
+  EXPECT_TRUE(preflight_transient(toggle_chain(), times, options, "m").empty());
+}
+
+TEST(PreflightTransient, Pre006BasisDimensionTooSmall) {
+  markov::TransientOptions options = forced_krylov();
+  options.krylov.basis_dimension = 1;
+  const std::vector<double> times{1.0};
+  const Report report = preflight_transient(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE006"));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre006BasisWiderThanChainOnlyInforms) {
+  // n = 2, default basis 30: the solver clamps to n, preflight just notes it.
+  const std::vector<double> times{1.0};
+  markov::TransientOptions options = forced_krylov();
+  options.krylov.basis_dimension = 30;
+  const Report report = preflight_transient(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE006"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre007ToleranceOutOfRange) {
+  for (double tolerance : {0.0, -1.0, 1.5, std::nan("")}) {
+    markov::TransientOptions options = forced_krylov();
+    options.krylov.tolerance = tolerance;
+    const std::vector<double> times{1.0};
+    const Report report = preflight_transient(toggle_chain(), times, options, "m");
+    EXPECT_TRUE(report.has_code("PRE007")) << "tolerance=" << tolerance;
+    EXPECT_TRUE(report.has_errors()) << "tolerance=" << tolerance;
+  }
+}
+
+TEST(PreflightTransient, Pre007ToleranceBelowDoublePrecision) {
+  markov::TransientOptions options = forced_krylov();
+  options.krylov.tolerance = 1e-20;
+  const std::vector<double> times{1.0};
+  const Report report = preflight_transient(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE007"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightTransient, Pre008SubstepBudgetTooSmallForLambdaT) {
+  // Lambda*t = 1e6 with a basis of 10 estimates ~1e5 sub-steps against a
+  // budget of 100: the run would throw after exhausting it.
+  markov::TransientOptions options = forced_krylov();
+  options.krylov.basis_dimension = 10;
+  options.krylov.max_substeps = 100;
+  const std::vector<double> times{1e6};
+  const Report report = preflight_transient(toggle_chain(1.0), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE008"));
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(PreflightTransient, KrylovChecksNotRaisedForOtherEngines) {
+  // A doomed Krylov configuration is irrelevant when the plan resolves to a
+  // different engine: preflight mirrors the plan, not every option struct.
+  markov::TransientOptions options;  // kAuto resolves dense at n = 2
+  options.krylov.basis_dimension = 1;
+  options.krylov.tolerance = -1.0;
+  const std::vector<double> times{1.0};
+  EXPECT_TRUE(preflight_transient(toggle_chain(), times, options, "m").empty());
+}
+
+TEST(PreflightAccumulated, KrylovChecksMirrorTheTransientOnes) {
+  markov::AccumulatedOptions options;
+  options.method = markov::AccumulatedMethod::kKrylov;
+  options.krylov.basis_dimension = 1;
+  options.krylov.tolerance = 2.0;
+  const std::vector<double> times{1.0};
+  const Report report = preflight_accumulated(toggle_chain(), times, options, "m");
+  EXPECT_TRUE(report.has_code("PRE006"));
+  EXPECT_TRUE(report.has_code("PRE007"));
+  EXPECT_TRUE(report.has_errors());
+}
+
 TEST(PreflightAccumulated, SharesTheTransientChecks) {
   markov::AccumulatedOptions options;
   options.method = markov::AccumulatedMethod::kUniformization;

@@ -1,0 +1,171 @@
+// SolverPlan unit tests: the single home of the kAuto cutoffs
+// (markov/solver_plan.{hh,cc}). These pin the resolution policy — dimension
+// picks dense vs sparse, Lambda*t picks uniformization vs Krylov — plus the
+// facts a plan carries (storage form, stiffness, window estimate) and the
+// grid overload's horizon selection. The dispatchers, sessions, recovery
+// ladder, and lint preflight all consume this one function, so these tests
+// gate every layer's engine choice at once.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "markov/recovery.hh"
+#include "markov/solver_plan.hh"
+
+namespace gop {
+namespace {
+
+/// Two-state ping-pong chain with unit rates: Lambda = max exit rate = 1, so
+/// horizons translate to Lambda*t directly.
+markov::Ctmc toggle_chain() {
+  std::vector<markov::Transition> transitions{{0, 1, 1.0, -1}, {1, 0, 1.0, -1}};
+  return markov::Ctmc(2, std::move(transitions), {1.0, 0.0});
+}
+
+TEST(SolverPlanTransient, SmallChainResolvesDenseRegardlessOfHorizon) {
+  const markov::Ctmc chain = toggle_chain();
+  for (double t : {0.0, 1.0, 1e4, 1e9}) {
+    const markov::SolverPlan plan = markov::plan_transient(chain, t);
+    EXPECT_EQ(plan.transient, markov::TransientMethod::kMatrixExponential) << "t=" << t;
+    EXPECT_EQ(plan.storage, markov::StorageForm::kDense) << "t=" << t;
+    EXPECT_STREQ(plan.engine, "pade-expm") << "t=" << t;
+  }
+}
+
+TEST(SolverPlanTransient, LargeChainSplitsOnStiffness) {
+  const markov::Ctmc chain = toggle_chain();
+  markov::TransientOptions options;
+  options.auto_dense_max_states = 1;  // force the "large chain" branch
+
+  const markov::SolverPlan mild = markov::plan_transient(chain, 10.0, options);
+  EXPECT_EQ(mild.transient, markov::TransientMethod::kUniformization);
+  EXPECT_EQ(mild.storage, markov::StorageForm::kSparse);
+  EXPECT_STREQ(mild.engine, "uniformization");
+
+  const double stiff_t = options.auto_stiffness_cutoff * 2.0;  // Lambda = 1
+  const markov::SolverPlan stiff = markov::plan_transient(chain, stiff_t, options);
+  EXPECT_EQ(stiff.transient, markov::TransientMethod::kKrylov);
+  EXPECT_EQ(stiff.storage, markov::StorageForm::kSparse);
+  EXPECT_STREQ(stiff.engine, "krylov-expv");
+}
+
+TEST(SolverPlanTransient, StiffnessCutoffIsInclusive) {
+  // Exactly at the cutoff uniformization still wins — the boundary the old
+  // dispatcher used, pinned so existing chains keep their engine.
+  const markov::Ctmc chain = toggle_chain();
+  markov::TransientOptions options;
+  options.auto_dense_max_states = 1;
+  const markov::SolverPlan at = markov::plan_transient(chain, options.auto_stiffness_cutoff, options);
+  EXPECT_EQ(at.transient, markov::TransientMethod::kUniformization);
+}
+
+TEST(SolverPlanTransient, ForcedMethodBypassesTheCutoffs) {
+  const markov::Ctmc chain = toggle_chain();
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kKrylov;
+  const markov::SolverPlan plan = markov::plan_transient(chain, 1.0, options);
+  EXPECT_EQ(plan.transient, markov::TransientMethod::kKrylov);
+  EXPECT_EQ(plan.storage, markov::StorageForm::kSparse);
+  EXPECT_STREQ(plan.engine, "krylov-expv");
+}
+
+TEST(SolverPlanTransient, CarriesTheResolutionFacts) {
+  const markov::Ctmc chain = toggle_chain();
+  const markov::SolverPlan plan = markov::plan_transient(chain, 3.0);
+  EXPECT_EQ(plan.states, 2u);
+  EXPECT_DOUBLE_EQ(plan.fill, 0.5);  // 2 off-diagonal entries / 4
+  EXPECT_DOUBLE_EQ(plan.horizon, 3.0);
+  EXPECT_DOUBLE_EQ(plan.lambda_t, 3.0);  // max exit rate 1
+  // Dense plan: the uniformization facts stay at their defaults.
+  EXPECT_DOUBLE_EQ(plan.uniformization_lambda, 0.0);
+  EXPECT_EQ(plan.window_estimate, 0u);
+}
+
+TEST(SolverPlanTransient, UniformizationPlanCarriesRateAndWindowEstimate) {
+  const markov::Ctmc chain = toggle_chain();
+  markov::TransientOptions options;
+  options.method = markov::TransientMethod::kUniformization;
+  const markov::SolverPlan plan = markov::plan_transient(chain, 10.0, options);
+  EXPECT_NEAR(plan.uniformization_lambda, 1.02, 1e-12);  // rate slack included
+  EXPECT_NEAR(plan.uniformization_lambda_t, 10.2, 1e-9);
+  // The analytic window over-estimate must dominate Lambda*t.
+  EXPECT_GT(plan.window_estimate, 10u);
+}
+
+TEST(SolverPlanTransient, GridOverloadResolvesAgainstLargestValidTime) {
+  const markov::Ctmc chain = toggle_chain();
+  const std::vector<double> times{0.0, 1.0, 7.0, 7.0, 2.0};
+  const markov::SolverPlan plan = markov::plan_transient(chain, times);
+  EXPECT_DOUBLE_EQ(plan.horizon, 7.0);
+
+  // Invalid entries (PRE001's business) are skipped, not propagated.
+  const std::vector<double> dirty{1.0, std::numeric_limits<double>::infinity(),
+                                  std::nan(""), 4.0};
+  EXPECT_DOUBLE_EQ(markov::plan_transient(chain, dirty).horizon, 4.0);
+
+  EXPECT_DOUBLE_EQ(markov::plan_transient(chain, std::vector<double>{}).horizon, 0.0);
+}
+
+TEST(SolverPlanAccumulated, MirrorsTheTransientPolicy) {
+  const markov::Ctmc chain = toggle_chain();
+  markov::AccumulatedOptions options;
+  options.auto_dense_max_states = 1;
+
+  EXPECT_EQ(markov::plan_accumulated(chain, 10.0, options).accumulated,
+            markov::AccumulatedMethod::kUniformization);
+  EXPECT_EQ(markov::plan_accumulated(chain, options.auto_stiffness_cutoff * 2.0, options)
+                .accumulated,
+            markov::AccumulatedMethod::kKrylov);
+
+  const markov::SolverPlan dense = markov::plan_accumulated(chain, 10.0);
+  EXPECT_EQ(dense.accumulated, markov::AccumulatedMethod::kAugmentedExponential);
+  EXPECT_EQ(dense.storage, markov::StorageForm::kDense);
+  EXPECT_STREQ(dense.engine, "augmented-expm");
+}
+
+TEST(SolverPlanSteadyState, DimensionPicksGthVersusPower) {
+  const markov::Ctmc chain = toggle_chain();
+  const markov::SolverPlan gth = markov::plan_steady_state(chain);
+  EXPECT_EQ(gth.steady_state, markov::SteadyStateMethod::kGth);
+  EXPECT_EQ(gth.storage, markov::StorageForm::kDense);
+  EXPECT_STREQ(gth.engine, "gth");
+
+  markov::SteadyStateOptions options;
+  options.auto_gth_max_states = 1;
+  const markov::SolverPlan power = markov::plan_steady_state(chain, options);
+  EXPECT_EQ(power.steady_state, markov::SteadyStateMethod::kPower);
+  EXPECT_EQ(power.storage, markov::StorageForm::kSparse);
+  EXPECT_STREQ(power.engine, "power");
+}
+
+TEST(SolverPlan, ResolveWrappersDelegateToThePlan) {
+  // The resolve_* functions are thin wrappers — this is the grep-level "one
+  // copy of the cutoff logic" guarantee expressed as behaviour.
+  const markov::Ctmc chain = toggle_chain();
+  markov::TransientOptions transient;
+  transient.auto_dense_max_states = 1;
+  const double stiff_t = transient.auto_stiffness_cutoff * 2.0;
+  EXPECT_EQ(markov::resolve_transient_method(chain, stiff_t, transient),
+            markov::plan_transient(chain, stiff_t, transient).transient);
+
+  markov::AccumulatedOptions accumulated;
+  accumulated.auto_dense_max_states = 1;
+  EXPECT_EQ(markov::resolve_accumulated_method(chain, stiff_t, accumulated),
+            markov::plan_accumulated(chain, stiff_t, accumulated).accumulated);
+
+  EXPECT_EQ(markov::resolve_steady_state_method(chain, {}),
+            markov::plan_steady_state(chain).steady_state);
+}
+
+TEST(SolverPlan, EngineLabelsRoundTripThroughEngineName) {
+  EXPECT_STREQ(markov::engine_name(markov::TransientMethod::kKrylov), "krylov-expv");
+  EXPECT_STREQ(markov::engine_name(markov::AccumulatedMethod::kKrylov), "krylov-augmented");
+  EXPECT_STREQ(markov::to_string(markov::StorageForm::kDense), "dense");
+  EXPECT_STREQ(markov::to_string(markov::StorageForm::kSparse), "sparse");
+}
+
+}  // namespace
+}  // namespace gop

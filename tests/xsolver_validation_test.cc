@@ -1,10 +1,12 @@
 // Cross-solver validation: on a family of randomized (but seeded, fully
-// deterministic) CTMCs, the uniformization engine and the dense Padé
-// matrix-exponential engine must agree on transient distributions and
-// accumulated occupancies to near machine precision. The two engines share no
-// numerics — Fox–Glynn-windowed Poisson mixing of DTMC powers vs
-// scaling-and-squaring Padé [13/13] — so agreement to 1e-10 is strong
-// evidence both are correct, not merely consistent.
+// deterministic) CTMCs, the uniformization engine, the dense Padé
+// matrix-exponential engine, and the sparse Krylov expv engine must agree on
+// transient distributions and accumulated occupancies to near machine
+// precision. The engines share no numerics — Fox–Glynn-windowed Poisson
+// mixing of DTMC powers vs scaling-and-squaring Padé [13/13] vs Arnoldi
+// projection with adaptive sub-stepping — so pairwise agreement (1e-10 for
+// the dense pair, 1e-8 three-way) is strong evidence all are correct, not
+// merely consistent.
 //
 // Every comparison also asserts, through the gop::obs event stream, that the
 // engine we asked for is the engine that ran — a silent dispatcher fallback
@@ -151,6 +153,97 @@ TEST_F(XSolverValidationTest, AccumulatedUniformizationMatchesAugmentedExpm) {
       EXPECT_NEAR(occ_uni[s], occ_expm[s], kTolerance * std::max(1.0, t))
           << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
       sum += occ_uni[s];
+    }
+    EXPECT_NEAR(sum, t, 1e-9 * std::max(1.0, t))
+        << "case " << c << ": occupancies must sum to t";
+  }
+}
+
+TEST_F(XSolverValidationTest, TransientKrylovMatchesUniformizationAndPade) {
+  // Three-way agreement on the same 50 seeded chains: the Krylov expv engine
+  // shares no numerics with either uniformization (Poisson mixing) or Padé
+  // (scaling-and-squaring), so a common answer to 1e-8 certifies all three.
+  constexpr double kKrylovTolerance = 1e-8;
+  for (size_t c = 0; c < kCases; ++c) {
+    std::mt19937_64 rng(kBaseSeed + c);
+    const markov::Ctmc chain = random_chain(rng);
+    const double t = random_horizon(rng, chain);
+
+    markov::TransientOptions krylov;
+    krylov.method = markov::TransientMethod::kKrylov;
+    markov::TransientOptions uni;
+    uni.method = markov::TransientMethod::kUniformization;
+    markov::TransientOptions expm;
+    expm.method = markov::TransientMethod::kMatrixExponential;
+
+    obs::reset();
+    const std::vector<double> pi_krylov = markov::transient_distribution(chain, t, krylov);
+    const std::vector<double> pi_uni = markov::transient_distribution(chain, t, uni);
+    const std::vector<double> pi_expm = markov::transient_distribution(chain, t, expm);
+
+    const obs::Snapshot snapshot = obs::snapshot();
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kTransient, "krylov-expv"))
+        << "case " << c << ": krylov-expv silently not run";
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kKrylovPass, "krylov-expv"))
+        << "case " << c << ": no krylov_pass event — the expv action never executed";
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kTransient, "uniformization"))
+        << "case " << c << ": uniformization silently not run";
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kTransient, "pade-expm"))
+        << "case " << c << ": pade-expm silently not run";
+
+    ASSERT_EQ(pi_krylov.size(), pi_uni.size());
+    double sum = 0.0;
+    for (size_t s = 0; s < pi_krylov.size(); ++s) {
+      EXPECT_NEAR(pi_krylov[s], pi_uni[s], kKrylovTolerance)
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      EXPECT_NEAR(pi_krylov[s], pi_expm[s], kKrylovTolerance)
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      sum += pi_krylov[s];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "case " << c << ": distribution does not sum to 1";
+  }
+}
+
+TEST_F(XSolverValidationTest, AccumulatedKrylovMatchesUniformizationAndAugmentedExpm) {
+  constexpr double kKrylovTolerance = 1e-8;
+  for (size_t c = 0; c < kCases; ++c) {
+    std::mt19937_64 rng(kBaseSeed ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    const markov::Ctmc chain = random_chain(rng);
+    const double t = random_horizon(rng, chain);
+
+    markov::AccumulatedOptions krylov;
+    krylov.method = markov::AccumulatedMethod::kKrylov;
+    markov::AccumulatedOptions uni;
+    uni.method = markov::AccumulatedMethod::kUniformization;
+    markov::AccumulatedOptions expm;
+    expm.method = markov::AccumulatedMethod::kAugmentedExponential;
+
+    obs::reset();
+    const std::vector<double> occ_krylov = markov::accumulated_occupancy(chain, t, krylov);
+    const std::vector<double> occ_uni = markov::accumulated_occupancy(chain, t, uni);
+    const std::vector<double> occ_expm = markov::accumulated_occupancy(chain, t, expm);
+
+    const obs::Snapshot snapshot = obs::snapshot();
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kAccumulated, "krylov-augmented"))
+        << "case " << c << ": krylov-augmented silently not run";
+    ASSERT_TRUE(ran_method(snapshot.events, obs::SolverEventKind::kKrylovPass, "krylov-expv"))
+        << "case " << c << ": no krylov_pass event — the augmented action never executed";
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kAccumulated, "uniformization"))
+        << "case " << c << ": uniformization silently not run";
+    ASSERT_TRUE(
+        ran_method(snapshot.events, obs::SolverEventKind::kAccumulated, "augmented-expm"))
+        << "case " << c << ": augmented-expm silently not run";
+
+    ASSERT_EQ(occ_krylov.size(), occ_uni.size());
+    double sum = 0.0;
+    for (size_t s = 0; s < occ_krylov.size(); ++s) {
+      EXPECT_NEAR(occ_krylov[s], occ_uni[s], kKrylovTolerance * std::max(1.0, t))
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      EXPECT_NEAR(occ_krylov[s], occ_expm[s], kKrylovTolerance * std::max(1.0, t))
+          << "case " << c << " (n=" << chain.state_count() << ", t=" << t << "), state " << s;
+      sum += occ_krylov[s];
     }
     EXPECT_NEAR(sum, t, 1e-9 * std::max(1.0, t))
         << "case " << c << ": occupancies must sum to t";
