@@ -107,17 +107,12 @@ RmGd build_rm_gd(const GsuParameters& params, const RmGdOptions& options) {
   {
     const Predicate erroneous = mark_eq(rm.p1n_ctn, 1);
     std::vector<Case> cases;
-    cases.push_back(Case{
-        [erroneous](const Marking& mk) { return erroneous(mk) ? 0.0 : 1.0; },
-        sequence({set_mark(p1n_at, 0), set_mark(rm.dirty_bit, 0)})});
-    cases.push_back(Case{
-        [erroneous, c = params.coverage](const Marking& mk) { return erroneous(mk) ? c : 0.0; },
-        sequence({set_mark(p1n_at, 0), recover})});
-    cases.push_back(Case{
-        [erroneous, c = params.coverage](const Marking& mk) {
-          return erroneous(mk) ? 1.0 - c : 0.0;
-        },
-        sequence({set_mark(p1n_at, 0), set_mark(rm.failure, 1)})});
+    cases.push_back(Case{cond_prob(erroneous, 0.0, 1.0),
+                         sequence({set_mark(p1n_at, 0), set_mark(rm.dirty_bit, 0)})});
+    cases.push_back(Case{cond_prob(erroneous, params.coverage, 0.0),
+                         sequence({set_mark(p1n_at, 0), recover})});
+    cases.push_back(Case{cond_prob(erroneous, 1.0 - params.coverage, 0.0),
+                         sequence({set_mark(p1n_at, 0), set_mark(rm.failure, 1)})});
     add_at("P1N_AT", p1n_at, std::move(cases));
   }
 
@@ -132,14 +127,11 @@ RmGd build_rm_gd(const GsuParameters& params, const RmGdOptions& options) {
     activity.rate = constant_rate(params.lambda);
     const Predicate dirty = mark_eq(rm.dirty_bit, 1);
     // External while considered potentially contaminated: AT (vanishing).
-    activity.cases.push_back(Case{
-        [dirty, p = params.p_ext](const Marking& mk) { return dirty(mk) ? p : 0.0; },
-        set_mark(p2_at, 1)});
+    activity.cases.push_back(Case{cond_prob(dirty, params.p_ext, 0.0), set_mark(p2_at, 1)});
     // External while considered clean: no AT; a dormant contamination is an
     // undetected erroneous external message, i.e. system failure.
-    activity.cases.push_back(Case{
-        [dirty, p = params.p_ext](const Marking& mk) { return dirty(mk) ? 0.0 : p; },
-        when(mark_eq(rm.p2_ctn, 1), set_mark(rm.failure, 1))});
+    activity.cases.push_back(Case{cond_prob(dirty, 0.0, params.p_ext),
+                                  when(mark_eq(rm.p2_ctn, 1), set_mark(rm.failure, 1))});
     // Internal (to P1new / P1old): propagates actual contamination to the
     // shadow pair. P1new is potentially contaminated by definition, and the
     // shared dirty_bit already reflects P2's considered state, so no
@@ -154,17 +146,12 @@ RmGd build_rm_gd(const GsuParameters& params, const RmGdOptions& options) {
   {
     const Predicate erroneous = mark_eq(rm.p2_ctn, 1);
     std::vector<Case> cases;
-    cases.push_back(Case{
-        [erroneous](const Marking& mk) { return erroneous(mk) ? 0.0 : 1.0; },
-        sequence({set_mark(p2_at, 0), set_mark(rm.dirty_bit, 0)})});
-    cases.push_back(Case{
-        [erroneous, c = params.coverage](const Marking& mk) { return erroneous(mk) ? c : 0.0; },
-        sequence({set_mark(p2_at, 0), recover})});
-    cases.push_back(Case{
-        [erroneous, c = params.coverage](const Marking& mk) {
-          return erroneous(mk) ? 1.0 - c : 0.0;
-        },
-        sequence({set_mark(p2_at, 0), set_mark(rm.failure, 1)})});
+    cases.push_back(Case{cond_prob(erroneous, 0.0, 1.0),
+                         sequence({set_mark(p2_at, 0), set_mark(rm.dirty_bit, 0)})});
+    cases.push_back(Case{cond_prob(erroneous, params.coverage, 0.0),
+                         sequence({set_mark(p2_at, 0), recover})});
+    cases.push_back(Case{cond_prob(erroneous, 1.0 - params.coverage, 0.0),
+                         sequence({set_mark(p2_at, 0), set_mark(rm.failure, 1)})});
     add_at("P2_AT", p2_at, std::move(cases));
   }
 

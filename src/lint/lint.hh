@@ -3,7 +3,10 @@
 /// \file lint.hh
 /// Umbrella header for the gop::lint static-analysis subsystem:
 ///  - finding.hh     structured findings (code, severity, location, hint)
+///  - prove.hh       symbolic model prover (interval abstract interpretation
+///                   over the san/expr_ir.hh expression IR)
 ///  - model_lint.hh  layer 1: pre-generation checks on a san::SanModel
+///                   (prover + reachability probe, composed)
 ///  - chain_lint.hh  layer 2: generated-chain / generator / reward checks
 ///  - preflight.hh   layer 3: solver preflight for a (chain, grid, options)
 /// The check-code catalog is documented in docs/static-analysis.md; the
@@ -13,3 +16,4 @@
 #include "lint/finding.hh"      // IWYU pragma: export
 #include "lint/model_lint.hh"   // IWYU pragma: export
 #include "lint/preflight.hh"    // IWYU pragma: export
+#include "lint/prove.hh"        // IWYU pragma: export

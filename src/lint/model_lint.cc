@@ -4,7 +4,9 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,17 +34,6 @@ class Prober {
       : model_(model), options_(options), report_(report) {}
 
   void run() {
-    if (model_.place_count() == 0) {
-      report_.add("SAN001", Severity::kError, model_.name(), "",
-                  "model has no places: there is no marking to evolve",
-                  "add places before activities; see san/model.hh");
-    }
-    if (model_.timed_activities().empty()) {
-      report_.add("SAN002", Severity::kError, model_.name(), "",
-                  "model has no timed activities: the chain cannot evolve in time",
-                  "add at least one timed activity (instantaneous activities fire in zero time)");
-    }
-
     timed_fired_.assign(model_.timed_activities().size(), false);
     instant_fired_.assign(model_.instantaneous_activities().size(), false);
     token_min_.assign(model_.place_count(), std::numeric_limits<int32_t>::max());
@@ -353,11 +344,73 @@ class Prober {
   std::vector<std::vector<size_t>> vanishing_edges_;
 };
 
+std::string finding_key(const Finding& finding) { return finding.code + '\0' + finding.location; }
+
 }  // namespace
 
 Report lint_model(const san::SanModel& model, const ModelLintOptions& options) {
   Report report;
-  Prober(model, options, report).run();
+
+  // Structural checks: cheap, unconditional, shared by both passes.
+  if (model.place_count() == 0) {
+    report.add("SAN001", Severity::kError, model.name(), "",
+               "model has no places: there is no marking to evolve",
+               "add places before activities; see san/model.hh");
+  }
+  if (model.timed_activities().empty()) {
+    report.add("SAN002", Severity::kError, model.name(), "",
+               "model has no timed activities: the chain cannot evolve in time",
+               "add at least one timed activity (instantaneous activities fire in zero time)");
+  }
+
+  std::optional<ProofResult> proof;
+  if (options.prove) {
+    ProveOptions prove_options = options.prove_options;
+    prove_options.probability_tolerance = options.probability_tolerance;
+    proof = prove_model(model, prove_options);
+  }
+  const bool fully_proved = proof && proof->fully_proved;
+
+  // The probe still runs on a fully proved model when it has budget: the
+  // vanishing-cycle check (SAN030) is probe-only, and a complete probe can
+  // correct the prover's liveness optimism (its witnesses live in the bound
+  // box, which over-approximates reachability).
+  Report probe_report;
+  if (options.max_probe_markings > 0) {
+    Prober(model, options, probe_report).run();
+  }
+  const bool probe_complete =
+      options.max_probe_markings > 0 && !probe_report.has_code("SAN031");
+
+  std::set<std::string> seen;
+  for (const Finding& finding : report.findings()) seen.insert(finding_key(finding));
+  if (proof) {
+    for (const Finding& finding : proof->findings.findings()) {
+      // The fully-proved summary belongs to prove_model()'s own report; the
+      // composed report says it by staying silent.
+      if (finding.code == "SAN045") continue;
+      // A complete probe covered every reachable marking, so whatever the
+      // prover could not decide has been checked exhaustively anyway.
+      if (probe_complete &&
+          (finding.code == "SAN040" || finding.code == "SAN043" || finding.code == "SAN044")) {
+        continue;
+      }
+      if (!seen.insert(finding_key(finding)).second) continue;
+      report.add(finding);
+    }
+  }
+  for (const Finding& finding : probe_report.findings()) {
+    if (finding.code == "SAN031" && fully_proved) continue;
+    if (!seen.insert(finding_key(finding)).second) continue;
+    report.add(finding);
+  }
+  if (options.max_probe_markings == 0 && !fully_proved) {
+    report.add("SAN031", Severity::kWarning, model.name(), "",
+               "probe budget is zero and the prover could not settle every property: some "
+               "checks did not run",
+               "raise ModelLintOptions::max_probe_markings, or make the model fully provable "
+               "(combinator expressions and bounded places)");
+  }
   return report;
 }
 

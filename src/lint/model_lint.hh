@@ -2,31 +2,48 @@
 
 /// \file model_lint.hh
 /// Layer-1 static checks on a san::SanModel, run *before* state-space
-/// generation. The checker probes the reachable markings breadth-first with
-/// an exception-tolerant re-implementation of the generator's firing rules:
-/// where generate_state_space() would throw on first contact with a defect,
-/// lint_model() records a structured finding per defect and keeps going, so
-/// one run reports every problem the probe can reach.
+/// generation. Two passes compose:
+///
+///  - the *prover* (lint/prove.hh) abstract-interprets the expression IR
+///    over interval boxes and settles properties for ALL markings at once;
+///  - the *probe* breadth-first walks the reachable markings with an
+///    exception-tolerant re-implementation of the generator's firing rules:
+///    where generate_state_space() would throw on first contact with a
+///    defect, it records a structured finding per defect and keeps going.
+///
+/// The probe backs the prover up: prover refutations and proofs stand on
+/// their own, while properties the prover cannot decide (opaque lambdas,
+/// interval domain too coarse) fall to the probe. A fully proved model needs
+/// no probe at all — SAN031 (partial coverage) disappears — and when the
+/// probe covers the complete reachable set, the prover's unprovable-class
+/// findings (SAN040/SAN043/SAN044) are dropped as moot. Duplicate findings
+/// for the same (code, location) defect site report once, prover first.
 ///
 /// Check codes (full catalog: docs/static-analysis.md):
 ///   SAN001 error   model has no places
 ///   SAN002 error   model has no timed activities (no time evolution)
-///   SAN004 error   expression raised an error at a probed marking (for
-///                  models built with san/expr.hh combinators this includes
-///                  references to places the model does not have)
-///   SAN010 error   case probabilities do not sum to 1 at a probed marking
-///   SAN011 error   case probability outside [0,1] at a probed marking
+///   SAN004 error   expression raised an error at a probed marking, or
+///                  references a place the model does not have (proved
+///                  statically from the IR)
+///   SAN010 error   case probabilities do not sum to 1 at some marking
+///   SAN011 error   case probability outside [0,1] at some marking
 ///   SAN012 error   enabled timed activity with non-positive/NaN/inf rate
 ///   SAN030 error   cycle among vanishing markings (instantaneous-activity
-///                  loop: vanishing elimination would diverge)
-///   SAN020 warning timed activity fires in no probed tangible marking
-///   SAN021 warning instantaneous activity fires in no probed marking
-///                  (disabled everywhere, or always pre-empted by priority)
-///   SAN031 warning probe budget exhausted; checks cover only a prefix of
-///                  the reachable markings
-///   SAN022 info    place holds the same token count in every probed marking
+///                  loop: vanishing elimination would diverge; probe-only)
+///   SAN041 error   effect can drive a place marking negative (witnessed)
+///   SAN042 error   declared place capacity can be exceeded (witnessed)
+///   SAN020 warning timed activity fires in no tangible marking
+///   SAN021 warning instantaneous activity fires in no marking (disabled
+///                  everywhere, or always pre-empted by priority)
+///   SAN031 warning probe budget exhausted and the model is not fully
+///                  proved; checks cover only a prefix of the markings
+///   SAN040 warning place cannot be bounded in the interval domain
+///   SAN044 warning property unprovable: interval domain too coarse
+///   SAN022 info    place holds the same token count in every marking
+///   SAN043 info    expression is opaque to the prover (hand-written lambda)
 
 #include "lint/finding.hh"
+#include "lint/prove.hh"
 #include "san/model.hh"
 
 namespace gop::lint {
@@ -34,11 +51,20 @@ namespace gop::lint {
 struct ModelLintOptions {
   /// Breadth-first probing stops after this many distinct markings
   /// (tangible and vanishing); exceeding it raises SAN031, not an error.
+  /// Zero disables the probe entirely: only the prover runs, and SAN031 is
+  /// reported unless it fully proved the model.
   size_t max_probe_markings = 20'000;
 
   /// Case probabilities must sum to 1 within this tolerance and branches
   /// below it are ignored (matches san::GenerationOptions).
   double probability_tolerance = 1e-9;
+
+  /// Run the symbolic prover before probing (lint/prove.hh).
+  bool prove = true;
+
+  /// Prover knobs; its probability_tolerance is overridden by the field
+  /// above so the two passes can never disagree on what "sums to 1" means.
+  ProveOptions prove_options;
 };
 
 Report lint_model(const san::SanModel& model, const ModelLintOptions& options = {});

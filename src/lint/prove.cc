@@ -1,0 +1,1016 @@
+#include "lint/prove.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "util/strings.hh"
+
+namespace gop::lint {
+
+namespace {
+
+using san::ExprIr;
+using san::ExprOp;
+using san::InstantaneousActivity;
+using san::Marking;
+using san::SanModel;
+using san::TimedActivity;
+
+constexpr int64_t kUnb = TokenInterval::kUnbounded;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TokenInterval join(const TokenInterval& a, const TokenInterval& b) {
+  TokenInterval out;
+  out.lo = std::min(a.lo, b.lo);
+  out.hi = (a.hi == kUnb || b.hi == kUnb) ? kUnb : std::max(a.hi, b.hi);
+  return out;
+}
+
+MarkingBox join(const MarkingBox& a, const MarkingBox& b) {
+  MarkingBox out = a;
+  for (size_t p = 0; p < out.places.size(); ++p) out.places[p] = join(a.places[p], b.places[p]);
+  return out;
+}
+
+bool operator==(const TokenInterval& a, const TokenInterval& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+bool boxes_equal(const MarkingBox& a, const MarkingBox& b) {
+  return std::equal(a.places.begin(), a.places.end(), b.places.begin(), b.places.end(),
+                    [](const TokenInterval& x, const TokenInterval& y) { return x == y; });
+}
+
+/// Refines `box` to the sub-box where `pred` evaluates to `target`; nullopt
+/// when no marking in the box can. Over-approximate: kOpaque (and any node
+/// the interval domain cannot split, like `!= v` strictly inside an
+/// interval) leaves the box unchanged, which is sound for everything the
+/// prover concludes from a refinement.
+std::optional<MarkingBox> refine(const MarkingBox& box, const ExprIr& pred, bool target) {
+  if (!pred) return box;
+  switch (pred->op) {
+    case ExprOp::kAlways:
+      return target ? std::optional<MarkingBox>(box) : std::nullopt;
+    case ExprOp::kMarkEq: {
+      const TokenInterval iv = box.places[pred->place];
+      const int64_t v = pred->value;
+      if (target) {
+        if (!iv.contains(v)) return std::nullopt;
+        MarkingBox out = box;
+        out.places[pred->place] = TokenInterval{v, v};
+        return out;
+      }
+      if (!iv.contains(v)) return box;
+      if (iv.is_point()) return std::nullopt;
+      MarkingBox out = box;
+      if (v == iv.lo) {
+        out.places[pred->place].lo = v + 1;
+      } else if (iv.bounded() && v == iv.hi) {
+        out.places[pred->place].hi = v - 1;
+      }
+      return out;
+    }
+    case ExprOp::kMarkGe: {
+      const TokenInterval iv = box.places[pred->place];
+      const int64_t v = pred->value;
+      MarkingBox out = box;
+      if (target) {
+        const int64_t lo = std::max(iv.lo, v);
+        if (iv.bounded() && lo > iv.hi) return std::nullopt;
+        out.places[pred->place].lo = lo;
+        return out;
+      }
+      if (iv.lo > v - 1) return std::nullopt;
+      out.places[pred->place].hi = iv.bounded() ? std::min(iv.hi, v - 1) : v - 1;
+      return out;
+    }
+    case ExprOp::kAllOf:
+    case ExprOp::kAnyOf: {
+      // De Morgan: a failing conjunction behaves like a disjunction of
+      // failing children and vice versa.
+      const bool conjunctive = (pred->op == ExprOp::kAllOf) == target;
+      if (conjunctive) {
+        std::optional<MarkingBox> out = box;
+        for (const ExprIr& child : pred->children) {
+          out = refine(*out, child, target);
+          if (!out) return std::nullopt;
+        }
+        return out;
+      }
+      std::optional<MarkingBox> out;
+      for (const ExprIr& child : pred->children) {
+        std::optional<MarkingBox> branch = refine(box, child, target);
+        if (!branch) continue;
+        out = out ? join(*out, *branch) : *branch;
+      }
+      return out;
+    }
+    case ExprOp::kNot:
+      return refine(box, pred->children.at(0), !target);
+    default:
+      return box;
+  }
+}
+
+/// Range of a numeric expression over a box. known == false means the tree
+/// is opaque (or not a numeric expression) and nothing can be said.
+struct NumRange {
+  double lo = -kInf;
+  double hi = kInf;
+  bool known = false;
+};
+
+NumRange eval_num(const MarkingBox& box, const ExprIr& e) {
+  if (!e) return {};
+  switch (e->op) {
+    case ExprOp::kConstNum:
+      return {e->number, e->number, true};
+    case ExprOp::kComplement: {
+      const NumRange r = eval_num(box, e->children.at(0));
+      if (!r.known) return {};
+      return {1.0 - r.hi, 1.0 - r.lo, true};
+    }
+    case ExprOp::kRatePerToken: {
+      const TokenInterval iv = box.places[e->place];
+      const double r = e->number;
+      const double a = r * static_cast<double>(iv.lo);
+      const double b = iv.bounded() ? r * static_cast<double>(iv.hi)
+                                    : (r > 0 ? kInf : (r < 0 ? -kInf : 0.0));
+      return {std::min(a, b), std::max(a, b), true};
+    }
+    case ExprOp::kCond: {
+      const std::optional<MarkingBox> tb = refine(box, e->children.at(0), true);
+      const std::optional<MarkingBox> fb = refine(box, e->children.at(0), false);
+      NumRange out{kInf, -kInf, true};
+      bool any = false;
+      for (const auto& [branch_box, branch] :
+           {std::pair(tb, e->children.at(1)), std::pair(fb, e->children.at(2))}) {
+        if (!branch_box) continue;
+        const NumRange r = eval_num(*branch_box, branch);
+        if (!r.known) return {};
+        out.lo = std::min(out.lo, r.lo);
+        out.hi = std::max(out.hi, r.hi);
+        any = true;
+      }
+      return any ? out : NumRange{};
+    }
+    default:
+      return {};
+  }
+}
+
+/// Side conditions the post-box cannot express: an opaque sub-effect (the
+/// post-box degrades to `top`) and add_mark steps whose lower corner would
+/// go negative (the closure GOP_ENSUREs and throws there at run time).
+struct EffectFlags {
+  bool opaque = false;
+  std::set<size_t> may_negative;
+};
+
+MarkingBox apply_effect(const MarkingBox& box, const ExprIr& e, const MarkingBox& top,
+                        EffectFlags& flags) {
+  if (!e) {
+    flags.opaque = true;
+    return top;
+  }
+  switch (e->op) {
+    case ExprOp::kNoEffect:
+      return box;
+    case ExprOp::kSetMark: {
+      MarkingBox out = box;
+      out.places[e->place] = TokenInterval{e->value, e->value};
+      return out;
+    }
+    case ExprOp::kAddMark: {
+      MarkingBox out = box;
+      TokenInterval& iv = out.places[e->place];
+      int64_t lo = iv.lo + e->value;
+      int64_t hi = iv.bounded() ? iv.hi + e->value : kUnb;
+      if (lo < 0) {
+        flags.may_negative.insert(e->place);
+        lo = 0;
+      }
+      if (hi != kUnb && hi < 0) hi = 0;
+      iv = TokenInterval{lo, hi};
+      return out;
+    }
+    case ExprOp::kSequence: {
+      MarkingBox out = box;
+      for (const ExprIr& child : e->children) out = apply_effect(out, child, top, flags);
+      return out;
+    }
+    case ExprOp::kWhen: {
+      const std::optional<MarkingBox> tb = refine(box, e->children.at(0), true);
+      const std::optional<MarkingBox> fb = refine(box, e->children.at(0), false);
+      std::optional<MarkingBox> out;
+      if (tb) out = apply_effect(*tb, e->children.at(1), top, flags);
+      if (fb) out = out ? join(*out, *fb) : *fb;
+      return out ? *out : box;
+    }
+    default:
+      flags.opaque = true;
+      return top;
+  }
+}
+
+/// True when every place index the tree references exists in the model.
+bool places_in_range(const ExprIr& e, size_t place_count, size_t& offending) {
+  if (!e) return true;
+  switch (e->op) {
+    case ExprOp::kMarkEq:
+    case ExprOp::kMarkGe:
+    case ExprOp::kRatePerToken:
+    case ExprOp::kSetMark:
+    case ExprOp::kAddMark:
+      if (e->place >= place_count) {
+        offending = e->place;
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const ExprIr& child : e->children) {
+    if (!places_in_range(child, place_count, offending)) return false;
+  }
+  return true;
+}
+
+/// Per-place interesting token values and the set of referenced places, for
+/// witness enumeration: interval corners plus the constants the expressions
+/// compare against (and their neighbours, to cross predicate boundaries).
+void collect_constants(const ExprIr& e, std::map<size_t, std::set<int64_t>>& out) {
+  if (!e) return;
+  switch (e->op) {
+    case ExprOp::kMarkEq:
+    case ExprOp::kMarkGe: {
+      std::set<int64_t>& vals = out[e->place];
+      vals.insert(e->value - 1);
+      vals.insert(e->value);
+      vals.insert(e->value + 1);
+      break;
+    }
+    case ExprOp::kRatePerToken:
+    case ExprOp::kSetMark:
+    case ExprOp::kAddMark:
+      out[e->place];
+      break;
+    default:
+      break;
+  }
+  for (const ExprIr& child : e->children) collect_constants(child, out);
+}
+
+/// Concrete-evaluation helpers: witness checks run the actual closures, so
+/// any exception (bad place reference, negative-marking GOP_ENSURE) simply
+/// disqualifies the candidate or confirms the refutation.
+std::optional<bool> try_pred(const san::Predicate& fn, const Marking& m) {
+  try {
+    return fn(m);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> try_num(const san::RateFn& fn, const Marking& m) {
+  try {
+    return fn(m);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Runs the effect on a copy; nullopt when it threw, else the post marking.
+std::optional<Marking> try_effect(const san::Effect& fn, const Marking& m) {
+  Marking next = m;
+  try {
+    fn(next);
+    return next;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// The prover proper: fixpoint bounds, then one verdict per property.
+class Prover {
+ public:
+  Prover(const SanModel& model, const ProveOptions& options, ProofResult& result)
+      : model_(model), options_(options), result_(result) {}
+
+  void run();
+
+ private:
+  // --- verdict/finding plumbing --------------------------------------------
+
+  void verdict(const char* property, std::string location, Verdict v, std::string detail) {
+    result_.verdicts.push_back(PropertyVerdict{property, std::move(location), v,
+                                               std::move(detail)});
+  }
+
+  void finding(const char* code, Severity severity, std::string location, std::string message,
+               std::string hint) {
+    result_.findings.add(code, severity, model_.name(), std::move(location), std::move(message),
+                         std::move(hint));
+  }
+
+  /// SAN043 for one opaque expression, named by its role within the activity.
+  void opaque_finding(const std::string& location, const char* role) {
+    finding("SAN043", Severity::kInfo, location,
+            str_format("%s is opaque to the prover (hand-written lambda): the property falls "
+                       "back to the reachability probe",
+                       role),
+            "build the expression from the san/expr.hh combinators to make it provable");
+  }
+
+  /// Statically-invalid place reference: SAN004 without running anything.
+  /// Returns true when the expression is usable (all places in range).
+  bool check_places(const ExprIr& e, const std::string& location) {
+    size_t offending = 0;
+    if (places_in_range(e, model_.place_count(), offending)) return true;
+    if (reported_bad_places_.insert(location).second) {
+      finding("SAN004", Severity::kError, location,
+              str_format("expression references place #%zu but the model declares %zu place(s)",
+                         offending, model_.place_count()),
+              "expressions must reference only places the model declares");
+    }
+    return false;
+  }
+
+  // --- fixpoint -------------------------------------------------------------
+
+  MarkingBox initial_box() const {
+    MarkingBox box;
+    const Marking initial = model_.initial_marking();
+    box.places.resize(model_.place_count());
+    for (size_t p = 0; p < model_.place_count(); ++p) {
+      box.places[p] = TokenInterval{initial[p], initial[p]};
+    }
+    return box;
+  }
+
+  MarkingBox top_box() const {
+    MarkingBox box;
+    box.places.resize(model_.place_count());
+    for (size_t p = 0; p < model_.place_count(); ++p) {
+      const std::optional<int32_t> cap = model_.place_capacity(san::PlaceRef{p});
+      box.places[p] = TokenInterval{0, cap ? static_cast<int64_t>(*cap) : kUnb};
+    }
+    return box;
+  }
+
+  /// The usable IR of an expression: its tree, unless a place reference is
+  /// statically out of range, in which case null (treated as opaque but
+  /// without an extra SAN043 — the SAN004 already names the defect).
+  template <typename Fn>
+  ExprIr usable_ir(const Fn& fn, const std::string& location) {
+    const ExprIr& e = fn.ir();
+    if (!e) return nullptr;
+    return check_places(e, location) ? e : nullptr;
+  }
+
+  /// One abstract firing sweep: joins every activity's post-box into `next`.
+  void sweep(const MarkingBox& box, MarkingBox& next) {
+    const auto fire = [&](const san::Predicate& enabled, const std::vector<san::Case>& cases,
+                          const std::string& name) {
+      const std::optional<MarkingBox> guard = refine(box, usable_ir(enabled, name), true);
+      if (!guard) return;
+      for (size_t c = 0; c < cases.size(); ++c) {
+        const std::string location = name + " case " + std::to_string(c);
+        const NumRange p = eval_num(*guard, usable_ir(cases[c].probability, location));
+        if (p.known && p.lo == 0.0 && p.hi == 0.0) continue;  // case provably never taken
+        EffectFlags flags;
+        next = join(next, apply_effect(*guard, usable_ir(cases[c].effect, location), top_, flags));
+      }
+    };
+    for (const TimedActivity& activity : model_.timed_activities()) {
+      fire(activity.enabled, activity.cases, activity.name);
+    }
+    // Priority pre-emption is ignored here: firing a pre-empted activity
+    // abstractly only widens the box, which stays a sound over-approximation.
+    for (const InstantaneousActivity& activity : model_.instantaneous_activities()) {
+      fire(activity.enabled, activity.cases, activity.name);
+    }
+  }
+
+  /// Widening: a bound still moving after widen_delay sweeps jumps straight
+  /// to its threshold — the declared capacity if it still fits, else
+  /// unbounded (upper) / zero (lower). Guarantees termination.
+  void widen(const MarkingBox& previous, MarkingBox& next) const {
+    for (size_t p = 0; p < next.places.size(); ++p) {
+      const TokenInterval& before = previous.places[p];
+      TokenInterval& after = next.places[p];
+      if (after.lo < before.lo) after.lo = 0;
+      if (after.hi != before.hi && (before.hi == kUnb || after.hi == kUnb ||
+                                    after.hi > before.hi)) {
+        const TokenInterval& cap = top_.places[p];
+        after.hi = (cap.bounded() && after.hi != kUnb && after.hi <= cap.hi) ? cap.hi : kUnb;
+      }
+    }
+  }
+
+  void fixpoint() {
+    box_ = initial_box();
+    for (size_t iteration = 0;; ++iteration) {
+      MarkingBox next = box_;
+      sweep(box_, next);
+      if (iteration >= options_.widen_delay) widen(box_, next);
+      if (boxes_equal(next, box_)) break;
+      box_ = std::move(next);
+    }
+  }
+
+  // --- witness search -------------------------------------------------------
+
+  /// Enumerates candidate markings of `box`: the cartesian product of each
+  /// place's corner values and the constants `exprs` compare against, capped
+  /// at max_witness_candidates (falling back to varying only the referenced
+  /// places when the full product is too large).
+  std::vector<Marking> candidates(const MarkingBox& box, const std::vector<ExprIr>& exprs) const {
+    std::map<size_t, std::set<int64_t>> constants;
+    for (const ExprIr& e : exprs) collect_constants(e, constants);
+
+    const auto place_values = [&](size_t p, bool vary) {
+      std::vector<int64_t> values;
+      const TokenInterval& iv = box.places[p];
+      values.push_back(iv.lo);
+      if (!vary) return values;
+      if (iv.bounded() && iv.hi != iv.lo) values.push_back(iv.hi);
+      if (const auto it = constants.find(p); it != constants.end()) {
+        for (int64_t v : it->second) {
+          if (v >= iv.lo && (!iv.bounded() || v <= iv.hi) &&
+              std::find(values.begin(), values.end(), v) == values.end()) {
+            values.push_back(v);
+          }
+        }
+      }
+      std::sort(values.begin(), values.end());
+      return values;
+    };
+
+    for (const bool vary_all : {true, false}) {
+      std::vector<std::vector<int64_t>> axes(model_.place_count());
+      size_t product = 1;
+      for (size_t p = 0; p < model_.place_count(); ++p) {
+        axes[p] = place_values(p, vary_all || constants.count(p) > 0);
+        product = std::min(product * axes[p].size(), options_.max_witness_candidates + 1);
+      }
+      if (product > options_.max_witness_candidates && vary_all) continue;
+
+      std::vector<Marking> out;
+      std::vector<size_t> digit(model_.place_count(), 0);
+      while (out.size() < options_.max_witness_candidates) {
+        Marking m(model_.place_count());
+        bool representable = true;
+        for (size_t p = 0; p < model_.place_count(); ++p) {
+          const int64_t v = axes[p][digit[p]];
+          if (v > std::numeric_limits<int32_t>::max()) representable = false;
+          m[p] = static_cast<int32_t>(v);
+        }
+        if (representable) out.push_back(std::move(m));
+        size_t p = 0;
+        for (; p < digit.size(); ++p) {
+          if (++digit[p] < axes[p].size()) break;
+          digit[p] = 0;
+        }
+        if (p == digit.size()) return out;
+      }
+      return out;
+    }
+    return {};
+  }
+
+  /// True when `m` is tangible under the concrete instantaneous guards; a
+  /// throwing guard disqualifies the candidate (nullopt upstream).
+  std::optional<bool> tangible(const Marking& m) const {
+    for (const InstantaneousActivity& activity : model_.instantaneous_activities()) {
+      const std::optional<bool> enabled = try_pred(activity.enabled, m);
+      if (!enabled) return std::nullopt;
+      if (*enabled) return false;
+    }
+    return true;
+  }
+
+  /// True when no strictly-higher-priority instantaneous activity is enabled
+  /// at `m` (the firing rule for instantaneous activity `self`).
+  std::optional<bool> unpreempted(const Marking& m, size_t self) const {
+    const int priority = model_.instantaneous_activities()[self].priority;
+    for (size_t i = 0; i < model_.instantaneous_activities().size(); ++i) {
+      const InstantaneousActivity& other = model_.instantaneous_activities()[i];
+      if (i == self || other.priority <= priority) continue;
+      const std::optional<bool> enabled = try_pred(other.enabled, m);
+      if (!enabled) return std::nullopt;
+      if (*enabled) return false;
+    }
+    return true;
+  }
+
+  // --- per-activity properties ---------------------------------------------
+
+  void prove_liveness(const std::string& name, const san::Predicate& enabled,
+                      const std::optional<MarkingBox>& guard, bool timed,
+                      std::optional<size_t> instant_index);
+  void prove_rate(const TimedActivity& activity, const MarkingBox& guard);
+  void prove_case_ranges(const std::string& name, const std::vector<san::Case>& cases,
+                         const san::Predicate& enabled, const MarkingBox& guard);
+  void prove_case_sum(const std::string& name, const std::vector<san::Case>& cases,
+                      const san::Predicate& enabled, const MarkingBox& guard);
+  void prove_effects(const std::string& name, const std::vector<san::Case>& cases,
+                     const san::Predicate& enabled, const MarkingBox& guard);
+  void prove_places();
+
+  const SanModel& model_;
+  const ProveOptions& options_;
+  ProofResult& result_;
+
+  MarkingBox box_;  ///< fixpoint bounds
+  MarkingBox top_;  ///< [0, declared capacity | unbounded] per place
+  std::set<std::string> reported_bad_places_;
+};
+
+void Prover::prove_liveness(const std::string& name, const san::Predicate& enabled,
+                            const std::optional<MarkingBox>& guard, bool timed,
+                            std::optional<size_t> instant_index) {
+  const char* code = timed ? "SAN020" : "SAN021";
+  if (enabled.has_ir() && !guard) {
+    verdict("liveness", name, Verdict::kProved, "guard unsatisfiable within bounds: proved dead");
+    finding(code, Severity::kWarning, name,
+            timed ? "timed activity can fire in no marking (proved: the guard is unsatisfiable "
+                    "within the marking bounds)"
+                  : "instantaneous activity can fire in no marking (proved: the guard is "
+                    "unsatisfiable within the marking bounds)",
+            "the enabling predicate never holds; check the guard and the initial marking");
+    return;
+  }
+  const MarkingBox& search = guard ? *guard : box_;
+  for (const Marking& m : candidates(search, {enabled.ir()})) {
+    const std::optional<bool> on = try_pred(enabled, m);
+    if (!on || !*on) continue;
+    const std::optional<bool> fires =
+        timed ? tangible(m) : unpreempted(m, *instant_index);
+    if (fires && *fires) {
+      verdict("liveness", name, Verdict::kProved, "fires in marking " + m.to_string());
+      return;
+    }
+  }
+  verdict("liveness", name, Verdict::kUnprovable,
+          "no firing witness found among the box corners");
+  finding("SAN044", Severity::kWarning, name,
+          "cannot decide whether the activity ever fires (interval domain too coarse); the "
+          "reachability probe decides this",
+          "tighten the guard to combinator predicates, or rely on the probe");
+}
+
+void Prover::prove_rate(const TimedActivity& activity, const MarkingBox& guard) {
+  const ExprIr rate = usable_ir(activity.rate, activity.name);
+  if (!activity.rate.has_ir()) opaque_finding(activity.name, "rate expression");
+  if (!rate) {
+    verdict("rate-positive", activity.name, Verdict::kUnprovable, "opaque rate expression");
+    return;
+  }
+  const NumRange range = eval_num(guard, rate);
+  if (range.known && range.lo > 0.0 && std::isfinite(range.hi)) {
+    verdict("rate-positive", activity.name, Verdict::kProved,
+            str_format("rate in [%g, %g] over all enabling markings", range.lo, range.hi));
+    return;
+  }
+  // The range dips to zero or below (or is unbounded): look for a concrete
+  // enabling marking where the closure really misbehaves.
+  for (const Marking& m : candidates(guard, {activity.enabled.ir(), rate})) {
+    const std::optional<bool> on = try_pred(activity.enabled, m);
+    if (!on || !*on) continue;
+    const std::optional<double> r = try_num(activity.rate, m);
+    if (r && (!(*r > 0.0) || !std::isfinite(*r))) {
+      verdict("rate-positive", activity.name, Verdict::kRefuted,
+              str_format("rate %g in enabling marking %s", *r, m.to_string().c_str()));
+      finding("SAN012", Severity::kError, activity.name,
+              str_format("rate evaluates to %g in enabling marking %s (must be positive and "
+                         "finite); refuted by the prover",
+                         *r, m.to_string().c_str()),
+              "guard the rate expression so it is positive and finite wherever the activity is "
+              "enabled");
+      return;
+    }
+  }
+  verdict("rate-positive", activity.name, Verdict::kUnprovable,
+          str_format("rate range [%g, %g] over the enabling box is not provably positive and "
+                     "finite",
+                     range.lo, range.hi));
+  finding("SAN044", Severity::kWarning, activity.name,
+          str_format("cannot prove the rate positive and finite (range [%g, %g] over the "
+                     "enabling box)",
+                     range.lo, range.hi),
+          "bound the places the rate depends on, or rely on the probe");
+}
+
+void Prover::prove_case_ranges(const std::string& name, const std::vector<san::Case>& cases,
+                               const san::Predicate& enabled, const MarkingBox& guard) {
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const std::string location = name + " case " + std::to_string(c);
+    const ExprIr prob = usable_ir(cases[c].probability, location);
+    if (!cases[c].probability.has_ir()) opaque_finding(location, "case probability");
+    if (!prob) {
+      verdict("prob-range", location, Verdict::kUnprovable, "opaque probability expression");
+      continue;
+    }
+    const NumRange range = eval_num(guard, prob);
+    const double tol = options_.probability_tolerance;
+    if (range.known && range.lo >= -tol && range.hi <= 1.0 + tol) {
+      verdict("prob-range", location, Verdict::kProved,
+              str_format("probability in [%g, %g]", range.lo, range.hi));
+      continue;
+    }
+    bool refuted = false;
+    for (const Marking& m : candidates(guard, {enabled.ir(), prob})) {
+      const std::optional<bool> on = try_pred(enabled, m);
+      if (!on || !*on) continue;
+      const std::optional<double> p = try_num(cases[c].probability, m);
+      if (p && !(*p >= -tol && *p <= 1.0 + tol)) {
+        verdict("prob-range", location, Verdict::kRefuted,
+                str_format("probability %g in marking %s", *p, m.to_string().c_str()));
+        finding("SAN011", Severity::kError, name,
+                str_format("case %zu has probability %g in marking %s (outside [0,1]); refuted "
+                           "by the prover",
+                           c, *p, m.to_string().c_str()),
+                "case probabilities are probabilities; clamp or renormalize the expression");
+        refuted = true;
+        break;
+      }
+    }
+    if (refuted) continue;
+    verdict("prob-range", location, Verdict::kUnprovable,
+            str_format("probability range [%g, %g] not provably within [0,1]", range.lo,
+                       range.hi));
+    finding("SAN044", Severity::kWarning, location,
+            str_format("cannot prove the case probability within [0,1] (range [%g, %g])",
+                       range.lo, range.hi),
+            "bound the places the probability depends on, or rely on the probe");
+  }
+}
+
+void Prover::prove_case_sum(const std::string& name, const std::vector<san::Case>& cases,
+                            const san::Predicate& enabled, const MarkingBox& guard) {
+  // Collect the distinct branch conditions across the cases (cond_prob
+  // nodes); the sum is proved per feasible true/false assignment of them.
+  std::vector<ExprIr> conditions;
+  std::vector<ExprIr> probs;
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const ExprIr prob = usable_ir(cases[c].probability, name + " case " + std::to_string(c));
+    if (!prob || san::ir::contains_opaque(prob)) {
+      verdict("prob-sum", name, Verdict::kUnprovable,
+              "a case probability is opaque to the prover");
+      return;
+    }
+    probs.push_back(prob);
+    const std::function<void(const ExprIr&)> scan = [&](const ExprIr& e) {
+      if (e->op == ExprOp::kCond) {
+        const ExprIr& cond = e->children[0];
+        if (std::none_of(conditions.begin(), conditions.end(), [&](const ExprIr& seen) {
+              return san::ir::structurally_equal(seen, cond);
+            })) {
+          conditions.push_back(cond);
+        }
+      }
+      for (const ExprIr& child : e->children) scan(child);
+    };
+    scan(prob);
+  }
+  if (conditions.size() > options_.max_predicate_splits) {
+    verdict("prob-sum", name, Verdict::kUnprovable,
+            str_format("%zu distinct branch conditions exceed max_predicate_splits=%zu",
+                       conditions.size(), options_.max_predicate_splits));
+    finding("SAN044", Severity::kWarning, name,
+            str_format("cannot prove the case probabilities sum to 1: %zu distinct branch "
+                       "conditions exceed the case-split budget of %zu",
+                       conditions.size(), options_.max_predicate_splits),
+            "simplify the branch structure or raise ProveOptions::max_predicate_splits");
+    return;
+  }
+
+  // Resolves a probability tree to the constant it takes under `assignment`.
+  const std::function<std::optional<double>(const ExprIr&, const std::vector<bool>&,
+                                            const MarkingBox&)>
+      resolve = [&](const ExprIr& e, const std::vector<bool>& assignment,
+                    const MarkingBox& branch_box) -> std::optional<double> {
+    switch (e->op) {
+      case ExprOp::kConstNum:
+        return e->number;
+      case ExprOp::kComplement: {
+        const std::optional<double> child = resolve(e->children[0], assignment, branch_box);
+        return child ? std::optional<double>(1.0 - *child) : std::nullopt;
+      }
+      case ExprOp::kCond:
+        for (size_t i = 0; i < conditions.size(); ++i) {
+          if (san::ir::structurally_equal(conditions[i], e->children[0])) {
+            return resolve(e->children[assignment[i] ? 1 : 2], assignment, branch_box);
+          }
+        }
+        return std::nullopt;
+      default: {
+        const NumRange r = eval_num(branch_box, e);
+        if (r.known && r.lo == r.hi) return r.lo;
+        return std::nullopt;
+      }
+    }
+  };
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << conditions.size()); ++mask) {
+    std::vector<bool> assignment(conditions.size());
+    std::optional<MarkingBox> branch_box = guard;
+    for (size_t i = 0; i < conditions.size() && branch_box; ++i) {
+      assignment[i] = (mask >> i) & 1;
+      branch_box = refine(*branch_box, conditions[i], assignment[i]);
+    }
+    if (!branch_box) continue;  // this combination of branches is infeasible
+
+    // Sum the per-case constants exactly as the generator does: in case
+    // order with a running double total.
+    double total = 0.0;
+    bool resolved = true;
+    for (const ExprIr& prob : probs) {
+      const std::optional<double> p = resolve(prob, assignment, *branch_box);
+      if (!p) {
+        resolved = false;
+        break;
+      }
+      total += *p;
+    }
+    if (!resolved) {
+      verdict("prob-sum", name, Verdict::kUnprovable,
+              "a case probability does not resolve to a constant on every branch");
+      finding("SAN044", Severity::kWarning, name,
+              "cannot prove the case probabilities sum to 1: a probability does not resolve to "
+              "a constant on every branch",
+              "use constant_prob/complement_prob/cond_prob so each branch sums symbolically");
+      return;
+    }
+    if (std::abs(total - 1.0) <= options_.probability_tolerance) continue;
+
+    // Symbolic violation: confirm with a concrete enabling marking.
+    for (const Marking& m : candidates(*branch_box, probs)) {
+      const std::optional<bool> on = try_pred(enabled, m);
+      if (!on || !*on) continue;
+      double concrete = 0.0;
+      bool evaluated = true;
+      for (const san::Case& c : cases) {
+        const std::optional<double> p = try_num(c.probability, m);
+        if (!p) {
+          evaluated = false;
+          break;
+        }
+        concrete += *p;
+      }
+      if (evaluated && std::abs(concrete - 1.0) > options_.probability_tolerance) {
+        verdict("prob-sum", name, Verdict::kRefuted,
+                str_format("probabilities sum to %.12g in marking %s", concrete,
+                           m.to_string().c_str()));
+        finding("SAN010", Severity::kError, name,
+                str_format("case probabilities sum to %.12g in marking %s (expected 1); refuted "
+                           "by the prover",
+                           concrete, m.to_string().c_str()),
+                "make the case probabilities sum to 1 in every marking where the activity is "
+                "enabled (use complement_prob for two-case activities)");
+        return;
+      }
+    }
+    verdict("prob-sum", name, Verdict::kUnprovable,
+            str_format("probabilities sum to %.12g on a branch the prover cannot witness "
+                       "concretely",
+                       total));
+    finding("SAN044", Severity::kWarning, name,
+            str_format("case probabilities sum to %.12g on an abstract branch, but no concrete "
+                       "witness marking was found",
+                       total),
+            "the branch may be unreachable; rely on the probe");
+    return;
+  }
+  verdict("prob-sum", name, Verdict::kProved,
+          conditions.empty()
+              ? "constant probabilities sum to 1"
+              : str_format("probabilities sum to 1 on every feasible assignment of %zu branch "
+                           "condition(s)",
+                           conditions.size()));
+}
+
+void Prover::prove_effects(const std::string& name, const std::vector<san::Case>& cases,
+                           const san::Predicate& enabled, const MarkingBox& guard) {
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const std::string location = name + " case " + std::to_string(c);
+    const ExprIr effect = usable_ir(cases[c].effect, location);
+    if (!cases[c].effect.has_ir()) opaque_finding(location, "case effect");
+
+    const NumRange p = eval_num(guard, usable_ir(cases[c].probability, location));
+    if (p.known && p.lo == 0.0 && p.hi == 0.0) {
+      verdict("effect-bounds", location, Verdict::kProved, "case provably never taken");
+      continue;
+    }
+
+    EffectFlags flags;
+    const MarkingBox post = apply_effect(guard, effect, top_, flags);
+    if (flags.opaque) {
+      verdict("effect-bounds", location, Verdict::kUnprovable, "opaque effect expression");
+      continue;
+    }
+
+    // Declared capacities the post-box can exceed.
+    std::vector<size_t> over_capacity;
+    for (size_t place = 0; place < post.places.size(); ++place) {
+      const TokenInterval& cap = top_.places[place];
+      if (!cap.bounded()) continue;
+      if (post.places[place].hi == kUnb || post.places[place].hi > cap.hi) {
+        over_capacity.push_back(place);
+      }
+    }
+    if (flags.may_negative.empty() && over_capacity.empty()) {
+      verdict("effect-bounds", location, Verdict::kProved,
+              "markings stay non-negative and within declared capacities");
+      continue;
+    }
+
+    // Confirm with a concrete enabling marking whose firing misbehaves.
+    bool refuted = false;
+    for (const Marking& m : candidates(guard, {enabled.ir(), effect})) {
+      const std::optional<bool> on = try_pred(enabled, m);
+      if (!on || !*on) continue;
+      const std::optional<double> prob = try_num(cases[c].probability, m);
+      if (!prob || *prob <= options_.probability_tolerance) continue;
+      const std::optional<Marking> next = try_effect(cases[c].effect, m);
+      if (!next) {
+        verdict("effect-bounds", location, Verdict::kRefuted,
+                "effect throws (negative marking) when fired from " + m.to_string());
+        finding("SAN041", Severity::kError, location,
+                "effect drives a place marking negative when fired from marking " +
+                    m.to_string() + "; refuted by the prover",
+                "guard the activity (or the effect with when()) so tokens are only removed "
+                "where they exist");
+        refuted = true;
+        break;
+      }
+      for (size_t place : over_capacity) {
+        const TokenInterval& cap = top_.places[place];
+        if ((*next)[place] > cap.hi) {
+          verdict("effect-bounds", location, Verdict::kRefuted,
+                  str_format("firing from %s leaves %d token(s) in place '%s' (capacity %d)",
+                             m.to_string().c_str(), static_cast<int>((*next)[place]),
+                             model_.place_name(san::PlaceRef{place}).c_str(),
+                             static_cast<int>(cap.hi)));
+          finding("SAN042", Severity::kError, location,
+                  str_format("firing from marking %s leaves %d token(s) in place '%s', beyond "
+                             "its declared capacity %d; refuted by the prover",
+                             m.to_string().c_str(), static_cast<int>((*next)[place]),
+                             model_.place_name(san::PlaceRef{place}).c_str(),
+                             static_cast<int>(cap.hi)),
+                  "cap the effect with when(), or raise the declared capacity");
+          refuted = true;
+          break;
+        }
+      }
+      if (refuted) break;
+    }
+    if (refuted) continue;
+    verdict("effect-bounds", location, Verdict::kUnprovable,
+            "the post-box may leave bounds but no concrete witness was found");
+    finding("SAN044", Severity::kWarning, location,
+            "cannot prove the effect keeps markings non-negative and within declared "
+            "capacities",
+            "the offending corner may be unreachable; rely on the probe");
+  }
+}
+
+void Prover::prove_places() {
+  for (size_t p = 0; p < model_.place_count(); ++p) {
+    const std::string& place = model_.place_name(san::PlaceRef{p});
+    const TokenInterval& iv = box_.places[p];
+    if (iv.bounded()) {
+      verdict("place-bounded", place, Verdict::kProved,
+              str_format("tokens in [%lld, %lld] in every reachable marking",
+                         static_cast<long long>(iv.lo), static_cast<long long>(iv.hi)));
+      if (iv.is_point()) {
+        finding("SAN022", Severity::kInfo, place,
+                str_format("place holds %lld token(s) in every reachable marking (proved)",
+                           static_cast<long long>(iv.lo)),
+                "a constant place is often a misspelled reference or a forgotten effect");
+      }
+      continue;
+    }
+    verdict("place-bounded", place, Verdict::kUnprovable,
+            "no upper bound in the interval domain (fixpoint widened to unbounded)");
+    finding("SAN040", Severity::kWarning, place,
+            "cannot bound the place's token count in the interval domain",
+            "declare a capacity via add_place(name, initial, capacity), or cap the effects "
+            "feeding the place");
+  }
+}
+
+void Prover::run() {
+  if (model_.place_count() == 0 || model_.timed_activities().empty()) {
+    result_.fully_proved = false;
+    return;
+  }
+  top_ = top_box();
+  fixpoint();
+  result_.bounds = box_;
+
+  prove_places();
+
+  for (const TimedActivity& activity : model_.timed_activities()) {
+    if (!activity.enabled.has_ir()) opaque_finding(activity.name, "enabling predicate");
+    const ExprIr guard_ir = usable_ir(activity.enabled, activity.name);
+    const std::optional<MarkingBox> guard = refine(box_, guard_ir, true);
+    prove_liveness(activity.name, activity.enabled, guard, /*timed=*/true, std::nullopt);
+    if (!guard) {
+      // Proved dead: every per-enabling-marking property holds vacuously.
+      verdict("rate-positive", activity.name, Verdict::kProved, "vacuous: activity proved dead");
+      verdict("prob-sum", activity.name, Verdict::kProved, "vacuous: activity proved dead");
+      continue;
+    }
+    prove_rate(activity, *guard);
+    prove_case_ranges(activity.name, activity.cases, activity.enabled, *guard);
+    prove_case_sum(activity.name, activity.cases, activity.enabled, *guard);
+    prove_effects(activity.name, activity.cases, activity.enabled, *guard);
+  }
+
+  for (size_t i = 0; i < model_.instantaneous_activities().size(); ++i) {
+    const InstantaneousActivity& activity = model_.instantaneous_activities()[i];
+    if (!activity.enabled.has_ir()) opaque_finding(activity.name, "enabling predicate");
+    const ExprIr guard_ir = usable_ir(activity.enabled, activity.name);
+    const std::optional<MarkingBox> guard = refine(box_, guard_ir, true);
+    prove_liveness(activity.name, activity.enabled, guard, /*timed=*/false, i);
+    if (!guard) {
+      verdict("prob-sum", activity.name, Verdict::kProved, "vacuous: activity proved dead");
+      continue;
+    }
+    prove_case_ranges(activity.name, activity.cases, activity.enabled, *guard);
+    prove_case_sum(activity.name, activity.cases, activity.enabled, *guard);
+    prove_effects(activity.name, activity.cases, activity.enabled, *guard);
+  }
+
+  result_.fully_proved =
+      std::all_of(result_.verdicts.begin(), result_.verdicts.end(),
+                  [](const PropertyVerdict& v) { return v.verdict == Verdict::kProved; });
+  if (result_.fully_proved) {
+    finding("SAN045", Severity::kInfo, "",
+            str_format("fully proved: all %zu properties hold for every marking within the "
+                       "computed bounds (no probe needed)",
+                       result_.verdicts.size()),
+            "");
+  }
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kProved:
+      return "proved";
+    case Verdict::kRefuted:
+      return "refuted";
+    case Verdict::kUnprovable:
+      return "unprovable";
+  }
+  return "unknown";
+}
+
+bool MarkingBox::contains(const san::Marking& marking) const {
+  if (marking.size() != places.size()) return false;
+  for (size_t p = 0; p < places.size(); ++p) {
+    if (!places[p].contains(marking[p])) return false;
+  }
+  return true;
+}
+
+std::string MarkingBox::to_string(const san::SanModel& model) const {
+  std::string out;
+  for (size_t p = 0; p < places.size(); ++p) {
+    if (p > 0) out += ' ';
+    out += model.place_name(san::PlaceRef{p});
+    if (places[p].bounded()) {
+      out += str_format(":[%lld,%lld]", static_cast<long long>(places[p].lo),
+                        static_cast<long long>(places[p].hi));
+    } else {
+      out += str_format(":[%lld,inf)", static_cast<long long>(places[p].lo));
+    }
+  }
+  return out;
+}
+
+size_t ProofResult::count(Verdict verdict) const {
+  size_t n = 0;
+  for (const PropertyVerdict& v : verdicts) {
+    if (v.verdict == verdict) ++n;
+  }
+  return n;
+}
+
+ProofResult prove_model(const san::SanModel& model, const ProveOptions& options) {
+  ProofResult result;
+  Prover(model, options, result).run();
+  return result;
+}
+
+}  // namespace gop::lint

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file prove.hh
+/// gop::lint — symbolic model prover. Where the reachability probe
+/// (model_lint.hh) *runs* a model's expressions marking-by-marking and can
+/// only ever certify the prefix it visited, the prover *reads* the
+/// expression IR the san/expr.hh combinators attach (san/expr_ir.hh) and
+/// abstract-interprets it over interval boxes, proving properties for ALL
+/// markings at once:
+///
+///  - every place's token count is bounded (by its declared capacity or an
+///    inferred interval; places the box domain cannot bound raise SAN040);
+///  - enabled timed activities have positive, finite rates (SAN012 becomes a
+///    universal statement instead of a probed one);
+///  - case probabilities lie in [0,1] and sum to 1 in every enabling marking
+///    (SAN011/SAN010 universal, via case-splitting on the distinct cond_prob
+///    conditions of the activity);
+///  - effects never drive a marking negative (SAN041) or past a declared
+///    capacity (SAN042);
+///  - activity liveness (SAN020/SAN021) and constant places (SAN022) as
+///    proofs over the bound box rather than probe observations.
+///
+/// Every property gets one of three verdicts. kProved means the property
+/// holds for every marking inside the computed bounds (a superset of the
+/// reachable set, so the proof covers every reachable marking). kRefuted
+/// means a concrete witness marking inside the bounds violates it — the
+/// finding carries the witness. kUnprovable means the IR is opaque (a
+/// hand-written lambda, SAN043) or the interval domain is too coarse
+/// (SAN044); lint_model() falls back to the probe for exactly these.
+///
+/// Check codes added by this pass (catalog: docs/static-analysis.md):
+///   SAN040 warning place cannot be bounded in the box domain
+///   SAN041 error   effect can drive a place marking negative (witnessed)
+///   SAN042 error   declared place capacity can be exceeded (witnessed)
+///   SAN043 info    expression is opaque to the prover (hand-written lambda)
+///   SAN044 warning property unprovable: interval domain too coarse
+///   SAN045 info    model fully proved (every property kProved)
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lint/finding.hh"
+#include "san/model.hh"
+
+namespace gop::lint {
+
+/// Outcome of one property check.
+enum class Verdict {
+  kProved,      ///< holds for every marking within the computed bounds
+  kRefuted,     ///< a concrete witness marking violates it
+  kUnprovable,  ///< opaque expression or interval domain too coarse
+};
+
+/// "proved" | "refuted" | "unprovable".
+const char* verdict_name(Verdict verdict);
+
+/// Inclusive token-count interval of one place. Markings are non-negative by
+/// construction, so lo >= 0; hi == kUnbounded means no upper bound.
+struct TokenInterval {
+  static constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max();
+
+  int64_t lo = 0;
+  int64_t hi = kUnbounded;
+
+  bool bounded() const { return hi != kUnbounded; }
+  bool is_point() const { return lo == hi; }
+  bool contains(int64_t tokens) const { return tokens >= lo && tokens <= hi; }
+};
+
+/// A box of token intervals, one per place: the abstract state. The fixpoint
+/// box over-approximates the reachable marking set, so a property proved for
+/// every marking in the box holds for every reachable marking.
+struct MarkingBox {
+  std::vector<TokenInterval> places;
+
+  bool contains(const san::Marking& marking) const;
+  std::string to_string(const san::SanModel& model) const;
+};
+
+/// One property the prover checked, with its verdict. `property` is a stable
+/// key ("rate-positive", "prob-range", "prob-sum", "effect-bounds",
+/// "liveness", "place-bounded"); `location` names the activity/case/place.
+struct PropertyVerdict {
+  std::string property;
+  std::string location;
+  Verdict verdict = Verdict::kUnprovable;
+  std::string detail;  ///< proved bound, witness marking, or why unprovable
+};
+
+struct ProveOptions {
+  /// Tolerances match ModelLintOptions / san::GenerationOptions so the
+  /// prover never contradicts the probe on the same model.
+  double probability_tolerance = 1e-9;
+
+  /// Fixpoint iterations before widening kicks in. Widening jumps a growing
+  /// upper bound to the place's declared capacity, then to unbounded; a
+  /// shrinking lower bound drops to 0.
+  size_t widen_delay = 4;
+
+  /// Probability-sum proofs case-split on the distinct cond_prob conditions
+  /// of an activity; more than this many distinct conditions (2^n branch
+  /// assignments) makes the sum unprovable instead of exploding.
+  size_t max_predicate_splits = 6;
+
+  /// Witness searches (refutations, liveness) enumerate at most this many
+  /// candidate markings from the box corners before giving up.
+  size_t max_witness_candidates = 256;
+};
+
+struct ProofResult {
+  /// Fixpoint bounds on every place (over-approximation of reachability).
+  MarkingBox bounds;
+
+  /// Every property checked, in a deterministic order.
+  std::vector<PropertyVerdict> verdicts;
+
+  /// Findings derived from the verdicts (refutations, unprovables, proofs
+  /// worth surfacing like proved-dead activities and constant places).
+  Report findings;
+
+  /// True when every property is kProved: the model needs no probe at all.
+  bool fully_proved = false;
+
+  size_t count(Verdict verdict) const;
+};
+
+/// Proves what it can about `model` from the expression IR alone; never
+/// evaluates an expression on a marking the box does not contain and never
+/// runs the reachability probe.
+ProofResult prove_model(const san::SanModel& model, const ProveOptions& options = {});
+
+}  // namespace gop::lint

@@ -26,27 +26,47 @@ struct MarkingView {
 };
 
 Predicate wrap_predicate(const MarkingView& view, Predicate inner) {
-  return [view, inner = std::move(inner)](const Marking& composed) {
-    return inner(view.extract(composed));
-  };
+  ExprIr rebased = ir::rebase_places(inner.ir(), view.map);
+  return Predicate(
+      [view, inner = std::move(inner)](const Marking& composed) {
+        return inner(view.extract(composed));
+      },
+      std::move(rebased));
 }
 
 RateFn wrap_rate(const MarkingView& view, RateFn inner) {
-  return [view, inner = std::move(inner)](const Marking& composed) {
-    return inner(view.extract(composed));
-  };
+  ExprIr rebased = ir::rebase_places(inner.ir(), view.map);
+  return RateFn(
+      [view, inner = std::move(inner)](const Marking& composed) {
+        return inner(view.extract(composed));
+      },
+      std::move(rebased));
 }
 
 Effect wrap_effect(const MarkingView& view, Effect inner) {
-  return [view, inner = std::move(inner)](Marking& composed) {
-    Marking local = view.extract(composed);
-    inner(local);
-    view.write_back(local, composed);
-  };
+  ExprIr rebased = ir::rebase_places(inner.ir(), view.map);
+  return Effect(
+      [view, inner = std::move(inner)](Marking& composed) {
+        Marking local = view.extract(composed);
+        inner(local);
+        view.write_back(local, composed);
+      },
+      std::move(rebased));
 }
 
 Case wrap_case(const MarkingView& view, const Case& inner) {
   return Case{wrap_rate(view, inner.probability), wrap_effect(view, inner.effect)};
+}
+
+/// add_place that carries the component's declared capacity (if any) into the
+/// composed model, so composition preserves provable marking bounds.
+PlaceRef add_place_like(SanModel& target, const SanModel& component, PlaceRef place,
+                        std::string name) {
+  const int32_t initial = component.initial_marking()[place.index];
+  if (const std::optional<int32_t> capacity = component.place_capacity(place)) {
+    return target.add_place(std::move(name), initial, *capacity);
+  }
+  return target.add_place(std::move(name), initial);
 }
 
 /// Copies all activities of `component` into `target`, rebasing their
@@ -95,8 +115,8 @@ JoinedModel join(const SanModel& left, const SanModel& right, const JoinSpec& sp
   // Left places become the composed prefix (optionally renamed).
   joined.left_place_map.resize(left.place_count());
   for (size_t i = 0; i < left.place_count(); ++i) {
-    const PlaceRef composed = joined.model.add_place(
-        spec.left_prefix + left.place_name(PlaceRef{i}), left.initial_marking()[i]);
+    const PlaceRef composed = add_place_like(joined.model, left, PlaceRef{i},
+                                             spec.left_prefix + left.place_name(PlaceRef{i}));
     joined.left_place_map[i] = composed.index;
   }
 
@@ -108,8 +128,8 @@ JoinedModel join(const SanModel& left, const SanModel& right, const JoinSpec& sp
       joined.right_place_map[i] = joined.left_place_map[right_fused_to_left[i]];
       continue;
     }
-    const PlaceRef composed = joined.model.add_place(
-        spec.right_prefix + right.place_name(PlaceRef{i}), right.initial_marking()[i]);
+    const PlaceRef composed = add_place_like(joined.model, right, PlaceRef{i},
+                                             spec.right_prefix + right.place_name(PlaceRef{i}));
     joined.right_place_map[i] = composed.index;
   }
 
@@ -134,10 +154,9 @@ ReplicatedModel replicate(const SanModel& prototype, size_t count,
   std::vector<size_t> shared_index(prototype.place_count(), SIZE_MAX);
   for (size_t i = 0; i < prototype.place_count(); ++i) {
     if (!is_shared[i]) continue;
-    shared_index[i] = replicated.model
-                          .add_place(prototype.place_name(PlaceRef{i}),
-                                     prototype.initial_marking()[i])
-                          .index;
+    shared_index[i] =
+        add_place_like(replicated.model, prototype, PlaceRef{i}, prototype.place_name(PlaceRef{i}))
+            .index;
   }
 
   for (size_t r = 0; r < count; ++r) {
@@ -147,9 +166,8 @@ ReplicatedModel replicate(const SanModel& prototype, size_t count,
       if (is_shared[i]) {
         map[i] = shared_index[i];
       } else {
-        map[i] = replicated.model
-                     .add_place(prefix + prototype.place_name(PlaceRef{i}),
-                                prototype.initial_marking()[i])
+        map[i] = add_place_like(replicated.model, prototype, PlaceRef{i},
+                                prefix + prototype.place_name(PlaceRef{i}))
                      .index;
       }
     }

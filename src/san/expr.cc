@@ -18,101 +18,152 @@ size_t checked_index(PlaceRef place, const Marking& m) {
   return place.index;
 }
 
+/// IR children of a combinator argument list: each argument's tree, with
+/// hand-written lambdas degrading to a kOpaque leaf (so the rest of the
+/// composite stays analyzable and the prover can name the opaque spot).
+template <typename Fn>
+std::vector<ExprIr> ir_children(const std::vector<Fn>& args) {
+  std::vector<ExprIr> children;
+  children.reserve(args.size());
+  for (const Fn& arg : args) children.push_back(ir::or_opaque(arg.ir()));
+  return children;
+}
+
 }  // namespace
 
 Predicate mark_eq(PlaceRef place, int32_t value) {
-  return [place, value](const Marking& m) { return m[checked_index(place, m)] == value; };
+  return Predicate(
+      [place, value](const Marking& m) { return m[checked_index(place, m)] == value; },
+      ir::mark_eq(place.index, value));
 }
 
 Predicate mark_ge(PlaceRef place, int32_t value) {
-  return [place, value](const Marking& m) { return m[checked_index(place, m)] >= value; };
+  return Predicate(
+      [place, value](const Marking& m) { return m[checked_index(place, m)] >= value; },
+      ir::mark_ge(place.index, value));
 }
 
 Predicate has_tokens(PlaceRef place) {
-  return [place](const Marking& m) { return m[checked_index(place, m)] > 0; };
+  return Predicate([place](const Marking& m) { return m[checked_index(place, m)] > 0; },
+                   ir::mark_ge(place.index, 1));
 }
 
 Predicate always() {
-  return [](const Marking&) { return true; };
+  return Predicate([](const Marking&) { return true; }, ir::always());
 }
 
 Predicate all_of(std::vector<Predicate> predicates) {
   GOP_REQUIRE(!predicates.empty(), "all_of needs at least one predicate");
-  return [predicates = std::move(predicates)](const Marking& m) {
-    for (const Predicate& p : predicates) {
-      if (!p(m)) return false;
-    }
-    return true;
-  };
+  ExprIr node = ir::all_of(ir_children(predicates));
+  return Predicate(
+      [predicates = std::move(predicates)](const Marking& m) {
+        for (const Predicate& p : predicates) {
+          if (!p(m)) return false;
+        }
+        return true;
+      },
+      std::move(node));
 }
 
 Predicate any_of(std::vector<Predicate> predicates) {
   GOP_REQUIRE(!predicates.empty(), "any_of needs at least one predicate");
-  return [predicates = std::move(predicates)](const Marking& m) {
-    for (const Predicate& p : predicates) {
-      if (p(m)) return true;
-    }
-    return false;
-  };
+  ExprIr node = ir::any_of(ir_children(predicates));
+  return Predicate(
+      [predicates = std::move(predicates)](const Marking& m) {
+        for (const Predicate& p : predicates) {
+          if (p(m)) return true;
+        }
+        return false;
+      },
+      std::move(node));
 }
 
 Predicate negate(Predicate predicate) {
   GOP_REQUIRE(static_cast<bool>(predicate), "negate needs a predicate");
-  return [predicate = std::move(predicate)](const Marking& m) { return !predicate(m); };
+  ExprIr node = ir::negate(ir::or_opaque(predicate.ir()));
+  return Predicate([predicate = std::move(predicate)](const Marking& m) { return !predicate(m); },
+                   std::move(node));
 }
 
 RateFn constant_rate(double rate) {
   GOP_REQUIRE(rate > 0.0, "constant_rate must be positive");
-  return [rate](const Marking&) { return rate; };
+  return RateFn([rate](const Marking&) { return rate; }, ir::constant(rate));
 }
 
 ProbFn constant_prob(double probability) {
   GOP_REQUIRE(probability >= 0.0 && probability <= 1.0, "probability must be in [0,1]");
-  return [probability](const Marking&) { return probability; };
+  return ProbFn([probability](const Marking&) { return probability; }, ir::constant(probability));
 }
 
 ProbFn complement_prob(ProbFn probability) {
   GOP_REQUIRE(static_cast<bool>(probability), "complement_prob needs a probability");
-  return [probability = std::move(probability)](const Marking& m) { return 1.0 - probability(m); };
+  ExprIr node = ir::complement(ir::or_opaque(probability.ir()));
+  return ProbFn(
+      [probability = std::move(probability)](const Marking& m) { return 1.0 - probability(m); },
+      std::move(node));
+}
+
+ProbFn cond_prob(Predicate condition, double if_true, double if_false) {
+  GOP_REQUIRE(static_cast<bool>(condition), "cond_prob needs a condition");
+  GOP_REQUIRE(if_true >= 0.0 && if_true <= 1.0 && if_false >= 0.0 && if_false <= 1.0,
+              "probability must be in [0,1]");
+  ExprIr node = ir::cond(ir::or_opaque(condition.ir()), ir::constant(if_true),
+                         ir::constant(if_false));
+  return ProbFn(
+      [condition = std::move(condition), if_true, if_false](const Marking& m) {
+        return condition(m) ? if_true : if_false;
+      },
+      std::move(node));
 }
 
 RateFn rate_per_token(PlaceRef place, double rate) {
   GOP_REQUIRE(rate > 0.0, "rate_per_token must be positive");
-  return [place, rate](const Marking& m) {
-    return rate * static_cast<double>(m[checked_index(place, m)]);
-  };
+  return RateFn(
+      [place, rate](const Marking& m) {
+        return rate * static_cast<double>(m[checked_index(place, m)]);
+      },
+      ir::rate_per_token(place.index, rate));
 }
 
 Effect set_mark(PlaceRef place, int32_t value) {
   GOP_REQUIRE(value >= 0, "marking values are non-negative");
-  return [place, value](Marking& m) { m[checked_index(place, m)] = value; };
+  return Effect([place, value](Marking& m) { m[checked_index(place, m)] = value; },
+                ir::set_mark(place.index, value));
 }
 
 Effect add_mark(PlaceRef place, int32_t delta) {
-  return [place, delta](Marking& m) {
-    const size_t index = checked_index(place, m);
-    const int32_t updated = m[index] + delta;
-    GOP_ENSURE(updated >= 0, "effect drove a place marking negative");
-    m[index] = updated;
-  };
+  return Effect(
+      [place, delta](Marking& m) {
+        const size_t index = checked_index(place, m);
+        const int32_t updated = m[index] + delta;
+        GOP_ENSURE(updated >= 0, "effect drove a place marking negative");
+        m[index] = updated;
+      },
+      ir::add_mark(place.index, delta));
 }
 
 Effect no_effect() {
-  return [](Marking&) {};
+  return Effect([](Marking&) {}, ir::no_effect());
 }
 
 Effect sequence(std::vector<Effect> effects) {
-  return [effects = std::move(effects)](Marking& m) {
-    for (const Effect& e : effects) e(m);
-  };
+  ExprIr node = ir::sequence(ir_children(effects));
+  return Effect(
+      [effects = std::move(effects)](Marking& m) {
+        for (const Effect& e : effects) e(m);
+      },
+      std::move(node));
 }
 
 Effect when(Predicate predicate, Effect effect) {
   GOP_REQUIRE(static_cast<bool>(predicate) && static_cast<bool>(effect),
               "when() needs a predicate and an effect");
-  return [predicate = std::move(predicate), effect = std::move(effect)](Marking& m) {
-    if (predicate(m)) effect(m);
-  };
+  ExprIr node = ir::when(ir::or_opaque(predicate.ir()), ir::or_opaque(effect.ir()));
+  return Effect(
+      [predicate = std::move(predicate), effect = std::move(effect)](Marking& m) {
+        if (predicate(m)) effect(m);
+      },
+      std::move(node));
 }
 
 }  // namespace gop::san

@@ -42,6 +42,11 @@ ProbFn constant_prob(double probability);
 /// 1 - p(m), for two-case activities.
 ProbFn complement_prob(ProbFn probability);
 
+/// condition(m) ? if_true : if_false, both constants in [0,1]. Prefer this
+/// over a hand-written ternary lambda: the prover can case-split on the
+/// condition and verify each activity's probabilities sum to 1 per branch.
+ProbFn cond_prob(Predicate condition, double if_true, double if_false);
+
 /// rate * MARK(place)  (infinite-server style marking dependence).
 RateFn rate_per_token(PlaceRef place, double rate_per_token);
 

@@ -1,0 +1,186 @@
+#include "san/expr_ir.hh"
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::san::ir {
+
+namespace {
+
+ExprIr make(ExprOp op, size_t place = 0, int32_t value = 0, double number = 0.0,
+            std::vector<ExprIr> children = {}) {
+  auto node = std::make_shared<ExprNode>();
+  node->op = op;
+  node->place = place;
+  node->value = value;
+  node->number = number;
+  node->children = std::move(children);
+  return node;
+}
+
+}  // namespace
+
+ExprIr always() { return make(ExprOp::kAlways); }
+
+ExprIr mark_eq(size_t place, int32_t value) { return make(ExprOp::kMarkEq, place, value); }
+
+ExprIr mark_ge(size_t place, int32_t value) { return make(ExprOp::kMarkGe, place, value); }
+
+ExprIr all_of(std::vector<ExprIr> children) {
+  return make(ExprOp::kAllOf, 0, 0, 0.0, std::move(children));
+}
+
+ExprIr any_of(std::vector<ExprIr> children) {
+  return make(ExprOp::kAnyOf, 0, 0, 0.0, std::move(children));
+}
+
+ExprIr negate(ExprIr child) { return make(ExprOp::kNot, 0, 0, 0.0, {std::move(child)}); }
+
+ExprIr constant(double number) { return make(ExprOp::kConstNum, 0, 0, number); }
+
+ExprIr complement(ExprIr child) {
+  return make(ExprOp::kComplement, 0, 0, 0.0, {std::move(child)});
+}
+
+ExprIr rate_per_token(size_t place, double rate) {
+  return make(ExprOp::kRatePerToken, place, 0, rate);
+}
+
+ExprIr cond(ExprIr predicate, ExprIr if_true, ExprIr if_false) {
+  return make(ExprOp::kCond, 0, 0, 0.0,
+              {std::move(predicate), std::move(if_true), std::move(if_false)});
+}
+
+ExprIr no_effect() { return make(ExprOp::kNoEffect); }
+
+ExprIr set_mark(size_t place, int32_t value) { return make(ExprOp::kSetMark, place, value); }
+
+ExprIr add_mark(size_t place, int32_t delta) { return make(ExprOp::kAddMark, place, delta); }
+
+ExprIr sequence(std::vector<ExprIr> children) {
+  return make(ExprOp::kSequence, 0, 0, 0.0, std::move(children));
+}
+
+ExprIr when(ExprIr predicate, ExprIr effect) {
+  return make(ExprOp::kWhen, 0, 0, 0.0, {std::move(predicate), std::move(effect)});
+}
+
+ExprIr opaque() {
+  static const ExprIr node = make(ExprOp::kOpaque);
+  return node;
+}
+
+ExprIr or_opaque(ExprIr node) { return node ? std::move(node) : opaque(); }
+
+ExprIr rebase_places(const ExprIr& node, const std::vector<size_t>& place_map) {
+  if (!node) return nullptr;
+  std::vector<ExprIr> children;
+  children.reserve(node->children.size());
+  for (const ExprIr& child : node->children) {
+    children.push_back(rebase_places(child, place_map));
+  }
+  size_t place = node->place;
+  switch (node->op) {
+    case ExprOp::kMarkEq:
+    case ExprOp::kMarkGe:
+    case ExprOp::kRatePerToken:
+    case ExprOp::kSetMark:
+    case ExprOp::kAddMark:
+      GOP_REQUIRE(place < place_map.size(),
+                  str_format("cannot rebase expression: place #%zu is outside the component's "
+                             "%zu-place map",
+                             place, place_map.size()));
+      place = place_map[place];
+      break;
+    default:
+      break;
+  }
+  return make(node->op, place, node->value, node->number, std::move(children));
+}
+
+bool structurally_equal(const ExprIr& a, const ExprIr& b) {
+  if (a == b) return a != nullptr;
+  if (!a || !b) return false;
+  if (a->op != b->op || a->place != b->place || a->value != b->value) return false;
+  // Bit-compare the numeric operand: the prover's exactness arguments are
+  // about identical doubles, not approximately equal ones.
+  if (!(a->number == b->number) && !(a->number != a->number && b->number != b->number)) {
+    return false;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!structurally_equal(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+bool contains_opaque(const ExprIr& node) {
+  if (!node) return true;
+  if (node->op == ExprOp::kOpaque) return true;
+  for (const ExprIr& child : node->children) {
+    if (contains_opaque(child)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void join_children(const ExprIr& node, const char* separator, std::string& out) {
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    if (i > 0) out += separator;
+    out += to_string(node->children[i]);
+  }
+}
+
+}  // namespace
+
+std::string to_string(const ExprIr& node) {
+  if (!node) return "<no ir>";
+  switch (node->op) {
+    case ExprOp::kAlways:
+      return "true";
+    case ExprOp::kMarkEq:
+      return str_format("mark(#%zu) == %d", node->place, static_cast<int>(node->value));
+    case ExprOp::kMarkGe:
+      return str_format("mark(#%zu) >= %d", node->place, static_cast<int>(node->value));
+    case ExprOp::kAllOf: {
+      std::string out = "(";
+      join_children(node, " && ", out);
+      return out + ")";
+    }
+    case ExprOp::kAnyOf: {
+      std::string out = "(";
+      join_children(node, " || ", out);
+      return out + ")";
+    }
+    case ExprOp::kNot:
+      return "!" + to_string(node->children.at(0));
+    case ExprOp::kConstNum:
+      return format_compact(node->number, 12);
+    case ExprOp::kComplement:
+      return "(1 - " + to_string(node->children.at(0)) + ")";
+    case ExprOp::kRatePerToken:
+      return str_format("%s * mark(#%zu)", format_compact(node->number, 12).c_str(), node->place);
+    case ExprOp::kCond:
+      return "(" + to_string(node->children.at(0)) + " ? " + to_string(node->children.at(1)) +
+             " : " + to_string(node->children.at(2)) + ")";
+    case ExprOp::kNoEffect:
+      return "nop";
+    case ExprOp::kSetMark:
+      return str_format("mark(#%zu) = %d", node->place, static_cast<int>(node->value));
+    case ExprOp::kAddMark:
+      return str_format("mark(#%zu) += %d", node->place, static_cast<int>(node->value));
+    case ExprOp::kSequence: {
+      std::string out = "{";
+      join_children(node, "; ", out);
+      return out + "}";
+    }
+    case ExprOp::kWhen:
+      return "if " + to_string(node->children.at(0)) + ": " + to_string(node->children.at(1));
+    case ExprOp::kOpaque:
+      return "<opaque lambda>";
+  }
+  return "<unknown>";
+}
+
+}  // namespace gop::san::ir

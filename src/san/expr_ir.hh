@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file expr_ir.hh
+/// Reflectable expression IR for SAN marking expressions.
+///
+/// The `san/expr.hh` combinators historically erased to bare `std::function`,
+/// which made every model opaque to static analysis: `gop::lint` could only
+/// *run* the expressions marking-by-marking, never *read* them. Every
+/// combinator now returns an `ExprFn` — the same closure as before (the
+/// generator/simulator hot path calls through `std::function` exactly as it
+/// always did, bit-identically) plus a shared immutable `ExprIr` tree
+/// describing what the closure computes. `lint::prove_model` interprets that
+/// tree over interval boxes to prove properties for *all* markings instead of
+/// a probed prefix (docs/static-analysis.md).
+///
+/// Hand-written lambdas still work everywhere an `ExprFn` is expected; they
+/// simply carry no IR (`has_ir() == false`) and the prover reports them as
+/// `unprovable: opaque expression` at their model location (SAN043), falling
+/// back to the reachability probe for the checks that need them.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gop::san {
+
+/// Node kinds of the expression IR. One enum covers the three expression
+/// sorts (predicates, numeric rate/probability expressions, effects); the
+/// sort is implied by the combinator that built the node.
+enum class ExprOp {
+  // predicates
+  kAlways,        ///< true
+  kMarkEq,        ///< MARK(place) == value
+  kMarkGe,        ///< MARK(place) >= value
+  kAllOf,         ///< conjunction over children
+  kAnyOf,         ///< disjunction over children
+  kNot,           ///< negation of child 0
+  // numeric expressions (rates / probabilities)
+  kConstNum,      ///< the constant `number`
+  kComplement,    ///< 1 - child 0
+  kRatePerToken,  ///< number * MARK(place)
+  kCond,          ///< child 0 (predicate) ? child 1 : child 2
+  // effects
+  kNoEffect,      ///< identity
+  kSetMark,       ///< MARK(place) = value
+  kAddMark,       ///< MARK(place) += value (GOP_ENSUREs the result >= 0)
+  kSequence,      ///< children applied in order
+  kWhen,          ///< if child 0 (predicate) holds: apply child 1 (effect)
+  // escape hatch
+  kOpaque,        ///< a hand-written lambda somewhere below this point
+};
+
+struct ExprNode;
+
+/// Shared immutable IR tree. Null means "no IR at all" (a bare lambda was
+/// assigned where an ExprFn is expected); a tree may still contain kOpaque
+/// leaves when a combinator wrapped a lambda argument.
+using ExprIr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprOp op = ExprOp::kOpaque;
+  size_t place = 0;      ///< place index for kMarkEq/kMarkGe/kSetMark/kAddMark/kRatePerToken
+  int32_t value = 0;     ///< integer operand for kMarkEq/kMarkGe/kSetMark/kAddMark
+  double number = 0.0;   ///< real operand for kConstNum/kRatePerToken
+  std::vector<ExprIr> children;
+};
+
+namespace ir {
+
+ExprIr always();
+ExprIr mark_eq(size_t place, int32_t value);
+ExprIr mark_ge(size_t place, int32_t value);
+ExprIr all_of(std::vector<ExprIr> children);
+ExprIr any_of(std::vector<ExprIr> children);
+ExprIr negate(ExprIr child);
+ExprIr constant(double number);
+ExprIr complement(ExprIr child);
+ExprIr rate_per_token(size_t place, double rate);
+ExprIr cond(ExprIr predicate, ExprIr if_true, ExprIr if_false);
+ExprIr no_effect();
+ExprIr set_mark(size_t place, int32_t value);
+ExprIr add_mark(size_t place, int32_t delta);
+ExprIr sequence(std::vector<ExprIr> children);
+ExprIr when(ExprIr predicate, ExprIr effect);
+
+/// The shared opaque leaf (all opaque sub-expressions are one node).
+ExprIr opaque();
+
+/// `node`, or the opaque leaf when `node` is null. Composing combinators use
+/// this so a lambda argument degrades to a kOpaque *leaf* instead of
+/// discarding the IR of the whole composite.
+ExprIr or_opaque(ExprIr node);
+
+/// Structural rewrite of every place index through `place_map` (composition:
+/// component place i lives at composed index place_map[i]). Null stays null;
+/// a referenced index outside the map throws gop::InvalidArgument.
+ExprIr rebase_places(const ExprIr& node, const std::vector<size_t>& place_map);
+
+/// Structural equality (same ops, operands and children). Used by the prover
+/// to recognize {p, complement(p)} case pairs, which sum to 1 exactly.
+bool structurally_equal(const ExprIr& a, const ExprIr& b);
+
+/// True when the tree contains a kOpaque leaf (or is null).
+bool contains_opaque(const ExprIr& node);
+
+/// Human-readable rendering, e.g. "(mark(#2) == 1 && mark(#4) >= 1)".
+std::string to_string(const ExprIr& node);
+
+}  // namespace ir
+
+/// A marking expression: the closure the solvers and the generator call
+/// (identical to the pre-IR `std::function`, so the hot path is unchanged),
+/// plus the optional IR tree the static analyses read.
+template <typename Signature>
+class ExprFn {
+ public:
+  ExprFn() = default;
+  ExprFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit wrap of any callable (hand-written lambdas): no IR.
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, ExprFn> &&
+                                 !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                                 std::is_constructible_v<std::function<Signature>, F&&>,
+                             int> = 0>
+  ExprFn(F&& callable)  // NOLINT(google-explicit-constructor)
+      : fn_(std::forward<F>(callable)) {}
+
+  /// IR-carrying expression, built by the san/expr.hh combinators.
+  ExprFn(std::function<Signature> fn, ExprIr ir) : fn_(std::move(fn)), ir_(std::move(ir)) {}
+
+  template <typename... Args>
+  decltype(auto) operator()(Args&&... args) const {
+    return fn_(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+  /// The IR tree, or null for a hand-written lambda.
+  const ExprIr& ir() const { return ir_; }
+  bool has_ir() const { return ir_ != nullptr; }
+
+  /// The underlying closure (the simulator forwards it in a few places).
+  const std::function<Signature>& fn() const { return fn_; }
+
+ private:
+  std::function<Signature> fn_;
+  ExprIr ir_;
+};
+
+}  // namespace gop::san

@@ -4,6 +4,10 @@
 
 namespace gop::san {
 
+namespace {
+constexpr int32_t kNoCapacity = -1;
+}  // namespace
+
 SanModel::SanModel(std::string name) : name_(std::move(name)) {}
 
 PlaceRef SanModel::add_place(std::string name, int32_t initial_tokens) {
@@ -14,12 +18,28 @@ PlaceRef SanModel::add_place(std::string name, int32_t initial_tokens) {
   }
   place_names_.push_back(std::move(name));
   initial_tokens_.push_back(initial_tokens);
+  capacities_.push_back(kNoCapacity);
   return PlaceRef{place_names_.size() - 1};
+}
+
+PlaceRef SanModel::add_place(std::string name, int32_t initial_tokens, int32_t capacity) {
+  GOP_REQUIRE(capacity >= 0, "place capacity must be non-negative");
+  GOP_REQUIRE(initial_tokens <= capacity,
+              "initial token count of place '" + name + "' exceeds its declared capacity");
+  const PlaceRef place = add_place(std::move(name), initial_tokens);
+  capacities_.back() = capacity;
+  return place;
 }
 
 const std::string& SanModel::place_name(PlaceRef place) const {
   GOP_REQUIRE(place.index < place_names_.size(), "place index out of range");
   return place_names_[place.index];
+}
+
+std::optional<int32_t> SanModel::place_capacity(PlaceRef place) const {
+  GOP_REQUIRE(place.index < capacities_.size(), "place index out of range");
+  if (capacities_[place.index] == kNoCapacity) return std::nullopt;
+  return capacities_[place.index];
 }
 
 PlaceRef SanModel::place(const std::string& name) const {
@@ -46,13 +66,24 @@ ActivityRef SanModel::add_timed_activity(TimedActivity activity) {
   return ActivityRef{registry_.size() - 1};
 }
 
+namespace {
+
+/// Probability 1 for the single-case convenience overloads — IR-built, so a
+/// model assembled entirely from combinators stays fully provable.
+ProbFn certain_probability() {
+  return ProbFn(std::function<double(const Marking&)>([](const Marking&) { return 1.0; }),
+                ir::constant(1.0));
+}
+
+}  // namespace
+
 ActivityRef SanModel::add_timed_activity(std::string name, Predicate enabled, RateFn rate,
                                          Effect effect) {
   TimedActivity activity;
   activity.name = std::move(name);
   activity.enabled = std::move(enabled);
   activity.rate = std::move(rate);
-  activity.cases.push_back(Case{[](const Marking&) { return 1.0; }, std::move(effect)});
+  activity.cases.push_back(Case{certain_probability(), std::move(effect)});
   return add_timed_activity(std::move(activity));
 }
 
@@ -76,7 +107,7 @@ ActivityRef SanModel::add_instantaneous_activity(std::string name, Predicate ena
   activity.name = std::move(name);
   activity.enabled = std::move(enabled);
   activity.priority = priority;
-  activity.cases.push_back(Case{[](const Marking&) { return 1.0; }, std::move(effect)});
+  activity.cases.push_back(Case{certain_probability(), std::move(effect)});
   return add_instantaneous_activity(std::move(activity));
 }
 

@@ -15,9 +15,11 @@
 ///    function rewrites the marking (this subsumes output gates and arcs).
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "san/expr_ir.hh"
 #include "san/marking.hh"
 
 namespace gop::san {
@@ -33,10 +35,14 @@ struct ActivityRef {
   size_t index = 0;
 };
 
-using Predicate = std::function<bool(const Marking&)>;
-using RateFn = std::function<double(const Marking&)>;
-using ProbFn = std::function<double(const Marking&)>;
-using Effect = std::function<void(Marking&)>;
+/// Marking expressions: callable exactly like the std::function aliases they
+/// replaced, but built by the san/expr.hh combinators they also carry a
+/// reflectable IR tree (san/expr_ir.hh) that lint::prove_model interprets.
+/// Hand-written lambdas convert implicitly and carry no IR.
+using Predicate = ExprFn<bool(const Marking&)>;
+using RateFn = ExprFn<double(const Marking&)>;
+using ProbFn = ExprFn<double(const Marking&)>;
+using Effect = ExprFn<void(Marking&)>;
 
 /// One probabilistic case of an activity: selected with probability
 /// `probability(marking)` on completion, then `effect` rewrites the marking.
@@ -70,8 +76,18 @@ class SanModel {
   /// Adds a place with its initial token count; returns its reference.
   PlaceRef add_place(std::string name, int32_t initial_tokens = 0);
 
+  /// Adds a place with a declared token capacity. The capacity is a modeling
+  /// assertion, not an enforced clamp: effects may still compute a larger
+  /// count at run time. lint::prove_model verifies the assertion holds over
+  /// every reachable marking (and uses it as the widening threshold when
+  /// inferring marking bounds); a violated capacity is a SAN042 finding.
+  PlaceRef add_place(std::string name, int32_t initial_tokens, int32_t capacity);
+
   size_t place_count() const { return place_names_.size(); }
   const std::string& place_name(PlaceRef place) const;
+
+  /// The declared capacity of `place`, or nullopt when unbounded.
+  std::optional<int32_t> place_capacity(PlaceRef place) const;
 
   /// Looks a place up by name; throws gop::InvalidArgument when absent.
   PlaceRef place(const std::string& name) const;
@@ -116,6 +132,7 @@ class SanModel {
   std::string name_;
   std::vector<std::string> place_names_;
   std::vector<int32_t> initial_tokens_;
+  std::vector<int32_t> capacities_;  // kNoCapacity = unbounded
   std::vector<TimedActivity> timed_;
   std::vector<InstantaneousActivity> instant_;
   std::vector<RegistryEntry> registry_;

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "san/expr.hh"
 #include "sim/rng.hh"
 #include "util/error.hh"
 #include "util/strings.hh"
@@ -24,8 +25,13 @@ SanModel random_san(uint64_t seed, const RandomModelOptions& options) {
 
   const size_t places =
       options.min_places + rng.uniform_index(options.max_places - options.min_places + 1);
+  std::vector<PlaceRef> refs;
+  refs.reserve(places);
   for (size_t p = 0; p < places; ++p) {
-    model.add_place(str_format("p%zu", p), options.place_capacity);
+    // Initial marking = declared capacity: every place starts full, and the
+    // declaration lets lint::prove_model bound the reachable set statically.
+    refs.push_back(
+        model.add_place(str_format("p%zu", p), options.place_capacity, options.place_capacity));
   }
 
   const size_t activities =
@@ -48,16 +54,19 @@ SanModel random_san(uint64_t seed, const RandomModelOptions& options) {
 
     TimedActivity activity;
     activity.name = str_format("a%zu", a);
-    activity.enabled = [source](const Marking& m) { return m[source] >= 1; };
-    activity.rate = [rate](const Marking&) { return rate; };
+    activity.enabled = mark_ge(refs[source], 1);
+    activity.rate = constant_rate(rate);
     for (size_t c = 0; c < case_count; ++c) {
       const size_t target = rng.uniform_index(places);
       const double p = static_cast<double>(weights[c]) / static_cast<double>(total);
-      activity.cases.push_back(
-          Case{[p](const Marking&) { return p; }, [source, target, capacity](Marking& m) {
-                 m[source] -= 1;
-                 if (m[target] < capacity) m[target] += 1;  // cap: the excess token is dropped
-               }});
+      // Move one token source -> target; at capacity the excess token is
+      // dropped. `when` tests the marking *after* the source decrement, which
+      // keeps the self-loop (target == source) semantics of the original
+      // hand-written lambda.
+      activity.cases.push_back(Case{
+          constant_prob(p),
+          sequence({add_mark(refs[source], -1),
+                    when(negate(mark_ge(refs[target], capacity)), add_mark(refs[target], 1))})});
     }
     model.add_timed_activity(std::move(activity));
   }

@@ -36,6 +36,10 @@ struct RandomModelOptions {
 ///    strictly positive and sum to 1 within one rounding unit;
 ///  - every place starts at full capacity, so every activity is enabled in
 ///    the initial marking and no activity is dead.
+/// Built entirely from the san/expr.hh combinators with declared place
+/// capacities, so every instance carries a full expression IR and
+/// lint::prove_model can verify it with zero probe budget — the agreement
+/// tier (tests/lint_prove_agreement_test.cc) leans on this.
 /// Deterministic: the same (seed, options) always yields the same model.
 SanModel random_san(uint64_t seed, const RandomModelOptions& options = {});
 

@@ -1,0 +1,128 @@
+// Property-based agreement tier between the symbolic prover and the
+// reachability probe (docs/static-analysis.md): across 200 seeded random SAN
+// instances the two analyses must never contradict each other.
+//
+//  - random_san models are built entirely from IR-carrying combinators with
+//    declared capacities, so the prover must fully prove every instance
+//    (zero probe budget needed);
+//  - the proved marking bounds must contain every marking the generator
+//    actually reaches (fixpoint soundness);
+//  - a complete probe must agree: no error findings, and any error code the
+//    prover refutes on a broken twin must also be found by the probe.
+//
+// Registered under the `slow` ctest label (ctest -L slow).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "lint/model_lint.hh"
+#include "lint/prove.hh"
+#include "san/expr.hh"
+#include "san/random_model.hh"
+#include "san/state_space.hh"
+
+namespace gop::lint {
+namespace {
+
+constexpr uint64_t kSeeds = 200;
+
+/// Deterministic per-seed shape variation so the tier exercises different
+/// place counts and capacities, not 200 near-identical models.
+san::RandomModelOptions options_for(uint64_t seed) {
+  san::RandomModelOptions options;
+  options.min_places = 2;
+  options.max_places = 2 + seed % 4;
+  options.max_activities = 3 + seed % 3;
+  options.place_capacity = static_cast<int32_t>(1 + seed % 3);
+  return options;
+}
+
+std::set<std::string> error_codes(const Report& report) {
+  std::set<std::string> codes;
+  for (const Finding& f : report.findings()) {
+    if (f.severity == Severity::kError) codes.insert(f.code);
+  }
+  return codes;
+}
+
+TEST(LintProveAgreement, ProverAndProbeAgreeOnRandomSans) {
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const san::SanModel model = san::random_san(seed, options_for(seed));
+
+    const ProofResult proof = prove_model(model);
+    ASSERT_TRUE(proof.fully_proved)
+        << "seed " << seed << ":\n"
+        << proof.findings.to_text();
+
+    // Zero probe budget: a fully proved model needs no probing at all — no
+    // SAN031, no errors, no warnings (info findings like SAN022 are fine).
+    ModelLintOptions unprobed;
+    unprobed.max_probe_markings = 0;
+    const Report unprobed_report = lint_model(model, unprobed);
+    ASSERT_FALSE(unprobed_report.has_errors()) << "seed " << seed << unprobed_report.to_text();
+    ASSERT_EQ(unprobed_report.count(Severity::kWarning), 0u)
+        << "seed " << seed << unprobed_report.to_text();
+
+    // Complete probe: must agree that the model is clean.
+    const Report probed = lint_model(model);
+    ASSERT_FALSE(probed.has_code("SAN031")) << "seed " << seed;
+    ASSERT_TRUE(error_codes(probed).empty())
+        << "seed " << seed << ": prover proved a model the probe rejects:\n"
+        << probed.to_text();
+
+    // Fixpoint soundness: the proved box contains every reachable marking.
+    const san::GeneratedChain chain = san::generate_state_space(model);
+    for (const san::Marking& m : chain.states()) {
+      ASSERT_TRUE(proof.bounds.contains(m))
+          << "seed " << seed << ": marking " << m.to_string() << " escapes bounds "
+          << proof.bounds.to_string(model);
+    }
+  }
+}
+
+/// Broken twins: re-declare one activity of the random instance with a
+/// deliberately deficient case-probability sum. The prover must not claim
+/// the model proved, and every error code it refutes must also be reported
+/// by the (complete) probe — refutations are claims about reachable
+/// behaviour, so the two analyses have to agree on them.
+TEST(LintProveAgreement, RefutationsAgreeWithTheProbeOnBrokenTwins) {
+  for (uint64_t seed = 0; seed < kSeeds; seed += 10) {
+    const san::SanModel pristine = san::random_san(seed, options_for(seed));
+
+    san::SanModel broken("broken-twin");
+    std::vector<san::PlaceRef> places;
+    const san::Marking initial = pristine.initial_marking();
+    for (size_t p = 0; p < pristine.place_count(); ++p) {
+      places.push_back(broken.add_place(pristine.place_name(san::PlaceRef{p}), initial[p],
+                                        *pristine.place_capacity(san::PlaceRef{p})));
+    }
+    for (size_t t = 0; t < pristine.timed_activities().size(); ++t) {
+      const san::TimedActivity& activity = pristine.timed_activities()[t];
+      san::TimedActivity copy;
+      copy.name = activity.name;
+      copy.enabled = activity.enabled;
+      copy.rate = activity.rate;
+      copy.cases = activity.cases;
+      if (t == 0) copy.cases[0].probability = san::constant_prob(0.0);
+      broken.add_timed_activity(std::move(copy));
+    }
+
+    const ProofResult proof = prove_model(broken);
+    EXPECT_NE(proof.count(Verdict::kProved), proof.verdicts.size()) << "seed " << seed;
+    EXPECT_FALSE(proof.fully_proved) << "seed " << seed;
+
+    const Report probed = lint_model(broken);
+    ASSERT_FALSE(probed.has_code("SAN031")) << "seed " << seed;
+    for (const std::string& code : error_codes(proof.findings)) {
+      EXPECT_TRUE(probed.has_code(code))
+          << "seed " << seed << ": prover refuted " << code
+          << " but the complete probe disagrees:\n"
+          << probed.to_text();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gop::lint

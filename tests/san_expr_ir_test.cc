@@ -1,0 +1,172 @@
+// Tests for the reflectable expression IR (san/expr_ir.hh): every expr.hh
+// combinator carries the right IR tree, hand-written lambdas carry none, and
+// — the load-bearing guarantee — IR-carrying models generate bit-identical
+// state spaces to their hand-lambda twins: same markings in the same order,
+// bit-identical transition rates.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "san/expr.hh"
+#include "san/expr_ir.hh"
+#include "san/model.hh"
+#include "san/random_model.hh"
+#include "san/state_space.hh"
+#include "util/error.hh"
+
+namespace gop::san {
+namespace {
+
+/// Bit-level double equality (distinguishes -0.0 from 0.0, compares NaNs).
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+TEST(ExprIr, CombinatorsCarryIr) {
+  const PlaceRef p{2};
+  EXPECT_EQ(always().ir()->op, ExprOp::kAlways);
+  EXPECT_EQ(mark_eq(p, 3).ir()->op, ExprOp::kMarkEq);
+  EXPECT_EQ(mark_eq(p, 3).ir()->place, 2u);
+  EXPECT_EQ(mark_eq(p, 3).ir()->value, 3);
+  EXPECT_EQ(mark_ge(p, 1).ir()->op, ExprOp::kMarkGe);
+  EXPECT_EQ(has_tokens(p).ir()->op, ExprOp::kMarkGe);
+  EXPECT_EQ(has_tokens(p).ir()->value, 1);
+  EXPECT_EQ(negate(always()).ir()->op, ExprOp::kNot);
+  EXPECT_EQ(all_of({always(), has_tokens(p)}).ir()->children.size(), 2u);
+  EXPECT_EQ(constant_rate(2.5).ir()->op, ExprOp::kConstNum);
+  EXPECT_TRUE(bits_equal(constant_rate(2.5).ir()->number, 2.5));
+  EXPECT_EQ(complement_prob(constant_prob(0.25)).ir()->op, ExprOp::kComplement);
+  EXPECT_EQ(rate_per_token(p, 0.5).ir()->op, ExprOp::kRatePerToken);
+  EXPECT_EQ(cond_prob(has_tokens(p), 0.1, 0.9).ir()->op, ExprOp::kCond);
+  EXPECT_EQ(no_effect().ir()->op, ExprOp::kNoEffect);
+  EXPECT_EQ(set_mark(p, 4).ir()->op, ExprOp::kSetMark);
+  EXPECT_EQ(add_mark(p, -1).ir()->op, ExprOp::kAddMark);
+  EXPECT_EQ(sequence({add_mark(p, 1)}).ir()->op, ExprOp::kSequence);
+  EXPECT_EQ(when(has_tokens(p), add_mark(p, -1)).ir()->op, ExprOp::kWhen);
+}
+
+TEST(ExprIr, HandLambdasCarryNoIr) {
+  const Predicate hand = [](const Marking&) { return true; };
+  EXPECT_FALSE(hand.has_ir());
+  EXPECT_TRUE(static_cast<bool>(hand));
+
+  // A combinator over a lambda argument degrades to an opaque *leaf*, not a
+  // null tree: the composite structure stays visible to the prover.
+  const Predicate mixed = all_of({always(), [](const Marking&) { return false; }});
+  ASSERT_TRUE(mixed.has_ir());
+  EXPECT_EQ(mixed.ir()->children.at(1)->op, ExprOp::kOpaque);
+  EXPECT_TRUE(ir::contains_opaque(mixed.ir()));
+  EXPECT_FALSE(ir::contains_opaque(always().ir()));
+}
+
+TEST(ExprIr, StructuralEquality) {
+  const PlaceRef p{1};
+  EXPECT_TRUE(ir::structurally_equal(mark_eq(p, 2).ir(), mark_eq(p, 2).ir()));
+  EXPECT_FALSE(ir::structurally_equal(mark_eq(p, 2).ir(), mark_eq(p, 3).ir()));
+  EXPECT_FALSE(ir::structurally_equal(mark_eq(p, 2).ir(), mark_ge(p, 2).ir()));
+  EXPECT_TRUE(ir::structurally_equal(negate(mark_ge(p, 1)).ir(), negate(mark_ge(p, 1)).ir()));
+  // Opaque leaves are equal to each other (one shared node), not to anything
+  // else.
+  EXPECT_TRUE(ir::structurally_equal(ir::opaque(), ir::opaque()));
+  EXPECT_FALSE(ir::structurally_equal(ir::opaque(), ir::always()));
+}
+
+TEST(ExprIr, RebasePlaces) {
+  const std::vector<size_t> map = {7, 5};
+  const ExprIr rebased = ir::rebase_places(
+      ir::all_of({ir::mark_eq(0, 1), ir::when(ir::mark_ge(1, 2), ir::add_mark(0, -1))}), map);
+  EXPECT_EQ(rebased->children.at(0)->place, 7u);
+  EXPECT_EQ(rebased->children.at(1)->children.at(0)->place, 5u);
+  EXPECT_EQ(rebased->children.at(1)->children.at(1)->place, 7u);
+  EXPECT_EQ(ir::rebase_places(nullptr, map), nullptr);
+  EXPECT_THROW(ir::rebase_places(ir::mark_eq(3, 0), map), gop::InvalidArgument);
+}
+
+TEST(ExprIr, ToStringRendersTheTree) {
+  const std::string text = ir::to_string(
+      ir::cond(ir::mark_ge(0, 1), ir::constant(0.25), ir::constant(0.75)));
+  EXPECT_NE(text.find("mark(#0)"), std::string::npos) << text;
+  EXPECT_NE(text.find("0.25"), std::string::npos) << text;
+}
+
+// --- bit-identity: IR-built models vs hand-lambda twins ---------------------
+
+/// The combinator version: full IR, provable.
+SanModel combinator_model() {
+  SanModel model("twin");
+  const PlaceRef a = model.add_place("a", 2, 2);
+  const PlaceRef b = model.add_place("b", 0, 2);
+  TimedActivity move;
+  move.name = "move";
+  move.enabled = has_tokens(a);
+  move.rate = rate_per_token(a, 1.5);
+  move.cases.push_back({cond_prob(mark_ge(b, 1), 0.25, 0.625),
+                        sequence({add_mark(a, -1), when(negate(mark_ge(b, 2)), add_mark(b, 1))})});
+  move.cases.push_back({cond_prob(mark_ge(b, 1), 0.75, 0.375), add_mark(a, -1)});
+  model.add_timed_activity(std::move(move));
+  model.add_timed_activity("back", has_tokens(b), constant_rate(0.75),
+                           sequence({add_mark(b, -1), add_mark(a, 1)}));
+  return model;
+}
+
+/// The same model written with hand lambdas doing identical arithmetic.
+SanModel lambda_model() {
+  SanModel model("twin");
+  model.add_place("a", 2, 2);
+  model.add_place("b", 0, 2);
+  TimedActivity move;
+  move.name = "move";
+  move.enabled = [](const Marking& m) { return m[0] >= 1; };
+  move.rate = [](const Marking& m) { return 1.5 * m[0]; };
+  move.cases.push_back({[](const Marking& m) { return m[1] >= 1 ? 0.25 : 0.625; },
+                        [](Marking& m) {
+                          m[0] = m[0] - 1;
+                          if (!(m[1] >= 2)) m[1] = m[1] + 1;
+                        }});
+  move.cases.push_back({[](const Marking& m) { return m[1] >= 1 ? 0.75 : 0.375; },
+                        [](Marking& m) { m[0] = m[0] - 1; }});
+  model.add_timed_activity(std::move(move));
+  model.add_timed_activity(
+      "back", [](const Marking& m) { return m[1] >= 1; }, [](const Marking&) { return 0.75; },
+      [](Marking& m) {
+        m[1] = m[1] - 1;
+        m[0] = m[0] + 1;
+      });
+  return model;
+}
+
+void expect_identical_chains(const GeneratedChain& x, const GeneratedChain& y) {
+  ASSERT_EQ(x.states().size(), y.states().size());
+  for (size_t s = 0; s < x.states().size(); ++s) {
+    EXPECT_TRUE(x.states()[s] == y.states()[s])
+        << s << ": " << x.states()[s].to_string() << " vs " << y.states()[s].to_string();
+  }
+  const auto& tx = x.ctmc().transitions();
+  const auto& ty = y.ctmc().transitions();
+  ASSERT_EQ(tx.size(), ty.size());
+  for (size_t t = 0; t < tx.size(); ++t) {
+    EXPECT_EQ(tx[t].from, ty[t].from);
+    EXPECT_EQ(tx[t].to, ty[t].to);
+    EXPECT_TRUE(bits_equal(tx[t].rate, ty[t].rate))
+        << t << ": " << tx[t].rate << " vs " << ty[t].rate;
+  }
+}
+
+TEST(ExprIrBitIdentity, CombinatorAndLambdaTwinsGenerateIdenticalChains) {
+  const SanModel with_ir = combinator_model();
+  const SanModel with_lambdas = lambda_model();
+  expect_identical_chains(generate_state_space(with_ir), generate_state_space(with_lambdas));
+}
+
+TEST(ExprIrBitIdentity, RandomSanIsDeterministicAndCapacityDeclared) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const SanModel once = random_san(seed);
+    const SanModel twice = random_san(seed);
+    for (size_t p = 0; p < once.place_count(); ++p) {
+      ASSERT_TRUE(once.place_capacity(PlaceRef{p}).has_value());
+    }
+    expect_identical_chains(generate_state_space(once), generate_state_space(twice));
+  }
+}
+
+}  // namespace
+}  // namespace gop::san

@@ -8,12 +8,19 @@
 //   gop_lint                          # all paper models, Table 3 parameters
 //   gop_lint --model=rmgd --phi=7000  # one model, explicit grid point
 //   gop_lint --json                   # machine-readable findings (CI gate)
+//   gop_lint --prove --probe-budget=0 # symbolic proofs only, no probing
+//
+// --prove prints a per-model proof summary (verdicts, marking bounds,
+// witnesses) on top of the findings; with --json it adds a "proofs" section.
+// --probe-budget caps the reachability probe (0 disables it entirely: the
+// model must then be fully proved for SAN031 to stay away).
 //
 // Exit codes: 0 no error findings (warnings/info allowed unless --strict),
 // 1 runtime failure, 2 usage error, 3 findings at the gating severity.
 
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +31,7 @@
 #include "lint/lint.hh"
 #include "san/state_space.hh"
 #include "util/cli.hh"
+#include "util/strings.hh"
 
 namespace {
 
@@ -39,10 +47,19 @@ struct BatteryInput {
   bool steady_state = false;              ///< preflight the steady-state solve
 };
 
+/// One registered model's battery outcome: the composed findings report,
+/// plus (under --prove) the standalone proof result for the summary/JSON.
+struct ModelRun {
+  std::string name;
+  lint::Report report;
+  std::optional<lint::ProofResult> proof;
+  std::string bounds;  ///< rendered proof bounds (needs the model alive)
+};
+
 /// All three layers over one model: lint_model, generate + lint_chain +
 /// lint_reward, then the solver preflights the model's measures need.
-lint::Report run_battery(const BatteryInput& input) {
-  lint::Report report = lint::lint_model(*input.model);
+lint::Report run_battery(const BatteryInput& input, const lint::ModelLintOptions& options) {
+  lint::Report report = lint::lint_model(*input.model, options);
   if (report.has_errors()) return report;  // generation would throw on these
 
   const san::GeneratedChain chain = san::generate_state_space(*input.model);
@@ -64,14 +81,31 @@ lint::Report run_battery(const BatteryInput& input) {
   return report;
 }
 
+ModelRun finish_run(const char* name, const BatteryInput& input,
+                    const lint::ModelLintOptions& options, bool prove) {
+  ModelRun run;
+  run.name = name;
+  if (prove) {
+    lint::ProveOptions prove_options = options.prove_options;
+    prove_options.probability_tolerance = options.probability_tolerance;
+    run.proof = lint::prove_model(*input.model, prove_options);
+    run.bounds = run.proof->bounds.to_string(*input.model);
+  }
+  run.report = run_battery(input, options);
+  return run;
+}
+
 /// The model registry: name -> battery runner. New models (composed SANs,
 /// user studies) register here to become `gop_lint --model=<name>` targets.
 struct RegisteredModel {
   const char* name;
-  std::function<lint::Report(const core::GsuParameters&, double phi)> run;
+  std::function<ModelRun(const core::GsuParameters&, double phi, const lint::ModelLintOptions&,
+                         bool prove)>
+      run;
 };
 
-lint::Report run_rmgd(const core::GsuParameters& params, double phi) {
+ModelRun run_rmgd(const core::GsuParameters& params, double phi,
+                  const lint::ModelLintOptions& options, bool prove) {
   core::RmGd gd = core::build_rm_gd(params);
   BatteryInput input;
   input.model = &gd.model;
@@ -79,35 +113,120 @@ lint::Report run_rmgd(const core::GsuParameters& params, double phi) {
                    gd.reward_detected()};
   input.transient_times = {phi};
   input.accumulated_times = {phi};
-  return run_battery(input);
+  return finish_run("rmgd", input, options, prove);
 }
 
-lint::Report run_rmgp(const core::GsuParameters& params, double /*phi*/) {
+ModelRun run_rmgp(const core::GsuParameters& params, double /*phi*/,
+                  const lint::ModelLintOptions& options, bool prove) {
   core::RmGp gp = core::build_rm_gp(params);
   BatteryInput input;
   input.model = &gp.model;
   input.rewards = {gp.reward_overhead_p1n(), gp.reward_overhead_p2()};
   input.steady_state = true;
-  return run_battery(input);
+  return finish_run("rmgp", input, options, prove);
 }
 
-lint::Report run_rmnd(const core::GsuParameters& params, double phi, double mu_1) {
+ModelRun run_rmnd(const char* name, const core::GsuParameters& params, double phi, double mu_1,
+                  const lint::ModelLintOptions& options, bool prove) {
   core::RmNd nd = core::build_rm_nd(params, mu_1);
   BatteryInput input;
   input.model = &nd.model;
   input.rewards = {nd.reward_no_failure()};
   input.transient_times = {params.theta - phi, params.theta};
-  return run_battery(input);
+  return finish_run(name, input, options, prove);
 }
 
 const RegisteredModel kRegistry[] = {
-    {"rmgd", [](const core::GsuParameters& p, double phi) { return run_rmgd(p, phi); }},
-    {"rmgp", [](const core::GsuParameters& p, double phi) { return run_rmgp(p, phi); }},
+    {"rmgd",
+     [](const core::GsuParameters& p, double phi, const lint::ModelLintOptions& o, bool prove) {
+       return run_rmgd(p, phi, o, prove);
+     }},
+    {"rmgp",
+     [](const core::GsuParameters& p, double phi, const lint::ModelLintOptions& o, bool prove) {
+       return run_rmgp(p, phi, o, prove);
+     }},
     {"rmnd-new",
-     [](const core::GsuParameters& p, double phi) { return run_rmnd(p, phi, p.mu_new); }},
+     [](const core::GsuParameters& p, double phi, const lint::ModelLintOptions& o, bool prove) {
+       return run_rmnd("rmnd-new", p, phi, p.mu_new, o, prove);
+     }},
     {"rmnd-old",
-     [](const core::GsuParameters& p, double phi) { return run_rmnd(p, phi, p.mu_old); }},
+     [](const core::GsuParameters& p, double phi, const lint::ModelLintOptions& o, bool prove) {
+       return run_rmnd("rmnd-old", p, phi, p.mu_old, o, prove);
+     }},
 };
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string proofs_json(const std::vector<ModelRun>& runs) {
+  std::string out = "[";
+  bool first_model = true;
+  for (const ModelRun& run : runs) {
+    if (!run.proof) continue;
+    if (!first_model) out += ',';
+    first_model = false;
+    const lint::ProofResult& proof = *run.proof;
+    out += str_format(
+        "{\"model\":\"%s\",\"fully_proved\":%s,\"proved\":%zu,\"refuted\":%zu,"
+        "\"unprovable\":%zu,\"bounds\":\"%s\",\"verdicts\":[",
+        json_escape(run.name).c_str(), proof.fully_proved ? "true" : "false",
+        proof.count(lint::Verdict::kProved), proof.count(lint::Verdict::kRefuted),
+        proof.count(lint::Verdict::kUnprovable), json_escape(run.bounds).c_str());
+    bool first_verdict = true;
+    for (const lint::PropertyVerdict& v : proof.verdicts) {
+      if (!first_verdict) out += ',';
+      first_verdict = false;
+      out += str_format(
+          "{\"property\":\"%s\",\"location\":\"%s\",\"verdict\":\"%s\",\"detail\":\"%s\"}",
+          json_escape(v.property).c_str(), json_escape(v.location).c_str(),
+          lint::verdict_name(v.verdict), json_escape(v.detail).c_str());
+    }
+    out += "]}";
+  }
+  return out + "]";
+}
+
+void print_proof_summary(const std::vector<ModelRun>& runs) {
+  for (const ModelRun& run : runs) {
+    if (!run.proof) continue;
+    const lint::ProofResult& proof = *run.proof;
+    std::printf("proof %-9s %s: %zu proved, %zu refuted, %zu unprovable\n", run.name.c_str(),
+                proof.fully_proved ? "FULLY PROVED" : "incomplete",
+                proof.count(lint::Verdict::kProved), proof.count(lint::Verdict::kRefuted),
+                proof.count(lint::Verdict::kUnprovable));
+    std::printf("      bounds %s\n", run.bounds.c_str());
+    for (const lint::PropertyVerdict& v : proof.verdicts) {
+      if (v.verdict == lint::Verdict::kProved) continue;
+      std::printf("      %-10s %-14s %s: %s\n", lint::verdict_name(v.verdict),
+                  v.property.c_str(), v.location.c_str(), v.detail.c_str());
+    }
+  }
+}
 
 }  // namespace
 
@@ -124,6 +243,9 @@ int main(int argc, char** argv) {
       .add_double("alpha", defaults.alpha, "AT completion rate (1/h)")
       .add_double("beta", defaults.beta, "checkpoint completion rate (1/h)")
       .add_double("phi", 7000.0, "guarded-operation duration the preflight grids use")
+      .add_bool("prove", false, "print the symbolic prover's per-model proof summary")
+      .add_int("probe-budget", 20'000,
+               "reachability-probe marking budget (0 disables probing: proofs only)")
       .add_bool("json", false, "emit the findings report as JSON")
       .add_bool("strict", false, "also fail (exit 3) on warning-severity findings");
 
@@ -142,13 +264,23 @@ int main(int argc, char** argv) {
     params.validate();
     const double phi = flags.get_double("phi");
     const std::string& which = flags.get_string("model");
+    const bool prove = flags.get_bool("prove");
+    const long long probe_budget = flags.get_int("probe-budget");
+    if (probe_budget < 0) {
+      std::fprintf(stderr, "--probe-budget must be >= 0\n");
+      return 2;
+    }
+    lint::ModelLintOptions options;
+    options.max_probe_markings = static_cast<size_t>(probe_budget);
 
     lint::Report report;
+    std::vector<ModelRun> runs;
     bool matched = false;
     for (const RegisteredModel& entry : kRegistry) {
       if (which != "all" && which != entry.name) continue;
       matched = true;
-      report.merge(entry.run(params, phi));
+      runs.push_back(entry.run(params, phi, options, prove));
+      report.merge(runs.back().report);
     }
     if (!matched) {
       std::fprintf(stderr, "unknown model '%s' (try --help)\n", which.c_str());
@@ -156,9 +288,16 @@ int main(int argc, char** argv) {
     }
 
     if (flags.get_bool("json")) {
-      std::printf("%s\n", report.to_json().c_str());
+      std::string json = report.to_json();
+      if (prove) {
+        // Splice the proofs section into the report object.
+        json.pop_back();  // trailing '}'
+        json += ",\"proofs\":" + proofs_json(runs) + "}";
+      }
+      std::printf("%s\n", json.c_str());
     } else {
       std::fputs(report.to_text().c_str(), stdout);
+      if (prove) print_proof_summary(runs);
     }
 
     const bool gate_warnings = flags.get_bool("strict");
