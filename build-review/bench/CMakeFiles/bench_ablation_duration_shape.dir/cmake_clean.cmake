@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_duration_shape.dir/bench_ablation_duration_shape.cc.o"
+  "CMakeFiles/bench_ablation_duration_shape.dir/bench_ablation_duration_shape.cc.o.d"
+  "bench_ablation_duration_shape"
+  "bench_ablation_duration_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_duration_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

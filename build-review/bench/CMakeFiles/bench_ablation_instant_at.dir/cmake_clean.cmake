@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_instant_at.dir/bench_ablation_instant_at.cc.o"
+  "CMakeFiles/bench_ablation_instant_at.dir/bench_ablation_instant_at.cc.o.d"
+  "bench_ablation_instant_at"
+  "bench_ablation_instant_at.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_instant_at.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

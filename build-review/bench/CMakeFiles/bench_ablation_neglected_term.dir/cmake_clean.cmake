@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_neglected_term.dir/bench_ablation_neglected_term.cc.o"
+  "CMakeFiles/bench_ablation_neglected_term.dir/bench_ablation_neglected_term.cc.o.d"
+  "bench_ablation_neglected_term"
+  "bench_ablation_neglected_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_neglected_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

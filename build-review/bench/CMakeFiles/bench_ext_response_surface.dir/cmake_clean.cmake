@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_response_surface.dir/bench_ext_response_surface.cc.o"
+  "CMakeFiles/bench_ext_response_surface.dir/bench_ext_response_surface.cc.o.d"
+  "bench_ext_response_surface"
+  "bench_ext_response_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_response_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

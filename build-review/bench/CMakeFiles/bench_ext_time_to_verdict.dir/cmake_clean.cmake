@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_time_to_verdict.dir/bench_ext_time_to_verdict.cc.o"
+  "CMakeFiles/bench_ext_time_to_verdict.dir/bench_ext_time_to_verdict.cc.o.d"
+  "bench_ext_time_to_verdict"
+  "bench_ext_time_to_verdict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_time_to_verdict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

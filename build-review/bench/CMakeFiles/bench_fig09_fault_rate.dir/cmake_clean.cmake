@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_fault_rate.dir/bench_fig09_fault_rate.cc.o"
+  "CMakeFiles/bench_fig09_fault_rate.dir/bench_fig09_fault_rate.cc.o.d"
+  "bench_fig09_fault_rate"
+  "bench_fig09_fault_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_fault_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

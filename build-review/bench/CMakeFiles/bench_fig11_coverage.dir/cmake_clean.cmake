@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_coverage.dir/bench_fig11_coverage.cc.o"
+  "CMakeFiles/bench_fig11_coverage.dir/bench_fig11_coverage.cc.o.d"
+  "bench_fig11_coverage"
+  "bench_fig11_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

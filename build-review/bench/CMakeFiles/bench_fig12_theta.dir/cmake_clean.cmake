@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_theta.dir/bench_fig12_theta.cc.o"
+  "CMakeFiles/bench_fig12_theta.dir/bench_fig12_theta.cc.o.d"
+  "bench_fig12_theta"
+  "bench_fig12_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdcd_protocol_validation.dir/bench_mdcd_protocol_validation.cc.o"
+  "CMakeFiles/bench_mdcd_protocol_validation.dir/bench_mdcd_protocol_validation.cc.o.d"
+  "bench_mdcd_protocol_validation"
+  "bench_mdcd_protocol_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdcd_protocol_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmnd_constituents.dir/bench_rmnd_constituents.cc.o"
+  "CMakeFiles/bench_rmnd_constituents.dir/bench_rmnd_constituents.cc.o.d"
+  "bench_rmnd_constituents"
+  "bench_rmnd_constituents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmnd_constituents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

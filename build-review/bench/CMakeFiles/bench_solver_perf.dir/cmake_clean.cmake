@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_perf.dir/bench_solver_perf.cc.o"
+  "CMakeFiles/bench_solver_perf.dir/bench_solver_perf.cc.o.d"
+  "bench_solver_perf"
+  "bench_solver_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

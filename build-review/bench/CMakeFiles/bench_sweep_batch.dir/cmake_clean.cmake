@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_batch.dir/bench_sweep_batch.cc.o"
+  "CMakeFiles/bench_sweep_batch.dir/bench_sweep_batch.cc.o.d"
+  "bench_sweep_batch"
+  "bench_sweep_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

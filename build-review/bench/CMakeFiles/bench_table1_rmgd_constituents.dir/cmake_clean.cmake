@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rmgd_constituents.dir/bench_table1_rmgd_constituents.cc.o"
+  "CMakeFiles/bench_table1_rmgd_constituents.dir/bench_table1_rmgd_constituents.cc.o.d"
+  "bench_table1_rmgd_constituents"
+  "bench_table1_rmgd_constituents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rmgd_constituents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_low_coverage.dir/bench_text_low_coverage.cc.o"
+  "CMakeFiles/bench_text_low_coverage.dir/bench_text_low_coverage.cc.o.d"
+  "bench_text_low_coverage"
+  "bench_text_low_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_low_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

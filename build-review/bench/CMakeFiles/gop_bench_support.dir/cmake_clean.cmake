@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_bench_support.dir/bench_support.cc.o"
+  "CMakeFiles/gop_bench_support.dir/bench_support.cc.o.d"
+  "libgop_bench_support.a"
+  "libgop_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_san.dir/custom_san.cpp.o"
+  "CMakeFiles/custom_san.dir/custom_san.cpp.o.d"
+  "custom_san"
+  "custom_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

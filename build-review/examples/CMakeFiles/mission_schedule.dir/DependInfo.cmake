@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mission_schedule.cpp" "examples/CMakeFiles/mission_schedule.dir/mission_schedule.cpp.o" "gcc" "examples/CMakeFiles/mission_schedule.dir/mission_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mdcd/CMakeFiles/gop_mdcd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/gop_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lint/CMakeFiles/gop_lint.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/san/CMakeFiles/gop_san.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/markov/CMakeFiles/gop_markov.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/gop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/gop_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/gop_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_schedule.dir/mission_schedule.cpp.o"
+  "CMakeFiles/mission_schedule.dir/mission_schedule.cpp.o.d"
+  "mission_schedule"
+  "mission_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

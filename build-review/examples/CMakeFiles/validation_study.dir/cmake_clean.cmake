@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_study.dir/validation_study.cpp.o"
+  "CMakeFiles/validation_study.dir/validation_study.cpp.o.d"
+  "validation_study"
+  "validation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("fi")
+subdirs("par")
+subdirs("linalg")
+subdirs("markov")
+subdirs("sim")
+subdirs("san")
+subdirs("lint")
+subdirs("core")
+subdirs("mdcd")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approximation.cc" "src/core/CMakeFiles/gop_core.dir/approximation.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/approximation.cc.o.d"
+  "/root/repo/src/core/fault_campaign.cc" "src/core/CMakeFiles/gop_core.dir/fault_campaign.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/fault_campaign.cc.o.d"
+  "/root/repo/src/core/gamma.cc" "src/core/CMakeFiles/gop_core.dir/gamma.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/gamma.cc.o.d"
+  "/root/repo/src/core/mc_validator.cc" "src/core/CMakeFiles/gop_core.dir/mc_validator.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/mc_validator.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/gop_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/params.cc.o.d"
+  "/root/repo/src/core/performability.cc" "src/core/CMakeFiles/gop_core.dir/performability.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/performability.cc.o.d"
+  "/root/repo/src/core/rm_gd.cc" "src/core/CMakeFiles/gop_core.dir/rm_gd.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/rm_gd.cc.o.d"
+  "/root/repo/src/core/rm_gp.cc" "src/core/CMakeFiles/gop_core.dir/rm_gp.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/rm_gp.cc.o.d"
+  "/root/repo/src/core/rm_nd.cc" "src/core/CMakeFiles/gop_core.dir/rm_nd.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/rm_nd.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/gop_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/gop_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/gop_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/lint/CMakeFiles/gop_lint.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/san/CMakeFiles/gop_san.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/markov/CMakeFiles/gop_markov.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/gop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/gop_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/gop_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

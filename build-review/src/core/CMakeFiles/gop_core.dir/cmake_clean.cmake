@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_core.dir/approximation.cc.o"
+  "CMakeFiles/gop_core.dir/approximation.cc.o.d"
+  "CMakeFiles/gop_core.dir/fault_campaign.cc.o"
+  "CMakeFiles/gop_core.dir/fault_campaign.cc.o.d"
+  "CMakeFiles/gop_core.dir/gamma.cc.o"
+  "CMakeFiles/gop_core.dir/gamma.cc.o.d"
+  "CMakeFiles/gop_core.dir/mc_validator.cc.o"
+  "CMakeFiles/gop_core.dir/mc_validator.cc.o.d"
+  "CMakeFiles/gop_core.dir/params.cc.o"
+  "CMakeFiles/gop_core.dir/params.cc.o.d"
+  "CMakeFiles/gop_core.dir/performability.cc.o"
+  "CMakeFiles/gop_core.dir/performability.cc.o.d"
+  "CMakeFiles/gop_core.dir/rm_gd.cc.o"
+  "CMakeFiles/gop_core.dir/rm_gd.cc.o.d"
+  "CMakeFiles/gop_core.dir/rm_gp.cc.o"
+  "CMakeFiles/gop_core.dir/rm_gp.cc.o.d"
+  "CMakeFiles/gop_core.dir/rm_nd.cc.o"
+  "CMakeFiles/gop_core.dir/rm_nd.cc.o.d"
+  "CMakeFiles/gop_core.dir/sensitivity.cc.o"
+  "CMakeFiles/gop_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/gop_core.dir/sweep.cc.o"
+  "CMakeFiles/gop_core.dir/sweep.cc.o.d"
+  "libgop_core.a"
+  "libgop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_fi.dir/plan.cc.o"
+  "CMakeFiles/gop_fi.dir/plan.cc.o.d"
+  "libgop_fi.a"
+  "libgop_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

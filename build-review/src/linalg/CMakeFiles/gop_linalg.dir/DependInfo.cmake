@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csr_matrix.cc" "src/linalg/CMakeFiles/gop_linalg.dir/csr_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/gop_linalg.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/linalg/CMakeFiles/gop_linalg.dir/dense_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/gop_linalg.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/gth.cc" "src/linalg/CMakeFiles/gop_linalg.dir/gth.cc.o" "gcc" "src/linalg/CMakeFiles/gop_linalg.dir/gth.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/linalg/CMakeFiles/gop_linalg.dir/lu.cc.o" "gcc" "src/linalg/CMakeFiles/gop_linalg.dir/lu.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/linalg/CMakeFiles/gop_linalg.dir/vector_ops.cc.o" "gcc" "src/linalg/CMakeFiles/gop_linalg.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

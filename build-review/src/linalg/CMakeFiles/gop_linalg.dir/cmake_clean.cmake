@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_linalg.dir/csr_matrix.cc.o"
+  "CMakeFiles/gop_linalg.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/gop_linalg.dir/dense_matrix.cc.o"
+  "CMakeFiles/gop_linalg.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/gop_linalg.dir/gth.cc.o"
+  "CMakeFiles/gop_linalg.dir/gth.cc.o.d"
+  "CMakeFiles/gop_linalg.dir/lu.cc.o"
+  "CMakeFiles/gop_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/gop_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/gop_linalg.dir/vector_ops.cc.o.d"
+  "libgop_linalg.a"
+  "libgop_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/chain_lint.cc" "src/lint/CMakeFiles/gop_lint.dir/chain_lint.cc.o" "gcc" "src/lint/CMakeFiles/gop_lint.dir/chain_lint.cc.o.d"
+  "/root/repo/src/lint/finding.cc" "src/lint/CMakeFiles/gop_lint.dir/finding.cc.o" "gcc" "src/lint/CMakeFiles/gop_lint.dir/finding.cc.o.d"
+  "/root/repo/src/lint/model_lint.cc" "src/lint/CMakeFiles/gop_lint.dir/model_lint.cc.o" "gcc" "src/lint/CMakeFiles/gop_lint.dir/model_lint.cc.o.d"
+  "/root/repo/src/lint/preflight.cc" "src/lint/CMakeFiles/gop_lint.dir/preflight.cc.o" "gcc" "src/lint/CMakeFiles/gop_lint.dir/preflight.cc.o.d"
+  "/root/repo/src/lint/prove.cc" "src/lint/CMakeFiles/gop_lint.dir/prove.cc.o" "gcc" "src/lint/CMakeFiles/gop_lint.dir/prove.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/san/CMakeFiles/gop_san.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/markov/CMakeFiles/gop_markov.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/gop_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/gop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/gop_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

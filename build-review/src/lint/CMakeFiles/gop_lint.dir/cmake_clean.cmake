@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_lint.dir/chain_lint.cc.o"
+  "CMakeFiles/gop_lint.dir/chain_lint.cc.o.d"
+  "CMakeFiles/gop_lint.dir/finding.cc.o"
+  "CMakeFiles/gop_lint.dir/finding.cc.o.d"
+  "CMakeFiles/gop_lint.dir/model_lint.cc.o"
+  "CMakeFiles/gop_lint.dir/model_lint.cc.o.d"
+  "CMakeFiles/gop_lint.dir/preflight.cc.o"
+  "CMakeFiles/gop_lint.dir/preflight.cc.o.d"
+  "CMakeFiles/gop_lint.dir/prove.cc.o"
+  "CMakeFiles/gop_lint.dir/prove.cc.o.d"
+  "libgop_lint.a"
+  "libgop_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorbing.cc" "src/markov/CMakeFiles/gop_markov.dir/absorbing.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/absorbing.cc.o.d"
+  "/root/repo/src/markov/accumulated.cc" "src/markov/CMakeFiles/gop_markov.dir/accumulated.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/accumulated.cc.o.d"
+  "/root/repo/src/markov/ctmc.cc" "src/markov/CMakeFiles/gop_markov.dir/ctmc.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/ctmc.cc.o.d"
+  "/root/repo/src/markov/ctmc_sim.cc" "src/markov/CMakeFiles/gop_markov.dir/ctmc_sim.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/ctmc_sim.cc.o.d"
+  "/root/repo/src/markov/dtmc.cc" "src/markov/CMakeFiles/gop_markov.dir/dtmc.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/dtmc.cc.o.d"
+  "/root/repo/src/markov/first_passage.cc" "src/markov/CMakeFiles/gop_markov.dir/first_passage.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/first_passage.cc.o.d"
+  "/root/repo/src/markov/fox_glynn.cc" "src/markov/CMakeFiles/gop_markov.dir/fox_glynn.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/fox_glynn.cc.o.d"
+  "/root/repo/src/markov/importance.cc" "src/markov/CMakeFiles/gop_markov.dir/importance.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/importance.cc.o.d"
+  "/root/repo/src/markov/krylov.cc" "src/markov/CMakeFiles/gop_markov.dir/krylov.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/krylov.cc.o.d"
+  "/root/repo/src/markov/lumping.cc" "src/markov/CMakeFiles/gop_markov.dir/lumping.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/lumping.cc.o.d"
+  "/root/repo/src/markov/matrix_exp.cc" "src/markov/CMakeFiles/gop_markov.dir/matrix_exp.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/matrix_exp.cc.o.d"
+  "/root/repo/src/markov/recovery.cc" "src/markov/CMakeFiles/gop_markov.dir/recovery.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/recovery.cc.o.d"
+  "/root/repo/src/markov/sensitivity.cc" "src/markov/CMakeFiles/gop_markov.dir/sensitivity.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/sensitivity.cc.o.d"
+  "/root/repo/src/markov/session.cc" "src/markov/CMakeFiles/gop_markov.dir/session.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/session.cc.o.d"
+  "/root/repo/src/markov/solver_plan.cc" "src/markov/CMakeFiles/gop_markov.dir/solver_plan.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/solver_plan.cc.o.d"
+  "/root/repo/src/markov/solver_stats.cc" "src/markov/CMakeFiles/gop_markov.dir/solver_stats.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/solver_stats.cc.o.d"
+  "/root/repo/src/markov/steady_state.cc" "src/markov/CMakeFiles/gop_markov.dir/steady_state.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/steady_state.cc.o.d"
+  "/root/repo/src/markov/transient.cc" "src/markov/CMakeFiles/gop_markov.dir/transient.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/transient.cc.o.d"
+  "/root/repo/src/markov/uniformization.cc" "src/markov/CMakeFiles/gop_markov.dir/uniformization.cc.o" "gcc" "src/markov/CMakeFiles/gop_markov.dir/uniformization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/gop_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_mdcd.dir/protocol.cc.o"
+  "CMakeFiles/gop_mdcd.dir/protocol.cc.o.d"
+  "libgop_mdcd.a"
+  "libgop_mdcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_mdcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_obs.dir/registry.cc.o"
+  "CMakeFiles/gop_obs.dir/registry.cc.o.d"
+  "CMakeFiles/gop_obs.dir/sink.cc.o"
+  "CMakeFiles/gop_obs.dir/sink.cc.o.d"
+  "libgop_obs.a"
+  "libgop_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

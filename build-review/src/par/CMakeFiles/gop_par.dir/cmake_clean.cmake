@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_par.dir/thread_pool.cc.o"
+  "CMakeFiles/gop_par.dir/thread_pool.cc.o.d"
+  "libgop_par.a"
+  "libgop_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

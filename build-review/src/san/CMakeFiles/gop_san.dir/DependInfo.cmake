@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/san/batch_means.cc" "src/san/CMakeFiles/gop_san.dir/batch_means.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/batch_means.cc.o.d"
+  "/root/repo/src/san/compose.cc" "src/san/CMakeFiles/gop_san.dir/compose.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/compose.cc.o.d"
+  "/root/repo/src/san/dot_export.cc" "src/san/CMakeFiles/gop_san.dir/dot_export.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/dot_export.cc.o.d"
+  "/root/repo/src/san/expr.cc" "src/san/CMakeFiles/gop_san.dir/expr.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/expr.cc.o.d"
+  "/root/repo/src/san/expr_ir.cc" "src/san/CMakeFiles/gop_san.dir/expr_ir.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/expr_ir.cc.o.d"
+  "/root/repo/src/san/lint.cc" "src/san/CMakeFiles/gop_san.dir/lint.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/lint.cc.o.d"
+  "/root/repo/src/san/marking.cc" "src/san/CMakeFiles/gop_san.dir/marking.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/marking.cc.o.d"
+  "/root/repo/src/san/model.cc" "src/san/CMakeFiles/gop_san.dir/model.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/model.cc.o.d"
+  "/root/repo/src/san/phase_type.cc" "src/san/CMakeFiles/gop_san.dir/phase_type.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/phase_type.cc.o.d"
+  "/root/repo/src/san/random_model.cc" "src/san/CMakeFiles/gop_san.dir/random_model.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/random_model.cc.o.d"
+  "/root/repo/src/san/reward.cc" "src/san/CMakeFiles/gop_san.dir/reward.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/reward.cc.o.d"
+  "/root/repo/src/san/reward_variable.cc" "src/san/CMakeFiles/gop_san.dir/reward_variable.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/reward_variable.cc.o.d"
+  "/root/repo/src/san/session.cc" "src/san/CMakeFiles/gop_san.dir/session.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/session.cc.o.d"
+  "/root/repo/src/san/simulator.cc" "src/san/CMakeFiles/gop_san.dir/simulator.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/simulator.cc.o.d"
+  "/root/repo/src/san/state_space.cc" "src/san/CMakeFiles/gop_san.dir/state_space.cc.o" "gcc" "src/san/CMakeFiles/gop_san.dir/state_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/markov/CMakeFiles/gop_markov.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/gop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/gop_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fi/CMakeFiles/gop_fi.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/gop_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/gop_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/gop_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

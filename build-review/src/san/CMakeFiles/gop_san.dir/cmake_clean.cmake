@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_san.dir/batch_means.cc.o"
+  "CMakeFiles/gop_san.dir/batch_means.cc.o.d"
+  "CMakeFiles/gop_san.dir/compose.cc.o"
+  "CMakeFiles/gop_san.dir/compose.cc.o.d"
+  "CMakeFiles/gop_san.dir/dot_export.cc.o"
+  "CMakeFiles/gop_san.dir/dot_export.cc.o.d"
+  "CMakeFiles/gop_san.dir/expr.cc.o"
+  "CMakeFiles/gop_san.dir/expr.cc.o.d"
+  "CMakeFiles/gop_san.dir/expr_ir.cc.o"
+  "CMakeFiles/gop_san.dir/expr_ir.cc.o.d"
+  "CMakeFiles/gop_san.dir/lint.cc.o"
+  "CMakeFiles/gop_san.dir/lint.cc.o.d"
+  "CMakeFiles/gop_san.dir/marking.cc.o"
+  "CMakeFiles/gop_san.dir/marking.cc.o.d"
+  "CMakeFiles/gop_san.dir/model.cc.o"
+  "CMakeFiles/gop_san.dir/model.cc.o.d"
+  "CMakeFiles/gop_san.dir/phase_type.cc.o"
+  "CMakeFiles/gop_san.dir/phase_type.cc.o.d"
+  "CMakeFiles/gop_san.dir/random_model.cc.o"
+  "CMakeFiles/gop_san.dir/random_model.cc.o.d"
+  "CMakeFiles/gop_san.dir/reward.cc.o"
+  "CMakeFiles/gop_san.dir/reward.cc.o.d"
+  "CMakeFiles/gop_san.dir/reward_variable.cc.o"
+  "CMakeFiles/gop_san.dir/reward_variable.cc.o.d"
+  "CMakeFiles/gop_san.dir/session.cc.o"
+  "CMakeFiles/gop_san.dir/session.cc.o.d"
+  "CMakeFiles/gop_san.dir/simulator.cc.o"
+  "CMakeFiles/gop_san.dir/simulator.cc.o.d"
+  "CMakeFiles/gop_san.dir/state_space.cc.o"
+  "CMakeFiles/gop_san.dir/state_space.cc.o.d"
+  "libgop_san.a"
+  "libgop_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gop_san.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_sim.dir/replication.cc.o"
+  "CMakeFiles/gop_sim.dir/replication.cc.o.d"
+  "CMakeFiles/gop_sim.dir/rng.cc.o"
+  "CMakeFiles/gop_sim.dir/rng.cc.o.d"
+  "CMakeFiles/gop_sim.dir/stats.cc.o"
+  "CMakeFiles/gop_sim.dir/stats.cc.o.d"
+  "libgop_sim.a"
+  "libgop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_util.dir/cli.cc.o"
+  "CMakeFiles/gop_util.dir/cli.cc.o.d"
+  "CMakeFiles/gop_util.dir/error.cc.o"
+  "CMakeFiles/gop_util.dir/error.cc.o.d"
+  "CMakeFiles/gop_util.dir/strings.cc.o"
+  "CMakeFiles/gop_util.dir/strings.cc.o.d"
+  "CMakeFiles/gop_util.dir/table.cc.o"
+  "CMakeFiles/gop_util.dir/table.cc.o.d"
+  "libgop_util.a"
+  "libgop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

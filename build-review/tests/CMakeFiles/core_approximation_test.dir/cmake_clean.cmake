@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_approximation_test.dir/core_approximation_test.cc.o"
+  "CMakeFiles/core_approximation_test.dir/core_approximation_test.cc.o.d"
+  "core_approximation_test"
+  "core_approximation_test.pdb"
+  "core_approximation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_approximation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mc_test.dir/core_mc_test.cc.o"
+  "CMakeFiles/core_mc_test.dir/core_mc_test.cc.o.d"
+  "core_mc_test"
+  "core_mc_test.pdb"
+  "core_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_models_test.dir/core_models_test.cc.o"
+  "CMakeFiles/core_models_test.dir/core_models_test.cc.o.d"
+  "core_models_test"
+  "core_models_test.pdb"
+  "core_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

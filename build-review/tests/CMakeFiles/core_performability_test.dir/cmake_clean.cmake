@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_performability_test.dir/core_performability_test.cc.o"
+  "CMakeFiles/core_performability_test.dir/core_performability_test.cc.o.d"
+  "core_performability_test"
+  "core_performability_test.pdb"
+  "core_performability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_performability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sensitivity_test.dir/core_sensitivity_test.cc.o"
+  "CMakeFiles/core_sensitivity_test.dir/core_sensitivity_test.cc.o.d"
+  "core_sensitivity_test"
+  "core_sensitivity_test.pdb"
+  "core_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_campaign_test.dir/fi_campaign_test.cc.o"
+  "CMakeFiles/fi_campaign_test.dir/fi_campaign_test.cc.o.d"
+  "fi_campaign_test"
+  "fi_campaign_test.pdb"
+  "fi_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_plan_test.dir/fi_plan_test.cc.o"
+  "CMakeFiles/fi_plan_test.dir/fi_plan_test.cc.o.d"
+  "fi_plan_test"
+  "fi_plan_test.pdb"
+  "fi_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

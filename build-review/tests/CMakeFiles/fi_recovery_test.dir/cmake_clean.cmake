@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_recovery_test.dir/fi_recovery_test.cc.o"
+  "CMakeFiles/fi_recovery_test.dir/fi_recovery_test.cc.o.d"
+  "fi_recovery_test"
+  "fi_recovery_test.pdb"
+  "fi_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_cross_validation_test.dir/integration_cross_validation_test.cc.o"
+  "CMakeFiles/integration_cross_validation_test.dir/integration_cross_validation_test.cc.o.d"
+  "integration_cross_validation_test"
+  "integration_cross_validation_test.pdb"
+  "integration_cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_dense_test.dir/linalg_dense_test.cc.o"
+  "CMakeFiles/linalg_dense_test.dir/linalg_dense_test.cc.o.d"
+  "linalg_dense_test"
+  "linalg_dense_test.pdb"
+  "linalg_dense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

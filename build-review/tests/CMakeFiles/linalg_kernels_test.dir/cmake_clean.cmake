@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_kernels_test.dir/linalg_kernels_test.cc.o"
+  "CMakeFiles/linalg_kernels_test.dir/linalg_kernels_test.cc.o.d"
+  "linalg_kernels_test"
+  "linalg_kernels_test.pdb"
+  "linalg_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

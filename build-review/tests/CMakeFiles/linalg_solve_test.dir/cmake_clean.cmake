@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_solve_test.dir/linalg_solve_test.cc.o"
+  "CMakeFiles/linalg_solve_test.dir/linalg_solve_test.cc.o.d"
+  "linalg_solve_test"
+  "linalg_solve_test.pdb"
+  "linalg_solve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

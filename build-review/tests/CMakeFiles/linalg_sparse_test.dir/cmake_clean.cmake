@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_sparse_test.dir/linalg_sparse_test.cc.o"
+  "CMakeFiles/linalg_sparse_test.dir/linalg_sparse_test.cc.o.d"
+  "linalg_sparse_test"
+  "linalg_sparse_test.pdb"
+  "linalg_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_chain_test.dir/lint_chain_test.cc.o"
+  "CMakeFiles/lint_chain_test.dir/lint_chain_test.cc.o.d"
+  "lint_chain_test"
+  "lint_chain_test.pdb"
+  "lint_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

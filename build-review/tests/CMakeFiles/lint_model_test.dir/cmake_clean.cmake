@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_model_test.dir/lint_model_test.cc.o"
+  "CMakeFiles/lint_model_test.dir/lint_model_test.cc.o.d"
+  "lint_model_test"
+  "lint_model_test.pdb"
+  "lint_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

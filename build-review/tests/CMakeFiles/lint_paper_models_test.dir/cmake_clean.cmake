@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_paper_models_test.dir/lint_paper_models_test.cc.o"
+  "CMakeFiles/lint_paper_models_test.dir/lint_paper_models_test.cc.o.d"
+  "lint_paper_models_test"
+  "lint_paper_models_test.pdb"
+  "lint_paper_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_paper_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_preflight_test.dir/lint_preflight_test.cc.o"
+  "CMakeFiles/lint_preflight_test.dir/lint_preflight_test.cc.o.d"
+  "lint_preflight_test"
+  "lint_preflight_test.pdb"
+  "lint_preflight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_preflight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_prove_test.dir/lint_prove_test.cc.o"
+  "CMakeFiles/lint_prove_test.dir/lint_prove_test.cc.o.d"
+  "lint_prove_test"
+  "lint_prove_test.pdb"
+  "lint_prove_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_prove_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_accumulated_test.dir/markov_accumulated_test.cc.o"
+  "CMakeFiles/markov_accumulated_test.dir/markov_accumulated_test.cc.o.d"
+  "markov_accumulated_test"
+  "markov_accumulated_test.pdb"
+  "markov_accumulated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_accumulated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_basics_test.dir/markov_basics_test.cc.o"
+  "CMakeFiles/markov_basics_test.dir/markov_basics_test.cc.o.d"
+  "markov_basics_test"
+  "markov_basics_test.pdb"
+  "markov_basics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_basics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

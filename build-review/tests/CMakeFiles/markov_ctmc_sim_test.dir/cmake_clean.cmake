@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_ctmc_sim_test.dir/markov_ctmc_sim_test.cc.o"
+  "CMakeFiles/markov_ctmc_sim_test.dir/markov_ctmc_sim_test.cc.o.d"
+  "markov_ctmc_sim_test"
+  "markov_ctmc_sim_test.pdb"
+  "markov_ctmc_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_ctmc_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

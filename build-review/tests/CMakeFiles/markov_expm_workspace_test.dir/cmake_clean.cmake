@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_expm_workspace_test.dir/markov_expm_workspace_test.cc.o"
+  "CMakeFiles/markov_expm_workspace_test.dir/markov_expm_workspace_test.cc.o.d"
+  "markov_expm_workspace_test"
+  "markov_expm_workspace_test.pdb"
+  "markov_expm_workspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_expm_workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

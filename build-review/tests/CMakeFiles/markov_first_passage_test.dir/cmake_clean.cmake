@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_first_passage_test.dir/markov_first_passage_test.cc.o"
+  "CMakeFiles/markov_first_passage_test.dir/markov_first_passage_test.cc.o.d"
+  "markov_first_passage_test"
+  "markov_first_passage_test.pdb"
+  "markov_first_passage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_first_passage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_fox_glynn_boundary_test.dir/markov_fox_glynn_boundary_test.cc.o"
+  "CMakeFiles/markov_fox_glynn_boundary_test.dir/markov_fox_glynn_boundary_test.cc.o.d"
+  "markov_fox_glynn_boundary_test"
+  "markov_fox_glynn_boundary_test.pdb"
+  "markov_fox_glynn_boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_fox_glynn_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

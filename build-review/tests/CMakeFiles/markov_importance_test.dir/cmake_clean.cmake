@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_importance_test.dir/markov_importance_test.cc.o"
+  "CMakeFiles/markov_importance_test.dir/markov_importance_test.cc.o.d"
+  "markov_importance_test"
+  "markov_importance_test.pdb"
+  "markov_importance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_importance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_krylov_sensitivity_test.dir/markov_krylov_sensitivity_test.cc.o"
+  "CMakeFiles/markov_krylov_sensitivity_test.dir/markov_krylov_sensitivity_test.cc.o.d"
+  "markov_krylov_sensitivity_test"
+  "markov_krylov_sensitivity_test.pdb"
+  "markov_krylov_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_krylov_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_lumping_test.dir/markov_lumping_test.cc.o"
+  "CMakeFiles/markov_lumping_test.dir/markov_lumping_test.cc.o.d"
+  "markov_lumping_test"
+  "markov_lumping_test.pdb"
+  "markov_lumping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_lumping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_session_test.dir/markov_session_test.cc.o"
+  "CMakeFiles/markov_session_test.dir/markov_session_test.cc.o.d"
+  "markov_session_test"
+  "markov_session_test.pdb"
+  "markov_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

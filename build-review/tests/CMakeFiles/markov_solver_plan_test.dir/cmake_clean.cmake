@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_solver_plan_test.dir/markov_solver_plan_test.cc.o"
+  "CMakeFiles/markov_solver_plan_test.dir/markov_solver_plan_test.cc.o.d"
+  "markov_solver_plan_test"
+  "markov_solver_plan_test.pdb"
+  "markov_solver_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_solver_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

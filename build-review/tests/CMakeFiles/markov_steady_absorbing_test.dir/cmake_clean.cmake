@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_steady_absorbing_test.dir/markov_steady_absorbing_test.cc.o"
+  "CMakeFiles/markov_steady_absorbing_test.dir/markov_steady_absorbing_test.cc.o.d"
+  "markov_steady_absorbing_test"
+  "markov_steady_absorbing_test.pdb"
+  "markov_steady_absorbing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_steady_absorbing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

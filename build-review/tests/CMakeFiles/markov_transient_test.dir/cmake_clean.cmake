@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_transient_test.dir/markov_transient_test.cc.o"
+  "CMakeFiles/markov_transient_test.dir/markov_transient_test.cc.o.d"
+  "markov_transient_test"
+  "markov_transient_test.pdb"
+  "markov_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_translation_ci_test.dir/mc_translation_ci_test.cc.o"
+  "CMakeFiles/mc_translation_ci_test.dir/mc_translation_ci_test.cc.o.d"
+  "mc_translation_ci_test"
+  "mc_translation_ci_test.pdb"
+  "mc_translation_ci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_translation_ci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdcd_protocol_test.dir/mdcd_protocol_test.cc.o"
+  "CMakeFiles/mdcd_protocol_test.dir/mdcd_protocol_test.cc.o.d"
+  "mdcd_protocol_test"
+  "mdcd_protocol_test.pdb"
+  "mdcd_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdcd_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

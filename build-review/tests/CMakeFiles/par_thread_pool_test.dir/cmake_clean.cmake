@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_thread_pool_test.dir/par_thread_pool_test.cc.o"
+  "CMakeFiles/par_thread_pool_test.dir/par_thread_pool_test.cc.o.d"
+  "par_thread_pool_test"
+  "par_thread_pool_test.pdb"
+  "par_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

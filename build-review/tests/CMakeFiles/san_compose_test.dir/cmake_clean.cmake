@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_compose_test.dir/san_compose_test.cc.o"
+  "CMakeFiles/san_compose_test.dir/san_compose_test.cc.o.d"
+  "san_compose_test"
+  "san_compose_test.pdb"
+  "san_compose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_compose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

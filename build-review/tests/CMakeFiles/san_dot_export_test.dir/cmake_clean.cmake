@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_dot_export_test.dir/san_dot_export_test.cc.o"
+  "CMakeFiles/san_dot_export_test.dir/san_dot_export_test.cc.o.d"
+  "san_dot_export_test"
+  "san_dot_export_test.pdb"
+  "san_dot_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_dot_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_expr_ir_test.dir/san_expr_ir_test.cc.o"
+  "CMakeFiles/san_expr_ir_test.dir/san_expr_ir_test.cc.o.d"
+  "san_expr_ir_test"
+  "san_expr_ir_test.pdb"
+  "san_expr_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_expr_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

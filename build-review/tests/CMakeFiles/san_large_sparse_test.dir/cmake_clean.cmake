@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_large_sparse_test.dir/san_large_sparse_test.cc.o"
+  "CMakeFiles/san_large_sparse_test.dir/san_large_sparse_test.cc.o.d"
+  "san_large_sparse_test"
+  "san_large_sparse_test.pdb"
+  "san_large_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_large_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_lint_legacy_test.dir/san_lint_legacy_test.cc.o"
+  "CMakeFiles/san_lint_legacy_test.dir/san_lint_legacy_test.cc.o.d"
+  "san_lint_legacy_test"
+  "san_lint_legacy_test.pdb"
+  "san_lint_legacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_lint_legacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_model_test.dir/san_model_test.cc.o"
+  "CMakeFiles/san_model_test.dir/san_model_test.cc.o.d"
+  "san_model_test"
+  "san_model_test.pdb"
+  "san_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_phase_type_test.dir/san_phase_type_test.cc.o"
+  "CMakeFiles/san_phase_type_test.dir/san_phase_type_test.cc.o.d"
+  "san_phase_type_test"
+  "san_phase_type_test.pdb"
+  "san_phase_type_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_phase_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

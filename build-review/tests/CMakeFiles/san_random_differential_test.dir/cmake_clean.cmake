@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_random_differential_test.dir/san_random_differential_test.cc.o"
+  "CMakeFiles/san_random_differential_test.dir/san_random_differential_test.cc.o.d"
+  "san_random_differential_test"
+  "san_random_differential_test.pdb"
+  "san_random_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_random_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

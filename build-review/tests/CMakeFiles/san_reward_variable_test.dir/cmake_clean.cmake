@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_reward_variable_test.dir/san_reward_variable_test.cc.o"
+  "CMakeFiles/san_reward_variable_test.dir/san_reward_variable_test.cc.o.d"
+  "san_reward_variable_test"
+  "san_reward_variable_test.pdb"
+  "san_reward_variable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_reward_variable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

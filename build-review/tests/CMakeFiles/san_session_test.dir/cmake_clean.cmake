@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_session_test.dir/san_session_test.cc.o"
+  "CMakeFiles/san_session_test.dir/san_session_test.cc.o.d"
+  "san_session_test"
+  "san_session_test.pdb"
+  "san_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_simulator_test.dir/san_simulator_test.cc.o"
+  "CMakeFiles/san_simulator_test.dir/san_simulator_test.cc.o.d"
+  "san_simulator_test"
+  "san_simulator_test.pdb"
+  "san_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

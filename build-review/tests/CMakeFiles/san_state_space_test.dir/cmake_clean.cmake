@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_state_space_test.dir/san_state_space_test.cc.o"
+  "CMakeFiles/san_state_space_test.dir/san_state_space_test.cc.o.d"
+  "san_state_space_test"
+  "san_state_space_test.pdb"
+  "san_state_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_state_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsolver_validation_test.dir/xsolver_validation_test.cc.o"
+  "CMakeFiles/xsolver_validation_test.dir/xsolver_validation_test.cc.o.d"
+  "xsolver_validation_test"
+  "xsolver_validation_test.pdb"
+  "xsolver_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsolver_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

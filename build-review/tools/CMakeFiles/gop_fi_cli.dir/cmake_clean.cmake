@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_fi_cli.dir/gop_fi.cc.o"
+  "CMakeFiles/gop_fi_cli.dir/gop_fi.cc.o.d"
+  "gop_fi"
+  "gop_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_fi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_lint_cli.dir/gop_lint.cc.o"
+  "CMakeFiles/gop_lint_cli.dir/gop_lint.cc.o.d"
+  "gop_lint"
+  "gop_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_lint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_study.dir/gop_study.cc.o"
+  "CMakeFiles/gop_study.dir/gop_study.cc.o.d"
+  "gop_study"
+  "gop_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

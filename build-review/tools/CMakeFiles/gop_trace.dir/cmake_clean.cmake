@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gop_trace.dir/gop_trace.cc.o"
+  "CMakeFiles/gop_trace.dir/gop_trace.cc.o.d"
+  "gop_trace"
+  "gop_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gop_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
