@@ -1,0 +1,144 @@
+// Serving-path performance (google-benchmark): what gop::serve adds on top
+// of the solvers it wraps. The cached-query arms measure the full
+// handle() path on a hot key — request hashing, LRU lookup, response
+// assembly — whose throughput (items/s in BENCH_serve.json) is the
+// cached-query/s capacity of one connection thread. The cold arms measure
+// the end-to-end miss path (admission preflight + grid solve + cache fill)
+// and the warm-restart arm the snapshot decode that lets a restarted server
+// skip both. run_benches.sh records the suite to BENCH_serve.json;
+// docs/serving.md discusses the numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_support.hh"
+#include "serve/cache.hh"
+#include "serve/json.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace gop;
+
+serve::Request hot_request() {
+  serve::Request request;
+  request.model = "rmgd";
+  request.rewards = {"P_A1", "Ih"};
+  request.transient_times = {7000.0};
+  return request;
+}
+
+/// Cached-query throughput on a prewarmed key: every handle() is a hit.
+/// items/s here is the headline cached-query/s figure.
+void BM_CachedQuery_Hot(benchmark::State& state) {
+  serve::Server server;
+  const serve::Response warm = server.handle(hot_request());
+  if (!warm.ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  const serve::Request request = hot_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle(request).cache_hit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CachedQuery_Hot);
+
+/// Hot path with the per-request JSONL event sink attached (the daemon's
+/// default): measures what request logging costs per query.
+void BM_CachedQuery_HotLogged(benchmark::State& state) {
+  serve::Server server;
+  std::string sink;
+  server.set_request_log([&sink](const std::string& line) { sink = line; });
+  if (!server.handle(hot_request()).ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  const serve::Request request = hot_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle(request).cache_hit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CachedQuery_HotLogged);
+
+/// The daemon's full pipe-mode round trip for a hot key: JSON parse,
+/// handle(), JSON render. Bounds what one connection can serve.
+void BM_CachedQuery_WireRoundTrip(benchmark::State& state) {
+  serve::Server server;
+  if (!server.handle(hot_request()).ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  const std::string line =
+      R"({"model":"rmgd","rewards":["P_A1","Ih"],"transient_times":[7000.0]})";
+  for (auto _ : state) {
+    const serve::Json document = serve::parse(line);
+    const serve::Response response = server.handle(serve::parse_request(document));
+    benchmark::DoNotOptimize(serve::response_to_json(response).dump().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CachedQuery_WireRoundTrip);
+
+/// Cold-solve latency: every iteration asks for a grid nobody has asked for
+/// before, so each handle() runs admission preflight + the full grid solve.
+/// The large capacity keeps eviction out of the measurement.
+void BM_ColdSolve_DistinctGrids(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.cache_capacity = 1 << 20;
+  serve::Server server(options);
+  if (!server.handle(hot_request()).ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  double next = 10000.0;
+  serve::Request request = hot_request();
+  for (auto _ : state) {
+    request.transient_times = {next};
+    next += 1.0;
+    benchmark::DoNotOptimize(server.handle(request).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ColdSolve_DistinctGrids);
+
+/// Warm restart: decode + verify a snapshot of one admitted instance and
+/// one cached result into a fresh server.
+void BM_SnapshotLoad_WarmRestart(benchmark::State& state) {
+  serve::Server writer;
+  if (!writer.handle(hot_request()).ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  const std::string snapshot = writer.save_snapshot();
+  for (auto _ : state) {
+    serve::Server restarted;
+    benchmark::DoNotOptimize(restarted.load_snapshot(snapshot).loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * snapshot.size()));
+}
+BENCHMARK(BM_SnapshotLoad_WarmRestart);
+
+/// The cache data structure alone (no server): an upper bound that shows how
+/// much of the hot path is LRU bookkeeping vs hashing and response copying.
+void BM_SolvedCache_GetHit(benchmark::State& state) {
+  serve::SolvedCache<serve::CachedResult> cache(1024);
+  const serve::CacheKey key{1, 2, 3};
+  auto value = std::make_shared<serve::CachedResult>();
+  value->engine = "pade-expm";
+  cache.put(key, value);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SolvedCache_GetHit);
+
+}  // namespace
+
+GOP_BENCH_MAIN()

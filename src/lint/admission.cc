@@ -1,0 +1,72 @@
+#include "lint/admission.hh"
+
+#include <utility>
+
+#include "util/error.hh"
+
+namespace gop::lint {
+
+namespace {
+
+/// Layers 2 and 3 against an existing chain; layer 1 already ran clean.
+void check_chain_layers(const AdmissionInput& input, const AdmissionOptions& options,
+                        const san::GeneratedChain& chain, Report& report) {
+  report.merge(lint_chain(chain));
+  for (const san::RewardStructure* reward : input.rewards) {
+    GOP_REQUIRE(reward != nullptr, "admission_check: null reward structure");
+    report.merge(lint_reward(chain, *reward));
+  }
+  const std::string& name = input.model->name();
+  if (!input.transient_times.empty()) {
+    report.merge(preflight_transient(chain.ctmc(), input.transient_times,
+                                     options.transient_options, name, options.preflight));
+  }
+  if (!input.accumulated_times.empty()) {
+    report.merge(preflight_accumulated(chain.ctmc(), input.accumulated_times,
+                                       options.accumulated_options, name, options.preflight));
+  }
+  if (input.steady_state) {
+    report.merge(preflight_steady_state(chain.ctmc(), options.steady_state_options, name,
+                                        options.preflight));
+  }
+}
+
+}  // namespace
+
+AdmissionResult admission_check_keep_chain(const AdmissionInput& input,
+                                           const AdmissionOptions& options) {
+  GOP_REQUIRE(input.model != nullptr, "admission_check: null model");
+  AdmissionResult result;
+  result.report = lint_model(*input.model, options.model_lint);
+  if (result.report.has_errors()) return result;  // generation would throw on these
+
+  if (input.chain != nullptr) {
+    check_chain_layers(input, options, *input.chain, result.report);
+    return result;
+  }
+  // Generation signals defects as ModelError (vanishing loops, ...) and as
+  // InvalidArgument (explosion guard, bad case probabilities, bad rates);
+  // admission turns both into a finding instead of propagating.
+  const auto generation_failed = [&](const std::exception& e) {
+    result.report.add("ADM001", Severity::kError, input.model->name(), "",
+                      std::string("state-space generation failed: ") + e.what(),
+                      "raise GenerationOptions limits or simplify the model");
+  };
+  try {
+    result.chain.emplace(san::generate_state_space(*input.model, options.generation));
+  } catch (const ModelError& e) {
+    generation_failed(e);
+    return result;
+  } catch (const InvalidArgument& e) {
+    generation_failed(e);
+    return result;
+  }
+  check_chain_layers(input, options, *result.chain, result.report);
+  return result;
+}
+
+Report admission_check(const AdmissionInput& input, const AdmissionOptions& options) {
+  return admission_check_keep_chain(input, options).report;
+}
+
+}  // namespace gop::lint

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file admission.hh
+/// Admission control: the composed lint battery as a single library entry
+/// point. This is the check sequence `gop_lint` has always run — layer-1
+/// model checks, state-space generation plus layer-2 chain/reward checks,
+/// then layer-3 solver preflight for the grids the caller intends to solve —
+/// factored out of the CLI so a long-running server (gop::serve) can gate
+/// every request on it without shelling out. The serve layer rejects a
+/// request (never crashes) when the returned report has error-severity
+/// findings, attaching the findings verbatim; see docs/serving.md.
+///
+/// One code is owned here rather than by a check layer:
+///   ADM001 error  state-space generation itself failed (explosion guard,
+///                 vanishing-marking loop, ...) even though the layer-1
+///                 checks passed — the gop::ModelError is captured as a
+///                 finding instead of propagating.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lint/chain_lint.hh"
+#include "lint/finding.hh"
+#include "lint/model_lint.hh"
+#include "lint/preflight.hh"
+#include "san/state_space.hh"
+
+namespace gop::lint {
+
+/// Everything one admission run needs. Grids may be empty (that preflight is
+/// skipped); `rewards` entries must outlive the call.
+struct AdmissionInput {
+  const san::SanModel* model = nullptr;
+  std::vector<const san::RewardStructure*> rewards;
+  std::span<const double> transient_times;    ///< instant-of-time grid to preflight
+  std::span<const double> accumulated_times;  ///< interval-of-time grid to preflight
+  bool steady_state = false;                  ///< preflight the steady-state solve
+  /// Already-generated chain for this model. When set, generation is skipped
+  /// (the serve layer admits a model once, caches the chain, and re-runs
+  /// admission per request with the cached chain and the request's grids).
+  const san::GeneratedChain* chain = nullptr;
+};
+
+struct AdmissionOptions {
+  ModelLintOptions model_lint;
+  PreflightOptions preflight;
+  san::GenerationOptions generation;
+  /// Solver options the preflights mirror (the plan the dispatcher will
+  /// compute depends on them).
+  markov::TransientOptions transient_options;
+  markov::AccumulatedOptions accumulated_options;
+  markov::SteadyStateOptions steady_state_options;
+};
+
+/// Runs the full battery over `input` and returns the composed report.
+/// Never throws on model defects: layer-1 errors short-circuit the later
+/// layers (generation would throw on them), and a generation failure becomes
+/// an ADM001 error finding. Out-of-contract use (null model) still throws
+/// gop::InvalidArgument.
+Report admission_check(const AdmissionInput& input, const AdmissionOptions& options = {});
+
+/// Convenience for callers that also want the generated chain when admission
+/// passed the generation stage (the serve layer caches it). Empty when
+/// layer-1 errors stopped the battery or generation failed.
+struct AdmissionResult {
+  Report report;
+  std::optional<san::GeneratedChain> chain;
+};
+
+/// As admission_check, but hands back the chain it generated (or nothing if
+/// `input.chain` was provided — the caller already holds it).
+AdmissionResult admission_check_keep_chain(const AdmissionInput& input,
+                                           const AdmissionOptions& options = {});
+
+}  // namespace gop::lint

@@ -9,9 +9,11 @@
 ///                   (prover + reachability probe, composed)
 ///  - chain_lint.hh  layer 2: generated-chain / generator / reward checks
 ///  - preflight.hh   layer 3: solver preflight for a (chain, grid, options)
+///  - admission.hh   the composed battery as one call (gop_lint, gop::serve)
 /// The check-code catalog is documented in docs/static-analysis.md; the
 /// `gop_lint` CLI (tools/gop_lint.cc) runs the full battery.
 
+#include "lint/admission.hh"    // IWYU pragma: export
 #include "lint/chain_lint.hh"   // IWYU pragma: export
 #include "lint/finding.hh"      // IWYU pragma: export
 #include "lint/model_lint.hh"   // IWYU pragma: export

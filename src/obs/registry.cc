@@ -169,6 +169,7 @@ const char* to_string(SolverEventKind kind) {
     case SolverEventKind::kFaultInjection: return "fault_injection";
     case SolverEventKind::kRecovery: return "recovery";
     case SolverEventKind::kKrylovPass: return "krylov_pass";
+    case SolverEventKind::kServeRequest: return "serve_request";
   }
   throw InternalError("unknown SolverEventKind");
 }

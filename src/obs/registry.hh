@@ -90,6 +90,10 @@ enum class SolverEventKind {
   /// One per krylov_expv action (markov/krylov.hh): the Arnoldi sub-step
   /// count and basis dimension of a sparse matrix-exponential action.
   kKrylovPass,
+  /// One per gop::serve request (the request log): method = outcome
+  /// ("cache-hit" / "cold-solve" / "coalesced" / "rejected" / "error"),
+  /// wall_ms = end-to-end latency, detail = certificate summary.
+  kServeRequest,
 };
 
 const char* to_string(SolverEventKind kind);
@@ -117,6 +121,7 @@ struct SolverEvent {
   size_t retries = 0;       ///< recovery events: tightened-tolerance retries
   bool degraded = false;    ///< recovery events: result needed retries/fallback
   std::string detail;       ///< recovery events: attempt log summary
+  double wall_ms = 0.0;     ///< serve events: end-to-end request latency
 };
 
 /// Records an event when enabled() (drops it otherwise). The buffer is

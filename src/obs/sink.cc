@@ -54,6 +54,9 @@ std::string event_json(const SolverEvent& e) {
     out += str_format(",\"retries\":%zu,\"degraded\":%s,\"detail\":\"%s\"", e.retries,
                       e.degraded ? "true" : "false", json_escape(e.detail).c_str());
   }
+  if (e.wall_ms > 0.0) {
+    out += str_format(",\"wall_ms\":%.6g", e.wall_ms);
+  }
   out += "}";
   return out;
 }
@@ -158,6 +161,10 @@ std::string render_json(const Snapshot& snapshot) {
   return out;
 }
 
+std::string render_event_jsonl(const SolverEvent& event) {
+  return "{\"type\":\"event\",\"event\":" + event_json(event) + "}\n";
+}
+
 std::string render_jsonl(const Snapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
@@ -170,7 +177,7 @@ std::string render_jsonl(const Snapshot& snapshot) {
   }
   for (const SpanNode& child : snapshot.root.children) jsonl_nodes(child, "", out);
   for (const SolverEvent& e : snapshot.events) {
-    out += "{\"type\":\"event\",\"event\":" + event_json(e) + "}\n";
+    out += render_event_jsonl(e);
   }
   return out;
 }

@@ -26,4 +26,9 @@ std::string render_text(const Snapshot& snapshot);
 std::string render_json(const Snapshot& snapshot);
 std::string render_jsonl(const Snapshot& snapshot);
 
+/// One JSON line (newline-terminated) for a single event, in exactly the
+/// render_jsonl per-event shape. The gop::serve request log streams these as
+/// requests complete instead of snapshotting the whole registry.
+std::string render_event_jsonl(const SolverEvent& event);
+
 }  // namespace gop::obs

@@ -1,0 +1,83 @@
+#include "san/hash.hh"
+
+#include <string>
+
+#include "markov/ctmc.hh"
+
+namespace gop::san {
+
+uint64_t fnv1a(const void* data, size_t size) {
+  Fnv1a h;
+  h.bytes(data, size);
+  return h.digest();
+}
+
+namespace {
+
+void hash_string(Fnv1a& h, const std::string& s) {
+  h.u64(s.size());
+  h.bytes(s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t chain_hash(const GeneratedChain& chain) {
+  Fnv1a h;
+  h.u64(0x43484149ULL);  // "CHAI" domain tag
+  // Model identity first: the digest binds the chain to the *named* model it
+  // was generated from, so snapshot load (san/snapshot.hh) cannot silently
+  // re-attach a chain blob to a different model of the same shape.
+  const SanModel& model = chain.model();
+  hash_string(h, model.name());
+  h.u64(model.place_count());
+  for (size_t p = 0; p < model.place_count(); ++p) {
+    hash_string(h, model.place_name(PlaceRef{p}));
+  }
+  h.u64(model.activity_count());
+  for (size_t a = 0; a < model.activity_count(); ++a) {
+    hash_string(h, model.activity_name(ActivityRef{a}));
+  }
+  h.u64(chain.state_count());
+  h.u64(chain.model().place_count());
+  for (const Marking& marking : chain.states()) {
+    for (int32_t tokens : marking.tokens()) h.i32(tokens);
+  }
+  const markov::Ctmc& ctmc = chain.ctmc();
+  h.u64(ctmc.transitions().size());
+  for (const markov::Transition& tr : ctmc.transitions()) {
+    h.u64(tr.from);
+    h.u64(tr.to);
+    h.i32(tr.label);
+    h.f64(tr.rate);
+  }
+  for (double p : ctmc.initial_distribution()) h.f64(p);
+  return h.digest();
+}
+
+uint64_t reward_hash(const GeneratedChain& chain, const RewardStructure& reward) {
+  Fnv1a h;
+  h.u64(0x52574152ULL);  // "RWAR" domain tag
+  const std::vector<double> rates = chain.rate_reward_vector(reward);
+  h.u64(rates.size());
+  for (double r : rates) h.f64(r);
+  const size_t activities = chain.model().activity_count();
+  h.u64(activities);
+  for (size_t a = 0; a < activities; ++a) {
+    h.f64(reward.impulse_of(ActivityRef{a}));
+  }
+  return h.digest();
+}
+
+uint64_t grid_hash(std::span<const double> transient_times,
+                   std::span<const double> accumulated_times, bool steady_state) {
+  Fnv1a h;
+  h.u64(0x47524944ULL);  // "GRID" domain tag
+  h.u64(transient_times.size());
+  for (double t : transient_times) h.f64(t);
+  h.u64(accumulated_times.size());
+  for (double t : accumulated_times) h.f64(t);
+  h.u8(steady_state ? 1 : 0);
+  return h.digest();
+}
+
+}  // namespace gop::san

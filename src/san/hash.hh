@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file hash.hh
+/// Content hashing for generated chains, reward structures, and evaluation
+/// grids — the identity layer of the gop::serve solved-model cache
+/// (docs/serving.md). All hashes are 64-bit FNV-1a over a canonical byte
+/// encoding; they are deterministic across processes and runs (no pointers,
+/// no container addresses) and bitwise-sensitive: a 1-ulp perturbation of any
+/// rate, reward, or grid time changes the digest.
+///
+/// What each hash covers:
+///  - chain_hash      — the model identity (model, place, and activity
+///    names) plus the *generated* chain: place count, every tangible
+///    marking, every labelled transition (from, to, label, rate bits), and
+///    the initial distribution. Any structural or parametric difference
+///    that survives generation changes the hash, and so does renaming the
+///    model — the digest is what binds a snapshot chain blob to the model
+///    it is re-attached to (san/snapshot.hh).
+///  - reward_hash     — one reward structure *as evaluated on a chain*: the
+///    per-state rate-reward vector bits plus every activity's impulse bits.
+///  - grid_hash       — the evaluation request shape: transient times,
+///    accumulated times (kept distinguishable), and the steady-state flag.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "san/reward.hh"
+#include "san/state_space.hh"
+
+namespace gop::san {
+
+/// Streaming 64-bit FNV-1a. Small enough to stay header-inline; the cache
+/// key combiners in gop::serve and the snapshot checksum reuse it.
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
+
+  void bytes(const void* data, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state_ ^= static_cast<uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+  }
+  void u8(uint8_t v) { bytes(&v, sizeof v); }
+  void u32(uint32_t v) { bytes(&v, sizeof v); }
+  void u64(uint64_t v) { bytes(&v, sizeof v); }
+  void i32(int32_t v) { bytes(&v, sizeof v); }
+  /// Hashes the IEEE-754 bit pattern: 1-ulp sensitivity, and -0.0 != +0.0.
+  void f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffsetBasis;
+};
+
+/// Convenience: FNV-1a of a whole buffer (the snapshot payload checksum).
+uint64_t fnv1a(const void* data, size_t size);
+
+/// Content hash of a generated chain; see the file comment for coverage.
+uint64_t chain_hash(const GeneratedChain& chain);
+
+/// Content hash of `reward` as evaluated on `chain`.
+uint64_t reward_hash(const GeneratedChain& chain, const RewardStructure& reward);
+
+/// Content hash of an evaluation grid request. The two grids are domain-
+/// separated (a time in the transient grid never collides with the same time
+/// in the accumulated grid), and the steady-state flag is part of the digest.
+uint64_t grid_hash(std::span<const double> transient_times,
+                   std::span<const double> accumulated_times, bool steady_state);
+
+}  // namespace gop::san

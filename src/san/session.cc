@@ -13,10 +13,18 @@ ChainSession::ChainSession(const GeneratedChain& chain, std::vector<double> time
   GOP_REQUIRE(options.transient || options.accumulated,
               "solve_grid needs at least one of transient / accumulated");
   if (options.transient) {
-    transient_.emplace(chain.ctmc(), times_, options.transient_options);
+    if (options.recovery.has_value()) {
+      transient_.emplace(chain.ctmc(), times_, options.transient_options, *options.recovery);
+    } else {
+      transient_.emplace(chain.ctmc(), times_, options.transient_options);
+    }
   }
   if (options.accumulated) {
-    accumulated_.emplace(chain.ctmc(), times_, options.accumulated_options);
+    if (options.recovery.has_value()) {
+      accumulated_.emplace(chain.ctmc(), times_, options.accumulated_options, *options.recovery);
+    } else {
+      accumulated_.emplace(chain.ctmc(), times_, options.accumulated_options);
+    }
   }
 }
 

@@ -31,6 +31,10 @@ struct GridSolveOptions {
   bool accumulated = false;
   markov::TransientOptions transient_options;
   markov::AccumulatedOptions accumulated_options;
+  /// When set, the underlying markov sessions are built through the recovery
+  /// ladder (markov/recovery.hh) and carry provenance certificates. A clean
+  /// first-try build stays bit-identical to the policy-free path.
+  std::optional<markov::RecoveryPolicy> recovery;
 };
 
 class ChainSession {

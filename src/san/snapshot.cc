@@ -1,0 +1,160 @@
+#include "san/snapshot.hh"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "markov/ctmc.hh"
+#include "san/hash.hh"
+#include "san/marking.hh"
+#include "util/strings.hh"
+
+namespace gop::san::snapshot {
+
+namespace {
+
+void append_le(std::string& out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffULL));
+  }
+}
+
+uint64_t read_le(const unsigned char* p, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Writer::u8(uint8_t v) { append_le(buffer_, v, 1); }
+void Writer::u32(uint32_t v) { append_le(buffer_, v, 4); }
+void Writer::u64(uint64_t v) { append_le(buffer_, v, 8); }
+void Writer::i32(int32_t v) { append_le(buffer_, static_cast<uint32_t>(v), 4); }
+
+void Writer::f64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Writer::str(std::string_view s) {
+  u64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+const unsigned char* Reader::need(size_t count) {
+  if (count > data_.size() - pos_) {
+    throw SnapshotError(str_format(
+        "snapshot truncated: need %zu bytes at offset %zu, have %zu", count, pos_,
+        data_.size() - pos_));
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += count;
+  return p;
+}
+
+uint8_t Reader::u8() { return static_cast<uint8_t>(read_le(need(1), 1)); }
+uint32_t Reader::u32() { return static_cast<uint32_t>(read_le(need(4), 4)); }
+uint64_t Reader::u64() { return read_le(need(8), 8); }
+int32_t Reader::i32() { return static_cast<int32_t>(static_cast<uint32_t>(read_le(need(4), 4))); }
+
+double Reader::f64() {
+  const uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string Reader::str() {
+  const uint64_t size = u64();
+  if (size > data_.size() - pos_) {
+    throw SnapshotError(str_format(
+        "snapshot truncated: string of %llu bytes at offset %zu exceeds remaining %zu",
+        static_cast<unsigned long long>(size), pos_, data_.size() - pos_));
+  }
+  const auto* p = reinterpret_cast<const char*>(need(static_cast<size_t>(size)));
+  return std::string(p, static_cast<size_t>(size));
+}
+
+void write_chain(Writer& writer, const GeneratedChain& chain) {
+  writer.u64(chain_hash(chain));
+  writer.u64(chain.state_count());
+  writer.u64(chain.model().place_count());
+  for (const Marking& marking : chain.states()) {
+    for (int32_t tokens : marking.tokens()) writer.i32(tokens);
+  }
+  const markov::Ctmc& ctmc = chain.ctmc();
+  writer.u64(ctmc.transitions().size());
+  for (const markov::Transition& tr : ctmc.transitions()) {
+    writer.u64(tr.from);
+    writer.u64(tr.to);
+    writer.i32(tr.label);
+    writer.f64(tr.rate);
+  }
+  for (double p : ctmc.initial_distribution()) writer.f64(p);
+}
+
+GeneratedChain read_chain(Reader& reader, const SanModel& model) {
+  const uint64_t stored_hash = reader.u64();
+  const uint64_t state_count = reader.u64();
+  const uint64_t place_count = reader.u64();
+  if (place_count != model.place_count()) {
+    throw SnapshotError(str_format(
+        "snapshot chain has %llu places but the rebuilt model has %zu",
+        static_cast<unsigned long long>(place_count), model.place_count()));
+  }
+  // A marking is >= 4 bytes per place; reject state counts the remaining
+  // bytes cannot possibly hold before allocating anything.
+  if (place_count != 0 && state_count > reader.remaining() / (4 * place_count)) {
+    throw SnapshotError("snapshot truncated: state section exceeds remaining bytes");
+  }
+  std::vector<Marking> states;
+  states.reserve(static_cast<size_t>(state_count));
+  for (uint64_t s = 0; s < state_count; ++s) {
+    std::vector<int32_t> tokens(static_cast<size_t>(place_count));
+    for (int32_t& t : tokens) t = reader.i32();
+    states.emplace_back(std::move(tokens));
+  }
+
+  const uint64_t transition_count = reader.u64();
+  if (transition_count > reader.remaining() / 28) {  // 8+8+4+8 bytes each
+    throw SnapshotError("snapshot truncated: transition section exceeds remaining bytes");
+  }
+  std::vector<markov::Transition> transitions;
+  transitions.reserve(static_cast<size_t>(transition_count));
+  for (uint64_t i = 0; i < transition_count; ++i) {
+    markov::Transition tr;
+    const uint64_t from = reader.u64();
+    const uint64_t to = reader.u64();
+    if (from >= state_count || to >= state_count) {
+      throw SnapshotError("snapshot transition endpoint out of range");
+    }
+    tr.from = static_cast<size_t>(from);
+    tr.to = static_cast<size_t>(to);
+    tr.label = reader.i32();
+    tr.rate = reader.f64();
+    transitions.push_back(tr);
+  }
+
+  std::vector<double> initial(static_cast<size_t>(state_count));
+  for (double& p : initial) p = reader.f64();
+
+  GeneratedChain chain(model, std::move(states),
+                       markov::Ctmc(static_cast<size_t>(state_count), std::move(transitions),
+                                    std::move(initial)));
+  const uint64_t recomputed = chain_hash(chain);
+  if (recomputed != stored_hash) {
+    throw SnapshotError(str_format(
+        "snapshot chain hash mismatch: stored %016llx, recomputed %016llx (model drift "
+        "or corruption)",
+        static_cast<unsigned long long>(stored_hash),
+        static_cast<unsigned long long>(recomputed)));
+  }
+  return chain;
+}
+
+}  // namespace gop::san::snapshot

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file snapshot.hh
+/// Versioned binary serialization primitives plus the generated-chain
+/// snapshot — the persistence layer gop::serve uses so a warm restart skips
+/// state-space generation and re-solving (docs/serving.md documents the full
+/// file format the serve layer assembles from these pieces).
+///
+/// Encoding rules (all of them, there is nothing else):
+///  - integers are fixed-width little-endian (u8/u32/u64, i32 two's
+///    complement);
+///  - doubles are their raw IEEE-754 bit pattern as u64 — round-trips are
+///    bit-exact by construction;
+///  - strings and byte blobs are u64 length + raw bytes;
+///  - there is no padding and no alignment.
+///
+/// Readers are defensive: every accessor throws SnapshotError on truncation,
+/// oversized lengths, or malformed section data — never UB, never a crash.
+/// Callers (serve::Server::load_snapshot) catch SnapshotError and degrade to
+/// a clean cold start.
+///
+/// A SanModel itself is NOT serializable (predicates/rates/effects are
+/// closures); what is saved is the *generated* chain — markings, labelled
+/// transitions, initial distribution — which is the expensive part. Loading
+/// re-attaches the chain to a freshly rebuilt model and verifies the stored
+/// content hash, so a snapshot can never resurrect a chain onto the wrong
+/// model silently.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "san/state_space.hh"
+
+namespace gop::san::snapshot {
+
+/// Thrown on any malformed, truncated, or mismatching snapshot data.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class Writer {
+ public:
+  void u8(uint8_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i32(int32_t v);
+  void f64(double v);
+  void str(std::string_view s);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads the Writer encoding back; every accessor throws SnapshotError when
+/// the remaining bytes cannot satisfy it.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int32_t i32();
+  double f64();
+  std::string str();
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  const unsigned char* need(size_t count);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes a generated chain: states, transitions, initial distribution,
+/// and its content hash (san/hash.hh) for load-time verification.
+void write_chain(Writer& writer, const GeneratedChain& chain);
+
+/// Reconstructs a chain against `model`, which must be the same model the
+/// chain was generated from (rebuilt from the same description/parameters).
+/// Throws SnapshotError when the data is malformed, the place count does not
+/// match the model, or the recomputed content hash differs from the stored
+/// one. The returned chain references `model`; it must outlive the chain.
+GeneratedChain read_chain(Reader& reader, const SanModel& model);
+
+}  // namespace gop::san::snapshot

@@ -214,8 +214,15 @@ double GeneratedChain::accumulated_reward_over(const RewardStructure& reward,
 
 double GeneratedChain::steady_state_reward(const RewardStructure& reward,
                                            const markov::SteadyStateOptions& options) const {
-  require_timed_impulses(reward);
   const std::vector<double> pi = markov::steady_state_distribution(ctmc_, options);
+  return steady_state_reward_over(reward, pi);
+}
+
+double GeneratedChain::steady_state_reward_over(const RewardStructure& reward,
+                                                const std::vector<double>& pi) const {
+  require_timed_impulses(reward);
+  GOP_REQUIRE(pi.size() == states_.size(),
+              "stationary distribution size does not match the chain");
   double total = linalg::dot(pi, rate_reward_vector(reward));
   if (reward.has_impulses()) total += impulse_flux(reward, pi);
   return total;

@@ -80,6 +80,13 @@ class GeneratedChain {
   double steady_state_reward(const RewardStructure& reward,
                              const markov::SteadyStateOptions& options = {}) const;
 
+  /// Assembles the steady-state reward from an already-solved stationary
+  /// distribution pi (rate part plus impulse flux). The shared back half of
+  /// steady_state_reward; the serve layer uses it to dot many reward
+  /// structures against one checked steady-state solve.
+  double steady_state_reward_over(const RewardStructure& reward,
+                                  const std::vector<double>& pi) const;
+
   /// Probability of being in a marking satisfying `predicate` at time t.
   double transient_probability(const Predicate& predicate, double t,
                                const markov::TransientOptions& options = {}) const;

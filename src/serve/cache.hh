@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file cache.hh
+/// The solved-model cache and the single-flight build coordinator of
+/// gop::serve (docs/serving.md).
+///
+/// SolvedCache is a bounded LRU map from the content-addressed cache key
+/// (model hash, reward-set hash, grid hash — san/hash.hh) to an immutable,
+/// shared solved result. Entries are shared_ptr<const ...>: a hit hands back
+/// the same immutable object every time, so cached replies are bitwise
+/// identical to the solve that produced them — there is no re-serialization
+/// or copy that could perturb a double.
+///
+/// SingleFlight guarantees that concurrent requests for the same key share
+/// ONE execution of the expensive factory (chain generation, grid solve):
+/// the first caller becomes the leader and runs it, followers block until
+/// the leader publishes or fails. A failure is propagated to every waiter
+/// and the slot is cleared so a later request retries. This is what the
+/// concurrency battery (serve_concurrency_test.cc) pins: exactly one cold
+/// solve per distinct key, no matter how many clients race.
+
+#include <atomic>
+#include <compare>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gop::serve {
+
+/// Content-addressed identity of one solved request.
+struct CacheKey {
+  uint64_t model_hash = 0;
+  uint64_t reward_hash = 0;  ///< combined over the requested rewards, in request order
+  uint64_t grid_hash = 0;
+
+  friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Bounded LRU cache; all operations take the internal mutex and values are
+/// immutable, so readers can use the returned shared_ptr without locks.
+template <typename Value>
+class SolvedCache {
+ public:
+  explicit SolvedCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::shared_ptr<const Value> get(const CacheKey& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second.position);
+    return it->second.value;
+  }
+
+  /// Inserts (or replaces) and evicts the least-recently-used entry past
+  /// capacity. Returns the number of evictions performed.
+  size_t put(const CacheKey& key, std::shared_ptr<const Value> value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second.position);
+      return 0;
+    }
+    order_.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), order_.begin()});
+    size_t evicted = 0;
+    while (entries_.size() > capacity_) {
+      entries_.erase(order_.back());
+      order_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    order_.clear();
+  }
+
+  /// Snapshot of every (key, value) pair, most recently used first. Used by
+  /// snapshot serialization; O(n) under the lock.
+  std::vector<std::pair<CacheKey, std::shared_ptr<const Value>>> entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<CacheKey, std::shared_ptr<const Value>>> out;
+    out.reserve(entries_.size());
+    for (const CacheKey& key : order_) {
+      out.emplace_back(key, entries_.at(key).value);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    typename std::list<CacheKey>::iterator position;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<CacheKey, Entry> entries_;
+  std::list<CacheKey> order_;
+};
+
+/// Deduplicates concurrent executions of an expensive keyed operation; see
+/// the file comment. `Key` needs operator< (std::map).
+template <typename Key>
+class SingleFlight {
+ public:
+  enum class Role {
+    kLeader,     ///< this caller ran the factory
+    kCoalesced,  ///< another in-flight caller's result was shared
+  };
+
+  /// Runs `factory` unless an execution for `key` is already in flight, in
+  /// which case it blocks until that execution finishes. The factory must
+  /// publish its result to wherever followers will find it (e.g. the cache)
+  /// BEFORE do_once returns — followers re-read from there. Exceptions
+  /// thrown by the factory propagate to the leader and every follower, and
+  /// the slot is cleared so later calls retry.
+  Role do_once(const Key& key, const std::function<void()>& factory) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        slot = it->second;
+      } else {
+        slot = std::make_shared<Slot>();
+        inflight_.emplace(key, slot);
+      }
+    }
+    if (slot->leader.exchange(false)) {
+      try {
+        factory();
+      } catch (...) {
+        finish(key, slot, std::current_exception());
+        throw;
+      }
+      finish(key, slot, nullptr);
+      return Role::kLeader;
+    }
+    std::unique_lock<std::mutex> wait_lock(slot->mutex);
+    slot->done_cv.wait(wait_lock, [&] { return slot->done; });
+    if (slot->error) std::rethrow_exception(slot->error);
+    return Role::kCoalesced;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> leader{true};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  void finish(const Key& key, const std::shared_ptr<Slot>& slot, std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      slot->done = true;
+      slot->error = std::move(error);
+    }
+    slot->done_cv.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::map<Key, std::shared_ptr<Slot>> inflight_;
+};
+
+}  // namespace gop::serve

@@ -1,0 +1,190 @@
+#include "serve/inline_model.hh"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "san/expr.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::serve {
+
+namespace {
+
+const Json& require_field(const Json& object, const char* field, const char* context) {
+  const Json* value = object.find(field);
+  if (value == nullptr) {
+    throw InvalidArgument(str_format("inline model: %s is missing '%s'", context, field));
+  }
+  return *value;
+}
+
+int32_t as_int32(const Json& value, const char* context) {
+  const double d = value.as_number();
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0) {
+    throw InvalidArgument(str_format("inline model: %s must be a 32-bit integer", context));
+  }
+  return static_cast<int32_t>(d);
+}
+
+/// One [place, op, value] triple of a guard / reward predicate.
+san::Predicate parse_condition(const san::SanModel& model, const Json& triple) {
+  const JsonArray& parts = triple.as_array();
+  if (parts.size() != 3) {
+    throw InvalidArgument("inline model: condition must be [place, op, value]");
+  }
+  const san::PlaceRef place = model.place(parts[0].as_string());
+  const std::string& op = parts[1].as_string();
+  const int32_t value = as_int32(parts[2], "condition value");
+  if (op == "==") return san::mark_eq(place, value);
+  if (op == ">=") return san::mark_ge(place, value);
+  throw InvalidArgument(
+      str_format("inline model: unknown condition operator '%s' (use \"==\" or \">=\")",
+                 op.c_str()));
+}
+
+/// A conjunction array (empty or absent means always-enabled).
+san::Predicate parse_conjunction(const san::SanModel& model, const Json* conditions) {
+  if (conditions == nullptr || conditions->as_array().empty()) return san::always();
+  std::vector<san::Predicate> terms;
+  terms.reserve(conditions->as_array().size());
+  for (const Json& triple : conditions->as_array()) {
+    terms.push_back(parse_condition(model, triple));
+  }
+  if (terms.size() == 1) return terms.front();
+  return san::all_of(std::move(terms));
+}
+
+/// One [place, "set"|"add", value] effect triple.
+san::Effect parse_effect(const san::SanModel& model, const Json& triple) {
+  const JsonArray& parts = triple.as_array();
+  if (parts.size() != 3) {
+    throw InvalidArgument("inline model: effect must be [place, \"set\"|\"add\", value]");
+  }
+  const san::PlaceRef place = model.place(parts[0].as_string());
+  const std::string& op = parts[1].as_string();
+  const int32_t value = as_int32(parts[2], "effect value");
+  if (op == "set") return san::set_mark(place, value);
+  if (op == "add") return san::add_mark(place, value);
+  throw InvalidArgument(str_format(
+      "inline model: unknown effect operator '%s' (use \"set\" or \"add\")", op.c_str()));
+}
+
+san::Effect parse_effects(const san::SanModel& model, const Json* effects) {
+  if (effects == nullptr || effects->as_array().empty()) return san::no_effect();
+  std::vector<san::Effect> steps;
+  steps.reserve(effects->as_array().size());
+  for (const Json& triple : effects->as_array()) steps.push_back(parse_effect(model, triple));
+  if (steps.size() == 1) return steps.front();
+  return san::sequence(std::move(steps));
+}
+
+std::vector<san::Case> parse_cases(const san::SanModel& model, const Json* cases) {
+  std::vector<san::Case> out;
+  if (cases == nullptr || cases->as_array().empty()) {
+    out.push_back(san::Case{san::constant_prob(1.0), san::no_effect()});
+    return out;
+  }
+  out.reserve(cases->as_array().size());
+  for (const Json& entry : cases->as_array()) {
+    const Json* prob = entry.find("prob");
+    const double p = prob == nullptr ? 1.0 : prob->as_number();
+    out.push_back(san::Case{san::constant_prob(p), parse_effects(model, entry.find("effects"))});
+  }
+  return out;
+}
+
+void add_activity(san::SanModel& model, const Json& spec) {
+  const std::string& name = require_field(spec, "name", "an activity").as_string();
+  san::Predicate guard = parse_conjunction(model, spec.find("guard"));
+  std::vector<san::Case> cases = parse_cases(model, spec.find("cases"));
+
+  const Json* instantaneous = spec.find("instantaneous");
+  if (instantaneous != nullptr && instantaneous->as_bool()) {
+    if (spec.find("rate") != nullptr) {
+      throw InvalidArgument(str_format(
+          "inline model: activity '%s' cannot be both instantaneous and rated", name.c_str()));
+    }
+    san::InstantaneousActivity activity;
+    activity.name = name;
+    activity.enabled = std::move(guard);
+    const Json* priority = spec.find("priority");
+    activity.priority = priority == nullptr ? 0 : as_int32(*priority, "activity priority");
+    activity.cases = std::move(cases);
+    model.add_instantaneous_activity(std::move(activity));
+    return;
+  }
+
+  san::TimedActivity activity;
+  activity.name = name;
+  activity.enabled = std::move(guard);
+  activity.rate =
+      san::constant_rate(require_field(spec, "rate", "a timed activity").as_number());
+  activity.cases = std::move(cases);
+  model.add_timed_activity(std::move(activity));
+}
+
+san::ActivityRef activity_by_name(const san::SanModel& model, const std::string& name) {
+  for (size_t a = 0; a < model.activity_count(); ++a) {
+    const san::ActivityRef ref{a};
+    if (model.activity_name(ref) == name) return ref;
+  }
+  throw InvalidArgument(str_format("inline model: unknown activity '%s'", name.c_str()));
+}
+
+san::RewardStructure parse_reward(const san::SanModel& model, const Json& spec) {
+  const std::string& name = require_field(spec, "name", "a reward").as_string();
+  san::RewardStructure reward(name);
+  if (const Json* rates = spec.find("rates")) {
+    for (const Json& entry : rates->as_array()) {
+      reward.add(parse_conjunction(model, entry.find("when")),
+                 require_field(entry, "rate", "a reward rate").as_number());
+    }
+  }
+  if (const Json* impulses = spec.find("impulses")) {
+    for (const Json& pair : impulses->as_array()) {
+      const JsonArray& parts = pair.as_array();
+      if (parts.size() != 2) {
+        throw InvalidArgument("inline model: impulse must be [activity, reward]");
+      }
+      reward.add_impulse(activity_by_name(model, parts[0].as_string()), parts[1].as_number());
+    }
+  }
+  return reward;
+}
+
+}  // namespace
+
+InlineModel build_inline_model(const Json& description) {
+  GOP_REQUIRE(description.is_object(), "inline model description must be a JSON object");
+  InlineModel built;
+  built.model = std::make_unique<san::SanModel>(
+      require_field(description, "name", "the description").as_string());
+  san::SanModel& model = *built.model;
+
+  const Json& places = require_field(description, "places", "the description");
+  for (const Json& spec : places.as_array()) {
+    const std::string& name = require_field(spec, "name", "a place").as_string();
+    const Json* initial = spec.find("initial");
+    const int32_t tokens = initial == nullptr ? 0 : as_int32(*initial, "place initial");
+    if (const Json* capacity = spec.find("capacity")) {
+      model.add_place(name, tokens, as_int32(*capacity, "place capacity"));
+    } else {
+      model.add_place(name, tokens);
+    }
+  }
+
+  if (const Json* activities = description.find("activities")) {
+    for (const Json& spec : activities->as_array()) add_activity(model, spec);
+  }
+
+  if (const Json* rewards = description.find("rewards")) {
+    for (const Json& spec : rewards->as_array()) {
+      built.rewards.push_back(parse_reward(model, spec));
+    }
+  }
+  return built;
+}
+
+}  // namespace gop::serve

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file inline_model.hh
+/// Inline SAN descriptions: builds a san::SanModel plus its reward catalog
+/// from the declarative JSON schema of the serve protocol (docs/serving.md).
+/// The builder is strict about *shape* (missing fields, unknown names, bad
+/// operators throw gop::InvalidArgument, which the server maps to a kError
+/// response) but deliberately permissive about *semantics*: probabilities
+/// that do not sum to one, negative rates, capacity violations and the like
+/// build fine and are then caught by lint admission — that is the whole
+/// point of admission control, and what serve_admission_test exercises.
+///
+/// Everything is assembled from the san/expr.hh combinators, so inline
+/// models carry the expression IR and are provable by lint::prove_model like
+/// any registered model.
+///
+/// Schema:
+///   {"name": "m",
+///    "places": [{"name":"p", "initial":1, "capacity":2}],          // capacity optional
+///    "activities": [{"name":"a",
+///                    "rate": 2.0,                // timed (constant rate), or
+///                    "instantaneous": true,      // ... instantaneous
+///                    "priority": 0,              // optional, instantaneous only
+///                    "guard": [["p",">=",1]],    // conjunction; ops "==" and ">="
+///                    "cases": [{"prob":1.0, "effects":[["p","add",-1]]}]}],
+///    "rewards": [{"name":"r",
+///                 "rates": [{"when":[["p","==",1]], "rate":1.0}],   // "when" optional (always)
+///                 "impulses": [["a", 0.5]]}]}                        // optional
+
+#include <memory>
+#include <vector>
+
+#include "san/model.hh"
+#include "san/reward.hh"
+#include "serve/json.hh"
+
+namespace gop::serve {
+
+/// A built inline model. The model is heap-held so the generated chain and
+/// cache entries can keep a stable pointer to it.
+struct InlineModel {
+  std::unique_ptr<san::SanModel> model;
+  std::vector<san::RewardStructure> rewards;
+};
+
+/// Builds the model and rewards; throws gop::InvalidArgument on any shape
+/// error (the message names the offending field).
+InlineModel build_inline_model(const Json& description);
+
+}  // namespace gop::serve

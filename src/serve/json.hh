@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file json.hh
+/// Minimal JSON value, parser, and canonical serializer for the gop::serve
+/// wire protocol (docs/serving.md). Deliberately small: the subset the
+/// protocol needs (null, bool, finite numbers, strings with the common
+/// escapes, arrays, objects) — not a general-purpose JSON library.
+///
+/// Two properties the serve layer leans on:
+///  - parse() throws gop::InvalidArgument on any malformed input (trailing
+///    garbage included); the server maps that to a structured error
+///    response, never a crash.
+///  - dump() is canonical for a given Json value: object keys keep insertion
+///    order, numbers print as shortest round-trip (%.17g, with integral
+///    values printed without exponent), no whitespace. Inline model
+///    descriptions are hashed over this canonical text, so equal values
+///    produce equal cache keys.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gop::serve {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object (the protocol never needs key lookup faster
+/// than a linear scan; order preservation keeps dump() canonical).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b) { return Json(Value(b)); }
+  static Json number(double d) { return Json(Value(d)); }
+  static Json string(std::string s) { return Json(Value(std::move(s))); }
+  static Json array(JsonArray items = {}) { return Json(Value(std::move(items))); }
+  static Json object(JsonObject members = {}) { return Json(Value(std::move(members))); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw gop::InvalidArgument on a type mismatch (the
+  /// message names the expected type, so protocol errors are diagnosable).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object. First match wins on (malformed) duplicate keys.
+  const Json* find(std::string_view key) const;
+
+  /// Mutators for building responses.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Canonical serialization; see the file comment.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  using Value =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+  explicit Json(Value value) : value_(std::move(value)) {}
+
+  Value value_;
+};
+
+/// Parses exactly one JSON document; throws gop::InvalidArgument on
+/// malformed input or trailing non-whitespace.
+Json parse(std::string_view text);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes). Exposed for the request-log and tests.
+std::string json_escape(std::string_view s);
+
+}  // namespace gop::serve

@@ -1,0 +1,171 @@
+#include "serve/request.hh"
+
+#include <utility>
+
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::serve {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kError: return "error";
+  }
+  throw InternalError("unknown serve::Status");
+}
+
+namespace {
+
+std::vector<double> parse_grid(const Json& value, const char* field) {
+  GOP_REQUIRE(value.is_array(), "request grid field must be an array of numbers");
+  std::vector<double> grid;
+  grid.reserve(value.as_array().size());
+  for (const Json& item : value.as_array()) {
+    GOP_REQUIRE(item.is_number(),
+                str_format("request field '%s' must contain numbers only", field).c_str());
+    grid.push_back(item.as_number());
+  }
+  return grid;
+}
+
+double param_or(const Json& document, const char* field, double fallback) {
+  const Json* value = document.find(field);
+  if (value == nullptr) return fallback;
+  return value->as_number();
+}
+
+Json grid_json(const std::vector<double>& grid) {
+  Json out = Json::array();
+  for (double t : grid) out.push_back(Json::number(t));
+  return out;
+}
+
+Json certificate_json(const NamedCertificate& named) {
+  Json cert = Json::object();
+  cert.set("solver", Json::string(named.solver));
+  cert.set("requested_engine", Json::string(named.certificate.requested_engine));
+  cert.set("engine", Json::string(named.certificate.engine));
+  cert.set("retries", Json::number(static_cast<double>(named.certificate.retries)));
+  cert.set("fallback", Json::boolean(named.certificate.fallback));
+  cert.set("degraded", Json::boolean(named.certificate.degraded));
+  cert.set("error_bound", Json::number(named.certificate.error_bound));
+  Json attempts = Json::array();
+  for (const std::string& attempt : named.certificate.attempts) {
+    attempts.push_back(Json::string(attempt));
+  }
+  cert.set("attempts", std::move(attempts));
+  return cert;
+}
+
+Json finding_json(const lint::Finding& finding) {
+  Json out = Json::object();
+  out.set("code", Json::string(finding.code));
+  out.set("severity", Json::string(lint::severity_name(finding.severity)));
+  out.set("model", Json::string(finding.model));
+  out.set("location", Json::string(finding.location));
+  out.set("message", Json::string(finding.message));
+  out.set("hint", Json::string(finding.hint));
+  return out;
+}
+
+}  // namespace
+
+Request parse_request(const Json& document) {
+  GOP_REQUIRE(document.is_object(), "request must be a JSON object");
+  Request request;
+  if (const Json* id = document.find("id")) request.id = id->as_string();
+  const Json* model = document.find("model");
+  const Json* inline_model = document.find("inline_model");
+  GOP_REQUIRE((model != nullptr) != (inline_model != nullptr),
+              "request needs exactly one of 'model' or 'inline_model'");
+  if (model != nullptr) request.model = model->as_string();
+  if (inline_model != nullptr) request.inline_model = *inline_model;
+
+  if (const Json* params = document.find("params")) {
+    GOP_REQUIRE(params->is_object(), "request 'params' must be an object");
+    core::GsuParameters& p = request.params;
+    p.theta = param_or(*params, "theta", p.theta);
+    p.lambda = param_or(*params, "lambda", p.lambda);
+    p.mu_new = param_or(*params, "mu_new", p.mu_new);
+    p.mu_old = param_or(*params, "mu_old", p.mu_old);
+    p.coverage = param_or(*params, "coverage", p.coverage);
+    p.p_ext = param_or(*params, "p_ext", p.p_ext);
+    p.alpha = param_or(*params, "alpha", p.alpha);
+    p.beta = param_or(*params, "beta", p.beta);
+  }
+
+  const Json* rewards = document.find("rewards");
+  GOP_REQUIRE(rewards != nullptr && rewards->is_array(),
+              "request needs a 'rewards' array of reward names");
+  for (const Json& reward : rewards->as_array()) {
+    request.rewards.push_back(reward.as_string());
+  }
+
+  if (const Json* grid = document.find("transient_times")) {
+    request.transient_times = parse_grid(*grid, "transient_times");
+  }
+  if (const Json* grid = document.find("accumulated_times")) {
+    request.accumulated_times = parse_grid(*grid, "accumulated_times");
+  }
+  if (const Json* steady = document.find("steady_state")) {
+    request.steady_state = steady->as_bool();
+  }
+  return request;
+}
+
+Json response_to_json(const Response& response) {
+  Json out = Json::object();
+  out.set("id", Json::string(response.id));
+  out.set("status", Json::string(to_string(response.status)));
+  out.set("cache_hit", Json::boolean(response.cache_hit));
+  out.set("latency_ms", Json::number(response.latency_ms));
+  if (response.status == Status::kError) {
+    out.set("error", Json::string(response.error));
+    return out;
+  }
+  if (response.status == Status::kRejected) {
+    Json findings = Json::array();
+    for (const lint::Finding& finding : response.findings.findings()) {
+      findings.push_back(finding_json(finding));
+    }
+    out.set("findings", std::move(findings));
+    return out;
+  }
+  out.set("engine", Json::string(response.engine));
+  out.set("storage", Json::string(response.storage));
+  out.set("model_hash", Json::string(str_format("%016llx", static_cast<unsigned long long>(
+                                                               response.model_hash))));
+  out.set("reward_hash", Json::string(str_format("%016llx", static_cast<unsigned long long>(
+                                                                response.reward_hash))));
+  out.set("grid_hash", Json::string(str_format("%016llx", static_cast<unsigned long long>(
+                                                              response.grid_hash))));
+  Json results = Json::array();
+  for (const RewardSeries& series : response.results) {
+    Json entry = Json::object();
+    entry.set("reward", Json::string(series.reward));
+    entry.set("instant", grid_json(series.instant));
+    entry.set("accumulated", grid_json(series.accumulated));
+    if (series.steady_state.has_value()) {
+      entry.set("steady_state", Json::number(*series.steady_state));
+    }
+    results.push_back(std::move(entry));
+  }
+  out.set("results", std::move(results));
+  Json certificates = Json::array();
+  for (const NamedCertificate& named : response.certificates) {
+    certificates.push_back(certificate_json(named));
+  }
+  out.set("certificates", std::move(certificates));
+  if (!response.findings.empty()) {
+    Json findings = Json::array();
+    for (const lint::Finding& finding : response.findings.findings()) {
+      findings.push_back(finding_json(finding));
+    }
+    out.set("findings", std::move(findings));
+  }
+  return out;
+}
+
+}  // namespace gop::serve

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file request.hh
+/// The gop::serve request/response model — the in-process face of the wire
+/// protocol (docs/serving.md). serve::Server::handle takes a Request and
+/// returns a Response; the daemon (tools/gop_serve.cc) merely converts
+/// line-delimited JSON to and from these structs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "lint/finding.hh"
+#include "markov/recovery.hh"
+#include "serve/json.hh"
+
+namespace gop::serve {
+
+/// One evaluation request. Exactly one of `model` (registered id) or
+/// `inline_model` (SAN description; serve/inline_model.hh) must be set.
+struct Request {
+  std::string id;  ///< caller correlation id, echoed in the response
+  std::string model;
+  std::optional<Json> inline_model;
+  /// Table-3 parameters for registered models (ignored for inline models;
+  /// an inline description carries its own numbers).
+  core::GsuParameters params = core::GsuParameters::table3();
+  /// Reward structures to evaluate, by name; must be non-empty and each name
+  /// must exist in the model's reward catalog.
+  std::vector<std::string> rewards;
+  std::vector<double> transient_times;    ///< instant-of-time grid (sorted)
+  std::vector<double> accumulated_times;  ///< interval-of-time grid (sorted)
+  bool steady_state = false;              ///< also evaluate steady-state reward
+};
+
+enum class Status {
+  kOk = 0,
+  /// Admission control refused the request; `findings` says why. The model
+  /// or request is at fault, the server is healthy.
+  kRejected = 1,
+  /// The request was malformed (unknown model / reward, bad JSON, bad grid
+  /// shape) or the solve failed; `error` says why.
+  kError = 2,
+};
+
+const char* to_string(Status status);
+
+/// Evaluated series for one reward structure, in request grid order.
+struct RewardSeries {
+  std::string reward;
+  std::vector<double> instant;      ///< one per transient_times entry
+  std::vector<double> accumulated;  ///< one per accumulated_times entry
+  std::optional<double> steady_state;
+};
+
+/// A provenance certificate labelled with the solver family it covers.
+struct NamedCertificate {
+  std::string solver;  ///< "transient_session" / "accumulated_session" / "steady_state"
+  markov::Certificate certificate;
+};
+
+struct Response {
+  std::string id;
+  Status status = Status::kOk;
+  bool cache_hit = false;
+  std::string engine;   ///< SolverPlan engine that served the (cached) solve
+  std::string storage;  ///< generator storage form ("dense" / "sparse")
+  uint64_t model_hash = 0;
+  uint64_t reward_hash = 0;
+  uint64_t grid_hash = 0;
+  std::vector<RewardSeries> results;
+  std::vector<NamedCertificate> certificates;
+  lint::Report findings;  ///< set on kRejected (and warnings on kOk)
+  std::string error;      ///< set on kError
+  double latency_ms = 0.0;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Wire codecs for the daemon and load generator. parse_request throws
+/// gop::InvalidArgument on malformed or incomplete documents; the caller
+/// maps that to a kError response.
+Request parse_request(const Json& document);
+Json response_to_json(const Response& response);
+
+}  // namespace gop::serve

@@ -1,0 +1,755 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "markov/solver_plan.hh"
+#include "obs/registry.hh"
+#include "obs/sink.hh"
+#include "san/hash.hh"
+#include "san/session.hh"
+#include "san/snapshot.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::serve {
+
+struct Server::AtomicStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cold_solves{0};
+  std::atomic<uint64_t> coalesced{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> chain_builds{0};
+};
+
+namespace {
+
+// Snapshot container framing (docs/serving.md): magic "GOPS", a format
+// version, the length-prefixed payload, then an FNV-1a checksum of the
+// payload bytes.
+constexpr uint32_t kSnapshotMagic = 0x53504f47;  // "GOPS" read little-endian
+constexpr uint32_t kSnapshotVersion = 1;
+
+std::string hex64(uint64_t value) {
+  return str_format("%016llx", static_cast<unsigned long long>(value));
+}
+
+uint64_t params_hash(const core::GsuParameters& p) {
+  san::Fnv1a h;
+  h.f64(p.theta);
+  h.f64(p.lambda);
+  h.f64(p.mu_new);
+  h.f64(p.mu_old);
+  h.f64(p.coverage);
+  h.f64(p.p_ext);
+  h.f64(p.alpha);
+  h.f64(p.beta);
+  return h.digest();
+}
+
+std::string registered_instance_key(const std::string& name, const core::GsuParameters& params) {
+  return name + ":" + hex64(params_hash(params));
+}
+
+std::string inline_instance_key(const std::string& canonical_text) {
+  return "inline:" + hex64(san::fnv1a(canonical_text.data(), canonical_text.size()));
+}
+
+/// The paper models, packaged the same way inline descriptions build:
+/// heap-held model + reward catalog. Reward structures only carry place /
+/// activity indices, so building them before moving the model is safe.
+InlineModel build_rmgd(const core::GsuParameters& params) {
+  core::RmGd gd = core::build_rm_gd(params);
+  InlineModel out;
+  out.rewards = {gd.reward_p_a1(), gd.reward_ih(), gd.reward_ihf(), gd.reward_itauh(),
+                 gd.reward_detected()};
+  out.model = std::make_unique<san::SanModel>(std::move(gd.model));
+  return out;
+}
+
+InlineModel build_rmgp(const core::GsuParameters& params) {
+  core::RmGp gp = core::build_rm_gp(params);
+  InlineModel out;
+  out.rewards = {gp.reward_overhead_p1n(), gp.reward_overhead_p2()};
+  out.model = std::make_unique<san::SanModel>(std::move(gp.model));
+  return out;
+}
+
+InlineModel build_rmnd(const core::GsuParameters& params, double mu_1) {
+  core::RmNd nd = core::build_rm_nd(params, mu_1);
+  InlineModel out;
+  out.rewards = {nd.reward_no_failure()};
+  out.model = std::make_unique<san::SanModel>(std::move(nd.model));
+  return out;
+}
+
+}  // namespace
+
+const san::RewardStructure* Server::ModelInstance::find_reward(
+    const std::string& reward_name) const {
+  for (const san::RewardStructure& reward : rewards) {
+    if (reward.name() == reward_name) return &reward;
+  }
+  return nullptr;
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      pool_(options.solver_threads),
+      cache_(options.cache_capacity),
+      stats_(std::make_unique<AtomicStats>()) {
+  register_model("rmgd", [](const core::GsuParameters& p) { return build_rmgd(p); });
+  register_model("rmgp", [](const core::GsuParameters& p) { return build_rmgp(p); });
+  register_model("rmnd-new",
+                 [](const core::GsuParameters& p) { return build_rmnd(p, p.mu_new); });
+  register_model("rmnd-old",
+                 [](const core::GsuParameters& p) { return build_rmnd(p, p.mu_old); });
+}
+
+Server::~Server() = default;
+
+void Server::register_model(const std::string& name, ModelBuilder builder) {
+  GOP_REQUIRE(static_cast<bool>(builder), "register_model: null builder");
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  registry_[name] = std::move(builder);
+}
+
+void Server::set_request_log(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  request_log_ = std::move(sink);
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.requests = stats_->requests.load(std::memory_order_relaxed);
+  out.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
+  out.cold_solves = stats_->cold_solves.load(std::memory_order_relaxed);
+  out.coalesced = stats_->coalesced.load(std::memory_order_relaxed);
+  out.rejected = stats_->rejected.load(std::memory_order_relaxed);
+  out.errors = stats_->errors.load(std::memory_order_relaxed);
+  out.evictions = stats_->evictions.load(std::memory_order_relaxed);
+  out.chain_builds = stats_->chain_builds.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::admit_instance(ModelInstance& instance,
+                            std::optional<san::GeneratedChain> chain) const {
+  lint::AdmissionInput input;
+  input.model = instance.model.get();
+  if (chain.has_value()) input.chain = &*chain;
+  lint::AdmissionOptions admission_options;
+  admission_options.model_lint.max_probe_markings = options_.probe_budget;
+  lint::AdmissionResult admission = lint::admission_check_keep_chain(input, admission_options);
+  instance.base_report = std::move(admission.report);
+  if (chain.has_value()) {
+    instance.chain = std::move(chain);
+  } else if (admission.chain.has_value()) {
+    instance.chain = std::move(admission.chain);
+    stats_->chain_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+  instance.admitted = !instance.base_report.has_errors() && instance.chain.has_value();
+  if (!instance.admitted) return;
+  instance.chain_hash = san::chain_hash(*instance.chain);
+  for (const san::RewardStructure& reward : instance.rewards) {
+    instance.reward_reports[reward.name()] = lint::lint_reward(*instance.chain, reward);
+    instance.reward_hashes[reward.name()] = san::reward_hash(*instance.chain, reward);
+  }
+}
+
+std::shared_ptr<const Server::ModelInstance> Server::build_instance(
+    const std::string& instance_key, const Request& request) const {
+  auto instance = std::make_shared<ModelInstance>();
+  instance->instance_key = instance_key;
+  InlineModel built;
+  if (request.inline_model.has_value()) {
+    instance->registered = false;
+    instance->inline_text = request.inline_model->dump();
+    built = build_inline_model(*request.inline_model);  // throws InvalidArgument on bad shape
+  } else {
+    instance->registered = true;
+    instance->name = request.model;
+    instance->params = request.params;
+    ModelBuilder builder;
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      builder = registry_.at(request.model);
+    }
+    built = builder(request.params);
+  }
+  instance->model = std::move(built.model);
+  if (!instance->registered) instance->name = instance->model->name();
+  instance->rewards = std::move(built.rewards);
+  admit_instance(*instance, std::nullopt);
+  return instance;
+}
+
+std::shared_ptr<const Server::ModelInstance> Server::instance_for(const Request& request) {
+  std::string key;
+  if (request.inline_model.has_value()) {
+    key = inline_instance_key(request.inline_model->dump());
+  } else {
+    GOP_REQUIRE(!request.model.empty(), "request needs a 'model' id or an 'inline_model'");
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      if (!registry_.contains(request.model)) {
+        throw InvalidArgument(
+            str_format("unknown model '%s' (not registered)", request.model.c_str()));
+      }
+    }
+    request.params.validate();  // throws InvalidArgument on bad Table-3 values
+    key = registered_instance_key(request.model, request.params);
+  }
+  {
+    std::lock_guard<std::mutex> lock(instances_mutex_);
+    auto it = instances_.find(key);
+    if (it != instances_.end()) return it->second;
+  }
+  instance_flight_.do_once(key, [&] {
+    std::shared_ptr<const ModelInstance> instance = build_instance(key, request);
+    std::lock_guard<std::mutex> lock(instances_mutex_);
+    instances_[key] = std::move(instance);  // publish before followers wake
+  });
+  std::lock_guard<std::mutex> lock(instances_mutex_);
+  return instances_.at(key);
+}
+
+CachedResult Server::solve_request(const ModelInstance& instance,
+                                   const std::vector<const san::RewardStructure*>& rewards,
+                                   const Request& request) const {
+  const san::GeneratedChain& chain = *instance.chain;
+  CachedResult out;
+
+  std::optional<san::ChainSession> transient_session;
+  if (!request.transient_times.empty()) {
+    san::GridSolveOptions grid_options;
+    grid_options.transient = true;
+    grid_options.accumulated = false;
+    grid_options.recovery = options_.recovery;
+    transient_session.emplace(chain.solve_grid(request.transient_times, grid_options));
+  }
+  std::optional<san::ChainSession> accumulated_session;
+  if (!request.accumulated_times.empty()) {
+    san::GridSolveOptions grid_options;
+    grid_options.transient = false;
+    grid_options.accumulated = true;
+    grid_options.recovery = options_.recovery;
+    accumulated_session.emplace(chain.solve_grid(request.accumulated_times, grid_options));
+  }
+  std::optional<std::vector<double>> steady_pi;
+  std::optional<markov::Certificate> steady_certificate;
+  if (request.steady_state) {
+    markov::SteadyStateResult steady =
+        markov::steady_state_distribution_checked(chain.ctmc(), {}, options_.recovery);
+    steady_pi = std::move(steady.distribution);
+    steady_certificate = std::move(steady.certificate);
+  }
+
+  for (const san::RewardStructure* reward : rewards) {
+    RewardSeries series;
+    series.reward = reward->name();
+    if (transient_session.has_value()) {
+      series.instant = transient_session->instant_reward_series(*reward);
+    }
+    if (accumulated_session.has_value()) {
+      series.accumulated = accumulated_session->accumulated_reward_series(*reward);
+    }
+    if (steady_pi.has_value()) {
+      series.steady_state = chain.steady_state_reward_over(*reward, *steady_pi);
+    }
+    out.results.push_back(std::move(series));
+  }
+
+  // Certificates in canonical solver order; engine/storage from the first
+  // solve that ran (they agree across solvers for a given chain in practice,
+  // and the certificates carry the per-solver truth regardless).
+  if (transient_session.has_value()) {
+    const markov::SolverPlan& plan = transient_session->transient_plan();
+    out.engine = plan.engine;
+    out.storage = markov::to_string(plan.storage);
+    const std::optional<markov::Certificate>& cert =
+        transient_session->transient_session().certificate();
+    if (cert.has_value()) out.certificates.push_back({"transient_session", *cert});
+  }
+  if (accumulated_session.has_value()) {
+    const markov::SolverPlan& plan = accumulated_session->accumulated_plan();
+    if (out.engine.empty()) {
+      out.engine = plan.engine;
+      out.storage = markov::to_string(plan.storage);
+    }
+    const std::optional<markov::Certificate>& cert =
+        accumulated_session->accumulated_session().certificate();
+    if (cert.has_value()) out.certificates.push_back({"accumulated_session", *cert});
+  }
+  if (steady_certificate.has_value()) {
+    if (out.engine.empty()) {
+      const markov::SolverPlan plan = markov::plan_steady_state(chain.ctmc(), {});
+      out.engine = steady_certificate->engine;
+      out.storage = markov::to_string(plan.storage);
+    }
+    out.certificates.push_back({"steady_state", std::move(*steady_certificate)});
+  }
+  return out;
+}
+
+std::shared_ptr<const CachedResult> Server::solve_on_pool(
+    const std::shared_ptr<const ModelInstance>& instance,
+    const std::vector<const san::RewardStructure*>& rewards, const Request& request) const {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::exception_ptr error;
+  std::shared_ptr<const CachedResult> result;
+  pool_.submit([&] {
+    try {
+      result = std::make_shared<const CachedResult>(solve_request(*instance, rewards, request));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done = true;
+    }
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+Response Server::handle(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  stats_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  Response response;
+  response.id = request.id;
+  const char* outcome = "error";
+  size_t states = 0;
+  try {
+    const std::shared_ptr<const ModelInstance> instance = instance_for(request);
+    if (instance->chain.has_value()) states = instance->chain->state_count();
+
+    if (!instance->admitted) {
+      response.status = Status::kRejected;
+      response.findings = instance->base_report;
+      outcome = "rejected";
+      stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      GOP_REQUIRE(!request.rewards.empty(), "request needs at least one reward");
+      GOP_REQUIRE(!request.transient_times.empty() || !request.accumulated_times.empty() ||
+                      request.steady_state,
+                  "request needs a transient/accumulated time grid or steady_state");
+
+      std::vector<const san::RewardStructure*> rewards;
+      rewards.reserve(request.rewards.size());
+      lint::Report report = instance->base_report;
+      for (const std::string& reward_name : request.rewards) {
+        const san::RewardStructure* reward = instance->find_reward(reward_name);
+        if (reward == nullptr) {
+          throw InvalidArgument(str_format("unknown reward '%s' for model '%s'",
+                                           reward_name.c_str(), instance->name.c_str()));
+        }
+        rewards.push_back(reward);
+        report.merge(lint::Report(instance->reward_reports.at(reward_name)));
+      }
+
+      // Per-request solver preflight on the requested grids (layer 3; the
+      // model/chain/reward layers ran once at instance admission).
+      const san::GeneratedChain& chain = *instance->chain;
+      if (!request.transient_times.empty()) {
+        report.merge(
+            lint::preflight_transient(chain.ctmc(), request.transient_times, {}, instance->name));
+      }
+      if (!request.accumulated_times.empty()) {
+        report.merge(lint::preflight_accumulated(chain.ctmc(), request.accumulated_times, {},
+                                                 instance->name));
+      }
+      if (request.steady_state) {
+        report.merge(lint::preflight_steady_state(chain.ctmc(), {}, instance->name));
+      }
+
+      if (report.has_errors()) {
+        response.status = Status::kRejected;
+        response.findings = std::move(report);
+        outcome = "rejected";
+        stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        response.findings = std::move(report);  // warnings/info ride along
+        response.model_hash = instance->chain_hash;
+        san::Fnv1a reward_set;
+        reward_set.u64(0x52575345ULL);  // "RWSE" domain tag
+        reward_set.u64(rewards.size());
+        for (const std::string& reward_name : request.rewards) {
+          reward_set.u64(instance->reward_hashes.at(reward_name));
+        }
+        response.reward_hash = reward_set.digest();
+        response.grid_hash = san::grid_hash(request.transient_times, request.accumulated_times,
+                                            request.steady_state);
+        const CacheKey key{response.model_hash, response.reward_hash, response.grid_hash};
+
+        std::shared_ptr<const CachedResult> cached = cache_.get(key);
+        if (cached != nullptr) {
+          outcome = "cache-hit";
+          response.cache_hit = true;
+          stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const auto role = solve_flight_.do_once(key, [&] {
+            std::shared_ptr<const CachedResult> solved = solve_on_pool(instance, rewards, request);
+            const size_t evicted = cache_.put(key, std::move(solved));
+            if (evicted > 0) stats_->evictions.fetch_add(evicted, std::memory_order_relaxed);
+          });
+          cached = cache_.get(key);
+          if (cached == nullptr) {
+            // Evicted between publish and read (capacity smaller than the
+            // number of in-flight keys); solve again rather than fail.
+            cached = std::make_shared<const CachedResult>(solve_request(*instance, rewards, request));
+          }
+          if (role == SingleFlight<CacheKey>::Role::kLeader) {
+            outcome = "cold-solve";
+            stats_->cold_solves.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            outcome = "coalesced";
+            response.cache_hit = true;  // served by another request's solve
+            stats_->coalesced.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        response.engine = cached->engine;
+        response.storage = cached->storage;
+        response.results = cached->results;
+        response.certificates = cached->certificates;
+      }
+    }
+  } catch (const std::exception& e) {
+    response.status = Status::kError;
+    response.error = e.what();
+    response.results.clear();
+    response.certificates.clear();
+    outcome = "error";
+    stats_->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  response.latency_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start).count();
+  log_request(request, response, outcome, states);
+  return response;
+}
+
+void Server::log_request(const Request& request, const Response& response, const char* outcome,
+                         size_t states) {
+  if (!options_.log_requests) return;
+  static obs::Counter& requests_counter = obs::counter("serve.requests");
+  static obs::Counter& hits_counter = obs::counter("serve.cache_hits");
+  static obs::Counter& cold_counter = obs::counter("serve.cold_solves");
+  requests_counter.add();
+  if (response.cache_hit) hits_counter.add();
+  if (std::string_view(outcome) == "cold-solve") cold_counter.add();
+
+  obs::SolverEvent event;
+  event.kind = obs::SolverEventKind::kServeRequest;
+  event.method = outcome;
+  event.storage = response.storage;
+  event.states = states;
+  event.grid_points = request.transient_times.size() + request.accumulated_times.size();
+  event.wall_ms = response.latency_ms;
+  size_t retries = 0;
+  bool degraded = false;
+  for (const NamedCertificate& named : response.certificates) {
+    retries += named.certificate.retries;
+    degraded = degraded || named.certificate.degraded;
+  }
+  event.retries = retries;
+  event.degraded = degraded;
+  std::string detail = str_format(
+      "model=%s rewards=%zu engine=%s",
+      request.inline_model.has_value() ? "inline" : request.model.c_str(),
+      request.rewards.size(), response.engine.c_str());
+  for (const NamedCertificate& named : response.certificates) {
+    if (named.certificate.degraded) {
+      detail += str_format(" degraded=%s(retries=%zu,fallback=%s)", named.solver.c_str(),
+                           named.certificate.retries,
+                           named.certificate.fallback ? "yes" : "no");
+    }
+  }
+  event.detail = std::move(detail);
+  obs::record_event(event);  // gated on obs::enabled() internally
+
+  std::function<void(const std::string&)> sink;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    sink = request_log_;
+  }
+  if (sink) sink(obs::render_event_jsonl(event));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save / load
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_cached_result(san::snapshot::Writer& writer, const CacheKey& key,
+                         const CachedResult& result) {
+  writer.u64(key.model_hash);
+  writer.u64(key.reward_hash);
+  writer.u64(key.grid_hash);
+  writer.str(result.engine);
+  writer.str(result.storage);
+  writer.u32(static_cast<uint32_t>(result.results.size()));
+  for (const RewardSeries& series : result.results) {
+    writer.str(series.reward);
+    writer.u64(series.instant.size());
+    for (double v : series.instant) writer.f64(v);
+    writer.u64(series.accumulated.size());
+    for (double v : series.accumulated) writer.f64(v);
+    writer.u8(series.steady_state.has_value() ? 1 : 0);
+    if (series.steady_state.has_value()) writer.f64(*series.steady_state);
+  }
+  writer.u32(static_cast<uint32_t>(result.certificates.size()));
+  for (const NamedCertificate& named : result.certificates) {
+    writer.str(named.solver);
+    writer.str(named.certificate.requested_engine);
+    writer.str(named.certificate.engine);
+    writer.u64(named.certificate.retries);
+    writer.u8(named.certificate.fallback ? 1 : 0);
+    writer.u8(named.certificate.degraded ? 1 : 0);
+    writer.f64(named.certificate.error_bound);
+    writer.u64(named.certificate.attempts.size());
+    for (const std::string& attempt : named.certificate.attempts) writer.str(attempt);
+  }
+}
+
+std::pair<CacheKey, CachedResult> read_cached_result(san::snapshot::Reader& reader) {
+  CacheKey key;
+  key.model_hash = reader.u64();
+  key.reward_hash = reader.u64();
+  key.grid_hash = reader.u64();
+  CachedResult result;
+  result.engine = reader.str();
+  result.storage = reader.str();
+  const uint32_t series_count = reader.u32();
+  for (uint32_t i = 0; i < series_count; ++i) {
+    RewardSeries series;
+    series.reward = reader.str();
+    const uint64_t instant_count = reader.u64();
+    series.instant.reserve(static_cast<size_t>(instant_count));
+    for (uint64_t k = 0; k < instant_count; ++k) series.instant.push_back(reader.f64());
+    const uint64_t accumulated_count = reader.u64();
+    series.accumulated.reserve(static_cast<size_t>(accumulated_count));
+    for (uint64_t k = 0; k < accumulated_count; ++k) series.accumulated.push_back(reader.f64());
+    if (reader.u8() != 0) series.steady_state = reader.f64();
+    result.results.push_back(std::move(series));
+  }
+  const uint32_t certificate_count = reader.u32();
+  for (uint32_t i = 0; i < certificate_count; ++i) {
+    NamedCertificate named;
+    named.solver = reader.str();
+    named.certificate.requested_engine = reader.str();
+    named.certificate.engine = reader.str();
+    named.certificate.retries = static_cast<size_t>(reader.u64());
+    named.certificate.fallback = reader.u8() != 0;
+    named.certificate.degraded = reader.u8() != 0;
+    named.certificate.error_bound = reader.f64();
+    const uint64_t attempt_count = reader.u64();
+    named.certificate.attempts.reserve(static_cast<size_t>(attempt_count));
+    for (uint64_t k = 0; k < attempt_count; ++k) {
+      named.certificate.attempts.push_back(reader.str());
+    }
+    result.certificates.push_back(std::move(named));
+  }
+  return {key, std::move(result)};
+}
+
+}  // namespace
+
+std::string Server::save_snapshot() const {
+  san::snapshot::Writer payload;
+
+  std::vector<std::shared_ptr<const ModelInstance>> admitted;
+  {
+    std::lock_guard<std::mutex> lock(instances_mutex_);
+    for (const auto& [key, instance] : instances_) {
+      if (instance->admitted) admitted.push_back(instance);
+    }
+  }
+  payload.u32(static_cast<uint32_t>(admitted.size()));
+  for (const std::shared_ptr<const ModelInstance>& instance : admitted) {
+    payload.u8(instance->registered ? 1 : 0);
+    if (instance->registered) {
+      payload.str(instance->name);
+      const core::GsuParameters& p = instance->params;
+      payload.f64(p.theta);
+      payload.f64(p.lambda);
+      payload.f64(p.mu_new);
+      payload.f64(p.mu_old);
+      payload.f64(p.coverage);
+      payload.f64(p.p_ext);
+      payload.f64(p.alpha);
+      payload.f64(p.beta);
+    } else {
+      payload.str(instance->inline_text);
+    }
+    // The chain blob is length-prefixed so a loader that cannot rebuild this
+    // model (e.g. an unregistered name) can skip it and keep going.
+    san::snapshot::Writer chain_blob;
+    san::snapshot::write_chain(chain_blob, *instance->chain);
+    payload.str(chain_blob.buffer());
+  }
+
+  const auto entries = cache_.entries();
+  payload.u32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, result] : entries) {
+    write_cached_result(payload, key, *result);
+  }
+
+  san::snapshot::Writer container;
+  container.u32(kSnapshotMagic);
+  container.u32(kSnapshotVersion);
+  container.str(payload.buffer());
+  container.u64(san::fnv1a(payload.buffer().data(), payload.buffer().size()));
+  return std::move(container).take();
+}
+
+bool Server::save_snapshot_file(const std::string& path) const {
+  const std::string bytes = save_snapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+SnapshotLoadResult Server::load_snapshot(std::string_view bytes) {
+  SnapshotLoadResult outcome;
+  try {
+    san::snapshot::Reader container(bytes);
+    if (container.u32() != kSnapshotMagic) {
+      throw san::snapshot::SnapshotError("bad snapshot magic (not a gop_serve snapshot)");
+    }
+    const uint32_t version = container.u32();
+    if (version != kSnapshotVersion) {
+      throw san::snapshot::SnapshotError(
+          str_format("snapshot version %u unsupported (expected %u)", version, kSnapshotVersion));
+    }
+    const std::string payload = container.str();
+    const uint64_t checksum = container.u64();
+    if (!container.at_end()) {
+      throw san::snapshot::SnapshotError("trailing bytes after snapshot container");
+    }
+    if (checksum != san::fnv1a(payload.data(), payload.size())) {
+      throw san::snapshot::SnapshotError("snapshot payload checksum mismatch");
+    }
+
+    san::snapshot::Reader reader(payload);
+    std::vector<std::shared_ptr<const ModelInstance>> loaded;
+    std::string skipped;
+    const uint32_t instance_count = reader.u32();
+    for (uint32_t i = 0; i < instance_count; ++i) {
+      const bool registered = reader.u8() != 0;
+      auto instance = std::make_shared<ModelInstance>();
+      instance->registered = registered;
+      std::string chain_blob;
+      try {
+        InlineModel built;
+        if (registered) {
+          instance->name = reader.str();
+          core::GsuParameters& p = instance->params;
+          p.theta = reader.f64();
+          p.lambda = reader.f64();
+          p.mu_new = reader.f64();
+          p.mu_old = reader.f64();
+          p.coverage = reader.f64();
+          p.p_ext = reader.f64();
+          p.alpha = reader.f64();
+          p.beta = reader.f64();
+          chain_blob = reader.str();
+          ModelBuilder builder;
+          {
+            std::lock_guard<std::mutex> lock(registry_mutex_);
+            auto it = registry_.find(instance->name);
+            if (it == registry_.end()) {
+              throw InvalidArgument(
+                  str_format("model '%s' is not registered", instance->name.c_str()));
+            }
+            builder = it->second;
+          }
+          built = builder(instance->params);
+          instance->instance_key = registered_instance_key(instance->name, instance->params);
+        } else {
+          instance->inline_text = reader.str();
+          chain_blob = reader.str();
+          built = build_inline_model(parse(instance->inline_text));
+          instance->instance_key = inline_instance_key(instance->inline_text);
+        }
+        instance->model = std::move(built.model);
+        if (!registered) instance->name = instance->model->name();
+        instance->rewards = std::move(built.rewards);
+        san::snapshot::Reader chain_reader(chain_blob);
+        san::GeneratedChain chain = san::snapshot::read_chain(chain_reader, *instance->model);
+        admit_instance(*instance, std::move(chain));
+        if (instance->admitted) loaded.push_back(std::move(instance));
+      } catch (const std::exception& e) {
+        // Skip this instance; its cached entries stay unreachable dead
+        // weight at worst. Parsing already consumed the entry's bytes.
+        skipped += str_format("instance %u skipped: %s; ", i, e.what());
+      }
+    }
+
+    std::vector<std::pair<CacheKey, CachedResult>> cache_entries;
+    const uint32_t entry_count = reader.u32();
+    for (uint32_t i = 0; i < entry_count; ++i) {
+      cache_entries.push_back(read_cached_result(reader));
+    }
+    if (!reader.at_end()) {
+      throw san::snapshot::SnapshotError("trailing bytes after snapshot payload");
+    }
+
+    // Everything parsed and verified — commit.
+    {
+      std::lock_guard<std::mutex> lock(instances_mutex_);
+      for (std::shared_ptr<const ModelInstance>& instance : loaded) {
+        instances_[instance->instance_key] = std::move(instance);
+      }
+    }
+    // Oldest first so LRU order ends up matching the saved recency order.
+    for (auto it = cache_entries.rbegin(); it != cache_entries.rend(); ++it) {
+      const size_t evicted =
+          cache_.put(it->first, std::make_shared<const CachedResult>(std::move(it->second)));
+      if (evicted > 0) stats_->evictions.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    outcome.loaded = true;
+    outcome.instances = loaded.size();
+    outcome.cache_entries = cache_entries.size();
+    outcome.detail = std::move(skipped);
+    return outcome;
+  } catch (const std::exception& e) {
+    outcome.loaded = false;
+    outcome.detail = e.what();
+    return outcome;
+  }
+}
+
+SnapshotLoadResult Server::load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SnapshotLoadResult outcome;
+    outcome.detail = "snapshot file not readable: " + path;
+    return outcome;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  return load_snapshot(bytes);
+}
+
+}  // namespace gop::serve

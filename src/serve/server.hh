@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file server.hh
+/// serve::Server — the in-process analysis-as-a-service engine behind the
+/// gop_serve daemon (docs/serving.md). One handle() call takes a Request
+/// through the full serving path:
+///
+///   1. model resolution — registered id (the gop_lint registry models by
+///      default) with Table-3 parameters, or an inline SAN description;
+///      built model instances are cached by instance key, with single-flight
+///      deduplication so concurrent first requests build once.
+///   2. admission control — the gop::lint battery (lint/admission.hh) runs
+///      on every instance at build time and the solver preflights run per
+///      request; error findings become a kRejected response carrying the
+///      report. Bad input never crashes the server.
+///   3. solved-model cache — a content-addressed LRU keyed on (chain hash,
+///      reward-set hash, grid hash); hits return the immutable cached result,
+///      bitwise identical to the cold solve that produced it, certificates
+///      included.
+///   4. cold solves — scheduled on a gop::par::ThreadPool, deduplicated by
+///      single-flight (concurrent identical requests share one solve), run
+///      through the recovery ladder so every result carries provenance
+///      certificates.
+///   5. request log — one gop::obs kServeRequest event per request (outcome,
+///      engine, latency, certificate summary) recorded into the obs registry
+///      when tracing is enabled, and streamed as a JSONL line to the
+///      configured sink.
+///
+/// A Server is thread-safe: any number of threads may call handle()
+/// concurrently (the daemon does so from its connection threads, the
+/// concurrency battery from raw std::threads).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hh"
+#include "lint/admission.hh"
+#include "markov/recovery.hh"
+#include "par/thread_pool.hh"
+#include "san/state_space.hh"
+#include "serve/cache.hh"
+#include "serve/inline_model.hh"
+#include "serve/request.hh"
+
+namespace gop::serve {
+
+struct ServerOptions {
+  /// Solved-result cache capacity (entries). At least 1.
+  size_t cache_capacity = 1024;
+  /// Workers of the cold-solve pool (0 = par::default_thread_count()).
+  size_t solver_threads = 1;
+  /// Reachability-probe budget for model admission (lint::ModelLintOptions).
+  size_t probe_budget = 20'000;
+  /// Recovery ladder for every solve; certificates come from here.
+  markov::RecoveryPolicy recovery;
+  /// Record a gop::obs kServeRequest event per request (still gated on
+  /// obs::enabled()).
+  bool log_requests = true;
+};
+
+/// Point-in-time server counters (all monotonically increasing).
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cold_solves = 0;   ///< cache misses this thread actually solved
+  uint64_t coalesced = 0;     ///< misses served by another thread's in-flight solve
+  uint64_t rejected = 0;      ///< admission-control rejections
+  uint64_t errors = 0;        ///< malformed requests / solve failures
+  uint64_t evictions = 0;     ///< LRU evictions from the solved cache
+  uint64_t chain_builds = 0;  ///< model instances built (state spaces generated)
+};
+
+/// Outcome of Server::load_snapshot. `loaded == false` means the server
+/// state is untouched (clean cold start); a partially-usable snapshot loads
+/// what verifies and reports the rest in `detail`.
+struct SnapshotLoadResult {
+  bool loaded = false;
+  size_t instances = 0;      ///< model instances restored (chains reattached)
+  size_t cache_entries = 0;  ///< solved results restored
+  std::string detail;        ///< why the load failed / what was skipped
+};
+
+/// The immutable solved result one cache entry holds; also the payload a
+/// kOk Response copies its fields from (so hit and cold responses are
+/// bitwise identical by construction).
+struct CachedResult {
+  std::string engine;
+  std::string storage;
+  std::vector<RewardSeries> results;
+  std::vector<NamedCertificate> certificates;
+};
+
+class Server {
+ public:
+  /// What a registered model contributes: a fresh model + reward catalog for
+  /// a parameter set (the same shape inline descriptions build into).
+  using ModelBuilder = std::function<InlineModel(const core::GsuParameters&)>;
+
+  explicit Server(const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers (or replaces) a model builder under `name`. The four paper
+  /// models (rmgd, rmgp, rmnd-new, rmnd-old) are pre-registered with the
+  /// same reward catalogs as the gop_lint registry.
+  void register_model(const std::string& name, ModelBuilder builder);
+
+  /// Serves one request; never throws (every failure becomes a kRejected or
+  /// kError response).
+  Response handle(const Request& request);
+
+  /// JSONL request-log sink, called once per completed request with one
+  /// newline-terminated obs event line. Called under no lock ordering
+  /// guarantees other than per-request; pass a thread-safe sink.
+  void set_request_log(std::function<void(const std::string&)> sink);
+
+  ServerStats stats() const;
+
+  /// Serializes every admitted model instance's generated chain and the
+  /// whole solved cache into the versioned snapshot container
+  /// (docs/serving.md). Thread-safe, but entries added during the save may
+  /// or may not be included.
+  std::string save_snapshot() const;
+  /// save_snapshot to a file; false (with no partial file left behind
+  /// guarantees) when the file cannot be written.
+  bool save_snapshot_file(const std::string& path) const;
+
+  /// Restores instances and cached results from snapshot bytes. Corrupt or
+  /// mismatching data is never loaded: the container checksum gates the
+  /// whole file, each chain re-verifies its content hash against the rebuilt
+  /// model, and anything that fails verification is skipped (reported in
+  /// `detail`) — the server then simply cold-solves those requests again.
+  SnapshotLoadResult load_snapshot(std::string_view bytes);
+  SnapshotLoadResult load_snapshot_file(const std::string& path);
+
+ private:
+  /// A built (or rejected) model instance; immutable once published.
+  struct ModelInstance {
+    std::string instance_key;
+    bool registered = false;            ///< built from the registry (vs inline)
+    std::string name;                   ///< registered name, or inline model name
+    core::GsuParameters params;         ///< registered instances only
+    std::string inline_text;            ///< canonical inline JSON, inline only
+    std::unique_ptr<san::SanModel> model;
+    std::vector<san::RewardStructure> rewards;
+    lint::Report base_report;           ///< model + chain lint layers
+    std::map<std::string, lint::Report> reward_reports;  ///< per reward name
+    bool admitted = false;              ///< base layers are error-free
+    std::optional<san::GeneratedChain> chain;
+    uint64_t chain_hash = 0;
+    std::map<std::string, uint64_t> reward_hashes;
+
+    const san::RewardStructure* find_reward(const std::string& reward_name) const;
+  };
+
+  std::shared_ptr<const ModelInstance> instance_for(const Request& request);
+  std::shared_ptr<const ModelInstance> build_instance(const std::string& instance_key,
+                                                      const Request& request) const;
+  /// Finishes an instance whose model+rewards are already populated:
+  /// admission layers, chain adoption/generation, hashes.
+  void admit_instance(ModelInstance& instance,
+                      std::optional<san::GeneratedChain> chain) const;
+
+  std::shared_ptr<const CachedResult> solve_on_pool(
+      const std::shared_ptr<const ModelInstance>& instance,
+      const std::vector<const san::RewardStructure*>& rewards, const Request& request) const;
+  CachedResult solve_request(const ModelInstance& instance,
+                             const std::vector<const san::RewardStructure*>& rewards,
+                             const Request& request) const;
+
+  void log_request(const Request& request, const Response& response, const char* outcome,
+                   size_t states);
+
+  ServerOptions options_;
+  mutable par::ThreadPool pool_;
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, ModelBuilder> registry_;
+
+  mutable std::mutex instances_mutex_;
+  std::map<std::string, std::shared_ptr<const ModelInstance>> instances_;
+  SingleFlight<std::string> instance_flight_;
+
+  SolvedCache<CachedResult> cache_;
+  SingleFlight<CacheKey> solve_flight_;
+
+  std::mutex log_mutex_;
+  std::function<void(const std::string&)> request_log_;
+
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace gop::serve

@@ -1,0 +1,217 @@
+// Tests for serve admission control: gated lint / preflight codes map to
+// structured kRejected responses with the findings attached (the server
+// never crashes on a bad model), generation failure surfaces as ADM001
+// through the lint::admission_check entry point, and one gop::fi-armed
+// campaign slice — a fault injected mid-serve shows up as recovery-ladder
+// certificate degradation that the cache then preserves verbatim, never as
+// a silently wrong cached entry.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/fi.hh"
+#include "lint/admission.hh"
+#include "san/expr.hh"
+#include "san/model.hh"
+#include "serve/json.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+
+namespace gop::serve {
+namespace {
+
+Request rmgd_request() {
+  Request request;
+  request.model = "rmgd";
+  request.rewards = {"P_A1", "Ih"};
+  request.transient_times = {7000.0};
+  return request;
+}
+
+// --- lint codes -> structured rejections -------------------------------------
+
+TEST(ServeAdmission, ModelLintErrorRejectsWithFindingsAttached) {
+  // Case probabilities sum to 0.5: a SAN010 model-layer error. The inline
+  // builder accepts the shape (semantics are admission's job), the server
+  // rejects the request and attaches the finding.
+  const Json description = parse(R"({
+    "name": "halfprob",
+    "places": [{"name": "p", "initial": 1, "capacity": 1}],
+    "activities": [{"name": "a", "rate": 1.0,
+                    "guard": [["p", ">=", 1]],
+                    "cases": [{"prob": 0.5, "effects": [["p", "add", -1]]}]}],
+    "rewards": [{"name": "r", "rates": [{"when": [["p", "==", 1]], "rate": 1.0}]}]
+  })");
+  Request request;
+  request.inline_model = description;
+  request.rewards = {"r"};
+  request.transient_times = {1.0};
+
+  Server server;
+  const Response response = server.handle(request);
+  EXPECT_EQ(response.status, Status::kRejected);
+  EXPECT_TRUE(response.findings.has_errors());
+  EXPECT_TRUE(response.findings.has_code("SAN010")) << response.findings.to_text();
+  EXPECT_TRUE(response.results.empty());
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  // The server is healthy afterwards: the next well-formed request solves.
+  EXPECT_TRUE(server.handle(rmgd_request()).ok());
+}
+
+TEST(ServeAdmission, SteadyStateOnAbsorbingChainRejectsWithPreflightCode) {
+  // The RMNd chain has absorbing failure states; asking for a steady-state
+  // reward is a per-request preflight error (PRE010), not a crash and not a
+  // bogus all-mass-in-absorbing answer.
+  Request request;
+  request.model = "rmnd-new";
+  request.rewards = {"no_failure"};
+  request.steady_state = true;
+
+  Server server;
+  const Response response = server.handle(request);
+  EXPECT_EQ(response.status, Status::kRejected);
+  EXPECT_TRUE(response.findings.has_errors());
+  EXPECT_TRUE(response.findings.has_code("PRE010")) << response.findings.to_text();
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  // The same model remains servable on a transient grid.
+  request.steady_state = false;
+  request.transient_times = {7000.0};
+  const Response transient = server.handle(request);
+  EXPECT_TRUE(transient.ok()) << transient.error;
+}
+
+TEST(ServeAdmission, GenerationFailureBecomesAdm001Finding) {
+  // A layer-1-clean model whose reachable set exceeds the explosion guard:
+  // admission_check captures the gop::ModelError as an ADM001 error finding
+  // instead of letting it propagate.
+  san::SanModel model("drain");
+  const san::PlaceRef p = model.add_place("p", 5, /*capacity=*/5);
+  model.add_timed_activity("a", san::mark_ge(p, 1), san::constant_rate(1.0),
+                           san::add_mark(p, -1));
+
+  san::RewardStructure reward("tokens");
+  reward.add(san::mark_ge(p, 1), 1.0);
+
+  lint::AdmissionInput input;
+  input.model = &model;
+  input.rewards = {&reward};
+  const std::vector<double> grid{1.0};
+  input.transient_times = grid;
+
+  lint::AdmissionOptions options;
+  options.generation.max_states = 2;  // 6 reachable markings > 2
+  const lint::Report report = lint::admission_check(input, options);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("ADM001")) << report.to_text();
+
+  // With an adequate budget the same model admits cleanly.
+  const lint::Report clean = lint::admission_check(input);
+  EXPECT_FALSE(clean.has_errors()) << clean.to_text();
+}
+
+TEST(ServeAdmission, MalformedRequestsAreStructuredErrorsNotCrashes) {
+  Server server;
+
+  Request unknown_model = rmgd_request();
+  unknown_model.model = "no-such-model";
+  const Response bad_model = server.handle(unknown_model);
+  EXPECT_EQ(bad_model.status, Status::kError);
+  EXPECT_FALSE(bad_model.error.empty());
+
+  Request unknown_reward = rmgd_request();
+  unknown_reward.rewards = {"no_such_reward"};
+  const Response bad_reward = server.handle(unknown_reward);
+  EXPECT_EQ(bad_reward.status, Status::kError);
+  EXPECT_FALSE(bad_reward.error.empty());
+
+  Request empty_request = rmgd_request();
+  empty_request.rewards.clear();
+  const Response no_rewards = server.handle(empty_request);
+  EXPECT_EQ(no_rewards.status, Status::kError);
+
+  Request no_grid = rmgd_request();
+  no_grid.transient_times.clear();
+  const Response nothing_to_solve = server.handle(no_grid);
+  EXPECT_EQ(nothing_to_solve.status, Status::kError);
+
+  EXPECT_EQ(server.stats().errors, 4u);
+  EXPECT_TRUE(server.handle(rmgd_request()).ok());
+}
+
+// --- fi campaign slice -------------------------------------------------------
+
+TEST(ServeAdmission, FaultMidServeDegradesCertificateNotCachedEntry) {
+  if (!fi::compiled_in()) {
+    GTEST_SKIP() << "fault injection compiled out (GOP_FI=OFF)";
+  }
+
+  // Reference bits from a clean server.
+  Server clean;
+  const Response reference = clean.handle(rmgd_request());
+  ASSERT_TRUE(reference.ok()) << reference.error;
+
+  // Arm the pade-expm scaling site to fire exactly once: the first cold
+  // solve trips it mid-serve, the recovery ladder retries, and the response
+  // carries the degradation in its certificate.
+  Server server;
+  fi::Plan plan(17);
+  plan.arm(fi::SiteId::kExpmScalingOverflow, fi::Trigger::on_nth(1));
+  fi::set_plan(plan);
+  const Response faulted = server.handle(rmgd_request());
+  fi::clear_plan();
+
+  ASSERT_TRUE(faulted.ok()) << faulted.error;
+  ASSERT_FALSE(faulted.certificates.empty());
+  bool recovery_visible = false;
+  for (const NamedCertificate& named : faulted.certificates) {
+    if (named.certificate.degraded || named.certificate.retries > 0 ||
+        named.certificate.fallback) {
+      recovery_visible = true;
+    }
+  }
+  EXPECT_TRUE(recovery_visible) << "fault left no trace in the certificates";
+
+  // The recovered values are still the right answer.
+  ASSERT_EQ(faulted.results.size(), reference.results.size());
+  for (size_t i = 0; i < faulted.results.size(); ++i) {
+    ASSERT_EQ(faulted.results[i].instant.size(), reference.results[i].instant.size());
+    for (size_t j = 0; j < faulted.results[i].instant.size(); ++j) {
+      EXPECT_TRUE(std::isfinite(faulted.results[i].instant[j]));
+      EXPECT_NEAR(faulted.results[i].instant[j], reference.results[i].instant[j], 1e-9);
+    }
+  }
+
+  // The cached entry preserves the degraded provenance verbatim: a repeat
+  // is a hit whose payload AND certificates are bitwise those of the
+  // recovered solve — not a silently "clean" (or silently wrong) entry.
+  const Response replay = server.handle(rmgd_request());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.cache_hit);
+  ASSERT_EQ(replay.results.size(), faulted.results.size());
+  for (size_t i = 0; i < replay.results.size(); ++i) {
+    ASSERT_EQ(replay.results[i].instant.size(), faulted.results[i].instant.size());
+    for (size_t j = 0; j < replay.results[i].instant.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(replay.results[i].instant[j]),
+                std::bit_cast<uint64_t>(faulted.results[i].instant[j]));
+    }
+  }
+  ASSERT_EQ(replay.certificates.size(), faulted.certificates.size());
+  for (size_t i = 0; i < replay.certificates.size(); ++i) {
+    EXPECT_EQ(replay.certificates[i].certificate.degraded,
+              faulted.certificates[i].certificate.degraded);
+    EXPECT_EQ(replay.certificates[i].certificate.retries,
+              faulted.certificates[i].certificate.retries);
+    EXPECT_EQ(replay.certificates[i].certificate.attempts,
+              faulted.certificates[i].certificate.attempts);
+  }
+}
+
+}  // namespace
+}  // namespace gop::serve

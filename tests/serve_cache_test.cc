@@ -1,0 +1,255 @@
+// Tests for the solved-model cache of gop::serve (serve/cache.hh,
+// san/hash.hh): hash stability and bitwise key sensitivity (every component
+// of the content-addressed cache key, down to 1-ulp perturbations), LRU
+// eviction at capacity, and the core serving guarantee — a cache hit is
+// std::bit_cast-identical to the cold solve that produced it, provenance
+// certificates included.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "san/hash.hh"
+#include "san/random_model.hh"
+#include "san/state_space.hh"
+#include "serve/cache.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+
+namespace gop::serve {
+namespace {
+
+Request rmgd_request() {
+  Request request;
+  request.model = "rmgd";
+  request.rewards = {"P_A1", "Ih"};
+  request.transient_times = {7000.0};
+  return request;
+}
+
+/// Bitwise equality for doubles: NaN-safe, -0.0 != +0.0 — exactly the
+/// identity the cache key and the bit-identical-replies guarantee use.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+bool series_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// --- hash stability ----------------------------------------------------------
+
+TEST(ServeHash, Fnv1aMatchesPublishedTestVectors) {
+  // The classic FNV-1a 64 vectors; pins the constants and the byte order
+  // across runs, compilers, and machines.
+  EXPECT_EQ(san::fnv1a("", 0), san::Fnv1a::kOffsetBasis);
+  EXPECT_EQ(san::fnv1a("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(san::fnv1a("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(ServeHash, ChainHashDeterministicAcrossIndependentBuilds) {
+  // Two fully independent model + generation runs of the same seed must
+  // land on the same digest (no pointers or container addresses leak in),
+  // and different seeds must not collide.
+  const san::SanModel first = san::random_san(7);
+  const san::SanModel second = san::random_san(7);
+  const san::GeneratedChain chain_a = san::generate_state_space(first);
+  const san::GeneratedChain chain_b = san::generate_state_space(second);
+  EXPECT_EQ(san::chain_hash(chain_a), san::chain_hash(chain_b));
+
+  const san::SanModel other = san::random_san(8);
+  const san::GeneratedChain chain_c = san::generate_state_space(other);
+  EXPECT_NE(san::chain_hash(chain_a), san::chain_hash(chain_c));
+}
+
+TEST(ServeHash, GridHashSeparatesDomainsAndUlps) {
+  const std::vector<double> t{7000.0};
+  const std::vector<double> none;
+  const uint64_t base = san::grid_hash(t, none, false);
+
+  // Same time in the accumulated grid is a different request.
+  EXPECT_NE(base, san::grid_hash(none, t, false));
+  // The steady-state flag is part of the identity.
+  EXPECT_NE(base, san::grid_hash(t, none, true));
+  // 1 ulp on a grid time changes the digest.
+  const std::vector<double> ulp{std::nextafter(7000.0, 8000.0)};
+  EXPECT_NE(base, san::grid_hash(ulp, none, false));
+}
+
+// --- server-level key sensitivity --------------------------------------------
+
+TEST(ServeCache, KeyIsSensitiveToEveryComponent) {
+  Server server;
+  const Response base = server.handle(rmgd_request());
+  ASSERT_TRUE(base.ok()) << base.error;
+
+  // Table-3 parameter perturbed by 1 ulp -> different generated chain.
+  {
+    Request request = rmgd_request();
+    request.params.lambda = std::nextafter(request.params.lambda, 2000.0);
+    const Response response = server.handle(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_NE(response.model_hash, base.model_hash);
+  }
+  // Different reward set, same model and grid.
+  {
+    Request request = rmgd_request();
+    request.rewards = {"Ihf"};
+    const Response response = server.handle(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.model_hash, base.model_hash);
+    EXPECT_NE(response.reward_hash, base.reward_hash);
+    EXPECT_EQ(response.grid_hash, base.grid_hash);
+  }
+  // Reward order is part of the key (results are in request order).
+  {
+    Request request = rmgd_request();
+    request.rewards = {"Ih", "P_A1"};
+    const Response response = server.handle(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_NE(response.reward_hash, base.reward_hash);
+  }
+  // Grid value perturbed by 1 ulp.
+  {
+    Request request = rmgd_request();
+    request.transient_times = {std::nextafter(7000.0, 8000.0)};
+    const Response response = server.handle(request);
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.model_hash, base.model_hash);
+    EXPECT_NE(response.grid_hash, base.grid_hash);
+  }
+  // None of the variants were answered from the base entry.
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST(ServeCache, HitIsBitIdenticalToColdSolveCertificatesIncluded) {
+  Server server;
+  const Response cold = server.handle(rmgd_request());
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_FALSE(cold.results.empty());
+  ASSERT_FALSE(cold.certificates.empty());
+
+  const Response hit = server.handle(rmgd_request());
+  ASSERT_TRUE(hit.ok()) << hit.error;
+  EXPECT_TRUE(hit.cache_hit);
+
+  EXPECT_EQ(hit.engine, cold.engine);
+  EXPECT_EQ(hit.storage, cold.storage);
+  EXPECT_EQ(hit.model_hash, cold.model_hash);
+  EXPECT_EQ(hit.reward_hash, cold.reward_hash);
+  EXPECT_EQ(hit.grid_hash, cold.grid_hash);
+
+  ASSERT_EQ(hit.results.size(), cold.results.size());
+  for (size_t i = 0; i < hit.results.size(); ++i) {
+    EXPECT_EQ(hit.results[i].reward, cold.results[i].reward);
+    EXPECT_TRUE(series_bits_equal(hit.results[i].instant, cold.results[i].instant));
+    EXPECT_TRUE(series_bits_equal(hit.results[i].accumulated, cold.results[i].accumulated));
+    ASSERT_EQ(hit.results[i].steady_state.has_value(), cold.results[i].steady_state.has_value());
+    if (hit.results[i].steady_state.has_value()) {
+      EXPECT_TRUE(bits_equal(*hit.results[i].steady_state, *cold.results[i].steady_state));
+    }
+  }
+
+  ASSERT_EQ(hit.certificates.size(), cold.certificates.size());
+  for (size_t i = 0; i < hit.certificates.size(); ++i) {
+    EXPECT_EQ(hit.certificates[i].solver, cold.certificates[i].solver);
+    EXPECT_EQ(hit.certificates[i].certificate.engine, cold.certificates[i].certificate.engine);
+    EXPECT_EQ(hit.certificates[i].certificate.retries, cold.certificates[i].certificate.retries);
+    EXPECT_EQ(hit.certificates[i].certificate.degraded, cold.certificates[i].certificate.degraded);
+    EXPECT_TRUE(bits_equal(hit.certificates[i].certificate.error_bound,
+                           cold.certificates[i].certificate.error_bound));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cold_solves, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServeCache, EvictionAtCapacityForcesResolve) {
+  ServerOptions options;
+  options.cache_capacity = 2;
+  Server server(options);
+
+  Request request = rmgd_request();
+  for (double t : {1000.0, 2000.0, 3000.0}) {
+    request.transient_times = {t};
+    ASSERT_TRUE(server.handle(request).ok());
+  }
+  EXPECT_EQ(server.stats().evictions, 1u);
+  EXPECT_EQ(server.stats().cold_solves, 3u);
+
+  // The oldest grid was evicted, so asking again is a cold solve...
+  request.transient_times = {1000.0};
+  const Response resolved = server.handle(request);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_FALSE(resolved.cache_hit);
+  EXPECT_EQ(server.stats().cold_solves, 4u);
+
+  // ...and the freshest one is still a hit.
+  request.transient_times = {3000.0};
+  EXPECT_TRUE(server.handle(request).cache_hit);
+}
+
+// --- SolvedCache / SingleFlight units ----------------------------------------
+
+TEST(SolvedCache, LruOrderAndEviction) {
+  SolvedCache<int> cache(2);
+  const CacheKey a{1, 0, 0};
+  const CacheKey b{2, 0, 0};
+  const CacheKey c{3, 0, 0};
+
+  EXPECT_EQ(cache.put(a, std::make_shared<int>(10)), 0u);
+  EXPECT_EQ(cache.put(b, std::make_shared<int>(20)), 0u);
+  // Touch `a` so `b` becomes least recently used.
+  ASSERT_NE(cache.get(a), nullptr);
+  EXPECT_EQ(cache.put(c, std::make_shared<int>(30)), 1u);
+
+  EXPECT_EQ(cache.get(b), nullptr);
+  ASSERT_NE(cache.get(a), nullptr);
+  EXPECT_EQ(*cache.get(a), 10);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // entries() is MRU-first: `a` was touched last.
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, a);
+  EXPECT_EQ(entries[1].first, c);
+}
+
+TEST(SolvedCache, ReplacingExistingKeyDoesNotEvict) {
+  SolvedCache<int> cache(2);
+  const CacheKey a{1, 0, 0};
+  const CacheKey b{2, 0, 0};
+  cache.put(a, std::make_shared<int>(1));
+  cache.put(b, std::make_shared<int>(2));
+  EXPECT_EQ(cache.put(a, std::make_shared<int>(3)), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.get(a), 3);
+}
+
+TEST(SingleFlight, FailureClearsSlotSoRetriesRun) {
+  SingleFlight<int> flight;
+  int runs = 0;
+  EXPECT_THROW(flight.do_once(1,
+                              [&] {
+                                ++runs;
+                                throw std::runtime_error("factory failed");
+                              }),
+               std::runtime_error);
+  // The failed slot was erased; the next call is a fresh leader.
+  EXPECT_EQ(flight.do_once(1, [&] { ++runs; }), SingleFlight<int>::Role::kLeader);
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace
+}  // namespace gop::serve

@@ -1,0 +1,235 @@
+// Tests for the versioned snapshot format (san/snapshot.hh) and the serve
+// warm-restart path (Server::save_snapshot / load_snapshot): chain blobs
+// round-trip bit-exactly on seeded san::random_san instances, a warm restart
+// answers from the restored cache without regenerating or re-solving, and
+// every corruption mode (truncation, wrong magic, version skew, payload bit
+// flip) degrades to a clean cold start — never a wrong answer, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "san/hash.hh"
+#include "san/random_model.hh"
+#include "san/session.hh"
+#include "san/snapshot.hh"
+#include "san/state_space.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+
+namespace gop::serve {
+namespace {
+
+Request rmgd_request() {
+  Request request;
+  request.model = "rmgd";
+  request.rewards = {"P_A1", "Itauh"};
+  request.transient_times = {5000.0, 7000.0};
+  request.accumulated_times = {7000.0};
+  return request;
+}
+
+bool series_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<uint64_t>(a[i]) != std::bit_cast<uint64_t>(b[i])) return false;
+  }
+  return true;
+}
+
+// --- primitive encoding ------------------------------------------------------
+
+TEST(Snapshot, WriterReaderRoundTripsEveryFieldKind) {
+  san::snapshot::Writer writer;
+  writer.u8(0xab);
+  writer.u32(0xdeadbeefu);
+  writer.u64(0x0123456789abcdefULL);
+  writer.i32(-42);
+  writer.f64(-0.0);
+  writer.f64(0.1);
+  writer.str("hello\0world");  // NUL truncates the literal; still a valid blob
+
+  san::snapshot::Reader reader(writer.buffer());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.i32(), -42);
+  EXPECT_EQ(std::bit_cast<uint64_t>(reader.f64()), std::bit_cast<uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<uint64_t>(reader.f64()), std::bit_cast<uint64_t>(0.1));
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Snapshot, ReaderThrowsOnTruncationNotUb) {
+  san::snapshot::Writer writer;
+  writer.u64(7);
+  san::snapshot::Reader short_reader(std::string_view(writer.buffer()).substr(0, 3));
+  EXPECT_THROW(short_reader.u64(), san::snapshot::SnapshotError);
+
+  // An absurd string length must not allocate or scan past the end.
+  san::snapshot::Writer bad;
+  bad.u64(~0ULL);
+  san::snapshot::Reader bad_reader(bad.buffer());
+  EXPECT_THROW(bad_reader.str(), san::snapshot::SnapshotError);
+}
+
+// --- chain blobs on random SANs ----------------------------------------------
+
+TEST(Snapshot, ChainBlobRoundTripsBitExactlyOnRandomSans) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const san::SanModel model = san::random_san(seed);
+    const san::GeneratedChain original = san::generate_state_space(model);
+
+    san::snapshot::Writer writer;
+    san::snapshot::write_chain(writer, original);
+    san::snapshot::Reader reader(writer.buffer());
+    const san::GeneratedChain restored = san::snapshot::read_chain(reader, model);
+    EXPECT_TRUE(reader.at_end()) << "seed " << seed;
+
+    ASSERT_EQ(restored.state_count(), original.state_count()) << "seed " << seed;
+    EXPECT_EQ(restored.states(), original.states()) << "seed " << seed;
+    EXPECT_EQ(san::chain_hash(restored), san::chain_hash(original)) << "seed " << seed;
+
+    // Bit-identical session results: the same grid solved on the restored
+    // chain reproduces the original solve exactly (reward = token count in
+    // place 0, a marking-dependent rate).
+    san::RewardStructure tokens("tokens-p0");
+    tokens.add([](const san::Marking&) { return true; },
+               [](const san::Marking& marking) { return static_cast<double>(marking[0]); });
+    const std::vector<double> grid{0.25, 1.0, 4.0};
+    san::GridSolveOptions options;
+    options.accumulated = true;
+    const san::ChainSession before(original, grid, options);
+    const san::ChainSession after(restored, grid, options);
+    EXPECT_TRUE(series_bits_equal(after.instant_reward_series(tokens),
+                                  before.instant_reward_series(tokens)))
+        << "seed " << seed;
+    EXPECT_TRUE(series_bits_equal(after.accumulated_reward_series(tokens),
+                                  before.accumulated_reward_series(tokens)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Snapshot, ReadChainRejectsWrongModelAndTamperedRates) {
+  const san::SanModel model = san::random_san(3);
+  const san::GeneratedChain chain = san::generate_state_space(model);
+  san::snapshot::Writer writer;
+  san::snapshot::write_chain(writer, chain);
+
+  // A different model (different place count or different content hash) must
+  // not silently adopt the blob.
+  const san::SanModel other = san::random_san(4);
+  san::snapshot::Reader reader(writer.buffer());
+  EXPECT_THROW(san::snapshot::read_chain(reader, other), san::snapshot::SnapshotError);
+
+  // Flipping one payload bit breaks the stored content hash.
+  std::string tampered = writer.buffer();
+  tampered[tampered.size() / 2] = static_cast<char>(tampered[tampered.size() / 2] ^ 0x01);
+  san::snapshot::Reader tampered_reader(tampered);
+  EXPECT_THROW(san::snapshot::read_chain(tampered_reader, model), san::snapshot::SnapshotError);
+}
+
+// --- server warm restart -----------------------------------------------------
+
+TEST(ServeSnapshot, WarmRestartSkipsGenerationAndResolving) {
+  Server warm_writer;
+  const Response cold = warm_writer.handle(rmgd_request());
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_EQ(warm_writer.stats().chain_builds, 1u);
+  const std::string snapshot = warm_writer.save_snapshot();
+  ASSERT_FALSE(snapshot.empty());
+
+  Server restarted;
+  const SnapshotLoadResult loaded = restarted.load_snapshot(snapshot);
+  ASSERT_TRUE(loaded.loaded) << loaded.detail;
+  EXPECT_EQ(loaded.instances, 1u);
+  EXPECT_EQ(loaded.cache_entries, 1u);
+
+  const Response replay = restarted.handle(rmgd_request());
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(restarted.stats().chain_builds, 0u);  // generation skipped
+  EXPECT_EQ(restarted.stats().cold_solves, 0u);   // solve skipped
+
+  EXPECT_EQ(replay.model_hash, cold.model_hash);
+  EXPECT_EQ(replay.reward_hash, cold.reward_hash);
+  EXPECT_EQ(replay.grid_hash, cold.grid_hash);
+  EXPECT_EQ(replay.engine, cold.engine);
+  ASSERT_EQ(replay.results.size(), cold.results.size());
+  for (size_t i = 0; i < replay.results.size(); ++i) {
+    EXPECT_TRUE(series_bits_equal(replay.results[i].instant, cold.results[i].instant));
+    EXPECT_TRUE(series_bits_equal(replay.results[i].accumulated, cold.results[i].accumulated));
+  }
+  ASSERT_EQ(replay.certificates.size(), cold.certificates.size());
+  for (size_t i = 0; i < replay.certificates.size(); ++i) {
+    EXPECT_EQ(replay.certificates[i].solver, cold.certificates[i].solver);
+    EXPECT_EQ(replay.certificates[i].certificate.engine, cold.certificates[i].certificate.engine);
+  }
+}
+
+TEST(ServeSnapshot, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "gop_serve_snapshot_test.snap";
+  Server writer;
+  ASSERT_TRUE(writer.handle(rmgd_request()).ok());
+  ASSERT_TRUE(writer.save_snapshot_file(path));
+
+  Server reader;
+  const SnapshotLoadResult loaded = reader.load_snapshot_file(path);
+  EXPECT_TRUE(loaded.loaded) << loaded.detail;
+  EXPECT_TRUE(reader.handle(rmgd_request()).cache_hit);
+}
+
+TEST(ServeSnapshot, EveryCorruptionModeDegradesToCleanColdSolve) {
+  Server writer;
+  const Response reference = writer.handle(rmgd_request());
+  ASSERT_TRUE(reference.ok());
+  const std::string good = writer.save_snapshot();
+  ASSERT_GE(good.size(), 16u);
+
+  const auto expect_cold_start_still_correct = [&](std::string bytes, const char* label) {
+    Server victim;
+    const SnapshotLoadResult loaded = victim.load_snapshot(bytes);
+    EXPECT_FALSE(loaded.loaded) << label;
+    EXPECT_EQ(loaded.instances, 0u) << label;
+    EXPECT_EQ(loaded.cache_entries, 0u) << label;
+    // The server is untouched: the same request cold-solves to the same
+    // bits as the reference run.
+    const Response fresh = victim.handle(rmgd_request());
+    ASSERT_TRUE(fresh.ok()) << label << ": " << fresh.error;
+    EXPECT_FALSE(fresh.cache_hit) << label;
+    ASSERT_EQ(fresh.results.size(), reference.results.size()) << label;
+    for (size_t i = 0; i < fresh.results.size(); ++i) {
+      EXPECT_TRUE(series_bits_equal(fresh.results[i].instant, reference.results[i].instant))
+          << label;
+    }
+  };
+
+  expect_cold_start_still_correct(good.substr(0, good.size() / 2), "truncated");
+  expect_cold_start_still_correct(good.substr(0, 3), "shorter than the header");
+  expect_cold_start_still_correct("", "empty");
+
+  std::string wrong_magic = good;
+  wrong_magic[0] = static_cast<char>(wrong_magic[0] ^ 0xff);
+  expect_cold_start_still_correct(wrong_magic, "wrong magic");
+
+  std::string version_skew = good;
+  version_skew[4] = static_cast<char>(version_skew[4] + 1);
+  expect_cold_start_still_correct(version_skew, "version skew");
+
+  std::string bit_flip = good;
+  bit_flip[good.size() / 2] = static_cast<char>(bit_flip[good.size() / 2] ^ 0x20);
+  expect_cold_start_still_correct(bit_flip, "payload bit flip");
+
+  std::string trailing = good + "x";
+  expect_cold_start_still_correct(trailing, "trailing bytes");
+
+  // And the uncorrupted bytes still load after all that.
+  Server control;
+  EXPECT_TRUE(control.load_snapshot(good).loaded);
+}
+
+}  // namespace
+}  // namespace gop::serve

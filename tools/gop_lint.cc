@@ -56,29 +56,18 @@ struct ModelRun {
   std::string bounds;  ///< rendered proof bounds (needs the model alive)
 };
 
-/// All three layers over one model: lint_model, generate + lint_chain +
-/// lint_reward, then the solver preflights the model's measures need.
+/// All three layers over one model, via the shared admission entry point
+/// (lint/admission.hh — the same battery gop::serve gates requests on).
 lint::Report run_battery(const BatteryInput& input, const lint::ModelLintOptions& options) {
-  lint::Report report = lint::lint_model(*input.model, options);
-  if (report.has_errors()) return report;  // generation would throw on these
-
-  const san::GeneratedChain chain = san::generate_state_space(*input.model);
-  report.merge(lint::lint_chain(chain));
-  for (const san::RewardStructure& reward : input.rewards) {
-    report.merge(lint::lint_reward(chain, reward));
-  }
-  if (!input.transient_times.empty()) {
-    report.merge(lint::preflight_transient(chain.ctmc(), input.transient_times, {},
-                                           input.model->name()));
-  }
-  if (!input.accumulated_times.empty()) {
-    report.merge(lint::preflight_accumulated(chain.ctmc(), input.accumulated_times, {},
-                                             input.model->name()));
-  }
-  if (input.steady_state) {
-    report.merge(lint::preflight_steady_state(chain.ctmc(), {}, input.model->name()));
-  }
-  return report;
+  lint::AdmissionInput admission;
+  admission.model = input.model;
+  for (const san::RewardStructure& reward : input.rewards) admission.rewards.push_back(&reward);
+  admission.transient_times = input.transient_times;
+  admission.accumulated_times = input.accumulated_times;
+  admission.steady_state = input.steady_state;
+  lint::AdmissionOptions admission_options;
+  admission_options.model_lint = options;
+  return lint::admission_check(admission, admission_options);
 }
 
 ModelRun finish_run(const char* name, const BatteryInput& input,

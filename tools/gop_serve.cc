@@ -1,0 +1,303 @@
+// gop_serve — analysis-as-a-service daemon for the paper's SAN reward models
+// (docs/serving.md).
+//
+// The server accepts line-delimited JSON requests (one request object per
+// line, one response object per line back) naming a registered model
+// (rmgd / rmgp / rmnd-new / rmnd-old) or carrying an inline SAN description,
+// the rewards to evaluate, and the phi/t grids. Every request is gated by
+// gop::lint admission, answered from the content-addressed solved cache when
+// possible, and logged as one structured JSONL event.
+//
+// Modes:
+//   gop_serve                            # serve stdin -> stdout (pipe mode)
+//   gop_serve --socket=/tmp/gop.sock     # AF_UNIX line protocol daemon
+//   gop_serve --load-gen --clients=4 --requests=1000   # in-process load test
+//   gop_serve --snapshot=serve.snap ...  # warm start / save on shutdown
+//
+// Load-generator mode drives the in-process serve::Server with a hot / cold /
+// invalid request mix from N client threads and prints a throughput report
+// (the serving-path numbers BENCH_serve.json records come from
+// bench/bench_serve_throughput.cc; this mode is for eyeballing and soak).
+//
+// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/params.hh"
+#include "serve/json.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+#include "util/cli.hh"
+#include "util/strings.hh"
+
+namespace {
+
+using namespace gop;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int /*signum*/) { g_stop.store(true); }
+
+/// One request line in, one response line out; protocol errors become kError
+/// responses, never a dropped connection.
+std::string serve_line(serve::Server& server, const std::string& line) {
+  serve::Response response;
+  try {
+    const serve::Json document = serve::parse(line);
+    const serve::Request request = serve::parse_request(document);
+    response = server.handle(request);
+  } catch (const std::exception& e) {
+    response.status = serve::Status::kError;
+    response.error = e.what();
+  }
+  return serve::response_to_json(response).dump() + "\n";
+}
+
+int run_pipe_mode(serve::Server& server) {
+  std::string line;
+  int c = 0;
+  while (!g_stop.load() && (c = std::fgetc(stdin)) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::string reply = serve_line(server, line);
+    std::fwrite(reply.data(), 1, reply.size(), stdout);
+    std::fflush(stdout);
+    line.clear();
+  }
+  if (!line.empty()) {
+    const std::string reply = serve_line(server, line);
+    std::fwrite(reply.data(), 1, reply.size(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+void serve_connection(serve::Server& server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!g_stop.load()) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline = 0;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      const std::string reply = serve_line(server, line);
+      size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w = ::write(fd, reply.data() + sent, reply.size() - sent);
+        if (w <= 0) {
+          ::close(fd);
+          return;
+        }
+        sent += static_cast<size_t>(w);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+int run_socket_mode(serve::Server& server, const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return 2;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("bind");
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 16) != 0) {
+    std::perror("listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "gop_serve: listening on %s\n", path.c_str());
+
+  std::vector<std::thread> connections;
+  while (!g_stop.load()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (g_stop.load()) break;
+      continue;  // EINTR and friends: keep accepting
+    }
+    connections.emplace_back([&server, fd] { serve_connection(server, fd); });
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  for (std::thread& connection : connections) connection.join();
+  return 0;
+}
+
+/// Request mix of the load generator: a hot registered query (cache hit
+/// after the first), a per-client cold query (distinct grid per round), and
+/// an invalid one (unknown reward -> kError) to keep the error path warm.
+serve::Request hot_request() {
+  serve::Request request;
+  request.model = "rmgd";
+  request.rewards = {"P_A1", "Ih"};
+  request.transient_times = {7000.0};
+  return request;
+}
+
+int run_load_gen(serve::Server& server, size_t clients, size_t requests_per_client) {
+  // Prewarm so the hot path is actually hot.
+  const serve::Response warm = server.handle(hot_request());
+  if (!warm.ok()) {
+    std::fprintf(stderr, "load-gen prewarm failed: %s\n", warm.error.c_str());
+    return 1;
+  }
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> rejected_or_error{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t client = 0; client < clients; ++client) {
+    threads.emplace_back([&server, &ok, &rejected_or_error, client, requests_per_client] {
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        serve::Request request = hot_request();
+        if (i % 17 == 7) {
+          // Cold: a grid no one else asks for (distinct cache key).
+          request.transient_times = {7000.0 + static_cast<double>(client * 1'000'000 + i)};
+        } else if (i % 23 == 11) {
+          request.rewards = {"no_such_reward"};  // invalid -> kError
+        }
+        const serve::Response response = server.handle(request);
+        if (response.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected_or_error.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  const serve::ServerStats stats = server.stats();
+  const uint64_t total = ok.load() + rejected_or_error.load();
+  std::printf("load-gen: %llu requests in %.3f s (%.0f req/s)\n",
+              static_cast<unsigned long long>(total), seconds,
+              static_cast<double>(total) / seconds);
+  std::printf("  ok=%llu rejected/error=%llu\n", static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(rejected_or_error.load()));
+  std::printf("  cache_hits=%llu cold_solves=%llu coalesced=%llu errors=%llu evictions=%llu\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cold_solves),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.evictions));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("gop_serve", "analysis-as-a-service daemon with a solved-model cache");
+  flags.add_string("socket", "", "AF_UNIX socket path (empty: stdin/stdout pipe mode)")
+      .add_string("snapshot", "", "snapshot file: load at start, save on shutdown")
+      .add_string("request-log", "", "append one JSONL event per request to this file")
+      .add_int("threads", 1, "cold-solve worker threads")
+      .add_int("cache-capacity", 1024, "solved-result cache capacity (entries)")
+      .add_bool("load-gen", false, "run the in-process load generator and exit")
+      .add_int("clients", 4, "load-gen client threads")
+      .add_int("requests", 1000, "load-gen requests per client");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const long long threads = flags.get_int("threads");
+    const long long capacity = flags.get_int("cache-capacity");
+    if (threads < 0 || capacity < 1) {
+      std::fprintf(stderr, "--threads must be >= 0 and --cache-capacity >= 1\n");
+      return 2;
+    }
+
+    serve::ServerOptions options;
+    options.solver_threads = static_cast<size_t>(threads);
+    options.cache_capacity = static_cast<size_t>(capacity);
+    serve::Server server(options);
+
+    std::FILE* log_file = nullptr;
+    if (!flags.get_string("request-log").empty()) {
+      log_file = std::fopen(flags.get_string("request-log").c_str(), "a");
+      if (log_file == nullptr) {
+        std::fprintf(stderr, "cannot open request log: %s\n",
+                     flags.get_string("request-log").c_str());
+        return 2;
+      }
+      server.set_request_log([log_file](const std::string& line) {
+        std::fwrite(line.data(), 1, line.size(), log_file);
+        std::fflush(log_file);
+      });
+    }
+
+    const std::string& snapshot_path = flags.get_string("snapshot");
+    if (!snapshot_path.empty()) {
+      const serve::SnapshotLoadResult loaded = server.load_snapshot_file(snapshot_path);
+      if (loaded.loaded) {
+        std::fprintf(stderr, "gop_serve: warm start (%zu instances, %zu cached results)\n",
+                     loaded.instances, loaded.cache_entries);
+      } else {
+        std::fprintf(stderr, "gop_serve: cold start (%s)\n", loaded.detail.c_str());
+      }
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    int status = 0;
+    if (flags.get_bool("load-gen")) {
+      const long long clients = flags.get_int("clients");
+      const long long requests = flags.get_int("requests");
+      if (clients < 1 || requests < 1) {
+        std::fprintf(stderr, "--clients and --requests must be >= 1\n");
+        if (log_file != nullptr) std::fclose(log_file);
+        return 2;
+      }
+      status = run_load_gen(server, static_cast<size_t>(clients), static_cast<size_t>(requests));
+    } else if (!flags.get_string("socket").empty()) {
+      status = run_socket_mode(server, flags.get_string("socket"));
+    } else {
+      status = run_pipe_mode(server);
+    }
+
+    if (!snapshot_path.empty() && status == 0) {
+      if (server.save_snapshot_file(snapshot_path)) {
+        std::fprintf(stderr, "gop_serve: snapshot saved to %s\n", snapshot_path.c_str());
+      } else {
+        std::fprintf(stderr, "gop_serve: snapshot save FAILED (%s)\n", snapshot_path.c_str());
+        status = 1;
+      }
+    }
+    if (log_file != nullptr) std::fclose(log_file);
+    return status;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

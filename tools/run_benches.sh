@@ -7,6 +7,8 @@
 #                         (bench_parallel_scaling at 1/2/4/8 threads)
 #   BENCH_sweep.json    — pointwise (per-measure) vs session-batched phi-sweep
 #                         (bench_sweep_batch; batched arm at 1/2/4/8 threads)
+#   BENCH_serve.json    — gop::serve serving path: cached-query/s, cold-solve
+#                         latency, snapshot warm-restart (bench_serve_throughput)
 #
 # Usage: tools/run_benches.sh [options] [build-dir]
 #
@@ -83,13 +85,17 @@ esac
 
 # binary:output pairs; one loop checks, runs, and emits JSON for each suite.
 if [[ "$smoke" -eq 1 ]]; then
-  suites=("bench_solver_perf:$build_dir/BENCH_smoke.json")
+  suites=(
+    "bench_solver_perf:$build_dir/BENCH_smoke.json"
+    "bench_serve_throughput:$build_dir/BENCH_serve_smoke.json"
+  )
   extra_flags=(--benchmark_min_time=0.05 --benchmark_repetitions=1)
 else
   suites=(
     "bench_solver_perf:BENCH_solver.json"
     "bench_parallel_scaling:BENCH_scaling.json"
     "bench_sweep_batch:BENCH_sweep.json"
+    "bench_serve_throughput:BENCH_serve.json"
   )
   extra_flags=(--benchmark_repetitions="$repetitions" --benchmark_report_aggregates_only=true)
 fi
@@ -168,6 +174,21 @@ if scaling:
             continue
         row = "  ".join(f"{t}T: {times[1] / times[t]:.2f}x" for t in sorted(times))
         print(f"  {family:<20} {row}")
+
+serve = next((p for p in paths if "serve" in p.lower()), None)
+if serve:
+    rates = {}
+    for b in docs[serve].get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b.get("name", ""))
+        ips = b.get("items_per_second")
+        if ips and name not in rates:
+            rates[name] = ips
+    if rates:
+        print("\nserving path throughput (medians):")
+        for name, ips in sorted(rates.items()):
+            print(f"  {name:<32} {ips:>14,.0f} queries/s")
 
 if sweep:
     pointwise = None
