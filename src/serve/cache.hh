@@ -4,12 +4,15 @@
 /// The solved-model cache and the single-flight build coordinator of
 /// gop::serve (docs/serving.md).
 ///
-/// SolvedCache is a bounded LRU map from the content-addressed cache key
-/// (model hash, reward-set hash, grid hash — san/hash.hh) to an immutable,
-/// shared solved result. Entries are shared_ptr<const ...>: a hit hands back
-/// the same immutable object every time, so cached replies are bitwise
-/// identical to the solve that produced them — there is no re-serialization
-/// or copy that could perturb a double.
+/// LruCache is a bounded LRU map from a key to an immutable, shared value.
+/// Entries are shared_ptr<const ...>: a hit hands back the same immutable
+/// object every time, so cached replies are bitwise identical to the solve
+/// that produced them — there is no re-serialization or copy that could
+/// perturb a double. SolvedCache instantiates it on the content-addressed
+/// cache key (model hash, reward-set hash, grid hash — san/hash.hh); the
+/// server's model-instance cache instantiates it on the instance key, so
+/// built models (and their generated state spaces) are bounded the same way
+/// solved results are.
 ///
 /// SingleFlight guarantees that concurrent requests for the same key share
 /// ONE execution of the expensive factory (chain generation, grid solve):
@@ -45,12 +48,13 @@ struct CacheKey {
 
 /// Bounded LRU cache; all operations take the internal mutex and values are
 /// immutable, so readers can use the returned shared_ptr without locks.
-template <typename Value>
-class SolvedCache {
+/// `Key` needs operator< (std::map).
+template <typename Key, typename Value>
+class LruCache {
  public:
-  explicit SolvedCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  std::shared_ptr<const Value> get(const CacheKey& key) {
+  std::shared_ptr<const Value> get(const Key& key) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return nullptr;
@@ -60,7 +64,7 @@ class SolvedCache {
 
   /// Inserts (or replaces) and evicts the least-recently-used entry past
   /// capacity. Returns the number of evictions performed.
-  size_t put(const CacheKey& key, std::shared_ptr<const Value> value) {
+  size_t put(const Key& key, std::shared_ptr<const Value> value) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
@@ -94,11 +98,11 @@ class SolvedCache {
 
   /// Snapshot of every (key, value) pair, most recently used first. Used by
   /// snapshot serialization; O(n) under the lock.
-  std::vector<std::pair<CacheKey, std::shared_ptr<const Value>>> entries() const {
+  std::vector<std::pair<Key, std::shared_ptr<const Value>>> entries() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<std::pair<CacheKey, std::shared_ptr<const Value>>> out;
+    std::vector<std::pair<Key, std::shared_ptr<const Value>>> out;
     out.reserve(entries_.size());
-    for (const CacheKey& key : order_) {
+    for (const Key& key : order_) {
       out.emplace_back(key, entries_.at(key).value);
     }
     return out;
@@ -107,14 +111,18 @@ class SolvedCache {
  private:
   struct Entry {
     std::shared_ptr<const Value> value;
-    typename std::list<CacheKey>::iterator position;
+    typename std::list<Key>::iterator position;
   };
 
   const size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<CacheKey, Entry> entries_;
-  std::list<CacheKey> order_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> order_;
 };
+
+/// The solved-result cache: content-addressed key -> immutable result.
+template <typename Value>
+using SolvedCache = LruCache<CacheKey, Value>;
 
 /// Deduplicates concurrent executions of an expensive keyed operation; see
 /// the file comment. `Key` needs operator< (std::map).

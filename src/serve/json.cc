@@ -183,6 +183,20 @@ class Parser {
     return false;
   }
 
+  /// Bounds recursion of parse_object/parse_array (see kMaxParseDepth).
+  struct DepthScope {
+    explicit DepthScope(Parser& parser) : parser_(parser) {
+      if (parser_.depth_ >= kMaxParseDepth) {
+        parser_.fail("nesting exceeds the maximum depth");
+      }
+      ++parser_.depth_;
+    }
+    ~DepthScope() { --parser_.depth_; }
+    DepthScope(const DepthScope&) = delete;
+    DepthScope& operator=(const DepthScope&) = delete;
+    Parser& parser_;
+  };
+
   Json parse_value() {
     skip_whitespace();
     const char c = peek();
@@ -204,6 +218,7 @@ class Parser {
   }
 
   Json parse_object() {
+    DepthScope depth(*this);
     expect('{');
     JsonObject members;
     skip_whitespace();
@@ -232,6 +247,7 @@ class Parser {
   }
 
   Json parse_array() {
+    DepthScope depth(*this);
     expect('[');
     JsonArray items;
     skip_whitespace();
@@ -348,6 +364,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

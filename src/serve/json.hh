@@ -79,8 +79,16 @@ class Json {
   Value value_;
 };
 
+/// Maximum array/object nesting depth parse() accepts. The parser is
+/// recursive-descent, so this bounds its stack use against adversarial
+/// input (e.g. a request line of 100k '['); deeper documents are a parse
+/// error, not a stack overflow. Generous: real protocol documents nest
+/// 3-4 levels.
+inline constexpr size_t kMaxParseDepth = 64;
+
 /// Parses exactly one JSON document; throws gop::InvalidArgument on
-/// malformed input or trailing non-whitespace.
+/// malformed input, trailing non-whitespace, or nesting deeper than
+/// kMaxParseDepth.
 Json parse(std::string_view text);
 
 /// Escapes a string for embedding in a JSON document (no surrounding

@@ -30,6 +30,7 @@ struct Server::AtomicStats {
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> instance_evictions{0};
   std::atomic<uint64_t> chain_builds{0};
 };
 
@@ -107,6 +108,7 @@ const san::RewardStructure* Server::ModelInstance::find_reward(
 Server::Server(const ServerOptions& options)
     : options_(options),
       pool_(options.solver_threads),
+      instances_(options.instance_capacity),
       cache_(options.cache_capacity),
       stats_(std::make_unique<AtomicStats>()) {
   register_model("rmgd", [](const core::GsuParameters& p) { return build_rmgd(p); });
@@ -139,6 +141,7 @@ ServerStats Server::stats() const {
   out.rejected = stats_->rejected.load(std::memory_order_relaxed);
   out.errors = stats_->errors.load(std::memory_order_relaxed);
   out.evictions = stats_->evictions.load(std::memory_order_relaxed);
+  out.instance_evictions = stats_->instance_evictions.load(std::memory_order_relaxed);
   out.chain_builds = stats_->chain_builds.load(std::memory_order_relaxed);
   return out;
 }
@@ -210,18 +213,23 @@ std::shared_ptr<const Server::ModelInstance> Server::instance_for(const Request&
     request.params.validate();  // throws InvalidArgument on bad Table-3 values
     key = registered_instance_key(request.model, request.params);
   }
-  {
-    std::lock_guard<std::mutex> lock(instances_mutex_);
-    auto it = instances_.find(key);
-    if (it != instances_.end()) return it->second;
-  }
+  if (std::shared_ptr<const ModelInstance> existing = instances_.get(key)) return existing;
   instance_flight_.do_once(key, [&] {
     std::shared_ptr<const ModelInstance> instance = build_instance(key, request);
-    std::lock_guard<std::mutex> lock(instances_mutex_);
-    instances_[key] = std::move(instance);  // publish before followers wake
+    // Publish before followers wake.
+    const size_t evicted = instances_.put(key, std::move(instance));
+    if (evicted > 0) stats_->instance_evictions.fetch_add(evicted, std::memory_order_relaxed);
   });
-  std::lock_guard<std::mutex> lock(instances_mutex_);
-  return instances_.at(key);
+  std::shared_ptr<const ModelInstance> instance = instances_.get(key);
+  if (instance == nullptr) {
+    // Evicted between publish and read (capacity smaller than the number of
+    // in-flight keys); rebuild rather than fail, and re-publish for the next
+    // request.
+    instance = build_instance(key, request);
+    const size_t evicted = instances_.put(key, instance);
+    if (evicted > 0) stats_->instance_evictions.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return instance;
 }
 
 CachedResult Server::solve_request(const ModelInstance& instance,
@@ -410,12 +418,21 @@ Response Server::handle(const Request& request) {
             if (evicted > 0) stats_->evictions.fetch_add(evicted, std::memory_order_relaxed);
           });
           cached = cache_.get(key);
-          if (cached == nullptr) {
+          const bool shared_via_cache = cached != nullptr;
+          if (!shared_via_cache) {
             // Evicted between publish and read (capacity smaller than the
-            // number of in-flight keys); solve again rather than fail.
-            cached = std::make_shared<const CachedResult>(solve_request(*instance, rewards, request));
+            // number of in-flight keys); solve again rather than fail, on
+            // the pool like any cold solve, and re-publish the result.
+            std::shared_ptr<const CachedResult> solved = solve_on_pool(instance, rewards, request);
+            const size_t evicted = cache_.put(key, solved);
+            if (evicted > 0) stats_->evictions.fetch_add(evicted, std::memory_order_relaxed);
+            cached = std::move(solved);
           }
-          if (role == SingleFlight<CacheKey>::Role::kLeader) {
+          if (role == SingleFlight<CacheKey>::Role::kLeader || !shared_via_cache) {
+            // Either this request ran the leader solve, or its coalesced
+            // result was evicted before it could read it and it solved
+            // anyway — in both cases the answer did NOT come from the cache
+            // or a shared in-flight solve, so it is a cold solve.
             outcome = "cold-solve";
             stats_->cold_solves.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -577,11 +594,8 @@ std::string Server::save_snapshot() const {
   san::snapshot::Writer payload;
 
   std::vector<std::shared_ptr<const ModelInstance>> admitted;
-  {
-    std::lock_guard<std::mutex> lock(instances_mutex_);
-    for (const auto& [key, instance] : instances_) {
-      if (instance->admitted) admitted.push_back(instance);
-    }
+  for (const auto& [key, instance] : instances_.entries()) {
+    if (instance->admitted) admitted.push_back(instance);
   }
   payload.u32(static_cast<uint32_t>(admitted.size()));
   for (const std::shared_ptr<const ModelInstance>& instance : admitted) {
@@ -714,11 +728,14 @@ SnapshotLoadResult Server::load_snapshot(std::string_view bytes) {
       throw san::snapshot::SnapshotError("trailing bytes after snapshot payload");
     }
 
-    // Everything parsed and verified — commit.
-    {
-      std::lock_guard<std::mutex> lock(instances_mutex_);
-      for (std::shared_ptr<const ModelInstance>& instance : loaded) {
-        instances_[instance->instance_key] = std::move(instance);
+    // Everything parsed and verified — commit. Instances were saved
+    // MRU-first (LruCache::entries order), so insert oldest first to
+    // restore the recency order.
+    for (auto it = loaded.rbegin(); it != loaded.rend(); ++it) {
+      const std::string instance_key = (*it)->instance_key;
+      const size_t evicted = instances_.put(instance_key, std::move(*it));
+      if (evicted > 0) {
+        stats_->instance_evictions.fetch_add(evicted, std::memory_order_relaxed);
       }
     }
     // Oldest first so LRU order ends up matching the saved recency order.

@@ -7,8 +7,9 @@
 ///
 ///   1. model resolution — registered id (the gop_lint registry models by
 ///      default) with Table-3 parameters, or an inline SAN description;
-///      built model instances are cached by instance key, with single-flight
-///      deduplication so concurrent first requests build once.
+///      built model instances are cached by instance key in a bounded LRU
+///      (instance_capacity), with single-flight deduplication so concurrent
+///      first requests build once.
 ///   2. admission control — the gop::lint battery (lint/admission.hh) runs
 ///      on every instance at build time and the solver preflights run per
 ///      request; error findings become a kRejected response carrying the
@@ -54,6 +55,11 @@ namespace gop::serve {
 struct ServerOptions {
   /// Solved-result cache capacity (entries). At least 1.
   size_t cache_capacity = 1024;
+  /// Model-instance cache capacity (entries). Instances are heavy — each
+  /// holds the built model AND its generated chain (state space) — so this
+  /// is a separate, much smaller LRU bound; an evicted instance is simply
+  /// rebuilt on the next request for it. At least 1.
+  size_t instance_capacity = 32;
   /// Workers of the cold-solve pool (0 = par::default_thread_count()).
   size_t solver_threads = 1;
   /// Reachability-probe budget for model admission (lint::ModelLintOptions).
@@ -74,6 +80,7 @@ struct ServerStats {
   uint64_t rejected = 0;      ///< admission-control rejections
   uint64_t errors = 0;        ///< malformed requests / solve failures
   uint64_t evictions = 0;     ///< LRU evictions from the solved cache
+  uint64_t instance_evictions = 0;  ///< LRU evictions from the instance cache
   uint64_t chain_builds = 0;  ///< model instances built (state spaces generated)
 };
 
@@ -186,8 +193,7 @@ class Server {
   mutable std::mutex registry_mutex_;
   std::map<std::string, ModelBuilder> registry_;
 
-  mutable std::mutex instances_mutex_;
-  std::map<std::string, std::shared_ptr<const ModelInstance>> instances_;
+  LruCache<std::string, ModelInstance> instances_;
   SingleFlight<std::string> instance_flight_;
 
   SolvedCache<CachedResult> cache_;

@@ -21,6 +21,7 @@
 #include "serve/json.hh"
 #include "serve/request.hh"
 #include "serve/server.hh"
+#include "util/error.hh"
 
 namespace gop::serve {
 namespace {
@@ -143,6 +144,29 @@ TEST(ServeAdmission, MalformedRequestsAreStructuredErrorsNotCrashes) {
 
   EXPECT_EQ(server.stats().errors, 4u);
   EXPECT_TRUE(server.handle(rmgd_request()).ok());
+}
+
+TEST(ServeAdmission, DeeplyNestedJsonIsAParseErrorNotAStackOverflow) {
+  // The daemon parses untrusted request lines with a recursive-descent
+  // parser; a nesting bomb must be a structured parse error, not unbounded
+  // recursion. 100k bytes of '[' would overflow the stack without the
+  // depth limit.
+  const std::string bomb(100'000, '[');
+  EXPECT_THROW(parse(bomb), InvalidArgument);
+
+  // Exactly at the limit parses; one level past it is rejected.
+  std::string at_limit;
+  for (size_t i = 0; i < kMaxParseDepth; ++i) at_limit += '[';
+  for (size_t i = 0; i < kMaxParseDepth; ++i) at_limit += ']';
+  EXPECT_NO_THROW(parse(at_limit));
+  EXPECT_THROW(parse("[" + at_limit + "]"), InvalidArgument);
+
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (size_t i = 0; i <= kMaxParseDepth / 2; ++i) mixed += R"({"k":[)";
+  mixed += "1";
+  for (size_t i = 0; i <= kMaxParseDepth / 2; ++i) mixed += "]}";
+  EXPECT_THROW(parse(mixed), InvalidArgument);
 }
 
 // --- fi campaign slice -------------------------------------------------------

@@ -200,6 +200,39 @@ TEST(ServeCache, EvictionAtCapacityForcesResolve) {
   EXPECT_TRUE(server.handle(request).cache_hit);
 }
 
+TEST(ServeCache, InstanceCacheIsBoundedAndRebuildsAfterEviction) {
+  // The model-instance cache is LRU-bounded too (REVIEW: a long-running
+  // daemon must not leak a state space per distinct parameter set). With
+  // capacity 1, a second model evicts the first; asking for the first again
+  // rebuilds its chain — but the solved-RESULT cache is content-addressed,
+  // so the rebuilt (bit-identical) chain still hits the old entry.
+  ServerOptions options;
+  options.instance_capacity = 1;
+  Server server(options);
+
+  Request gp;
+  gp.model = "rmgp";
+  gp.rewards = {"1-rho1"};
+  gp.transient_times = {7000.0};
+
+  ASSERT_TRUE(server.handle(rmgd_request()).ok());
+  EXPECT_EQ(server.stats().chain_builds, 1u);
+  EXPECT_EQ(server.stats().instance_evictions, 0u);
+
+  ASSERT_TRUE(server.handle(gp).ok());  // evicts the rmgd instance
+  EXPECT_EQ(server.stats().chain_builds, 2u);
+  EXPECT_EQ(server.stats().instance_evictions, 1u);
+
+  const Response again = server.handle(rmgd_request());  // instance rebuilt...
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_EQ(server.stats().chain_builds, 3u);
+  EXPECT_EQ(server.stats().instance_evictions, 2u);
+  // ...yet the result comes from the cache: same chain bits, same key.
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(server.stats().cold_solves, 2u);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+}
+
 // --- SolvedCache / SingleFlight units ----------------------------------------
 
 TEST(SolvedCache, LruOrderAndEviction) {

@@ -22,14 +22,16 @@
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage error.
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -49,6 +51,31 @@ std::atomic<bool> g_stop{false};
 
 void handle_signal(int /*signum*/) { g_stop.store(true); }
 
+/// SIGINT/SIGTERM stop the serve loops. Installed via sigaction WITHOUT
+/// SA_RESTART on purpose: blocking accept()/read()/fgetc() must return
+/// EINTR so the loops observe g_stop and the shutdown path (snapshot save
+/// included) actually runs — std::signal on glibc would restart them.
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Hard cap on one request line. Anything larger is a protocol abuse (real
+/// requests are a few KB), answered with a structured error instead of
+/// buffering unbounded attacker-controlled bytes.
+constexpr size_t kMaxLineBytes = 1u << 20;  // 1 MiB
+
+std::string oversized_line_reply() {
+  serve::Response response;
+  response.status = serve::Status::kError;
+  response.error = str_format("request line exceeds %zu bytes", kMaxLineBytes);
+  return serve::response_to_json(response).dump() + "\n";
+}
+
 /// One request line in, one response line out; protocol errors become kError
 /// responses, never a dropped connection.
 std::string serve_line(serve::Server& server, const std::string& line) {
@@ -66,31 +93,65 @@ std::string serve_line(serve::Server& server, const std::string& line) {
 
 int run_pipe_mode(serve::Server& server) {
   std::string line;
-  int c = 0;
-  while (!g_stop.load() && (c = std::fgetc(stdin)) != EOF) {
-    if (c != '\n') {
-      line.push_back(static_cast<char>(c));
-      continue;
+  bool overflow = false;
+  const auto reply_line = [&server, &line, &overflow] {
+    if (overflow) {
+      const std::string reply = oversized_line_reply();
+      std::fwrite(reply.data(), 1, reply.size(), stdout);
+    } else if (!line.empty()) {
+      const std::string reply = serve_line(server, line);
+      std::fwrite(reply.data(), 1, reply.size(), stdout);
     }
-    if (line.empty()) continue;
-    const std::string reply = serve_line(server, line);
-    std::fwrite(reply.data(), 1, reply.size(), stdout);
     std::fflush(stdout);
     line.clear();
+    overflow = false;
+  };
+  while (!g_stop.load()) {
+    const int c = std::fgetc(stdin);
+    if (c == EOF) {
+      // A signal interrupting the read shows up as a stream error with
+      // errno == EINTR (no SA_RESTART); anything else is a real EOF/error.
+      if (std::ferror(stdin) != 0 && errno == EINTR && !g_stop.load()) {
+        std::clearerr(stdin);
+        continue;
+      }
+      break;
+    }
+    if (c != '\n') {
+      if (line.size() < kMaxLineBytes) {
+        line.push_back(static_cast<char>(c));
+      } else {
+        overflow = true;  // keep draining to the newline, reply with an error
+      }
+      continue;
+    }
+    reply_line();
   }
-  if (!line.empty()) {
-    const std::string reply = serve_line(server, line);
-    std::fwrite(reply.data(), 1, reply.size(), stdout);
-    std::fflush(stdout);
-  }
+  if (overflow || !line.empty()) reply_line();
   return 0;
 }
 
-void serve_connection(serve::Server& server, int fd) {
+bool write_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// One connection's serve loop. Does NOT close fd — the accept loop owns
+/// the descriptor (so shutdown-on-stop never races a reused fd number) and
+/// closes it after joining this thread; `done` tells it the thread is
+/// finished and can be reaped.
+void serve_connection(serve::Server& server, int fd, std::atomic<bool>& done) {
   std::string buffer;
   char chunk[4096];
   while (!g_stop.load()) {
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline = 0;
@@ -98,19 +159,19 @@ void serve_connection(serve::Server& server, int fd) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (line.empty()) continue;
-      const std::string reply = serve_line(server, line);
-      size_t sent = 0;
-      while (sent < reply.size()) {
-        const ssize_t w = ::write(fd, reply.data() + sent, reply.size() - sent);
-        if (w <= 0) {
-          ::close(fd);
-          return;
-        }
-        sent += static_cast<size_t>(w);
+      if (!write_all(fd, serve_line(server, line))) {
+        done.store(true);
+        return;
       }
     }
+    if (buffer.size() > kMaxLineBytes) {
+      // An unterminated line past the cap: reply with a structured error and
+      // drop the connection (resynchronizing inside it would be guesswork).
+      write_all(fd, oversized_line_reply());
+      break;
+    }
   }
-  ::close(fd);
+  done.store(true);
 }
 
 int run_socket_mode(serve::Server& server, const std::string& path) {
@@ -139,18 +200,44 @@ int run_socket_mode(serve::Server& server, const std::string& path) {
   }
   std::fprintf(stderr, "gop_serve: listening on %s\n", path.c_str());
 
-  std::vector<std::thread> connections;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  // Joins (and closes) finished connections; with force, first shutdown()s
+  // the sockets so threads blocked in read() unblock and exit.
+  const auto reap = [&connections](bool force) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (force || it->done->load()) {
+        if (force) ::shutdown(it->fd, SHUT_RDWR);
+        it->thread.join();
+        ::close(it->fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!g_stop.load()) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (g_stop.load()) break;
+      reap(false);
       continue;  // EINTR and friends: keep accepting
     }
-    connections.emplace_back([&server, fd] { serve_connection(server, fd); });
+    Connection connection;
+    connection.fd = fd;
+    connection.done = std::make_shared<std::atomic<bool>>(false);
+    std::atomic<bool>& done = *connection.done;
+    connection.thread = std::thread([&server, fd, &done] { serve_connection(server, fd, done); });
+    connections.push_back(std::move(connection));
+    reap(false);  // bound the vector to (roughly) the live connections
   }
   ::close(listener);
   ::unlink(path.c_str());
-  for (std::thread& connection : connections) connection.join();
+  reap(true);
   return 0;
 }
 
@@ -224,6 +311,7 @@ int main(int argc, char** argv) {
       .add_string("request-log", "", "append one JSONL event per request to this file")
       .add_int("threads", 1, "cold-solve worker threads")
       .add_int("cache-capacity", 1024, "solved-result cache capacity (entries)")
+      .add_int("instance-capacity", 32, "model-instance cache capacity (entries)")
       .add_bool("load-gen", false, "run the in-process load generator and exit")
       .add_int("clients", 4, "load-gen client threads")
       .add_int("requests", 1000, "load-gen requests per client");
@@ -232,14 +320,17 @@ int main(int argc, char** argv) {
     if (!flags.parse(argc, argv)) return 0;
     const long long threads = flags.get_int("threads");
     const long long capacity = flags.get_int("cache-capacity");
-    if (threads < 0 || capacity < 1) {
-      std::fprintf(stderr, "--threads must be >= 0 and --cache-capacity >= 1\n");
+    const long long instance_capacity = flags.get_int("instance-capacity");
+    if (threads < 0 || capacity < 1 || instance_capacity < 1) {
+      std::fprintf(stderr,
+                   "--threads must be >= 0, --cache-capacity and --instance-capacity >= 1\n");
       return 2;
     }
 
     serve::ServerOptions options;
     options.solver_threads = static_cast<size_t>(threads);
     options.cache_capacity = static_cast<size_t>(capacity);
+    options.instance_capacity = static_cast<size_t>(instance_capacity);
     serve::Server server(options);
 
     std::FILE* log_file = nullptr;
@@ -267,8 +358,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::signal(SIGINT, handle_signal);
-    std::signal(SIGTERM, handle_signal);
+    install_signal_handlers();
 
     int status = 0;
     if (flags.get_bool("load-gen")) {
