@@ -22,6 +22,8 @@
 #include "bench_common.hh"
 #include "core/performability.hh"
 #include "core/sweep.hh"
+#include "core/templates.hh"
+#include "san/template.hh"
 
 namespace {
 
@@ -86,6 +88,43 @@ void BM_SweepBatched41(benchmark::State& state) {
   state.counters["expm_per_sweep"] = expm.per_iteration(state.iterations());
 }
 BENCHMARK(BM_SweepBatched41)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Template instantiation throughput: resolve + build + reward catalog for one
+// nproc instance (no state-space generation — that cost is the structural
+// sweep's). Tracks the overhead the template layer adds over calling the
+// builder directly.
+void BM_TemplateInstantiate(benchmark::State& state) {
+  const auto n = static_cast<int64_t>(state.range(0));
+  const san::tpl::Template& nproc = core::template_registry().find("nproc");
+  san::tpl::Assignment assignment;
+  assignment.set_int("n", n);
+  for (auto _ : state) {
+    san::tpl::Instance instance = nproc.instantiate(assignment);
+    benchmark::DoNotOptimize(instance.model.get());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_TemplateInstantiate)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// The whole structural pipeline: instantiate -> generate -> grid solve for
+// the nproc N in {1,2,3} cross at a 5-point grid (the golden scenario), at
+// 1/2/4 worker threads across cells.
+void BM_StructuralSweep(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  core::StructuralSweepSpec spec;
+  spec.family = "nproc";
+  spec.axes.push_back({"n", {san::tpl::ParamValue::of_int(1), san::tpl::ParamValue::of_int(2),
+                             san::tpl::ParamValue::of_int(3)}});
+  spec.phis = core::linspace(0.0, 20.0, 5);
+  spec.threads = threads;
+  for (auto _ : state) {
+    core::StructuralSweepResult result = core::structural_sweep(spec);
+    benchmark::DoNotOptimize(result.cells.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cells"] = 3.0;
+}
+BENCHMARK(BM_StructuralSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
 
+#include "core/templates.hh"
+#include "obs/registry.hh"
+#include "par/parallel_for.hh"
 #include "par/thread_pool.hh"
+#include "san/hash.hh"
+#include "san/session.hh"
+#include "san/state_space.hh"
 #include "util/error.hh"
 
 namespace gop::core {
@@ -111,6 +118,138 @@ OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
   }
 
   result.beneficial = result.y > 1.0;
+  return result;
+}
+
+namespace {
+
+/// One cross-product point: the axis value indices, first axis slowest.
+std::vector<std::vector<size_t>> cross_product(const std::vector<StructuralAxis>& axes) {
+  size_t cells = 1;
+  for (const StructuralAxis& axis : axes) {
+    GOP_REQUIRE(!axis.values.empty(),
+                "structural_sweep: axis '" + axis.param + "' has no values");
+    cells *= axis.values.size();
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(cells);
+  std::vector<size_t> odometer(axes.size(), 0);
+  for (size_t c = 0; c < cells; ++c) {
+    out.push_back(odometer);
+    for (size_t a = axes.size(); a-- > 0;) {
+      if (++odometer[a] < axes[a].values.size()) break;
+      odometer[a] = 0;
+    }
+  }
+  return out;
+}
+
+StructuralCell evaluate_cell(const san::tpl::Template& tpl, const StructuralSweepSpec& spec,
+                             const std::vector<size_t>& choice) {
+  // Cell assignment: base overridden by this cell's axis values.
+  san::tpl::Assignment overrides = spec.base;
+  std::string label;
+  for (size_t a = 0; a < spec.axes.size(); ++a) {
+    const san::tpl::ParamValue& value = spec.axes[a].values[choice[a]];
+    overrides.set(spec.axes[a].param, value);
+    if (!label.empty()) label += ',';
+    label += spec.axes[a].param + '=' + value.to_string();
+  }
+  if (label.empty()) label = "default";
+
+  san::tpl::Instance instance = tpl.instantiate(overrides);
+
+  StructuralCell cell;
+  cell.assignment = instance.resolved;
+  cell.label = std::move(label);
+  cell.params_hash = instance.params_hash;
+
+  const san::GeneratedChain chain = san::generate_state_space(*instance.model);
+  cell.chain_hash = san::chain_hash(chain);
+  cell.states = chain.state_count();
+
+  // Which rewards: the requested subset (validated), or the whole catalog.
+  std::vector<const san::RewardStructure*> rewards;
+  if (spec.rewards.empty()) {
+    for (const san::RewardStructure& r : instance.rewards) rewards.push_back(&r);
+  } else {
+    for (const std::string& name : spec.rewards) {
+      const san::RewardStructure* found = nullptr;
+      for (const san::RewardStructure& r : instance.rewards) {
+        if (r.name() == name) {
+          found = &r;
+          break;
+        }
+      }
+      GOP_REQUIRE(found != nullptr, "structural_sweep: family '" + spec.family +
+                                        "' has no reward named '" + name + "'");
+      rewards.push_back(found);
+    }
+  }
+
+  // One session solves the whole grid; certificates ride on the recovery
+  // ladder when the spec asks for one.
+  san::GridSolveOptions solve_options;
+  solve_options.transient = true;
+  solve_options.recovery = spec.recovery;
+  const san::ChainSession session(chain, spec.phis, solve_options);
+  const markov::SolverPlan& plan = session.transient_plan();
+  cell.engine = plan.engine;
+  cell.storage = markov::to_string(plan.storage);
+  for (const san::RewardStructure* reward : rewards) {
+    cell.rewards.push_back(reward->name());
+    cell.series.push_back(session.instant_reward_series(*reward));
+  }
+  if (const std::optional<markov::Certificate>& cert = session.transient_session().certificate()) {
+    cell.certificates.push_back({"transient_session", *cert});
+  }
+
+  // Paper families additionally get the full performability pipeline at the
+  // same grid (Y(phi) per point), built from the cell's Table-3 parameters.
+  if (is_performability_family(spec.family)) {
+    const PerformabilityAnalyzer analyzer(gsu_from_assignment(cell.assignment));
+    cell.performability = analyzer.evaluate_batch(spec.phis, 1);
+  }
+
+  if (obs::enabled()) {
+    obs::SolverEvent event;
+    event.kind = obs::SolverEventKind::kStructuralCell;
+    event.method = spec.family;
+    event.detail = cell.label;
+    event.states = cell.states;
+    event.t = spec.phis.empty() ? 0.0 : spec.phis.back();
+    event.grid_points = spec.phis.size();
+    obs::record_event(std::move(event));
+  }
+  static obs::Counter& cells_counter = obs::counter("core.structural_cells");
+  cells_counter.add(1);
+
+  return cell;
+}
+
+}  // namespace
+
+StructuralSweepResult structural_sweep(const StructuralSweepSpec& spec) {
+  GOP_REQUIRE(!spec.phis.empty(), "structural_sweep: empty evaluation grid");
+  GOP_REQUIRE(std::is_sorted(spec.phis.begin(), spec.phis.end()),
+              "structural_sweep: grid must be sorted non-decreasing");
+  const san::tpl::Template& tpl = template_registry().find(spec.family);
+  for (const StructuralAxis& axis : spec.axes) {
+    GOP_REQUIRE(tpl.find_param(axis.param) != nullptr,
+                "structural_sweep: template '" + spec.family + "' has no parameter '" +
+                    axis.param + "'");
+  }
+
+  const std::vector<std::vector<size_t>> cells = cross_product(spec.axes);
+  StructuralSweepResult result;
+  result.family = spec.family;
+  result.phis = spec.phis;
+
+  // Cells are independent; ordered_transform places each by index, so the
+  // result is bit-identical at every thread count.
+  const size_t threads = resolve_threads(spec.threads, cells.size());
+  result.cells = par::ordered_transform<StructuralCell>(
+      cells.size(), 1, [&](size_t i) { return evaluate_cell(tpl, spec, cells[i]); }, threads);
   return result;
 }
 

@@ -3,11 +3,19 @@
 /// \file sweep.hh
 /// phi-sweeps and optimal-duration search over the performability index —
 /// the engineering question the paper's §6 answers ("which phi maximizes
-/// Y?").
+/// Y?") — plus structural sweeps: the same grid evaluation crossed with
+/// template parameter assignments, so model *structure* (replica counts,
+/// stage counts, policy variants) is swept alongside phi
+/// (docs/templates.md).
 
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/performability.hh"
+#include "markov/recovery.hh"
+#include "san/template.hh"
 
 namespace gop::core {
 
@@ -52,5 +60,74 @@ struct OptimizeOptions {
 /// regimes, unimodal over the bracket the scan selects.
 OptimalPhi find_optimal_phi(const PerformabilityAnalyzer& analyzer,
                             const OptimizeOptions& options = {});
+
+// --- structural sweeps ------------------------------------------------------
+
+/// One sweep axis: a template parameter and the values it takes. Axes are
+/// crossed (cartesian product) in order, the first axis varying slowest.
+struct StructuralAxis {
+  std::string param;
+  std::vector<san::tpl::ParamValue> values;
+};
+
+struct StructuralSweepSpec {
+  /// Template family name, resolved against core::template_registry().
+  std::string family;
+  /// Fixed parameter overrides applied to every cell (axis values win).
+  san::tpl::Assignment base;
+  /// The structural axes; empty sweeps a single cell at `base`.
+  std::vector<StructuralAxis> axes;
+  /// The evaluation grid (sorted non-decreasing). Every cell's chain is
+  /// solved once over the whole grid through san::ChainSession; for paper
+  /// families the same grid doubles as the phi grid of the
+  /// PerformabilityAnalyzer (so it must stay within [0, theta]).
+  std::vector<double> phis;
+  /// Reward names to evaluate (subset of the family's catalog); empty means
+  /// the whole catalog.
+  std::vector<std::string> rewards;
+  /// Worker threads across cells (0 = par::default_thread_count()). Results
+  /// are placed by cell index, so output is bit-identical at any count.
+  size_t threads = 1;
+  /// Recovery ladder for every cell's session; certificates come from here.
+  std::optional<markov::RecoveryPolicy> recovery = markov::RecoveryPolicy{};
+};
+
+/// A provenance certificate labelled with the solver family it covers (the
+/// core-layer twin of serve::NamedCertificate).
+struct StructuralCertificate {
+  std::string solver;
+  markov::Certificate certificate;
+};
+
+/// One evaluated instance of the cross-product.
+struct StructuralCell {
+  san::tpl::Assignment assignment;  ///< fully resolved (defaults included)
+  std::string label;                ///< axis values only, "n=2,servers=1"
+  uint64_t params_hash = 0;         ///< san::tpl::param_hash(assignment)
+  uint64_t chain_hash = 0;          ///< san::chain_hash of the generated chain
+  size_t states = 0;
+  std::string engine;   ///< transient SolverPlan engine label
+  std::string storage;  ///< "dense" / "sparse"
+  std::vector<std::string> rewards;          ///< evaluated reward names
+  std::vector<std::vector<double>> series;   ///< [reward][grid point], instant
+  std::vector<StructuralCertificate> certificates;
+  /// Full Y(phi) results per grid point — paper families only, empty
+  /// otherwise.
+  std::vector<PerformabilityResult> performability;
+};
+
+struct StructuralSweepResult {
+  std::string family;
+  std::vector<double> phis;
+  std::vector<StructuralCell> cells;  ///< cross-product order
+};
+
+/// Instantiates and evaluates every cell of the cross-product on the gop::par
+/// pool: instantiate -> generate -> one ChainSession over the grid (instant
+/// reward series + certificates), plus the analyzer's Y(phi) for paper
+/// families. Emits one obs kStructuralCell event per cell. Deterministic:
+/// cells land in cross-product order and every value is bit-identical at any
+/// thread count.
+StructuralSweepResult structural_sweep(const StructuralSweepSpec& spec);
 
 }  // namespace gop::core

@@ -1,0 +1,128 @@
+#include "core/templates.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/rm_gd.hh"
+#include "core/rm_gp.hh"
+#include "core/rm_nd.hh"
+#include "util/error.hh"
+
+namespace gop::core {
+
+namespace {
+
+using san::tpl::Assignment;
+using san::tpl::Instance;
+using san::tpl::ParamSpec;
+using san::tpl::Template;
+
+/// The eight Table-3 parameters every paper family shares. Ranges mirror
+/// GsuParameters::validate() (positivity via a tiny positive floor; coverage
+/// in [0,1]); defaults are exactly table3().
+std::vector<ParamSpec> gsu_param_specs() {
+  const GsuParameters t3 = GsuParameters::table3();
+  return {
+      ParamSpec::real("theta", t3.theta, 1e-9, 1e12, "mission period (h)"),
+      ParamSpec::real("lambda", t3.lambda, 1e-9, 1e12, "message-sending rate (1/h)"),
+      ParamSpec::real("mu_new", t3.mu_new, 1e-30, 1e12,
+                      "fault-manifestation rate of the upgraded version (1/h)"),
+      ParamSpec::real("mu_old", t3.mu_old, 1e-30, 1e12,
+                      "fault-manifestation rate of the old version (1/h)"),
+      ParamSpec::real("coverage", t3.coverage, 0.0, 1.0, "acceptance-test coverage"),
+      ParamSpec::real("p_ext", t3.p_ext, 1e-12, 1.0, "probability a message is external"),
+      ParamSpec::real("alpha", t3.alpha, 1e-9, 1e12, "acceptance-test completion rate (1/h)"),
+      ParamSpec::real("beta", t3.beta, 1e-9, 1e12, "checkpoint completion rate (1/h)"),
+  };
+}
+
+}  // namespace
+
+GsuParameters gsu_from_assignment(const san::tpl::Assignment& resolved) {
+  GsuParameters params;
+  params.theta = resolved.real_at("theta");
+  params.lambda = resolved.real_at("lambda");
+  params.mu_new = resolved.real_at("mu_new");
+  params.mu_old = resolved.real_at("mu_old");
+  params.coverage = resolved.real_at("coverage");
+  params.p_ext = resolved.real_at("p_ext");
+  params.alpha = resolved.real_at("alpha");
+  params.beta = resolved.real_at("beta");
+  params.validate();
+  return params;
+}
+
+namespace {
+
+Instance build_rmgd_instance(const Assignment& a) {
+  RmGdOptions options;
+  options.instantaneous_at = a.enum_at("at_policy") == "instantaneous";
+  RmGd gd = build_rm_gd(gsu_from_assignment(a), options);
+  Instance out;
+  out.rewards = {gd.reward_p_a1(), gd.reward_ih(), gd.reward_ihf(), gd.reward_itauh(),
+                 gd.reward_detected()};
+  out.model = std::make_unique<san::SanModel>(std::move(gd.model));
+  return out;
+}
+
+Instance build_rmgp_instance(const Assignment& a) {
+  RmGpOptions options;
+  options.duration_stages = static_cast<int32_t>(a.int_at("duration_stages"));
+  RmGp gp = build_rm_gp(gsu_from_assignment(a), options);
+  Instance out;
+  out.rewards = {gp.reward_overhead_p1n(), gp.reward_overhead_p2()};
+  out.model = std::make_unique<san::SanModel>(std::move(gp.model));
+  return out;
+}
+
+Instance build_rmnd_instance(const Assignment& a, bool use_mu_new) {
+  const GsuParameters params = gsu_from_assignment(a);
+  RmNd nd = build_rm_nd(params, use_mu_new ? params.mu_new : params.mu_old);
+  Instance out;
+  out.rewards = {nd.reward_no_failure()};
+  out.model = std::make_unique<san::SanModel>(std::move(nd.model));
+  return out;
+}
+
+}  // namespace
+
+void register_paper_templates(san::tpl::Registry& registry) {
+  {
+    std::vector<ParamSpec> params = gsu_param_specs();
+    params.push_back(ParamSpec::enumeration(
+        "at_policy", "instantaneous", {"instantaneous", "timed"},
+        "acceptance tests as instantaneous activities (the paper) or timed at rate alpha"));
+    registry.add(Template("rmgd", "G-OP dependability model (paper Figure 6)",
+                          std::move(params), build_rmgd_instance));
+  }
+  {
+    std::vector<ParamSpec> params = gsu_param_specs();
+    params.push_back(ParamSpec::integer(
+        "duration_stages", 1, 1, 8,
+        "Erlang stages for AT/checkpoint durations (1 = the paper's exponential rule)"));
+    registry.add(Template("rmgp", "G-OP performance-overhead model (paper Figure 7)",
+                          std::move(params), build_rmgp_instance));
+  }
+  registry.add(Template("rmnd-new", "normal-mode model with mu_1 = mu_new (paper Figure 8)",
+                        gsu_param_specs(),
+                        [](const Assignment& a) { return build_rmnd_instance(a, true); }));
+  registry.add(Template("rmnd-old", "normal-mode model with mu_1 = mu_old (paper Figure 8)",
+                        gsu_param_specs(),
+                        [](const Assignment& a) { return build_rmnd_instance(a, false); }));
+}
+
+const san::tpl::Registry& template_registry() {
+  static const san::tpl::Registry* registry = [] {
+    auto* r = new san::tpl::Registry(san::tpl::builtin_families());
+    register_paper_templates(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool is_performability_family(const std::string& family) {
+  return family == "rmgd" || family == "rmgp" || family == "rmnd-new" || family == "rmnd-old";
+}
+
+}  // namespace gop::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file templates.hh
+/// The paper models as template families (docs/templates.md). The generic
+/// template machinery is san/template.hh + san/registry.hh; this layer adds
+/// the four families whose builders depend on gop_core:
+///
+///  - "rmgd"     — the G-OP dependability model (core/rm_gd.hh) with the
+///    eight Table-3 parameters plus the `at_policy` enum selecting the
+///    paper's instantaneous acceptance tests or the timed-AT ablation
+///    variant (RmGdOptions::instantaneous_at);
+///  - "rmgp"     — the performance-overhead model (core/rm_gp.hh) with the
+///    `duration_stages` checkpoint/AT-rule variant (Erlang-k durations,
+///    RmGpOptions::duration_stages);
+///  - "rmnd-new" — the normal-mode model with mu_1 = mu_new;
+///  - "rmnd-old" — the normal-mode model with mu_1 = mu_old.
+///
+/// At the parameter defaults each family builds via the same code path as
+/// the hand-built seed models, so templated instances are chain_hash-
+/// identical to them — the differential equivalence battery
+/// (tests/san_template_test.cc) pins this.
+
+#include <string>
+
+#include "core/params.hh"
+#include "san/registry.hh"
+
+namespace gop::core {
+
+/// Registers the four paper families into `registry`.
+void register_paper_templates(san::tpl::Registry& registry);
+
+/// The process-wide template catalog: the san built-in families
+/// (nproc, upgrade-campaign, random) plus the paper families. Built once,
+/// immutable afterwards — reads are thread-safe.
+const san::tpl::Registry& template_registry();
+
+/// True when `family` is one of the paper families, i.e. its resolved
+/// assignment maps onto GsuParameters and PerformabilityAnalyzer applies.
+bool is_performability_family(const std::string& family);
+
+/// Maps a resolved paper-family assignment back to Table-3 parameters (the
+/// eight shared real parameters by name; variant parameters are ignored).
+GsuParameters gsu_from_assignment(const san::tpl::Assignment& resolved);
+
+}  // namespace gop::core

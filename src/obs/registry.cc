@@ -170,6 +170,7 @@ const char* to_string(SolverEventKind kind) {
     case SolverEventKind::kRecovery: return "recovery";
     case SolverEventKind::kKrylovPass: return "krylov_pass";
     case SolverEventKind::kServeRequest: return "serve_request";
+    case SolverEventKind::kStructuralCell: return "structural_cell";
   }
   throw InternalError("unknown SolverEventKind");
 }

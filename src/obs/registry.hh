@@ -94,6 +94,10 @@ enum class SolverEventKind {
   /// ("cache-hit" / "cold-solve" / "coalesced" / "rejected" / "error"),
   /// wall_ms = end-to-end latency, detail = certificate summary.
   kServeRequest,
+  /// One per instantiated cell of a core::structural_sweep: method = the
+  /// template family, detail = the cell's assignment label, states / t /
+  /// grid_points = the cell's chain size and phi grid.
+  kStructuralCell,
 };
 
 const char* to_string(SolverEventKind kind);

@@ -1,76 +1,34 @@
 #include "san/random_model.hh"
 
+#include <limits>
 #include <utility>
-#include <vector>
 
-#include "san/expr.hh"
-#include "sim/rng.hh"
+#include "san/registry.hh"
 #include "util/error.hh"
-#include "util/strings.hh"
 
 namespace gop::san {
 
 SanModel random_san(uint64_t seed, const RandomModelOptions& options) {
-  GOP_REQUIRE(options.min_places >= 1 && options.min_places <= options.max_places,
-              "random_san: place bounds must satisfy 1 <= min <= max");
-  GOP_REQUIRE(options.min_activities >= 1 && options.min_activities <= options.max_activities,
-              "random_san: activity bounds must satisfy 1 <= min <= max");
-  GOP_REQUIRE(options.max_cases >= 1, "random_san: max_cases must be >= 1");
-  GOP_REQUIRE(options.place_capacity >= 1, "random_san: place_capacity must be >= 1");
-  GOP_REQUIRE(options.min_rate > 0.0 && options.min_rate <= options.max_rate,
-              "random_san: rates must satisfy 0 < min <= max");
+  // The generator lives in the template registry (the "random" family,
+  // san/registry.cc); this wrapper routes through it so there is exactly one
+  // implementation path and the chain stays bit-identical per (seed, options).
+  static const tpl::Registry registry = tpl::builtin_families();
+  GOP_REQUIRE(seed <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max()),
+              "random_san: seed exceeds the template parameter range");
 
-  sim::Rng rng(seed);
-  SanModel model(str_format("random-san-%llu", static_cast<unsigned long long>(seed)));
+  tpl::Assignment assignment;
+  assignment.set_int("seed", static_cast<int64_t>(seed));
+  assignment.set_int("min_places", static_cast<int64_t>(options.min_places));
+  assignment.set_int("max_places", static_cast<int64_t>(options.max_places));
+  assignment.set_int("min_activities", static_cast<int64_t>(options.min_activities));
+  assignment.set_int("max_activities", static_cast<int64_t>(options.max_activities));
+  assignment.set_int("max_cases", static_cast<int64_t>(options.max_cases));
+  assignment.set_int("place_capacity", options.place_capacity);
+  assignment.set_real("min_rate", options.min_rate);
+  assignment.set_real("max_rate", options.max_rate);
 
-  const size_t places =
-      options.min_places + rng.uniform_index(options.max_places - options.min_places + 1);
-  std::vector<PlaceRef> refs;
-  refs.reserve(places);
-  for (size_t p = 0; p < places; ++p) {
-    // Initial marking = declared capacity: every place starts full, and the
-    // declaration lets lint::prove_model bound the reachable set statically.
-    refs.push_back(
-        model.add_place(str_format("p%zu", p), options.place_capacity, options.place_capacity));
-  }
-
-  const size_t activities =
-      options.min_activities +
-      rng.uniform_index(options.max_activities - options.min_activities + 1);
-  const int32_t capacity = options.place_capacity;
-  for (size_t a = 0; a < activities; ++a) {
-    const size_t source = rng.uniform_index(places);
-    const double rate = rng.uniform(options.min_rate, options.max_rate);
-    const size_t case_count = 1 + rng.uniform_index(options.max_cases);
-
-    // Small integer weights keep every probability strictly positive and the
-    // sum within one rounding unit of 1 after the w / total division.
-    std::vector<uint64_t> weights(case_count);
-    uint64_t total = 0;
-    for (uint64_t& w : weights) {
-      w = 1 + rng.uniform_index(4);
-      total += w;
-    }
-
-    TimedActivity activity;
-    activity.name = str_format("a%zu", a);
-    activity.enabled = mark_ge(refs[source], 1);
-    activity.rate = constant_rate(rate);
-    for (size_t c = 0; c < case_count; ++c) {
-      const size_t target = rng.uniform_index(places);
-      const double p = static_cast<double>(weights[c]) / static_cast<double>(total);
-      // Move one token source -> target; at capacity the excess token is
-      // dropped. `when` tests the marking *after* the source decrement, which
-      // keeps the self-loop (target == source) semantics of the original
-      // hand-written lambda.
-      activity.cases.push_back(Case{
-          constant_prob(p),
-          sequence({add_mark(refs[source], -1),
-                    when(negate(mark_ge(refs[target], capacity)), add_mark(refs[target], 1))})});
-    }
-    model.add_timed_activity(std::move(activity));
-  }
-  return model;
+  tpl::Instance instance = registry.find("random").instantiate(assignment);
+  return std::move(*instance.model);
 }
 
 }  // namespace gop::san

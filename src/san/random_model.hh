@@ -41,6 +41,12 @@ struct RandomModelOptions {
 /// lint::prove_model can verify it with zero probe budget — the agreement
 /// tier (tests/lint_prove_agreement_test.cc) leans on this.
 /// Deterministic: the same (seed, options) always yields the same model.
+///
+/// The generator itself is the template registry's "random" family
+/// (san/registry.hh); this function is a thin compatibility wrapper over it,
+/// so registry instances and direct calls produce bit-identical chains. The
+/// option bounds are therefore the family's parameter ranges (places and
+/// capacities up to 64, activities up to 256).
 SanModel random_san(uint64_t seed, const RandomModelOptions& options = {});
 
 }  // namespace gop::san

@@ -1,0 +1,321 @@
+#include "san/registry.hh"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "san/compose.hh"
+#include "san/expr.hh"
+#include "san/random_model.hh"
+#include "sim/rng.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::san::tpl {
+
+Registry& Registry::add(Template tpl) {
+  const std::string name = tpl.name();
+  const auto [it, inserted] = templates_.emplace(name, std::move(tpl));
+  (void)it;
+  GOP_REQUIRE(inserted, "Registry: duplicate template '" + name + "'");
+  return *this;
+}
+
+bool Registry::contains(const std::string& name) const {
+  return templates_.find(name) != templates_.end();
+}
+
+const Template& Registry::find(const std::string& name) const {
+  auto it = templates_.find(name);
+  GOP_REQUIRE(it != templates_.end(),
+              "Registry: no template named '" + name + "' (known: " + gop::join(names(), ", ") +
+                  ")");
+  return it->second;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [name, tpl] : templates_) {
+    (void)tpl;
+    out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+// --- nproc ------------------------------------------------------------------
+
+/// One processor: up -> (fail) -> down -> (acquire a shared repair server,
+/// instantaneous) -> fixing -> (repair, releases the server) -> up. The
+/// up/down/fixing places are one-hot and written with set_mark only; the
+/// shared pool is decremented under a mark_ge guard and re-incremented under
+/// a `when` clamp that encodes the pool+fixing <= servers invariant — both
+/// idioms the interval prover can discharge without probing, so every nproc
+/// instance is fully provable with capacities declared here in the template
+/// layer.
+Instance build_nproc(const Assignment& a) {
+  const auto n = static_cast<size_t>(a.int_at("n"));
+  const auto servers = static_cast<int32_t>(a.int_at("servers"));
+  const double fail_rate = a.real_at("fail_rate");
+  const double repair_rate = a.real_at("repair_rate");
+
+  SanModel proto("proc");
+  const PlaceRef up = proto.add_place("up", 1, 1);
+  const PlaceRef down = proto.add_place("down", 0, 1);
+  const PlaceRef fixing = proto.add_place("fixing", 0, 1);
+  const PlaceRef pool = proto.add_place("pool", servers, servers);
+
+  proto.add_timed_activity("fail", mark_eq(up, 1), constant_rate(fail_rate),
+                           sequence({set_mark(up, 0), set_mark(down, 1)}));
+  proto.add_instantaneous_activity("acquire", all_of({mark_eq(down, 1), mark_ge(pool, 1)}),
+                                   sequence({set_mark(down, 0), set_mark(fixing, 1),
+                                             add_mark(pool, -1)}));
+  proto.add_timed_activity(
+      "repair", mark_eq(fixing, 1), constant_rate(repair_rate),
+      sequence({set_mark(fixing, 0), set_mark(up, 1),
+                when(negate(mark_ge(pool, servers)), add_mark(pool, 1))}));
+
+  ReplicatedModel replicated = replicate(proto, n, {"pool"}, "nproc");
+
+  Instance out;
+  RewardStructure all_up("all_up");
+  RewardStructure up_fraction("up_fraction");
+  RewardStructure degraded("degraded");
+  std::vector<Predicate> every_up;
+  for (size_t r = 0; r < n; ++r) {
+    const PlaceRef rep_up = replicated.replica_place(r, up);
+    every_up.push_back(mark_eq(rep_up, 1));
+    up_fraction.add(always(), rate_per_token(rep_up, 1.0 / static_cast<double>(n)));
+    degraded.add(always(), rate_per_token(replicated.replica_place(r, down), 1.0));
+    degraded.add(always(), rate_per_token(replicated.replica_place(r, fixing), 1.0));
+  }
+  all_up.add(all_of(std::move(every_up)), 1.0);
+
+  out.model = std::make_unique<SanModel>(std::move(replicated.model));
+  out.rewards.push_back(std::move(all_up));
+  out.rewards.push_back(std::move(up_fraction));
+  out.rewards.push_back(std::move(degraded));
+  return out;
+}
+
+Template nproc_template() {
+  return Template(
+      "nproc",
+      "N replicated processors sharing a repair facility of `servers` repair tokens",
+      {ParamSpec::integer("n", 2, 1, 8, "number of processor replicas"),
+       ParamSpec::integer("servers", 1, 1, 8, "repair servers in the shared pool"),
+       ParamSpec::real("fail_rate", 0.1, 1e-9, 1e3, "per-processor failure rate"),
+       ParamSpec::real("repair_rate", 1.0, 1e-9, 1e3, "per-server repair rate")},
+      build_nproc);
+}
+
+// --- upgrade-campaign -------------------------------------------------------
+
+/// One upgrade stage: ready -> upgrade -> done (prob success_prob) or failed.
+/// Stages are chained by fusing done{i-1} with ready{i} (san::join), so a
+/// completion token of stage i-1 is exactly the readiness token of stage i.
+SanModel campaign_stage(size_t index, double upgrade_rate, double success_prob,
+                        double retry_rate, bool retry) {
+  SanModel stage("campaign");
+  const PlaceRef ready = stage.add_place(str_format("ready%zu", index), index == 0 ? 1 : 0, 1);
+  const PlaceRef done = stage.add_place(str_format("done%zu", index), 0, 1);
+  const PlaceRef failed = stage.add_place(str_format("failed%zu", index), 0, 1);
+
+  TimedActivity upgrade;
+  upgrade.name = str_format("upgrade%zu", index);
+  upgrade.enabled = mark_eq(ready, 1);
+  upgrade.rate = constant_rate(upgrade_rate);
+  upgrade.cases.push_back(
+      Case{constant_prob(success_prob), sequence({set_mark(ready, 0), set_mark(done, 1)})});
+  upgrade.cases.push_back(Case{complement_prob(constant_prob(success_prob)),
+                               sequence({set_mark(ready, 0), set_mark(failed, 1)})});
+  stage.add_timed_activity(std::move(upgrade));
+
+  if (retry) {
+    stage.add_timed_activity(str_format("retry%zu", index), mark_eq(failed, 1),
+                             constant_rate(retry_rate),
+                             sequence({set_mark(failed, 0), set_mark(ready, 1)}));
+  }
+  return stage;
+}
+
+Instance build_campaign(const Assignment& a) {
+  const auto stages = static_cast<size_t>(a.int_at("stages"));
+  const double upgrade_rate = a.real_at("upgrade_rate");
+  const double success_prob = a.real_at("success_prob");
+  const double retry_rate = a.real_at("retry_rate");
+  const bool retry = a.enum_at("on_failure") == "retry";
+
+  SanModel composed = campaign_stage(0, upgrade_rate, success_prob, retry_rate, retry);
+  for (size_t i = 1; i < stages; ++i) {
+    JoinSpec spec;
+    spec.name = "campaign";
+    spec.shared = {{str_format("done%zu", i - 1), str_format("ready%zu", i)}};
+    spec.left_prefix = "";
+    spec.right_prefix = "";
+    JoinedModel joined =
+        join(composed, campaign_stage(i, upgrade_rate, success_prob, retry_rate, retry), spec);
+    composed = std::move(joined.model);
+  }
+
+  Instance out;
+  // The final stage's done place survives every fusion; intermediate done
+  // tokens are consumed as the next stage starts.
+  const PlaceRef completed_place = composed.place(str_format("done%zu", stages - 1));
+  std::vector<Predicate> any_failed;
+  for (size_t i = 0; i < stages; ++i) {
+    any_failed.push_back(mark_eq(composed.place(str_format("failed%zu", i)), 1));
+  }
+
+  RewardStructure completed("completed");
+  completed.add(mark_eq(completed_place, 1), 1.0);
+  RewardStructure failed("failed");
+  failed.add(any_of(std::move(any_failed)), 1.0);
+
+  out.model = std::make_unique<SanModel>(std::move(composed));
+  out.rewards.push_back(std::move(completed));
+  out.rewards.push_back(std::move(failed));
+  return out;
+}
+
+Template campaign_template() {
+  return Template(
+      "upgrade-campaign",
+      "K-stage sequential upgrade campaign chained with join over completion places",
+      {ParamSpec::integer("stages", 3, 1, 8, "number of upgrade stages"),
+       ParamSpec::real("upgrade_rate", 1.0, 1e-9, 1e3, "per-stage upgrade completion rate"),
+       ParamSpec::real("success_prob", 0.9, 0.0, 1.0, "per-stage success probability"),
+       ParamSpec::real("retry_rate", 1.0, 1e-9, 1e3, "failed-stage retry rate (retry policy)"),
+       ParamSpec::enumeration("on_failure", "absorb", {"absorb", "retry"},
+                              "absorbing failure places, or timed retry back to ready")},
+      build_campaign);
+}
+
+// --- random -----------------------------------------------------------------
+
+/// The seeded random-SAN generator. This is the canonical implementation;
+/// san::random_san (random_model.cc) is a thin wrapper that routes through
+/// this family, so the two paths cannot drift — the chain is bit-identical
+/// per (seed, options) either way (pinned by SanTemplateTest.RandomFamily*).
+SanModel generate_random_san(uint64_t seed, const RandomModelOptions& options) {
+  GOP_REQUIRE(options.min_places >= 1 && options.min_places <= options.max_places,
+              "random_san: place bounds must satisfy 1 <= min <= max");
+  GOP_REQUIRE(options.min_activities >= 1 && options.min_activities <= options.max_activities,
+              "random_san: activity bounds must satisfy 1 <= min <= max");
+  GOP_REQUIRE(options.max_cases >= 1, "random_san: max_cases must be >= 1");
+  GOP_REQUIRE(options.place_capacity >= 1, "random_san: place_capacity must be >= 1");
+  GOP_REQUIRE(options.min_rate > 0.0 && options.min_rate <= options.max_rate,
+              "random_san: rates must satisfy 0 < min <= max");
+
+  sim::Rng rng(seed);
+  SanModel model(str_format("random-san-%llu", static_cast<unsigned long long>(seed)));
+
+  const size_t places =
+      options.min_places + rng.uniform_index(options.max_places - options.min_places + 1);
+  std::vector<PlaceRef> refs;
+  refs.reserve(places);
+  for (size_t p = 0; p < places; ++p) {
+    // Initial marking = declared capacity: every place starts full, and the
+    // declaration lets lint::prove_model bound the reachable set statically.
+    refs.push_back(
+        model.add_place(str_format("p%zu", p), options.place_capacity, options.place_capacity));
+  }
+
+  const size_t activities =
+      options.min_activities +
+      rng.uniform_index(options.max_activities - options.min_activities + 1);
+  const int32_t capacity = options.place_capacity;
+  for (size_t a = 0; a < activities; ++a) {
+    const size_t source = rng.uniform_index(places);
+    const double rate = rng.uniform(options.min_rate, options.max_rate);
+    const size_t case_count = 1 + rng.uniform_index(options.max_cases);
+
+    // Small integer weights keep every probability strictly positive and the
+    // sum within one rounding unit of 1 after the w / total division.
+    std::vector<uint64_t> weights(case_count);
+    uint64_t total = 0;
+    for (uint64_t& w : weights) {
+      w = 1 + rng.uniform_index(4);
+      total += w;
+    }
+
+    TimedActivity activity;
+    activity.name = str_format("a%zu", a);
+    activity.enabled = mark_ge(refs[source], 1);
+    activity.rate = constant_rate(rate);
+    for (size_t c = 0; c < case_count; ++c) {
+      const size_t target = rng.uniform_index(places);
+      const double p = static_cast<double>(weights[c]) / static_cast<double>(total);
+      // Move one token source -> target; at capacity the excess token is
+      // dropped. `when` tests the marking *after* the source decrement, which
+      // keeps the self-loop (target == source) semantics of the original
+      // hand-written lambda.
+      activity.cases.push_back(Case{
+          constant_prob(p),
+          sequence({add_mark(refs[source], -1),
+                    when(negate(mark_ge(refs[target], capacity)), add_mark(refs[target], 1))})});
+    }
+    model.add_timed_activity(std::move(activity));
+  }
+  return model;
+}
+
+Instance build_random(const Assignment& a) {
+  RandomModelOptions options;
+  options.min_places = static_cast<size_t>(a.int_at("min_places"));
+  options.max_places = static_cast<size_t>(a.int_at("max_places"));
+  options.min_activities = static_cast<size_t>(a.int_at("min_activities"));
+  options.max_activities = static_cast<size_t>(a.int_at("max_activities"));
+  options.max_cases = static_cast<size_t>(a.int_at("max_cases"));
+  options.place_capacity = static_cast<int32_t>(a.int_at("place_capacity"));
+  options.min_rate = a.real_at("min_rate");
+  options.max_rate = a.real_at("max_rate");
+
+  Instance out;
+  out.model = std::make_unique<SanModel>(
+      generate_random_san(static_cast<uint64_t>(a.int_at("seed")), options));
+
+  // Catalog rewards over whatever shape the seed produced: total token count
+  // and the all-places-full predicate (the initial marking).
+  RewardStructure tokens("tokens");
+  RewardStructure saturated("saturated");
+  std::vector<Predicate> full;
+  for (size_t p = 0; p < out.model->place_count(); ++p) {
+    tokens.add(always(), rate_per_token(PlaceRef{p}, 1.0));
+    full.push_back(mark_eq(PlaceRef{p}, options.place_capacity));
+  }
+  saturated.add(all_of(std::move(full)), 1.0);
+  out.rewards.push_back(std::move(tokens));
+  out.rewards.push_back(std::move(saturated));
+  return out;
+}
+
+Template random_template() {
+  return Template(
+      "random",
+      "seeded random SAN (bounded, combinator-built, provable by construction)",
+      {ParamSpec::integer("seed", 1, 0, std::numeric_limits<int64_t>::max(), "generator seed"),
+       ParamSpec::integer("min_places", 2, 1, 64, "minimum place count"),
+       ParamSpec::integer("max_places", 4, 1, 64, "maximum place count"),
+       ParamSpec::integer("min_activities", 2, 1, 256, "minimum activity count"),
+       ParamSpec::integer("max_activities", 5, 1, 256, "maximum activity count"),
+       ParamSpec::integer("max_cases", 3, 1, 16, "cases per activity drawn from [1, max_cases]"),
+       ParamSpec::integer("place_capacity", 2, 1, 64, "token cap per place"),
+       ParamSpec::real("min_rate", 0.2, 1e-12, 1e9, "minimum activity rate"),
+       ParamSpec::real("max_rate", 4.0, 1e-12, 1e9, "maximum activity rate")},
+      build_random);
+}
+
+}  // namespace
+
+Registry builtin_families() {
+  Registry registry;
+  registry.add(nproc_template());
+  registry.add(campaign_template());
+  registry.add(random_template());
+  return registry;
+}
+
+}  // namespace gop::san::tpl

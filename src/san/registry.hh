@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file registry.hh
+/// The template registry: a name -> tpl::Template catalog plus the built-in
+/// san-level families (docs/templates.md):
+///
+///  - "nproc"            — N-processor testbed: N replicated processors
+///    (san::replicate) competing for a shared repair facility of `servers`
+///    repair tokens. Fully provable by lint::prove_model with probe budget 0.
+///  - "upgrade-campaign" — K upgrade stages chained with san::join (stage i's
+///    completion place fused with stage i+1's ready place); each stage
+///    succeeds with `success_prob` or fails, and `on_failure` selects an
+///    absorbing failure or a timed retry.
+///  - "random"           — the seeded random-SAN generator, re-homed from the
+///    old free-standing path: same (seed, options) -> bit-identical chain
+///    (san::random_san is now a thin wrapper over this family).
+///
+/// The four paper models are registered on top of these by
+/// core::template_registry() (core/templates.hh) — they live there because
+/// their builders depend on gop_core.
+
+#include <string>
+#include <vector>
+
+#include "san/template.hh"
+
+namespace gop::san::tpl {
+
+/// An immutable-after-construction catalog of templates by name. Reads are
+/// const and therefore thread-safe once the registry is built.
+class Registry {
+ public:
+  /// Registers a template; throws gop::InvalidArgument on a duplicate name.
+  Registry& add(Template tpl);
+
+  bool contains(const std::string& name) const;
+
+  /// Looks a template up by name; throws gop::InvalidArgument (listing the
+  /// known families) when absent.
+  const Template& find(const std::string& name) const;
+
+  /// Registered template names, sorted.
+  std::vector<std::string> names() const;
+
+  size_t size() const { return templates_.size(); }
+
+ private:
+  std::map<std::string, Template> templates_;
+};
+
+/// A fresh registry holding the built-in san-level families listed above.
+Registry builtin_families();
+
+}  // namespace gop::san::tpl

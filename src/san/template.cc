@@ -1,0 +1,358 @@
+#include "san/template.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "san/hash.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop::san::tpl {
+
+const char* kind_name(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kInt:
+      return "int";
+    case ParamKind::kReal:
+      return "real";
+    case ParamKind::kEnum:
+      return "enum";
+  }
+  return "unknown";
+}
+
+ParamValue ParamValue::of_int(int64_t value) {
+  ParamValue v;
+  v.kind = ParamKind::kInt;
+  v.int_value = value;
+  return v;
+}
+
+ParamValue ParamValue::of_real(double value) {
+  ParamValue v;
+  v.kind = ParamKind::kReal;
+  v.real_value = value;
+  return v;
+}
+
+ParamValue ParamValue::of_enum(std::string value) {
+  ParamValue v;
+  v.kind = ParamKind::kEnum;
+  v.enum_value = std::move(value);
+  return v;
+}
+
+ParamValue ParamValue::parse(const std::string& text) {
+  GOP_REQUIRE(!text.empty(), "ParamValue::parse: empty value");
+  // Integer literal first (no '.', 'e' or similar), then a general double;
+  // anything that does not consume the whole text is enum text.
+  {
+    errno = 0;
+    char* end = nullptr;
+    const long long as_int = std::strtoll(text.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return of_int(static_cast<int64_t>(as_int));
+    }
+  }
+  {
+    errno = 0;
+    char* end = nullptr;
+    const double as_real = std::strtod(text.c_str(), &end);
+    if (errno == 0 && end != nullptr && *end == '\0' && std::isfinite(as_real)) {
+      return of_real(as_real);
+    }
+  }
+  return of_enum(text);
+}
+
+std::string ParamValue::to_string() const {
+  switch (kind) {
+    case ParamKind::kInt:
+      return str_format("%lld", static_cast<long long>(int_value));
+    case ParamKind::kReal:
+      return format_compact(real_value, 12);
+    case ParamKind::kEnum:
+      return enum_value;
+  }
+  return "";
+}
+
+bool operator==(const ParamValue& a, const ParamValue& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ParamKind::kInt:
+      return a.int_value == b.int_value;
+    case ParamKind::kReal:
+      // Bitwise, matching param_hash: 1-ulp apart is a different value.
+      return std::memcmp(&a.real_value, &b.real_value, sizeof(double)) == 0;
+    case ParamKind::kEnum:
+      return a.enum_value == b.enum_value;
+  }
+  return false;
+}
+
+ParamSpec ParamSpec::integer(std::string name, int64_t def, int64_t min, int64_t max,
+                             std::string description) {
+  GOP_REQUIRE(min <= def && def <= max, "ParamSpec: int default outside [min, max]");
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = ParamKind::kInt;
+  spec.description = std::move(description);
+  spec.int_default = def;
+  spec.int_min = min;
+  spec.int_max = max;
+  return spec;
+}
+
+ParamSpec ParamSpec::real(std::string name, double def, double min, double max,
+                          std::string description) {
+  GOP_REQUIRE(min <= def && def <= max, "ParamSpec: real default outside [min, max]");
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = ParamKind::kReal;
+  spec.description = std::move(description);
+  spec.real_default = def;
+  spec.real_min = min;
+  spec.real_max = max;
+  return spec;
+}
+
+ParamSpec ParamSpec::enumeration(std::string name, std::string def,
+                                 std::vector<std::string> choices, std::string description) {
+  GOP_REQUIRE(!choices.empty(), "ParamSpec: enum needs at least one choice");
+  bool found = false;
+  for (const std::string& c : choices) found = found || c == def;
+  GOP_REQUIRE(found, "ParamSpec: enum default not among the choices");
+  ParamSpec spec;
+  spec.name = std::move(name);
+  spec.kind = ParamKind::kEnum;
+  spec.description = std::move(description);
+  spec.choices = std::move(choices);
+  spec.enum_default = std::move(def);
+  return spec;
+}
+
+Assignment& Assignment::set(const std::string& name, ParamValue value) {
+  GOP_REQUIRE(!name.empty(), "Assignment: parameter name must be non-empty");
+  values_[name] = std::move(value);
+  return *this;
+}
+
+Assignment& Assignment::set_int(const std::string& name, int64_t value) {
+  return set(name, ParamValue::of_int(value));
+}
+
+Assignment& Assignment::set_real(const std::string& name, double value) {
+  return set(name, ParamValue::of_real(value));
+}
+
+Assignment& Assignment::set_enum(const std::string& name, std::string value) {
+  return set(name, ParamValue::of_enum(std::move(value)));
+}
+
+Assignment& Assignment::set_text(const std::string& name, const std::string& text) {
+  return set(name, ParamValue::parse(text));
+}
+
+const ParamValue* Assignment::find(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+int64_t Assignment::int_at(const std::string& name) const {
+  const ParamValue* v = find(name);
+  GOP_REQUIRE(v != nullptr, "Assignment: no parameter named '" + name + "'");
+  GOP_REQUIRE(v->kind == ParamKind::kInt, "Assignment: parameter '" + name + "' is not an int");
+  return v->int_value;
+}
+
+double Assignment::real_at(const std::string& name) const {
+  const ParamValue* v = find(name);
+  GOP_REQUIRE(v != nullptr, "Assignment: no parameter named '" + name + "'");
+  GOP_REQUIRE(v->kind == ParamKind::kReal, "Assignment: parameter '" + name + "' is not a real");
+  return v->real_value;
+}
+
+const std::string& Assignment::enum_at(const std::string& name) const {
+  const ParamValue* v = find(name);
+  GOP_REQUIRE(v != nullptr, "Assignment: no parameter named '" + name + "'");
+  GOP_REQUIRE(v->kind == ParamKind::kEnum, "Assignment: parameter '" + name + "' is not an enum");
+  return v->enum_value;
+}
+
+std::string Assignment::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += name;
+    out += '=';
+    out += value.to_string();
+  }
+  return out;
+}
+
+uint64_t param_hash(const Assignment& resolved) {
+  Fnv1a hash;
+  hash.u64(resolved.size());
+  for (const auto& [name, value] : resolved.values()) {
+    hash.u64(name.size());
+    hash.bytes(name.data(), name.size());
+    hash.u8(static_cast<uint8_t>(value.kind));
+    switch (value.kind) {
+      case ParamKind::kInt:
+        hash.u64(static_cast<uint64_t>(value.int_value));
+        break;
+      case ParamKind::kReal:
+        hash.f64(value.real_value);
+        break;
+      case ParamKind::kEnum:
+        hash.u64(value.enum_value.size());
+        hash.bytes(value.enum_value.data(), value.enum_value.size());
+        break;
+    }
+  }
+  return hash.digest();
+}
+
+Assignment parse_assignment_list(const std::string& text) {
+  Assignment assignment;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    GOP_REQUIRE(eq != std::string::npos && eq > 0,
+                "parse_assignment_list: entry '" + entry + "' is not of the form k=v");
+    const std::string name = entry.substr(0, eq);
+    GOP_REQUIRE(assignment.find(name) == nullptr,
+                "parse_assignment_list: parameter '" + name + "' set twice");
+    assignment.set(name, ParamValue::parse(entry.substr(eq + 1)));
+  }
+  return assignment;
+}
+
+Template::Template(std::string name, std::string description, std::vector<ParamSpec> params,
+                   Builder builder)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      params_(std::move(params)),
+      builder_(std::move(builder)) {
+  GOP_REQUIRE(!name_.empty(), "Template: name must be non-empty");
+  GOP_REQUIRE(builder_ != nullptr, "Template: builder must be set");
+  for (size_t i = 0; i < params_.size(); ++i) {
+    GOP_REQUIRE(!params_[i].name.empty(), "Template: parameter names must be non-empty");
+    for (size_t j = i + 1; j < params_.size(); ++j) {
+      GOP_REQUIRE(params_[i].name != params_[j].name,
+                  "Template '" + name_ + "': duplicate parameter '" + params_[i].name + "'");
+    }
+  }
+}
+
+const ParamSpec* Template::find_param(const std::string& name) const {
+  for (const ParamSpec& spec : params_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Validates `value` against `spec` and returns it coerced to the declared
+/// kind. `where` names the template for error messages.
+ParamValue coerce(const std::string& where, const ParamSpec& spec, const ParamValue& value) {
+  switch (spec.kind) {
+    case ParamKind::kInt: {
+      int64_t v = 0;
+      if (value.kind == ParamKind::kInt) {
+        v = value.int_value;
+      } else if (value.kind == ParamKind::kReal && std::floor(value.real_value) == value.real_value &&
+                 std::abs(value.real_value) < 9.0e18) {
+        v = static_cast<int64_t>(value.real_value);
+      } else {
+        GOP_REQUIRE(false, where + ": parameter '" + spec.name + "' expects an int, got " +
+                               kind_name(value.kind) + " '" + value.to_string() + "'");
+      }
+      GOP_REQUIRE(spec.int_min <= v && v <= spec.int_max,
+                  where + ": parameter '" + spec.name + "' = " + std::to_string(v) +
+                      " outside [" + std::to_string(spec.int_min) + ", " +
+                      std::to_string(spec.int_max) + "]");
+      return ParamValue::of_int(v);
+    }
+    case ParamKind::kReal: {
+      double v = 0.0;
+      if (value.kind == ParamKind::kReal) {
+        v = value.real_value;
+      } else if (value.kind == ParamKind::kInt) {
+        v = static_cast<double>(value.int_value);
+      } else {
+        GOP_REQUIRE(false, where + ": parameter '" + spec.name + "' expects a real, got enum '" +
+                               value.to_string() + "'");
+      }
+      GOP_REQUIRE(std::isfinite(v) && spec.real_min <= v && v <= spec.real_max,
+                  where + ": parameter '" + spec.name + "' = " + format_compact(v, 12) +
+                      " outside [" + format_compact(spec.real_min, 12) + ", " +
+                      format_compact(spec.real_max, 12) + "]");
+      return ParamValue::of_real(v);
+    }
+    case ParamKind::kEnum: {
+      GOP_REQUIRE(value.kind == ParamKind::kEnum,
+                  where + ": parameter '" + spec.name + "' expects one of its enum choices, got " +
+                      kind_name(value.kind) + " '" + value.to_string() + "'");
+      for (const std::string& c : spec.choices) {
+        if (c == value.enum_value) return value;
+      }
+      GOP_REQUIRE(false, where + ": parameter '" + spec.name + "' = '" + value.enum_value +
+                             "' is not a valid choice (" + gop::join(spec.choices, ", ") + ")");
+      return value;  // unreachable
+    }
+  }
+  GOP_ENSURE(false, "coerce: unknown ParamKind");
+  return value;  // unreachable
+}
+
+}  // namespace
+
+Assignment Template::resolve(const Assignment& overrides) const {
+  const std::string where = "template '" + name_ + "'";
+  for (const auto& [name, value] : overrides.values()) {
+    (void)value;
+    GOP_REQUIRE(find_param(name) != nullptr, where + ": unknown parameter '" + name + "'");
+  }
+  Assignment resolved;
+  for (const ParamSpec& spec : params_) {
+    if (const ParamValue* given = overrides.find(spec.name)) {
+      resolved.set(spec.name, coerce(where, spec, *given));
+      continue;
+    }
+    switch (spec.kind) {
+      case ParamKind::kInt:
+        resolved.set(spec.name, ParamValue::of_int(spec.int_default));
+        break;
+      case ParamKind::kReal:
+        resolved.set(spec.name, ParamValue::of_real(spec.real_default));
+        break;
+      case ParamKind::kEnum:
+        resolved.set(spec.name, ParamValue::of_enum(spec.enum_default));
+        break;
+    }
+  }
+  return resolved;
+}
+
+Instance Template::instantiate(const Assignment& overrides) const {
+  const Assignment resolved = resolve(overrides);
+  Instance instance = builder_(resolved);
+  GOP_ENSURE(instance.model != nullptr,
+             "template '" + name_ + "': builder returned no model");
+  instance.resolved = resolved;
+  instance.params_hash = param_hash(resolved);
+  return instance;
+}
+
+}  // namespace gop::san::tpl

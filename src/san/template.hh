@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file template.hh
+/// SAN templates (docs/templates.md), after Montecchi et al., "Stochastic
+/// Activity Networks Templates": a Template is a named set of typed
+/// parameters (ParamSpec: int / real / enum with ranges and defaults) plus a
+/// build function that assembles a SanModel — from the san/expr.hh
+/// combinators and the san/compose.hh operators — for one parameter
+/// Assignment. Instantiation is a pure function of the *resolved* assignment
+/// (defaults filled in, values validated and coerced against the specs), so
+/// two instances of the same family with the same resolved assignment are
+/// identical, and `param_hash` of that resolved assignment is a stable
+/// content key (1-ulp sensitive for reals) that gop::serve folds into its
+/// instance cache keys.
+///
+/// Builders are expected to use combinators only and to declare place
+/// capacities, so every instance stays reflectable through ExprIr and
+/// provable by lint::prove_model — the template prover tier
+/// (tests/san_template_prove_test.cc) enforces this across the registry.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "san/model.hh"
+#include "san/reward.hh"
+
+namespace gop::san::tpl {
+
+enum class ParamKind { kInt, kReal, kEnum };
+
+const char* kind_name(ParamKind kind);
+
+/// One typed parameter value. Construct via the of_* factories or parse()
+/// (the CLI `--set name=value` path: integer literal -> kInt, other numeric
+/// literal -> kReal, anything else -> kEnum text).
+struct ParamValue {
+  ParamKind kind = ParamKind::kReal;
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  std::string enum_value;
+
+  static ParamValue of_int(int64_t value);
+  static ParamValue of_real(double value);
+  static ParamValue of_enum(std::string value);
+  static ParamValue parse(const std::string& text);
+
+  std::string to_string() const;
+
+  friend bool operator==(const ParamValue& a, const ParamValue& b);
+};
+
+/// The declared shape of one template parameter: kind, default, and range
+/// (inclusive bounds for int/real, a choice list for enums).
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kReal;
+  std::string description;
+
+  int64_t int_default = 0;
+  int64_t int_min = 0;
+  int64_t int_max = 0;
+
+  double real_default = 0.0;
+  double real_min = 0.0;
+  double real_max = 0.0;
+
+  std::vector<std::string> choices;
+  std::string enum_default;
+
+  static ParamSpec integer(std::string name, int64_t def, int64_t min, int64_t max,
+                           std::string description = "");
+  static ParamSpec real(std::string name, double def, double min, double max,
+                        std::string description = "");
+  static ParamSpec enumeration(std::string name, std::string def, std::vector<std::string> choices,
+                               std::string description = "");
+};
+
+/// A (partial or resolved) parameter binding, name -> value. Ordered by name,
+/// so iteration — and therefore param_hash — is independent of insertion
+/// order.
+class Assignment {
+ public:
+  Assignment& set(const std::string& name, ParamValue value);
+  Assignment& set_int(const std::string& name, int64_t value);
+  Assignment& set_real(const std::string& name, double value);
+  Assignment& set_enum(const std::string& name, std::string value);
+  /// set(name, ParamValue::parse(text)) — the `--set name=value` path.
+  Assignment& set_text(const std::string& name, const std::string& text);
+
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+  const ParamValue* find(const std::string& name) const;
+  const std::map<std::string, ParamValue>& values() const { return values_; }
+
+  /// Typed accessors for builders running on a *resolved* assignment; throw
+  /// gop::InvalidArgument when the name is absent or the kind differs.
+  int64_t int_at(const std::string& name) const;
+  double real_at(const std::string& name) const;
+  const std::string& enum_at(const std::string& name) const;
+
+  /// "a=1,b=2.5,mode=fast" (name order).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+/// FNV-1a over a resolved assignment: sorted parameter names, kind tags, and
+/// value bits (IEEE-754 bit pattern for reals — 1-ulp sensitive).
+uint64_t param_hash(const Assignment& resolved);
+
+/// Parses a CLI-style override list "k=v[,k=v...]" into an assignment;
+/// values go through ParamValue::parse. Empty text is an empty assignment.
+/// Throws gop::InvalidArgument on a malformed entry or a repeated name.
+Assignment parse_assignment_list(const std::string& text);
+
+/// One built template instance: the model, its reward catalog, and the
+/// resolved assignment (with its hash) that produced it. Matches the shape
+/// serve::InlineModel holds, so serving a template instance reuses the whole
+/// admission/solve path.
+struct Instance {
+  std::unique_ptr<SanModel> model;
+  std::vector<RewardStructure> rewards;
+  Assignment resolved;
+  uint64_t params_hash = 0;
+};
+
+class Template {
+ public:
+  /// Builds the model + reward catalog for one resolved assignment. The
+  /// builder sees every declared parameter (defaults filled in) and may
+  /// assume range validity.
+  using Builder = std::function<Instance(const Assignment& resolved)>;
+
+  Template(std::string name, std::string description, std::vector<ParamSpec> params,
+           Builder builder);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  const std::vector<ParamSpec>& params() const { return params_; }
+  const ParamSpec* find_param(const std::string& name) const;
+
+  /// Validates `overrides` against the specs (unknown names, kind mismatches
+  /// and out-of-range values throw gop::InvalidArgument), fills defaults, and
+  /// coerces values to the declared kind (an integral real is accepted for an
+  /// int parameter, an int promotes to real). Pure: no building.
+  Assignment resolve(const Assignment& overrides) const;
+
+  /// resolve + build; `instance.params_hash` is param_hash(resolved).
+  Instance instantiate(const Assignment& overrides = {}) const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<ParamSpec> params_;
+  Builder builder_;
+};
+
+}  // namespace gop::san::tpl

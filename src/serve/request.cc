@@ -78,10 +78,32 @@ Request parse_request(const Json& document) {
   if (const Json* id = document.find("id")) request.id = id->as_string();
   const Json* model = document.find("model");
   const Json* inline_model = document.find("inline_model");
-  GOP_REQUIRE((model != nullptr) != (inline_model != nullptr),
-              "request needs exactly one of 'model' or 'inline_model'");
+  const Json* tpl = document.find("template");
+  const int sources =
+      (model != nullptr ? 1 : 0) + (inline_model != nullptr ? 1 : 0) + (tpl != nullptr ? 1 : 0);
+  GOP_REQUIRE(sources == 1,
+              "request needs exactly one of 'model', 'inline_model', or 'template'");
   if (model != nullptr) request.model = model->as_string();
   if (inline_model != nullptr) request.inline_model = *inline_model;
+  if (tpl != nullptr) request.template_name = tpl->as_string();
+
+  if (const Json* assignment = document.find("assignment")) {
+    GOP_REQUIRE(tpl != nullptr, "request 'assignment' requires a 'template'");
+    GOP_REQUIRE(assignment->is_object(), "request 'assignment' must be an object");
+    for (const auto& [name, value] : assignment->as_object()) {
+      if (value.is_string()) {
+        // Strings go through ParamValue::parse so "2" binds as an int and
+        // "retry" as an enum choice; the template layer coerces and
+        // range-checks against the family's specs at resolve time.
+        request.assignment.set(name, san::tpl::ParamValue::parse(value.as_string()));
+      } else if (value.is_number()) {
+        request.assignment.set_real(name, value.as_number());
+      } else {
+        throw InvalidArgument(str_format(
+            "request assignment '%s' must be a number or a string", name.c_str()));
+      }
+    }
+  }
 
   if (const Json* params = document.find("params")) {
     GOP_REQUIRE(params->is_object(), "request 'params' must be an object");

@@ -14,18 +14,26 @@
 #include "core/params.hh"
 #include "lint/finding.hh"
 #include "markov/recovery.hh"
+#include "san/template.hh"
 #include "serve/json.hh"
 
 namespace gop::serve {
 
-/// One evaluation request. Exactly one of `model` (registered id) or
-/// `inline_model` (SAN description; serve/inline_model.hh) must be set.
+/// One evaluation request. Exactly one of `model` (registered id),
+/// `inline_model` (SAN description; serve/inline_model.hh), or
+/// `template_name` (core::template_registry() family) must be set.
 struct Request {
   std::string id;  ///< caller correlation id, echoed in the response
   std::string model;
   std::optional<Json> inline_model;
-  /// Table-3 parameters for registered models (ignored for inline models;
-  /// an inline description carries its own numbers).
+  /// Template-family requests: the family name and the (possibly partial)
+  /// parameter assignment; defaults fill the rest and the instance cache key
+  /// is derived from the fully resolved assignment's san::tpl::param_hash,
+  /// so it is sensitive to every parameter bit.
+  std::string template_name;
+  san::tpl::Assignment assignment;
+  /// Table-3 parameters for registered models (ignored for inline and
+  /// template models; those carry their own numbers).
   core::GsuParameters params = core::GsuParameters::table3();
   /// Reward structures to evaluate, by name; must be non-empty and each name
   /// must exist in the model's reward catalog.

@@ -11,6 +11,7 @@
 #include "core/rm_gd.hh"
 #include "core/rm_gp.hh"
 #include "core/rm_nd.hh"
+#include "core/templates.hh"
 #include "markov/solver_plan.hh"
 #include "obs/registry.hh"
 #include "obs/sink.hh"
@@ -65,6 +66,11 @@ std::string registered_instance_key(const std::string& name, const core::GsuPara
 
 std::string inline_instance_key(const std::string& canonical_text) {
   return "inline:" + hex64(san::fnv1a(canonical_text.data(), canonical_text.size()));
+}
+
+std::string template_instance_key(const std::string& family,
+                                  const san::tpl::Assignment& resolved) {
+  return "tpl:" + family + ":" + hex64(san::tpl::param_hash(resolved));
 }
 
 /// The paper models, packaged the same way inline descriptions build:
@@ -179,6 +185,16 @@ std::shared_ptr<const Server::ModelInstance> Server::build_instance(
     instance->registered = false;
     instance->inline_text = request.inline_model->dump();
     built = build_inline_model(*request.inline_model);  // throws InvalidArgument on bad shape
+  } else if (!request.template_name.empty()) {
+    instance->templated = true;
+    instance->name = request.template_name;
+    san::tpl::Instance tpl_instance =
+        core::template_registry().find(request.template_name).instantiate(request.assignment);
+    instance->assignment = std::move(tpl_instance.resolved);
+    instance->model = std::move(tpl_instance.model);
+    instance->rewards = std::move(tpl_instance.rewards);
+    admit_instance(*instance, std::nullopt);
+    return instance;
   } else {
     instance->registered = true;
     instance->name = request.model;
@@ -200,9 +216,21 @@ std::shared_ptr<const Server::ModelInstance> Server::build_instance(
 std::shared_ptr<const Server::ModelInstance> Server::instance_for(const Request& request) {
   std::string key;
   if (request.inline_model.has_value()) {
+    GOP_REQUIRE(request.template_name.empty() && request.model.empty(),
+                "request needs exactly one of 'model', 'inline_model', or 'template'");
     key = inline_instance_key(request.inline_model->dump());
+  } else if (!request.template_name.empty()) {
+    GOP_REQUIRE(request.model.empty(),
+                "request needs exactly one of 'model', 'inline_model', or 'template'");
+    // find() throws on an unknown family, resolve() on a bad assignment —
+    // both become kError. Resolving up front makes the key cover defaults
+    // too, so a partial assignment and its explicit-equal twin share one
+    // instance.
+    const san::tpl::Template& tpl = core::template_registry().find(request.template_name);
+    key = template_instance_key(request.template_name, tpl.resolve(request.assignment));
   } else {
-    GOP_REQUIRE(!request.model.empty(), "request needs a 'model' id or an 'inline_model'");
+    GOP_REQUIRE(!request.model.empty(),
+                "request needs a 'model' id, an 'inline_model', or a 'template'");
     {
       std::lock_guard<std::mutex> lock(registry_mutex_);
       if (!registry_.contains(request.model)) {
@@ -488,10 +516,11 @@ void Server::log_request(const Request& request, const Response& response, const
   }
   event.retries = retries;
   event.degraded = degraded;
-  std::string detail = str_format(
-      "model=%s rewards=%zu engine=%s",
-      request.inline_model.has_value() ? "inline" : request.model.c_str(),
-      request.rewards.size(), response.engine.c_str());
+  const char* model_label = request.inline_model.has_value() ? "inline"
+                            : !request.template_name.empty() ? request.template_name.c_str()
+                                                             : request.model.c_str();
+  std::string detail = str_format("model=%s rewards=%zu engine=%s", model_label,
+                                  request.rewards.size(), response.engine.c_str());
   for (const NamedCertificate& named : response.certificates) {
     if (named.certificate.degraded) {
       detail += str_format(" degraded=%s(retries=%zu,fallback=%s)", named.solver.c_str(),
@@ -595,7 +624,10 @@ std::string Server::save_snapshot() const {
 
   std::vector<std::shared_ptr<const ModelInstance>> admitted;
   for (const auto& [key, instance] : instances_.entries()) {
-    if (instance->admitted) admitted.push_back(instance);
+    // Template instances are skipped: snapshot format v1 has no record type
+    // for them, and they rebuild deterministically (bit-identical chain hash)
+    // from core::template_registry() on the first request after a restart.
+    if (instance->admitted && !instance->templated) admitted.push_back(instance);
   }
   payload.u32(static_cast<uint32_t>(admitted.size()));
   for (const std::shared_ptr<const ModelInstance>& instance : admitted) {

@@ -6,8 +6,11 @@
 /// through the full serving path:
 ///
 ///   1. model resolution — registered id (the gop_lint registry models by
-///      default) with Table-3 parameters, or an inline SAN description;
-///      built model instances are cached by instance key in a bounded LRU
+///      default) with Table-3 parameters, an inline SAN description, or a
+///      template family from core::template_registry() with a parameter
+///      assignment (instance key "tpl:<family>:<param_hash>", sensitive to
+///      every parameter bit — a 1-ulp change is a new instance); built model
+///      instances are cached by instance key in a bounded LRU
 ///      (instance_capacity), with single-flight deduplication so concurrent
 ///      first requests build once.
 ///   2. admission control — the gop::lint battery (lint/admission.hh) runs
@@ -46,6 +49,7 @@
 #include "markov/recovery.hh"
 #include "par/thread_pool.hh"
 #include "san/state_space.hh"
+#include "san/template.hh"
 #include "serve/cache.hh"
 #include "serve/inline_model.hh"
 #include "serve/request.hh"
@@ -154,8 +158,10 @@ class Server {
   struct ModelInstance {
     std::string instance_key;
     bool registered = false;            ///< built from the registry (vs inline)
-    std::string name;                   ///< registered name, or inline model name
+    bool templated = false;             ///< built from core::template_registry()
+    std::string name;                   ///< registered/template name, or inline model name
     core::GsuParameters params;         ///< registered instances only
+    san::tpl::Assignment assignment;    ///< fully resolved, template instances only
     std::string inline_text;            ///< canonical inline JSON, inline only
     std::unique_ptr<san::SanModel> model;
     std::vector<san::RewardStructure> rewards;

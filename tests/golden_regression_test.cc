@@ -29,6 +29,7 @@
 
 #include "core/performability.hh"
 #include "core/sweep.hh"
+#include "san/template.hh"
 #include "util/strings.hh"
 
 namespace gop {
@@ -207,6 +208,33 @@ TEST(GoldenRegression, Fig11Coverage) {
     add_sweep(golden, str_format("coverage_%.2f/", coverage), analyzer, phis);
   }
   check_or_update("fig11_coverage", golden);
+}
+
+TEST(GoldenRegression, StructuralSweepNproc) {
+  // The template-registry structural sweep (docs/templates.md): the nproc
+  // family over N in {1,2,3} crossed with a 5-point evaluation grid. Pins the
+  // per-cell chain structure (state counts) and every reward series value, so
+  // a change anywhere in the template layer — parameter resolution, the
+  // replicate composition, the session solve — shows up here.
+  core::StructuralSweepSpec spec;
+  spec.family = "nproc";
+  spec.axes.push_back({"n", {san::tpl::ParamValue::of_int(1), san::tpl::ParamValue::of_int(2),
+                             san::tpl::ParamValue::of_int(3)}});
+  spec.phis = core::linspace(0.0, 20.0, 5);
+  const core::StructuralSweepResult result = core::structural_sweep(spec);
+
+  GoldenMap golden;
+  for (const core::StructuralCell& cell : result.cells) {
+    const std::string k = cell.label + "/";
+    golden[k + "states"] = static_cast<double>(cell.states);
+    for (size_t r = 0; r < cell.rewards.size(); ++r) {
+      for (size_t i = 0; i < result.phis.size(); ++i) {
+        golden[k + cell.rewards[r] + "/" + str_format("t_%05.0f", result.phis[i])] =
+            cell.series[r][i];
+      }
+    }
+  }
+  check_or_update("structural_sweep_nproc", golden);
 }
 
 TEST(GoldenRegression, Fig12ShorterTheta) {

@@ -1,0 +1,152 @@
+// Property/prover tier for the template registry (ctest label `slow`):
+// ~100 seeded instances across every family either pass lint::prove_model
+// with probe budget 0, or degrade gracefully — no refuted property, and the
+// probe (which lint_model falls back to for unprovable properties) agrees
+// that the instance is clean. N-processor instances for N=1..6 must be
+// *fully* proved: the template layer declares every capacity, the one-hot
+// replica places are written with set_mark only, and the shared-pool
+// increment is `when`-guarded, so the interval prover discharges every
+// property without probing.
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/templates.hh"
+#include "lint/model_lint.hh"
+#include "lint/prove.hh"
+#include "san/registry.hh"
+#include "san/template.hh"
+
+namespace gop {
+namespace {
+
+using lint::ProofResult;
+using lint::Verdict;
+using san::tpl::Assignment;
+
+std::set<std::string> error_codes(const lint::Report& report) {
+  std::set<std::string> codes;
+  for (const lint::Finding& f : report.findings()) {
+    if (f.severity == lint::Severity::kError) codes.insert(f.code);
+  }
+  return codes;
+}
+
+/// The acceptance contract for one registry instance: fully proved with zero
+/// probe budget, or prover+probe agreement (no refutation, no probe errors).
+void expect_proved_or_agreeing(const san::SanModel& model, const std::string& context) {
+  const ProofResult proof = lint::prove_model(model);
+  ASSERT_EQ(proof.count(Verdict::kRefuted), 0u)
+      << context << ": prover refuted a property:\n"
+      << proof.findings.to_text();
+
+  if (proof.fully_proved) {
+    lint::ModelLintOptions unprobed;
+    unprobed.max_probe_markings = 0;
+    const lint::Report report = lint::lint_model(model, unprobed);
+    EXPECT_FALSE(report.has_errors()) << context << "\n" << report.to_text();
+  } else {
+    // Degraded: the probe must agree the instance is clean.
+    const lint::Report probed = lint::lint_model(model);
+    EXPECT_TRUE(error_codes(probed).empty())
+        << context << ": probe found errors on an unrefuted instance:\n"
+        << probed.to_text();
+  }
+}
+
+/// Deterministic per-index assignments spreading each family over its
+/// parameter ranges.
+Assignment nproc_assignment(uint64_t i) {
+  Assignment a;
+  a.set_int("n", static_cast<int64_t>(1 + i % 6));
+  a.set_int("servers", static_cast<int64_t>(1 + i % 3));
+  a.set_real("fail_rate", 0.05 + 0.1 * static_cast<double>(i % 5));
+  a.set_real("repair_rate", 0.5 + 0.25 * static_cast<double>(i % 4));
+  return a;
+}
+
+Assignment campaign_assignment(uint64_t i) {
+  Assignment a;
+  a.set_int("stages", static_cast<int64_t>(1 + i % 5));
+  a.set_enum("on_failure", i % 2 == 0 ? "absorb" : "retry");
+  a.set_real("success_prob", 0.5 + 0.1 * static_cast<double>(i % 5));
+  a.set_real("upgrade_rate", 0.5 + 0.5 * static_cast<double>(i % 3));
+  return a;
+}
+
+Assignment random_assignment(uint64_t i) {
+  Assignment a;
+  a.set_int("seed", static_cast<int64_t>(1000 + i));
+  a.set_int("max_places", static_cast<int64_t>(2 + i % 4));
+  a.set_int("max_activities", static_cast<int64_t>(3 + i % 3));
+  a.set_int("place_capacity", static_cast<int64_t>(1 + i % 3));
+  return a;
+}
+
+Assignment paper_assignment(uint64_t i) {
+  Assignment a;
+  a.set_real("lambda", 600.0 + 200.0 * static_cast<double>(i % 4));
+  a.set_real("coverage", 0.5 + 0.12 * static_cast<double>(i % 4));
+  a.set_real("p_ext", 0.05 + 0.05 * static_cast<double>(i % 5));
+  if (i % 2 == 1) a.set_real("mu_new", 1e-3);
+  return a;
+}
+
+TEST(SanTemplateProve, HundredSeededInstancesAcrossAllFamilies) {
+  const san::tpl::Registry& registry = core::template_registry();
+  struct FamilyCase {
+    const char* family;
+    Assignment (*assignment)(uint64_t);
+  };
+  const FamilyCase cases[] = {
+      {"nproc", nproc_assignment},           {"upgrade-campaign", campaign_assignment},
+      {"random", random_assignment},         {"rmgd", paper_assignment},
+      {"rmgp", paper_assignment},            {"rmnd-new", paper_assignment},
+      {"rmnd-old", paper_assignment},
+  };
+
+  size_t instances = 0;
+  for (uint64_t i = 0; i < 15; ++i) {
+    for (const FamilyCase& c : cases) {
+      const san::tpl::Instance instance = registry.find(c.family).instantiate(c.assignment(i));
+      expect_proved_or_agreeing(*instance.model,
+                                std::string(c.family) + "[" + instance.resolved.to_string() + "]");
+      ++instances;
+    }
+  }
+  EXPECT_GE(instances, 100u);
+}
+
+TEST(SanTemplateProve, NprocFullyProvedForNOneThroughSix) {
+  const san::tpl::Template& nproc = core::template_registry().find("nproc");
+  for (int64_t n = 1; n <= 6; ++n) {
+    for (int64_t servers : {int64_t{1}, int64_t{2}}) {
+      Assignment a;
+      a.set_int("n", n);
+      a.set_int("servers", servers);
+      const san::tpl::Instance instance = nproc.instantiate(a);
+      const ProofResult proof = lint::prove_model(*instance.model);
+      EXPECT_TRUE(proof.fully_proved)
+          << "n=" << n << " servers=" << servers << ":\n"
+          << proof.findings.to_text();
+    }
+  }
+}
+
+TEST(SanTemplateProve, CampaignVariantsFullyProved) {
+  const san::tpl::Template& campaign = core::template_registry().find("upgrade-campaign");
+  for (const char* policy : {"absorb", "retry"}) {
+    Assignment a;
+    a.set_int("stages", 4);
+    a.set_enum("on_failure", policy);
+    const san::tpl::Instance instance = campaign.instantiate(a);
+    const ProofResult proof = lint::prove_model(*instance.model);
+    EXPECT_TRUE(proof.fully_proved) << policy << ":\n" << proof.findings.to_text();
+  }
+}
+
+}  // namespace
+}  // namespace gop

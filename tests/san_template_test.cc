@@ -1,0 +1,436 @@
+// The differential equivalence battery for the SAN template layer
+// (docs/templates.md). The headline risk of re-expressing the paper models
+// as templates is semantic drift, so the battery pins:
+//  - every templated paper model at Table-3 defaults (and off-default
+//    points) yields a chain with san::chain_hash equal to the hand-built
+//    seed model's;
+//  - PerformabilityAnalyzer results are std::bit_cast-identical across both
+//    construction paths, for both solver engines and 1/2/4 threads;
+//  - the "random" family is bit-identical to the legacy free-standing
+//    generator (a verbatim copy of which lives in this file) and to pinned
+//    hash literals;
+//  - resolution, coercion, range validation, and param_hash sensitivity.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/performability.hh"
+#include "core/templates.hh"
+#include "san/compose.hh"
+#include "san/expr.hh"
+#include "san/hash.hh"
+#include "san/random_model.hh"
+#include "san/registry.hh"
+#include "san/state_space.hh"
+#include "san/template.hh"
+#include "sim/rng.hh"
+#include "util/error.hh"
+#include "util/strings.hh"
+
+namespace gop {
+namespace {
+
+using san::tpl::Assignment;
+using san::tpl::ParamValue;
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void expect_bits_equal(const core::PerformabilityResult& a,
+                       const core::PerformabilityResult& b) {
+  EXPECT_TRUE(bits_equal(a.phi, b.phi));
+  EXPECT_TRUE(bits_equal(a.y, b.y));
+  EXPECT_TRUE(bits_equal(a.e_wi, b.e_wi));
+  EXPECT_TRUE(bits_equal(a.e_w0, b.e_w0));
+  EXPECT_TRUE(bits_equal(a.e_wphi, b.e_wphi));
+  EXPECT_TRUE(bits_equal(a.y_s1, b.y_s1));
+  EXPECT_TRUE(bits_equal(a.y_s2, b.y_s2));
+  EXPECT_TRUE(bits_equal(a.gamma, b.gamma));
+  EXPECT_TRUE(bits_equal(a.measures.p_a1_phi, b.measures.p_a1_phi));
+  EXPECT_TRUE(bits_equal(a.measures.i_h, b.measures.i_h));
+  EXPECT_TRUE(bits_equal(a.measures.i_tau_h, b.measures.i_tau_h));
+  EXPECT_TRUE(bits_equal(a.measures.i_hf, b.measures.i_hf));
+  EXPECT_TRUE(bits_equal(a.measures.rho1, b.measures.rho1));
+  EXPECT_TRUE(bits_equal(a.measures.rho2, b.measures.rho2));
+  EXPECT_TRUE(bits_equal(a.measures.p_nd_theta, b.measures.p_nd_theta));
+  EXPECT_TRUE(bits_equal(a.measures.p_nd_rest, b.measures.p_nd_rest));
+  EXPECT_TRUE(bits_equal(a.measures.i_f, b.measures.i_f));
+}
+
+uint64_t hash_of(const san::SanModel& model) {
+  return san::chain_hash(san::generate_state_space(model));
+}
+
+uint64_t family_hash(const std::string& family, const Assignment& overrides = {}) {
+  return hash_of(*core::template_registry().find(family).instantiate(overrides).model);
+}
+
+// --- templated paper models vs the hand-built seeds -------------------------
+
+TEST(SanTemplatePaper, ChainHashIdenticalAtTable3Defaults) {
+  const core::GsuParameters t3 = core::GsuParameters::table3();
+  EXPECT_EQ(family_hash("rmgd"), hash_of(core::build_rm_gd(t3).model));
+  EXPECT_EQ(family_hash("rmgp"), hash_of(core::build_rm_gp(t3).model));
+  EXPECT_EQ(family_hash("rmnd-new"), hash_of(core::build_rm_nd(t3, t3.mu_new).model));
+  EXPECT_EQ(family_hash("rmnd-old"), hash_of(core::build_rm_nd(t3, t3.mu_old).model));
+}
+
+TEST(SanTemplatePaper, ChainHashIdenticalOffDefaults) {
+  core::GsuParameters params = core::GsuParameters::table3();
+  params.lambda = 900.0;
+  params.coverage = 0.8;
+  params.p_ext = 0.25;
+  Assignment overrides;
+  overrides.set_real("lambda", 900.0).set_real("coverage", 0.8).set_real("p_ext", 0.25);
+
+  EXPECT_EQ(family_hash("rmgd", overrides), hash_of(core::build_rm_gd(params).model));
+  EXPECT_EQ(family_hash("rmgp", overrides), hash_of(core::build_rm_gp(params).model));
+  EXPECT_EQ(family_hash("rmnd-new", overrides),
+            hash_of(core::build_rm_nd(params, params.mu_new).model));
+  EXPECT_EQ(family_hash("rmnd-old", overrides),
+            hash_of(core::build_rm_nd(params, params.mu_old).model));
+}
+
+TEST(SanTemplatePaper, AtPolicyVariantMatchesRmGdOptions) {
+  const core::GsuParameters t3 = core::GsuParameters::table3();
+  Assignment timed;
+  timed.set_enum("at_policy", "timed");
+  core::RmGdOptions options;
+  options.instantaneous_at = false;
+
+  const uint64_t templated = family_hash("rmgd", timed);
+  EXPECT_EQ(templated, hash_of(core::build_rm_gd(t3, options).model));
+  EXPECT_NE(templated, family_hash("rmgd"));  // the variant is a different chain
+}
+
+TEST(SanTemplatePaper, DurationStagesVariantMatchesRmGpOptions) {
+  const core::GsuParameters t3 = core::GsuParameters::table3();
+  Assignment erlang;
+  erlang.set_int("duration_stages", 3);
+  core::RmGpOptions options;
+  options.duration_stages = 3;
+
+  const uint64_t templated = family_hash("rmgp", erlang);
+  EXPECT_EQ(templated, hash_of(core::build_rm_gp(t3, options).model));
+  EXPECT_NE(templated, family_hash("rmgp"));
+}
+
+TEST(SanTemplatePaper, GsuRoundTripsThroughAssignment) {
+  const core::GsuParameters via_template = core::gsu_from_assignment(
+      core::template_registry().find("rmgd").resolve({}));
+  const core::GsuParameters t3 = core::GsuParameters::table3();
+  EXPECT_TRUE(bits_equal(via_template.theta, t3.theta));
+  EXPECT_TRUE(bits_equal(via_template.lambda, t3.lambda));
+  EXPECT_TRUE(bits_equal(via_template.mu_new, t3.mu_new));
+  EXPECT_TRUE(bits_equal(via_template.mu_old, t3.mu_old));
+  EXPECT_TRUE(bits_equal(via_template.coverage, t3.coverage));
+  EXPECT_TRUE(bits_equal(via_template.p_ext, t3.p_ext));
+  EXPECT_TRUE(bits_equal(via_template.alpha, t3.alpha));
+  EXPECT_TRUE(bits_equal(via_template.beta, t3.beta));
+}
+
+/// Analyzer results must be bit-identical whether the Table-3 parameters come
+/// from GsuParameters::table3() directly or through a resolved template
+/// assignment — for both transient engines and at 1/2/4 threads.
+TEST(SanTemplatePaper, AnalyzerBitIdenticalAcrossConstructionPaths) {
+  const std::vector<double> phis = {0.0, 2500.0, 7000.0};
+  const core::GsuParameters from_template = core::gsu_from_assignment(
+      core::template_registry().find("rmgd").resolve({}));
+  const core::GsuParameters hand_built = core::GsuParameters::table3();
+
+  for (const markov::TransientMethod method :
+       {markov::TransientMethod::kMatrixExponential, markov::TransientMethod::kAuto}) {
+    core::AnalyzerOptions options;
+    options.transient.method = method;
+    const core::PerformabilityAnalyzer templated(from_template, options);
+    const core::PerformabilityAnalyzer seed(hand_built, options);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      const auto a = templated.evaluate_batch(phis, threads);
+      const auto b = seed.evaluate_batch(phis, threads);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) expect_bits_equal(a[i], b[i]);
+    }
+  }
+}
+
+// --- resolution, coercion, validation ---------------------------------------
+
+TEST(SanTemplateResolve, DefaultsFillEveryParameter) {
+  const san::tpl::Template& nproc = core::template_registry().find("nproc");
+  const Assignment resolved = nproc.resolve({});
+  EXPECT_EQ(resolved.int_at("n"), 2);
+  EXPECT_EQ(resolved.int_at("servers"), 1);
+  EXPECT_DOUBLE_EQ(resolved.real_at("fail_rate"), 0.1);
+  EXPECT_DOUBLE_EQ(resolved.real_at("repair_rate"), 1.0);
+  EXPECT_EQ(resolved.size(), nproc.params().size());
+}
+
+TEST(SanTemplateResolve, RejectsUnknownParam) {
+  Assignment a;
+  a.set_int("no_such_param", 1);
+  EXPECT_THROW(core::template_registry().find("nproc").resolve(a), InvalidArgument);
+}
+
+TEST(SanTemplateResolve, RejectsOutOfRange) {
+  Assignment a;
+  a.set_int("n", 99);
+  EXPECT_THROW(core::template_registry().find("nproc").resolve(a), InvalidArgument);
+  Assignment b;
+  b.set_real("coverage", 1.5);
+  EXPECT_THROW(core::template_registry().find("rmgd").resolve(b), InvalidArgument);
+}
+
+TEST(SanTemplateResolve, CoercesIntegralRealToIntAndIntToReal) {
+  Assignment a;
+  a.set_real("n", 3.0);        // integral real -> int
+  a.set_int("fail_rate", 2);   // int -> real
+  const Assignment resolved = core::template_registry().find("nproc").resolve(a);
+  EXPECT_EQ(resolved.int_at("n"), 3);
+  EXPECT_DOUBLE_EQ(resolved.real_at("fail_rate"), 2.0);
+
+  Assignment bad;
+  bad.set_real("n", 2.5);  // non-integral real is not an int
+  EXPECT_THROW(core::template_registry().find("nproc").resolve(bad), InvalidArgument);
+}
+
+TEST(SanTemplateResolve, RejectsBadEnumChoice) {
+  Assignment a;
+  a.set_enum("at_policy", "sometimes");
+  EXPECT_THROW(core::template_registry().find("rmgd").resolve(a), InvalidArgument);
+}
+
+TEST(SanTemplateResolve, ParseClassifiesValues) {
+  EXPECT_EQ(ParamValue::parse("42").kind, san::tpl::ParamKind::kInt);
+  EXPECT_EQ(ParamValue::parse("-3").kind, san::tpl::ParamKind::kInt);
+  EXPECT_EQ(ParamValue::parse("2.5").kind, san::tpl::ParamKind::kReal);
+  EXPECT_EQ(ParamValue::parse("1e-4").kind, san::tpl::ParamKind::kReal);
+  EXPECT_EQ(ParamValue::parse("timed").kind, san::tpl::ParamKind::kEnum);
+}
+
+TEST(SanTemplateHash, ParamHashSensitivityAndOrderIndependence) {
+  const san::tpl::Template& nproc = core::template_registry().find("nproc");
+  const uint64_t base = san::tpl::param_hash(nproc.resolve({}));
+
+  // Deterministic.
+  EXPECT_EQ(base, san::tpl::param_hash(nproc.resolve({})));
+
+  // Insertion order does not matter.
+  Assignment fwd, rev;
+  fwd.set_int("n", 3).set_real("fail_rate", 0.2);
+  rev.set_real("fail_rate", 0.2).set_int("n", 3);
+  EXPECT_EQ(san::tpl::param_hash(nproc.resolve(fwd)), san::tpl::param_hash(nproc.resolve(rev)));
+
+  // An int change, a 1-ulp real change, and an enum change all flip the hash.
+  Assignment n3;
+  n3.set_int("n", 3);
+  EXPECT_NE(base, san::tpl::param_hash(nproc.resolve(n3)));
+
+  Assignment ulp;
+  ulp.set_real("fail_rate", std::nextafter(0.1, 1.0));
+  EXPECT_NE(base, san::tpl::param_hash(nproc.resolve(ulp)));
+
+  const san::tpl::Template& rmgd = core::template_registry().find("rmgd");
+  Assignment timed;
+  timed.set_enum("at_policy", "timed");
+  EXPECT_NE(san::tpl::param_hash(rmgd.resolve({})), san::tpl::param_hash(rmgd.resolve(timed)));
+}
+
+// --- the composed san-level families ----------------------------------------
+
+TEST(SanTemplateNproc, StructureAndRewards) {
+  Assignment a;
+  a.set_int("n", 3).set_int("servers", 1);
+  san::tpl::Instance instance = core::template_registry().find("nproc").instantiate(a);
+
+  // One shared pool + 3 places per replica.
+  EXPECT_EQ(instance.model->place_count(), 1u + 3u * 3u);
+  EXPECT_EQ(instance.rewards.size(), 3u);
+
+  const san::GeneratedChain chain = san::generate_state_space(*instance.model);
+  EXPECT_GT(chain.state_count(), 4u);
+
+  // At t=0 everything is up: all_up == 1, degraded == 0, up_fraction == 1.
+  for (const san::RewardStructure& reward : instance.rewards) {
+    const double at0 = chain.instant_reward(reward, 0.0);
+    if (reward.name() == "degraded") {
+      EXPECT_DOUBLE_EQ(at0, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(at0, 1.0);
+    }
+  }
+
+  // Later, availability drops below 1 but stays positive.
+  const san::RewardStructure& all_up = instance.rewards.front();
+  ASSERT_EQ(all_up.name(), "all_up");
+  const double later = chain.instant_reward(all_up, 5.0);
+  EXPECT_GT(later, 0.0);
+  EXPECT_LT(later, 1.0);
+}
+
+TEST(SanTemplateNproc, SharedPoolCouplesReplicas) {
+  // With a server per replica the acquire activity is always enabled, so
+  // every "down" marking is vanishing and each replica is effectively
+  // up/fixing: 2^n tangible states. With a single shared server, replicas
+  // queue in "down" waiting for the pool — the coupling creates strictly
+  // more tangible states than the uncoupled product.
+  Assignment one_server;
+  one_server.set_int("n", 3).set_int("servers", 1);
+  Assignment many_servers;
+  many_servers.set_int("n", 3).set_int("servers", 3);
+  const auto& nproc = core::template_registry().find("nproc");
+  const size_t coupled =
+      san::generate_state_space(*nproc.instantiate(one_server).model).state_count();
+  const size_t uncoupled =
+      san::generate_state_space(*nproc.instantiate(many_servers).model).state_count();
+  EXPECT_EQ(uncoupled, 8u);  // 2^3: up/fixing per replica
+  EXPECT_GT(coupled, uncoupled);
+}
+
+TEST(SanTemplateCampaign, CompletionIsMonotoneAndStagesCompose) {
+  Assignment a;
+  a.set_int("stages", 3);
+  san::tpl::Instance instance = core::template_registry().find("upgrade-campaign").instantiate(a);
+  const san::GeneratedChain chain = san::generate_state_space(*instance.model);
+
+  const san::RewardStructure& completed = instance.rewards.front();
+  ASSERT_EQ(completed.name(), "completed");
+  double previous = -1.0;
+  for (const double t : {0.0, 1.0, 3.0, 10.0, 40.0}) {
+    const double p = chain.instant_reward(completed, t);
+    EXPECT_GE(p, previous);  // done places are absorbing under "absorb"
+    previous = p;
+  }
+  // All three stages succeed with probability 0.9^3 eventually.
+  EXPECT_NEAR(previous, 0.9 * 0.9 * 0.9, 5e-3);
+}
+
+TEST(SanTemplateCampaign, RetryPolicyEventuallyCompletesEverything) {
+  Assignment a;
+  a.set_int("stages", 2).set_enum("on_failure", "retry");
+  san::tpl::Instance instance = core::template_registry().find("upgrade-campaign").instantiate(a);
+  const san::GeneratedChain chain = san::generate_state_space(*instance.model);
+  const san::RewardStructure& completed = instance.rewards.front();
+  EXPECT_NEAR(chain.instant_reward(completed, 200.0), 1.0, 1e-6);
+}
+
+// --- the random family vs the legacy generator ------------------------------
+
+/// A verbatim copy of the pre-registry san::random_san implementation. The
+/// generator now lives in the registry's "random" family; this copy is the
+/// differential baseline proving the re-homing kept every chain bit.
+san::SanModel legacy_random_san(uint64_t seed, const san::RandomModelOptions& options) {
+  sim::Rng rng(seed);
+  san::SanModel model(str_format("random-san-%llu", static_cast<unsigned long long>(seed)));
+
+  const size_t places =
+      options.min_places + rng.uniform_index(options.max_places - options.min_places + 1);
+  std::vector<san::PlaceRef> refs;
+  refs.reserve(places);
+  for (size_t p = 0; p < places; ++p) {
+    refs.push_back(
+        model.add_place(str_format("p%zu", p), options.place_capacity, options.place_capacity));
+  }
+
+  const size_t activities =
+      options.min_activities +
+      rng.uniform_index(options.max_activities - options.min_activities + 1);
+  const int32_t capacity = options.place_capacity;
+  for (size_t a = 0; a < activities; ++a) {
+    const size_t source = rng.uniform_index(places);
+    const double rate = rng.uniform(options.min_rate, options.max_rate);
+    const size_t case_count = 1 + rng.uniform_index(options.max_cases);
+
+    std::vector<uint64_t> weights(case_count);
+    uint64_t total = 0;
+    for (uint64_t& w : weights) {
+      w = 1 + rng.uniform_index(4);
+      total += w;
+    }
+
+    san::TimedActivity activity;
+    activity.name = str_format("a%zu", a);
+    activity.enabled = san::mark_ge(refs[source], 1);
+    activity.rate = san::constant_rate(rate);
+    for (size_t c = 0; c < case_count; ++c) {
+      const size_t target = rng.uniform_index(places);
+      const double p = static_cast<double>(weights[c]) / static_cast<double>(total);
+      activity.cases.push_back(san::Case{
+          san::constant_prob(p),
+          san::sequence({san::add_mark(refs[source], -1),
+                         san::when(san::negate(san::mark_ge(refs[target], capacity)),
+                                   san::add_mark(refs[target], 1))})});
+    }
+    model.add_timed_activity(std::move(activity));
+  }
+  return model;
+}
+
+TEST(SanTemplateRandom, RegistryFamilyMatchesLegacyGeneratorBitForBit) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    san::RandomModelOptions options;
+    options.max_places = 2 + seed % 4;
+    options.max_activities = 3 + seed % 3;
+    options.place_capacity = static_cast<int32_t>(1 + seed % 3);
+
+    Assignment a;
+    a.set_int("seed", static_cast<int64_t>(seed));
+    a.set_int("max_places", static_cast<int64_t>(options.max_places));
+    a.set_int("max_activities", static_cast<int64_t>(options.max_activities));
+    a.set_int("place_capacity", options.place_capacity);
+
+    const uint64_t legacy = hash_of(legacy_random_san(seed, options));
+    EXPECT_EQ(family_hash("random", a), legacy) << "seed " << seed;
+    EXPECT_EQ(hash_of(san::random_san(seed, options)), legacy) << "seed " << seed;
+  }
+}
+
+TEST(SanTemplateRandom, PinnedSeedHashes) {
+  // Chain hashes of the default-option random family at fixed seeds. These
+  // literals pin the generator's output across refactors; they must never
+  // change (san::chain_hash is platform-independent FNV-1a over canonical
+  // bytes).
+  struct Pin {
+    uint64_t seed;
+    uint64_t hash;
+  };
+  const Pin pins[] = {
+      {1, 0x5e1daca8cfe9139fULL},
+      {7, 0x774f0cc251104c28ULL},
+      {42, 0x69e6c2f511a14682ULL},
+  };
+  for (const Pin& pin : pins) {
+    Assignment a;
+    a.set_int("seed", static_cast<int64_t>(pin.seed));
+    EXPECT_EQ(family_hash("random", a), pin.hash) << "seed " << pin.seed;
+  }
+}
+
+// --- registry surface -------------------------------------------------------
+
+TEST(SanTemplateRegistry, CatalogListsEveryFamily) {
+  const san::tpl::Registry& registry = core::template_registry();
+  for (const char* name :
+       {"nproc", "upgrade-campaign", "random", "rmgd", "rmgp", "rmnd-new", "rmnd-old"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_EQ(registry.size(), 7u);
+  EXPECT_THROW(registry.find("no-such-family"), InvalidArgument);
+}
+
+TEST(SanTemplateRegistry, InstancesCarryResolvedAssignmentAndHash) {
+  Assignment a;
+  a.set_int("n", 3);
+  san::tpl::Instance instance = core::template_registry().find("nproc").instantiate(a);
+  EXPECT_EQ(instance.resolved.int_at("n"), 3);
+  EXPECT_EQ(instance.resolved.int_at("servers"), 1);  // default filled in
+  EXPECT_EQ(instance.params_hash, san::tpl::param_hash(instance.resolved));
+  EXPECT_NE(instance.params_hash, 0u);
+}
+
+}  // namespace
+}  // namespace gop

@@ -1,0 +1,224 @@
+// Serving template-family requests (docs/templates.md + docs/serving.md):
+// instances resolve through core::template_registry(), are admission-gated
+// like every other model source, and are cached under a parameter-sensitive
+// key — "tpl:<family>:<param_hash>" over the *fully resolved* assignment, so
+// defaults and their explicit-equal twins share one instance while a 1-ulp
+// rate change builds a new one. Repeat requests are solved-cache hits,
+// bitwise identical to the cold solve, certificates included.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+#include "util/error.hh"
+
+namespace gop::serve {
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+Request nproc_request() {
+  Request request;
+  request.template_name = "nproc";
+  request.assignment.set_int("n", 2);
+  request.rewards = {"all_up", "up_fraction"};
+  request.transient_times = {0.0, 1.0, 5.0, 20.0};
+  return request;
+}
+
+void expect_bitwise_identical(const Response& a, const Response& b) {
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.storage, b.storage);
+  EXPECT_EQ(a.model_hash, b.model_hash);
+  EXPECT_EQ(a.reward_hash, b.reward_hash);
+  EXPECT_EQ(a.grid_hash, b.grid_hash);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].reward, b.results[i].reward);
+    ASSERT_EQ(a.results[i].instant.size(), b.results[i].instant.size());
+    for (size_t k = 0; k < a.results[i].instant.size(); ++k) {
+      EXPECT_TRUE(bits_equal(a.results[i].instant[k], b.results[i].instant[k]))
+          << a.results[i].reward << " point " << k;
+    }
+  }
+  ASSERT_EQ(a.certificates.size(), b.certificates.size());
+  for (size_t i = 0; i < a.certificates.size(); ++i) {
+    EXPECT_EQ(a.certificates[i].solver, b.certificates[i].solver);
+    EXPECT_EQ(a.certificates[i].certificate.engine, b.certificates[i].certificate.engine);
+    EXPECT_EQ(a.certificates[i].certificate.attempts, b.certificates[i].certificate.attempts);
+  }
+}
+
+TEST(ServeTemplate, ColdSolveThenBitwiseIdenticalCacheHit) {
+  Server server;
+  const Response cold = server.handle(nproc_request());
+  ASSERT_TRUE(cold.ok()) << cold.error << cold.findings.to_text();
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_FALSE(cold.engine.empty());
+  ASSERT_EQ(cold.results.size(), 2u);
+  EXPECT_EQ(cold.results[0].reward, "all_up");
+  // At t=0 both replicas are up.
+  EXPECT_TRUE(bits_equal(cold.results[0].instant[0], 1.0));
+  EXPECT_FALSE(cold.certificates.empty());
+
+  const Response hit = server.handle(nproc_request());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  expect_bitwise_identical(cold, hit);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cold_solves, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.chain_builds, 1u);
+}
+
+TEST(ServeTemplate, DefaultsAndExplicitEqualAssignmentShareOneInstance) {
+  Server server;
+  ASSERT_TRUE(server.handle(nproc_request()).ok());
+
+  // Same parameters spelled out in full: the key is derived from the
+  // *resolved* assignment, so no second chain is built.
+  Request explicit_request = nproc_request();
+  explicit_request.assignment.set_int("servers", 1);
+  explicit_request.assignment.set_real("fail_rate", 0.1);
+  explicit_request.assignment.set_real("repair_rate", 1.0);
+  const Response response = server.handle(explicit_request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.cache_hit);
+  EXPECT_EQ(server.stats().chain_builds, 1u);
+}
+
+TEST(ServeTemplate, OneUlpParameterChangeIsANewInstance) {
+  Server server;
+  const Response base = server.handle(nproc_request());
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(server.stats().chain_builds, 1u);
+
+  Request nudged = nproc_request();
+  nudged.assignment.set_real("fail_rate", std::nextafter(0.1, 1.0));
+  const Response response = server.handle(nudged);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_NE(response.model_hash, base.model_hash);
+  EXPECT_EQ(server.stats().chain_builds, 2u);
+  EXPECT_EQ(server.stats().cold_solves, 2u);
+}
+
+TEST(ServeTemplate, UnknownFamilyAndBadAssignmentAreErrors) {
+  Server server;
+
+  Request unknown = nproc_request();
+  unknown.template_name = "no-such-family";
+  const Response unknown_response = server.handle(unknown);
+  EXPECT_EQ(unknown_response.status, Status::kError);
+  EXPECT_NE(unknown_response.error.find("no-such-family"), std::string::npos)
+      << unknown_response.error;
+
+  Request out_of_range = nproc_request();
+  out_of_range.assignment.set_int("n", 99);  // family bound is 8
+  EXPECT_EQ(server.handle(out_of_range).status, Status::kError);
+
+  Request unknown_param = nproc_request();
+  unknown_param.assignment.set_int("replicas", 2);
+  EXPECT_EQ(server.handle(unknown_param).status, Status::kError);
+
+  EXPECT_EQ(server.stats().errors, 3u);
+  // The server is healthy afterwards.
+  EXPECT_TRUE(server.handle(nproc_request()).ok());
+}
+
+TEST(ServeTemplate, BadGridOnTemplateInstanceIsRejectedWithFindings) {
+  Server server;
+  Request request = nproc_request();
+  request.transient_times = {-1.0, 1.0};
+  const Response response = server.handle(request);
+  EXPECT_EQ(response.status, Status::kRejected);
+  EXPECT_TRUE(response.findings.has_errors());
+  EXPECT_TRUE(response.findings.has_code("PRE001")) << response.findings.to_text();
+  EXPECT_TRUE(response.results.empty());
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(ServeTemplate, PaperFamilyServesThroughTemplatePath) {
+  // The rmgd template family serves the same rewards as the registered
+  // "rmgd" model; at Table-3 defaults the two paths are the same chain, so
+  // the solved cache can serve one from the other's entry.
+  Request templated;
+  templated.template_name = "rmgd";
+  templated.rewards = {"P_A1", "Ih"};
+  templated.transient_times = {7000.0};
+
+  Request registered;
+  registered.model = "rmgd";
+  registered.rewards = {"P_A1", "Ih"};
+  registered.transient_times = {7000.0};
+
+  Server server;
+  const Response a = server.handle(templated);
+  ASSERT_TRUE(a.ok()) << a.error;
+  const Response b = server.handle(registered);
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(a.model_hash, b.model_hash);  // same chain bits
+  EXPECT_TRUE(b.cache_hit);               // key is content-addressed, not name-addressed
+  expect_bitwise_identical(a, b);
+}
+
+TEST(ServeTemplate, WireRequestParsesTemplateAndAssignment) {
+  const Json document = parse(R"({
+    "id": "t1",
+    "template": "nproc",
+    "assignment": {"n": 3, "fail_rate": 0.25, "servers": "2"},
+    "rewards": ["all_up"],
+    "transient_times": [0.0, 2.0]
+  })");
+  const Request request = parse_request(document);
+  EXPECT_EQ(request.template_name, "nproc");
+  EXPECT_EQ(request.rewards, std::vector<std::string>{"all_up"});
+
+  Server server;
+  const Response response = server.handle(request);
+  ASSERT_TRUE(response.ok()) << response.error << response.findings.to_text();
+  EXPECT_EQ(response.id, "t1");
+
+  // Exactly-one-of is enforced at the wire layer.
+  EXPECT_THROW(parse_request(parse(R"({"model": "rmgd", "template": "nproc",
+                                       "rewards": ["P_A1"]})")),
+               InvalidArgument);
+  // assignment without a template is malformed.
+  EXPECT_THROW(parse_request(parse(R"({"model": "rmgd", "assignment": {"n": 2},
+                                       "rewards": ["P_A1"]})")),
+               InvalidArgument);
+}
+
+TEST(ServeTemplate, SnapshotSkipsTemplateInstancesAndRebuildsCleanly) {
+  Server server;
+  ASSERT_TRUE(server.handle(nproc_request()).ok());
+  Request rmgd;
+  rmgd.model = "rmgd";
+  rmgd.rewards = {"P_A1"};
+  rmgd.transient_times = {7000.0};
+  ASSERT_TRUE(server.handle(rmgd).ok());
+
+  const std::string snapshot = server.save_snapshot();
+  Server restored;
+  const SnapshotLoadResult load = restored.load_snapshot(snapshot);
+  ASSERT_TRUE(load.loaded) << load.detail;
+  // Only the registered instance is snapshotted; the template instance
+  // rebuilds deterministically on its first request.
+  EXPECT_EQ(load.instances, 1u);
+  const Response after = restored.handle(nproc_request());
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_EQ(restored.stats().chain_builds, 1u);
+}
+
+}  // namespace
+}  // namespace gop::serve

@@ -9,6 +9,10 @@
 //   gop_lint --model=rmgd --phi=7000  # one model, explicit grid point
 //   gop_lint --json                   # machine-readable findings (CI gate)
 //   gop_lint --prove --probe-budget=0 # symbolic proofs only, no probing
+//   gop_lint --template=nproc --set=n=4,servers=2 --prove
+//                                     # a template-registry instance
+//                                     # (docs/templates.md); model+chain
+//                                     # layers, no preflight grids
 //
 // --prove prints a per-model proof summary (verdicts, marking bounds,
 // witnesses) on top of the findings; with --json it adds a "proofs" section.
@@ -28,8 +32,10 @@
 #include "core/rm_gd.hh"
 #include "core/rm_gp.hh"
 #include "core/rm_nd.hh"
+#include "core/templates.hh"
 #include "lint/lint.hh"
 #include "san/state_space.hh"
+#include "san/template.hh"
 #include "util/cli.hh"
 #include "util/strings.hh"
 
@@ -223,6 +229,9 @@ int main(int argc, char** argv) {
   CliFlags flags("gop_lint", "static-analysis battery for the paper's SAN reward models");
   const core::GsuParameters defaults = core::GsuParameters::table3();
   flags.add_string("model", "all", "all | rmgd | rmgp | rmnd-new | rmnd-old")
+      .add_string("template", "",
+                  "lint a core::template_registry() family instead of --model")
+      .add_string("set", "", "template parameter overrides, k=v[,k=v...]")
       .add_double("theta", defaults.theta, "hours to the next upgrade")
       .add_double("lambda", defaults.lambda, "message rate (1/h)")
       .add_double("mu_new", defaults.mu_new, "fault rate of the new version (1/h)")
@@ -264,16 +273,33 @@ int main(int argc, char** argv) {
 
     lint::Report report;
     std::vector<ModelRun> runs;
-    bool matched = false;
-    for (const RegisteredModel& entry : kRegistry) {
-      if (which != "all" && which != entry.name) continue;
-      matched = true;
-      runs.push_back(entry.run(params, phi, options, prove));
+    const std::string& template_name = flags.get_string("template");
+    if (!template_name.empty()) {
+      // Template-registry instance: the model and chain layers run (there is
+      // no request grid to preflight); --prove works exactly as for the
+      // registered models. find/instantiate throw on an unknown family or a
+      // bad assignment (exit 1 with the message).
+      const san::tpl::Instance instance =
+          core::template_registry()
+              .find(template_name)
+              .instantiate(san::tpl::parse_assignment_list(flags.get_string("set")));
+      BatteryInput input;
+      input.model = instance.model.get();
+      input.rewards = instance.rewards;
+      runs.push_back(finish_run(template_name.c_str(), input, options, prove));
       report.merge(runs.back().report);
-    }
-    if (!matched) {
-      std::fprintf(stderr, "unknown model '%s' (try --help)\n", which.c_str());
-      return 2;
+    } else {
+      bool matched = false;
+      for (const RegisteredModel& entry : kRegistry) {
+        if (which != "all" && which != entry.name) continue;
+        matched = true;
+        runs.push_back(entry.run(params, phi, options, prove));
+        report.merge(runs.back().report);
+      }
+      if (!matched) {
+        std::fprintf(stderr, "unknown model '%s' (try --help)\n", which.c_str());
+        return 2;
+      }
     }
 
     if (flags.get_bool("json")) {

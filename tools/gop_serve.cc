@@ -3,10 +3,13 @@
 //
 // The server accepts line-delimited JSON requests (one request object per
 // line, one response object per line back) naming a registered model
-// (rmgd / rmgp / rmnd-new / rmnd-old) or carrying an inline SAN description,
-// the rewards to evaluate, and the phi/t grids. Every request is gated by
-// gop::lint admission, answered from the content-addressed solved cache when
-// possible, and logged as one structured JSONL event.
+// (rmgd / rmgp / rmnd-new / rmnd-old), carrying an inline SAN description,
+// or naming a template family with a parameter assignment
+// ({"template": "nproc", "assignment": {"n": 3}, ...}; docs/templates.md),
+// plus the rewards to evaluate and the phi/t grids. Every request is gated
+// by gop::lint admission, answered from the content-addressed solved cache
+// when possible (template instances are cached under a parameter-sensitive
+// key), and logged as one structured JSONL event.
 //
 // Modes:
 //   gop_serve                            # serve stdin -> stdout (pipe mode)

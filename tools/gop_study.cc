@@ -7,6 +7,8 @@
 //   tornado       +/-20% one-factor sensitivity of Y at --phi
 //   verdict       first-passage time-to-verdict quantiles of RMGd
 //   approx        closed-form approximation vs exact Y over the grid
+//   structural    a template-registry family swept over parameter axes
+//                 crossed with the evaluation grid (docs/templates.md)
 //
 // All Table 3 parameters are flags; --csv switches the tabular output to
 // CSV for plotting. Examples:
@@ -14,16 +16,24 @@
 //   gop_study --mode=sweep --mu_new=5e-5 --points=21
 //   gop_study --mode=optimum --alpha=2500 --beta=2500
 //   gop_study --mode=tornado --phi=7000 --csv
+//   gop_study --mode=structural --template=nproc --sweep-param=n=1:3:3
+//             --horizon=20 --points=5        (one command line)
+//   gop_study --mode=structural --template=rmgd --sweep-param='coverage=0.5|0.9'
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/approximation.hh"
+#include "core/templates.hh"
 #include "obs/obs.hh"
 #include "core/performability.hh"
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
 #include "markov/first_passage.hh"
+#include "san/template.hh"
 #include "util/cli.hh"
+#include "util/error.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -139,13 +149,118 @@ int run_approx(const core::GsuParameters& params, size_t points, bool csv) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(sep, begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// One --sweep-param entry: "k=a:b:n" (range; ints are rounded for int
+/// parameters) or "k=v1|v2|..." (explicit values) or "k=v" (a single value).
+core::StructuralAxis parse_axis(const san::tpl::Template& tpl, const std::string& entry) {
+  const size_t eq = entry.find('=');
+  GOP_REQUIRE(eq != std::string::npos && eq > 0,
+              "--sweep-param entry '" + entry + "' is not of the form k=...");
+  core::StructuralAxis axis;
+  axis.param = entry.substr(0, eq);
+  const san::tpl::ParamSpec* spec = tpl.find_param(axis.param);
+  GOP_REQUIRE(spec != nullptr, "template '" + tpl.name() + "' has no parameter '" +
+                                   axis.param + "'");
+  const std::string rest = entry.substr(eq + 1);
+  const std::vector<std::string> pieces = split_list(rest, '|');
+  if (pieces.size() > 1) {
+    for (const std::string& piece : pieces) {
+      axis.values.push_back(san::tpl::ParamValue::parse(piece));
+    }
+    return axis;
+  }
+  const std::vector<std::string> range = split_list(rest, ':');
+  if (range.size() == 3) {
+    char* tail = nullptr;
+    const double lo = std::strtod(range[0].c_str(), &tail);
+    const double hi = std::strtod(range[1].c_str(), nullptr);
+    const long long n = std::strtoll(range[2].c_str(), nullptr, 10);
+    GOP_REQUIRE(n >= 1, "--sweep-param range '" + entry + "' needs n >= 1");
+    const std::vector<double> grid =
+        n == 1 ? std::vector<double>{lo} : core::linspace(lo, hi, static_cast<size_t>(n));
+    for (double v : grid) {
+      axis.values.push_back(spec->kind == san::tpl::ParamKind::kInt
+                                ? san::tpl::ParamValue::of_int(std::llround(v))
+                                : san::tpl::ParamValue::of_real(v));
+    }
+    return axis;
+  }
+  axis.values.push_back(san::tpl::ParamValue::parse(rest));
+  return axis;
+}
+
+int run_structural(const CliFlags& flags, size_t points, size_t threads, bool csv) {
+  const std::string& family = flags.get_string("template");
+  GOP_REQUIRE(!family.empty(), "--mode=structural needs --template=<family>");
+  const san::tpl::Template& tpl = core::template_registry().find(family);
+
+  core::StructuralSweepSpec spec;
+  spec.family = family;
+  spec.base = san::tpl::parse_assignment_list(flags.get_string("set"));
+  for (const std::string& entry : split_list(flags.get_string("sweep-param"), ',')) {
+    spec.axes.push_back(parse_axis(tpl, entry));
+  }
+  for (const std::string& reward : split_list(flags.get_string("rewards"), ',')) {
+    spec.rewards.push_back(reward);
+  }
+  const double horizon = flags.get_double("horizon");
+  GOP_REQUIRE(horizon > 0.0, "--horizon must be positive");
+  spec.phis = core::linspace(0.0, horizon, points);
+  spec.threads = threads;
+
+  const core::StructuralSweepResult result = core::structural_sweep(spec);
+
+  const bool paper = core::is_performability_family(family);
+  for (const core::StructuralCell& cell : result.cells) {
+    std::fprintf(stderr, "cell %s: states=%zu engine=%s storage=%s chain=%016llx params=%016llx\n",
+                 cell.label.c_str(), cell.states, cell.engine.c_str(), cell.storage.c_str(),
+                 static_cast<unsigned long long>(cell.chain_hash),
+                 static_cast<unsigned long long>(cell.params_hash));
+  }
+
+  std::vector<std::string> headers = {"cell", "t"};
+  if (!result.cells.empty()) {
+    for (const std::string& reward : result.cells.front().rewards) headers.push_back(reward);
+  }
+  if (paper) headers.push_back("Y");
+  TextTable table(headers);
+  for (const core::StructuralCell& cell : result.cells) {
+    for (size_t i = 0; i < result.phis.size(); ++i) {
+      auto& row = table.begin_row().add(cell.label).add_double(result.phis[i], 6);
+      for (const std::vector<double>& series : cell.series) row.add_double(series[i], 6);
+      if (paper) row.add_double(cell.performability[i].y, 6);
+    }
+  }
+  emit(table, csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliFlags flags("gop_study", "performability studies of guarded-operation duration");
   const core::GsuParameters defaults = core::GsuParameters::table3();
   flags.add_string("mode", "sweep",
-                   "sweep | optimum | constituents | tornado | verdict | approx")
+                   "sweep | optimum | constituents | tornado | verdict | approx | structural")
+      .add_string("template", "", "template family for --mode=structural (docs/templates.md)")
+      .add_string("set", "", "fixed template parameter overrides, k=v[,k=v...]")
+      .add_string("sweep-param", "",
+                  "structural axes, comma-separated: k=a:b:n (range), k=v1|v2 (values)")
+      .add_string("rewards", "", "reward names to evaluate (default: the family's catalog)")
+      .add_double("horizon", 20.0,
+                  "evaluation-grid upper bound for structural mode (paper families: keep "
+                  "within [0, theta]; the grid doubles as the phi grid)")
       .add_double("theta", defaults.theta, "hours to the next upgrade")
       .add_double("lambda", defaults.lambda, "message rate (1/h)")
       .add_double("mu_new", defaults.mu_new, "fault rate of the new version (1/h)")
@@ -201,6 +316,8 @@ int main(int argc, char** argv) {
       status = run_verdict(params, csv);
     } else if (mode == "approx") {
       status = run_approx(params, points, csv);
+    } else if (mode == "structural") {
+      status = run_structural(flags, points, threads, csv);
     } else {
       std::fprintf(stderr, "unknown mode '%s' (try --help)\n", mode.c_str());
     }

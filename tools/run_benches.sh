@@ -20,6 +20,9 @@
 #   --force     record results from a non-optimized (Debug) build anyway;
 #               the output JSON is tagged "measurement_build_type" so a
 #               debug-mode artifact can never masquerade as a release one
+#   --only SUB  run only the suites whose binary name contains SUB (e.g.
+#               --only sweep regenerates just BENCH_sweep.json); the other
+#               committed BENCH_*.json files are left untouched
 #
 # Environment:
 #   GOP_BENCH_REPETITIONS   repetitions per benchmark (default 3); the
@@ -34,15 +37,28 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 
 smoke=0
 force=0
+only=""
+expect_only=0
 build_dir=""
 for arg in "$@"; do
+  if [[ "$expect_only" -eq 1 ]]; then
+    only="$arg"
+    expect_only=0
+    continue
+  fi
   case "$arg" in
     --smoke) smoke=1 ;;
     --force) force=1 ;;
+    --only) expect_only=1 ;;
+    --only=*) only="${arg#--only=}" ;;
     -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) build_dir="$arg" ;;
   esac
 done
+if [[ "$expect_only" -eq 1 ]]; then
+  echo "error: --only needs a substring argument" >&2
+  exit 2
+fi
 
 if [[ -z "$build_dir" ]]; then
   if [[ -d "$root/build-relwithdebinfo" ]]; then
@@ -98,6 +114,18 @@ else
     "bench_serve_throughput:BENCH_serve.json"
   )
   extra_flags=(--benchmark_repetitions="$repetitions" --benchmark_report_aggregates_only=true)
+fi
+
+if [[ -n "$only" ]]; then
+  filtered=()
+  for suite in "${suites[@]}"; do
+    [[ "${suite%%:*}" == *"$only"* ]] && filtered+=("$suite")
+  done
+  if [[ ${#filtered[@]} -eq 0 ]]; then
+    echo "error: --only '$only' matches no suite" >&2
+    exit 2
+  fi
+  suites=("${filtered[@]}")
 fi
 
 for suite in "${suites[@]}"; do
